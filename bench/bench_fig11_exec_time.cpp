@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 11 reproduction: execution time of the HW, SW, and Explicit
+ * versions normalized to the Volatile version, for each of the six
+ * Table III benchmarks, plus the geometric mean.
+ *
+ * Paper shapes to check:
+ *  - HW is close to Volatile (largest overhead ~12%, on Splay);
+ *  - SW is far slower (paper average 2.75x);
+ *  - HW beats Explicit by 1-3x thanks to conversion reuse.
+ */
+
+#include "bench_common.hh"
+
+using namespace upr;
+using namespace upr::bench;
+
+int
+main()
+{
+    printConfigBanner();
+    std::printf("\nFigure 11: execution time normalized to Volatile "
+                "(lower is better)\n");
+    std::printf("%-6s %10s %10s %10s %10s\n", "bench", "Volatile",
+                "HW", "SW", "Explicit");
+
+    std::vector<double> hw_norm, sw_norm, ex_norm, hw_vs_ex;
+    for (Workload w : kAllWorkloads) {
+        const RunStats vol = run(w, Version::Volatile);
+        const RunStats hw = run(w, Version::Hw);
+        const RunStats sw = run(w, Version::Sw);
+        const RunStats ex = run(w, Version::Explicit);
+
+        // Soundness side-check: all versions computed the same thing.
+        if (hw.checksum != vol.checksum ||
+            sw.checksum != vol.checksum ||
+            ex.checksum != vol.checksum) {
+            std::fprintf(stderr, "OUTPUT MISMATCH on %s\n",
+                         workloadName(w));
+            return 1;
+        }
+
+        const double base = static_cast<double>(vol.cycles);
+        const double h = static_cast<double>(hw.cycles) / base;
+        const double s = static_cast<double>(sw.cycles) / base;
+        const double e = static_cast<double>(ex.cycles) / base;
+        hw_norm.push_back(h);
+        sw_norm.push_back(s);
+        ex_norm.push_back(e);
+        hw_vs_ex.push_back(e / h);
+
+        std::printf("%-6s %10.3f %10.3f %10.3f %10.3f\n",
+                    workloadName(w), 1.0, h, s, e);
+    }
+    std::printf("%-6s %10.3f %10.3f %10.3f %10.3f\n", "gmean", 1.0,
+                geomean(hw_norm), geomean(sw_norm), geomean(ex_norm));
+
+    std::printf("\npaper expectations: HW ~1.0-1.12x, SW avg ~2.75x, "
+                "Explicit/HW ~1.33x (ours: %.2fx)\n",
+                geomean(hw_vs_ex));
+    return 0;
+}

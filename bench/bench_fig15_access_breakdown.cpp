@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 15 reproduction: of all memory-access instructions in the
+ * HW version, what fraction are storeP, what fraction access the
+ * VALB/VAW, and what fraction access the POLB/POW.
+ *
+ * Paper numbers: 0.38% storeP, 0.22% VALB/VAW, 12.6% POLB/POW —
+ * the reason VALB latency barely matters (Fig 14) while POLB sits on
+ * the load path.
+ */
+
+#include "bench_common.hh"
+
+using namespace upr;
+using namespace upr::bench;
+
+int
+main()
+{
+    printConfigBanner();
+    std::printf("\nFigure 15: share of memory accesses touching each "
+                "UPR structure (HW version)\n");
+    std::printf("%-6s %14s %12s %12s %12s\n", "bench", "mem accesses",
+                "storeP %", "VALB %", "POLB %");
+
+    double sp_sum = 0, va_sum = 0, po_sum = 0;
+    int n = 0;
+    for (Workload w : kAllWorkloads) {
+        const RunStats hw = run(w, Version::Hw);
+        const double total = static_cast<double>(hw.memAccesses);
+        const double sp = 100.0 * hw.storePs / total;
+        const double va = 100.0 * hw.valbAccesses / total;
+        const double po = 100.0 * hw.polbAccesses / total;
+        sp_sum += sp;
+        va_sum += va;
+        po_sum += po;
+        ++n;
+        std::printf("%-6s %14" PRIu64 " %11.3f%% %11.3f%% %11.3f%%\n",
+                    workloadName(w), hw.memAccesses, sp, va, po);
+    }
+    std::printf("%-6s %14s %11.3f%% %11.3f%% %11.3f%%\n", "mean", "",
+                sp_sum / n, va_sum / n, po_sum / n);
+    std::printf("\npaper: 0.38%% storeP, 0.22%% VALB/VAW, 12.6%% "
+                "POLB/POW\n");
+    return 0;
+}

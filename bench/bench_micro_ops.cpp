@@ -1,0 +1,164 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the UPR primitive operations —
+ * host-side cost of the simulation itself plus simulated-cycle cost
+ * per operation for each version. Useful for spotting regressions in
+ * the runtime fast paths.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "containers/memory_env.hh"
+
+using namespace upr;
+
+namespace
+{
+
+struct Node
+{
+    Ptr<Node> next;
+    std::uint64_t v = 0;
+};
+
+Version
+versionOf(const benchmark::State &state)
+{
+    switch (state.range(0)) {
+      case 0: return Version::Volatile;
+      case 1: return Version::Sw;
+      case 2: return Version::Hw;
+      default: return Version::Explicit;
+    }
+}
+
+/** Label helper so --benchmark_filter works on version names. */
+void
+setLabel(benchmark::State &state, Runtime &rt, Cycles cycles)
+{
+    state.SetLabel(std::string(versionName(rt.version())) + " " +
+                   std::to_string(cycles / state.iterations()) +
+                   " simcycles/op");
+}
+
+void
+BM_Resolve(benchmark::State &state)
+{
+    Runtime::Config cfg;
+    cfg.version = versionOf(state);
+    Runtime rt(cfg);
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("micro", 1 << 20);
+    const PtrBits p = rt.pmallocBits(pool, 64);
+
+    const Cycles start = rt.machine().now();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rt.resolveForAccess(p, 1));
+    setLabel(state, rt, rt.machine().now() - start);
+}
+BENCHMARK(BM_Resolve)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void
+BM_FieldLoad(benchmark::State &state)
+{
+    Runtime::Config cfg;
+    cfg.version = versionOf(state);
+    Runtime rt(cfg);
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("micro", 1 << 20);
+    MemEnv env = MemEnv::persistentEnv(rt, pool);
+    Ptr<Node> n = env.alloc<Node>();
+    n.setField(&Node::v, std::uint64_t{5});
+
+    const Cycles start = rt.machine().now();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(n.field(&Node::v));
+    setLabel(state, rt, rt.machine().now() - start);
+}
+BENCHMARK(BM_FieldLoad)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void
+BM_PtrStore(benchmark::State &state)
+{
+    Runtime::Config cfg;
+    cfg.version = versionOf(state);
+    Runtime rt(cfg);
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("micro", 1 << 20);
+    MemEnv env = MemEnv::persistentEnv(rt, pool);
+    Ptr<Node> a = env.alloc<Node>();
+    Ptr<Node> b = env.alloc<Node>();
+
+    const Cycles start = rt.machine().now();
+    for (auto _ : state)
+        a.setPtrField(&Node::next, b);
+    setLabel(state, rt, rt.machine().now() - start);
+}
+BENCHMARK(BM_PtrStore)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void
+BM_PtrCompare(benchmark::State &state)
+{
+    Runtime::Config cfg;
+    cfg.version = versionOf(state);
+    Runtime rt(cfg);
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("micro", 1 << 20);
+    MemEnv env = MemEnv::persistentEnv(rt, pool);
+    Ptr<Node> a = env.alloc<Node>();
+    Ptr<Node> b = env.alloc<Node>();
+
+    const Cycles start = rt.machine().now();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a == b);
+    setLabel(state, rt, rt.machine().now() - start);
+}
+BENCHMARK(BM_PtrCompare)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void
+BM_PoolAllocFree(benchmark::State &state)
+{
+    Runtime rt;
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("micro", 8 << 20);
+    for (auto _ : state) {
+        const PtrBits p = rt.pmallocBits(pool, 64);
+        rt.pfreeBits(p);
+    }
+}
+BENCHMARK(BM_PoolAllocFree);
+
+void
+BM_ListTraverse1k(benchmark::State &state)
+{
+    Runtime::Config cfg;
+    cfg.version = versionOf(state);
+    Runtime rt(cfg);
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("micro", 8 << 20);
+    MemEnv env = MemEnv::persistentEnv(rt, pool);
+
+    Ptr<Node> head = Ptr<Node>::null();
+    for (int i = 0; i < 1000; ++i) {
+        Ptr<Node> n = env.alloc<Node>();
+        n.setField(&Node::v, std::uint64_t(i));
+        n.setPtrField(&Node::next, head);
+        head = n;
+    }
+
+    const Cycles start = rt.machine().now();
+    for (auto _ : state) {
+        std::uint64_t sum = 0;
+        for (Ptr<Node> c = head; !c.isNull();
+             c = c.ptrField(&Node::next)) {
+            sum += c.field(&Node::v);
+        }
+        benchmark::DoNotOptimize(sum);
+    }
+    setLabel(state, rt, rt.machine().now() - start);
+}
+BENCHMARK(BM_ListTraverse1k)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Table III reproduction: the six data structures under evaluation,
+ * with per-structure facts from our implementation (node size, lines
+ * of code, population statistics after the standard load phase).
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench_common.hh"
+#include "containers/bst_common.hh"
+
+using namespace upr;
+using namespace upr::bench;
+
+namespace
+{
+
+/** Count the lines of a source file (repo-relative). */
+std::uint64_t
+locOf(const std::string &rel)
+{
+    for (const char *prefix : {"", "../", "../../"}) {
+        std::ifstream is(std::string(prefix) + rel);
+        if (!is)
+            continue;
+        std::uint64_t n = 0;
+        std::string line;
+        while (std::getline(is, line))
+            ++n;
+        return n;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table III: the six benchmark data structures\n");
+    std::printf("%-6s %-44s %8s %10s\n", "name", "description",
+                "LoC", "node (B)");
+
+    using Node = TreeNode<std::uint64_t, std::uint64_t>;
+    struct Row
+    {
+        const char *name;
+        const char *desc;
+        const char *file;
+        std::uint64_t nodeBytes;
+    };
+    const Row rows[] = {
+        {"LL", "doubly linked list (2 ptrs + 16 B value)",
+         "src/containers/linked_list.hh", 32},
+        {"Hash", "separate-chaining hash map",
+         "src/containers/hash_map.hh", 24},
+        {"RB", "red-black tree", "src/containers/rb_tree.hh",
+         sizeof(Node)},
+        {"Splay", "splay tree", "src/containers/splay_tree.hh",
+         sizeof(Node)},
+        {"AVL", "AVL tree", "src/containers/avl_tree.hh",
+         sizeof(Node)},
+        {"SG", "scapegoat tree (alpha=0.7)",
+         "src/containers/scapegoat_tree.hh", sizeof(Node)},
+    };
+
+    std::uint64_t total = locOf("src/containers/bst_common.hh") +
+                          locOf("src/containers/memory_env.hh");
+    for (const Row &r : rows) {
+        const std::uint64_t loc = locOf(r.file);
+        total += loc;
+        std::printf("%-6s %-44s %8" PRIu64 " %10" PRIu64 "\n", r.name,
+                    r.desc, loc, r.nodeBytes);
+    }
+    std::printf("%-6s %-44s %8" PRIu64 "\n", "total",
+                "(incl. shared BST base + MemEnv)", total);
+
+    std::printf("\npopulation after the paper's load phase "
+                "(10k records):\n");
+    std::printf("%-6s %12s %14s\n", "bench", "entries",
+                "NVM accesses");
+    for (Workload w : kAllWorkloads) {
+        const RunStats hw = run(w, Version::Hw);
+        std::printf("%-6s %12s %14" PRIu64 "\n", workloadName(w),
+                    w == Workload::LL ? "10000" : "10000+",
+                    hw.memAccesses);
+    }
+    std::printf("\npaper: Boost originals total 22,206 LoC; ours are "
+                "purpose-built equivalents.\n");
+    return 0;
+}

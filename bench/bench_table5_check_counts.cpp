@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Table V reproduction: per benchmark, the number of dynamic checks
+ * executed (SW version) and the numbers of absolute-to-relative and
+ * relative-to-absolute conversions.
+ */
+
+#include "bench_common.hh"
+
+using namespace upr;
+using namespace upr::bench;
+
+int
+main()
+{
+    printConfigBanner();
+    std::printf("\nTable V: dynamic checks and conversions per "
+                "benchmark (SW version)\n");
+    std::printf("%-6s %16s %16s %16s\n", "bench", "dynamic checks",
+                "abs. to rel.", "rel. to abs.");
+
+    for (Workload w : kAllWorkloads) {
+        const RunStats sw = run(w, Version::Sw);
+        std::printf("%-6s %16" PRIu64 " %16" PRIu64 " %16" PRIu64 "\n",
+                    workloadName(w), sw.dynamicChecks, sw.absToRel,
+                    sw.relToAbs);
+    }
+
+    std::printf("\n(HW version conversion traffic, showing the "
+                "reuse effect of Fig 12)\n");
+    std::printf("%-6s %16s %16s\n", "bench", "abs. to rel.",
+                "rel. to abs.");
+    for (Workload w : kAllWorkloads) {
+        const RunStats hw = run(w, Version::Hw);
+        std::printf("%-6s %16" PRIu64 " %16" PRIu64 "\n",
+                    workloadName(w), hw.absToRel, hw.relToAbs);
+    }
+    return 0;
+}

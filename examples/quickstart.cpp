@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Quickstart: the user-transparent persistent reference workflow.
+ *
+ * 1. Create a runtime (one simulated process) and a persistent pool.
+ * 2. Build a persistent linked structure through plain Ptr<T> code.
+ * 3. Detach and reopen the pool — it lands at a *different* virtual
+ *    address — and walk the structure again, unchanged.
+ *
+ * The takeaway: the code below never distinguishes persistent from
+ * volatile pointers; the 8-byte tagged representation plus runtime
+ * checks (Fig 2/3 of the paper) do the work.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "containers/memory_env.hh"
+
+using namespace upr;
+
+namespace
+{
+
+/** An ordinary-looking node type. */
+struct Item
+{
+    Ptr<Item> next;
+    std::uint64_t value = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    // One simulated process running the paper's HW version.
+    Runtime rt;
+    RuntimeScope scope(rt);
+
+    // Create a 16 MiB persistent pool.
+    const PoolId pool = rt.createPool("quickstart-pool", 16 << 20);
+    std::printf("pool %u attached at 0x%" PRIx64 "\n", pool,
+                rt.pools().baseOf(pool));
+
+    // Build a small persistent list: 1 -> 2 -> ... -> 10.
+    MemEnv env = MemEnv::persistentEnv(rt, pool);
+    Ptr<Item> head = Ptr<Item>::null();
+    for (std::uint64_t v = 10; v >= 1; --v) {
+        Ptr<Item> item = env.alloc<Item>();
+        item.setField(&Item::value, v);
+        item.setPtrField(&Item::next, head); // storeP semantics
+        head = item;
+    }
+
+    // Remember the list head in the pool's root slot.
+    rt.pools().pool(pool).setRootOff(PtrRepr::offsetOf(head.bits()));
+
+    // Detach ... and reopen: the pool moves to a fresh address, as
+    // it would in a different process on a different day.
+    const SimAddr before = rt.pools().baseOf(pool);
+    rt.pools().detach(pool);
+    rt.pools().openPool("quickstart-pool");
+    const SimAddr after = rt.pools().baseOf(pool);
+    std::printf("pool relocated: 0x%" PRIx64 " -> 0x%" PRIx64 "\n",
+                before, after);
+
+    // Recover the head from the root offset and walk the list. The
+    // stored 'next' pointers are relative addresses; dereferencing
+    // them just works.
+    Ptr<Item> cur = Ptr<Item>::fromBits(
+        PtrRepr::makeRelative(pool, rt.pools().pool(pool).rootOff()));
+    std::uint64_t sum = 0;
+    std::printf("list after relocation:");
+    while (!cur.isNull()) {
+        const std::uint64_t v = cur.field(&Item::value);
+        std::printf(" %" PRIu64, v);
+        sum += v;
+        cur = cur.ptrField(&Item::next);
+    }
+    std::printf("\nsum = %" PRIu64 " (expected 55)\n", sum);
+
+    // Peek under the hood: the stored pointer format in NVM is
+    // relative (bit 63 set), exactly the Fig 2 representation.
+    Ptr<Item> h = Ptr<Item>::fromBits(
+        PtrRepr::makeRelative(pool, rt.pools().pool(pool).rootOff()));
+    const PtrBits raw =
+        rt.space().read<PtrBits>(h.resolve() + 0 /* next field */);
+    std::printf("stored 'next' bits: 0x%016" PRIx64 " (relative=%d)\n",
+                raw, PtrRepr::isRelative(raw) ? 1 : 0);
+
+    std::printf("cycles simulated: %" PRIu64 "\n",
+                rt.machine().now());
+    return sum == 55 ? 0 : 1;
+}

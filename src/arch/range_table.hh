@@ -1,0 +1,280 @@
+/**
+ * @file
+ * B+tree range table — the kernel-resident VATB (virtual address
+ * table) of the paper, patterned after the Range-TLB range table the
+ * paper cites. Maps a virtual address to the attached pool range
+ * containing it. The walker cost is proportional to the tree depth,
+ * which the VALB model uses to derive VAW latency.
+ *
+ * Mutation model matches the OS: pool attach inserts a range; pool
+ * detach removes it (implemented as filtered rebuild — the kernel
+ * rebuilds/patches on detach, and detaches are rare events).
+ */
+
+#ifndef UPR_ARCH_RANGE_TABLE_HH
+#define UPR_ARCH_RANGE_TABLE_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace upr
+{
+
+/** One attached-range record. */
+struct RangeRecord
+{
+    SimAddr start;
+    Bytes size;
+    PoolId id;
+};
+
+/** B+tree over non-overlapping [start, start+size) ranges. */
+class RangeTable
+{
+  public:
+    /** Max keys per node (fanout - 1). */
+    static constexpr std::size_t kMaxKeys = 8;
+
+    RangeTable() = default;
+
+    /** Insert a range; ranges must not overlap. */
+    void
+    insert(const RangeRecord &rec)
+    {
+        upr_assert_msg(rec.size > 0, "empty range");
+        if (!root_) {
+            root_ = std::make_unique<Node>(true);
+            root_->records.push_back(rec);
+            ++count_;
+            return;
+        }
+        upr_assert_msg(!lookup(rec.start) &&
+                       !lookup(rec.start + rec.size - 1),
+                       "overlapping range insert");
+        SplitResult split = insertInto(*root_, rec);
+        if (split.happened) {
+            auto new_root = std::make_unique<Node>(false);
+            new_root->keys.push_back(split.separator);
+            new_root->children.push_back(std::move(root_));
+            new_root->children.push_back(std::move(split.right));
+            root_ = std::move(new_root);
+        }
+        ++count_;
+    }
+
+    /** Remove the range starting at @p start (filtered rebuild). */
+    void
+    erase(SimAddr start)
+    {
+        std::vector<RangeRecord> all = collect();
+        const std::size_t before = all.size();
+        std::erase_if(all, [start](const RangeRecord &r) {
+            return r.start == start;
+        });
+        upr_assert_msg(all.size() + 1 == before,
+                       "erase of unknown range");
+        rebuild(all);
+    }
+
+    /**
+     * Find the range containing @p va.
+     * @param depth_out if non-null, receives the nodes visited
+     * @return the record, or nullopt
+     */
+    std::optional<RangeRecord>
+    lookup(SimAddr va, unsigned *depth_out = nullptr) const
+    {
+        unsigned depth = 0;
+        const Node *node = root_.get();
+        while (node) {
+            ++depth;
+            if (node->leaf) {
+                for (const auto &r : node->records) {
+                    if (va >= r.start && va < r.start + r.size) {
+                        if (depth_out)
+                            *depth_out = depth;
+                        return r;
+                    }
+                }
+                break;
+            }
+            std::size_t i = 0;
+            while (i < node->keys.size() && va >= node->keys[i])
+                ++i;
+            node = node->children[i].get();
+        }
+        if (depth_out)
+            *depth_out = depth;
+        return std::nullopt;
+    }
+
+    /** All records in start order. */
+    std::vector<RangeRecord>
+    collect() const
+    {
+        std::vector<RangeRecord> out;
+        collectFrom(root_.get(), out);
+        return out;
+    }
+
+    /** Replace contents wholesale (attach-epoch resync). */
+    void
+    rebuild(const std::vector<RangeRecord> &records)
+    {
+        root_.reset();
+        count_ = 0;
+        for (const auto &r : records)
+            insert(r);
+    }
+
+    /** Number of ranges stored. */
+    std::size_t size() const { return count_; }
+
+    /** Height of the tree (0 when empty). */
+    unsigned
+    height() const
+    {
+        unsigned h = 0;
+        for (const Node *n = root_.get(); n;
+             n = n->leaf ? nullptr : n->children.front().get()) {
+            ++h;
+        }
+        return h;
+    }
+
+    /** Validate B+tree invariants; panics on violation. */
+    void
+    checkConsistency() const
+    {
+        if (!root_)
+            return;
+        SimAddr prev_end = 0;
+        bool first = true;
+        for (const auto &r : collect()) {
+            upr_assert_msg(first || r.start >= prev_end,
+                           "ranges overlap or out of order");
+            prev_end = r.start + r.size;
+            first = false;
+        }
+        checkNode(*root_, true);
+    }
+
+  private:
+    struct Node
+    {
+        explicit Node(bool is_leaf) : leaf(is_leaf) {}
+
+        bool leaf;
+        // Leaf payload:
+        std::vector<RangeRecord> records;
+        // Interior payload:
+        std::vector<SimAddr> keys;
+        std::vector<std::unique_ptr<Node>> children;
+    };
+
+    struct SplitResult
+    {
+        bool happened = false;
+        SimAddr separator = 0;
+        std::unique_ptr<Node> right;
+    };
+
+    SplitResult
+    insertInto(Node &node, const RangeRecord &rec)
+    {
+        if (node.leaf) {
+            auto it = node.records.begin();
+            while (it != node.records.end() && it->start < rec.start)
+                ++it;
+            node.records.insert(it, rec);
+            return maybeSplitLeaf(node);
+        }
+        std::size_t i = 0;
+        while (i < node.keys.size() && rec.start >= node.keys[i])
+            ++i;
+        SplitResult child_split = insertInto(*node.children[i], rec);
+        if (child_split.happened) {
+            node.keys.insert(node.keys.begin() + i,
+                             child_split.separator);
+            node.children.insert(node.children.begin() + i + 1,
+                                 std::move(child_split.right));
+        }
+        return maybeSplitInterior(node);
+    }
+
+    SplitResult
+    maybeSplitLeaf(Node &node)
+    {
+        SplitResult res;
+        if (node.records.size() <= kMaxKeys)
+            return res;
+        const std::size_t mid = node.records.size() / 2;
+        res.happened = true;
+        res.right = std::make_unique<Node>(true);
+        res.right->records.assign(node.records.begin() + mid,
+                                  node.records.end());
+        node.records.resize(mid);
+        res.separator = res.right->records.front().start;
+        return res;
+    }
+
+    SplitResult
+    maybeSplitInterior(Node &node)
+    {
+        SplitResult res;
+        if (node.keys.size() <= kMaxKeys)
+            return res;
+        const std::size_t mid = node.keys.size() / 2;
+        res.happened = true;
+        res.separator = node.keys[mid];
+        res.right = std::make_unique<Node>(false);
+        res.right->keys.assign(node.keys.begin() + mid + 1,
+                               node.keys.end());
+        for (std::size_t i = mid + 1; i < node.children.size(); ++i)
+            res.right->children.push_back(std::move(node.children[i]));
+        node.keys.resize(mid);
+        node.children.resize(mid + 1);
+        return res;
+    }
+
+    void
+    collectFrom(const Node *node, std::vector<RangeRecord> &out) const
+    {
+        if (!node)
+            return;
+        if (node->leaf) {
+            out.insert(out.end(), node->records.begin(),
+                       node->records.end());
+            return;
+        }
+        for (const auto &c : node->children)
+            collectFrom(c.get(), out);
+    }
+
+    void
+    checkNode(const Node &node, bool is_root) const
+    {
+        if (node.leaf) {
+            upr_assert(is_root || !node.records.empty());
+            upr_assert(node.records.size() <= kMaxKeys);
+            return;
+        }
+        upr_assert(node.children.size() == node.keys.size() + 1);
+        upr_assert(node.keys.size() <= kMaxKeys);
+        for (std::size_t i = 0; i + 1 < node.keys.size(); ++i)
+            upr_assert(node.keys[i] < node.keys[i + 1]);
+        for (const auto &c : node.children)
+            checkNode(*c, false);
+    }
+
+    std::unique_ptr<Node> root_;
+    std::size_t count_ = 0;
+};
+
+} // namespace upr
+
+#endif // UPR_ARCH_RANGE_TABLE_HH

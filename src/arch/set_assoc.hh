@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Generic set-associative array with true-LRU replacement, shared by
+ * the cache, TLB, POLB, and VALB models.
+ *
+ * A lookup is by Tag (whatever uniquely identifies a block/page/entry
+ * after the set index is removed); each entry can carry a small
+ * payload for structures that translate (POLB stores a base address).
+ */
+
+#ifndef UPR_ARCH_SET_ASSOC_HH
+#define UPR_ARCH_SET_ASSOC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace upr
+{
+
+/**
+ * @tparam Tag lookup key within a set
+ * @tparam Payload per-entry data (use a tiny struct or std::monostate)
+ */
+template <typename Tag, typename Payload>
+class SetAssocArray
+{
+  public:
+    /**
+     * @param sets number of sets (power of two)
+     * @param ways associativity
+     */
+    SetAssocArray(std::uint32_t sets, std::uint32_t ways)
+        : sets_(sets), ways_(ways), entries_(sets * ways)
+    {
+        // Non-power-of-two set counts are allowed (e.g. the 384-set
+        // L2 TLB); callers index with modulo in that case.
+        upr_assert(sets >= 1);
+        upr_assert(ways >= 1);
+    }
+
+    /** Number of sets. */
+    std::uint32_t sets() const { return sets_; }
+    /** Associativity. */
+    std::uint32_t ways() const { return ways_; }
+
+    /**
+     * Look up @p tag in set @p set_index; updates LRU on hit.
+     * @return payload pointer on hit, nullptr on miss
+     */
+    Payload *
+    lookup(std::uint32_t set_index, Tag tag)
+    {
+        Entry *e = findEntry(set_index, tag);
+        if (!e)
+            return nullptr;
+        e->lastUse = ++clock_;
+        return &e->payload;
+    }
+
+    /** Lookup without LRU update (for inspection in tests). */
+    const Payload *
+    peek(std::uint32_t set_index, Tag tag) const
+    {
+        const Entry *e =
+            const_cast<SetAssocArray *>(this)->findEntry(set_index, tag);
+        return e ? &e->payload : nullptr;
+    }
+
+    /**
+     * Insert @p tag with @p payload into set @p set_index, evicting
+     * the LRU way if the set is full.
+     *
+     * @param evicted_out if non-null, receives the evicted payload
+     * @return true if a valid entry was evicted
+     */
+    bool
+    insert(std::uint32_t set_index, Tag tag, Payload payload,
+           Payload *evicted_out = nullptr)
+    {
+        upr_assert(set_index < sets_);
+        Entry *victim = nullptr;
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            Entry &e = at(set_index, w);
+            if (!e.valid) {
+                victim = &e;
+                break;
+            }
+            if (!victim || e.lastUse < victim->lastUse)
+                victim = &e;
+        }
+        const bool evicted = victim->valid;
+        if (evicted && evicted_out)
+            *evicted_out = victim->payload;
+        victim->valid = true;
+        victim->tag = tag;
+        victim->payload = payload;
+        victim->lastUse = ++clock_;
+        return evicted;
+    }
+
+    /** Invalidate a single entry if present. */
+    void
+    invalidate(std::uint32_t set_index, Tag tag)
+    {
+        if (Entry *e = findEntry(set_index, tag))
+            e->valid = false;
+    }
+
+    /** Invalidate everything (epoch change / shootdown). */
+    void
+    invalidateAll()
+    {
+        for (auto &e : entries_)
+            e.valid = false;
+    }
+
+    /** Visit every valid entry: cb(set, tag, payload). */
+    template <typename Cb>
+    void
+    forEachValid(Cb &&cb) const
+    {
+        for (std::uint32_t s = 0; s < sets_; ++s) {
+            for (std::uint32_t w = 0; w < ways_; ++w) {
+                const Entry &e = entryAt(s, w);
+                if (e.valid)
+                    cb(s, e.tag, e.payload);
+            }
+        }
+    }
+
+    /** Count of valid entries. */
+    std::uint32_t
+    validCount() const
+    {
+        std::uint32_t n = 0;
+        for (const auto &e : entries_)
+            n += e.valid ? 1 : 0;
+        return n;
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        Tag tag{};
+        Payload payload{};
+        std::uint64_t lastUse = 0;
+    };
+
+    Entry &at(std::uint32_t s, std::uint32_t w)
+    {
+        return entries_[s * ways_ + w];
+    }
+
+    const Entry &entryAt(std::uint32_t s, std::uint32_t w) const
+    {
+        return entries_[s * ways_ + w];
+    }
+
+    Entry *
+    findEntry(std::uint32_t set_index, Tag tag)
+    {
+        upr_assert(set_index < sets_);
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            Entry &e = at(set_index, w);
+            if (e.valid && e.tag == tag)
+                return &e;
+        }
+        return nullptr;
+    }
+
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    std::vector<Entry> entries_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace upr
+
+#endif // UPR_ARCH_SET_ASSOC_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * VALB — Virtual Address Lookaside Buffer (paper Sec V-A): the new
+ * structure this paper adds to the MMU. It translates a virtual
+ * address to the pool ID of the attached pool containing it, in two
+ * steps: retrieve the PMO ID for the VA (TCAM-style longest-prefix /
+ * range match over 32 entries), then concatenate the ID with the
+ * VA's offset portion. Misses invoke the Virtual Address Walker (VAW)
+ * over the kernel VATB, a B-tree range table (arch/range_table.hh),
+ * which is kept in sync with the PoolManager's attach epoch.
+ *
+ * Entry format per the paper: PMO start address (64 b), PMO size
+ * (32 b), PMO ID (32 b) — 12 bytes of tag+payload, 32 entries.
+ */
+
+#ifndef UPR_ARCH_VALB_HH
+#define UPR_ARCH_VALB_HH
+
+#include <cstdio>
+#include <vector>
+
+#include "arch/params.hh"
+#include "arch/range_table.hh"
+#include "common/stats.hh"
+#include "nvm/pool_manager.hh"
+
+namespace upr
+{
+
+/** Result of a VA -> (pool, offset) hardware translation. */
+struct Va2RaResult
+{
+    PoolId id;
+    PoolOffset offset;
+    Cycles latency;
+    bool hit;
+};
+
+/** VA -> pool-ID range-matching lookaside buffer with VAW backing. */
+class Valb
+{
+  public:
+    Valb(const MachineParams &params, const PoolManager &manager)
+        : params_(params), manager_(manager),
+          entries_(params.valbEntries), stats_("valb")
+    {
+        stats_.registerCounter("accesses", accesses_, "VALB lookups");
+        stats_.registerCounter("hits", hits_, "VALB hits");
+        stats_.registerCounter("walks", walks_, "VAW walks on miss");
+    }
+
+    /**
+     * Translate a virtual address inside an attached pool to its
+     * relative (pool, offset) form.
+     * @throws Fault{UnmappedAccess} if no attached pool contains @p va
+     */
+    Va2RaResult
+    va2ra(SimAddr va)
+    {
+        syncEpoch();
+        ++accesses_;
+
+        // TCAM-style parallel range match over all entries.
+        for (auto &e : entries_) {
+            if (e.valid && va >= e.start && va < e.start + e.size) {
+                e.lastUse = ++clock_;
+                ++hits_;
+                return {e.id, static_cast<PoolOffset>(va - e.start),
+                        params_.valbHitLatency, true};
+            }
+        }
+
+        // Miss: VAW walks the VATB B-tree range table.
+        ++walks_;
+        const auto rec = vatb_.lookup(va);
+        if (!rec) {
+            char buf[48];
+            std::snprintf(buf, sizeof(buf),
+                          "va 0x%llx in no attached pool",
+                          (unsigned long long)va);
+            throw Fault(FaultKind::UnmappedAccess, buf);
+        }
+        fill(*rec);
+        return {rec->id, static_cast<PoolOffset>(va - rec->start),
+                params_.valbHitLatency + params_.vawLatency, false};
+    }
+
+    /** Drop all entries. */
+    void
+    invalidateAll()
+    {
+        for (auto &e : entries_)
+            e.valid = false;
+    }
+
+    /** Zero the counters (entries stay warm). */
+    void resetStats() { stats_.resetAll(); }
+
+    /** The backing VATB (exposed for tests/benches). */
+    const RangeTable &vatb() const { return vatb_; }
+
+    const StatGroup &stats() const { return stats_; }
+    std::uint64_t accesses() const { return accesses_.value(); }
+    std::uint64_t walkCount() const { return walks_.value(); }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        SimAddr start = 0;      //!< PMO start address (64 bits)
+        std::uint32_t size32 = 0;
+        PoolId id = 0;          //!< PMO ID (32 bits)
+        Bytes size = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    void
+    syncEpoch()
+    {
+        if (epoch_ != manager_.epoch()) {
+            invalidateAll();
+            std::vector<RangeRecord> records;
+            for (const auto &r : manager_.attachedRanges())
+                records.push_back({r.base, r.size, r.id});
+            vatb_.rebuild(records);
+            epoch_ = manager_.epoch();
+        }
+    }
+
+    void
+    fill(const RangeRecord &rec)
+    {
+        Entry *victim = nullptr;
+        for (auto &e : entries_) {
+            if (!e.valid) {
+                victim = &e;
+                break;
+            }
+            if (!victim || e.lastUse < victim->lastUse)
+                victim = &e;
+        }
+        victim->valid = true;
+        victim->start = rec.start;
+        victim->size = rec.size;
+        victim->size32 = static_cast<std::uint32_t>(rec.size);
+        victim->id = rec.id;
+        victim->lastUse = ++clock_;
+    }
+
+    const MachineParams &params_;
+    const PoolManager &manager_;
+    std::vector<Entry> entries_;
+    RangeTable vatb_;
+    std::uint64_t epoch_ = ~0ULL;
+    std::uint64_t clock_ = 0;
+
+    StatGroup stats_;
+    Counter accesses_;
+    Counter hits_;
+    Counter walks_;
+};
+
+} // namespace upr
+
+#endif // UPR_ARCH_VALB_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the pointer representation and the
+ * cache/TLB models.
+ */
+
+#ifndef UPR_COMMON_BITS_HH
+#define UPR_COMMON_BITS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "types.hh"
+
+namespace upr
+{
+
+/** Extract bit @p pos (0 = LSB) of @p value. */
+constexpr bool
+bit(std::uint64_t value, unsigned pos)
+{
+    return (value >> pos) & 1ULL;
+}
+
+/** Return @p value with bit @p pos set to @p on. */
+constexpr std::uint64_t
+setBit(std::uint64_t value, unsigned pos, bool on)
+{
+    const std::uint64_t mask = 1ULL << pos;
+    return on ? (value | mask) : (value & ~mask);
+}
+
+/**
+ * Extract the bit field [@p hi : @p lo] (inclusive) of @p value,
+ * right-justified.
+ */
+constexpr std::uint64_t
+bitsOf(std::uint64_t value, unsigned hi, unsigned lo)
+{
+    const unsigned width = hi - lo + 1;
+    const std::uint64_t mask =
+        width >= 64 ? ~0ULL : ((1ULL << width) - 1ULL);
+    return (value >> lo) & mask;
+}
+
+/** Insert @p field into bits [@p hi : @p lo] of @p value. */
+constexpr std::uint64_t
+insertBits(std::uint64_t value, unsigned hi, unsigned lo,
+           std::uint64_t field)
+{
+    const unsigned width = hi - lo + 1;
+    const std::uint64_t mask =
+        width >= 64 ? ~0ULL : ((1ULL << width) - 1ULL);
+    return (value & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** True if @p value is a power of two (and non-zero). */
+constexpr bool
+isPow2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** log2 of a power-of-two value. */
+constexpr unsigned
+log2i(std::uint64_t value)
+{
+    return static_cast<unsigned>(std::bit_width(value) - 1);
+}
+
+/** Round @p value up to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+roundUp(std::uint64_t value, std::uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Round @p value down to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+roundDown(std::uint64_t value, std::uint64_t align)
+{
+    return value & ~(align - 1);
+}
+
+} // namespace upr
+
+#endif // UPR_COMMON_BITS_HH

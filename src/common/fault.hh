@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Typed faults raised by the simulated machine and the UPR runtime.
+ *
+ * Faults model the hardware/OS error conditions in the paper: the
+ * storeP fault cases of Table I, the detached-pool fault of Fig 10,
+ * and the usual unmapped-access and allocation failures.
+ */
+
+#ifndef UPR_COMMON_FAULT_HH
+#define UPR_COMMON_FAULT_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace upr
+{
+
+/** Enumerates every fault the simulated system can raise. */
+enum class FaultKind
+{
+    /** Access to a virtual address with no mapping. */
+    UnmappedAccess,
+    /** ra2va on a pool that is not currently attached (Fig 10). */
+    PoolDetached,
+    /** A relative address names a pool ID that never existed. */
+    BadRelativeAddress,
+    /** An offset past the end of its pool. */
+    OffsetOutOfPool,
+    /** storeP misuse per Table I (e.g. unconverted VA into NVM). */
+    StorePFault,
+    /** Persistent allocation failed: pool exhausted. */
+    PoolFull,
+    /** Volatile allocation failed: heap exhausted. */
+    HeapFull,
+    /** Inconsistent configuration or API misuse by the embedder. */
+    BadUsage,
+};
+
+/** Human-readable name of a fault kind. */
+const char *faultKindName(FaultKind kind);
+
+/** Exception carrying a fault kind plus context text. */
+class Fault : public std::runtime_error
+{
+  public:
+    Fault(FaultKind kind, const std::string &what)
+        : std::runtime_error(std::string(faultKindName(kind)) + ": " +
+                             what),
+          kind_(kind)
+    {}
+
+    /** Which fault this is. */
+    FaultKind kind() const { return kind_; }
+
+  private:
+    FaultKind kind_;
+};
+
+inline const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::UnmappedAccess:     return "unmapped-access";
+      case FaultKind::PoolDetached:       return "pool-detached";
+      case FaultKind::BadRelativeAddress: return "bad-relative-address";
+      case FaultKind::OffsetOutOfPool:    return "offset-out-of-pool";
+      case FaultKind::StorePFault:        return "storep-fault";
+      case FaultKind::PoolFull:           return "pool-full";
+      case FaultKind::HeapFull:           return "heap-full";
+      case FaultKind::BadUsage:           return "bad-usage";
+    }
+    return "unknown-fault";
+}
+
+} // namespace upr
+
+#endif // UPR_COMMON_FAULT_HH

@@ -1,0 +1,103 @@
+#include "logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace upr
+{
+
+namespace
+{
+
+std::atomic<LogSink> gSink{nullptr};
+std::atomic<std::uint64_t> gWarnCount{0};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+void
+defaultSink(LogLevel level, const std::string &message)
+{
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), message.c_str());
+}
+
+std::string
+vformat(const char *fmt, std::va_list ap)
+{
+    std::va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, ap2);
+    va_end(ap2);
+    if (n <= 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<std::size_t>(n));
+}
+
+void
+dispatch(LogLevel level, const std::string &message)
+{
+    if (level == LogLevel::Warn)
+        gWarnCount.fetch_add(1, std::memory_order_relaxed);
+    LogSink sink = gSink.load(std::memory_order_acquire);
+    (sink ? sink : defaultSink)(level, message);
+}
+
+} // namespace
+
+void
+setLogSink(LogSink sink)
+{
+    gSink.store(sink, std::memory_order_release);
+}
+
+std::uint64_t
+warnCount()
+{
+    return gWarnCount.load(std::memory_order_relaxed);
+}
+
+namespace detail
+{
+
+void
+logf(LogLevel level, const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    dispatch(level, vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+failf(LogLevel level, const char *file, int line, const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string body = vformat(fmt, ap);
+    va_end(ap);
+
+    char loc[512];
+    std::snprintf(loc, sizeof(loc), "%s (%s:%d)", body.c_str(), file, line);
+    dispatch(level, loc);
+
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace upr

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  - an internal invariant was violated (a uprlib bug); aborts.
+ * fatal()  - the user asked for something impossible (bad config); exits.
+ * warn()   - something works, but not as well as it should.
+ * inform() - neutral status messages.
+ *
+ * All take printf-like format strings via std::format-free variadic
+ * helpers so the library has no iostream dependence on hot paths.
+ */
+
+#ifndef UPR_COMMON_LOGGING_HH
+#define UPR_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace upr
+{
+
+/** Severity of a log message. */
+enum class LogLevel
+{
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+/**
+ * Sink invoked for every log message; replaceable for tests.
+ *
+ * @param level severity of the message
+ * @param message fully formatted message text
+ */
+using LogSink = void (*)(LogLevel level, const std::string &message);
+
+/** Install a custom log sink; passing nullptr restores the default. */
+void setLogSink(LogSink sink);
+
+/** Number of warnings emitted since process start (for tests). */
+std::uint64_t warnCount();
+
+namespace detail
+{
+/** Format and dispatch a message; Fatal exits, Panic aborts. */
+[[gnu::format(printf, 2, 3)]]
+void logf(LogLevel level, const char *fmt, ...);
+
+[[noreturn, gnu::format(printf, 4, 5)]]
+void failf(LogLevel level, const char *file, int line,
+           const char *fmt, ...);
+} // namespace detail
+
+} // namespace upr
+
+/** Report an internal invariant violation and abort. */
+#define upr_panic(...) \
+    ::upr::detail::failf(::upr::LogLevel::Panic, __FILE__, __LINE__, \
+                         __VA_ARGS__)
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+#define upr_fatal(...) \
+    ::upr::detail::failf(::upr::LogLevel::Fatal, __FILE__, __LINE__, \
+                         __VA_ARGS__)
+
+/** Report a suspicious-but-survivable condition. */
+#define upr_warn(...) \
+    ::upr::detail::logf(::upr::LogLevel::Warn, __VA_ARGS__)
+
+/** Report neutral status. */
+#define upr_inform(...) \
+    ::upr::detail::logf(::upr::LogLevel::Inform, __VA_ARGS__)
+
+/** Assert an internal invariant; compiled in all build types. */
+#define upr_assert(cond) \
+    do { \
+        if (!(cond)) { \
+            upr_panic("assertion '%s' failed", #cond); \
+        } \
+    } while (0)
+
+/** Assert an internal invariant with an explanatory printf message. */
+#define upr_assert_msg(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            upr_panic(__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // UPR_COMMON_LOGGING_HH

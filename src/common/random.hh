@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * All workload generators in uprlib derive their randomness from this
+ * class so experiments are exactly reproducible from a seed.
+ */
+
+#ifndef UPR_COMMON_RANDOM_HH
+#define UPR_COMMON_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace upr
+{
+
+/**
+ * xoshiro256** 1.0 generator (Blackman & Vigna), seeded through
+ * splitmix64 so any 64-bit seed gives a well-mixed state.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // splitmix64 expansion of the seed into the 256-bit state.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        upr_assert(bound != 0);
+        // Rejection sampling to remove modulo bias.
+        const std::uint64_t threshold = (-bound) % bound;
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Standard-normal sample via Box-Muller (one value per call). */
+    double
+    nextGaussian()
+    {
+        if (haveSpare_) {
+            haveSpare_ = false;
+            return spare_;
+        }
+        double u1;
+        do {
+            u1 = nextDouble();
+        } while (u1 <= 1e-300);
+        const double u2 = nextDouble();
+        const double mag = std::sqrt(-2.0 * std::log(u1));
+        const double twoPi = 6.283185307179586;
+        spare_ = mag * std::sin(twoPi * u2);
+        haveSpare_ = true;
+        return mag * std::cos(twoPi * u2);
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+    double spare_ = 0.0;
+    bool haveSpare_ = false;
+};
+
+} // namespace upr
+
+#endif // UPR_COMMON_RANDOM_HH

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Lightweight named statistics: scalar counters and formulas grouped
+ * into StatGroup objects, with text dumping for bench output.
+ *
+ * This is a deliberately small cousin of gem5's stats package: every
+ * simulator component owns a StatGroup; benches dump or query them.
+ */
+
+#ifndef UPR_COMMON_STATS_HH
+#define UPR_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "logging.hh"
+
+namespace upr
+{
+
+/** A single monotonically increasing scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Add @p n to the counter. */
+    void add(std::uint64_t n = 1) { value_ += n; }
+
+    /** Subtract @p n (for gauge-style counters such as bytes-in-use). */
+    void sub(std::uint64_t n) { value_ -= n; }
+
+    /** Current value. */
+    std::uint64_t value() const { return value_; }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A named collection of counters. Components register their counters
+ * once; benches iterate/dump them.
+ */
+class StatGroup
+{
+  public:
+    /** @param name dotted path prefix used when dumping, e.g. "l1d". */
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /**
+     * Register a counter under @p stat_name with a description.
+     * The counter object must outlive the group (typically both are
+     * members of the same component).
+     */
+    void
+    registerCounter(const std::string &stat_name, Counter &counter,
+                    const std::string &description)
+    {
+        auto [it, inserted] =
+            counters_.emplace(stat_name, Entry{&counter, description});
+        (void)it;
+        upr_assert_msg(inserted, "duplicate stat '%s' in group '%s'",
+                       stat_name.c_str(), name_.c_str());
+    }
+
+    /** Look up a counter's current value; panics if absent. */
+    std::uint64_t
+    lookup(const std::string &stat_name) const
+    {
+        auto it = counters_.find(stat_name);
+        upr_assert_msg(it != counters_.end(), "no stat '%s' in group '%s'",
+                       stat_name.c_str(), name_.c_str());
+        return it->second.counter->value();
+    }
+
+    /** Reset every counter in the group. */
+    void
+    resetAll()
+    {
+        for (auto &kv : counters_)
+            kv.second.counter->reset();
+    }
+
+    /** Dump all counters as "group.stat value  # description" lines. */
+    void
+    dump(std::ostream &os) const
+    {
+        for (const auto &kv : counters_) {
+            os << name_ << '.' << kv.first << ' '
+               << kv.second.counter->value()
+               << "  # " << kv.second.description << '\n';
+        }
+    }
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct Entry
+    {
+        Counter *counter;
+        std::string description;
+    };
+
+    std::string name_;
+    std::map<std::string, Entry> counters_;
+};
+
+} // namespace upr
+
+#endif // UPR_COMMON_STATS_HH

@@ -1,0 +1,197 @@
+#include "compiler/check_insertion.hh"
+
+#include <set>
+#include <sstream>
+
+namespace upr
+{
+
+using namespace ir;
+
+namespace
+{
+
+/** Kind of a register under the plan (Unknown when no inference). */
+PtrKind
+kindOf(const InferenceResult *inf, const Function &fn, ValueId v)
+{
+    if (!inf)
+        return PtrKind::Unknown;
+    const PtrKind k = inf->kindOf(fn, v);
+    // NoInfo means the value never received a kind (dead code or an
+    // uninitialized path); treat conservatively as Unknown.
+    return k == PtrKind::NoInfo ? PtrKind::Unknown : k;
+}
+
+/** Per-block set of values whose form is already checked. */
+using CheckedSet = std::set<ir::ValueId>;
+
+/** Annotate one "pointer used as an address" site. */
+void
+planAddress(CheckPlan &cp, InstPlan &plan, PtrKind k,
+            CheckedSet *checked, ir::ValueId v)
+{
+    ++cp.totalSites;
+    if (isStaticKind(k)) {
+        plan.addrStaticConvert = (k == PtrKind::Ra);
+        return;
+    }
+    if (checked && checked->count(v)) {
+        plan.addrRefined = true;
+        ++cp.refinedSites;
+        return;
+    }
+    plan.addrDynamic = true;
+    ++cp.remainingSites;
+    if (checked)
+        checked->insert(v);
+}
+
+/** Annotate one "pointer value in a comparison/cast" site. */
+void
+planOperand(CheckPlan &cp, bool &dynamic_flag, PtrKind k)
+{
+    ++cp.totalSites;
+    if (!isStaticKind(k)) {
+        dynamic_flag = true;
+        ++cp.remainingSites;
+    }
+}
+
+} // namespace
+
+CheckPlan
+insertChecks(const Module &mod, const InferenceResult *inference,
+             bool flow_refine)
+{
+    CheckPlan cp;
+
+    for (const auto &fptr : mod.functions) {
+        const Function &fn = *fptr;
+        FunctionPlan fp;
+        fp.perBlock.resize(fn.blocks.size());
+
+        for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+            CheckedSet checked;
+            CheckedSet *cset = flow_refine ? &checked : nullptr;
+            for (const Inst &in : fn.blocks[b].insts) {
+                InstPlan plan;
+                switch (in.op) {
+                  case Op::Load:
+                    planAddress(cp, plan,
+                                kindOf(inference, fn, in.operands[0]),
+                                cset, in.operands[0]);
+                    break;
+                  case Op::Store:
+                    planAddress(cp, plan,
+                                kindOf(inference, fn, in.operands[1]),
+                                cset, in.operands[1]);
+                    break;
+                  case Op::StoreP: {
+                    // Address check.
+                    planAddress(cp, plan,
+                                kindOf(inference, fn, in.operands[1]),
+                                cset, in.operands[1]);
+                    // determineX on the destination medium.
+                    const PtrKind dk =
+                        kindOf(inference, fn, in.operands[1]);
+                    ++cp.totalSites;
+                    if (!isStaticKind(dk)) {
+                        plan.destDynamic = true;
+                        ++cp.remainingSites;
+                    }
+                    // determineY on the stored pointer value.
+                    const PtrKind vk =
+                        kindOf(inference, fn, in.operands[0]);
+                    ++cp.totalSites;
+                    if (!isStaticKind(vk)) {
+                        plan.valueDynamic = true;
+                        ++cp.remainingSites;
+                    }
+                    break;
+                  }
+                  case Op::Eq:
+                  case Op::Lt:
+                    // Pointer comparisons check both sides (Fig 9).
+                    if (fn.valueTypes[in.operands[0]] == Type::Ptr) {
+                        planOperand(cp, plan.cmp0Dynamic,
+                                    kindOf(inference, fn,
+                                           in.operands[0]));
+                    }
+                    if (fn.valueTypes[in.operands[1]] == Type::Ptr) {
+                        planOperand(cp, plan.cmp1Dynamic,
+                                    kindOf(inference, fn,
+                                           in.operands[1]));
+                    }
+                    break;
+                  case Op::PtrToInt:
+                    planOperand(cp, plan.cmp0Dynamic,
+                                kindOf(inference, fn, in.operands[0]));
+                    break;
+                  case Op::Free:
+                  case Op::Pfree:
+                    planAddress(cp, plan,
+                                kindOf(inference, fn, in.operands[0]),
+                                cset, in.operands[0]);
+                    break;
+                  default:
+                    break;
+                }
+                fp.perBlock[b].push_back(plan);
+            }
+        }
+        cp.perFunction.emplace(fn.name, std::move(fp));
+    }
+    return cp;
+}
+
+std::string
+printAnnotated(const Module &mod, const CheckPlan &plan)
+{
+    std::ostringstream os;
+    for (const auto &fptr : mod.functions) {
+        const Function &fn = *fptr;
+        const FunctionPlan &fp = plan.perFunction.at(fn.name);
+        // Reuse the plain printer line by line, appending markers.
+        std::istringstream lines(print(fn));
+        std::string line;
+        BlockId b = kNoBlock;
+        std::size_t i = 0;
+        while (std::getline(lines, line)) {
+            os << line;
+            const bool is_label = !line.empty() &&
+                                  line.back() == ':' &&
+                                  line.rfind("  ", 0) != 0;
+            if (is_label) {
+                b = fn.blockByName(line.substr(0, line.size() - 1));
+                i = 0;
+            } else if (line.rfind("  ", 0) == 0 && b != kNoBlock &&
+                       i < fp.perBlock[b].size()) {
+                const InstPlan &ip = fp.at(b, i);
+                std::string mark;
+                if (ip.addrDynamic)
+                    mark += " [checkY addr]";
+                if (ip.addrRefined)
+                    mark += " [refined addr]";
+                if (ip.addrStaticConvert)
+                    mark += " [ra2va addr]";
+                if (ip.destDynamic)
+                    mark += " [checkX dest]";
+                if (ip.valueDynamic)
+                    mark += " [checkY val]";
+                if (ip.cmp0Dynamic)
+                    mark += " [checkY op0]";
+                if (ip.cmp1Dynamic)
+                    mark += " [checkY op1]";
+                if (!mark.empty())
+                    os << "   ;" << mark;
+                ++i;
+            }
+            os << '\n';
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace upr

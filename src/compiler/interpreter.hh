@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Mini-IR interpreter: runs compiled-with-checks programs against a
+ * UPR Runtime. This is our stand-in for executing the LLVM test-suite
+ * under the SW version (paper Sec VII-B): the interpreter performs
+ * dynamic checks exactly where the CheckPlan left them and statically
+ * planted conversions elsewhere, so outputs can be compared against a
+ * no-NVM (Volatile) execution of the same program.
+ */
+
+#ifndef UPR_COMPILER_INTERPRETER_HH
+#define UPR_COMPILER_INTERPRETER_HH
+
+#include "compiler/check_insertion.hh"
+#include "compiler/ir.hh"
+#include "core/runtime.hh"
+
+namespace upr
+{
+
+/** Executes mini-IR modules. */
+class Interpreter
+{
+  public:
+    struct Config
+    {
+        /** Pool pmalloc allocates from. */
+        PoolId pool = 0;
+        /** Instruction budget (runaway-loop guard). */
+        std::uint64_t fuel = 50'000'000;
+        /** Call-depth limit. */
+        std::uint32_t maxDepth = 256;
+    };
+
+    /**
+     * @param rt runtime supplying memory, timing, and semantics
+     * @param mod the module to execute (must outlive the interpreter)
+     * @param plan check plan from insertChecks (must outlive this)
+     */
+    Interpreter(Runtime &rt, const ir::Module &mod,
+                const CheckPlan &plan, Config config);
+
+    /**
+     * Call @p name with integer/pointer arguments.
+     * @return the function's return value (0 for void)
+     */
+    std::uint64_t call(const std::string &name,
+                       const std::vector<std::uint64_t> &args = {});
+
+    /** Instructions executed so far. */
+    std::uint64_t instructionCount() const { return instCount_; }
+
+    /** Dynamic checks executed by plan-directed sites. */
+    std::uint64_t dynamicCheckCount() const { return dynChecks_; }
+
+  private:
+    struct Frame
+    {
+        const ir::Function *fn;
+        std::vector<std::uint64_t> regs;
+        std::vector<SimAddr> allocas;
+    };
+
+    std::uint64_t exec(Frame &frame, std::uint32_t depth);
+
+    /**
+     * Resolve a pointer value to a VA per the plan annotation:
+     * dynamic check, static conversion, or passthrough.
+     */
+    SimAddr resolveAddr(std::uint64_t bits, bool dynamic,
+                        bool static_convert, bool refined,
+                        std::uint64_t site);
+
+    /** storeP with plan-directed checks. */
+    void execStoreP(std::uint64_t value_bits, SimAddr dest_va,
+                    const InstPlan &plan, std::uint64_t site);
+
+    /** Normalize one comparison operand. */
+    std::uint64_t cmpOperand(std::uint64_t bits, bool dynamic,
+                             std::uint64_t site);
+
+    void burnFuel();
+
+    Runtime &rt_;
+    const ir::Module &mod_;
+    const CheckPlan &plan_;
+    Config config_;
+
+    std::uint64_t instCount_ = 0;
+    std::uint64_t dynChecks_ = 0;
+    std::uint64_t fuelLeft_;
+};
+
+} // namespace upr
+
+#endif // UPR_COMPILER_INTERPRETER_HH

@@ -1,0 +1,242 @@
+#include "compiler/ir.hh"
+
+#include <sstream>
+
+namespace upr::ir
+{
+
+const char *
+typeName(Type t)
+{
+    switch (t) {
+      case Type::I64:  return "i64";
+      case Type::Ptr:  return "ptr";
+      case Type::Void: return "void";
+    }
+    return "?";
+}
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Const:    return "const";
+      case Op::Alloca:   return "alloca";
+      case Op::Malloc:   return "malloc";
+      case Op::Pmalloc:  return "pmalloc";
+      case Op::Free:     return "free";
+      case Op::Pfree:    return "pfree";
+      case Op::Load:     return "load";
+      case Op::Store:    return "store";
+      case Op::StoreP:   return "storep";
+      case Op::Gep:      return "gep";
+      case Op::PtrToInt: return "ptrtoint";
+      case Op::IntToPtr: return "inttoptr";
+      case Op::Eq:       return "eq";
+      case Op::Lt:       return "lt";
+      case Op::Add:      return "add";
+      case Op::Sub:      return "sub";
+      case Op::Mul:      return "mul";
+      case Op::Br:       return "br";
+      case Op::Jmp:      return "jmp";
+      case Op::Phi:      return "phi";
+      case Op::Call:     return "call";
+      case Op::Ret:      return "ret";
+    }
+    return "?";
+}
+
+namespace
+{
+
+bool
+isTerminator(Op op)
+{
+    return op == Op::Br || op == Op::Jmp || op == Op::Ret;
+}
+
+} // namespace
+
+void
+validate(const Function &fn)
+{
+    upr_assert_msg(!fn.blocks.empty(), "@%s has no blocks",
+                   fn.name.c_str());
+    for (const Block &b : fn.blocks) {
+        upr_assert_msg(!b.insts.empty(),
+                       "@%s block '%s' is empty", fn.name.c_str(),
+                       b.name.c_str());
+        for (std::size_t i = 0; i < b.insts.size(); ++i) {
+            const Inst &in = b.insts[i];
+            const bool last = (i + 1 == b.insts.size());
+            upr_assert_msg(isTerminator(in.op) == last,
+                           "@%s '%s': terminator placement wrong",
+                           fn.name.c_str(), b.name.c_str());
+            for (ValueId v : in.operands) {
+                upr_assert_msg(v < fn.numValues(),
+                               "@%s: operand out of range",
+                               fn.name.c_str());
+            }
+            if (in.result != kNoValue) {
+                upr_assert_msg(in.result < fn.numValues(),
+                               "@%s: result out of range",
+                               fn.name.c_str());
+            }
+            if (in.op == Op::Br) {
+                upr_assert(in.target0 < fn.blocks.size());
+                upr_assert(in.target1 < fn.blocks.size());
+                upr_assert(in.operands.size() == 1);
+            }
+            if (in.op == Op::Jmp)
+                upr_assert(in.target0 < fn.blocks.size());
+            if (in.op == Op::Phi) {
+                upr_assert_msg(in.phiBlocks.size() ==
+                               in.operands.size(),
+                               "@%s: phi arity mismatch",
+                               fn.name.c_str());
+                for (BlockId pb : in.phiBlocks)
+                    upr_assert(pb < fn.blocks.size());
+            }
+        }
+    }
+}
+
+void
+validate(const Module &mod)
+{
+    for (const auto &f : mod.functions) {
+        validate(*f);
+        // Calls must resolve and agree in arity.
+        for (const Block &b : f->blocks) {
+            for (const Inst &in : b.insts) {
+                if (in.op != Op::Call)
+                    continue;
+                const Function *callee = mod.find(in.callee);
+                upr_assert_msg(callee != nullptr,
+                               "call to undefined @%s",
+                               in.callee.c_str());
+                upr_assert_msg(callee->paramTypes.size() ==
+                               in.operands.size(),
+                               "call to @%s arity mismatch",
+                               in.callee.c_str());
+            }
+        }
+    }
+}
+
+namespace
+{
+
+std::string
+valueRef(const Function &fn, ValueId v)
+{
+    return "%" + fn.valueNames.at(v);
+}
+
+void
+printInst(std::ostringstream &os, const Function &fn, const Inst &in)
+{
+    os << "  ";
+    if (in.result != kNoValue)
+        os << valueRef(fn, in.result) << " = ";
+    switch (in.op) {
+      case Op::Const:
+        os << "const " << in.imm;
+        break;
+      case Op::Alloca:
+      case Op::Malloc:
+      case Op::Pmalloc:
+        os << opName(in.op) << ' ' << in.imm;
+        break;
+      case Op::Free:
+      case Op::Pfree:
+      case Op::PtrToInt:
+      case Op::IntToPtr:
+        os << opName(in.op) << ' ' << valueRef(fn, in.operands[0]);
+        break;
+      case Op::Load:
+        os << "load." << typeName(in.type) << ' '
+           << valueRef(fn, in.operands[0]);
+        break;
+      case Op::Store:
+      case Op::StoreP:
+        os << opName(in.op) << ' ' << valueRef(fn, in.operands[0])
+           << ", " << valueRef(fn, in.operands[1]);
+        break;
+      case Op::Gep:
+        os << "gep " << valueRef(fn, in.operands[0]) << ", " << in.imm;
+        break;
+      case Op::Eq:
+      case Op::Lt:
+      case Op::Add:
+      case Op::Sub:
+      case Op::Mul:
+        os << opName(in.op) << ' ' << valueRef(fn, in.operands[0])
+           << ", " << valueRef(fn, in.operands[1]);
+        break;
+      case Op::Br:
+        os << "br " << valueRef(fn, in.operands[0]) << ", "
+           << fn.blocks[in.target0].name << ", "
+           << fn.blocks[in.target1].name;
+        break;
+      case Op::Jmp:
+        os << "jmp " << fn.blocks[in.target0].name;
+        break;
+      case Op::Phi:
+        os << "phi." << typeName(in.type);
+        for (std::size_t i = 0; i < in.operands.size(); ++i) {
+            os << (i ? ", [" : " [") << fn.blocks[in.phiBlocks[i]].name
+               << ", " << valueRef(fn, in.operands[i]) << ']';
+        }
+        break;
+      case Op::Call:
+        os << "call @" << in.callee << '(';
+        for (std::size_t i = 0; i < in.operands.size(); ++i)
+            os << (i ? ", " : "") << valueRef(fn, in.operands[i]);
+        os << ')';
+        break;
+      case Op::Ret:
+        os << "ret";
+        if (!in.operands.empty())
+            os << ' ' << valueRef(fn, in.operands[0]);
+        break;
+    }
+    os << '\n';
+}
+
+} // namespace
+
+std::string
+print(const Function &fn)
+{
+    std::ostringstream os;
+    os << "func @" << fn.name << '(';
+    for (std::size_t i = 0; i < fn.paramTypes.size(); ++i) {
+        os << (i ? ", " : "") << valueRef(fn, fn.paramValues[i]) << ": "
+           << typeName(fn.paramTypes[i]);
+    }
+    os << ')';
+    if (fn.returnType != Type::Void)
+        os << " -> " << typeName(fn.returnType);
+    os << " {\n";
+    for (const Block &b : fn.blocks) {
+        os << b.name << ":\n";
+        for (const Inst &in : b.insts)
+            printInst(os, fn, in);
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+print(const Module &mod)
+{
+    std::string out;
+    for (const auto &f : mod.functions) {
+        out += print(*f);
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace upr::ir

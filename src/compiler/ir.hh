@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Mini-IR: the compiler substrate standing in for LLVM (see
+ * DESIGN.md substitutions). A small, typed, SSA-style three-address
+ * IR with exactly the operations the paper's Fig 4 semantics table
+ * covers: loads/stores, pointer stores, pointer arithmetic (gep),
+ * casts, comparisons, calls, branches, and phi nodes.
+ *
+ * The pointer-kind inference pass (type_inference.hh) analyzes this
+ * IR; the check-insertion pass decides where dynamic checks remain;
+ * the interpreter executes it against a UPR Runtime.
+ */
+
+#ifndef UPR_COMPILER_IR_HH
+#define UPR_COMPILER_IR_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace upr::ir
+{
+
+/** Value types: 64-bit integers and pointers. */
+enum class Type : std::uint8_t
+{
+    I64,
+    Ptr,
+    Void,
+};
+
+const char *typeName(Type t);
+
+/** IR opcodes. */
+enum class Op : std::uint8_t
+{
+    Const,    //!< %r = const <imm>
+    Alloca,   //!< %r = alloca <imm bytes>        (stack, DRAM)
+    Malloc,   //!< %r = malloc %size | <imm>      (heap, DRAM)
+    Pmalloc,  //!< %r = pmalloc %size | <imm>     (pool, relative)
+    Free,     //!< free %p
+    Pfree,    //!< pfree %p
+    Load,     //!< %r = load.<ty> %p
+    Store,    //!< store %v, %p                   (storeD)
+    StoreP,   //!< storep %q, %p                  (pointer store)
+    Gep,      //!< %r = gep %p, <imm> | %off      (byte offset)
+    PtrToInt, //!< %r = ptrtoint %p
+    IntToPtr, //!< %r = inttoptr %v
+    Eq,       //!< %r = eq %a, %b                 (int or ptr)
+    Lt,       //!< %r = lt %a, %b
+    Add,      //!< %r = add %a, %b
+    Sub,      //!< %r = sub %a, %b
+    Mul,      //!< %r = mul %a, %b
+    Br,       //!< br %c, <then>, <else>
+    Jmp,      //!< jmp <target>
+    Phi,      //!< %r = phi.<ty> [<block>, %v]...
+    Call,     //!< %r = call @f(%a, ...) | call @f(...)
+    Ret,      //!< ret %v | ret
+};
+
+const char *opName(Op op);
+
+/** A virtual register id within a function (dense, 0-based). */
+using ValueId = std::uint32_t;
+constexpr ValueId kNoValue = ~0U;
+
+/** A basic-block id within a function (dense, 0-based). */
+using BlockId = std::uint32_t;
+constexpr BlockId kNoBlock = ~0U;
+
+/** One instruction. */
+struct Inst
+{
+    Op op;
+    Type type = Type::Void;           //!< result type
+    ValueId result = kNoValue;
+    std::vector<ValueId> operands;    //!< value operands
+    std::int64_t imm = 0;             //!< Const / Alloca / Gep immediate
+    BlockId target0 = kNoBlock;       //!< Br then / Jmp target
+    BlockId target1 = kNoBlock;       //!< Br else
+    std::vector<BlockId> phiBlocks;   //!< Phi incoming blocks
+    std::string callee;               //!< Call target name
+};
+
+/** A basic block: straight-line instructions ending in a terminator. */
+struct Block
+{
+    std::string name;
+    std::vector<Inst> insts;
+};
+
+/** A function: parameters, registers, and blocks. */
+struct Function
+{
+    std::string name;
+    std::vector<Type> paramTypes;
+    std::vector<ValueId> paramValues; //!< register ids of parameters
+    Type returnType = Type::Void;
+
+    std::vector<Block> blocks;
+    /** Type of every register (index = ValueId). */
+    std::vector<Type> valueTypes;
+    /** Debug name of every register. */
+    std::vector<std::string> valueNames;
+
+    /** Number of registers. */
+    std::uint32_t numValues() const
+    {
+        return static_cast<std::uint32_t>(valueTypes.size());
+    }
+
+    /** Look up a block by name; panics if absent. */
+    BlockId
+    blockByName(const std::string &bname) const
+    {
+        for (BlockId b = 0; b < blocks.size(); ++b) {
+            if (blocks[b].name == bname)
+                return b;
+        }
+        upr_panic("no block '%s' in @%s", bname.c_str(), name.c_str());
+    }
+};
+
+/** A module: a set of functions. */
+struct Module
+{
+    std::vector<std::unique_ptr<Function>> functions;
+
+    Function *
+    find(const std::string &fname) const
+    {
+        for (const auto &f : functions) {
+            if (f->name == fname)
+                return f.get();
+        }
+        return nullptr;
+    }
+
+    Function &
+    get(const std::string &fname) const
+    {
+        Function *f = find(fname);
+        upr_assert_msg(f != nullptr, "no function @%s", fname.c_str());
+        return *f;
+    }
+};
+
+/**
+ * Structural validation: operand ids in range, terminators present
+ * and only at block ends, phi shapes consistent, types sensible.
+ * Panics with a diagnostic on the first violation.
+ */
+void validate(const Function &fn);
+void validate(const Module &mod);
+
+/** Pretty-print (round-trips through the parser). */
+std::string print(const Function &fn);
+std::string print(const Module &mod);
+
+} // namespace upr::ir
+
+#endif // UPR_COMPILER_IR_HH

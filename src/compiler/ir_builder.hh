@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Programmatic construction of mini-IR functions, in the style of
+ * llvm::IRBuilder: create blocks, position at one, append typed
+ * instructions, get ValueIds back.
+ */
+
+#ifndef UPR_COMPILER_IR_BUILDER_HH
+#define UPR_COMPILER_IR_BUILDER_HH
+
+#include "compiler/ir.hh"
+
+namespace upr::ir
+{
+
+/** Builder for one function inside a module. */
+class FunctionBuilder
+{
+  public:
+    /**
+     * Start a function.
+     * @param mod module to add the finished function to
+     * @param name function name (no '@')
+     * @param params parameter types
+     * @param ret return type
+     */
+    FunctionBuilder(Module &mod, const std::string &name,
+                    std::vector<Type> params, Type ret)
+        : mod_(mod), fn_(std::make_unique<Function>())
+    {
+        fn_->name = name;
+        fn_->paramTypes = params;
+        fn_->returnType = ret;
+        for (std::size_t i = 0; i < params.size(); ++i) {
+            const ValueId v = newValue(params[i],
+                                       "arg" + std::to_string(i));
+            fn_->paramValues.push_back(v);
+        }
+    }
+
+    /** Parameter register @p i. */
+    ValueId param(std::size_t i) const { return fn_->paramValues.at(i); }
+
+    /** Create a block; the first created block is the entry. */
+    BlockId
+    block(const std::string &name)
+    {
+        fn_->blocks.push_back(Block{name, {}});
+        return static_cast<BlockId>(fn_->blocks.size() - 1);
+    }
+
+    /** Position subsequent instructions at the end of @p b. */
+    void setInsert(BlockId b) { cur_ = b; }
+
+    // --- instructions ------------------------------------------------
+    ValueId
+    constI64(std::int64_t v, const std::string &name = "")
+    {
+        Inst in{};
+        in.op = Op::Const;
+        in.type = Type::I64;
+        in.imm = v;
+        return append(in, name);
+    }
+
+    ValueId
+    alloca64(std::int64_t bytes, const std::string &name = "")
+    {
+        Inst in{};
+        in.op = Op::Alloca;
+        in.type = Type::Ptr;
+        in.imm = bytes;
+        return append(in, name);
+    }
+
+    ValueId
+    malloc64(std::int64_t bytes, const std::string &name = "")
+    {
+        Inst in{};
+        in.op = Op::Malloc;
+        in.type = Type::Ptr;
+        in.imm = bytes;
+        return append(in, name);
+    }
+
+    ValueId
+    pmalloc64(std::int64_t bytes, const std::string &name = "")
+    {
+        Inst in{};
+        in.op = Op::Pmalloc;
+        in.type = Type::Ptr;
+        in.imm = bytes;
+        return append(in, name);
+    }
+
+    void
+    free_(ValueId p)
+    {
+        Inst in{};
+        in.op = Op::Free;
+        in.operands = {p};
+        append(in, "");
+    }
+
+    void
+    pfree_(ValueId p)
+    {
+        Inst in{};
+        in.op = Op::Pfree;
+        in.operands = {p};
+        append(in, "");
+    }
+
+    ValueId
+    load(Type ty, ValueId p, const std::string &name = "")
+    {
+        Inst in{};
+        in.op = Op::Load;
+        in.type = ty;
+        in.operands = {p};
+        return append(in, name);
+    }
+
+    void
+    store(ValueId v, ValueId p)
+    {
+        Inst in{};
+        in.op = Op::Store;
+        in.operands = {v, p};
+        append(in, "");
+    }
+
+    void
+    storeP(ValueId q, ValueId p)
+    {
+        Inst in{};
+        in.op = Op::StoreP;
+        in.operands = {q, p};
+        append(in, "");
+    }
+
+    ValueId
+    gep(ValueId p, std::int64_t off, const std::string &name = "")
+    {
+        Inst in{};
+        in.op = Op::Gep;
+        in.type = Type::Ptr;
+        in.operands = {p};
+        in.imm = off;
+        return append(in, name);
+    }
+
+    ValueId
+    ptrToInt(ValueId p, const std::string &name = "")
+    {
+        Inst in{};
+        in.op = Op::PtrToInt;
+        in.type = Type::I64;
+        in.operands = {p};
+        return append(in, name);
+    }
+
+    ValueId
+    intToPtr(ValueId v, const std::string &name = "")
+    {
+        Inst in{};
+        in.op = Op::IntToPtr;
+        in.type = Type::Ptr;
+        in.operands = {v};
+        return append(in, name);
+    }
+
+    ValueId
+    binary(Op op, ValueId a, ValueId b, const std::string &name = "")
+    {
+        Inst in{};
+        in.op = op;
+        in.type = Type::I64;
+        in.operands = {a, b};
+        return append(in, name);
+    }
+
+    ValueId eq(ValueId a, ValueId b, const std::string &name = "")
+    {
+        return binary(Op::Eq, a, b, name);
+    }
+
+    ValueId lt(ValueId a, ValueId b, const std::string &name = "")
+    {
+        return binary(Op::Lt, a, b, name);
+    }
+
+    ValueId add(ValueId a, ValueId b, const std::string &name = "")
+    {
+        return binary(Op::Add, a, b, name);
+    }
+
+    ValueId sub(ValueId a, ValueId b, const std::string &name = "")
+    {
+        return binary(Op::Sub, a, b, name);
+    }
+
+    void
+    br(ValueId cond, BlockId then_b, BlockId else_b)
+    {
+        Inst in{};
+        in.op = Op::Br;
+        in.operands = {cond};
+        in.target0 = then_b;
+        in.target1 = else_b;
+        append(in, "");
+    }
+
+    void
+    jmp(BlockId target)
+    {
+        Inst in{};
+        in.op = Op::Jmp;
+        in.target0 = target;
+        append(in, "");
+    }
+
+    ValueId
+    phi(Type ty, const std::vector<std::pair<BlockId, ValueId>> &in_args,
+        const std::string &name = "")
+    {
+        Inst in{};
+        in.op = Op::Phi;
+        in.type = ty;
+        for (auto [b, v] : in_args) {
+            in.phiBlocks.push_back(b);
+            in.operands.push_back(v);
+        }
+        return append(in, name);
+    }
+
+    ValueId
+    call(const std::string &callee, Type ret,
+         const std::vector<ValueId> &args, const std::string &name = "")
+    {
+        Inst in{};
+        in.op = Op::Call;
+        in.type = ret;
+        in.operands = args;
+        in.callee = callee;
+        return append(in, name);
+    }
+
+    void
+    ret(ValueId v = kNoValue)
+    {
+        Inst in{};
+        in.op = Op::Ret;
+        if (v != kNoValue)
+            in.operands = {v};
+        append(in, "");
+    }
+
+    /** Validate and move the function into the module. */
+    Function &
+    finish()
+    {
+        validate(*fn_);
+        mod_.functions.push_back(std::move(fn_));
+        return *mod_.functions.back();
+    }
+
+  private:
+    ValueId
+    newValue(Type ty, const std::string &name)
+    {
+        fn_->valueTypes.push_back(ty);
+        fn_->valueNames.push_back(
+            name.empty() ? "v" + std::to_string(fn_->numValues() - 1)
+                         : name);
+        return fn_->numValues() - 1;
+    }
+
+    ValueId
+    append(Inst in, const std::string &name)
+    {
+        upr_assert_msg(cur_ != kNoBlock,
+                       "no insertion block set in @%s",
+                       fn_->name.c_str());
+        ValueId result = kNoValue;
+        if (in.type != Type::Void) {
+            result = newValue(in.type, name);
+            in.result = result;
+        }
+        fn_->blocks[cur_].insts.push_back(std::move(in));
+        return result;
+    }
+
+    Module &mod_;
+    std::unique_ptr<Function> fn_;
+    BlockId cur_ = kNoBlock;
+};
+
+} // namespace upr::ir
+
+#endif // UPR_COMPILER_IR_BUILDER_HH

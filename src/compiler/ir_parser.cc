@@ -1,0 +1,412 @@
+#include "compiler/ir_parser.hh"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "common/fault.hh"
+
+namespace upr::ir
+{
+
+namespace
+{
+
+[[noreturn]] void
+parseError(int line, const std::string &message)
+{
+    throw Fault(FaultKind::BadUsage,
+                "IR parse error at line " + std::to_string(line) +
+                ": " + message);
+}
+
+/** Whitespace/comma tokenizer keeping punctuation tokens. */
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    auto flush = [&] {
+        if (!cur.empty()) {
+            out.push_back(cur);
+            cur.clear();
+        }
+    };
+    for (char c : line) {
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+            flush();
+        } else if (c == '(' || c == ')' || c == '[' || c == ']' ||
+                   c == '{' || c == '}' || c == ':') {
+            flush();
+            out.push_back(std::string(1, c));
+        } else {
+            cur.push_back(c);
+        }
+    }
+    flush();
+    return out;
+}
+
+Type
+parseType(const std::string &t, int line)
+{
+    if (t == "i64")
+        return Type::I64;
+    if (t == "ptr")
+        return Type::Ptr;
+    if (t == "void")
+        return Type::Void;
+    parseError(line, "unknown type '" + t + "'");
+}
+
+/** Parser state for one function. */
+struct FnParser
+{
+    Function fn;
+    std::map<std::string, ValueId> valueByName;
+    std::map<std::string, BlockId> blockByName;
+    int line = 0;
+
+    ValueId
+    defineValue(const std::string &name, Type ty)
+    {
+        if (valueByName.count(name))
+            parseError(line, "%" + name + " redefined");
+        fn.valueTypes.push_back(ty);
+        fn.valueNames.push_back(name);
+        const ValueId v = fn.numValues() - 1;
+        valueByName.emplace(name, v);
+        return v;
+    }
+
+    ValueId
+    useValue(const std::string &token)
+    {
+        if (token.empty() || token[0] != '%')
+            parseError(line, "expected a %value, got '" + token + "'");
+        auto it = valueByName.find(token.substr(1));
+        if (it == valueByName.end())
+            parseError(line, token + " used before definition");
+        return it->second;
+    }
+
+    BlockId
+    useBlock(const std::string &name)
+    {
+        auto it = blockByName.find(name);
+        if (it == blockByName.end())
+            parseError(line, "unknown block '" + name + "'");
+        return it->second;
+    }
+};
+
+std::int64_t
+parseImm(const std::string &tok, int line)
+{
+    try {
+        std::size_t pos = 0;
+        const long long v = std::stoll(tok, &pos, 0);
+        if (pos != tok.size())
+            parseError(line, "bad integer '" + tok + "'");
+        return v;
+    } catch (const std::logic_error &) {
+        parseError(line, "bad integer '" + tok + "'");
+    }
+}
+
+} // namespace
+
+Module
+parseModule(const std::string &text)
+{
+    Module mod;
+    std::istringstream is(text);
+    std::string raw;
+    int line_no = 0;
+
+    FnParser *cur = nullptr;
+    std::unique_ptr<FnParser> fp;
+    BlockId cur_block = kNoBlock;
+
+    // Pre-pass per function is folded into one pass plus a patch
+    // list: phi operands and branch targets may reference names that
+    // appear later, so they are resolved when the function closes.
+    struct PendingPhiArg
+    {
+        BlockId block;
+        std::size_t inst;
+        std::string fromBlock;
+        std::string value;
+    };
+    struct PendingTarget
+    {
+        BlockId block;
+        std::size_t inst;
+        std::string name0, name1;
+    };
+    std::vector<PendingPhiArg> pending_phis;
+    std::vector<PendingTarget> pending_targets;
+
+    auto closeFunction = [&] {
+        upr_assert(cur != nullptr);
+        for (const auto &pt : pending_targets) {
+            Inst &in = cur->fn.blocks[pt.block].insts[pt.inst];
+            in.target0 = cur->useBlock(pt.name0);
+            if (!pt.name1.empty())
+                in.target1 = cur->useBlock(pt.name1);
+        }
+        for (const auto &pp : pending_phis) {
+            Inst &in = cur->fn.blocks[pp.block].insts[pp.inst];
+            in.phiBlocks.push_back(cur->useBlock(pp.fromBlock));
+            in.operands.push_back(cur->useValue(pp.value));
+        }
+        pending_targets.clear();
+        pending_phis.clear();
+        validate(cur->fn);
+        mod.functions.push_back(
+            std::make_unique<Function>(std::move(cur->fn)));
+        fp.reset();
+        cur = nullptr;
+        cur_block = kNoBlock;
+    };
+
+    while (std::getline(is, raw)) {
+        ++line_no;
+        // Strip comments.
+        const std::size_t semi = raw.find(';');
+        if (semi != std::string::npos)
+            raw.resize(semi);
+        std::vector<std::string> toks = tokenize(raw);
+        if (toks.empty())
+            continue;
+
+        if (toks[0] == "func") {
+            if (cur)
+                parseError(line_no, "nested func");
+            fp = std::make_unique<FnParser>();
+            cur = fp.get();
+            cur->line = line_no;
+            // func @name ( %a : ty ... ) [-> ty] {
+            std::size_t i = 1;
+            if (i >= toks.size() || toks[i][0] != '@')
+                parseError(line_no, "expected @name");
+            cur->fn.name = toks[i].substr(1);
+            ++i;
+            if (i >= toks.size() || toks[i] != "(")
+                parseError(line_no, "expected (");
+            ++i;
+            while (i < toks.size() && toks[i] != ")") {
+                if (toks[i][0] != '%')
+                    parseError(line_no, "expected %param");
+                const std::string pname = toks[i].substr(1);
+                if (i + 2 >= toks.size() || toks[i + 1] != ":")
+                    parseError(line_no, "expected ': type'");
+                const Type ty = parseType(toks[i + 2], line_no);
+                cur->line = line_no;
+                const ValueId v = cur->defineValue(pname, ty);
+                cur->fn.paramTypes.push_back(ty);
+                cur->fn.paramValues.push_back(v);
+                i += 3;
+            }
+            if (i >= toks.size())
+                parseError(line_no, "expected )");
+            ++i;
+            if (i < toks.size() && toks[i] == "->") {
+                cur->fn.returnType = parseType(toks[i + 1], line_no);
+                i += 2;
+            }
+            if (i >= toks.size() || toks[i] != "{")
+                parseError(line_no, "expected {");
+
+            // Pre-scan the body for block labels so forward branch
+            // targets resolve; labels are lines ending in ':'.
+            const auto pos = is.tellg();
+            std::string body_line;
+            int scan_line = line_no;
+            while (std::getline(is, body_line)) {
+                ++scan_line;
+                const std::size_t sc = body_line.find(';');
+                if (sc != std::string::npos)
+                    body_line.resize(sc);
+                std::vector<std::string> btoks = tokenize(body_line);
+                if (btoks.empty())
+                    continue;
+                if (btoks[0] == "}")
+                    break;
+                if (btoks.size() == 2 && btoks[1] == ":" &&
+                    btoks[0][0] != '%') {
+                    cur->fn.blocks.push_back(Block{btoks[0], {}});
+                    cur->blockByName.emplace(
+                        btoks[0],
+                        static_cast<BlockId>(cur->fn.blocks.size() -
+                                             1));
+                }
+            }
+            is.clear();
+            is.seekg(pos);
+            continue;
+        }
+
+        if (!cur)
+            parseError(line_no, "instruction outside func");
+        cur->line = line_no;
+
+        if (toks[0] == "}") {
+            closeFunction();
+            continue;
+        }
+
+        // Block label?
+        if (toks.size() == 2 && toks[1] == ":" && toks[0][0] != '%') {
+            cur_block = cur->useBlock(toks[0]);
+            continue;
+        }
+        if (cur_block == kNoBlock)
+            parseError(line_no, "instruction before first label");
+
+        Block &blk = cur->fn.blocks[cur_block];
+
+        // Result form: "%name = op ..." or bare "op ...".
+        std::string result_name;
+        std::size_t i = 0;
+        if (toks[0][0] == '%') {
+            if (toks.size() < 3 || toks[1] != "=")
+                parseError(line_no, "expected '='");
+            result_name = toks[0].substr(1);
+            i = 2;
+        }
+        const std::string op = toks[i++];
+        Inst in{};
+
+        auto finishWithResult = [&](Type ty) {
+            in.type = ty;
+            if (result_name.empty())
+                parseError(line_no, op + " needs a result");
+            in.result = cur->defineValue(result_name, ty);
+            blk.insts.push_back(in);
+        };
+        auto finishVoid = [&] {
+            if (!result_name.empty())
+                parseError(line_no, op + " has no result");
+            blk.insts.push_back(in);
+        };
+
+        if (op == "const") {
+            in.op = Op::Const;
+            in.imm = parseImm(toks[i], line_no);
+            finishWithResult(Type::I64);
+        } else if (op == "alloca" || op == "malloc" ||
+                   op == "pmalloc") {
+            in.op = op == "alloca" ? Op::Alloca
+                    : op == "malloc" ? Op::Malloc
+                                     : Op::Pmalloc;
+            in.imm = parseImm(toks[i], line_no);
+            finishWithResult(Type::Ptr);
+        } else if (op == "free" || op == "pfree") {
+            in.op = op == "free" ? Op::Free : Op::Pfree;
+            in.operands = {cur->useValue(toks[i])};
+            finishVoid();
+        } else if (op == "load.i64" || op == "load.ptr") {
+            in.op = Op::Load;
+            in.operands = {cur->useValue(toks[i])};
+            finishWithResult(op == "load.ptr" ? Type::Ptr : Type::I64);
+        } else if (op == "store" || op == "storep") {
+            in.op = op == "store" ? Op::Store : Op::StoreP;
+            in.operands = {cur->useValue(toks[i]),
+                           cur->useValue(toks[i + 1])};
+            finishVoid();
+        } else if (op == "gep") {
+            in.op = Op::Gep;
+            in.operands = {cur->useValue(toks[i])};
+            in.imm = parseImm(toks[i + 1], line_no);
+            finishWithResult(Type::Ptr);
+        } else if (op == "ptrtoint") {
+            in.op = Op::PtrToInt;
+            in.operands = {cur->useValue(toks[i])};
+            finishWithResult(Type::I64);
+        } else if (op == "inttoptr") {
+            in.op = Op::IntToPtr;
+            in.operands = {cur->useValue(toks[i])};
+            finishWithResult(Type::Ptr);
+        } else if (op == "eq" || op == "lt" || op == "add" ||
+                   op == "sub" || op == "mul") {
+            in.op = op == "eq"    ? Op::Eq
+                    : op == "lt"  ? Op::Lt
+                    : op == "add" ? Op::Add
+                    : op == "sub" ? Op::Sub
+                                  : Op::Mul;
+            in.operands = {cur->useValue(toks[i]),
+                           cur->useValue(toks[i + 1])};
+            finishWithResult(Type::I64);
+        } else if (op == "br") {
+            in.op = Op::Br;
+            in.operands = {cur->useValue(toks[i])};
+            pending_targets.push_back(
+                {cur_block, blk.insts.size(), toks[i + 1],
+                 toks[i + 2]});
+            finishVoid();
+        } else if (op == "jmp") {
+            in.op = Op::Jmp;
+            pending_targets.push_back(
+                {cur_block, blk.insts.size(), toks[i], ""});
+            finishVoid();
+        } else if (op == "phi.i64" || op == "phi.ptr") {
+            in.op = Op::Phi;
+            const Type ty =
+                op == "phi.ptr" ? Type::Ptr : Type::I64;
+            // [ block , %v ] ...
+            const std::size_t inst_idx = blk.insts.size();
+            while (i < toks.size()) {
+                if (toks[i] != "[")
+                    parseError(line_no, "expected [");
+                pending_phis.push_back({cur_block, inst_idx,
+                                        toks[i + 1], toks[i + 2]});
+                if (toks[i + 3] != "]")
+                    parseError(line_no, "expected ]");
+                i += 4;
+            }
+            finishWithResult(ty);
+        } else if (op == "call" || op == "call.i64" ||
+                   op == "call.ptr") {
+            in.op = Op::Call;
+            if (toks[i][0] != '@')
+                parseError(line_no, "expected @callee");
+            in.callee = toks[i].substr(1);
+            ++i;
+            if (i >= toks.size() || toks[i] != "(")
+                parseError(line_no, "expected (");
+            ++i;
+            while (i < toks.size() && toks[i] != ")") {
+                in.operands.push_back(cur->useValue(toks[i]));
+                ++i;
+            }
+            if (result_name.empty()) {
+                in.type = Type::Void;
+                finishVoid();
+            } else {
+                // Result type: explicit call.i64/call.ptr suffix, or
+                // the callee's signature when it parsed earlier.
+                Type ty = Type::I64;
+                if (op == "call.ptr")
+                    ty = Type::Ptr;
+                else if (const Function *callee = mod.find(in.callee))
+                    ty = callee->returnType;
+                finishWithResult(ty);
+            }
+        } else if (op == "ret") {
+            in.op = Op::Ret;
+            if (i < toks.size())
+                in.operands = {cur->useValue(toks[i])};
+            finishVoid();
+        } else {
+            parseError(line_no, "unknown opcode '" + op + "'");
+        }
+    }
+
+    if (cur)
+        parseError(line_no, "missing closing }");
+    validate(mod);
+    return mod;
+}
+
+} // namespace upr::ir

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Parser for the textual mini-IR form emitted by ir::print(), so test
+ * programs and examples can be written as readable IR text:
+ *
+ *   func @append(%p: ptr, %n: ptr) {
+ *   entry:
+ *     %slot = gep %p, 8
+ *     storep %n, %slot
+ *     ret
+ *   }
+ *
+ * Errors throw Fault{BadUsage} with a line-numbered message.
+ */
+
+#ifndef UPR_COMPILER_IR_PARSER_HH
+#define UPR_COMPILER_IR_PARSER_HH
+
+#include <string>
+
+#include "compiler/ir.hh"
+
+namespace upr::ir
+{
+
+/** Parse a whole module from IR text. */
+Module parseModule(const std::string &text);
+
+} // namespace upr::ir
+
+#endif // UPR_COMPILER_IR_PARSER_HH

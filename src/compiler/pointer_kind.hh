@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The pointer-kind lattice of the compiler-based method (Sec V-B).
+ *
+ *              Unknown  (top: needs a dynamic check)
+ *             /   |   \
+ *        VaDram VaNvm  Ra
+ *             \   |   /
+ *              NoInfo  (bottom: not yet computed)
+ *
+ * Seeds: alloca/malloc produce VaDram; pmalloc produces Ra (pmalloc
+ * returns a relative address per its definition); inttoptr and
+ * loaded-from-memory pointers are Unknown. Dataflow joins move up
+ * the lattice only, so the fixpoint terminates.
+ */
+
+#ifndef UPR_COMPILER_POINTER_KIND_HH
+#define UPR_COMPILER_POINTER_KIND_HH
+
+namespace upr
+{
+
+/** Static knowledge about a pointer value's representation. */
+enum class PtrKind : unsigned char
+{
+    NoInfo = 0,  //!< bottom: not yet computed / dead
+    VaDram,      //!< definitely a DRAM virtual address
+    VaNvm,       //!< definitely an NVM virtual address
+    Ra,          //!< definitely a relative address
+    Unknown,     //!< top: could be anything; dynamic check required
+};
+
+/** Lattice join (least upper bound). */
+constexpr PtrKind
+joinKind(PtrKind a, PtrKind b)
+{
+    if (a == PtrKind::NoInfo)
+        return b;
+    if (b == PtrKind::NoInfo)
+        return a;
+    if (a == b)
+        return a;
+    return PtrKind::Unknown;
+}
+
+/** Printable name. */
+constexpr const char *
+kindName(PtrKind k)
+{
+    switch (k) {
+      case PtrKind::NoInfo:  return "noinfo";
+      case PtrKind::VaDram:  return "va-dram";
+      case PtrKind::VaNvm:   return "va-nvm";
+      case PtrKind::Ra:      return "ra";
+      case PtrKind::Unknown: return "unknown";
+    }
+    return "?";
+}
+
+/** True if the kind is statically determined (no check needed). */
+constexpr bool
+isStaticKind(PtrKind k)
+{
+    return k == PtrKind::VaDram || k == PtrKind::VaNvm ||
+           k == PtrKind::Ra;
+}
+
+} // namespace upr
+
+#endif // UPR_COMPILER_POINTER_KIND_HH

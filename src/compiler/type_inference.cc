@@ -1,0 +1,162 @@
+#include "compiler/type_inference.hh"
+
+namespace upr
+{
+
+using namespace ir;
+
+const FunctionKinds &
+InferenceResult::of(const Function &fn) const
+{
+    auto it = perFunction.find(fn.name);
+    upr_assert_msg(it != perFunction.end(),
+                   "@%s was not analyzed", fn.name.c_str());
+    return it->second;
+}
+
+namespace
+{
+
+/** Mutable per-module analysis state. */
+struct State
+{
+    const Module &mod;
+    bool unknownParams;
+    std::map<std::string, FunctionKinds> kinds;
+    /** Join of return-value kinds per function. */
+    std::map<std::string, PtrKind> returnKinds;
+    bool changed = false;
+
+    PtrKind &
+    kindRef(const Function &fn, ValueId v)
+    {
+        return kinds[fn.name].valueKinds[v];
+    }
+
+    /** Raise @p slot to join(slot, k); tracks changes. */
+    void
+    raise(PtrKind &slot, PtrKind k)
+    {
+        const PtrKind j = joinKind(slot, k);
+        if (j != slot) {
+            slot = j;
+            changed = true;
+        }
+    }
+};
+
+/** One transfer pass over a function body. */
+void
+transferFunction(State &st, const Function &fn)
+{
+    FunctionKinds &fk = st.kinds[fn.name];
+
+    for (const Block &b : fn.blocks) {
+        for (const Inst &in : b.insts) {
+            switch (in.op) {
+              case Op::Alloca:
+              case Op::Malloc:
+                st.raise(fk.valueKinds[in.result], PtrKind::VaDram);
+                break;
+              case Op::Pmalloc:
+                // pmalloc returns a relative address by definition.
+                st.raise(fk.valueKinds[in.result], PtrKind::Ra);
+                break;
+              case Op::Load:
+                if (in.type == Type::Ptr) {
+                    // Memory is untyped: a loaded pointer may carry
+                    // either representation.
+                    st.raise(fk.valueKinds[in.result],
+                             PtrKind::Unknown);
+                }
+                break;
+              case Op::IntToPtr:
+                st.raise(fk.valueKinds[in.result], PtrKind::Unknown);
+                break;
+              case Op::Gep:
+                // Pointer arithmetic preserves the representation
+                // (Fig 4 additive rows).
+                st.raise(fk.valueKinds[in.result],
+                         fk.valueKinds[in.operands[0]]);
+                break;
+              case Op::Phi:
+                if (in.type == Type::Ptr) {
+                    for (ValueId v : in.operands) {
+                        st.raise(fk.valueKinds[in.result],
+                                 fk.valueKinds[v]);
+                    }
+                }
+                break;
+              case Op::Call: {
+                const Function &callee = st.mod.get(in.callee);
+                // Arguments flow into parameter slots.
+                FunctionKinds &ck = st.kinds[callee.name];
+                for (std::size_t i = 0; i < in.operands.size(); ++i) {
+                    if (callee.paramTypes[i] == Type::Ptr) {
+                        st.raise(
+                            ck.valueKinds[callee.paramValues[i]],
+                            fk.valueKinds[in.operands[i]]);
+                    }
+                }
+                // Return kind flows back.
+                if (in.type == Type::Ptr) {
+                    st.raise(fk.valueKinds[in.result],
+                             st.returnKinds[callee.name]);
+                }
+                break;
+              }
+              case Op::Ret:
+                if (!in.operands.empty() &&
+                    fn.valueTypes[in.operands[0]] == Type::Ptr) {
+                    PtrKind &rk = st.returnKinds[fn.name];
+                    const PtrKind j = joinKind(
+                        rk, fk.valueKinds[in.operands[0]]);
+                    if (j != rk) {
+                        rk = j;
+                        st.changed = true;
+                    }
+                }
+                break;
+              default:
+                break;
+            }
+        }
+    }
+}
+
+} // namespace
+
+InferenceResult
+inferPointerKinds(const Module &mod, bool assume_unknown_params)
+{
+    State st{mod, assume_unknown_params, {}, {}, false};
+
+    // Initialize all registers to bottom; seed parameters.
+    for (const auto &f : mod.functions) {
+        FunctionKinds fk;
+        fk.valueKinds.assign(f->numValues(), PtrKind::NoInfo);
+        if (assume_unknown_params) {
+            for (std::size_t i = 0; i < f->paramTypes.size(); ++i) {
+                if (f->paramTypes[i] == Type::Ptr) {
+                    fk.valueKinds[f->paramValues[i]] =
+                        PtrKind::Unknown;
+                }
+            }
+        }
+        st.kinds.emplace(f->name, std::move(fk));
+        st.returnKinds.emplace(f->name, PtrKind::NoInfo);
+    }
+
+    // Fixpoint iteration (the lattice height bounds the rounds).
+    do {
+        st.changed = false;
+        for (const auto &f : mod.functions)
+            transferFunction(st, *f);
+    } while (st.changed);
+
+    InferenceResult result;
+    result.perFunction = std::move(st.kinds);
+    return result;
+}
+
+} // namespace upr

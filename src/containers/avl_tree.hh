@@ -1,0 +1,209 @@
+/**
+ * @file
+ * AVL — height-balanced binary search tree (paper Table III).
+ *
+ * Node meta word: height of the subtree rooted there (leaf = 1).
+ * Rebalancing walks parent links from the modification point upward,
+ * rotating wherever the balance factor leaves [-1, +1].
+ */
+
+#ifndef UPR_CONTAINERS_AVL_TREE_HH
+#define UPR_CONTAINERS_AVL_TREE_HH
+
+#include <cstdlib>
+
+#include "containers/bst_common.hh"
+
+namespace upr
+{
+
+/** AVL tree map. */
+template <typename K, typename V>
+class AvlTree : public BstBase<K, V>
+{
+  public:
+    using Base = BstBase<K, V>;
+    using Node = typename Base::Node;
+    using Header = typename Base::Header;
+
+    explicit AvlTree(MemEnv env) : Base(env) {}
+    AvlTree(MemEnv env, Ptr<Header> header) : Base(env, header) {}
+
+    /**
+     * Insert or update.
+     * @return true if newly inserted
+     */
+    bool
+    insert(const K &key, const V &value)
+    {
+        Ptr<Node> parent = Ptr<Node>::null();
+        Ptr<Node> cur = this->root();
+        bool went_left = false;
+        while (!cur.isNull()) {
+            const K k = cur.template field<K>(&Node::key);
+            parent = cur;
+            if (this->keyBranch(key < k, 3)) {
+                cur = cur.ptrField(&Node::left);
+                went_left = true;
+            } else if (this->keyBranch(k < key, 4)) {
+                cur = cur.ptrField(&Node::right);
+                went_left = false;
+            } else {
+                cur.setField(&Node::value, value);
+                return false;
+            }
+        }
+
+        Ptr<Node> node = this->allocNode(key, value);
+        node.setField(&Node::meta, std::uint64_t{1});
+        node.setPtrField(&Node::parent, parent);
+        if (parent.isNull()) {
+            this->header_.setPtrField(&Header::root, node);
+        } else if (went_left) {
+            parent.setPtrField(&Node::left, node);
+        } else {
+            parent.setPtrField(&Node::right, node);
+        }
+        rebalanceUpFrom(parent);
+        this->bumpSize(1);
+        return true;
+    }
+
+    /**
+     * Remove @p key.
+     * @return true if it was present
+     */
+    bool
+    erase(const K &key)
+    {
+        Ptr<Node> z = this->findNode(key);
+        if (z.isNull())
+            return false;
+
+        Ptr<Node> start; // lowest node whose height may have changed
+        if (z.ptrField(&Node::left).isNull()) {
+            start = z.ptrField(&Node::parent);
+            this->transplant(z, z.ptrField(&Node::right));
+        } else if (z.ptrField(&Node::right).isNull()) {
+            start = z.ptrField(&Node::parent);
+            this->transplant(z, z.ptrField(&Node::left));
+        } else {
+            Ptr<Node> y = this->minimum(z.ptrField(&Node::right));
+            if (y.ptrField(&Node::parent) == z) {
+                start = y;
+            } else {
+                start = y.ptrField(&Node::parent);
+                this->transplant(y, y.ptrField(&Node::right));
+                Ptr<Node> zr = z.ptrField(&Node::right);
+                y.setPtrField(&Node::right, zr);
+                zr.setPtrField(&Node::parent, y);
+            }
+            this->transplant(z, y);
+            Ptr<Node> zl = z.ptrField(&Node::left);
+            y.setPtrField(&Node::left, zl);
+            zl.setPtrField(&Node::parent, y);
+            y.setField(&Node::meta,
+                       z.template field<std::uint64_t>(&Node::meta));
+        }
+
+        this->freeNode(z);
+        this->bumpSize(-1);
+        rebalanceUpFrom(start);
+        return true;
+    }
+
+    /** AVL invariants: every balance factor in [-1, 1], heights exact. */
+    void
+    validate() const
+    {
+        this->validateBase();
+        checkHeights(this->root());
+    }
+
+  private:
+    static std::uint64_t
+    heightOf(Ptr<Node> n)
+    {
+        return n.isNull() ? 0
+                          : n.template field<std::uint64_t>(&Node::meta);
+    }
+
+    static std::int64_t
+    balanceOf(Ptr<Node> n)
+    {
+        return static_cast<std::int64_t>(
+                   heightOf(n.ptrField(&Node::left))) -
+               static_cast<std::int64_t>(
+                   heightOf(n.ptrField(&Node::right)));
+    }
+
+    /** Recompute @p n's height; @return true if it changed. */
+    static bool
+    updateHeight(Ptr<Node> n)
+    {
+        const std::uint64_t h =
+            1 + std::max(heightOf(n.ptrField(&Node::left)),
+                         heightOf(n.ptrField(&Node::right)));
+        if (h == heightOf(n))
+            return false;
+        n.setField(&Node::meta, h);
+        return true;
+    }
+
+    /** Walk up from @p n, fixing heights and rotating. */
+    void
+    rebalanceUpFrom(Ptr<Node> n)
+    {
+        while (!n.isNull()) {
+            Ptr<Node> parent = n.ptrField(&Node::parent);
+            const std::int64_t bal = balanceOf(n);
+            if (bal > 1) {
+                // Heights refresh bottom-up: the demoted child first,
+                // then n, then the new subtree root.
+                Ptr<Node> old_l = n.ptrField(&Node::left);
+                if (balanceOf(old_l) < 0) {
+                    this->rotateLeft(old_l);
+                    updateHeight(old_l);
+                }
+                Ptr<Node> l = n.ptrField(&Node::left);
+                this->rotateRight(n);
+                updateHeight(n);
+                updateHeight(l);
+            } else if (bal < -1) {
+                Ptr<Node> old_r = n.ptrField(&Node::right);
+                if (balanceOf(old_r) > 0) {
+                    this->rotateRight(old_r);
+                    updateHeight(old_r);
+                }
+                Ptr<Node> r = n.ptrField(&Node::right);
+                this->rotateLeft(n);
+                updateHeight(n);
+                updateHeight(r);
+            } else {
+                if (!updateHeight(n) )
+                    break; // heights above are unaffected
+            }
+            n = parent;
+        }
+    }
+
+    /** @return exact height while asserting stored heights/balance. */
+    std::uint64_t
+    checkHeights(Ptr<Node> n) const
+    {
+        if (n.isNull())
+            return 0;
+        const std::uint64_t lh = checkHeights(n.ptrField(&Node::left));
+        const std::uint64_t rh = checkHeights(n.ptrField(&Node::right));
+        upr_assert_msg(heightOf(n) == 1 + std::max(lh, rh),
+                       "stored AVL height wrong");
+        const std::int64_t bal = static_cast<std::int64_t>(lh) -
+                                 static_cast<std::int64_t>(rh);
+        upr_assert_msg(bal >= -1 && bal <= 1, "AVL balance violated");
+        return 1 + std::max(lh, rh);
+    }
+};
+
+} // namespace upr
+
+#endif // UPR_CONTAINERS_AVL_TREE_HH

@@ -1,0 +1,494 @@
+/**
+ * @file
+ * Shared machinery for the four binary search trees of Table III
+ * (RB, Splay, AVL, SG): the node layout, header, search, rotations,
+ * ordered traversal, and the BST-order invariant validator.
+ *
+ * Every tree stores a `meta` word per node whose meaning the concrete
+ * tree defines (RB: color, AVL: height, SG/Splay: unused), keeping one
+ * node layout so the trees are directly comparable in the benches.
+ */
+
+#ifndef UPR_CONTAINERS_BST_COMMON_HH
+#define UPR_CONTAINERS_BST_COMMON_HH
+
+#include <optional>
+#include <vector>
+
+#include "common/logging.hh"
+#include "containers/memory_env.hh"
+
+namespace upr
+{
+
+/** Common BST node: three links, key, value, one metadata word. */
+template <typename K, typename V>
+struct TreeNode
+{
+    Ptr<TreeNode> left;
+    Ptr<TreeNode> right;
+    Ptr<TreeNode> parent;
+    K key{};
+    V value{};
+    std::uint64_t meta = 0;
+};
+
+/**
+ * Base class with the operations all four trees share. Concrete trees
+ * add their balancing logic on top.
+ */
+template <typename K, typename V>
+class BstBase
+{
+  public:
+    using Node = TreeNode<K, V>;
+
+    struct Header
+    {
+        Ptr<Node> root;
+        std::uint64_t size = 0;
+        std::uint64_t aux = 0; //!< tree-specific (SG: maxSize)
+    };
+
+    /** Create an empty tree. */
+    explicit BstBase(MemEnv env)
+        : env_(env), header_(env_.alloc<Header>())
+    {}
+
+    /** Re-attach to an existing tree. */
+    BstBase(MemEnv env, Ptr<Header> header) : env_(env), header_(header)
+    {}
+
+    Ptr<Header> header() const { return header_; }
+
+    std::uint64_t size() const { return header_.field(&Header::size); }
+    bool empty() const { return size() == 0; }
+
+    /** Look up @p key. */
+    std::optional<V>
+    find(const K &key) const
+    {
+        Ptr<Node> n = findNode(key);
+        if (n.isNull())
+            return std::nullopt;
+        return n.template field<V>(&Node::value);
+    }
+
+    /** True if @p key is present. */
+    bool contains(const K &key) const { return !findNode(key).isNull(); }
+
+    /** Smallest key in the tree (empty optional when empty). */
+    std::optional<K>
+    minKey() const
+    {
+        Ptr<Node> r = root();
+        if (r.isNull())
+            return std::nullopt;
+        return minimum(r).template field<K>(&Node::key);
+    }
+
+    /** Largest key in the tree. */
+    std::optional<K>
+    maxKey() const
+    {
+        Ptr<Node> r = root();
+        if (r.isNull())
+            return std::nullopt;
+        return maximum(r).template field<K>(&Node::key);
+    }
+
+    /**
+     * Smallest (key, value) with key >= @p key — the lower-bound
+     * query backing range scans.
+     */
+    std::optional<std::pair<K, V>>
+    lowerBound(const K &key) const
+    {
+        Ptr<Node> n = root();
+        Ptr<Node> best = Ptr<Node>::null();
+        while (!n.isNull()) {
+            const K k = n.template field<K>(&Node::key);
+            if (keyBranch(k < key, 7)) {
+                n = n.ptrField(&Node::right);
+            } else {
+                best = n;
+                n = n.ptrField(&Node::left);
+            }
+        }
+        if (best.isNull())
+            return std::nullopt;
+        return std::make_pair(best.template field<K>(&Node::key),
+                              best.template field<V>(&Node::value));
+    }
+
+    /**
+     * Visit every (key, value) with lo <= key < hi, in order.
+     */
+    template <typename Cb>
+    void
+    forEachInRange(const K &lo, const K &hi, Cb &&cb) const
+    {
+        rangeWalk(root(), lo, hi, cb);
+    }
+
+    // ------------------------------------------------------------------
+    // Ordered cursors (iterator-style traversal without callbacks)
+    // ------------------------------------------------------------------
+
+    /** A position in key order; invalid == one-past-the-end. */
+    struct Cursor
+    {
+        Ptr<Node> node;
+
+        bool valid() const { return !node.isNull(); }
+        bool operator==(const Cursor &o) const
+        {
+            return node == o.node;
+        }
+    };
+
+    /** Cursor at the smallest key (invalid when empty). */
+    Cursor
+    first() const
+    {
+        Ptr<Node> r = root();
+        return {r.isNull() ? r : minimum(r)};
+    }
+
+    /** Cursor at the largest key (invalid when empty). */
+    Cursor
+    last() const
+    {
+        Ptr<Node> r = root();
+        return {r.isNull() ? r : maximum(r)};
+    }
+
+    /** Cursor at the smallest key >= @p key (lower bound). */
+    Cursor
+    seek(const K &key) const
+    {
+        Ptr<Node> n = root();
+        Ptr<Node> best = Ptr<Node>::null();
+        while (!n.isNull()) {
+            if (keyBranch(n.template field<K>(&Node::key) < key, 8)) {
+                n = n.ptrField(&Node::right);
+            } else {
+                best = n;
+                n = n.ptrField(&Node::left);
+            }
+        }
+        return {best};
+    }
+
+    /** In-order successor (invalid after the last key). */
+    Cursor
+    next(Cursor c) const
+    {
+        upr_assert_msg(c.valid(), "next() past the end");
+        Ptr<Node> n = c.node;
+        Ptr<Node> r = n.ptrField(&Node::right);
+        if (!r.isNull())
+            return {minimum(r)};
+        Ptr<Node> p = n.ptrField(&Node::parent);
+        while (!p.isNull() && p.ptrField(&Node::right) == n) {
+            n = p;
+            p = p.ptrField(&Node::parent);
+        }
+        return {p};
+    }
+
+    /** In-order predecessor (invalid before the first key). */
+    Cursor
+    prev(Cursor c) const
+    {
+        upr_assert_msg(c.valid(), "prev() before the beginning");
+        Ptr<Node> n = c.node;
+        Ptr<Node> l = n.ptrField(&Node::left);
+        if (!l.isNull())
+            return {maximum(l)};
+        Ptr<Node> p = n.ptrField(&Node::parent);
+        while (!p.isNull() && p.ptrField(&Node::left) == n) {
+            n = p;
+            p = p.ptrField(&Node::parent);
+        }
+        return {p};
+    }
+
+    /** Key at a valid cursor. */
+    K
+    keyAt(Cursor c) const
+    {
+        upr_assert(c.valid());
+        return c.node.template field<K>(&Node::key);
+    }
+
+    /** Value at a valid cursor. */
+    V
+    valueAt(Cursor c) const
+    {
+        upr_assert(c.valid());
+        return c.node.template field<V>(&Node::value);
+    }
+
+    /** In-order visit: cb(key, value). */
+    template <typename Cb>
+    void
+    forEach(Cb &&cb) const
+    {
+        forEachFrom(root(), cb);
+    }
+
+    /** Free every node (post-order) and reset the header. */
+    void
+    clear()
+    {
+        freeSubtree(root());
+        header_.setPtrField(&Header::root, Ptr<Node>::null());
+        header_.setField(&Header::size, std::uint64_t{0});
+        header_.setField(&Header::aux, std::uint64_t{0});
+    }
+
+    /**
+     * Validate the BST-order invariant, parent links, and the stored
+     * size. Concrete trees call this from their own validate() and
+     * add their balancing invariants.
+     */
+    void
+    validateBase() const
+    {
+        std::uint64_t count = 0;
+        bool have_prev = false;
+        K prev{};
+        // In-order walk checking strict ascent.
+        walkInOrder(root(), [&](Ptr<Node> n) {
+            const K k = n.template field<K>(&Node::key);
+            if (have_prev) {
+                upr_assert_msg(prev < k, "BST order violated");
+            }
+            prev = k;
+            have_prev = true;
+            ++count;
+            upr_assert_msg(count <= size(), "tree cycle suspected");
+        });
+        upr_assert_msg(count == size(), "tree size mismatch");
+        validateParents(root(), Ptr<Node>::null());
+    }
+
+  protected:
+    Ptr<Node> root() const { return header_.ptrField(&Header::root); }
+
+    void
+    setRoot(Ptr<Node> n)
+    {
+        header_.setPtrField(&Header::root, n);
+        if (!n.isNull())
+            n.setPtrField(&Node::parent, Ptr<Node>::null());
+    }
+
+    void
+    bumpSize(std::int64_t delta)
+    {
+        header_.setField(
+            &Header::size,
+            size() + static_cast<std::uint64_t>(delta));
+    }
+
+    /** Allocate a node with both children null. */
+    Ptr<Node>
+    allocNode(const K &key, const V &value)
+    {
+        Ptr<Node> n = env_.template alloc<Node>();
+        n.setField(&Node::key, key);
+        n.setField(&Node::value, value);
+        return n;
+    }
+
+    void freeNode(Ptr<Node> n) { env_.free(n); }
+
+    /**
+     * Key-comparison branch: the program's own data-dependent
+     * control flow, run through the predictor in every version.
+     */
+    bool
+    keyBranch(bool outcome, std::uint64_t op) const
+    {
+        static const std::uint64_t salt = detail::nextSiteSalt();
+        return env_.runtime().dataBranch(
+            outcome, salt * 0x9e3779b97f4a7c15ULL + op);
+    }
+
+    /** Standard BST descent. */
+    Ptr<Node>
+    findNode(const K &key) const
+    {
+        Ptr<Node> n = root();
+        while (!n.isNull()) {
+            const K k = n.template field<K>(&Node::key);
+            if (keyBranch(key < k, 1)) {
+                n = n.ptrField(&Node::left);
+            } else if (keyBranch(k < key, 2)) {
+                n = n.ptrField(&Node::right);
+            } else {
+                return n;
+            }
+        }
+        return Ptr<Node>::null();
+    }
+
+    /** Leftmost node of the subtree at @p n. */
+    Ptr<Node>
+    minimum(Ptr<Node> n) const
+    {
+        upr_assert(!n.isNull());
+        for (;;) {
+            Ptr<Node> l = n.ptrField(&Node::left);
+            if (l.isNull())
+                return n;
+            n = l;
+        }
+    }
+
+    /** Rightmost node of the subtree at @p n. */
+    Ptr<Node>
+    maximum(Ptr<Node> n) const
+    {
+        upr_assert(!n.isNull());
+        for (;;) {
+            Ptr<Node> r = n.ptrField(&Node::right);
+            if (r.isNull())
+                return n;
+            n = r;
+        }
+    }
+
+    /** Replace subtree @p u by subtree @p v in u's parent. */
+    void
+    transplant(Ptr<Node> u, Ptr<Node> v)
+    {
+        Ptr<Node> p = u.ptrField(&Node::parent);
+        if (p.isNull()) {
+            header_.setPtrField(&Header::root, v);
+        } else if (p.ptrField(&Node::left) == u) {
+            p.setPtrField(&Node::left, v);
+        } else {
+            p.setPtrField(&Node::right, v);
+        }
+        if (!v.isNull())
+            v.setPtrField(&Node::parent, p);
+    }
+
+    /** Left rotation about @p x (x->right becomes the subtree root). */
+    void
+    rotateLeft(Ptr<Node> x)
+    {
+        Ptr<Node> y = x.ptrField(&Node::right);
+        upr_assert(!y.isNull());
+        Ptr<Node> yl = y.ptrField(&Node::left);
+        x.setPtrField(&Node::right, yl);
+        if (!yl.isNull())
+            yl.setPtrField(&Node::parent, x);
+        transplant(x, y);
+        y.setPtrField(&Node::left, x);
+        x.setPtrField(&Node::parent, y);
+    }
+
+    /** Right rotation about @p x. */
+    void
+    rotateRight(Ptr<Node> x)
+    {
+        Ptr<Node> y = x.ptrField(&Node::left);
+        upr_assert(!y.isNull());
+        Ptr<Node> yr = y.ptrField(&Node::right);
+        x.setPtrField(&Node::left, yr);
+        if (!yr.isNull())
+            yr.setPtrField(&Node::parent, x);
+        transplant(x, y);
+        y.setPtrField(&Node::right, x);
+        x.setPtrField(&Node::parent, y);
+    }
+
+    /** In-order node visitor (iterative; no recursion depth limits). */
+    template <typename Cb>
+    void
+    walkInOrder(Ptr<Node> from, Cb &&cb) const
+    {
+        std::vector<Ptr<Node>> stack;
+        Ptr<Node> n = from;
+        while (!n.isNull() || !stack.empty()) {
+            while (!n.isNull()) {
+                stack.push_back(n);
+                n = n.ptrField(&Node::left);
+            }
+            n = stack.back();
+            stack.pop_back();
+            cb(n);
+            n = n.ptrField(&Node::right);
+        }
+    }
+
+    template <typename Cb>
+    void
+    forEachFrom(Ptr<Node> from, Cb &&cb) const
+    {
+        walkInOrder(from, [&](Ptr<Node> n) {
+            cb(n.template field<K>(&Node::key),
+               n.template field<V>(&Node::value));
+        });
+    }
+
+    void
+    freeSubtree(Ptr<Node> n)
+    {
+        if (n.isNull())
+            return;
+        // Iterative post-order free.
+        std::vector<Ptr<Node>> stack{n};
+        std::vector<Ptr<Node>> order;
+        while (!stack.empty()) {
+            Ptr<Node> cur = stack.back();
+            stack.pop_back();
+            order.push_back(cur);
+            Ptr<Node> l = cur.ptrField(&Node::left);
+            Ptr<Node> r = cur.ptrField(&Node::right);
+            if (!l.isNull())
+                stack.push_back(l);
+            if (!r.isNull())
+                stack.push_back(r);
+        }
+        for (auto it = order.rbegin(); it != order.rend(); ++it)
+            freeNode(*it);
+    }
+
+    template <typename Cb>
+    void
+    rangeWalk(Ptr<Node> n, const K &lo, const K &hi, Cb &&cb) const
+    {
+        if (n.isNull())
+            return;
+        const K k = n.template field<K>(&Node::key);
+        if (lo < k || !(k < lo)) // k >= lo
+            rangeWalk(n.ptrField(&Node::left), lo, hi, cb);
+        if (!(k < lo) && k < hi)
+            cb(k, n.template field<V>(&Node::value));
+        if (k < hi)
+            rangeWalk(n.ptrField(&Node::right), lo, hi, cb);
+    }
+
+    void
+    validateParents(Ptr<Node> n, Ptr<Node> expected_parent) const
+    {
+        if (n.isNull())
+            return;
+        upr_assert_msg(n.ptrField(&Node::parent) == expected_parent,
+                       "parent link broken");
+        validateParents(n.ptrField(&Node::left), n);
+        validateParents(n.ptrField(&Node::right), n);
+    }
+
+    MemEnv env_;
+    Ptr<Header> header_;
+};
+
+} // namespace upr
+
+#endif // UPR_CONTAINERS_BST_COMMON_HH

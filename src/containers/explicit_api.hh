@@ -1,0 +1,221 @@
+/**
+ * @file
+ * The "before" picture: an explicit persistent-references programming
+ * model (PMDK/NV-Heaps style, the paper's [26] baseline) and a linked
+ * list ported to it.
+ *
+ * Persistent objects are referenced through a distinct handle type
+ * (PObj<T>, the PMEMoid analogue) and every access goes through
+ * special API calls that translate the handle — there is no
+ * transparency: this list shares NO code with containers/linked_list
+ * even though it implements the same structure, which is precisely
+ * the migration burden the paper's user-transparent references
+ * eliminate. The file exists so the contrast is measurable (see
+ * tests/test_explicit_contrast.cc and EXPERIMENTS.md).
+ */
+
+#ifndef UPR_CONTAINERS_EXPLICIT_API_HH
+#define UPR_CONTAINERS_EXPLICIT_API_HH
+
+#include "core/ptr.hh"
+
+namespace upr::explicit_model
+{
+
+/**
+ * Typed persistent object handle — deliberately NOT a pointer: it
+ * cannot be dereferenced, compared with normal pointers, or passed
+ * to code expecting T*.
+ */
+template <typename T>
+struct PObj
+{
+    PtrBits oid = 0; //!< {pool, offset} in relative encoding
+
+    static PObj null() { return PObj{}; }
+    bool isNull() const { return oid == 0; }
+
+    bool operator==(const PObj &o) const { return oid == o.oid; }
+    bool operator!=(const PObj &o) const { return oid != o.oid; }
+};
+
+/** The special access API (every call translates the handle). */
+class PmemApi
+{
+  public:
+    PmemApi(Runtime &rt, PoolId pool) : rt_(rt), pool_(pool) {}
+
+    /** Allocate a zeroed T; returns its handle. */
+    template <typename T>
+    PObj<T>
+    alloc()
+    {
+        const PtrBits bits = rt_.pmallocBits(pool_, sizeof(T));
+        // Zero-fill (functional).
+        const SimAddr va = rt_.pools().ra2va(
+            PtrRepr::poolOf(bits), PtrRepr::offsetOf(bits));
+        static const std::uint8_t zeros[256] = {};
+        for (Bytes i = 0; i < sizeof(T); i += sizeof(zeros)) {
+            rt_.space().writeBytes(
+                va + i, zeros,
+                std::min<Bytes>(sizeof(zeros), sizeof(T) - i));
+        }
+        return PObj<T>{bits};
+    }
+
+    /** Free an object by handle. */
+    template <typename T>
+    void
+    free(PObj<T> obj)
+    {
+        if (!obj.isNull())
+            rt_.pfreeBits(obj.oid);
+    }
+
+    /** Read a data field: direct(oid) translation + load. */
+    template <typename T, typename F>
+    F
+    read(PObj<T> obj, F T::*member)
+    {
+        const SimAddr va = direct(obj.oid) + memberOffset(member);
+        return rt_.loadData<F>(va);
+    }
+
+    /** Write a data field. */
+    template <typename T, typename F>
+    void
+    write(PObj<T> obj, F T::*member, const F &value)
+    {
+        const SimAddr va = direct(obj.oid) + memberOffset(member);
+        rt_.storeData<F>(va, value);
+    }
+
+    /** Read a handle-valued field. */
+    template <typename T, typename U>
+    PObj<U>
+    readObj(PObj<T> obj, PObj<U> T::*member)
+    {
+        const SimAddr va = direct(obj.oid) + memberOffset(member);
+        return PObj<U>{rt_.loadPtr(va)};
+    }
+
+    /** Write a handle-valued field (IDs are stored as-is). */
+    template <typename T, typename U>
+    void
+    writeObj(PObj<T> obj, PObj<U> T::*member, PObj<U> value)
+    {
+        const SimAddr va = direct(obj.oid) + memberOffset(member);
+        rt_.storePtr(va, value.oid, 0x0bee);
+    }
+
+    Runtime &runtime() { return rt_; }
+    PoolId pool() const { return pool_; }
+
+  private:
+    /** The pmemobj_direct analogue: translate on EVERY access. */
+    SimAddr
+    direct(PtrBits oid)
+    {
+        upr_assert_msg(oid != 0, "direct() on a null object id");
+        return rt_.ra2va(oid, 0x0b0e);
+    }
+
+    Runtime &rt_;
+    PoolId pool_;
+};
+
+/**
+ * The ported doubly linked list. Compare with
+ * containers/linked_list.hh: same structure, completely different
+ * code — every object access became an API call, every pointer a
+ * handle. This is what porting one container to the explicit model
+ * costs; the transparent version required zero changes.
+ */
+class ExplicitList
+{
+  public:
+    struct Node
+    {
+        PObj<Node> next;
+        PObj<Node> prev;
+        std::uint64_t lo = 0;
+        std::uint64_t hi = 0;
+    };
+
+    struct Header
+    {
+        PObj<Node> head;
+        PObj<Node> tail;
+        std::uint64_t size = 0;
+    };
+
+    explicit ExplicitList(PmemApi api)
+        : api_(api), header_(api_.alloc<Header>())
+    {}
+
+    ExplicitList(PmemApi api, PObj<Header> header)
+        : api_(api), header_(header)
+    {}
+
+    PObj<Header> header() const { return header_; }
+
+    std::uint64_t size() { return api_.read(header_, &Header::size); }
+
+    PObj<Node>
+    pushBack(std::uint64_t lo, std::uint64_t hi)
+    {
+        PObj<Node> node = api_.alloc<Node>();
+        api_.write(node, &Node::lo, lo);
+        api_.write(node, &Node::hi, hi);
+        PObj<Node> tail = api_.readObj(header_, &Header::tail);
+        api_.writeObj(node, &Node::prev, tail);
+        api_.writeObj(node, &Node::next, PObj<Node>::null());
+        if (tail.isNull()) {
+            api_.writeObj(header_, &Header::head, node);
+        } else {
+            api_.writeObj(tail, &Node::next, node);
+        }
+        api_.writeObj(header_, &Header::tail, node);
+        api_.write(header_, &Header::size, size() + 1);
+        return node;
+    }
+
+    void
+    erase(PObj<Node> node)
+    {
+        PObj<Node> prev = api_.readObj(node, &Node::prev);
+        PObj<Node> next = api_.readObj(node, &Node::next);
+        if (prev.isNull()) {
+            api_.writeObj(header_, &Header::head, next);
+        } else {
+            api_.writeObj(prev, &Node::next, next);
+        }
+        if (next.isNull()) {
+            api_.writeObj(header_, &Header::tail, prev);
+        } else {
+            api_.writeObj(next, &Node::prev, prev);
+        }
+        api_.free(node);
+        api_.write(header_, &Header::size, size() - 1);
+    }
+
+    PObj<Node> front() { return api_.readObj(header_, &Header::head); }
+
+    template <typename Cb>
+    void
+    forEach(Cb &&cb)
+    {
+        for (PObj<Node> n = front(); !n.isNull();
+             n = api_.readObj(n, &Node::next)) {
+            cb(api_.read(n, &Node::lo), api_.read(n, &Node::hi));
+        }
+    }
+
+  private:
+    PmemApi api_;
+    PObj<Header> header_;
+};
+
+} // namespace upr::explicit_model
+
+#endif // UPR_CONTAINERS_EXPLICIT_API_HH

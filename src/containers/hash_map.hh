@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Hash — separate-chaining hash map (paper Table III).
+ *
+ * Bucket array and chain nodes all live in simulated memory through
+ * MemEnv, so the table is persistent when the environment is. The
+ * table rehashes at load factor 1.0.
+ */
+
+#ifndef UPR_CONTAINERS_HASH_MAP_HH
+#define UPR_CONTAINERS_HASH_MAP_HH
+
+#include <optional>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "containers/memory_env.hh"
+
+namespace upr
+{
+
+/** Default hasher: splitmix64 finalizer over the key bytes. */
+struct DefaultHash
+{
+    std::uint64_t
+    operator()(std::uint64_t k) const
+    {
+        k ^= k >> 30;
+        k *= 0xbf58476d1ce4e5b9ULL;
+        k ^= k >> 27;
+        k *= 0x94d049bb133111ebULL;
+        k ^= k >> 31;
+        return k;
+    }
+};
+
+/**
+ * Chained hash map.
+ * @tparam K key type (trivially copyable, ==)
+ * @tparam V mapped type (trivially copyable)
+ * @tparam H hasher over K
+ */
+template <typename K, typename V, typename H = DefaultHash>
+class HashMap
+{
+  public:
+    struct Node
+    {
+        Ptr<Node> next;
+        K key{};
+        V value{};
+    };
+
+    struct Bucket
+    {
+        Ptr<Node> head;
+    };
+
+    struct Header
+    {
+        Ptr<Bucket> buckets;
+        std::uint64_t bucketCount = 0;
+        std::uint64_t size = 0;
+    };
+
+    static constexpr std::uint64_t kInitialBuckets = 16;
+
+    /** Create an empty map. */
+    explicit HashMap(MemEnv env)
+        : env_(env), header_(env_.alloc<Header>())
+    {
+        Ptr<Bucket> buckets =
+            env_.template allocArray<Bucket>(kInitialBuckets);
+        header_.setPtrField(&Header::buckets, buckets);
+        header_.setField(&Header::bucketCount, kInitialBuckets);
+    }
+
+    /** Re-attach to an existing map. */
+    HashMap(MemEnv env, Ptr<Header> header) : env_(env), header_(header)
+    {}
+
+    Ptr<Header> header() const { return header_; }
+
+    std::uint64_t size() const { return header_.field(&Header::size); }
+    bool empty() const { return size() == 0; }
+
+    std::uint64_t
+    bucketCount() const
+    {
+        return header_.field(&Header::bucketCount);
+    }
+
+    /**
+     * Insert or update.
+     * @return true if the key was newly inserted
+     */
+    bool
+    insert(const K &key, const V &value)
+    {
+        Ptr<Node> n = findNode(key);
+        if (!n.isNull()) {
+            n.setField(&Node::value, value);
+            return false;
+        }
+        if (size() + 1 > bucketCount())
+            rehash(bucketCount() * 2);
+
+        Ptr<Bucket> slot = bucketFor(key);
+        Ptr<Node> node = env_.template alloc<Node>();
+        node.setField(&Node::key, key);
+        node.setField(&Node::value, value);
+        node.setPtrField(&Node::next, slot.ptrField(&Bucket::head));
+        slot.setPtrField(&Bucket::head, node);
+        header_.setField(&Header::size, size() + 1);
+        return true;
+    }
+
+    /** Look up @p key. */
+    std::optional<V>
+    find(const K &key) const
+    {
+        Ptr<Node> n = findNode(key);
+        if (n.isNull())
+            return std::nullopt;
+        return n.template field<V>(&Node::value);
+    }
+
+    /** True if @p key is present. */
+    bool contains(const K &key) const { return !findNode(key).isNull(); }
+
+    /**
+     * Remove @p key.
+     * @return true if it was present
+     */
+    bool
+    erase(const K &key)
+    {
+        Ptr<Bucket> slot = bucketFor(key);
+        Ptr<Node> prev = Ptr<Node>::null();
+        Ptr<Node> n = slot.ptrField(&Bucket::head);
+        while (!n.isNull()) {
+            if (keyBranch(n.template field<K>(&Node::key) == key)) {
+                Ptr<Node> next = n.ptrField(&Node::next);
+                if (prev.isNull()) {
+                    slot.setPtrField(&Bucket::head, next);
+                } else {
+                    prev.setPtrField(&Node::next, next);
+                }
+                env_.free(n);
+                header_.setField(&Header::size, size() - 1);
+                return true;
+            }
+            prev = n;
+            n = n.ptrField(&Node::next);
+        }
+        return false;
+    }
+
+    /** Visit every (key, value) pair. */
+    template <typename Cb>
+    void
+    forEach(Cb &&cb) const
+    {
+        Ptr<Bucket> buckets = header_.ptrField(&Header::buckets);
+        const std::uint64_t count = bucketCount();
+        for (std::uint64_t b = 0; b < count; ++b) {
+            for (Ptr<Node> n = (buckets + b).ptrField(&Bucket::head);
+                 !n.isNull(); n = n.ptrField(&Node::next)) {
+                cb(n.template field<K>(&Node::key),
+                   n.template field<V>(&Node::value));
+            }
+        }
+    }
+
+    /** Free all nodes and reset to the initial bucket count. */
+    void
+    clear()
+    {
+        Ptr<Bucket> buckets = header_.ptrField(&Header::buckets);
+        const std::uint64_t count = bucketCount();
+        for (std::uint64_t b = 0; b < count; ++b) {
+            Ptr<Node> n = (buckets + b).ptrField(&Bucket::head);
+            while (!n.isNull()) {
+                Ptr<Node> next = n.ptrField(&Node::next);
+                env_.free(n);
+                n = next;
+            }
+            (buckets + b).setPtrField(&Bucket::head, Ptr<Node>::null());
+        }
+        header_.setField(&Header::size, std::uint64_t{0});
+    }
+
+    /**
+     * Invariants: every node hashes to the chain it is on; chain
+     * walk agrees with size; no duplicate keys.
+     */
+    void
+    validate() const
+    {
+        H hasher;
+        Ptr<Bucket> buckets = header_.ptrField(&Header::buckets);
+        const std::uint64_t count = bucketCount();
+        std::uint64_t seen = 0;
+        for (std::uint64_t b = 0; b < count; ++b) {
+            for (Ptr<Node> n = (buckets + b).ptrField(&Bucket::head);
+                 !n.isNull(); n = n.ptrField(&Node::next)) {
+                const K key = n.template field<K>(&Node::key);
+                upr_assert_msg(hasher(key) % count == b,
+                               "node chained in wrong bucket");
+                ++seen;
+                upr_assert_msg(seen <= size(), "chain cycle suspected");
+            }
+        }
+        upr_assert_msg(seen == size(), "hash size mismatch");
+    }
+
+  private:
+    Ptr<Bucket>
+    bucketFor(const K &key) const
+    {
+        H hasher;
+        Ptr<Bucket> buckets = header_.ptrField(&Header::buckets);
+        return buckets +
+               static_cast<std::ptrdiff_t>(hasher(key) % bucketCount());
+    }
+
+    /** Program key-equality branch (predictor-modeled). */
+    bool
+    keyBranch(bool outcome) const
+    {
+        static const std::uint64_t salt = detail::nextSiteSalt();
+        return env_.runtime().dataBranch(outcome, salt);
+    }
+
+    Ptr<Node>
+    findNode(const K &key) const
+    {
+        Ptr<Node> n = bucketFor(key).ptrField(&Bucket::head);
+        while (!n.isNull()) {
+            if (keyBranch(n.template field<K>(&Node::key) == key))
+                return n;
+            n = n.ptrField(&Node::next);
+        }
+        return Ptr<Node>::null();
+    }
+
+    void
+    rehash(std::uint64_t new_count)
+    {
+        Ptr<Bucket> old_buckets = header_.ptrField(&Header::buckets);
+        const std::uint64_t old_count = bucketCount();
+        Ptr<Bucket> fresh =
+            env_.template allocArray<Bucket>(new_count);
+
+        // Publish the new array first, then move chains.
+        header_.setPtrField(&Header::buckets, fresh);
+        header_.setField(&Header::bucketCount, new_count);
+
+        H hasher;
+        for (std::uint64_t b = 0; b < old_count; ++b) {
+            Ptr<Node> n = (old_buckets + b).ptrField(&Bucket::head);
+            while (!n.isNull()) {
+                Ptr<Node> next = n.ptrField(&Node::next);
+                const K key = n.template field<K>(&Node::key);
+                Ptr<Bucket> slot =
+                    fresh + static_cast<std::ptrdiff_t>(
+                                hasher(key) % new_count);
+                n.setPtrField(&Node::next,
+                              slot.ptrField(&Bucket::head));
+                slot.setPtrField(&Bucket::head, n);
+                n = next;
+            }
+        }
+        env_.free(old_buckets);
+    }
+
+    MemEnv env_;
+    Ptr<Header> header_;
+};
+
+} // namespace upr
+
+#endif // UPR_CONTAINERS_HASH_MAP_HH

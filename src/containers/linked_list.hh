@@ -1,0 +1,213 @@
+/**
+ * @file
+ * LL — doubly linked list (paper Table III).
+ *
+ * Written once against MemEnv/Ptr<T>; the same source runs volatile
+ * or persistent. The list header itself lives in simulated memory so
+ * a persistent list is fully reachable from its pool root offset.
+ */
+
+#ifndef UPR_CONTAINERS_LINKED_LIST_HH
+#define UPR_CONTAINERS_LINKED_LIST_HH
+
+#include "common/logging.hh"
+#include "containers/memory_env.hh"
+
+namespace upr
+{
+
+/**
+ * Doubly linked list of trivially copyable values.
+ * @tparam V element type (no Ptr members)
+ */
+template <typename V>
+class LinkedList
+{
+  public:
+    struct Node
+    {
+        Ptr<Node> next;
+        Ptr<Node> prev;
+        V value{};
+    };
+
+    struct Header
+    {
+        Ptr<Node> head;
+        Ptr<Node> tail;
+        std::uint64_t size = 0;
+    };
+
+    /** Create an empty list in @p env. */
+    explicit LinkedList(MemEnv env)
+        : env_(env), header_(env_.alloc<Header>())
+    {}
+
+    /** Re-attach to an existing (e.g. reopened persistent) list. */
+    LinkedList(MemEnv env, Ptr<Header> header)
+        : env_(env), header_(header)
+    {}
+
+    /** The header pointer (store it as a pool root to persist). */
+    Ptr<Header> header() const { return header_; }
+
+    /** Number of elements. */
+    std::uint64_t size() const
+    {
+        return header_.field(&Header::size);
+    }
+
+    /** True when empty. */
+    bool empty() const { return size() == 0; }
+
+    /** Append @p value; returns the new node. */
+    Ptr<Node>
+    pushBack(const V &value)
+    {
+        Ptr<Node> node = env_.template alloc<Node>();
+        node.setField(&Node::value, value);
+        Ptr<Node> tail = header_.ptrField(&Header::tail);
+        node.setPtrField(&Node::prev, tail);
+        node.setPtrField(&Node::next, Ptr<Node>::null());
+        if (tail.isNull()) {
+            header_.setPtrField(&Header::head, node);
+        } else {
+            tail.setPtrField(&Node::next, node);
+        }
+        header_.setPtrField(&Header::tail, node);
+        bumpSize(1);
+        return node;
+    }
+
+    /** Prepend @p value; returns the new node. */
+    Ptr<Node>
+    pushFront(const V &value)
+    {
+        Ptr<Node> node = env_.template alloc<Node>();
+        node.setField(&Node::value, value);
+        Ptr<Node> head = header_.ptrField(&Header::head);
+        node.setPtrField(&Node::next, head);
+        node.setPtrField(&Node::prev, Ptr<Node>::null());
+        if (head.isNull()) {
+            header_.setPtrField(&Header::tail, node);
+        } else {
+            head.setPtrField(&Node::prev, node);
+        }
+        header_.setPtrField(&Header::head, node);
+        bumpSize(1);
+        return node;
+    }
+
+    /** Insert @p value right after @p pos (must be a live node). */
+    Ptr<Node>
+    insertAfter(Ptr<Node> pos, const V &value)
+    {
+        upr_assert(!pos.isNull());
+        Ptr<Node> node = env_.template alloc<Node>();
+        node.setField(&Node::value, value);
+        Ptr<Node> next = pos.ptrField(&Node::next);
+        node.setPtrField(&Node::prev, pos);
+        node.setPtrField(&Node::next, next);
+        pos.setPtrField(&Node::next, node);
+        if (next.isNull()) {
+            header_.setPtrField(&Header::tail, node);
+        } else {
+            next.setPtrField(&Node::prev, node);
+        }
+        bumpSize(1);
+        return node;
+    }
+
+    /** Unlink and free @p node. */
+    void
+    erase(Ptr<Node> node)
+    {
+        upr_assert(!node.isNull());
+        Ptr<Node> prev = node.ptrField(&Node::prev);
+        Ptr<Node> next = node.ptrField(&Node::next);
+        if (prev.isNull()) {
+            header_.setPtrField(&Header::head, next);
+        } else {
+            prev.setPtrField(&Node::next, next);
+        }
+        if (next.isNull()) {
+            header_.setPtrField(&Header::tail, prev);
+        } else {
+            next.setPtrField(&Node::prev, prev);
+        }
+        env_.free(node);
+        bumpSize(-1);
+    }
+
+    /** First node (null when empty). */
+    Ptr<Node> front() const { return header_.ptrField(&Header::head); }
+
+    /** Last node (null when empty). */
+    Ptr<Node> back() const { return header_.ptrField(&Header::tail); }
+
+    /** Visit every value front-to-back: cb(const V&). */
+    template <typename Cb>
+    void
+    forEach(Cb &&cb) const
+    {
+        for (Ptr<Node> n = front(); !n.isNull();
+             n = n.ptrField(&Node::next)) {
+            cb(n.template field<V>(&Node::value));
+        }
+    }
+
+    /** Remove and free every node. */
+    void
+    clear()
+    {
+        Ptr<Node> n = front();
+        while (!n.isNull()) {
+            Ptr<Node> next = n.ptrField(&Node::next);
+            env_.free(n);
+            n = next;
+        }
+        header_.setPtrField(&Header::head, Ptr<Node>::null());
+        header_.setPtrField(&Header::tail, Ptr<Node>::null());
+        header_.setField(&Header::size, std::uint64_t{0});
+    }
+
+    /**
+     * Structural invariant check: forward/backward link symmetry,
+     * head/tail consistency, and size agreement. Panics on breakage.
+     */
+    void
+    validate() const
+    {
+        std::uint64_t count = 0;
+        Ptr<Node> prev = Ptr<Node>::null();
+        Ptr<Node> n = front();
+        while (!n.isNull()) {
+            upr_assert_msg(n.ptrField(&Node::prev) == prev,
+                           "list back-link broken");
+            prev = n;
+            n = n.ptrField(&Node::next);
+            ++count;
+            upr_assert_msg(count <= size() + 1, "list cycle detected");
+        }
+        upr_assert_msg(back() == prev || (count == 0 && back().isNull()),
+                       "list tail inconsistent");
+        upr_assert_msg(count == size(), "list size mismatch");
+    }
+
+  private:
+    void
+    bumpSize(std::int64_t delta)
+    {
+        header_.setField(
+            &Header::size,
+            header_.field(&Header::size) +
+                static_cast<std::uint64_t>(delta));
+    }
+
+    MemEnv env_;
+    Ptr<Header> header_;
+};
+
+} // namespace upr
+
+#endif // UPR_CONTAINERS_LINKED_LIST_HH

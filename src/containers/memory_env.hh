@@ -1,0 +1,122 @@
+/**
+ * @file
+ * MemEnv: the only knob a container user turns.
+ *
+ * A container written against MemEnv + Ptr<T> is "legacy code" in the
+ * paper's sense: the same source runs with volatile objects (heap
+ * environment) and persistent objects (pool environment). Migrating a
+ * data structure to NVM is exactly the paper's one-line change —
+ * construct its MemEnv with a pool instead of the heap.
+ */
+
+#ifndef UPR_CONTAINERS_MEMORY_ENV_HH
+#define UPR_CONTAINERS_MEMORY_ENV_HH
+
+#include <algorithm>
+
+#include "core/ptr.hh"
+
+namespace upr
+{
+
+/** Allocation environment: volatile heap or a persistent pool. */
+class MemEnv
+{
+  public:
+    /** A heap (volatile) environment. */
+    static MemEnv
+    volatileEnv(Runtime &rt)
+    {
+        return MemEnv(rt, false, 0);
+    }
+
+    /** A persistent environment allocating from @p pool. */
+    static MemEnv
+    persistentEnv(Runtime &rt, PoolId pool)
+    {
+        return MemEnv(rt, true, pool);
+    }
+
+    /** Allocate one zero-initialized T. */
+    template <typename T>
+    Ptr<T>
+    alloc()
+    {
+        return allocArray<T>(1);
+    }
+
+    /** Allocate @p n zero-initialized contiguous Ts. */
+    template <typename T>
+    Ptr<T>
+    allocArray(std::size_t n)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const Bytes bytes = sizeof(T) * n;
+        PtrBits bits;
+        if (persistent_) {
+            bits = rt_->pmallocBits(pool_, bytes);
+        } else {
+            bits = PtrRepr::fromVa(rt_->mallocBytes(bytes));
+        }
+        zero(bits, bytes);
+        return Ptr<T>::fromBits(bits);
+    }
+
+    /**
+     * Free an allocation made by this environment. Dispatch is on
+     * the pointer's actual form, not the environment flag: under
+     * user transparency the same free() receives relative pointers
+     * (loaded back from NVM) and virtual ones (fresh allocations,
+     * libvmmalloc-mode NVM addresses) interchangeably.
+     */
+    template <typename T>
+    void
+    free(Ptr<T> p)
+    {
+        if (p.isNull())
+            return;
+        if (PtrRepr::isRelative(p.bits())) {
+            rt_->pfreeBits(p.bits());
+        } else {
+            rt_->freeBytes(PtrRepr::toVa(p.bits()));
+        }
+    }
+
+    Runtime &runtime() const { return *rt_; }
+    bool persistent() const { return persistent_; }
+    PoolId pool() const { return pool_; }
+
+  private:
+    MemEnv(Runtime &rt, bool persistent, PoolId pool)
+        : rt_(&rt), persistent_(persistent), pool_(pool)
+    {}
+
+    /** Functional zero-fill (identical cost across versions). */
+    void
+    zero(PtrBits bits, Bytes n)
+    {
+        // Resolve without charging translation (allocation returns a
+        // fresh object; the zeroing memset is part of the modeled
+        // allocator cost already).
+        SimAddr va;
+        if (PtrRepr::isRelative(bits)) {
+            va = rt_->pools().ra2va(PtrRepr::poolOf(bits),
+                                    PtrRepr::offsetOf(bits));
+        } else {
+            va = PtrRepr::toVa(bits);
+        }
+        static const std::uint8_t zeros[256] = {};
+        for (Bytes i = 0; i < n; i += sizeof(zeros)) {
+            const Bytes chunk = std::min<Bytes>(sizeof(zeros), n - i);
+            rt_->space().writeBytes(va + i, zeros, chunk);
+        }
+    }
+
+    Runtime *rt_;
+    bool persistent_;
+    PoolId pool_;
+};
+
+} // namespace upr
+
+#endif // UPR_CONTAINERS_MEMORY_ENV_HH

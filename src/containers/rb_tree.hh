@@ -1,0 +1,284 @@
+/**
+ * @file
+ * RB — red-black tree (paper Table III), CLRS-style with null leaves.
+ *
+ * Node meta word: 0 = black, 1 = red.
+ */
+
+#ifndef UPR_CONTAINERS_RB_TREE_HH
+#define UPR_CONTAINERS_RB_TREE_HH
+
+#include "containers/bst_common.hh"
+
+namespace upr
+{
+
+/** Red-black tree map. */
+template <typename K, typename V>
+class RbTree : public BstBase<K, V>
+{
+  public:
+    using Base = BstBase<K, V>;
+    using Node = typename Base::Node;
+    using Header = typename Base::Header;
+
+    static constexpr std::uint64_t kBlack = 0;
+    static constexpr std::uint64_t kRed = 1;
+
+    explicit RbTree(MemEnv env) : Base(env) {}
+    RbTree(MemEnv env, Ptr<Header> header) : Base(env, header) {}
+
+    /**
+     * Insert or update.
+     * @return true if newly inserted
+     */
+    bool
+    insert(const K &key, const V &value)
+    {
+        Ptr<Node> parent = Ptr<Node>::null();
+        Ptr<Node> cur = this->root();
+        bool went_left = false;
+        while (!cur.isNull()) {
+            const K k = cur.template field<K>(&Node::key);
+            parent = cur;
+            if (this->keyBranch(key < k, 3)) {
+                cur = cur.ptrField(&Node::left);
+                went_left = true;
+            } else if (this->keyBranch(k < key, 4)) {
+                cur = cur.ptrField(&Node::right);
+                went_left = false;
+            } else {
+                cur.setField(&Node::value, value);
+                return false;
+            }
+        }
+
+        Ptr<Node> node = this->allocNode(key, value);
+        node.setField(&Node::meta, kRed);
+        node.setPtrField(&Node::parent, parent);
+        if (parent.isNull()) {
+            this->header_.setPtrField(&Header::root, node);
+        } else if (went_left) {
+            parent.setPtrField(&Node::left, node);
+        } else {
+            parent.setPtrField(&Node::right, node);
+        }
+        insertFixup(node);
+        this->bumpSize(1);
+        return true;
+    }
+
+    /**
+     * Remove @p key.
+     * @return true if it was present
+     */
+    bool
+    erase(const K &key)
+    {
+        Ptr<Node> z = this->findNode(key);
+        if (z.isNull())
+            return false;
+
+        Ptr<Node> x = Ptr<Node>::null();
+        Ptr<Node> x_parent = Ptr<Node>::null();
+        std::uint64_t removed_color = colorOf(z);
+
+        if (z.ptrField(&Node::left).isNull()) {
+            x = z.ptrField(&Node::right);
+            x_parent = z.ptrField(&Node::parent);
+            this->transplant(z, x);
+        } else if (z.ptrField(&Node::right).isNull()) {
+            x = z.ptrField(&Node::left);
+            x_parent = z.ptrField(&Node::parent);
+            this->transplant(z, x);
+        } else {
+            Ptr<Node> y = this->minimum(z.ptrField(&Node::right));
+            removed_color = colorOf(y);
+            x = y.ptrField(&Node::right);
+            if (y.ptrField(&Node::parent) == z) {
+                x_parent = y;
+            } else {
+                x_parent = y.ptrField(&Node::parent);
+                this->transplant(y, x);
+                Ptr<Node> zr = z.ptrField(&Node::right);
+                y.setPtrField(&Node::right, zr);
+                zr.setPtrField(&Node::parent, y);
+            }
+            this->transplant(z, y);
+            Ptr<Node> zl = z.ptrField(&Node::left);
+            y.setPtrField(&Node::left, zl);
+            zl.setPtrField(&Node::parent, y);
+            y.setField(&Node::meta, colorOf(z));
+        }
+
+        this->freeNode(z);
+        this->bumpSize(-1);
+        if (removed_color == kBlack)
+            eraseFixup(x, x_parent);
+        return true;
+    }
+
+    /** Full red-black invariant check (plus base BST invariants). */
+    void
+    validate() const
+    {
+        this->validateBase();
+        Ptr<Node> r = this->root();
+        if (r.isNull())
+            return;
+        upr_assert_msg(colorOf(r) == kBlack, "root must be black");
+        checkBlackHeight(r);
+    }
+
+  private:
+    static std::uint64_t
+    colorOf(Ptr<Node> n)
+    {
+        return n.isNull() ? kBlack
+                          : n.template field<std::uint64_t>(&Node::meta);
+    }
+
+    void
+    insertFixup(Ptr<Node> z)
+    {
+        while (colorOf(z.ptrField(&Node::parent)) == kRed) {
+            Ptr<Node> p = z.ptrField(&Node::parent);
+            Ptr<Node> g = p.ptrField(&Node::parent);
+            if (p == g.ptrField(&Node::left)) {
+                Ptr<Node> uncle = g.ptrField(&Node::right);
+                if (colorOf(uncle) == kRed) {
+                    p.setField(&Node::meta, kBlack);
+                    uncle.setField(&Node::meta, kBlack);
+                    g.setField(&Node::meta, kRed);
+                    z = g;
+                } else {
+                    if (z == p.ptrField(&Node::right)) {
+                        z = p;
+                        this->rotateLeft(z);
+                        p = z.ptrField(&Node::parent);
+                        g = p.ptrField(&Node::parent);
+                    }
+                    p.setField(&Node::meta, kBlack);
+                    g.setField(&Node::meta, kRed);
+                    this->rotateRight(g);
+                }
+            } else {
+                Ptr<Node> uncle = g.ptrField(&Node::left);
+                if (colorOf(uncle) == kRed) {
+                    p.setField(&Node::meta, kBlack);
+                    uncle.setField(&Node::meta, kBlack);
+                    g.setField(&Node::meta, kRed);
+                    z = g;
+                } else {
+                    if (z == p.ptrField(&Node::left)) {
+                        z = p;
+                        this->rotateRight(z);
+                        p = z.ptrField(&Node::parent);
+                        g = p.ptrField(&Node::parent);
+                    }
+                    p.setField(&Node::meta, kBlack);
+                    g.setField(&Node::meta, kRed);
+                    this->rotateLeft(g);
+                }
+            }
+        }
+        this->root().setField(&Node::meta, kBlack);
+    }
+
+    void
+    eraseFixup(Ptr<Node> x, Ptr<Node> x_parent)
+    {
+        while (!(x == this->root()) && colorOf(x) == kBlack) {
+            if (x_parent.isNull())
+                break;
+            if (x == x_parent.ptrField(&Node::left)) {
+                Ptr<Node> w = x_parent.ptrField(&Node::right);
+                if (colorOf(w) == kRed) {
+                    w.setField(&Node::meta, kBlack);
+                    x_parent.setField(&Node::meta, kRed);
+                    this->rotateLeft(x_parent);
+                    w = x_parent.ptrField(&Node::right);
+                }
+                if (colorOf(w.ptrField(&Node::left)) == kBlack &&
+                    colorOf(w.ptrField(&Node::right)) == kBlack) {
+                    w.setField(&Node::meta, kRed);
+                    x = x_parent;
+                    x_parent = x.ptrField(&Node::parent);
+                } else {
+                    if (colorOf(w.ptrField(&Node::right)) == kBlack) {
+                        Ptr<Node> wl = w.ptrField(&Node::left);
+                        if (!wl.isNull())
+                            wl.setField(&Node::meta, kBlack);
+                        w.setField(&Node::meta, kRed);
+                        this->rotateRight(w);
+                        w = x_parent.ptrField(&Node::right);
+                    }
+                    w.setField(&Node::meta, colorOf(x_parent));
+                    x_parent.setField(&Node::meta, kBlack);
+                    Ptr<Node> wr = w.ptrField(&Node::right);
+                    if (!wr.isNull())
+                        wr.setField(&Node::meta, kBlack);
+                    this->rotateLeft(x_parent);
+                    x = this->root();
+                    x_parent = Ptr<Node>::null();
+                }
+            } else {
+                Ptr<Node> w = x_parent.ptrField(&Node::left);
+                if (colorOf(w) == kRed) {
+                    w.setField(&Node::meta, kBlack);
+                    x_parent.setField(&Node::meta, kRed);
+                    this->rotateRight(x_parent);
+                    w = x_parent.ptrField(&Node::left);
+                }
+                if (colorOf(w.ptrField(&Node::right)) == kBlack &&
+                    colorOf(w.ptrField(&Node::left)) == kBlack) {
+                    w.setField(&Node::meta, kRed);
+                    x = x_parent;
+                    x_parent = x.ptrField(&Node::parent);
+                } else {
+                    if (colorOf(w.ptrField(&Node::left)) == kBlack) {
+                        Ptr<Node> wr = w.ptrField(&Node::right);
+                        if (!wr.isNull())
+                            wr.setField(&Node::meta, kBlack);
+                        w.setField(&Node::meta, kRed);
+                        this->rotateLeft(w);
+                        w = x_parent.ptrField(&Node::left);
+                    }
+                    w.setField(&Node::meta, colorOf(x_parent));
+                    x_parent.setField(&Node::meta, kBlack);
+                    Ptr<Node> wl = w.ptrField(&Node::left);
+                    if (!wl.isNull())
+                        wl.setField(&Node::meta, kBlack);
+                    this->rotateRight(x_parent);
+                    x = this->root();
+                    x_parent = Ptr<Node>::null();
+                }
+            }
+        }
+        if (!x.isNull())
+            x.setField(&Node::meta, kBlack);
+    }
+
+    /** Check no red-red edges; return the subtree's black height. */
+    std::uint64_t
+    checkBlackHeight(Ptr<Node> n) const
+    {
+        if (n.isNull())
+            return 1;
+        Ptr<Node> l = n.ptrField(&Node::left);
+        Ptr<Node> r = n.ptrField(&Node::right);
+        if (colorOf(n) == kRed) {
+            upr_assert_msg(colorOf(l) == kBlack &&
+                           colorOf(r) == kBlack,
+                           "red node with red child");
+        }
+        const std::uint64_t lh = checkBlackHeight(l);
+        const std::uint64_t rh = checkBlackHeight(r);
+        upr_assert_msg(lh == rh, "black height mismatch");
+        return lh + (colorOf(n) == kBlack ? 1 : 0);
+    }
+};
+
+} // namespace upr
+
+#endif // UPR_CONTAINERS_RB_TREE_HH

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * SG — scapegoat tree (paper Table III): an unbalanced BST that
+ * rebuilds a whole "scapegoat" subtree flat whenever an insertion
+ * lands too deep for the alpha-weight-balance bound.
+ *
+ * alpha = 0.7 (a common default). Header aux word tracks maxSize for
+ * the deletion-triggered whole-tree rebuild.
+ */
+
+#ifndef UPR_CONTAINERS_SCAPEGOAT_TREE_HH
+#define UPR_CONTAINERS_SCAPEGOAT_TREE_HH
+
+#include <cmath>
+#include <vector>
+
+#include "containers/bst_common.hh"
+
+namespace upr
+{
+
+/** Scapegoat tree map. */
+template <typename K, typename V>
+class ScapegoatTree : public BstBase<K, V>
+{
+  public:
+    using Base = BstBase<K, V>;
+    using Node = typename Base::Node;
+    using Header = typename Base::Header;
+
+    /** Weight-balance parameter. */
+    static constexpr double kAlpha = 0.7;
+
+    explicit ScapegoatTree(MemEnv env) : Base(env) {}
+    ScapegoatTree(MemEnv env, Ptr<Header> header) : Base(env, header) {}
+
+    /**
+     * Insert or update.
+     * @return true if newly inserted
+     */
+    bool
+    insert(const K &key, const V &value)
+    {
+        Ptr<Node> parent = Ptr<Node>::null();
+        Ptr<Node> cur = this->root();
+        bool went_left = false;
+        std::uint64_t depth = 0;
+        while (!cur.isNull()) {
+            const K k = cur.template field<K>(&Node::key);
+            parent = cur;
+            ++depth;
+            if (this->keyBranch(key < k, 3)) {
+                cur = cur.ptrField(&Node::left);
+                went_left = true;
+            } else if (this->keyBranch(k < key, 4)) {
+                cur = cur.ptrField(&Node::right);
+                went_left = false;
+            } else {
+                cur.setField(&Node::value, value);
+                return false;
+            }
+        }
+
+        Ptr<Node> node = this->allocNode(key, value);
+        node.setPtrField(&Node::parent, parent);
+        if (parent.isNull()) {
+            this->header_.setPtrField(&Header::root, node);
+        } else if (went_left) {
+            parent.setPtrField(&Node::left, node);
+        } else {
+            parent.setPtrField(&Node::right, node);
+        }
+        this->bumpSize(1);
+        const std::uint64_t n = this->size();
+        setMaxSize(std::max(maxSize(), n));
+
+        if (depth > depthLimit(n))
+            rebuildScapegoat(node);
+        return true;
+    }
+
+    /**
+     * Remove @p key; rebuilds the whole tree when it has shrunk to
+     * alpha * maxSize (the classic deletion rule).
+     * @return true if it was present
+     */
+    bool
+    erase(const K &key)
+    {
+        Ptr<Node> z = this->findNode(key);
+        if (z.isNull())
+            return false;
+
+        if (z.ptrField(&Node::left).isNull()) {
+            this->transplant(z, z.ptrField(&Node::right));
+        } else if (z.ptrField(&Node::right).isNull()) {
+            this->transplant(z, z.ptrField(&Node::left));
+        } else {
+            Ptr<Node> y = this->minimum(z.ptrField(&Node::right));
+            if (!(y.ptrField(&Node::parent) == z)) {
+                this->transplant(y, y.ptrField(&Node::right));
+                Ptr<Node> zr = z.ptrField(&Node::right);
+                y.setPtrField(&Node::right, zr);
+                zr.setPtrField(&Node::parent, y);
+            }
+            this->transplant(z, y);
+            Ptr<Node> zl = z.ptrField(&Node::left);
+            y.setPtrField(&Node::left, zl);
+            zl.setPtrField(&Node::parent, y);
+        }
+        this->freeNode(z);
+        this->bumpSize(-1);
+
+        const std::uint64_t n = this->size();
+        if (n > 0 &&
+            static_cast<double>(n) < kAlpha * maxSize()) {
+            rebuildSubtree(this->root());
+            setMaxSize(n);
+        } else if (n == 0) {
+            setMaxSize(0);
+        }
+        return true;
+    }
+
+    /**
+     * Scapegoat invariant: tree height within the alpha bound of the
+     * current size (after rebuilds), plus base BST invariants.
+     */
+    void
+    validate() const
+    {
+        this->validateBase();
+        const std::uint64_t n = this->size();
+        if (n == 0)
+            return;
+        const std::uint64_t h = heightOf(this->root());
+        // Height can exceed the strict alpha bound by at most 1
+        // between rebuilds (the textbook "loosely alpha-height" bound).
+        upr_assert_msg(h <= depthLimit(maxSize()) + 1,
+                       "scapegoat height bound violated: h=%llu n=%llu",
+                       (unsigned long long)h, (unsigned long long)n);
+    }
+
+  private:
+    std::uint64_t maxSize() const
+    {
+        return this->header_.field(&Header::aux);
+    }
+
+    void setMaxSize(std::uint64_t v)
+    {
+        this->header_.setField(&Header::aux, v);
+    }
+
+    /** floor(log_{1/alpha}(n)): the depth bound for size n. */
+    static std::uint64_t
+    depthLimit(std::uint64_t n)
+    {
+        if (n <= 1)
+            return 0;
+        return static_cast<std::uint64_t>(
+            std::floor(std::log(static_cast<double>(n)) /
+                       std::log(1.0 / kAlpha)));
+    }
+
+    std::uint64_t
+    subtreeSize(Ptr<Node> n) const
+    {
+        if (n.isNull())
+            return 0;
+        return 1 + subtreeSize(n.ptrField(&Node::left)) +
+               subtreeSize(n.ptrField(&Node::right));
+    }
+
+    std::uint64_t
+    heightOf(Ptr<Node> n) const
+    {
+        if (n.isNull())
+            return 0;
+        return 1 + std::max(heightOf(n.ptrField(&Node::left)),
+                            heightOf(n.ptrField(&Node::right)));
+    }
+
+    /** Walk up from the deep node to find and rebuild the scapegoat. */
+    void
+    rebuildScapegoat(Ptr<Node> deep)
+    {
+        Ptr<Node> n = deep;
+        std::uint64_t n_size = 1;
+        while (true) {
+            Ptr<Node> p = n.ptrField(&Node::parent);
+            if (p.isNull()) {
+                rebuildSubtree(n);
+                return;
+            }
+            const std::uint64_t p_size = subtreeSize(p);
+            if (static_cast<double>(n_size) >
+                kAlpha * static_cast<double>(p_size)) {
+                rebuildSubtree(p);
+                return;
+            }
+            n = p;
+            n_size = p_size;
+        }
+    }
+
+    /** Flatten @p sub in order and relink as a perfectly balanced tree. */
+    void
+    rebuildSubtree(Ptr<Node> sub)
+    {
+        if (sub.isNull())
+            return;
+        Ptr<Node> parent = sub.ptrField(&Node::parent);
+        const bool was_left =
+            !parent.isNull() && parent.ptrField(&Node::left) == sub;
+
+        std::vector<Ptr<Node>> flat;
+        this->walkInOrder(sub, [&](Ptr<Node> n) { flat.push_back(n); });
+
+        Ptr<Node> rebuilt = buildBalanced(flat, 0, flat.size());
+        if (parent.isNull()) {
+            this->header_.setPtrField(&Header::root, rebuilt);
+            rebuilt.setPtrField(&Node::parent, Ptr<Node>::null());
+        } else if (was_left) {
+            parent.setPtrField(&Node::left, rebuilt);
+            rebuilt.setPtrField(&Node::parent, parent);
+        } else {
+            parent.setPtrField(&Node::right, rebuilt);
+            rebuilt.setPtrField(&Node::parent, parent);
+        }
+    }
+
+    Ptr<Node>
+    buildBalanced(const std::vector<Ptr<Node>> &flat, std::size_t lo,
+                  std::size_t hi)
+    {
+        if (lo >= hi)
+            return Ptr<Node>::null();
+        const std::size_t mid = lo + (hi - lo) / 2;
+        Ptr<Node> n = flat[mid];
+        Ptr<Node> l = buildBalanced(flat, lo, mid);
+        Ptr<Node> r = buildBalanced(flat, mid + 1, hi);
+        n.setPtrField(&Node::left, l);
+        n.setPtrField(&Node::right, r);
+        if (!l.isNull())
+            l.setPtrField(&Node::parent, n);
+        if (!r.isNull())
+            r.setPtrField(&Node::parent, n);
+        return n;
+    }
+};
+
+} // namespace upr
+
+#endif // UPR_CONTAINERS_SCAPEGOAT_TREE_HH

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Splay — self-adjusting binary search tree (paper Table III).
+ *
+ * Every access splays the touched node to the root, so the hot keys
+ * of the YCSB "latest" distribution cluster near the top — which is
+ * exactly why Splay shows the largest persistent-pointer overhead in
+ * the paper's Fig 11 (its writes are pointer-dense).
+ */
+
+#ifndef UPR_CONTAINERS_SPLAY_TREE_HH
+#define UPR_CONTAINERS_SPLAY_TREE_HH
+
+#include "containers/bst_common.hh"
+
+namespace upr
+{
+
+/** Splay tree map. */
+template <typename K, typename V>
+class SplayTree : public BstBase<K, V>
+{
+  public:
+    using Base = BstBase<K, V>;
+    using Node = typename Base::Node;
+    using Header = typename Base::Header;
+
+    explicit SplayTree(MemEnv env) : Base(env) {}
+    SplayTree(MemEnv env, Ptr<Header> header) : Base(env, header) {}
+
+    /**
+     * Insert or update (splays the node to the root either way).
+     * @return true if newly inserted
+     */
+    bool
+    insert(const K &key, const V &value)
+    {
+        Ptr<Node> parent = Ptr<Node>::null();
+        Ptr<Node> cur = this->root();
+        bool went_left = false;
+        while (!cur.isNull()) {
+            const K k = cur.template field<K>(&Node::key);
+            parent = cur;
+            if (this->keyBranch(key < k, 3)) {
+                cur = cur.ptrField(&Node::left);
+                went_left = true;
+            } else if (this->keyBranch(k < key, 4)) {
+                cur = cur.ptrField(&Node::right);
+                went_left = false;
+            } else {
+                cur.setField(&Node::value, value);
+                splay(cur);
+                return false;
+            }
+        }
+
+        Ptr<Node> node = this->allocNode(key, value);
+        node.setPtrField(&Node::parent, parent);
+        if (parent.isNull()) {
+            this->header_.setPtrField(&Header::root, node);
+        } else if (went_left) {
+            parent.setPtrField(&Node::left, node);
+        } else {
+            parent.setPtrField(&Node::right, node);
+        }
+        splay(node);
+        this->bumpSize(1);
+        return true;
+    }
+
+    /** Splaying lookup (mutates the tree shape, as splay trees do). */
+    std::optional<V>
+    find(const K &key)
+    {
+        Ptr<Node> n = findAndSplay(key);
+        if (n.isNull())
+            return std::nullopt;
+        return n.template field<V>(&Node::value);
+    }
+
+    /** Splaying membership test. */
+    bool contains(const K &key) { return !findAndSplay(key).isNull(); }
+
+    /**
+     * Remove @p key (top-down via splay + join).
+     * @return true if it was present
+     */
+    bool
+    erase(const K &key)
+    {
+        Ptr<Node> z = findAndSplay(key);
+        if (z.isNull())
+            return false;
+        // z is now the root; join its subtrees.
+        Ptr<Node> l = z.ptrField(&Node::left);
+        Ptr<Node> r = z.ptrField(&Node::right);
+        if (l.isNull()) {
+            this->setRoot(r);
+        } else {
+            l.setPtrField(&Node::parent, Ptr<Node>::null());
+            this->header_.setPtrField(&Header::root, l);
+            // Splay the maximum of the left subtree to its root; its
+            // right child is then free for the old right subtree.
+            Ptr<Node> m = this->maximum(l);
+            splay(m);
+            m.setPtrField(&Node::right, r);
+            if (!r.isNull())
+                r.setPtrField(&Node::parent, m);
+        }
+        this->freeNode(z);
+        this->bumpSize(-1);
+        return true;
+    }
+
+    /** Splay trees have no shape invariant beyond BST order. */
+    void validate() const { this->validateBase(); }
+
+  private:
+    Ptr<Node>
+    findAndSplay(const K &key)
+    {
+        Ptr<Node> last = Ptr<Node>::null();
+        Ptr<Node> n = this->root();
+        while (!n.isNull()) {
+            last = n;
+            const K k = n.template field<K>(&Node::key);
+            if (this->keyBranch(key < k, 5)) {
+                n = n.ptrField(&Node::left);
+            } else if (this->keyBranch(k < key, 6)) {
+                n = n.ptrField(&Node::right);
+            } else {
+                splay(n);
+                return n;
+            }
+        }
+        // Miss: splay the last touched node (classic heuristic).
+        if (!last.isNull())
+            splay(last);
+        return Ptr<Node>::null();
+    }
+
+    void
+    splay(Ptr<Node> x)
+    {
+        for (;;) {
+            Ptr<Node> p = x.ptrField(&Node::parent);
+            if (p.isNull())
+                return;
+            Ptr<Node> g = p.ptrField(&Node::parent);
+            const bool x_left = (x == p.ptrField(&Node::left));
+            if (g.isNull()) {
+                // Zig.
+                if (x_left)
+                    this->rotateRight(p);
+                else
+                    this->rotateLeft(p);
+                return;
+            }
+            const bool p_left = (p == g.ptrField(&Node::left));
+            if (x_left == p_left) {
+                // Zig-zig: rotate grandparent first.
+                if (p_left) {
+                    this->rotateRight(g);
+                    this->rotateRight(p);
+                } else {
+                    this->rotateLeft(g);
+                    this->rotateLeft(p);
+                }
+            } else {
+                // Zig-zag.
+                if (x_left) {
+                    this->rotateRight(p);
+                    this->rotateLeft(g);
+                } else {
+                    this->rotateLeft(p);
+                    this->rotateRight(g);
+                }
+            }
+        }
+    }
+};
+
+} // namespace upr
+
+#endif // UPR_CONTAINERS_SPLAY_TREE_HH

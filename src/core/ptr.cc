@@ -1,0 +1,49 @@
+#include "core/ptr.hh"
+
+#include <atomic>
+
+namespace upr
+{
+
+namespace
+{
+thread_local Runtime *tCurrent = nullptr;
+} // namespace
+
+Runtime &
+currentRuntime()
+{
+    upr_assert_msg(tCurrent != nullptr,
+                   "no Runtime bound; create a RuntimeScope first");
+    return *tCurrent;
+}
+
+bool
+hasCurrentRuntime()
+{
+    return tCurrent != nullptr;
+}
+
+RuntimeScope::RuntimeScope(Runtime &rt) : previous_(tCurrent)
+{
+    tCurrent = &rt;
+}
+
+RuntimeScope::~RuntimeScope()
+{
+    tCurrent = previous_;
+}
+
+namespace detail
+{
+
+std::uint64_t
+nextSiteSalt()
+{
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+} // namespace upr

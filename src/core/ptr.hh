@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Ptr<T> — the user-transparent pointer facade.
+ *
+ * A Ptr<T> is exactly 8 bytes: the tagged pointer value of Fig 2. A
+ * library written against Ptr<T> works identically whether the object
+ * lives on DRAM (virtual-address form) or NVM (relative-address form)
+ * — that *is* the paper's user transparency. All operations route
+ * through the thread-current Runtime, which applies the version's
+ * check/translation semantics and timing.
+ *
+ * Containers access object members with member-pointer accessors:
+ *
+ *     struct Node { Ptr<Node> next; std::uint64_t value; };
+ *     Ptr<Node> n = env.alloc<Node>();
+ *     n.setPtrField(&Node::next, head);       // storeP semantics
+ *     std::uint64_t v = n.field(&Node::value); // storeD/load semantics
+ *
+ * Because Ptr<T> is 8 bytes and trivially copyable, a host-side node
+ * struct has byte-for-byte the layout of its simulated-memory image.
+ */
+
+#ifndef UPR_CORE_PTR_HH
+#define UPR_CORE_PTR_HH
+
+#include <cstddef>
+#include <type_traits>
+
+#include "core/runtime.hh"
+
+namespace upr
+{
+
+/** The thread-current runtime; panics if none is bound. */
+Runtime &currentRuntime();
+
+/** True if a runtime is currently bound on this thread. */
+bool hasCurrentRuntime();
+
+/** RAII binder making one Runtime current for the enclosing scope. */
+class RuntimeScope
+{
+  public:
+    explicit RuntimeScope(Runtime &rt);
+    ~RuntimeScope();
+
+    RuntimeScope(const RuntimeScope &) = delete;
+    RuntimeScope &operator=(const RuntimeScope &) = delete;
+
+  private:
+    Runtime *previous_;
+};
+
+namespace detail
+{
+/** Fresh per-instantiation site salt for the branch predictor. */
+std::uint64_t nextSiteSalt();
+} // namespace detail
+
+/**
+ * Byte offset of member @p member within @p T, computed from a real
+ * object (no null-pointer UB). Requires T to be default-constructible.
+ */
+template <typename T, typename M>
+Bytes
+memberOffset(M T::*member)
+{
+    static const T dummy{};
+    return static_cast<Bytes>(
+        reinterpret_cast<const char *>(&(dummy.*member)) -
+        reinterpret_cast<const char *>(&dummy));
+}
+
+template <typename T>
+class Ptr;
+
+namespace detail
+{
+/** Trait: is F a Ptr<U> instantiation? */
+template <typename F>
+struct IsUprPtr : std::false_type
+{
+};
+template <typename U>
+struct IsUprPtr<Ptr<U>> : std::true_type
+{
+};
+} // namespace detail
+
+/** The 8-byte user-transparent pointer. */
+template <typename T>
+class Ptr
+{
+  public:
+    constexpr Ptr() = default;
+
+    /** Wrap raw tagged bits. */
+    static Ptr
+    fromBits(PtrBits bits)
+    {
+        Ptr p;
+        p.bits_ = bits;
+        return p;
+    }
+
+    /** The null pointer. */
+    static constexpr Ptr null() { return Ptr(); }
+
+    /** Raw tagged 64-bit value. */
+    PtrBits bits() const { return bits_; }
+
+    /**
+     * True for the null pointer. The outcome is modeled as a program
+     * branch when a runtime is bound (null checks dominate the
+     * data-dependent branches of pointer-chasing code).
+     */
+    bool
+    isNull() const
+    {
+        const bool r = bits_ == 0;
+        if (hasCurrentRuntime())
+            currentRuntime().nullCheck(r, site(12));
+        return r;
+    }
+
+    explicit operator bool() const { return !isNull(); }
+
+    /**
+     * Effective-address generation for a dereference of this pointer
+     * (checks + translation per the current version). The returned
+     * VA is transient; it is never stored back by this call.
+     */
+    SimAddr
+    resolve(std::uint64_t op = 0) const
+    {
+        return currentRuntime().resolveForAccess(bits_, site(op));
+    }
+
+    // ------------------------------------------------------------------
+    // Whole-object access (pointer-free payloads only: a whole-struct
+    // copy would bypass storeP canonicalization of pointer members).
+    // ------------------------------------------------------------------
+
+    /** Load the whole object. */
+    T
+    load() const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T out;
+        currentRuntime().loadBytes(resolve(1), &out, sizeof(T));
+        return out;
+    }
+
+    /** Store the whole object. */
+    void
+    store(const T &value) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        currentRuntime().storeBytes(resolve(2), &value, sizeof(T));
+    }
+
+    // ------------------------------------------------------------------
+    // Member access
+    // ------------------------------------------------------------------
+
+    /**
+     * Load data member @p member (load instruction). Pointer-typed
+     * members automatically take the pointer-load path — the static
+     * type information a compiler has is exactly what selects the
+     * instruction (paper Fig 5: "the compiler chooses storeD or
+     * storeP"), so the facade does the same.
+     */
+    template <typename F, typename T2 = T>
+    F
+    field(F T2::*member) const
+    {
+        static_assert(std::is_trivially_copyable_v<F>);
+        if constexpr (detail::IsUprPtr<F>::value) {
+            return ptrField(member);
+        } else {
+            const Bytes off = memberOffset(member);
+            return currentRuntime().loadData<F>(
+                resolve(off * 16 + 3) + off);
+        }
+    }
+
+    /**
+     * Store data member @p member. Data members use storeD;
+     * pointer-typed members dispatch to storeP semantics so their
+     * stored format is always canonical.
+     */
+    template <typename F, typename T2 = T>
+    void
+    setField(F T2::*member, const F &value) const
+    {
+        static_assert(std::is_trivially_copyable_v<F>);
+        if constexpr (detail::IsUprPtr<F>::value) {
+            setPtrField(member, value);
+        } else {
+            const Bytes off = memberOffset(member);
+            currentRuntime().storeData<F>(resolve(off * 16 + 4) + off,
+                                          value);
+        }
+    }
+
+    /** Load pointer member @p member (value format preserved). */
+    template <typename U, typename T2 = T>
+    Ptr<U>
+    ptrField(Ptr<U> T2::*member) const
+    {
+        const Bytes off = memberOffset(member);
+        return Ptr<U>::fromBits(
+            currentRuntime().loadPtr(resolve(off * 16 + 5) + off));
+    }
+
+    /**
+     * Store pointer member @p member with pointerAssignment/storeP
+     * semantics: the stored bits are canonicalized to the destination
+     * medium's format.
+     */
+    template <typename U, typename T2 = T>
+    void
+    setPtrField(Ptr<U> T2::*member, Ptr<U> value) const
+    {
+        const Bytes off = memberOffset(member);
+        currentRuntime().storePtr(resolve(off * 16 + 6) + off,
+                                  value.bits(), site(off * 16 + 6));
+    }
+
+    // ------------------------------------------------------------------
+    // Fig 4 value operations
+    // ------------------------------------------------------------------
+
+    bool
+    operator==(const Ptr &other) const
+    {
+        return currentRuntime().ptrEq(bits_, other.bits_, site(7));
+    }
+
+    bool operator!=(const Ptr &other) const
+    {
+        return !(*this == other);
+    }
+
+    bool
+    operator<(const Ptr &other) const
+    {
+        return currentRuntime().ptrLt(bits_, other.bits_, site(8));
+    }
+
+    /** Array arithmetic: advance by @p n elements. */
+    Ptr
+    operator+(std::ptrdiff_t n) const
+    {
+        return fromBits(currentRuntime().ptrAddBytes(
+            bits_, n * static_cast<std::ptrdiff_t>(sizeof(T)),
+            site(9)));
+    }
+
+    Ptr operator-(std::ptrdiff_t n) const { return *this + (-n); }
+
+    /** Element difference between two pointers into one array. */
+    std::ptrdiff_t
+    operator-(const Ptr &other) const
+    {
+        const std::int64_t bytes = currentRuntime().ptrDiffBytes(
+            bits_, other.bits_, site(10));
+        return static_cast<std::ptrdiff_t>(
+            bytes / static_cast<std::int64_t>(sizeof(T)));
+    }
+
+    /** Element access: load *(p + i). */
+    T
+    at(std::ptrdiff_t i) const
+    {
+        return (*this + i).load();
+    }
+
+    /** (I)p cast with Fig 4 semantics. */
+    std::uint64_t
+    toInt() const
+    {
+        return currentRuntime().ptrToInt(bits_, site(11));
+    }
+
+    /** Reinterpret as a pointer to another type ((T*)p cast row). */
+    template <typename U>
+    Ptr<U>
+    cast() const
+    {
+        return Ptr<U>::fromBits(bits_);
+    }
+
+  private:
+    /** Static-instruction site id for branch-predictor realism. */
+    static std::uint64_t
+    site(std::uint64_t op)
+    {
+        static const std::uint64_t salt = detail::nextSiteSalt();
+        return salt * 0x9e3779b97f4a7c15ULL + op;
+    }
+
+    PtrBits bits_ = 0;
+};
+
+static_assert(sizeof(Ptr<int>) == 8,
+              "Ptr must be exactly one machine word (paper Fig 2)");
+static_assert(std::is_trivially_copyable_v<Ptr<int>>);
+
+} // namespace upr
+
+#endif // UPR_CORE_PTR_HH

@@ -1,0 +1,355 @@
+/**
+ * @file
+ * The UPR runtime: one simulated process — address space, volatile
+ * heap, pool manager, timing machine — plus the user-transparent
+ * persistent-reference semantics of paper Figs 3/4, implemented under
+ * four interchangeable versions (Sec VII-A):
+ *
+ *  - Volatile:  native pointers, no NVM anywhere (reference point).
+ *  - Sw:        compiler-inserted software checks: every pointer
+ *               operation runs determineX/determineY as real branches
+ *               through the branch predictor plus software-conversion
+ *               call overhead.
+ *  - Hw:        the paper's architecture support: conversions happen
+ *               at effective-address generation (POLB) and inside the
+ *               storeP unit (VALB + FSM buffer); no check branches.
+ *  - Explicit:  explicit persistent references [26]: object IDs are
+ *               translated through the POLB at *every* access to a
+ *               persistent object, with no reuse of conversion
+ *               results (contrast paper Fig 12).
+ *
+ * All counters for Table V (dynamic checks, abs->rel, rel->abs) and
+ * Fig 15 (storeP / VALB / POLB access fractions) accumulate here.
+ */
+
+#ifndef UPR_CORE_RUNTIME_HH
+#define UPR_CORE_RUNTIME_HH
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/machine.hh"
+#include "common/stats.hh"
+#include "core/pointer_repr.hh"
+#include "mem/vmalloc.hh"
+#include "nvm/pool_manager.hh"
+#include "nvm/txn.hh"
+
+namespace upr
+{
+
+/** The four compared implementations (paper Sec VII-A). */
+enum class Version
+{
+    Volatile,
+    Sw,
+    Hw,
+    Explicit,
+};
+
+/** Printable version name. */
+const char *versionName(Version v);
+
+/** Per-check-site identifiers for the branch predictor (SW mode). */
+enum class CheckSite : std::uint64_t
+{
+    ResolveY = 1,      //!< determineY before a dereference
+    StoreDetX,         //!< determineX on a store destination
+    StoreDetY,         //!< determineY on a stored pointer value
+    CmpLhs,            //!< determineY on a comparison's left side
+    CmpRhs,            //!< determineY on a comparison's right side
+    ArithY,            //!< determineY in pointer arithmetic
+    CastY,             //!< determineY in a pointer-to-int cast
+};
+
+/** One simulated process running one version. */
+class Runtime
+{
+  public:
+    struct Config
+    {
+        Version version = Version::Hw;
+        MachineParams machine = {};
+        Placement placement = Placement::Randomized;
+        std::uint64_t seed = 0x5eed;
+        /**
+         * Fault (instead of storing the raw virtual address) when a
+         * DRAM pointer is stored into an NVM location — the strict
+         * reading of Table I's fault rows.
+         */
+        bool strictStoreP = false;
+        /**
+         * Model register reuse of conversion results in HW mode
+         * (paper Fig 12). Disabling this is the bench_fig12 ablation:
+         * HW degenerates to Explicit-like per-access translation.
+         */
+        bool hwConversionReuse = true;
+
+        /**
+         * libvmmalloc mode (paper Sec VII-B): transparently override
+         * malloc so the *entire heap* is persistent — every
+         * mallocBytes() allocation lands in an internal pool and
+         * returns an NVM virtual address. This is how the paper ran
+         * its soundness campaign on the LLVM test-suite. Ignored
+         * under the Volatile version.
+         */
+        bool persistHeap = false;
+
+        /** Size of the internal libvmmalloc pool. */
+        Bytes persistHeapPoolSize = 256ULL << 20;
+
+        /**
+         * MMU-front modeling for the HW/Explicit versions: the
+         * POLB/VALB probe ahead of the TLB, optionally hidden by the
+         * non-PMO bypass predictor (the paper's future work; see
+         * arch/bypass.hh). None keeps the calibrated behaviour.
+         */
+        MmuFrontModel mmuFront = MmuFrontModel::None;
+    };
+
+    /** Construct with default configuration (HW version). */
+    Runtime();
+
+    explicit Runtime(Config config);
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    // ------------------------------------------------------------------
+    // Subsystems
+    // ------------------------------------------------------------------
+    Version version() const { return config_.version; }
+    const Config &config() const { return config_; }
+    AddressSpace &space() { return space_; }
+    VolatileHeap &heap() { return heap_; }
+    PoolManager &pools() { return pools_; }
+    Machine &machine() { return machine_; }
+
+    // ------------------------------------------------------------------
+    // Allocation facade
+    // ------------------------------------------------------------------
+
+    /** Volatile allocation; returns a DRAM virtual address. */
+    SimAddr mallocBytes(Bytes n);
+
+    /** Free a volatile allocation. */
+    void freeBytes(SimAddr va);
+
+    /**
+     * Persistent allocation in @p pool. Returns the canonical pointer
+     * value of the version: a relative address for Sw/Hw/Explicit
+     * (pmalloc returns relative addresses per its definition, Sec
+     * V-B), or a plain DRAM address under Volatile (where no NVM
+     * exists at all).
+     */
+    PtrBits pmallocBits(PoolId pool, Bytes n);
+
+    /** Free a persistent (or Volatile-version) allocation. */
+    void pfreeBits(PtrBits p);
+
+    /** Create-and-attach a pool (no-op handle under Volatile). */
+    PoolId createPool(const std::string &name, Bytes size);
+
+    // ------------------------------------------------------------------
+    // Persistent transactions (paper Sec VI)
+    // ------------------------------------------------------------------
+
+    /**
+     * Open an undo-log transaction on @p pool. While active, every
+     * store this runtime performs into that pool — including stores
+     * issued from inside recompiled legacy-library code, which is
+     * the paper's point: the application's transaction covers the
+     * library's writes with no library changes — logs its pre-image
+     * first. No-op under the Volatile version.
+     * @throws Fault{BadUsage} if a transaction is already active
+     */
+    void beginTxn(PoolId pool);
+
+    /** Commit the active transaction (durable; log truncated). */
+    void commitTxn();
+
+    /** Roll every logged write back and close the transaction. */
+    void abortTxn();
+
+    /** True while a transaction is open. */
+    bool inTxn() const { return activeTxn_ != nullptr; }
+
+    // ------------------------------------------------------------------
+    // Pointer-operation semantics (paper Figs 3 and 4)
+    // ------------------------------------------------------------------
+
+    /**
+     * Produce the virtual address to feed the memory system for a
+     * dereference of @p p (load/storeD effective-address generation).
+     * Version-dependent checks/translations are performed and timed.
+     *
+     * @param site static-instruction id for the SW check branch
+     */
+    SimAddr resolveForAccess(PtrBits p, std::uint64_t site);
+
+    /** Timed load of a pointer-sized value at location @p loc_va. */
+    PtrBits loadPtr(SimAddr loc_va);
+
+    /**
+     * pointerAssignment (Fig 3) / storeP (Table I): store pointer
+     * value @p value into the location at @p loc_va, converting the
+     * value to the canonical form of the destination medium.
+     */
+    void storePtr(SimAddr loc_va, PtrBits value, std::uint64_t site);
+
+    /** Timed data load of a trivially copyable value. */
+    template <typename T>
+    T
+    loadData(SimAddr va)
+    {
+        machine_.memAccess(va, false, Machine::AccessKind::Load);
+        return space_.read<T>(va);
+    }
+
+    /** Timed data store (storeD). */
+    template <typename T>
+    void
+    storeData(SimAddr va, const T &value)
+    {
+        machine_.memAccess(va, true, Machine::AccessKind::StoreD);
+        space_.write<T>(va, value);
+    }
+
+    /** Timed bulk read. */
+    void loadBytes(SimAddr va, void *dst, Bytes n);
+
+    /** Timed bulk write. */
+    void storeBytes(SimAddr va, const void *src, Bytes n);
+
+    // Value-level operations (Fig 4 rows) --------------------------------
+
+    /** Equality with full Fig 4 semantics (converting as needed). */
+    bool ptrEq(PtrBits a, PtrBits b, std::uint64_t site);
+
+    /** Ordering: a < b after normalizing both to virtual addresses. */
+    bool ptrLt(PtrBits a, PtrBits b, std::uint64_t site);
+
+    /** Additive operator: p + delta bytes (stays in its form). */
+    PtrBits ptrAddBytes(PtrBits p, std::int64_t delta,
+                        std::uint64_t site);
+
+    /** Pointer difference in bytes (Fig 4 additive rows). */
+    std::int64_t ptrDiffBytes(PtrBits a, PtrBits b, std::uint64_t site);
+
+    /** (I)p cast: a relative pointer converts to its VA first. */
+    std::uint64_t ptrToInt(PtrBits p, std::uint64_t site);
+
+    /** (T*)i cast: bits pass through unchanged. */
+    PtrBits intToPtr(std::uint64_t i) { return i; }
+
+    /**
+     * A program null-check branch: the outcome goes through the
+     * branch predictor (identical in every version — this is the
+     * program's own control flow, not a UPR check).
+     */
+    bool nullCheck(bool outcome, std::uint64_t site);
+
+    /**
+     * Any other data-dependent program branch (e.g. a key
+     * comparison in a search tree); predictor-modeled, all versions.
+     */
+    bool dataBranch(bool outcome, std::uint64_t site);
+
+    /**
+     * Software ra2va with version-appropriate cost. Exposed for the
+     * IR interpreter; also used internally.
+     */
+    SimAddr ra2va(PtrBits p, std::uint64_t site);
+
+    /** Software va2ra with version-appropriate cost. */
+    PtrBits va2ra(SimAddr va, std::uint64_t site);
+
+    // ------------------------------------------------------------------
+    // Counters (Table V / Fig 15)
+    // ------------------------------------------------------------------
+    std::uint64_t dynamicChecks() const { return dynChecks_.value(); }
+    std::uint64_t absToRel() const { return absToRel_.value(); }
+    std::uint64_t relToAbs() const { return relToAbs_.value(); }
+    const StatGroup &stats() const { return stats_; }
+
+    /** Reset UPR counters (machine counters are reset separately). */
+    void resetCounters();
+
+    /** Attach-epoch passthrough (register-reuse invalidation). */
+    std::uint64_t poolEpoch() const { return pools_.epoch(); }
+
+    /** The internal libvmmalloc pool (0 unless persistHeap is on). */
+    PoolId vmmallocPool() const { return vmPool_; }
+
+    /** Conversion results reused from registers (Fig 12), HW only. */
+    std::uint64_t reuseHits() const { return reuseHits_.value(); }
+
+  private:
+    /** SW-mode dynamic check: one predictor branch plus ALU work. */
+    bool swCheck(std::uint64_t site, bool outcome);
+
+    /** Data-dependent branches of a software pool-table lookup. */
+    void swLookupBranches(std::uint64_t key, std::uint64_t site);
+
+    /** Normalize one comparison operand to a virtual address. */
+    SimAddr normalizeCmp(PtrBits p, std::uint64_t site);
+
+    /**
+     * Register/temporary reuse of a previous ra2va result for the
+     * same pointer value (HW version, Fig 12). Returns the virtual
+     * address with zero cost on a hit, or kNullAddr on a miss.
+     */
+    SimAddr reuseLookup(PtrBits ra);
+
+    /** Park a fresh conversion result for later reuse. */
+    void reuseFill(PtrBits ra, SimAddr va);
+
+    struct ReuseEntry
+    {
+        bool valid = false;
+        PtrBits ra = 0;
+        SimAddr va = 0;
+        std::uint64_t epoch = 0;
+    };
+
+    Config config_;
+    AddressSpace space_;
+    VolatileHeap heap_;
+    PoolManager pools_;
+    Machine machine_;
+
+    std::vector<ReuseEntry> reuse_;
+
+    /**
+     * In-flight storeP completions by cache line (HW): a load that
+     * hits a line whose storeP translation is still in the FSM
+     * buffer must wait for it — the memory-dependence path through
+     * which VALB latency becomes visible (Fig 14 sensitivity).
+     */
+    std::unordered_map<SimAddr, Cycles> pendingStoreP_;
+    /** Dependent-load round-robin state for forwarding coverage. */
+    std::uint64_t depLoads_ = 0;
+
+    /** Internal pool backing libvmmalloc mode (0 = off). */
+    PoolId vmPool_ = 0;
+
+    /** Active undo-log transaction, if any. */
+    std::unique_ptr<Txn> activeTxn_;
+    PoolId txnPool_ = 0;
+    /** Re-entrancy guard: the undo log's own writes are not logged. */
+    bool txnLogging_ = false;
+
+    StatGroup stats_;
+    Counter dynChecks_;
+    Counter absToRel_;
+    Counter relToAbs_;
+    Counter storePOps_;
+    Counter reuseHits_;
+};
+
+} // namespace upr
+
+#endif // UPR_CORE_RUNTIME_HH

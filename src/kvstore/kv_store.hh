@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The key-value store harness (paper Sec VII-A): a thin store whose
+ * key -> value mapping is provided by any of the Table III index
+ * structures. The harness is the "NVM application"; the index is the
+ * "legacy library" being exercised.
+ */
+
+#ifndef UPR_KVSTORE_KV_STORE_HH
+#define UPR_KVSTORE_KV_STORE_HH
+
+#include "common/stats.hh"
+#include "containers/avl_tree.hh"
+#include "containers/hash_map.hh"
+#include "containers/rb_tree.hh"
+#include "containers/scapegoat_tree.hh"
+#include "containers/splay_tree.hh"
+#include "kvstore/ycsb.hh"
+
+namespace upr
+{
+
+/** Outcome counters of one workload execution. */
+struct KvRunResult
+{
+    std::uint64_t gets = 0;
+    std::uint64_t getHits = 0;
+    std::uint64_t sets = 0;
+    Cycles cycles = 0;        //!< cycles spent in the run phase
+    Cycles loadCycles = 0;    //!< cycles spent loading
+    std::uint64_t checksum = 0; //!< fold of all GET results (soundness)
+};
+
+/**
+ * KV store over a pluggable index.
+ * @tparam Index any container exposing insert/find/size
+ */
+template <typename Index>
+class KvStore
+{
+  public:
+    /** Build an empty store whose index allocates from @p env. */
+    explicit KvStore(MemEnv env) : index_(env) {}
+
+    /** Insert or update @p key. */
+    void set(std::uint64_t key, std::uint64_t value)
+    {
+        index_.insert(key, value);
+    }
+
+    /** Look up @p key. */
+    std::optional<std::uint64_t> get(std::uint64_t key)
+    {
+        return index_.find(key);
+    }
+
+    /** Records stored. */
+    std::uint64_t size() const { return index_.size(); }
+
+    /** The underlying index (for validation). */
+    Index &index() { return index_; }
+
+    /** The load phase alone. @return cycles spent loading. */
+    Cycles
+    loadPhase(const YcsbWorkload &workload)
+    {
+        Runtime &rt = currentRuntime();
+        const Cycles start = rt.machine().now();
+        for (const KvOp &op : workload.loadOps())
+            set(op.key, op.value);
+        return rt.machine().now() - start;
+    }
+
+    /** The timed run phase alone (call loadPhase first). */
+    KvRunResult
+    runPhase(const YcsbWorkload &workload)
+    {
+        Runtime &rt = currentRuntime();
+        KvRunResult res;
+        const Cycles run_start = rt.machine().now();
+        for (const KvOp &op : workload.runOps()) {
+            if (op.kind == KvOp::Kind::Get) {
+                ++res.gets;
+                if (auto v = get(op.key)) {
+                    ++res.getHits;
+                    res.checksum ^= *v;
+                    res.checksum =
+                        (res.checksum << 1) | (res.checksum >> 63);
+                }
+            } else {
+                ++res.sets;
+                set(op.key, op.value);
+            }
+        }
+        res.cycles = rt.machine().now() - run_start;
+        return res;
+    }
+
+    /**
+     * Execute a YCSB workload: load phase then timed run phase.
+     * Requires a bound RuntimeScope; cycle counts are read from the
+     * scoped runtime's machine.
+     */
+    KvRunResult
+    run(const YcsbWorkload &workload)
+    {
+        const Cycles load = loadPhase(workload);
+        KvRunResult res = runPhase(workload);
+        res.loadCycles = load;
+        return res;
+    }
+
+  private:
+    Index index_;
+};
+
+/** Convenience aliases for the Table III index structures. */
+using KvHash = KvStore<HashMap<std::uint64_t, std::uint64_t>>;
+using KvRb = KvStore<RbTree<std::uint64_t, std::uint64_t>>;
+using KvSplay = KvStore<SplayTree<std::uint64_t, std::uint64_t>>;
+using KvAvl = KvStore<AvlTree<std::uint64_t, std::uint64_t>>;
+using KvSg = KvStore<ScapegoatTree<std::uint64_t, std::uint64_t>>;
+
+} // namespace upr
+
+#endif // UPR_KVSTORE_KV_STORE_HH

@@ -1,0 +1,132 @@
+#include "kvstore/ycsb.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace upr
+{
+
+namespace
+{
+
+double
+zetaStatic(std::uint64_t n, double theta)
+{
+    double z = 0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        z += 1.0 / std::pow(static_cast<double>(i), theta);
+    return z;
+}
+
+} // namespace
+
+ZipfianGenerator::ZipfianGenerator(std::uint64_t n) : n_(n)
+{
+    upr_assert(n >= 1);
+    zetan_ = zetaStatic(n_, theta_);
+    zeta2_ = zetaStatic(2, theta_);
+    refreshDerived();
+}
+
+void
+ZipfianGenerator::refreshDerived()
+{
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_),
+                           1.0 - theta_)) /
+           (1.0 - zeta2_ / zetan_);
+}
+
+void
+ZipfianGenerator::growTo(std::uint64_t n)
+{
+    upr_assert(n >= n_);
+    // Incremental zeta: add the new tail terms only.
+    for (std::uint64_t i = n_ + 1; i <= n; ++i)
+        zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+    n_ = n;
+    refreshDerived();
+}
+
+std::uint64_t
+ZipfianGenerator::sample(Rng &rng)
+{
+    // Gray et al. quick zipfian (as used by YCSB).
+    const double u = rng.nextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    const auto idx = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return idx >= n_ ? n_ - 1 : idx;
+}
+
+YcsbWorkload::YcsbWorkload(WorkloadSpec spec) : spec_(spec)
+{
+    upr_assert(spec_.recordCount >= 1);
+    generate();
+}
+
+std::uint64_t
+YcsbWorkload::keyFor(std::uint64_t i)
+{
+    // FNV-1a-style scramble: spreads keys over the 64-bit space so
+    // index structures see unordered inserts (YCSB's "scrambled" keys,
+    // 8-byte strings in the paper).
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (int b = 0; b < 8; ++b) {
+        h ^= (i >> (b * 8)) & 0xff;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+void
+YcsbWorkload::generate()
+{
+    Rng rng(spec_.seed);
+
+    // Load phase: recordCount inserts.
+    load_.reserve(spec_.recordCount);
+    for (std::uint64_t i = 0; i < spec_.recordCount; ++i)
+        load_.push_back({KvOp::Kind::Set, keyFor(i), rng.next()});
+
+    // Run phase.
+    run_.reserve(spec_.operationCount);
+    std::uint64_t inserted = spec_.recordCount;
+    ZipfianGenerator zipf(spec_.recordCount);
+
+    for (std::uint64_t op = 0; op < spec_.operationCount; ++op) {
+        const bool is_read = rng.nextDouble() < spec_.readProportion;
+        if (!is_read) {
+            // All SETs insert brand-new records (paper Sec VII-A), so
+            // the index structure really updates nodes and pointers.
+            run_.push_back(
+                {KvOp::Kind::Set, keyFor(inserted), rng.next()});
+            ++inserted;
+            if (spec_.distribution == Distribution::Latest)
+                zipf.growTo(inserted);
+            continue;
+        }
+        std::uint64_t idx = 0;
+        switch (spec_.distribution) {
+          case Distribution::Uniform:
+            idx = rng.nextBounded(inserted);
+            break;
+          case Distribution::Zipfian:
+            idx = zipf.sample(rng);
+            break;
+          case Distribution::Latest:
+            // Hot end = most recent insert.
+            idx = inserted - 1 - zipf.sample(rng);
+            break;
+        }
+        run_.push_back({KvOp::Kind::Get, keyFor(idx), 0});
+    }
+}
+
+} // namespace upr

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * YCSB-style workload generation (paper Sec VII-A).
+ *
+ * The paper's harness uses a preset YCSB workload: 10,000 key-value
+ * pairs, 100,000 operations, 95% GET / 5% SET, 8-byte keys and
+ * values, with the *latest* distribution (zipfian over recency: the
+ * most recently inserted records are the most likely to be read).
+ * This module reproduces that generator, deterministic from a seed.
+ */
+
+#ifndef UPR_KVSTORE_YCSB_HH
+#define UPR_KVSTORE_YCSB_HH
+
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace upr
+{
+
+/** Request distribution over the key space. */
+enum class Distribution
+{
+    Uniform,
+    Zipfian, //!< zipfian over the key space (hot keys anywhere)
+    Latest,  //!< zipfian over recency (hot keys = newest)
+};
+
+/** One generated operation. */
+struct KvOp
+{
+    enum class Kind : std::uint8_t { Get, Set };
+
+    Kind kind;
+    std::uint64_t key;
+    std::uint64_t value; //!< for Set
+};
+
+/** Workload shape; defaults = the paper's configuration. */
+struct WorkloadSpec
+{
+    std::uint64_t recordCount = 10'000;
+    std::uint64_t operationCount = 100'000;
+    double readProportion = 0.95;
+    Distribution distribution = Distribution::Latest;
+    std::uint64_t seed = 2021;
+};
+
+/**
+ * Zipfian sampler over [0, n) with the YCSB constant theta = 0.99,
+ * supporting incremental growth of n (needed by Latest).
+ */
+class ZipfianGenerator
+{
+  public:
+    static constexpr double kTheta = 0.99;
+
+    /** @param n initial item count (>= 1) */
+    explicit ZipfianGenerator(std::uint64_t n);
+
+    /** Draw one sample in [0, itemCount). */
+    std::uint64_t sample(Rng &rng);
+
+    /** Extend the item range to @p n (zeta updated incrementally). */
+    void growTo(std::uint64_t n);
+
+    std::uint64_t itemCount() const { return n_; }
+
+  private:
+    std::uint64_t n_;
+    double zetan_;
+    double theta_ = kTheta;
+    double alpha_;
+    double eta_;
+    double zeta2_;
+
+    void refreshDerived();
+};
+
+/**
+ * Generate the full operation stream plus the initial load phase.
+ */
+class YcsbWorkload
+{
+  public:
+    explicit YcsbWorkload(WorkloadSpec spec = {});
+
+    /** The load phase: (key, value) pairs to insert before timing. */
+    const std::vector<KvOp> &loadOps() const { return load_; }
+
+    /** The timed run phase. */
+    const std::vector<KvOp> &runOps() const { return run_; }
+
+    const WorkloadSpec &spec() const { return spec_; }
+
+  private:
+    void generate();
+
+    /** Key for logical record index i (scrambled to avoid ordering). */
+    static std::uint64_t keyFor(std::uint64_t i);
+
+    WorkloadSpec spec_;
+    std::vector<KvOp> load_;
+    std::vector<KvOp> run_;
+};
+
+} // namespace upr
+
+#endif // UPR_KVSTORE_YCSB_HH

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The simulated 48-bit process virtual address space (paper Fig 2).
+ *
+ * Layout: the 256 TB space is split into two equal halves.
+ *   [0x0000'0000'0000, 0x8000'0000'0000)  DRAM (volatile) half, bit47=0
+ *   [0x8000'0000'0000, 0x1'0000'0000'0000) NVM (persistent) half, bit47=1
+ *
+ * Whether an address points to NVM is decided by checking bit 47, never
+ * by translating to a physical address — exactly the paper's design.
+ *
+ * The space maps virtual ranges onto Backing storage. Mappings come and
+ * go (pools attach/detach, possibly at new addresses); Backings persist.
+ */
+
+#ifndef UPR_MEM_ADDRESS_SPACE_HH
+#define UPR_MEM_ADDRESS_SPACE_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <type_traits>
+
+#include "common/bits.hh"
+#include "common/fault.hh"
+#include "common/types.hh"
+#include "mem/backing.hh"
+
+namespace upr
+{
+
+/** Virtual-address layout constants. */
+struct Layout
+{
+    /** Bits of virtual address implemented. */
+    static constexpr unsigned kVaBits = 48;
+    /** Bit that selects the NVM half (paper: bit 47). */
+    static constexpr unsigned kNvmBit = 47;
+    /** First address of the NVM half. */
+    static constexpr SimAddr kNvmBase = 1ULL << kNvmBit;
+    /** One past the last valid virtual address. */
+    static constexpr SimAddr kVaEnd = 1ULL << kVaBits;
+    /** Simulated page size. */
+    static constexpr Bytes kPageSize = 4096;
+
+    /** True if @p va lies in the NVM half (bit 47 set). */
+    static bool isNvm(SimAddr va) { return bit(va, kNvmBit); }
+};
+
+/**
+ * Sparse simulated address space: an ordered set of non-overlapping
+ * mapped regions, each backed by (a slice of) a Backing.
+ */
+class AddressSpace
+{
+  public:
+    AddressSpace() = default;
+    AddressSpace(const AddressSpace &) = delete;
+    AddressSpace &operator=(const AddressSpace &) = delete;
+
+    /**
+     * Map [base, base+size) onto @p backing starting at
+     * @p backing_off. The backing must already be large enough.
+     *
+     * @param name diagnostic region name (e.g. "pool:7", "heap")
+     */
+    void
+    map(SimAddr base, Bytes size, Backing &backing, Bytes backing_off,
+        std::string name)
+    {
+        upr_assert_msg(size > 0, "empty mapping '%s'", name.c_str());
+        upr_assert_msg(base + size <= Layout::kVaEnd,
+                       "mapping '%s' past end of address space",
+                       name.c_str());
+        upr_assert_msg(backing_off + size <= backing.size(),
+                       "mapping '%s' larger than its backing",
+                       name.c_str());
+        if (overlapsMapped(base, size)) {
+            throw Fault(FaultKind::BadUsage,
+                        "mapping '" + name + "' overlaps existing region");
+        }
+        regions_.emplace(base, Region{base, size, &backing, backing_off,
+                                      std::move(name)});
+    }
+
+    /** Remove the mapping that starts exactly at @p base. */
+    void
+    unmap(SimAddr base)
+    {
+        auto it = regions_.find(base);
+        if (it == regions_.end()) {
+            throw Fault(FaultKind::BadUsage,
+                        "unmap of address with no region");
+        }
+        regions_.erase(it);
+    }
+
+    /** True if [addr, addr+size) is fully inside one mapped region. */
+    bool
+    isMapped(SimAddr addr, Bytes size = 1) const
+    {
+        const Region *r = find(addr);
+        return r && addr + size <= r->base + r->size;
+    }
+
+    /** Read @p n bytes at @p addr into @p dst. */
+    void
+    readBytes(SimAddr addr, void *dst, Bytes n) const
+    {
+        const Region &r = require(addr, n);
+        r.backing->read(r.backingOff + (addr - r.base), dst, n);
+    }
+
+    /** Write @p n bytes from @p src to @p addr. */
+    void
+    writeBytes(SimAddr addr, const void *src, Bytes n)
+    {
+        const Region &r = require(addr, n);
+        r.backing->write(r.backingOff + (addr - r.base), src, n);
+    }
+
+    /** Typed read of a trivially copyable value. */
+    template <typename T>
+    T
+    read(SimAddr addr) const
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value;
+        readBytes(addr, &value, sizeof(T));
+        return value;
+    }
+
+    /** Typed write of a trivially copyable value. */
+    template <typename T>
+    void
+    write(SimAddr addr, const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        writeBytes(addr, &value, sizeof(T));
+    }
+
+    /** Number of currently mapped regions. */
+    std::size_t regionCount() const { return regions_.size(); }
+
+    /** Name of the region containing @p addr, or "" if unmapped. */
+    std::string
+    regionName(SimAddr addr) const
+    {
+        const Region *r = find(addr);
+        return r ? r->name : std::string();
+    }
+
+  private:
+    struct Region
+    {
+        SimAddr base;
+        Bytes size;
+        Backing *backing;
+        Bytes backingOff;
+        std::string name;
+    };
+
+    /** Region containing @p addr, or nullptr. */
+    const Region *
+    find(SimAddr addr) const
+    {
+        auto it = regions_.upper_bound(addr);
+        if (it == regions_.begin())
+            return nullptr;
+        --it;
+        const Region &r = it->second;
+        return addr < r.base + r.size ? &r : nullptr;
+    }
+
+    /** Region fully containing [addr, addr+n), or throw. */
+    const Region &
+    require(SimAddr addr, Bytes n) const
+    {
+        const Region *r = find(addr);
+        if (!r || addr + n > r->base + r->size) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf),
+                          "va 0x%llx size %llu",
+                          (unsigned long long)addr,
+                          (unsigned long long)n);
+            throw Fault(FaultKind::UnmappedAccess, buf);
+        }
+        return *r;
+    }
+
+    bool
+    overlapsMapped(SimAddr base, Bytes size) const
+    {
+        auto it = regions_.lower_bound(base);
+        if (it != regions_.end() && it->second.base < base + size)
+            return true;
+        if (it != regions_.begin()) {
+            --it;
+            const Region &r = it->second;
+            if (base < r.base + r.size)
+                return true;
+        }
+        return false;
+    }
+
+    std::map<SimAddr, Region> regions_;
+};
+
+} // namespace upr
+
+#endif // UPR_MEM_ADDRESS_SPACE_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Byte storage backing a mapped region of the simulated address space.
+ *
+ * Backings are the "physical" storage of the simulation. A Backing can
+ * outlive its mapping: persistent pools keep their Backing alive while
+ * detached, and map it again (possibly at a different virtual address)
+ * on reopen — that is what makes pool relocation real in this codebase.
+ */
+
+#ifndef UPR_MEM_BACKING_HH
+#define UPR_MEM_BACKING_HH
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "common/fault.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace upr
+{
+
+/** A contiguous, resizable byte store. */
+class Backing
+{
+  public:
+    /** Create a backing of @p size zeroed bytes. */
+    explicit Backing(Bytes size = 0) : bytes_(size, 0) {}
+
+    /** Size in bytes. */
+    Bytes size() const { return bytes_.size(); }
+
+    /** Grow to @p new_size bytes (never shrinks). */
+    void
+    grow(Bytes new_size)
+    {
+        if (new_size > bytes_.size())
+            bytes_.resize(new_size, 0);
+    }
+
+    /** Copy @p n bytes at byte offset @p off into @p dst. */
+    void
+    read(Bytes off, void *dst, Bytes n) const
+    {
+        upr_assert_msg(off + n <= bytes_.size(),
+                       "backing read [%llu,+%llu) past size %llu",
+                       (unsigned long long)off, (unsigned long long)n,
+                       (unsigned long long)bytes_.size());
+        std::memcpy(dst, bytes_.data() + off, n);
+    }
+
+    /** Copy @p n bytes from @p src to byte offset @p off. */
+    void
+    write(Bytes off, const void *src, Bytes n)
+    {
+        upr_assert_msg(off + n <= bytes_.size(),
+                       "backing write [%llu,+%llu) past size %llu",
+                       (unsigned long long)off, (unsigned long long)n,
+                       (unsigned long long)bytes_.size());
+        if (writeObserver_)
+            writeObserver_(off, n);
+        std::memcpy(bytes_.data() + off, src, n);
+    }
+
+    /**
+     * Install a pre-write observer invoked with (offset, length)
+     * before every write — the undo-log hook: it sees *all* writes,
+     * including allocator-metadata updates, so transactions roll the
+     * whole pool state back consistently. Pass nullptr to remove.
+     */
+    void
+    setWriteObserver(std::function<void(Bytes, Bytes)> observer)
+    {
+        writeObserver_ = std::move(observer);
+    }
+
+    /** Raw byte access for serialization (pool images). */
+    const std::vector<std::uint8_t> &raw() const { return bytes_; }
+
+    /** Replace the whole content (pool image load). */
+    void
+    assign(std::vector<std::uint8_t> content)
+    {
+        bytes_ = std::move(content);
+    }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+    std::function<void(Bytes, Bytes)> writeObserver_;
+};
+
+} // namespace upr
+
+#endif // UPR_MEM_BACKING_HH

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * First-fit volatile heap allocator over the DRAM half of the
+ * simulated address space.
+ *
+ * Allocation metadata is kept host-side (the heap is volatile by
+ * definition, nothing about it must survive a restart); the persistent
+ * allocator in src/nvm keeps its metadata inside the pool instead.
+ * A 16-byte per-block header is still modeled in the address layout
+ * (as real malloc has), so volatile and persistent allocations have
+ * the same footprint and the version comparison is not skewed by
+ * allocator overheads.
+ */
+
+#ifndef UPR_MEM_VMALLOC_HH
+#define UPR_MEM_VMALLOC_HH
+
+#include <map>
+
+#include "common/bits.hh"
+#include "common/fault.hh"
+#include "common/stats.hh"
+#include "mem/address_space.hh"
+
+namespace upr
+{
+
+/** Growable first-fit allocator with coalescing free ranges. */
+class VolatileHeap
+{
+  public:
+    /** Default base of the heap mapping inside the DRAM half. */
+    static constexpr SimAddr kDefaultBase = 0x0000'1000'0000ULL;
+    /** Initial mapped size; doubles on demand up to kMaxSize. */
+    static constexpr Bytes kInitialSize = 1ULL << 20;
+    /** Upper bound on heap growth. */
+    static constexpr Bytes kMaxSize = 1ULL << 33;
+
+    /**
+     * Create the heap and map its initial region.
+     *
+     * @param space address space to live in
+     * @param base heap base virtual address (must be in the DRAM half)
+     */
+    explicit VolatileHeap(AddressSpace &space, SimAddr base = kDefaultBase)
+        : space_(space), base_(base), mapped_(kInitialSize),
+          backing_(kInitialSize), stats_("vheap")
+    {
+        upr_assert_msg(!Layout::isNvm(base),
+                       "volatile heap must live in the DRAM half");
+        space_.map(base_, mapped_, backing_, 0, "vheap");
+        free_.emplace(base_, mapped_);
+        stats_.registerCounter("allocs", allocs_, "allocation calls");
+        stats_.registerCounter("frees", frees_, "deallocation calls");
+        stats_.registerCounter("bytesInUse", bytesInUse_,
+                               "currently allocated bytes");
+    }
+
+    ~VolatileHeap()
+    {
+        space_.unmap(base_);
+    }
+
+    VolatileHeap(const VolatileHeap &) = delete;
+    VolatileHeap &operator=(const VolatileHeap &) = delete;
+
+    /**
+     * Allocate @p n bytes aligned to @p align (power of two).
+     * @return simulated address of the block
+     * @throws Fault{HeapFull} when growth is exhausted
+     */
+    /** Modeled per-block header bytes (matches the pool allocator). */
+    static constexpr Bytes kHeaderBytes = 16;
+
+    SimAddr
+    allocate(Bytes n, Bytes align = 16)
+    {
+        upr_assert(isPow2(align));
+        if (n == 0)
+            n = 1;
+        n = roundUp(n, 16);
+        ++allocs_;
+        for (;;) {
+            for (auto it = free_.begin(); it != free_.end(); ++it) {
+                // The returned address is aligned; the modeled header
+                // sits just below it inside the block.
+                const SimAddr start =
+                    roundUp(it->first + kHeaderBytes, align);
+                const SimAddr end = it->first + it->second;
+                if (start + n <= end) {
+                    carve(it, start - kHeaderBytes,
+                          n + kHeaderBytes);
+                    live_.emplace(start, n);
+                    bytesInUse_ += n;
+                    return start;
+                }
+            }
+            growHeap();
+        }
+    }
+
+    /**
+     * Free a block previously returned by allocate().
+     * Freeing kNullAddr is a no-op, matching free(NULL).
+     */
+    void
+    deallocate(SimAddr p)
+    {
+        if (p == kNullAddr)
+            return;
+        auto it = live_.find(p);
+        upr_assert_msg(it != live_.end(),
+                       "free of non-allocated va 0x%llx",
+                       (unsigned long long)p);
+        ++frees_;
+        upr_assert(bytesInUse_.value() >= it->second);
+        bytesInUse_.sub(it->second);
+        release(p - kHeaderBytes, it->second + kHeaderBytes);
+        live_.erase(it);
+    }
+
+    /** Size of the live block at @p p; panics if not allocated. */
+    Bytes
+    blockSize(SimAddr p) const
+    {
+        auto it = live_.find(p);
+        upr_assert(it != live_.end());
+        return it->second;
+    }
+
+    /** True if @p p is the base of a live allocation. */
+    bool isLive(SimAddr p) const { return live_.count(p) != 0; }
+
+    /** Number of live allocations. */
+    std::size_t liveCount() const { return live_.size(); }
+
+    /** Statistics group for this heap. */
+    const StatGroup &stats() const { return stats_; }
+
+    /** Base virtual address of the heap. */
+    SimAddr base() const { return base_; }
+
+  private:
+    /** Remove [start, start+n) from the free range at @p it. */
+    void
+    carve(std::map<SimAddr, Bytes>::iterator it, SimAddr start, Bytes n)
+    {
+        const SimAddr rbase = it->first;
+        const Bytes rsize = it->second;
+        free_.erase(it);
+        if (start > rbase)
+            free_.emplace(rbase, start - rbase);
+        const SimAddr tail = start + n;
+        if (tail < rbase + rsize)
+            free_.emplace(tail, rbase + rsize - tail);
+    }
+
+    /** Return [p, p+n) to the free set, coalescing neighbours. */
+    void
+    release(SimAddr p, Bytes n)
+    {
+        auto next = free_.lower_bound(p);
+        // Coalesce with predecessor.
+        if (next != free_.begin()) {
+            auto prev = std::prev(next);
+            if (prev->first + prev->second == p) {
+                p = prev->first;
+                n += prev->second;
+                free_.erase(prev);
+            }
+        }
+        // Coalesce with successor.
+        if (next != free_.end() && p + n == next->first) {
+            n += next->second;
+            free_.erase(next);
+        }
+        free_.emplace(p, n);
+    }
+
+    /** Double the heap mapping, preserving contents. */
+    void
+    growHeap()
+    {
+        const Bytes new_size = mapped_ * 2;
+        if (new_size > kMaxSize)
+            throw Fault(FaultKind::HeapFull, "volatile heap exhausted");
+        backing_.grow(new_size);
+        space_.unmap(base_);
+        space_.map(base_, new_size, backing_, 0, "vheap");
+        release(base_ + mapped_, new_size - mapped_);
+        mapped_ = new_size;
+    }
+
+    AddressSpace &space_;
+    SimAddr base_;
+    Bytes mapped_;
+    Backing backing_;
+
+    /** Free ranges: base -> size, address ordered. */
+    std::map<SimAddr, Bytes> free_;
+    /** Live allocations: base -> size. */
+    std::map<SimAddr, Bytes> live_;
+
+    StatGroup stats_;
+    Counter allocs_;
+    Counter frees_;
+    Counter bytesInUse_;
+};
+
+} // namespace upr
+
+#endif // UPR_MEM_VMALLOC_HH

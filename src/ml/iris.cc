@@ -1,0 +1,58 @@
+#include "ml/iris.hh"
+
+#include "common/random.hh"
+
+namespace upr
+{
+
+namespace
+{
+
+/** Published per-class feature means of iris. */
+const double kMeans[3][4] = {
+    {5.006, 3.428, 1.462, 0.246}, // setosa
+    {5.936, 2.770, 4.260, 1.326}, // versicolor
+    {6.588, 2.974, 5.552, 2.026}, // virginica
+};
+
+/** Published per-class feature standard deviations of iris. */
+const double kStds[3][4] = {
+    {0.352, 0.379, 0.174, 0.105},
+    {0.516, 0.314, 0.470, 0.198},
+    {0.636, 0.322, 0.552, 0.275},
+};
+
+} // namespace
+
+IrisDataset
+IrisDataset::make(std::uint64_t seed)
+{
+    IrisDataset ds;
+    ds.features.reserve(kSamples * kFeatures);
+    ds.labels.reserve(kSamples);
+    Rng rng(seed);
+
+    for (int cls = 0; cls < kClasses; ++cls) {
+        for (int i = 0; i < 50; ++i) {
+            for (std::uint64_t f = 0; f < kFeatures; ++f) {
+                double v = kMeans[cls][f] +
+                           kStds[cls][f] * rng.nextGaussian();
+                if (v < 0.05)
+                    v = 0.05; // measurements are positive lengths
+                ds.features.push_back(v);
+            }
+            ds.labels.push_back(cls);
+        }
+    }
+    return ds;
+}
+
+Matrix
+IrisDataset::toMatrix(MemEnv env) const
+{
+    Matrix m(env, kSamples, kFeatures);
+    m.loadRowMajor(features);
+    return m;
+}
+
+} // namespace upr

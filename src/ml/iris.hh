@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Iris-statistics dataset (case-study input, Sec VII-E).
+ *
+ * SUBSTITUTION (see DESIGN.md): the paper uses the UCI iris dataset
+ * (150 samples, 4 features, 3 classes of 50). Offline, we synthesize
+ * a dataset with the same shape from the published per-class feature
+ * means and standard deviations of iris, deterministically from a
+ * seed — the classifier-relevant structure (one linearly separable
+ * class, two mildly overlapping ones) is preserved.
+ */
+
+#ifndef UPR_ML_IRIS_HH
+#define UPR_ML_IRIS_HH
+
+#include <vector>
+
+#include "ml/matrix.hh"
+
+namespace upr
+{
+
+/** Host-side dataset: features row-major, labels 0/1/2. */
+struct IrisDataset
+{
+    static constexpr std::uint64_t kSamples = 150;
+    static constexpr std::uint64_t kFeatures = 4;
+    static constexpr int kClasses = 3;
+
+    std::vector<double> features; //!< kSamples x kFeatures row-major
+    std::vector<int> labels;      //!< kSamples entries
+
+    /** Build the deterministic iris-statistics dataset. */
+    static IrisDataset make(std::uint64_t seed = 4);
+
+    /** Upload the features into a Matrix in @p env. */
+    Matrix toMatrix(MemEnv env) const;
+};
+
+} // namespace upr
+
+#endif // UPR_ML_IRIS_HH

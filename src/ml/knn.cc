@@ -1,0 +1,74 @@
+#include "ml/knn.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace upr
+{
+
+Knn::Result
+Knn::search(const Matrix &reference, const Matrix &query,
+            std::uint64_t k, Placement place)
+{
+    const std::uint64_t n = reference.rows();
+    const std::uint64_t m = query.rows();
+    upr_assert_msg(k >= 1 && k <= n, "k out of range");
+    upr_assert(reference.cols() == query.cols());
+
+    // Internal scratch: the full m x n distance matrix (the paper's
+    // "one for internal uses").
+    Matrix scratch(place.scratch, m, n);
+    for (std::uint64_t q = 0; q < m; ++q)
+        for (std::uint64_t r = 0; r < n; ++r)
+            scratch.set(q, r,
+                        Matrix::rowDistance2(query, q, reference, r));
+
+    Matrix neighbors(place.neighborsOut, k, m);
+    Matrix distances(place.distancesOut, k, m);
+
+    // Selection per query: partial sort of (distance, index).
+    std::vector<std::pair<double, std::uint64_t>> order(n);
+    for (std::uint64_t q = 0; q < m; ++q) {
+        for (std::uint64_t r = 0; r < n; ++r)
+            order[r] = {scratch.at(q, r), r};
+        std::partial_sort(order.begin(), order.begin() + k,
+                          order.end());
+        for (std::uint64_t i = 0; i < k; ++i) {
+            neighbors.set(i, q, static_cast<double>(order[i].second));
+            distances.set(i, q, order[i].first);
+        }
+    }
+
+    scratch.destroy();
+    return Result{neighbors, distances};
+}
+
+std::vector<int>
+Knn::classify(const Matrix &neighbors, const std::vector<int> &labels)
+{
+    const std::uint64_t k = neighbors.rows();
+    const std::uint64_t m = neighbors.cols();
+    std::vector<int> out(m);
+    for (std::uint64_t q = 0; q < m; ++q) {
+        std::map<int, int> votes;
+        for (std::uint64_t i = 0; i < k; ++i) {
+            const auto idx =
+                static_cast<std::size_t>(neighbors.at(i, q));
+            upr_assert(idx < labels.size());
+            ++votes[labels[idx]];
+        }
+        int best_label = 0, best_count = -1;
+        for (auto [label, count] : votes) {
+            if (count > best_count) {
+                best_label = label;
+                best_count = count;
+            }
+        }
+        out[q] = best_label;
+    }
+    return out;
+}
+
+} // namespace upr

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * k-nearest-neighbors (the MLPack-stand-in of the paper's Sec VII-E
+ * case study).
+ *
+ * The algorithm uses four matrices, mirroring the paper: the
+ * reference (input) matrix, an internal distance scratch matrix, and
+ * two outputs (neighbor indices and distances). Each can be placed on
+ * DRAM or NVM independently — 16 placement combinations, all served
+ * by this one implementation.
+ */
+
+#ifndef UPR_ML_KNN_HH
+#define UPR_ML_KNN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/matrix.hh"
+
+namespace upr
+{
+
+/** KNN search over row-vectors with squared Euclidean distance. */
+class Knn
+{
+  public:
+    /**
+     * Matrix placement for the four matrices of the case study.
+     * Defaults reproduce the paper: all persisted except the input.
+     */
+    struct Placement
+    {
+        MemEnv input;
+        MemEnv scratch;
+        MemEnv neighborsOut;
+        MemEnv distancesOut;
+    };
+
+    /** Outputs: k x nQueries indices and distances (paper layout). */
+    struct Result
+    {
+        Matrix neighbors;
+        Matrix distances;
+    };
+
+    /**
+     * Find the @p k nearest reference rows for every query row.
+     *
+     * @param reference n x d matrix of reference points
+     * @param query m x d matrix of query points
+     * @param k neighbor count (k <= n)
+     * @param place where the four matrices live
+     */
+    static Result search(const Matrix &reference, const Matrix &query,
+                         std::uint64_t k, Placement place);
+
+    /**
+     * Majority-vote classification using precomputed neighbors.
+     *
+     * @param neighbors k x m neighbor-index matrix from search()
+     * @param labels per-reference-row class labels
+     * @return per-query predicted labels
+     */
+    static std::vector<int>
+    classify(const Matrix &neighbors, const std::vector<int> &labels);
+};
+
+} // namespace upr
+
+#endif // UPR_ML_KNN_HH

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Dense column-major matrix — the Armadillo stand-in for the paper's
+ * KNN case study (Sec VII-E).
+ *
+ * A Matrix is deliberately the paper's "compound data structure": a
+ * small metadata block (dimensions, layout flag) holding a *pointer to
+ * a data array*. Either or both may live on NVM; the internal pointer
+ * is exactly the kind of thing the explicit persistent-reference
+ * model forces library changes for, and user-transparent references
+ * handle unchanged.
+ */
+
+#ifndef UPR_ML_MATRIX_HH
+#define UPR_ML_MATRIX_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "containers/memory_env.hh"
+
+namespace upr
+{
+
+/** Column-major matrix of doubles in simulated memory. */
+class Matrix
+{
+  public:
+    /** The persistent metadata block (the compound structure). */
+    struct Meta
+    {
+        Ptr<double> data;
+        std::uint64_t rows = 0;
+        std::uint64_t cols = 0;
+        std::uint32_t colMajor = 1;
+        std::uint32_t pad = 0;
+    };
+
+    /** Allocate a zeroed rows x cols matrix in @p env. */
+    Matrix(MemEnv env, std::uint64_t rows, std::uint64_t cols)
+        : env_(env), meta_(env_.alloc<Meta>())
+    {
+        upr_assert(rows > 0 && cols > 0);
+        Ptr<double> data = env_.allocArray<double>(rows * cols);
+        meta_.setPtrField(&Meta::data, data);
+        meta_.setField(&Meta::rows, rows);
+        meta_.setField(&Meta::cols, cols);
+        meta_.setField(&Meta::colMajor, std::uint32_t{1});
+    }
+
+    /** Attach to an existing matrix (e.g. from a reopened pool). */
+    Matrix(MemEnv env, Ptr<Meta> meta) : env_(env), meta_(meta) {}
+
+    /** The metadata pointer (store as pool root to persist). */
+    Ptr<Meta> meta() const { return meta_; }
+
+    std::uint64_t rows() const { return meta_.field(&Meta::rows); }
+    std::uint64_t cols() const { return meta_.field(&Meta::cols); }
+
+    /** Element read (timed simulated access). */
+    double
+    at(std::uint64_t r, std::uint64_t c) const
+    {
+        return elem(r, c).load();
+    }
+
+    /** Element write. */
+    void
+    set(std::uint64_t r, std::uint64_t c, double v)
+    {
+        elem(r, c).store(v);
+    }
+
+    /** Fill every element with @p v. */
+    void
+    fill(double v)
+    {
+        const std::uint64_t n = rows() * cols();
+        Ptr<double> data = meta_.ptrField(&Meta::data);
+        for (std::uint64_t i = 0; i < n; ++i)
+            (data + static_cast<std::ptrdiff_t>(i)).store(v);
+    }
+
+    /** Bulk-load from a host row-major buffer. */
+    void
+    loadRowMajor(const std::vector<double> &values)
+    {
+        upr_assert(values.size() == rows() * cols());
+        for (std::uint64_t r = 0; r < rows(); ++r)
+            for (std::uint64_t c = 0; c < cols(); ++c)
+                set(r, c, values[r * cols() + c]);
+    }
+
+    /** Copy out to a host row-major buffer. */
+    std::vector<double>
+    toRowMajor() const
+    {
+        std::vector<double> out(rows() * cols());
+        for (std::uint64_t r = 0; r < rows(); ++r)
+            for (std::uint64_t c = 0; c < cols(); ++c)
+                out[r * cols() + c] = at(r, c);
+        return out;
+    }
+
+    /** this + other (same shape), result allocated in @p env. */
+    Matrix
+    add(const Matrix &other, MemEnv env) const
+    {
+        upr_assert(rows() == other.rows() && cols() == other.cols());
+        Matrix out(env, rows(), cols());
+        for (std::uint64_t c = 0; c < cols(); ++c)
+            for (std::uint64_t r = 0; r < rows(); ++r)
+                out.set(r, c, at(r, c) + other.at(r, c));
+        return out;
+    }
+
+    /** this * other (naive), result allocated in @p env. */
+    Matrix
+    multiply(const Matrix &other, MemEnv env) const
+    {
+        upr_assert(cols() == other.rows());
+        Matrix out(env, rows(), other.cols());
+        for (std::uint64_t j = 0; j < other.cols(); ++j) {
+            for (std::uint64_t i = 0; i < rows(); ++i) {
+                double acc = 0;
+                for (std::uint64_t k = 0; k < cols(); ++k)
+                    acc += at(i, k) * other.at(k, j);
+                out.set(i, j, acc);
+            }
+        }
+        return out;
+    }
+
+    /** Transposed copy in @p env. */
+    Matrix
+    transpose(MemEnv env) const
+    {
+        Matrix out(env, cols(), rows());
+        for (std::uint64_t c = 0; c < cols(); ++c)
+            for (std::uint64_t r = 0; r < rows(); ++r)
+                out.set(c, r, at(r, c));
+        return out;
+    }
+
+    /** Squared Euclidean distance between row @p a and row @p b of
+     * possibly different matrices with equal column counts. */
+    static double
+    rowDistance2(const Matrix &ma, std::uint64_t a, const Matrix &mb,
+                 std::uint64_t b)
+    {
+        upr_assert(ma.cols() == mb.cols());
+        double acc = 0;
+        for (std::uint64_t c = 0; c < ma.cols(); ++c) {
+            const double d = ma.at(a, c) - mb.at(b, c);
+            acc += d * d;
+        }
+        return acc;
+    }
+
+    /** Release the data array and metadata back to the environment. */
+    void
+    destroy()
+    {
+        env_.free(meta_.ptrField(&Meta::data));
+        env_.free(meta_);
+        meta_ = Ptr<Meta>::null();
+    }
+
+  private:
+    Ptr<double>
+    elem(std::uint64_t r, std::uint64_t c) const
+    {
+        upr_assert_msg(r < rows() && c < cols(),
+                       "matrix index (%llu,%llu) out of %llux%llu",
+                       (unsigned long long)r, (unsigned long long)c,
+                       (unsigned long long)rows(),
+                       (unsigned long long)cols());
+        Ptr<double> data = meta_.ptrField(&Meta::data);
+        // Column-major: element (r, c) at index c*rows + r.
+        return data + static_cast<std::ptrdiff_t>(c * rows() + r);
+    }
+
+    MemEnv env_;
+    Ptr<Meta> meta_;
+};
+
+} // namespace upr
+
+#endif // UPR_ML_MATRIX_HH

@@ -1,0 +1,84 @@
+#include "nvm/pool.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace upr
+{
+
+Pool::Pool(PoolId id, std::string name, Bytes size)
+    : name_(std::move(name)), backing_(size)
+{
+    upr_assert_msg(id != 0, "pool id 0 is reserved");
+    if (size > kMaxSize) {
+        throw Fault(FaultKind::BadUsage,
+                    "pool size exceeds 32-bit offset range");
+    }
+    // Undo-log area scales with the pool: 1/16th of the pool,
+    // clamped to [8 KiB, kDefaultLogSize].
+    Bytes log_size = size / 16;
+    if (log_size < 8 * 1024)
+        log_size = 8 * 1024;
+    if (log_size > kDefaultLogSize)
+        log_size = kDefaultLogSize;
+    if (size < kHeaderSize + log_size + 4096) {
+        throw Fault(FaultKind::BadUsage, "pool size too small");
+    }
+
+    PoolHeader h = {};
+    h.magic = PoolHeader::kMagic;
+    h.version = PoolHeader::kVersion;
+    h.poolId = id;
+    h.size = size;
+    h.rootOff = 0;
+    h.freeHead = 0;
+    h.usedBytes = 0;
+    h.logStart = kHeaderSize;
+    h.logSize = log_size;
+    h.logTail = 0;
+    h.logActive = 0;
+    h.arenaStart = roundUp(kHeaderSize + log_size, 16);
+    setHeader(h);
+}
+
+Pool::Pool(std::string name, Backing image)
+    : name_(std::move(name)), backing_(std::move(image))
+{
+    if (backing_.size() < sizeof(PoolHeader)) {
+        throw Fault(FaultKind::BadUsage, "pool image truncated");
+    }
+    const PoolHeader h = header();
+    if (h.magic != PoolHeader::kMagic) {
+        throw Fault(FaultKind::BadUsage, "pool image has bad magic");
+    }
+    if (h.version != PoolHeader::kVersion) {
+        throw Fault(FaultKind::BadUsage, "pool image version mismatch");
+    }
+    if (h.size != backing_.size()) {
+        throw Fault(FaultKind::BadUsage, "pool image size mismatch");
+    }
+}
+
+void
+Pool::setRootOff(PoolOffset off)
+{
+    PoolHeader h = header();
+    h.rootOff = off;
+    setHeader(h);
+}
+
+PoolHeader
+Pool::header() const
+{
+    PoolHeader h;
+    backing_.read(0, &h, sizeof(h));
+    return h;
+}
+
+void
+Pool::setHeader(const PoolHeader &h)
+{
+    backing_.write(0, &h, sizeof(h));
+}
+
+} // namespace upr

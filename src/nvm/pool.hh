@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A persistent memory object pool (PMOP).
+ *
+ * A pool is the unit of persistence and relocation: it owns a Backing
+ * whose first kHeaderSize bytes are a persistent header, followed by an
+ * allocation arena managed by PoolAllocator. Everything the pool needs
+ * to be reopened — allocator free list, root object offset, undo log —
+ * lives *inside* the backing, expressed as pool-relative offsets, so a
+ * saved pool image is a complete, relocatable object graph.
+ */
+
+#ifndef UPR_NVM_POOL_HH
+#define UPR_NVM_POOL_HH
+
+#include <string>
+
+#include "common/fault.hh"
+#include "common/types.hh"
+#include "mem/backing.hh"
+
+namespace upr
+{
+
+/**
+ * Persistent pool header, stored at offset 0 of the pool backing.
+ * All members are fixed-width and offset-based (no virtual addresses).
+ */
+struct PoolHeader
+{
+    static constexpr std::uint64_t kMagic = 0x5550'525f'504f'4f4cULL;
+    static constexpr std::uint32_t kVersion = 1;
+
+    std::uint64_t magic;
+    std::uint32_t version;
+    std::uint32_t poolId;
+    std::uint64_t size;          //!< total pool size in bytes
+    std::uint64_t rootOff;       //!< user root object offset (0 = none)
+    std::uint64_t freeHead;      //!< allocator free-list head offset
+    std::uint64_t usedBytes;     //!< live payload bytes
+    std::uint64_t arenaStart;    //!< first allocatable offset
+    std::uint64_t logStart;      //!< undo-log area offset
+    std::uint64_t logSize;       //!< undo-log area size in bytes
+    std::uint64_t logTail;       //!< unused (log state lives in the
+                                 //!< log area's control block)
+    std::uint32_t logActive;     //!< unused (see Txn::isActive)
+    std::uint32_t pad;
+};
+
+static_assert(sizeof(PoolHeader) == 88);
+
+/**
+ * The in-memory handle for one pool. Attachment state (the virtual
+ * address it is currently mapped at, if any) is tracked by PoolManager,
+ * not here: a Pool object persists across detach/attach cycles.
+ */
+class Pool
+{
+  public:
+    /** Byte size reserved for the header (arena starts here). */
+    static constexpr Bytes kHeaderSize = 128;
+    /** Default undo-log area size. */
+    static constexpr Bytes kDefaultLogSize = 512 * 1024;
+    /** Pools are offset-addressed with 32 bits: hard size cap. */
+    static constexpr Bytes kMaxSize = 1ULL << 32;
+
+    /**
+     * Create and format a new pool.
+     *
+     * @param id pool ID assigned by the manager (non-zero)
+     * @param name user-visible pool name
+     * @param size total size in bytes (header + log + arena)
+     */
+    Pool(PoolId id, std::string name, Bytes size);
+
+    /** Adopt an existing image (reopen path); validates the header. */
+    Pool(std::string name, Backing image);
+
+    Pool(const Pool &) = delete;
+    Pool &operator=(const Pool &) = delete;
+    Pool(Pool &&) = default;
+    Pool &operator=(Pool &&) = default;
+
+    /** Pool ID (stable across reopen). */
+    PoolId id() const { return header().poolId; }
+
+    /** User-visible name. */
+    const std::string &name() const { return name_; }
+
+    /** Total pool size in bytes. */
+    Bytes size() const { return header().size; }
+
+    /** Root object offset (0 if unset). */
+    PoolOffset rootOff() const
+    {
+        return static_cast<PoolOffset>(header().rootOff);
+    }
+
+    /** Set the root object offset. */
+    void setRootOff(PoolOffset off);
+
+    /** The pool's byte storage. */
+    Backing &backing() { return backing_; }
+    const Backing &backing() const { return backing_; }
+
+    /** Read the header out of the backing. */
+    PoolHeader header() const;
+
+    /** Write the header back to the backing. */
+    void setHeader(const PoolHeader &h);
+
+  private:
+    std::string name_;
+    Backing backing_;
+};
+
+} // namespace upr
+
+#endif // UPR_NVM_POOL_HH

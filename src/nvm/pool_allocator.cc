@@ -1,0 +1,259 @@
+#include "nvm/pool_allocator.hh"
+
+#include "common/bits.hh"
+#include "common/fault.hh"
+#include "common/logging.hh"
+
+namespace upr
+{
+
+namespace
+{
+constexpr std::uint64_t kAllocatedBit = 1;
+} // namespace
+
+std::uint64_t
+PoolAllocator::rd64(Bytes off) const
+{
+    std::uint64_t v;
+    pool_.backing().read(off, &v, sizeof(v));
+    return v;
+}
+
+void
+PoolAllocator::wr64(Bytes off, std::uint64_t v)
+{
+    pool_.backing().write(off, &v, sizeof(v));
+}
+
+Bytes
+PoolAllocator::blockSize(Bytes block) const
+{
+    return rd64(block) & ~kAllocatedBit;
+}
+
+bool
+PoolAllocator::blockAllocated(Bytes block) const
+{
+    return rd64(block) & kAllocatedBit;
+}
+
+void
+PoolAllocator::setBlock(Bytes block, Bytes size, bool allocated)
+{
+    const std::uint64_t tag = size | (allocated ? kAllocatedBit : 0);
+    wr64(block, tag);
+    wr64(block + size - kFooterBytes, tag);
+}
+
+void
+PoolAllocator::format()
+{
+    PoolHeader h = pool_.header();
+    upr_assert_msg(h.freeHead == 0 && h.usedBytes == 0,
+                   "pool %u formatted twice", h.poolId);
+    // Blocks sit at 8 (mod 16) so payloads are 16-byte aligned.
+    const Bytes start = h.arenaStart + 8;
+    const Bytes end = h.size;
+    upr_assert(end > start + kMinBlock);
+    const Bytes size = roundDown(end - start, kAlign);
+    setBlock(start, size, false);
+    setNextFree(start, 0);
+    setPrevFree(start, 0);
+    h.freeHead = start;
+    pool_.setHeader(h);
+}
+
+void
+PoolAllocator::freeListInsert(Bytes block)
+{
+    PoolHeader h = pool_.header();
+    Bytes cur = h.freeHead;
+    Bytes prev = 0;
+    while (cur != 0 && cur < block) {
+        prev = cur;
+        cur = nextFree(cur);
+    }
+    setNextFree(block, cur);
+    setPrevFree(block, prev);
+    if (cur != 0)
+        setPrevFree(cur, block);
+    if (prev != 0) {
+        setNextFree(prev, block);
+    } else {
+        h.freeHead = block;
+        pool_.setHeader(h);
+    }
+}
+
+void
+PoolAllocator::freeListRemove(Bytes block)
+{
+    const Bytes next = nextFree(block);
+    const Bytes prev = prevFree(block);
+    if (next != 0)
+        setPrevFree(next, prev);
+    if (prev != 0) {
+        setNextFree(prev, next);
+    } else {
+        PoolHeader h = pool_.header();
+        upr_assert(h.freeHead == block);
+        h.freeHead = next;
+        pool_.setHeader(h);
+    }
+}
+
+PoolOffset
+PoolAllocator::alloc(Bytes n)
+{
+    if (n == 0)
+        n = 1;
+    const Bytes need =
+        roundUp(n + kHeaderBytes + kFooterBytes, kAlign) < kMinBlock
+            ? kMinBlock
+            : roundUp(n + kHeaderBytes + kFooterBytes, kAlign);
+
+    PoolHeader h = pool_.header();
+    Bytes block = h.freeHead;
+    while (block != 0) {
+        const Bytes size = blockSize(block);
+        if (size >= need) {
+            freeListRemove(block);
+            if (size - need >= kMinBlock) {
+                // Split: keep the front as the allocation.
+                setBlock(block, need, true);
+                const Bytes rest = block + need;
+                setBlock(rest, size - need, false);
+                freeListInsert(rest);
+            } else {
+                setBlock(block, size, true);
+            }
+            PoolHeader h2 = pool_.header();
+            h2.usedBytes += blockSize(block);
+            pool_.setHeader(h2);
+            return static_cast<PoolOffset>(block + kHeaderBytes);
+        }
+        block = nextFree(block);
+    }
+    throw Fault(FaultKind::PoolFull,
+                "pool '" + pool_.name() + "' cannot fit allocation");
+}
+
+void
+PoolAllocator::free(PoolOffset payload)
+{
+    upr_assert_msg(payload >= arenaFirst() + kHeaderBytes,
+                   "free of offset outside arena");
+    Bytes block = payload - kHeaderBytes;
+    upr_assert_msg(blockAllocated(block),
+                   "double free at pool offset %u", payload);
+
+    Bytes size = blockSize(block);
+    {
+        PoolHeader h = pool_.header();
+        upr_assert(h.usedBytes >= size);
+        h.usedBytes -= size;
+        pool_.setHeader(h);
+    }
+
+    // Coalesce with successor.
+    const Bytes next = block + size;
+    if (next + kMinBlock <= arenaEnd() && !blockAllocated(next)) {
+        freeListRemove(next);
+        size += blockSize(next);
+    }
+    // Coalesce with predecessor via its footer.
+    if (block >= arenaFirst() + kMinBlock) {
+        const Bytes prev_tag = rd64(block - kFooterBytes);
+        if (!(prev_tag & kAllocatedBit)) {
+            const Bytes prev_size = prev_tag & ~kAllocatedBit;
+            const Bytes prev = block - prev_size;
+            upr_assert(prev >= arenaFirst());
+            freeListRemove(prev);
+            block = prev;
+            size += prev_size;
+        }
+    }
+    setBlock(block, size, false);
+    freeListInsert(block);
+}
+
+Bytes
+PoolAllocator::payloadSize(PoolOffset payload) const
+{
+    const Bytes block = payload - kHeaderBytes;
+    upr_assert(blockAllocated(block));
+    return blockSize(block) - kHeaderBytes - kFooterBytes;
+}
+
+Bytes
+PoolAllocator::freeBytes() const
+{
+    Bytes total = 0;
+    for (Bytes b = pool_.header().freeHead; b != 0; b = nextFree(b))
+        total += blockSize(b) - kHeaderBytes - kFooterBytes;
+    return total;
+}
+
+std::size_t
+PoolAllocator::liveBlocks() const
+{
+    std::size_t live = 0;
+    const Bytes end = arenaEnd();
+    for (Bytes b = arenaFirst(); b + kMinBlock <= end;
+         b += blockSize(b)) {
+        upr_assert(blockSize(b) >= kMinBlock);
+        if (blockAllocated(b))
+            ++live;
+    }
+    return live;
+}
+
+void
+PoolAllocator::checkConsistency() const
+{
+    const Bytes start = arenaFirst();
+    const Bytes end = arenaEnd();
+
+    // Pass 1: walk every block; validate tags, canaries, coalescing.
+    bool prev_free = false;
+    Bytes free_blocks = 0;
+    Bytes b = start;
+    while (b + kMinBlock <= end) {
+        const Bytes size = blockSize(b);
+        upr_assert_msg(size >= kMinBlock && size % kAlign == 0,
+                       "bad block size %llu at offset %llu",
+                       (unsigned long long)size, (unsigned long long)b);
+        upr_assert_msg(b + size <= end, "block overruns arena");
+        upr_assert_msg(rd64(b) == rd64(b + size - kFooterBytes),
+                       "header/footer tag mismatch");
+        const bool is_free = !blockAllocated(b);
+        upr_assert_msg(!(prev_free && is_free),
+                       "adjacent free blocks not coalesced");
+        if (is_free)
+            ++free_blocks;
+        prev_free = is_free;
+        b += size;
+    }
+    upr_assert_msg(b == end || end - b < kMinBlock,
+                   "arena walk ended mid-block");
+
+    // Pass 2: free list must be address ordered, consistent, and must
+    // contain exactly the free blocks found by the walk.
+    Bytes listed = 0;
+    Bytes prev = 0;
+    for (Bytes f = pool_.header().freeHead; f != 0; f = nextFree(f)) {
+        upr_assert_msg(!blockAllocated(f), "allocated block on free list");
+        upr_assert_msg(prevFree(f) == prev, "free list back link broken");
+        upr_assert_msg(prev == 0 || prev < f,
+                       "free list not address ordered");
+        prev = f;
+        ++listed;
+    }
+    upr_assert_msg(listed == free_blocks,
+                   "free list has %llu entries, arena has %llu free",
+                   (unsigned long long)listed,
+                   (unsigned long long)free_blocks);
+}
+
+} // namespace upr

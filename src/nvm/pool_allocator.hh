@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Boundary-tag first-fit allocator whose metadata lives *inside* the
+ * pool, expressed as pool-relative offsets — so the heap structure
+ * survives pool save/reopen/relocation unchanged.
+ *
+ * Block layout (all blocks 16-byte aligned, sizes multiples of 16):
+ *
+ *   +0   header: u64 sizeFlags (total block size; bit0 = allocated)
+ *   +8   payload ...                        (free blocks: u64 nextFree,
+ *                                            u64 prevFree here instead)
+ *   +size-8 footer: u64 sizeFlags copy
+ *
+ * 16 bytes of boundary tags per block — the same per-allocation
+ * overhead the volatile heap models, so persistent and volatile
+ * objects have identical memory footprints and cache behaviour.
+ * The free list is doubly linked and address-ordered; adjacent free
+ * blocks are coalesced eagerly using the boundary tags.
+ */
+
+#ifndef UPR_NVM_POOL_ALLOCATOR_HH
+#define UPR_NVM_POOL_ALLOCATOR_HH
+
+#include "common/types.hh"
+#include "nvm/pool.hh"
+
+namespace upr
+{
+
+/** Allocator over one pool's arena; stateless apart from the pool. */
+class PoolAllocator
+{
+  public:
+    static constexpr Bytes kAlign = 16;
+    static constexpr Bytes kHeaderBytes = 8;
+    static constexpr Bytes kFooterBytes = 8;
+    static constexpr Bytes kMinBlock = 32;
+
+    /** Bind to @p pool (no formatting). */
+    explicit PoolAllocator(Pool &pool) : pool_(pool) {}
+
+    /** One-time arena formatting right after pool creation. */
+    void format();
+
+    /**
+     * Allocate @p n payload bytes (16-byte aligned).
+     * @return payload offset within the pool
+     * @throws Fault{PoolFull} if no block fits
+     */
+    PoolOffset alloc(Bytes n);
+
+    /** Free a payload offset previously returned by alloc(). */
+    void free(PoolOffset payload);
+
+    /** Payload capacity of the live block at @p payload. */
+    Bytes payloadSize(PoolOffset payload) const;
+
+    /** Sum of free block payload capacity. */
+    Bytes freeBytes() const;
+
+    /** Number of live (allocated) blocks in the arena. */
+    std::size_t liveBlocks() const;
+
+    /**
+     * Walk the whole arena validating boundary tags, canaries, free
+     * list linkage, and coalescing invariants; panics on corruption.
+     * Heavily used by the property tests.
+     */
+    void checkConsistency() const;
+
+  private:
+    std::uint64_t rd64(Bytes off) const;
+    void wr64(Bytes off, std::uint64_t v);
+
+    Bytes blockSize(Bytes block) const;
+    bool blockAllocated(Bytes block) const;
+    void setBlock(Bytes block, Bytes size, bool allocated);
+
+    Bytes nextFree(Bytes block) const { return rd64(block + 8); }
+    Bytes prevFree(Bytes block) const { return rd64(block + 16); }
+    void setNextFree(Bytes block, Bytes v) { wr64(block + 8, v); }
+    void setPrevFree(Bytes block, Bytes v) { wr64(block + 16, v); }
+
+    /** Insert @p block into the address-ordered free list. */
+    void freeListInsert(Bytes block);
+    /** Unlink @p block from the free list. */
+    void freeListRemove(Bytes block);
+
+    /**
+     * First block address: offset 8 past the arena start, so block
+     * payloads (block + 8) are 16-byte aligned.
+     */
+    Bytes arenaFirst() const { return pool_.header().arenaStart + 8; }
+    Bytes arenaEnd() const { return pool_.header().size; }
+
+    Pool &pool_;
+};
+
+} // namespace upr
+
+#endif // UPR_NVM_POOL_ALLOCATOR_HH

@@ -1,0 +1,303 @@
+#include "nvm/pool_manager.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace upr
+{
+
+namespace
+{
+/** Pools attach on 64 KiB boundaries. */
+constexpr Bytes kAttachAlign = 64 * 1024;
+/** First usable address in the NVM half (guard page below). */
+constexpr SimAddr kNvmFirst = Layout::kNvmBase + kAttachAlign;
+} // namespace
+
+PoolManager::PoolManager(AddressSpace &space, Placement placement,
+                         std::uint64_t seed)
+    : space_(space), placement_(placement), rng_(seed),
+      bump_(kNvmFirst), stats_("pools")
+{
+    stats_.registerCounter("attaches", attaches_, "pool attach events");
+    stats_.registerCounter("detaches", detaches_, "pool detach events");
+    stats_.registerCounter("ra2va", ra2vaCalls_,
+                           "software relative-to-virtual translations");
+    stats_.registerCounter("va2ra", va2raCalls_,
+                           "software virtual-to-relative translations");
+}
+
+SimAddr
+PoolManager::placeRange(Bytes size)
+{
+    SimAddr base = bump_;
+    if (placement_ == Placement::Randomized) {
+        // Skip a random number of 64 KiB slots (0..255) so the attach
+        // address differs between runs and between reopen cycles.
+        base += kAttachAlign * rng_.nextBounded(256);
+    }
+    bump_ = roundUp(base + size, kAttachAlign) + kAttachAlign;
+    if (bump_ >= Layout::kVaEnd) {
+        throw Fault(FaultKind::BadUsage, "NVM half exhausted");
+    }
+    return base;
+}
+
+PoolId
+PoolManager::createPool(const std::string &name, Bytes size)
+{
+    if (byName_.count(name)) {
+        throw Fault(FaultKind::BadUsage,
+                    "pool name '" + name + "' already in use");
+    }
+    const PoolId id = nextId_++;
+    Entry entry;
+    entry.pool = std::make_unique<Pool>(id, name, size);
+    entry.allocator = std::make_unique<PoolAllocator>(*entry.pool);
+    entry.allocator->format();
+    pools_.emplace(id, std::move(entry));
+    byName_.emplace(name, id);
+    attach(id);
+    return id;
+}
+
+PoolId
+PoolManager::openPool(const std::string &name)
+{
+    auto it = byName_.find(name);
+    if (it == byName_.end()) {
+        throw Fault(FaultKind::BadUsage,
+                    "no pool named '" + name + "'");
+    }
+    const PoolId id = it->second;
+    Entry &entry = pools_.at(id);
+    if (entry.attached) {
+        throw Fault(FaultKind::BadUsage,
+                    "pool '" + name + "' is already attached");
+    }
+    attach(id);
+    return id;
+}
+
+void
+PoolManager::attach(PoolId id)
+{
+    Entry &entry = pools_.at(id);
+    upr_assert(!entry.attached);
+    const Bytes size = entry.pool->size();
+    const SimAddr base = placeRange(size);
+    char label[32];
+    std::snprintf(label, sizeof(label), "pool:%u", id);
+    space_.map(base, size, entry.pool->backing(), 0, label);
+    entry.attached = true;
+    entry.base = base;
+    ranges_.emplace(base, AttachedRange{base, size, id});
+    ++attaches_;
+    ++epoch_;
+}
+
+void
+PoolManager::detach(PoolId id)
+{
+    auto it = pools_.find(id);
+    if (it == pools_.end()) {
+        throw Fault(FaultKind::BadRelativeAddress,
+                    "detach of unknown pool");
+    }
+    Entry &entry = it->second;
+    if (!entry.attached) {
+        throw Fault(FaultKind::BadUsage, "pool is not attached");
+    }
+    space_.unmap(entry.base);
+    ranges_.erase(entry.base);
+    entry.attached = false;
+    entry.base = 0;
+    ++detaches_;
+    ++epoch_;
+}
+
+void
+PoolManager::destroy(PoolId id)
+{
+    auto it = pools_.find(id);
+    if (it == pools_.end()) {
+        throw Fault(FaultKind::BadRelativeAddress,
+                    "destroy of unknown pool");
+    }
+    if (it->second.attached)
+        detach(id);
+    byName_.erase(it->second.pool->name());
+    pools_.erase(it);
+}
+
+bool
+PoolManager::isAttached(PoolId id) const
+{
+    auto it = pools_.find(id);
+    return it != pools_.end() && it->second.attached;
+}
+
+SimAddr
+PoolManager::baseOf(PoolId id) const
+{
+    auto it = pools_.find(id);
+    upr_assert_msg(it != pools_.end() && it->second.attached,
+                   "baseOf on unattached pool %u", id);
+    return it->second.base;
+}
+
+Pool &
+PoolManager::pool(PoolId id)
+{
+    auto it = pools_.find(id);
+    upr_assert_msg(it != pools_.end(), "unknown pool %u", id);
+    return *it->second.pool;
+}
+
+const Pool &
+PoolManager::pool(PoolId id) const
+{
+    auto it = pools_.find(id);
+    upr_assert_msg(it != pools_.end(), "unknown pool %u", id);
+    return *it->second.pool;
+}
+
+PoolAllocator &
+PoolManager::allocator(PoolId id)
+{
+    auto it = pools_.find(id);
+    upr_assert_msg(it != pools_.end(), "unknown pool %u", id);
+    return *it->second.allocator;
+}
+
+SimAddr
+PoolManager::ra2va(PoolId id, PoolOffset off) const
+{
+    ++ra2vaCalls_;
+    auto it = pools_.find(id);
+    if (it == pools_.end()) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "pool %u", id);
+        throw Fault(FaultKind::BadRelativeAddress, buf);
+    }
+    const Entry &entry = it->second;
+    if (!entry.attached) {
+        throw Fault(FaultKind::PoolDetached,
+                    "pool '" + entry.pool->name() + "'");
+    }
+    if (off >= entry.pool->size()) {
+        throw Fault(FaultKind::OffsetOutOfPool,
+                    "pool '" + entry.pool->name() + "'");
+    }
+    return entry.base + off;
+}
+
+std::pair<PoolId, PoolOffset>
+PoolManager::va2ra(SimAddr va) const
+{
+    ++va2raCalls_;
+    auto it = ranges_.upper_bound(va);
+    if (it != ranges_.begin()) {
+        --it;
+        const AttachedRange &r = it->second;
+        if (va >= r.base && va < r.base + r.size) {
+            return {r.id, static_cast<PoolOffset>(va - r.base)};
+        }
+    }
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "va 0x%llx in no attached pool",
+                  (unsigned long long)va);
+    throw Fault(FaultKind::UnmappedAccess, buf);
+}
+
+SimAddr
+PoolManager::pmalloc(PoolId id, Bytes n)
+{
+    auto it = pools_.find(id);
+    upr_assert_msg(it != pools_.end(), "pmalloc in unknown pool %u", id);
+    Entry &entry = it->second;
+    if (!entry.attached) {
+        throw Fault(FaultKind::PoolDetached,
+                    "pmalloc in detached pool '" + entry.pool->name() +
+                    "'");
+    }
+    const PoolOffset off = entry.allocator->alloc(n);
+    return entry.base + off;
+}
+
+void
+PoolManager::pfree(SimAddr va)
+{
+    auto [id, off] = va2ra(va);
+    allocator(id).free(off);
+}
+
+std::vector<AttachedRange>
+PoolManager::attachedRanges() const
+{
+    std::vector<AttachedRange> out;
+    out.reserve(ranges_.size());
+    for (const auto &kv : ranges_)
+        out.push_back(kv.second);
+    return out;
+}
+
+void
+PoolManager::saveImage(PoolId id, const std::string &path) const
+{
+    const Pool &p = pool(id);
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        throw Fault(FaultKind::BadUsage,
+                    "cannot open '" + path + "' for writing");
+    }
+    const auto &bytes = p.backing().raw();
+    os.write(reinterpret_cast<const char *>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    if (!os) {
+        throw Fault(FaultKind::BadUsage, "short write to '" + path + "'");
+    }
+}
+
+PoolId
+PoolManager::loadImage(const std::string &path, const std::string &name)
+{
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    if (!is) {
+        throw Fault(FaultKind::BadUsage, "cannot open '" + path + "'");
+    }
+    const std::streamsize n = is.tellg();
+    is.seekg(0);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(n));
+    is.read(reinterpret_cast<char *>(bytes.data()), n);
+    if (!is) {
+        throw Fault(FaultKind::BadUsage, "short read from '" + path + "'");
+    }
+
+    if (byName_.count(name)) {
+        throw Fault(FaultKind::BadUsage,
+                    "pool name '" + name + "' already in use");
+    }
+    Backing image;
+    image.assign(std::move(bytes));
+    auto loaded = std::make_unique<Pool>(name, std::move(image));
+    const PoolId id = loaded->id();
+    if (pools_.count(id)) {
+        throw Fault(FaultKind::BadUsage,
+                    "pool ID from image collides with a live pool");
+    }
+    nextId_ = std::max(nextId_, id + 1);
+
+    Entry entry;
+    entry.pool = std::move(loaded);
+    entry.allocator = std::make_unique<PoolAllocator>(*entry.pool);
+    pools_.emplace(id, std::move(entry));
+    byName_.emplace(name, id);
+    attach(id);
+    return id;
+}
+
+} // namespace upr

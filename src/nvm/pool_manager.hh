@@ -1,0 +1,175 @@
+/**
+ * @file
+ * PoolManager: the OS-analogue that creates, opens, attaches, detaches
+ * and destroys persistent pools, assigns system-wide pool IDs, and maps
+ * pools into the NVM half of the simulated address space.
+ *
+ * Attach addresses are deliberately *not* stable: with the default
+ * Randomized placement, every attach lands the pool at a fresh virtual
+ * address, exactly the property that forces persistent pointers to be
+ * relative (paper Sec II). The manager is also the software ra2va/va2ra
+ * authority backing the POLB/VALB hardware models.
+ */
+
+#ifndef UPR_NVM_POOL_MANAGER_HH
+#define UPR_NVM_POOL_MANAGER_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "mem/address_space.hh"
+#include "nvm/pool.hh"
+#include "nvm/pool_allocator.hh"
+
+namespace upr
+{
+
+/** How attach chooses virtual addresses within the NVM half. */
+enum class Placement
+{
+    /** Pack pools one after another (deterministic). */
+    Sequential,
+    /** Insert random gaps so each attach lands somewhere new. */
+    Randomized,
+};
+
+/** One pool currently mapped into the address space. */
+struct AttachedRange
+{
+    SimAddr base;
+    Bytes size;
+    PoolId id;
+};
+
+/** Registry and mapper for all pools of the simulated system. */
+class PoolManager
+{
+  public:
+    /**
+     * @param space the process address space to map pools into
+     * @param placement attach address policy
+     * @param seed RNG seed for Randomized placement
+     */
+    explicit PoolManager(AddressSpace &space,
+                         Placement placement = Placement::Randomized,
+                         std::uint64_t seed = 0x9e3779b9U);
+
+    PoolManager(const PoolManager &) = delete;
+    PoolManager &operator=(const PoolManager &) = delete;
+
+    /**
+     * Create a new pool, format its allocator, and attach it.
+     * @return the new pool's ID
+     */
+    PoolId createPool(const std::string &name, Bytes size);
+
+    /** Re-attach a known (detached) pool by name at a fresh VA. */
+    PoolId openPool(const std::string &name);
+
+    /** Unmap the pool; its contents stay intact for a later open. */
+    void detach(PoolId id);
+
+    /** Detach (if needed) and erase the pool and its contents. */
+    void destroy(PoolId id);
+
+    /** True if the pool is currently mapped. */
+    bool isAttached(PoolId id) const;
+
+    /** True if a pool with this ID exists (attached or not). */
+    bool exists(PoolId id) const { return pools_.count(id) != 0; }
+
+    /** Base VA of an attached pool. */
+    SimAddr baseOf(PoolId id) const;
+
+    /** The pool object (must exist). */
+    Pool &pool(PoolId id);
+    const Pool &pool(PoolId id) const;
+
+    /** The pool's allocator (must exist). */
+    PoolAllocator &allocator(PoolId id);
+
+    /**
+     * Relative -> virtual translation (software path).
+     * @throws Fault{BadRelativeAddress} unknown pool ID
+     * @throws Fault{PoolDetached} pool exists but is unmapped (Fig 10)
+     * @throws Fault{OffsetOutOfPool} offset past pool end
+     */
+    SimAddr ra2va(PoolId id, PoolOffset off) const;
+
+    /**
+     * Virtual -> relative translation (software path).
+     * @throws Fault{UnmappedAccess} VA in the NVM half but in no
+     *         attached pool
+     */
+    std::pair<PoolId, PoolOffset> va2ra(SimAddr va) const;
+
+    /** Allocate @p n bytes in pool @p id; returns the payload VA. */
+    SimAddr pmalloc(PoolId id, Bytes n);
+
+    /** Free a persistent allocation by its VA. */
+    void pfree(SimAddr va);
+
+    /** Snapshot of all attached ranges (feeds the VALB/VATB models). */
+    std::vector<AttachedRange> attachedRanges() const;
+
+    /**
+     * Attach epoch: bumped on every attach/detach. Hardware lookaside
+     * buffers use it to invalidate stale translations.
+     */
+    std::uint64_t epoch() const { return epoch_; }
+
+    /** Serialize a pool's image to a host file. */
+    void saveImage(PoolId id, const std::string &path) const;
+
+    /**
+     * Load a pool image from a host file, register it under @p name,
+     * and attach it. The pool keeps the ID stored in its image.
+     * @return the pool's ID
+     */
+    PoolId loadImage(const std::string &path, const std::string &name);
+
+    /** Statistics (attaches, detaches, translations). */
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    /** Pick an attach base for @p size bytes. */
+    SimAddr placeRange(Bytes size);
+
+    /** Map @p id at a fresh address. */
+    void attach(PoolId id);
+
+    struct Entry
+    {
+        std::unique_ptr<Pool> pool;
+        std::unique_ptr<PoolAllocator> allocator;
+        bool attached = false;
+        SimAddr base = 0;
+    };
+
+    AddressSpace &space_;
+    Placement placement_;
+    Rng rng_;
+    PoolId nextId_ = 1;
+    SimAddr bump_;
+    std::uint64_t epoch_ = 0;
+
+    std::map<PoolId, Entry> pools_;
+    std::map<std::string, PoolId> byName_;
+    /** Attached ranges ordered by base VA for va2ra lookups. */
+    std::map<SimAddr, AttachedRange> ranges_;
+
+    StatGroup stats_;
+    Counter attaches_;
+    Counter detaches_;
+    mutable Counter ra2vaCalls_;
+    mutable Counter va2raCalls_;
+};
+
+} // namespace upr
+
+#endif // UPR_NVM_POOL_MANAGER_HH

@@ -1,0 +1,183 @@
+#include "nvm/txn.hh"
+
+#include <vector>
+
+#include "common/fault.hh"
+#include "common/logging.hh"
+
+namespace upr
+{
+
+namespace
+{
+
+/**
+ * Control block at the start of the log area. Kept *outside* the pool
+ * header on purpose: header writes are frequent (allocator metadata)
+ * and may be in flight while the undo log appends its own state; a
+ * shared struct would let the in-flight header write clobber the
+ * log's bookkeeping.
+ */
+struct LogControl
+{
+    std::uint64_t tail;    //!< next free byte within the entry area
+    std::uint32_t active;  //!< non-zero while a txn is open
+    std::uint32_t pad;
+};
+static_assert(sizeof(LogControl) == 16);
+
+/** On-log entry header. */
+struct LogEntry
+{
+    std::uint32_t length;
+    std::uint32_t pad;
+    std::uint64_t poolOffset;
+};
+static_assert(sizeof(LogEntry) == 16);
+
+LogControl
+readControl(const Pool &pool)
+{
+    LogControl c;
+    pool.backing().read(pool.header().logStart, &c, sizeof(c));
+    return c;
+}
+
+void
+writeControl(Pool &pool, const LogControl &c)
+{
+    pool.backing().write(pool.header().logStart, &c, sizeof(c));
+}
+
+/** First byte of the entry area. */
+Bytes
+entriesStart(const Pool &pool)
+{
+    return pool.header().logStart + sizeof(LogControl);
+}
+
+/** Capacity of the entry area. */
+Bytes
+entriesCapacity(const Pool &pool)
+{
+    return pool.header().logSize - sizeof(LogControl);
+}
+
+} // namespace
+
+Txn::Txn(Pool &pool) : pool_(pool)
+{
+    LogControl c = readControl(pool_);
+    if (c.active) {
+        throw Fault(FaultKind::BadUsage,
+                    "pool '" + pool_.name() +
+                    "' already has an active transaction");
+    }
+    c.active = 1;
+    c.tail = 0;
+    writeControl(pool_, c);
+}
+
+Txn::~Txn()
+{
+    if (!closed_)
+        abort();
+}
+
+void
+Txn::recordWrite(PoolOffset off, Bytes len)
+{
+    upr_assert_msg(!closed_, "recordWrite on a closed transaction");
+    upr_assert_msg(off + len <= pool_.size(), "logged range out of pool");
+
+    LogControl c = readControl(pool_);
+    const Bytes need = sizeof(LogEntry) + len;
+    if (c.tail + need > entriesCapacity(pool_)) {
+        throw Fault(FaultKind::PoolFull,
+                    "undo log of pool '" + pool_.name() + "' full");
+    }
+
+    LogEntry e;
+    e.length = static_cast<std::uint32_t>(len);
+    e.pad = 0;
+    e.poolOffset = off;
+
+    std::vector<std::uint8_t> pre(len);
+    pool_.backing().read(off, pre.data(), len);
+
+    const Bytes at = entriesStart(pool_) + c.tail;
+    pool_.backing().write(at, &e, sizeof(e));
+    pool_.backing().write(at + sizeof(e), pre.data(), len);
+
+    c.tail += need;
+    writeControl(pool_, c);
+}
+
+void
+Txn::commit()
+{
+    upr_assert_msg(!closed_, "double commit");
+    LogControl c = readControl(pool_);
+    c.active = 0;
+    c.tail = 0;
+    writeControl(pool_, c);
+    closed_ = true;
+}
+
+void
+Txn::abort()
+{
+    upr_assert_msg(!closed_, "abort after close");
+    rollback(pool_);
+    closed_ = true;
+}
+
+bool
+Txn::isActive(const Pool &pool)
+{
+    return readControl(pool).active != 0;
+}
+
+bool
+Txn::recover(Pool &pool)
+{
+    if (!isActive(pool))
+        return false;
+    rollback(pool);
+    return true;
+}
+
+void
+Txn::rollback(Pool &pool)
+{
+    LogControl c = readControl(pool);
+
+    // Collect entry offsets front-to-back, then undo back-to-front so
+    // overlapping writes restore the oldest pre-image last.
+    std::vector<Bytes> entries;
+    Bytes cursor = 0;
+    while (cursor < c.tail) {
+        entries.push_back(cursor);
+        LogEntry e;
+        pool.backing().read(entriesStart(pool) + cursor, &e,
+                            sizeof(e));
+        cursor += sizeof(LogEntry) + e.length;
+    }
+    upr_assert_msg(cursor == c.tail, "undo log corrupt");
+
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+        LogEntry e;
+        const Bytes at = entriesStart(pool) + *it;
+        pool.backing().read(at, &e, sizeof(e));
+        std::vector<std::uint8_t> pre(e.length);
+        pool.backing().read(at + sizeof(e), pre.data(), e.length);
+        pool.backing().write(e.poolOffset, pre.data(), e.length);
+    }
+
+    c = readControl(pool);
+    c.active = 0;
+    c.tail = 0;
+    writeControl(pool, c);
+}
+
+} // namespace upr

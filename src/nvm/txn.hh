@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Undo-log persistent transactions (the paper's Sec VI "persistent
+ * transaction" hook, implemented as an optional extension).
+ *
+ * The log lives inside the pool: a 16-byte control block (tail,
+ * active flag) at the start of the log area, then the entries. A pool
+ * image saved mid-transaction therefore replays its undo entries on
+ * the next open — simulating crash recovery.
+ *
+ * Log entry layout:
+ *   u32 length (payload bytes), u32 pad, u64 poolOffset, then payload
+ *   (the pre-image of the range about to be overwritten).
+ */
+
+#ifndef UPR_NVM_TXN_HH
+#define UPR_NVM_TXN_HH
+
+#include "common/types.hh"
+#include "nvm/pool.hh"
+
+namespace upr
+{
+
+/**
+ * RAII transaction on a single pool. Writers call recordWrite() with a
+ * range *before* modifying it; commit() truncates the log; destruction
+ * without commit rolls the pool back (abort semantics).
+ */
+class Txn
+{
+  public:
+    /**
+     * Open a transaction on @p pool.
+     * @throws Fault{BadUsage} if one is already active on the pool
+     */
+    explicit Txn(Pool &pool);
+
+    /** Abort (roll back) unless committed. */
+    ~Txn();
+
+    Txn(const Txn &) = delete;
+    Txn &operator=(const Txn &) = delete;
+
+    /**
+     * Log the pre-image of [off, off+len) within the pool. Must be
+     * called before the range is modified.
+     * @throws Fault{PoolFull} when the log area overflows
+     */
+    void recordWrite(PoolOffset off, Bytes len);
+
+    /** Make all changes durable and clear the log. */
+    void commit();
+
+    /** Explicitly roll back now (also clears the log). */
+    void abort();
+
+    /** True once commit() or abort() has run. */
+    bool closed() const { return closed_; }
+
+    /** True if @p pool has an open (uncommitted) transaction log. */
+    static bool isActive(const Pool &pool);
+
+    /**
+     * Crash-recovery entry point: if @p pool carries an active log,
+     * apply its undo entries in reverse order and clear it. Called
+     * by openers of freshly loaded images.
+     * @return true if a rollback was performed
+     */
+    static bool recover(Pool &pool);
+
+  private:
+    /** Apply undo entries in reverse and clear the log. */
+    static void rollback(Pool &pool);
+
+    Pool &pool_;
+    bool closed_ = false;
+};
+
+} // namespace upr
+
+#endif // UPR_NVM_TXN_HH

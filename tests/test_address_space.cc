@@ -1,0 +1,120 @@
+/** @file Unit tests for the simulated address space. */
+
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hh"
+
+using namespace upr;
+
+TEST(Layout, NvmBitSplitsTheSpace)
+{
+    EXPECT_FALSE(Layout::isNvm(0));
+    EXPECT_FALSE(Layout::isNvm(Layout::kNvmBase - 1));
+    EXPECT_TRUE(Layout::isNvm(Layout::kNvmBase));
+    EXPECT_TRUE(Layout::isNvm(Layout::kVaEnd - 1));
+    EXPECT_EQ(Layout::kNvmBase, 1ULL << 47);
+    EXPECT_EQ(Layout::kVaEnd, 1ULL << 48);
+}
+
+class AddressSpaceTest : public ::testing::Test
+{
+  protected:
+    AddressSpace space;
+    Backing backing{64 * 1024};
+};
+
+TEST_F(AddressSpaceTest, MapReadWriteRoundTrip)
+{
+    space.map(0x10000, 4096, backing, 0, "r0");
+    space.write<std::uint64_t>(0x10010, 0xabcdef);
+    EXPECT_EQ(space.read<std::uint64_t>(0x10010), 0xabcdefULL);
+}
+
+TEST_F(AddressSpaceTest, UnmappedAccessThrows)
+{
+    EXPECT_THROW(space.read<int>(0x999), Fault);
+    try {
+        space.read<int>(0x999);
+        FAIL();
+    } catch (const Fault &f) {
+        EXPECT_EQ(f.kind(), FaultKind::UnmappedAccess);
+    }
+}
+
+TEST_F(AddressSpaceTest, AccessPastRegionEndThrows)
+{
+    space.map(0x10000, 4096, backing, 0, "r0");
+    // Last byte is readable, but an 8-byte read straddling the end
+    // must throw.
+    EXPECT_NO_THROW(space.read<std::uint8_t>(0x10FFF));
+    EXPECT_THROW(space.read<std::uint64_t>(0x10FFC), Fault);
+}
+
+TEST_F(AddressSpaceTest, OverlappingMapThrows)
+{
+    space.map(0x10000, 4096, backing, 0, "r0");
+    EXPECT_THROW(space.map(0x10800, 4096, backing, 4096, "r1"), Fault);
+    EXPECT_THROW(space.map(0xF000, 4097, backing, 0, "r2"), Fault);
+    // Adjacent is fine.
+    EXPECT_NO_THROW(space.map(0x11000, 4096, backing, 4096, "r3"));
+}
+
+TEST_F(AddressSpaceTest, UnmapRemovesRegion)
+{
+    space.map(0x10000, 4096, backing, 0, "r0");
+    space.write<int>(0x10000, 7);
+    space.unmap(0x10000);
+    EXPECT_THROW(space.read<int>(0x10000), Fault);
+    EXPECT_THROW(space.unmap(0x10000), Fault);
+}
+
+TEST_F(AddressSpaceTest, BackingSurvivesRemapAtNewAddress)
+{
+    space.map(0x10000, 4096, backing, 0, "r0");
+    space.write<std::uint32_t>(0x10020, 0xfeedface);
+    space.unmap(0x10000);
+    // Same backing, different virtual address: the relocation story.
+    space.map(0x40000, 4096, backing, 0, "r0'");
+    EXPECT_EQ(space.read<std::uint32_t>(0x40020), 0xfeedfaceU);
+}
+
+TEST_F(AddressSpaceTest, TwoRegionsOneBacking)
+{
+    space.map(0x10000, 4096, backing, 0, "lo");
+    space.map(0x20000, 4096, backing, 4096, "hi");
+    space.write<int>(0x10000, 1);
+    space.write<int>(0x20000, 2);
+    EXPECT_EQ(space.read<int>(0x10000), 1);
+    EXPECT_EQ(space.read<int>(0x20000), 2);
+    EXPECT_EQ(space.regionCount(), 2u);
+    EXPECT_EQ(space.regionName(0x20010), "hi");
+    EXPECT_EQ(space.regionName(0x5), "");
+}
+
+TEST_F(AddressSpaceTest, IsMappedChecksWholeRange)
+{
+    space.map(0x10000, 4096, backing, 0, "r0");
+    EXPECT_TRUE(space.isMapped(0x10000, 4096));
+    EXPECT_FALSE(space.isMapped(0x10000, 4097));
+    EXPECT_FALSE(space.isMapped(0xFFFF, 2));
+    EXPECT_FALSE(space.isMapped(0x99999));
+}
+
+TEST_F(AddressSpaceTest, MappingInNvmHalf)
+{
+    const SimAddr base = Layout::kNvmBase + 0x10000;
+    space.map(base, 4096, backing, 0, "pool");
+    space.write<std::uint64_t>(base + 8, 42);
+    EXPECT_EQ(space.read<std::uint64_t>(base + 8), 42u);
+    EXPECT_TRUE(Layout::isNvm(base + 8));
+}
+
+TEST_F(AddressSpaceTest, BytesRoundTrip)
+{
+    space.map(0x10000, 4096, backing, 0, "r0");
+    const char msg[] = "user-transparent persistent references";
+    space.writeBytes(0x10100, msg, sizeof(msg));
+    char out[sizeof(msg)];
+    space.readBytes(0x10100, out, sizeof(msg));
+    EXPECT_STREQ(out, msg);
+}

@@ -1,0 +1,119 @@
+/** @file Smoke tests for the benchmark harness (bench/bench_common.hh)
+ * at a heavily scaled-down workload: every (workload, version) pair
+ * runs, produces matching checksums across versions, and yields the
+ * counter relationships the figures rely on. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "bench_common.hh"
+
+using namespace upr;
+using namespace upr::bench;
+
+namespace
+{
+
+class BenchHarness : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        // 100x smaller: 100 records / 1000 ops / 100 LL nodes.
+        ::setenv("UPR_BENCH_SCALE", "100", 1);
+    }
+
+    void TearDown() override { ::unsetenv("UPR_BENCH_SCALE"); }
+};
+
+} // namespace
+
+TEST_F(BenchHarness, ScaleEnvRespected)
+{
+    EXPECT_EQ(benchScale(), 100u);
+    EXPECT_EQ(paperSpec().recordCount, 100u);
+    EXPECT_EQ(paperSpec().operationCount, 1000u);
+}
+
+TEST_F(BenchHarness, AllWorkloadsAllVersionsAgree)
+{
+    for (Workload w : kAllWorkloads) {
+        SCOPED_TRACE(workloadName(w));
+        const RunStats vol = run(w, Version::Volatile);
+        EXPECT_GT(vol.cycles, 0u);
+        for (Version v : {Version::Sw, Version::Hw,
+                          Version::Explicit}) {
+            SCOPED_TRACE(versionName(v));
+            const RunStats st = run(w, v);
+            EXPECT_EQ(st.checksum, vol.checksum);
+            EXPECT_GE(st.cycles, vol.cycles / 2); // sanity
+        }
+    }
+}
+
+TEST_F(BenchHarness, CountersMatchVersionSemantics)
+{
+    const RunStats vol = run(Workload::RB, Version::Volatile);
+    const RunStats sw = run(Workload::RB, Version::Sw);
+    const RunStats hw = run(Workload::RB, Version::Hw);
+    const RunStats ex = run(Workload::RB, Version::Explicit);
+
+    // Checks exist only under SW.
+    EXPECT_EQ(vol.dynamicChecks, 0u);
+    EXPECT_GT(sw.dynamicChecks, 0u);
+    EXPECT_EQ(hw.dynamicChecks, 0u);
+    EXPECT_EQ(ex.dynamicChecks, 0u);
+
+    // POLB traffic exists under HW and Explicit, never Volatile.
+    EXPECT_EQ(vol.polbAccesses, 0u);
+    EXPECT_GT(hw.polbAccesses, 0u);
+    EXPECT_GT(ex.polbAccesses, 0u);
+
+    // Reuse: HW translates less than Explicit for the same work.
+    EXPECT_LT(hw.relToAbs, ex.relToAbs);
+
+    // storePs appear only under HW (the new instruction).
+    EXPECT_GT(hw.storePs, 0u);
+    EXPECT_EQ(vol.storePs, 0u);
+    EXPECT_EQ(ex.storePs, 0u);
+}
+
+TEST_F(BenchHarness, RunPhaseOnlyCountersAreClean)
+{
+    // The load phase is excluded: a GET-only run phase must show far
+    // fewer storePs than nodes inserted during load.
+    const RunStats hw = run(Workload::Hash, Version::Hw);
+    // 100 records loaded; run phase has ~5% SETs of 1000 ops = ~50
+    // inserts; storePs must reflect the run phase only.
+    EXPECT_LT(hw.storePs, 100u * 4);
+    EXPECT_GT(hw.memAccesses, 0u);
+}
+
+TEST_F(BenchHarness, LinkedListHarnessTraversalOnly)
+{
+    const RunStats hw = run(Workload::LL, Version::Hw);
+    // The timed phase is a pure traversal: no stores at all.
+    EXPECT_EQ(hw.storePs, 0u);
+    EXPECT_GT(hw.memAccesses, 0u);
+    EXPECT_GT(hw.polbAccesses, 0u);
+}
+
+TEST_F(BenchHarness, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geomean({1.0, 1.0}), 1.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-9);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-9);
+}
+
+TEST_F(BenchHarness, MachineParamsSweepApplies)
+{
+    // A slower NVM must slow the HW version down.
+    MachineParams fast;
+    MachineParams slow;
+    slow.nvmLatency = 2000;
+    const RunStats f = run(Workload::RB, Version::Hw, fast);
+    const RunStats s = run(Workload::RB, Version::Hw, slow);
+    EXPECT_GT(s.cycles, f.cycles);
+    EXPECT_EQ(s.checksum, f.checksum);
+}

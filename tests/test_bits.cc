@@ -1,0 +1,83 @@
+/** @file Unit tests for common/bits.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+
+using namespace upr;
+
+TEST(Bits, BitExtract)
+{
+    EXPECT_TRUE(bit(0x8000000000000000ULL, 63));
+    EXPECT_FALSE(bit(0x7fffffffffffffffULL, 63));
+    EXPECT_TRUE(bit(1ULL << 47, 47));
+    EXPECT_FALSE(bit(0, 0));
+    EXPECT_TRUE(bit(1, 0));
+}
+
+TEST(Bits, SetBit)
+{
+    EXPECT_EQ(setBit(0, 63, true), 0x8000000000000000ULL);
+    EXPECT_EQ(setBit(~0ULL, 63, false), 0x7fffffffffffffffULL);
+    EXPECT_EQ(setBit(0, 0, true), 1ULL);
+    // Setting an already-set bit is idempotent.
+    EXPECT_EQ(setBit(1, 0, true), 1ULL);
+}
+
+TEST(Bits, BitsOfExtractsField)
+{
+    const std::uint64_t v = 0xDEADBEEFCAFEF00DULL;
+    EXPECT_EQ(bitsOf(v, 63, 32), 0xDEADBEEFULL);
+    EXPECT_EQ(bitsOf(v, 31, 0), 0xCAFEF00DULL);
+    EXPECT_EQ(bitsOf(v, 63, 0), v);
+    EXPECT_EQ(bitsOf(v, 3, 0), 0xDULL);
+}
+
+TEST(Bits, InsertBitsRoundTrips)
+{
+    std::uint64_t v = 0;
+    v = insertBits(v, 62, 32, 0x7fffffff);
+    v = insertBits(v, 31, 0, 0x12345678);
+    EXPECT_EQ(bitsOf(v, 62, 32), 0x7fffffffULL);
+    EXPECT_EQ(bitsOf(v, 31, 0), 0x12345678ULL);
+    // Overwriting a field replaces it completely.
+    v = insertBits(v, 62, 32, 0x1);
+    EXPECT_EQ(bitsOf(v, 62, 32), 0x1ULL);
+    EXPECT_EQ(bitsOf(v, 31, 0), 0x12345678ULL);
+}
+
+TEST(Bits, InsertBitsMasksOversizedField)
+{
+    // Field wider than the slot is truncated, not smeared.
+    const std::uint64_t v = insertBits(0, 7, 4, 0xfff);
+    EXPECT_EQ(v, 0xf0ULL);
+}
+
+TEST(Bits, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_TRUE(isPow2(1ULL << 47));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(12));
+}
+
+TEST(Bits, Log2i)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(2), 1u);
+    EXPECT_EQ(log2i(4096), 12u);
+    EXPECT_EQ(log2i(1ULL << 63), 63u);
+}
+
+TEST(Bits, RoundUpDown)
+{
+    EXPECT_EQ(roundUp(0, 16), 0ULL);
+    EXPECT_EQ(roundUp(1, 16), 16ULL);
+    EXPECT_EQ(roundUp(16, 16), 16ULL);
+    EXPECT_EQ(roundUp(17, 16), 32ULL);
+    EXPECT_EQ(roundDown(17, 16), 16ULL);
+    EXPECT_EQ(roundDown(15, 16), 0ULL);
+    EXPECT_EQ(roundDown(4096, 4096), 4096ULL);
+}

@@ -1,0 +1,107 @@
+/** @file Unit tests for the cache model and three-level hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "arch/cache.hh"
+#include "mem/address_space.hh"
+
+using namespace upr;
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c("t", 32 * 1024, 8, 64);
+    EXPECT_FALSE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x1000, false));
+    // Same line, different byte: still a hit.
+    EXPECT_TRUE(c.access(0x103F, false));
+    // Next line: miss.
+    EXPECT_FALSE(c.access(0x1040, false));
+}
+
+TEST(Cache, LineBase)
+{
+    Cache c("t", 1024, 2, 64);
+    EXPECT_EQ(c.lineBase(0x1234), 0x1200u);
+    EXPECT_EQ(c.lineBase(0x1240), 0x1240u);
+}
+
+TEST(Cache, CapacityEviction)
+{
+    // 1 KiB, 2-way, 64 B lines -> 8 sets. Two lines mapping to set 0
+    // fit; a third evicts the LRU.
+    Cache c("t", 1024, 2, 64);
+    const SimAddr stride = 8 * 64; // same set, different tag
+    c.access(0 * stride, false);
+    c.access(1 * stride, false);
+    c.access(2 * stride, false);          // evicts line 0
+    EXPECT_FALSE(c.access(0, false));     // miss again
+}
+
+TEST(Cache, WritebackOnDirtyEviction)
+{
+    Cache c("t", 1024, 2, 64);
+    const SimAddr stride = 8 * 64;
+    c.access(0, true); // dirty
+    c.access(1 * stride, false);
+    c.access(2 * stride, false); // evicts dirty line 0
+    EXPECT_EQ(c.stats().lookup("writebacks"), 1u);
+    // Clean eviction adds none.
+    c.access(3 * stride, false); // evicts clean line stride*1
+    EXPECT_EQ(c.stats().lookup("writebacks"), 1u);
+}
+
+TEST(Cache, FlushDropsEverything)
+{
+    Cache c("t", 1024, 2, 64);
+    c.access(0x40, false);
+    c.flush();
+    EXPECT_FALSE(c.access(0x40, false));
+}
+
+TEST(CacheHierarchy, LatencyLadder)
+{
+    MachineParams p;
+    CacheHierarchy h(p);
+    CacheHierarchy::ServedBy served;
+
+    // Cold DRAM access walks the whole ladder.
+    const Cycles cold =
+        h.access(0x2000, false, false, &served);
+    EXPECT_EQ(served, CacheHierarchy::ServedBy::Dram);
+    EXPECT_EQ(cold, p.l1Latency + p.l2Latency + p.l3Latency +
+                    p.dramLatency);
+
+    // Immediately after: L1 hit.
+    const Cycles hot = h.access(0x2000, false, false, &served);
+    EXPECT_EQ(served, CacheHierarchy::ServedBy::L1);
+    EXPECT_EQ(hot, p.l1Latency);
+}
+
+TEST(CacheHierarchy, NvmCostsMoreThanDram)
+{
+    MachineParams p;
+    CacheHierarchy h(p);
+    const Cycles dram = h.access(0x4000, false, false);
+    const Cycles nvm = h.access(Layout::kNvmBase + 0x4000, false, true);
+    EXPECT_EQ(nvm - dram, p.nvmLatency - p.dramLatency);
+}
+
+TEST(CacheHierarchy, L2ServesAfterL1Eviction)
+{
+    MachineParams p;
+    p.l1Size = 1024;   // tiny L1: 8 sets x 2 ways
+    p.l1Ways = 2;
+    CacheHierarchy h(p);
+    CacheHierarchy::ServedBy served;
+
+    // Three conflicting lines in L1 set 0; all land in L2 too.
+    const SimAddr stride = 8 * 64;
+    h.access(0 * stride, false, false);
+    h.access(1 * stride, false, false);
+    h.access(2 * stride, false, false);
+
+    // Line 0 fell out of L1 but is still in L2.
+    const Cycles lat = h.access(0, false, false, &served);
+    EXPECT_EQ(served, CacheHierarchy::ServedBy::L2);
+    EXPECT_EQ(lat, p.l1Latency + p.l2Latency);
+}

@@ -1,0 +1,183 @@
+/** @file Tests for block-local check refinement: second and later
+ * check sites of a value within one basic block drop their check
+ * branches while keeping per-use conversions (sound, unlike the
+ * Fig 10 value numbering). */
+
+#include <gtest/gtest.h>
+
+#include "compiler/interpreter.hh"
+#include "compiler/ir_parser.hh"
+
+using namespace upr;
+using namespace upr::ir;
+
+namespace
+{
+
+/** Three loads through the same unknown pointer in one block. */
+const char *kTripleLoad = R"(
+func @sum3(%p: ptr) -> i64 {
+entry:
+  %a = load.i64 %p
+  %q = gep %p, 8
+  %b = load.i64 %p
+  %c = load.i64 %p
+  %ab = add %a, %b
+  %r = add %ab, %c
+  ret %r
+}
+
+func @main() -> i64 {
+entry:
+  %cell = pmalloc 16
+  %v = const 14
+  store %v, %cell
+  %r = call @sum3(%cell)
+  ret %r
+}
+)";
+
+/** The same value used in two different blocks: no cross-block reuse. */
+const char *kTwoBlocks = R"(
+func @f(%p: ptr, %c: i64) -> i64 {
+entry:
+  %a = load.i64 %p
+  br %c, second, out
+second:
+  %b = load.i64 %p
+  %r = add %a, %b
+  ret %r
+out:
+  ret %a
+}
+
+func @main() -> i64 {
+entry:
+  %cell = pmalloc 8
+  %v = const 5
+  store %v, %cell
+  %one = const 1
+  %r = call @f(%cell, %one)
+  ret %r
+}
+)";
+
+} // namespace
+
+TEST(FlowRefinement, SecondCheckInBlockRefined)
+{
+    Module mod = parseModule(kTripleLoad);
+    const auto inf = inferPointerKinds(mod);
+
+    const CheckPlan base = insertChecks(mod, &inf, false);
+    const CheckPlan refined = insertChecks(mod, &inf, true);
+
+    // @sum3's three loads of %p: 1 dynamic + 2 refined vs 3 dynamic.
+    EXPECT_EQ(base.refinedSites, 0u);
+    EXPECT_EQ(refined.refinedSites, 2u);
+    EXPECT_EQ(refined.remainingSites + refined.refinedSites,
+              base.remainingSites);
+
+    const FunctionPlan &fp = refined.perFunction.at("sum3");
+    EXPECT_TRUE(fp.at(0, 0).addrDynamic);
+    EXPECT_TRUE(fp.at(0, 2).addrRefined);
+    EXPECT_FALSE(fp.at(0, 2).addrDynamic);
+    EXPECT_TRUE(fp.at(0, 3).addrRefined);
+}
+
+TEST(FlowRefinement, NoReuseAcrossBlocks)
+{
+    Module mod = parseModule(kTwoBlocks);
+    const auto inf = inferPointerKinds(mod);
+    const CheckPlan refined = insertChecks(mod, &inf, true);
+    // %p checked in 'entry' and again in 'second': the second block
+    // gets its own check (block-local refinement only).
+    EXPECT_EQ(refined.refinedSites, 0u);
+}
+
+TEST(FlowRefinement, OutputsUnchangedAndChecksReduced)
+{
+    for (const char *src : {kTripleLoad, kTwoBlocks}) {
+        Module mod = parseModule(src);
+        const auto inf = inferPointerKinds(mod);
+
+        auto runWith = [&](bool refine, std::uint64_t *checks) {
+            const CheckPlan plan = insertChecks(mod, &inf, refine);
+            Runtime::Config cfg;
+            cfg.version = Version::Sw;
+            Runtime rt(cfg);
+            Interpreter::Config icfg;
+            icfg.pool = rt.createPool("fr", 8 << 20);
+            Interpreter interp(rt, mod, plan, icfg);
+            const std::uint64_t r = interp.call("main");
+            *checks = interp.dynamicCheckCount();
+            return r;
+        };
+
+        std::uint64_t without = 0, with = 0;
+        const std::uint64_t r1 = runWith(false, &without);
+        const std::uint64_t r2 = runWith(true, &with);
+        EXPECT_EQ(r1, r2);
+        EXPECT_LE(with, without);
+    }
+    // The triple-load program specifically must drop two checks.
+    Module mod = parseModule(kTripleLoad);
+    const auto inf = inferPointerKinds(mod);
+    const CheckPlan plan = insertChecks(mod, &inf, true);
+    Runtime::Config cfg;
+    cfg.version = Version::Sw;
+    Runtime rt(cfg);
+    Interpreter::Config icfg;
+    icfg.pool = rt.createPool("fr", 8 << 20);
+    Interpreter interp(rt, mod, plan, icfg);
+    EXPECT_EQ(interp.call("main"), 42u);
+    EXPECT_EQ(interp.dynamicCheckCount(), 1u);
+}
+
+TEST(AnnotatedPrinter, MarksMatchThePlan)
+{
+    Module mod = parseModule(kTripleLoad);
+    const auto inf = inferPointerKinds(mod);
+    const CheckPlan plan = insertChecks(mod, &inf, true);
+    const std::string text = printAnnotated(mod, plan);
+
+    // @sum3: first load dynamic, later loads refined.
+    EXPECT_NE(text.find("%a = load.i64 %p   ; [checkY addr]"),
+              std::string::npos);
+    EXPECT_NE(text.find("%b = load.i64 %p   ; [refined addr]"),
+              std::string::npos);
+    // @main: the statically known pmalloc'd store is a planted
+    // conversion with no check.
+    EXPECT_NE(text.find("store %v, %cell   ; [ra2va addr]"),
+              std::string::npos);
+    // Unannotated lines stay untouched.
+    EXPECT_NE(text.find("%r = call @sum3(%cell)"), std::string::npos);
+}
+
+TEST(FlowRefinement, RefinedConversionStillFaultsOnDetach)
+{
+    // The soundness property that distinguishes refinement from
+    // value numbering: conversions still run per use, so a detach
+    // between two refined uses faults instead of using stale state.
+    Module mod = parseModule(kTripleLoad);
+    const auto inf = inferPointerKinds(mod);
+    const CheckPlan plan = insertChecks(mod, &inf, true);
+
+    Runtime::Config cfg;
+    cfg.version = Version::Sw;
+    Runtime rt(cfg);
+    Interpreter::Config icfg;
+    icfg.pool = rt.createPool("fr", 8 << 20);
+    Interpreter interp(rt, mod, plan, icfg);
+
+    // Run normally once.
+    EXPECT_EQ(interp.call("main"), 42u);
+
+    // Now drive @sum3 directly with a pointer into a pool we detach
+    // mid-use — impossible to interleave from outside a single call,
+    // so instead verify the conversion path: a refined use of a
+    // detached pool's pointer faults.
+    const PtrBits p = rt.pmallocBits(icfg.pool, 16);
+    rt.pools().detach(icfg.pool);
+    EXPECT_THROW(interp.call("sum3", {p}), Fault);
+}

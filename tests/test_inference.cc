@@ -1,0 +1,275 @@
+/** @file Tests for pointer-kind inference and check insertion. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/check_insertion.hh"
+#include "compiler/ir_parser.hh"
+#include "compiler/type_inference.hh"
+
+using namespace upr;
+using namespace upr::ir;
+
+namespace
+{
+
+/** Kind of the register named @p name in @p fn. */
+PtrKind
+kindOfName(const InferenceResult &inf, const Function &fn,
+           const std::string &name)
+{
+    for (ValueId v = 0; v < fn.numValues(); ++v) {
+        if (fn.valueNames[v] == name)
+            return inf.kindOf(fn, v);
+    }
+    upr_panic("no value %%%s", name.c_str());
+}
+
+} // namespace
+
+TEST(Inference, SeedsFromAllocationFunctions)
+{
+    Module mod = parseModule(R"(
+func @f() {
+entry:
+  %a = alloca 16
+  %m = malloc 32
+  %p = pmalloc 64
+  ret
+}
+)");
+    const auto inf = inferPointerKinds(mod);
+    const Function &fn = mod.get("f");
+    EXPECT_EQ(kindOfName(inf, fn, "a"), PtrKind::VaDram);
+    EXPECT_EQ(kindOfName(inf, fn, "m"), PtrKind::VaDram);
+    EXPECT_EQ(kindOfName(inf, fn, "p"), PtrKind::Ra);
+}
+
+TEST(Inference, GepPreservesKind)
+{
+    Module mod = parseModule(R"(
+func @f() {
+entry:
+  %p = pmalloc 64
+  %q = gep %p, 8
+  %m = malloc 32
+  %n = gep %m, 8
+  ret
+}
+)");
+    const auto inf = inferPointerKinds(mod);
+    const Function &fn = mod.get("f");
+    EXPECT_EQ(kindOfName(inf, fn, "q"), PtrKind::Ra);
+    EXPECT_EQ(kindOfName(inf, fn, "n"), PtrKind::VaDram);
+}
+
+TEST(Inference, LoadedPointersAreUnknown)
+{
+    Module mod = parseModule(R"(
+func @f() {
+entry:
+  %p = pmalloc 64
+  %q = load.ptr %p
+  ret
+}
+)");
+    const auto inf = inferPointerKinds(mod);
+    EXPECT_EQ(kindOfName(inf, mod.get("f"), "q"), PtrKind::Unknown);
+}
+
+TEST(Inference, PhiJoinsKinds)
+{
+    Module mod = parseModule(R"(
+func @f(%c: i64) {
+entry:
+  %p = pmalloc 64
+  %m = malloc 64
+  br %c, a, b
+a:
+  jmp out
+b:
+  jmp out
+out:
+  %same = phi.ptr [a, %p], [b, %p]
+  %mixed = phi.ptr [a, %p], [b, %m]
+  ret
+}
+)");
+    const auto inf = inferPointerKinds(mod);
+    const Function &fn = mod.get("f");
+    EXPECT_EQ(kindOfName(inf, fn, "same"), PtrKind::Ra);
+    EXPECT_EQ(kindOfName(inf, fn, "mixed"), PtrKind::Unknown);
+}
+
+TEST(Inference, LibraryParamsAreUnknown)
+{
+    // The paper's central point: a library function may receive
+    // persistent objects in one call and volatile in another.
+    Module mod = parseModule(R"(
+func @lib(%p: ptr) {
+entry:
+  %v = load.i64 %p
+  ret
+}
+)");
+    const auto inf = inferPointerKinds(mod, true);
+    EXPECT_EQ(kindOfName(inf, mod.get("lib"), "p"),
+              PtrKind::Unknown);
+}
+
+TEST(Inference, WholeProgramParamsFromCallSites)
+{
+    Module mod = parseModule(R"(
+func @use(%p: ptr) {
+entry:
+  %v = load.i64 %p
+  ret
+}
+
+func @main() {
+entry:
+  %a = pmalloc 16
+  call @use(%a)
+  %b = pmalloc 32
+  call @use(%b)
+  ret
+}
+)");
+    // Whole-program: both call sites pass Ra, so the parameter is Ra.
+    const auto inf = inferPointerKinds(mod, false);
+    EXPECT_EQ(kindOfName(inf, mod.get("use"), "p"), PtrKind::Ra);
+}
+
+TEST(Inference, MixedCallSitesMakeParamUnknown)
+{
+    Module mod = parseModule(R"(
+func @use(%p: ptr) {
+entry:
+  %v = load.i64 %p
+  ret
+}
+
+func @main() {
+entry:
+  %a = pmalloc 16
+  call @use(%a)
+  %b = malloc 32
+  call @use(%b)
+  ret
+}
+)");
+    const auto inf = inferPointerKinds(mod, false);
+    EXPECT_EQ(kindOfName(inf, mod.get("use"), "p"),
+              PtrKind::Unknown);
+}
+
+TEST(Inference, ReturnKindsPropagate)
+{
+    Module mod = parseModule(R"(
+func @make() -> ptr {
+entry:
+  %p = pmalloc 16
+  ret %p
+}
+
+func @main() {
+entry:
+  %q = call.ptr @make()
+  ret
+}
+)");
+    const auto inf = inferPointerKinds(mod);
+    EXPECT_EQ(kindOfName(inf, mod.get("main"), "q"), PtrKind::Ra);
+}
+
+TEST(KindLattice, JoinRules)
+{
+    EXPECT_EQ(joinKind(PtrKind::NoInfo, PtrKind::Ra), PtrKind::Ra);
+    EXPECT_EQ(joinKind(PtrKind::Ra, PtrKind::Ra), PtrKind::Ra);
+    EXPECT_EQ(joinKind(PtrKind::Ra, PtrKind::VaDram),
+              PtrKind::Unknown);
+    EXPECT_EQ(joinKind(PtrKind::Unknown, PtrKind::Ra),
+              PtrKind::Unknown);
+    EXPECT_EQ(joinKind(PtrKind::NoInfo, PtrKind::NoInfo),
+              PtrKind::NoInfo);
+}
+
+TEST(CheckInsertion, StaticKindsNeedNoChecks)
+{
+    Module mod = parseModule(R"(
+func @f() {
+entry:
+  %p = pmalloc 64
+  %v = load.i64 %p
+  %m = malloc 64
+  %w = load.i64 %m
+  ret
+}
+)");
+    const auto inf = inferPointerKinds(mod);
+    const CheckPlan plan = insertChecks(mod, &inf);
+    EXPECT_EQ(plan.remainingSites, 0u);
+    EXPECT_EQ(plan.totalSites, 2u);
+    EXPECT_EQ(plan.eliminatedFraction(), 1.0);
+
+    // The pmalloc'd load gets a statically planted conversion.
+    const FunctionPlan &fp = plan.perFunction.at("f");
+    EXPECT_TRUE(fp.at(0, 1).addrStaticConvert);
+    EXPECT_FALSE(fp.at(0, 1).addrDynamic);
+    EXPECT_FALSE(fp.at(0, 3).addrStaticConvert); // VaDram load
+}
+
+TEST(CheckInsertion, UnknownParamsKeepChecks)
+{
+    Module mod = parseModule(R"(
+func @lib(%p: ptr, %n: ptr) {
+entry:
+  %same = eq %p, %n
+  br %same, out, doit
+doit:
+  %slot = gep %p, 8
+  storep %n, %slot
+  jmp out
+out:
+  ret
+}
+)");
+    const auto inf = inferPointerKinds(mod);
+    const CheckPlan plan = insertChecks(mod, &inf);
+    // eq: 2 sites; storep: addr + dest + value = 3 sites.
+    EXPECT_EQ(plan.totalSites, 5u);
+    EXPECT_EQ(plan.remainingSites, 5u);
+}
+
+TEST(CheckInsertion, DisabledInferenceMakesEverythingDynamic)
+{
+    Module mod = parseModule(R"(
+func @f() {
+entry:
+  %p = pmalloc 64
+  %v = load.i64 %p
+  ret
+}
+)");
+    const CheckPlan plan = insertChecks(mod, nullptr);
+    EXPECT_EQ(plan.totalSites, plan.remainingSites);
+    EXPECT_EQ(plan.eliminatedFraction(), 0.0);
+}
+
+TEST(CheckInsertion, PartialEliminationFraction)
+{
+    // One statically known load + one unknown load: 50% eliminated.
+    Module mod = parseModule(R"(
+func @f(%u: ptr) {
+entry:
+  %p = pmalloc 64
+  %a = load.i64 %p
+  %b = load.i64 %u
+  ret
+}
+)");
+    const auto inf = inferPointerKinds(mod);
+    const CheckPlan plan = insertChecks(mod, &inf);
+    EXPECT_EQ(plan.totalSites, 2u);
+    EXPECT_EQ(plan.remainingSites, 1u);
+    EXPECT_DOUBLE_EQ(plan.eliminatedFraction(), 0.5);
+}

@@ -1,0 +1,198 @@
+/** @file Tests for the mini-IR: builder, validation, printing, and
+ * the text parser (round-trip). */
+
+#include <gtest/gtest.h>
+
+#include "common/fault.hh"
+#include "compiler/ir_builder.hh"
+#include "compiler/ir_parser.hh"
+
+using namespace upr;
+using namespace upr::ir;
+
+TEST(IrBuilder, BuildsAValidFunction)
+{
+    Module mod;
+    FunctionBuilder fb(mod, "sum3", {Type::I64, Type::I64}, Type::I64);
+    const BlockId entry = fb.block("entry");
+    fb.setInsert(entry);
+    const ValueId c = fb.constI64(3);
+    const ValueId t = fb.add(fb.param(0), fb.param(1));
+    const ValueId r = fb.add(t, c);
+    fb.ret(r);
+    Function &fn = fb.finish();
+
+    EXPECT_EQ(fn.name, "sum3");
+    EXPECT_EQ(fn.blocks.size(), 1u);
+    EXPECT_EQ(fn.numValues(), 5u); // 2 params + 3 temps
+    EXPECT_NO_FATAL_FAILURE(validate(fn));
+}
+
+TEST(IrValidate, EmptyFunctionPanics)
+{
+    Function fn;
+    fn.name = "empty";
+    EXPECT_DEATH(validate(fn), "no blocks");
+}
+
+TEST(IrValidate, MissingTerminatorPanics)
+{
+    Module mod;
+    FunctionBuilder fb(mod, "bad", {}, Type::Void);
+    fb.setInsert(fb.block("entry"));
+    fb.constI64(1);
+    EXPECT_DEATH(fb.finish(), "terminator");
+}
+
+TEST(IrValidate, CallToUndefinedPanics)
+{
+    Module mod;
+    FunctionBuilder fb(mod, "caller", {}, Type::Void);
+    fb.setInsert(fb.block("entry"));
+    fb.call("ghost", Type::Void, {});
+    fb.ret();
+    fb.finish();
+    EXPECT_DEATH(validate(mod), "undefined");
+}
+
+TEST(IrPrint, ContainsStructure)
+{
+    Module mod;
+    FunctionBuilder fb(mod, "f", {Type::Ptr}, Type::I64);
+    fb.setInsert(fb.block("entry"));
+    const ValueId v = fb.load(Type::I64, fb.param(0), "v");
+    fb.ret(v);
+    Function &fn = fb.finish();
+
+    const std::string text = print(fn);
+    EXPECT_NE(text.find("func @f(%arg0: ptr) -> i64"),
+              std::string::npos);
+    EXPECT_NE(text.find("%v = load.i64 %arg0"), std::string::npos);
+    EXPECT_NE(text.find("ret %v"), std::string::npos);
+}
+
+TEST(IrParser, ParsesSimpleFunction)
+{
+    Module mod = parseModule(R"(
+func @inc(%x: i64) -> i64 {
+entry:
+  %one = const 1
+  %r = add %x, %one
+  ret %r
+}
+)");
+    const Function &fn = mod.get("inc");
+    EXPECT_EQ(fn.paramTypes.size(), 1u);
+    EXPECT_EQ(fn.returnType, Type::I64);
+    EXPECT_EQ(fn.blocks.size(), 1u);
+    EXPECT_EQ(fn.blocks[0].insts.size(), 3u);
+}
+
+TEST(IrParser, ParsesControlFlowWithForwardTargets)
+{
+    Module mod = parseModule(R"(
+func @loop(%n: i64) -> i64 {
+entry:
+  %zero = const 0
+  jmp head
+head:
+  %i = phi.i64 [entry, %zero], [body, %inext]
+  %acc = phi.i64 [entry, %zero], [body, %anext]
+  %cont = lt %i, %n
+  br %cont, body, exit
+body:
+  %one = const 1
+  %inext = add %i, %one
+  %anext = add %acc, %i
+  jmp head
+exit:
+  ret %acc
+}
+)");
+    const Function &fn = mod.get("loop");
+    EXPECT_EQ(fn.blocks.size(), 4u); // entry, head, body, exit
+    // The phi references %inext defined later — resolved correctly.
+    const Inst &phi = fn.blocks[1].insts[0];
+    EXPECT_EQ(phi.op, Op::Phi);
+    EXPECT_EQ(phi.operands.size(), 2u);
+}
+
+TEST(IrParser, RoundTripsThroughPrint)
+{
+    const char *source = R"(
+func @append(%p: ptr, %n: ptr) {
+entry:
+  %same = eq %p, %n
+  br %same, out, doit
+doit:
+  %slot = gep %p, 8
+  storep %n, %slot
+  jmp out
+out:
+  ret
+}
+)";
+    Module a = parseModule(source);
+    const std::string text = print(a);
+    Module b = parseModule(text);
+    // Printing the reparse reproduces the same text: fixpoint.
+    EXPECT_EQ(print(b), text);
+}
+
+TEST(IrParser, CommentsAndBlanksIgnored)
+{
+    Module mod = parseModule(R"(
+; leading comment
+func @f() -> i64 {
+entry:          ; entry block
+  %x = const 7  ; lucky
+  ret %x
+}
+)");
+    EXPECT_EQ(mod.get("f").blocks[0].insts.size(), 2u);
+}
+
+TEST(IrParser, ErrorsCarryLineNumbers)
+{
+    try {
+        parseModule("func @f() {\nentry:\n  %x = bogus 1\n  ret\n}\n");
+        FAIL();
+    } catch (const Fault &f) {
+        EXPECT_NE(std::string(f.what()).find("line 3"),
+                  std::string::npos);
+        EXPECT_NE(std::string(f.what()).find("bogus"),
+                  std::string::npos);
+    }
+}
+
+TEST(IrParser, UseBeforeDefinitionRejected)
+{
+    EXPECT_THROW(parseModule(R"(
+func @f() -> i64 {
+entry:
+  %r = add %x, %x
+  ret %r
+}
+)"),
+                 Fault);
+}
+
+TEST(IrParser, MultipleFunctionsAndCalls)
+{
+    Module mod = parseModule(R"(
+func @double(%x: i64) -> i64 {
+entry:
+  %r = add %x, %x
+  ret %r
+}
+
+func @quad(%x: i64) -> i64 {
+entry:
+  %d = call @double(%x)
+  %r = call @double(%d)
+  ret %r
+}
+)");
+    EXPECT_EQ(mod.functions.size(), 2u);
+    EXPECT_EQ(mod.get("quad").blocks[0].insts[0].callee, "double");
+}

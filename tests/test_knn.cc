@@ -1,0 +1,177 @@
+/** @file Tests for KNN + iris: correctness, placement combinations,
+ * and identical predictions across versions. */
+
+#include <gtest/gtest.h>
+
+#include "ml/iris.hh"
+#include "ml/knn.hh"
+
+using namespace upr;
+
+namespace
+{
+
+Runtime::Config
+makeConfig(Version v)
+{
+    Runtime::Config cfg;
+    cfg.version = v;
+    cfg.seed = 8;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Knn, ExactNeighborsOnTinyData)
+{
+    Runtime rt(makeConfig(Version::Hw));
+    RuntimeScope scope(rt);
+    MemEnv env = MemEnv::volatileEnv(rt);
+
+    // Reference points on a line: 0, 10, 20, 30.
+    Matrix ref(env, 4, 1);
+    ref.loadRowMajor({0, 10, 20, 30});
+    Matrix query(env, 2, 1);
+    query.loadRowMajor({2, 24});
+
+    Knn::Placement place{env, env, env, env};
+    auto res = Knn::search(ref, query, 2, place);
+
+    // Query 0 (=2): nearest 0 then 10. Query 1 (=24): 20 then 30.
+    EXPECT_EQ(res.neighbors.at(0, 0), 0.0);
+    EXPECT_EQ(res.neighbors.at(1, 0), 1.0);
+    EXPECT_EQ(res.neighbors.at(0, 1), 2.0);
+    EXPECT_EQ(res.neighbors.at(1, 1), 3.0);
+    EXPECT_EQ(res.distances.at(0, 0), 4.0);
+    EXPECT_EQ(res.distances.at(0, 1), 16.0);
+}
+
+TEST(Knn, SelfQueryFindsSelfFirst)
+{
+    Runtime rt(makeConfig(Version::Hw));
+    RuntimeScope scope(rt);
+    MemEnv env = MemEnv::volatileEnv(rt);
+
+    IrisDataset ds = IrisDataset::make();
+    Matrix m = ds.toMatrix(env);
+    Knn::Placement place{env, env, env, env};
+    auto res = Knn::search(m, m, 1, place);
+    for (std::uint64_t q = 0; q < 150; ++q) {
+        EXPECT_EQ(res.neighbors.at(0, q), double(q));
+        EXPECT_EQ(res.distances.at(0, q), 0.0);
+    }
+}
+
+TEST(Knn, IrisLeaveSelfInAccuracyHigh)
+{
+    Runtime rt(makeConfig(Version::Hw));
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("knn", 32 << 20);
+    MemEnv penv = MemEnv::persistentEnv(rt, pool);
+    MemEnv venv = MemEnv::volatileEnv(rt);
+
+    IrisDataset ds = IrisDataset::make();
+    Matrix m = ds.toMatrix(venv);
+
+    // The paper's placement: everything persisted except the input.
+    Knn::Placement place{venv, penv, penv, penv};
+    auto res = Knn::search(m, m, 5, place);
+    const std::vector<int> pred = Knn::classify(res.neighbors,
+                                                ds.labels);
+    int correct = 0;
+    for (std::size_t i = 0; i < pred.size(); ++i)
+        correct += pred[i] == ds.labels[i] ? 1 : 0;
+    // Iris-statistics data: KNN should classify nearly everything.
+    EXPECT_GT(correct, 140);
+}
+
+TEST(Knn, All16PlacementCombinationsAgree)
+{
+    // The paper's point: any of the four matrices can live on NVM or
+    // DRAM; one implementation must serve all 16 combinations with
+    // identical results.
+    Runtime rt(makeConfig(Version::Hw));
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("knn", 128 << 20);
+    MemEnv penv = MemEnv::persistentEnv(rt, pool);
+    MemEnv venv = MemEnv::volatileEnv(rt);
+
+    IrisDataset ds = IrisDataset::make();
+
+    std::vector<double> want;
+    for (int mask = 0; mask < 16; ++mask) {
+        MemEnv e0 = (mask & 1) ? penv : venv;
+        MemEnv e1 = (mask & 2) ? penv : venv;
+        MemEnv e2 = (mask & 4) ? penv : venv;
+        MemEnv e3 = (mask & 8) ? penv : venv;
+        Matrix m = ds.toMatrix(e0);
+        Knn::Placement place{e0, e1, e2, e3};
+        auto res = Knn::search(m, m, 3, place);
+        std::vector<double> got = res.neighbors.toRowMajor();
+        if (mask == 0) {
+            want = got;
+        } else {
+            ASSERT_EQ(got, want) << "placement mask " << mask;
+        }
+    }
+}
+
+TEST(Knn, PredictionsIdenticalAcrossVersions)
+{
+    std::vector<int> reference;
+    for (Version v : {Version::Volatile, Version::Sw, Version::Hw,
+                      Version::Explicit}) {
+        Runtime rt(makeConfig(v));
+        RuntimeScope scope(rt);
+        const PoolId pool = rt.createPool("knn", 32 << 20);
+        MemEnv penv = MemEnv::persistentEnv(rt, pool);
+        MemEnv venv = MemEnv::volatileEnv(rt);
+
+        IrisDataset ds = IrisDataset::make();
+        Matrix m = ds.toMatrix(venv);
+        Knn::Placement place{venv, penv, penv, penv};
+        auto res = Knn::search(m, m, 5, place);
+        const std::vector<int> pred =
+            Knn::classify(res.neighbors, ds.labels);
+        if (reference.empty()) {
+            reference = pred;
+        } else {
+            EXPECT_EQ(pred, reference) << versionName(v);
+        }
+    }
+}
+
+TEST(Knn, ClassifyMajorityVote)
+{
+    Runtime rt(makeConfig(Version::Hw));
+    RuntimeScope scope(rt);
+    MemEnv env = MemEnv::volatileEnv(rt);
+
+    // neighbors: 3 x 2 (k=3, two queries).
+    Matrix neighbors(env, 3, 2);
+    neighbors.loadRowMajor({0, 3,
+                            1, 4,
+                            3, 5});
+    const std::vector<int> labels = {7, 7, 9, 9, 9, 9};
+    const auto pred = Knn::classify(neighbors, labels);
+    // Query 0 neighbors {0,1,3} -> labels {7,7,9} -> 7.
+    // Query 1 neighbors {3,4,5} -> labels {9,9,9} -> 9.
+    EXPECT_EQ(pred, (std::vector<int>{7, 9}));
+}
+
+TEST(Iris, DatasetShapeAndDeterminism)
+{
+    IrisDataset a = IrisDataset::make();
+    IrisDataset b = IrisDataset::make();
+    EXPECT_EQ(a.features.size(), 600u);
+    EXPECT_EQ(a.labels.size(), 150u);
+    EXPECT_EQ(a.features, b.features);
+    for (int cls = 0; cls < 3; ++cls) {
+        const int count = static_cast<int>(
+            std::count(a.labels.begin(), a.labels.end(), cls));
+        EXPECT_EQ(count, 50);
+    }
+    // All feature values positive (they are lengths in cm).
+    for (double f : a.features)
+        EXPECT_GT(f, 0.0);
+}

@@ -1,0 +1,128 @@
+/** @file Integration tests: KV store + every index structure + YCSB,
+ * across versions — outputs must be identical in all versions (the
+ * paper's Sec VII-B soundness criterion). */
+
+#include <gtest/gtest.h>
+
+#include "kvstore/kv_store.hh"
+
+using namespace upr;
+
+namespace
+{
+
+Runtime::Config
+makeConfig(Version v)
+{
+    Runtime::Config cfg;
+    cfg.version = v;
+    cfg.seed = 44;
+    return cfg;
+}
+
+WorkloadSpec
+smallSpec()
+{
+    WorkloadSpec spec;
+    spec.recordCount = 500;
+    spec.operationCount = 3000;
+    return spec;
+}
+
+/** Run the workload with index type I under version v. */
+template <typename I>
+KvRunResult
+runOne(Version v, const YcsbWorkload &w)
+{
+    Runtime rt(makeConfig(v));
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("kv", 64 << 20);
+    KvStore<I> store(MemEnv::persistentEnv(rt, pool));
+    KvRunResult res = store.run(w);
+    store.index().validate();
+    return res;
+}
+
+} // namespace
+
+template <typename I>
+class KvStoreTest : public ::testing::Test
+{
+};
+
+using IndexTypes = ::testing::Types<
+    HashMap<std::uint64_t, std::uint64_t>,
+    RbTree<std::uint64_t, std::uint64_t>,
+    SplayTree<std::uint64_t, std::uint64_t>,
+    AvlTree<std::uint64_t, std::uint64_t>,
+    ScapegoatTree<std::uint64_t, std::uint64_t>>;
+
+TYPED_TEST_SUITE(KvStoreTest, IndexTypes);
+
+TYPED_TEST(KvStoreTest, BasicSetGet)
+{
+    Runtime rt(makeConfig(Version::Hw));
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("kv", 16 << 20);
+    KvStore<TypeParam> store(MemEnv::persistentEnv(rt, pool));
+    store.set(1, 10);
+    store.set(2, 20);
+    store.set(1, 11);
+    EXPECT_EQ(store.get(1).value(), 11u);
+    EXPECT_EQ(store.get(2).value(), 20u);
+    EXPECT_FALSE(store.get(3).has_value());
+    EXPECT_EQ(store.size(), 2u);
+}
+
+TYPED_TEST(KvStoreTest, YcsbAllGetsHit)
+{
+    const YcsbWorkload w(smallSpec());
+    const KvRunResult res = runOne<TypeParam>(Version::Hw, w);
+    EXPECT_EQ(res.gets, res.getHits);
+    EXPECT_GT(res.gets, 0u);
+    EXPECT_GT(res.sets, 0u);
+    EXPECT_GT(res.cycles, 0u);
+}
+
+TYPED_TEST(KvStoreTest, OutputsIdenticalAcrossVersions)
+{
+    // The same workload must produce bit-identical GET results under
+    // all four versions: user transparency does not change semantics.
+    const YcsbWorkload w(smallSpec());
+    const KvRunResult volatile_res =
+        runOne<TypeParam>(Version::Volatile, w);
+    for (Version v : {Version::Sw, Version::Hw, Version::Explicit}) {
+        const KvRunResult res = runOne<TypeParam>(v, w);
+        EXPECT_EQ(res.checksum, volatile_res.checksum)
+            << versionName(v);
+        EXPECT_EQ(res.getHits, volatile_res.getHits) << versionName(v);
+        EXPECT_EQ(res.sets, volatile_res.sets) << versionName(v);
+    }
+}
+
+TYPED_TEST(KvStoreTest, StoreSizeMatchesInserts)
+{
+    const YcsbWorkload w(smallSpec());
+    Runtime rt(makeConfig(Version::Hw));
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("kv", 64 << 20);
+    KvStore<TypeParam> store(MemEnv::persistentEnv(rt, pool));
+    const KvRunResult res = store.run(w);
+    EXPECT_EQ(store.size(), w.loadOps().size() + res.sets);
+}
+
+TEST(KvStoreTiming, VersionsOrderedAsInFig11)
+{
+    // Coarse sanity of the cost model on a small workload:
+    //   Volatile <= HW < SW, and HW < Explicit.
+    const YcsbWorkload w(smallSpec());
+    using Rb = RbTree<std::uint64_t, std::uint64_t>;
+    const Cycles vol = runOne<Rb>(Version::Volatile, w).cycles;
+    const Cycles hw = runOne<Rb>(Version::Hw, w).cycles;
+    const Cycles sw = runOne<Rb>(Version::Sw, w).cycles;
+    const Cycles expl = runOne<Rb>(Version::Explicit, w).cycles;
+
+    EXPECT_LE(vol, hw);
+    EXPECT_LT(hw, sw);
+    EXPECT_LT(hw, expl);
+}

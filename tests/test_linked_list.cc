@@ -1,0 +1,210 @@
+/** @file Tests for the LL container across all four versions,
+ * including persistence across pool relocation. */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "common/random.hh"
+#include "containers/linked_list.hh"
+
+using namespace upr;
+
+namespace
+{
+
+/** The paper's LL payload: a 16-byte value. */
+struct Value16
+{
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+};
+
+Runtime::Config
+makeConfig(Version v)
+{
+    Runtime::Config cfg;
+    cfg.version = v;
+    cfg.seed = 5;
+    return cfg;
+}
+
+} // namespace
+
+class LinkedListVersions : public ::testing::TestWithParam<Version>
+{
+  protected:
+    LinkedListVersions()
+        : rt(makeConfig(GetParam())), scope(rt),
+          pool(rt.createPool("p", 8 << 20)),
+          env(MemEnv::persistentEnv(rt, pool))
+    {}
+
+    Runtime rt;
+    RuntimeScope scope;
+    PoolId pool;
+    MemEnv env;
+};
+
+TEST_P(LinkedListVersions, PushBackAndIterate)
+{
+    LinkedList<Value16> list(env);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        list.pushBack({i, i * 2});
+    EXPECT_EQ(list.size(), 100u);
+    list.validate();
+
+    std::uint64_t sum = 0, expect = 0, i = 0;
+    list.forEach([&](const Value16 &v) {
+        sum += v.lo + v.hi;
+        expect += i + i * 2;
+        ++i;
+    });
+    EXPECT_EQ(sum, expect);
+}
+
+TEST_P(LinkedListVersions, PushFrontOrder)
+{
+    LinkedList<Value16> list(env);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        list.pushFront({i, 0});
+    std::uint64_t want = 9;
+    list.forEach([&](const Value16 &v) { EXPECT_EQ(v.lo, want--); });
+    list.validate();
+}
+
+TEST_P(LinkedListVersions, EraseMiddleFrontBack)
+{
+    LinkedList<Value16> list(env);
+    auto a = list.pushBack({1, 0});
+    auto b = list.pushBack({2, 0});
+    auto c = list.pushBack({3, 0});
+    list.erase(b);
+    list.validate();
+    EXPECT_EQ(list.size(), 2u);
+    list.erase(a);
+    list.validate();
+    EXPECT_EQ(list.front().field(&LinkedList<Value16>::Node::value).lo,
+              3u);
+    list.erase(c);
+    list.validate();
+    EXPECT_TRUE(list.empty());
+    EXPECT_TRUE(list.front().isNull());
+    EXPECT_TRUE(list.back().isNull());
+}
+
+TEST_P(LinkedListVersions, InsertAfter)
+{
+    LinkedList<Value16> list(env);
+    auto a = list.pushBack({1, 0});
+    list.pushBack({3, 0});
+    list.insertAfter(a, {2, 0});
+    std::uint64_t want = 1;
+    list.forEach([&](const Value16 &v) { EXPECT_EQ(v.lo, want++); });
+    list.validate();
+
+    // Insert after the tail updates the tail.
+    auto tail = list.back();
+    list.insertAfter(tail, {4, 0});
+    EXPECT_EQ(list.back().field(&LinkedList<Value16>::Node::value).lo,
+              4u);
+    list.validate();
+}
+
+TEST_P(LinkedListVersions, ClearFreesEverything)
+{
+    LinkedList<Value16> list(env);
+    for (int i = 0; i < 50; ++i)
+        list.pushBack({std::uint64_t(i), 0});
+    list.clear();
+    EXPECT_TRUE(list.empty());
+    list.validate();
+    // Reusable after clear.
+    list.pushBack({7, 7});
+    EXPECT_EQ(list.size(), 1u);
+    list.validate();
+}
+
+TEST_P(LinkedListVersions, RandomizedAgainstDequeOracle)
+{
+    LinkedList<Value16> list(env);
+    std::deque<std::uint64_t> oracle;
+    Rng rng(123);
+
+    for (int step = 0; step < 1500; ++step) {
+        const std::uint64_t r = rng.nextBounded(100);
+        if (r < 45 || oracle.empty()) {
+            const std::uint64_t v = rng.next();
+            if (r % 2) {
+                list.pushBack({v, 0});
+                oracle.push_back(v);
+            } else {
+                list.pushFront({v, 0});
+                oracle.push_front(v);
+            }
+        } else if (r < 75) {
+            list.erase(list.front());
+            oracle.pop_front();
+        } else {
+            list.erase(list.back());
+            oracle.pop_back();
+        }
+    }
+    ASSERT_EQ(list.size(), oracle.size());
+    std::size_t i = 0;
+    list.forEach([&](const Value16 &v) {
+        ASSERT_EQ(v.lo, oracle[i]) << "mismatch at " << i;
+        ++i;
+    });
+    list.validate();
+}
+
+TEST_P(LinkedListVersions, SurvivesPoolRelocation)
+{
+    if (GetParam() == Version::Volatile)
+        GTEST_SKIP() << "no pools under Volatile";
+
+    LinkedList<Value16> list(env);
+    for (std::uint64_t i = 0; i < 64; ++i)
+        list.pushBack({i, ~i});
+    rt.pools().pool(pool).setRootOff(
+        PtrRepr::offsetOf(list.header().bits()));
+
+    rt.pools().detach(pool);
+    rt.pools().openPool("p");
+
+    // Re-attach via the pool root, as a fresh process would.
+    using Hdr = LinkedList<Value16>::Header;
+    Ptr<Hdr> hdr = Ptr<Hdr>::fromBits(PtrRepr::makeRelative(
+        pool, rt.pools().pool(pool).rootOff()));
+    LinkedList<Value16> reopened(env, hdr);
+    EXPECT_EQ(reopened.size(), 64u);
+    reopened.validate();
+    std::uint64_t i = 0;
+    reopened.forEach([&](const Value16 &v) {
+        EXPECT_EQ(v.lo, i);
+        EXPECT_EQ(v.hi, ~i);
+        ++i;
+    });
+}
+
+TEST_P(LinkedListVersions, VolatileEnvironmentWorksIdentically)
+{
+    // The same container code in a heap environment — the user
+    // transparency property in one test.
+    MemEnv venv = MemEnv::volatileEnv(rt);
+    LinkedList<Value16> list(venv);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        list.pushBack({i, 0});
+    EXPECT_EQ(list.size(), 20u);
+    list.validate();
+    list.clear();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVersions, LinkedListVersions,
+    ::testing::Values(Version::Volatile, Version::Sw, Version::Hw,
+                      Version::Explicit),
+    [](const ::testing::TestParamInfo<Version> &info) {
+        return versionName(info.param);
+    });

@@ -1,0 +1,84 @@
+/** @file Unit tests for the logging/panic facility. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+using namespace upr;
+
+namespace
+{
+
+std::vector<std::pair<LogLevel, std::string>> gCaptured;
+
+void
+captureSink(LogLevel level, const std::string &message)
+{
+    gCaptured.emplace_back(level, message);
+}
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        gCaptured.clear();
+        setLogSink(captureSink);
+    }
+
+    void TearDown() override { setLogSink(nullptr); }
+};
+
+} // namespace
+
+TEST_F(LoggingTest, InformGoesThroughSink)
+{
+    upr_inform("hello %d", 42);
+    ASSERT_EQ(gCaptured.size(), 1u);
+    EXPECT_EQ(gCaptured[0].first, LogLevel::Inform);
+    EXPECT_EQ(gCaptured[0].second, "hello 42");
+}
+
+TEST_F(LoggingTest, WarnIncrementsCounter)
+{
+    const auto before = warnCount();
+    upr_warn("watch out: %s", "thing");
+    EXPECT_EQ(warnCount(), before + 1);
+    ASSERT_EQ(gCaptured.size(), 1u);
+    EXPECT_EQ(gCaptured[0].first, LogLevel::Warn);
+    EXPECT_EQ(gCaptured[0].second, "watch out: thing");
+}
+
+TEST_F(LoggingTest, PanicAborts)
+{
+    setLogSink(nullptr); // let the death test see stderr
+    EXPECT_DEATH(upr_panic("boom %d", 7), "boom 7");
+}
+
+TEST_F(LoggingTest, AssertPassesQuietly)
+{
+    upr_assert(1 + 1 == 2);
+    EXPECT_TRUE(gCaptured.empty());
+}
+
+TEST_F(LoggingTest, AssertFailureAborts)
+{
+    setLogSink(nullptr);
+    EXPECT_DEATH(upr_assert(false), "assertion");
+}
+
+TEST_F(LoggingTest, AssertMsgFormats)
+{
+    setLogSink(nullptr);
+    EXPECT_DEATH(upr_assert_msg(false, "value was %d", 9), "value was 9");
+}
+
+TEST_F(LoggingTest, FatalExitsWithCode1)
+{
+    setLogSink(nullptr);
+    EXPECT_EXIT(upr_fatal("bad config"),
+                ::testing::ExitedWithCode(1), "bad config");
+}

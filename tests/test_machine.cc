@@ -1,0 +1,135 @@
+/** @file Integration tests for the composed Machine timing model. */
+
+#include <gtest/gtest.h>
+
+#include "arch/machine.hh"
+
+using namespace upr;
+
+class MachineTest : public ::testing::Test
+{
+  protected:
+    MachineTest() : mgr(space, Placement::Sequential)
+    {
+        pool = mgr.createPool("m", 1 << 20);
+    }
+
+    MachineParams params;
+    AddressSpace space;
+    PoolManager mgr;
+    PoolId pool = 0;
+};
+
+TEST_F(MachineTest, ClockStartsAtZeroAndTicks)
+{
+    Machine m(params, space, mgr);
+    EXPECT_EQ(m.now(), 0u);
+    m.tick(25);
+    EXPECT_EQ(m.now(), 25u);
+}
+
+TEST_F(MachineTest, MemAccessChargesTlbPlusCachePlusMemory)
+{
+    Machine m(params, space, mgr);
+    const SimAddr dram = 0x2000;
+    const Cycles cold = m.memAccess(dram, false,
+                                    Machine::AccessKind::Load);
+    // Cold: L1 TLB miss chain + full cache ladder + DRAM.
+    EXPECT_EQ(cold, (params.l1TlbLatency + params.l2TlbHitLatency +
+                     params.pageWalkLatency) +
+                    (params.l1Latency + params.l2Latency +
+                     params.l3Latency + params.dramLatency));
+    // Warm: L1 TLB + L1 cache.
+    const Cycles warm = m.memAccess(dram, false,
+                                    Machine::AccessKind::Load);
+    EXPECT_EQ(warm, params.l1TlbLatency + params.l1Latency);
+    EXPECT_EQ(m.now(), cold + warm);
+}
+
+TEST_F(MachineTest, NvmAccessCostsMore)
+{
+    Machine m(params, space, mgr);
+    const Cycles dram = m.memAccess(0x3000, false,
+                                    Machine::AccessKind::Load);
+    const Cycles nvm = m.memAccess(mgr.baseOf(pool), false,
+                                   Machine::AccessKind::Load);
+    EXPECT_EQ(nvm - dram, params.nvmLatency - params.dramLatency);
+}
+
+TEST_F(MachineTest, AccessKindsCounted)
+{
+    Machine m(params, space, mgr);
+    m.memAccess(0x1000, false, Machine::AccessKind::Load);
+    m.memAccess(0x1000, true, Machine::AccessKind::StoreD);
+    m.memAccess(0x1000, true, Machine::AccessKind::StoreP);
+    m.memAccess(0x1000, true, Machine::AccessKind::StoreP);
+    EXPECT_EQ(m.memAccesses(), 4u);
+    EXPECT_EQ(m.stats().lookup("loads"), 1u);
+    EXPECT_EQ(m.stats().lookup("stores"), 1u);
+    EXPECT_EQ(m.storePCount(), 2u);
+}
+
+TEST_F(MachineTest, Ra2VaHwChargesPolb)
+{
+    Machine m(params, space, mgr);
+    const Cycles before = m.now();
+    const SimAddr va = m.ra2vaHw(pool, 0x40);
+    EXPECT_EQ(va, mgr.baseOf(pool) + 0x40);
+    // Miss: hit latency + walk.
+    EXPECT_EQ(m.now() - before,
+              params.polbHitLatency + params.powLatency);
+    const Cycles mid = m.now();
+    m.ra2vaHw(pool, 0x80);
+    EXPECT_EQ(m.now() - mid, params.polbHitLatency);
+}
+
+TEST_F(MachineTest, IssueStorePVisibleCostIsSmall)
+{
+    Machine m(params, space, mgr);
+    const Cycles before = m.now();
+    m.issueStoreP(/*rs=*/30, /*rd=*/0);
+    // The 30-cycle translation hides in the FSM buffer.
+    EXPECT_EQ(m.now() - before, params.storePIssueLatency);
+}
+
+TEST_F(MachineTest, BranchChargesPenaltyOnMiss)
+{
+    Machine m(params, space, mgr);
+    // Train then measure a predictable branch.
+    for (int i = 0; i < 64; ++i)
+        m.branch(9, true);
+    const Cycles before = m.now();
+    m.branch(9, true);
+    EXPECT_EQ(m.now() - before, 1u); // predicted: 1 cycle
+}
+
+TEST_F(MachineTest, ResetAllStatsKeepsWarmState)
+{
+    Machine m(params, space, mgr);
+    m.memAccess(0x4000, false, Machine::AccessKind::Load);
+    m.ra2vaHw(pool, 0);
+    m.resetAllStats();
+
+    EXPECT_EQ(m.memAccesses(), 0u);
+    EXPECT_EQ(m.polb().accesses(), 0u);
+    EXPECT_EQ(m.bpred().branches(), 0u);
+
+    // But the microarchitectural state is still warm: the same line
+    // hits L1 and the same pool ID hits the POLB.
+    const Cycles lat = m.memAccess(0x4000, false,
+                                   Machine::AccessKind::Load);
+    EXPECT_EQ(lat, params.l1TlbLatency + params.l1Latency);
+    const Cycles before = m.now();
+    m.ra2vaHw(pool, 8);
+    EXPECT_EQ(m.now() - before, params.polbHitLatency);
+}
+
+TEST_F(MachineTest, FlushAllForcesColdAccesses)
+{
+    Machine m(params, space, mgr);
+    m.memAccess(0x5000, false, Machine::AccessKind::Load);
+    m.flushAll();
+    const Cycles lat = m.memAccess(0x5000, false,
+                                   Machine::AccessKind::Load);
+    EXPECT_GT(lat, params.l1TlbLatency + params.l1Latency);
+}

@@ -1,0 +1,141 @@
+/** @file Tests for the matrix library across versions and media. */
+
+#include <gtest/gtest.h>
+
+#include "ml/matrix.hh"
+
+using namespace upr;
+
+namespace
+{
+
+Runtime::Config
+makeConfig(Version v)
+{
+    Runtime::Config cfg;
+    cfg.version = v;
+    cfg.seed = 21;
+    return cfg;
+}
+
+} // namespace
+
+class MatrixVersions : public ::testing::TestWithParam<Version>
+{
+  protected:
+    MatrixVersions()
+        : rt(makeConfig(GetParam())), scope(rt),
+          pool(rt.createPool("m", 16 << 20)),
+          penv(MemEnv::persistentEnv(rt, pool)),
+          venv(MemEnv::volatileEnv(rt))
+    {}
+
+    Runtime rt;
+    RuntimeScope scope;
+    PoolId pool;
+    MemEnv penv;
+    MemEnv venv;
+};
+
+TEST_P(MatrixVersions, ElementRoundTrip)
+{
+    Matrix m(penv, 3, 4);
+    m.set(0, 0, 1.5);
+    m.set(2, 3, -7.25);
+    EXPECT_EQ(m.at(0, 0), 1.5);
+    EXPECT_EQ(m.at(2, 3), -7.25);
+    EXPECT_EQ(m.at(1, 1), 0.0); // zero-initialized
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+}
+
+TEST_P(MatrixVersions, RowMajorRoundTrip)
+{
+    Matrix m(penv, 2, 3);
+    m.loadRowMajor({1, 2, 3, 4, 5, 6});
+    EXPECT_EQ(m.at(0, 1), 2.0);
+    EXPECT_EQ(m.at(1, 2), 6.0);
+    EXPECT_EQ(m.toRowMajor(), (std::vector<double>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST_P(MatrixVersions, AddAndMultiply)
+{
+    Matrix a(penv, 2, 2);
+    Matrix b(venv, 2, 2); // mixed media on purpose
+    a.loadRowMajor({1, 2, 3, 4});
+    b.loadRowMajor({5, 6, 7, 8});
+
+    Matrix sum = a.add(b, venv);
+    EXPECT_EQ(sum.toRowMajor(), (std::vector<double>{6, 8, 10, 12}));
+
+    Matrix prod = a.multiply(b, penv);
+    EXPECT_EQ(prod.toRowMajor(),
+              (std::vector<double>{19, 22, 43, 50}));
+}
+
+TEST_P(MatrixVersions, Transpose)
+{
+    Matrix a(penv, 2, 3);
+    a.loadRowMajor({1, 2, 3, 4, 5, 6});
+    Matrix t = a.transpose(venv);
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_EQ(t.toRowMajor(), (std::vector<double>{1, 4, 2, 5, 3, 6}));
+}
+
+TEST_P(MatrixVersions, RowDistance)
+{
+    Matrix a(penv, 2, 2);
+    a.loadRowMajor({0, 0, 3, 4});
+    EXPECT_EQ(Matrix::rowDistance2(a, 0, a, 1), 25.0);
+    EXPECT_EQ(Matrix::rowDistance2(a, 0, a, 0), 0.0);
+}
+
+TEST_P(MatrixVersions, FillOverwritesEverything)
+{
+    Matrix a(penv, 4, 4);
+    a.fill(2.5);
+    for (std::uint64_t r = 0; r < 4; ++r)
+        for (std::uint64_t c = 0; c < 4; ++c)
+            ASSERT_EQ(a.at(r, c), 2.5);
+}
+
+TEST_P(MatrixVersions, OutOfBoundsPanics)
+{
+    Matrix a(penv, 2, 2);
+    EXPECT_DEATH((void)a.at(2, 0), "out of");
+    EXPECT_DEATH(a.set(0, 2, 1.0), "out of");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVersions, MatrixVersions,
+    ::testing::Values(Version::Volatile, Version::Sw, Version::Hw,
+                      Version::Explicit),
+    [](const ::testing::TestParamInfo<Version> &info) {
+        return versionName(info.param);
+    });
+
+TEST(MatrixPersistence, SurvivesPoolRelocation)
+{
+    Runtime rt(makeConfig(Version::Hw));
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("m", 16 << 20);
+    MemEnv env = MemEnv::persistentEnv(rt, pool);
+
+    Matrix m(env, 8, 8);
+    for (std::uint64_t r = 0; r < 8; ++r)
+        for (std::uint64_t c = 0; c < 8; ++c)
+            m.set(r, c, double(r * 8 + c));
+    rt.pools().pool(pool).setRootOff(
+        PtrRepr::offsetOf(m.meta().bits()));
+
+    rt.pools().detach(pool);
+    rt.pools().openPool("m");
+
+    Ptr<Matrix::Meta> meta = Ptr<Matrix::Meta>::fromBits(
+        PtrRepr::makeRelative(pool, rt.pools().pool(pool).rootOff()));
+    Matrix reopened(env, meta);
+    for (std::uint64_t r = 0; r < 8; ++r)
+        for (std::uint64_t c = 0; c < 8; ++c)
+            ASSERT_EQ(reopened.at(r, c), double(r * 8 + c));
+}

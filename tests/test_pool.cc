@@ -1,0 +1,75 @@
+/** @file Unit tests for Pool creation, headers, and image adoption. */
+
+#include <gtest/gtest.h>
+
+#include "nvm/pool.hh"
+
+using namespace upr;
+
+TEST(Pool, FreshPoolHasValidHeader)
+{
+    Pool p(7, "test", 1 << 20);
+    const PoolHeader h = p.header();
+    EXPECT_EQ(h.magic, PoolHeader::kMagic);
+    EXPECT_EQ(h.version, PoolHeader::kVersion);
+    EXPECT_EQ(h.poolId, 7u);
+    EXPECT_EQ(h.size, 1u << 20);
+    EXPECT_EQ(h.rootOff, 0u);
+    EXPECT_EQ(h.logActive, 0u);
+    EXPECT_GE(h.arenaStart, Pool::kHeaderSize + h.logSize);
+    EXPECT_EQ(p.id(), 7u);
+    EXPECT_EQ(p.name(), "test");
+    EXPECT_EQ(p.size(), 1u << 20);
+}
+
+TEST(Pool, RootOffsetPersistsInBacking)
+{
+    Pool p(1, "root", 1 << 20);
+    p.setRootOff(0x1234);
+    EXPECT_EQ(p.rootOff(), 0x1234u);
+    // The root offset must live in the backing (survives image copy).
+    Pool copy("copy", Backing(p.backing()));
+    EXPECT_EQ(copy.rootOff(), 0x1234u);
+}
+
+TEST(Pool, IdZeroRejected)
+{
+    EXPECT_DEATH(Pool(0, "bad", 1 << 20), "reserved");
+}
+
+TEST(Pool, TooSmallRejected)
+{
+    EXPECT_THROW(Pool(1, "tiny", 1024), Fault);
+}
+
+TEST(Pool, OversizedRejected)
+{
+    EXPECT_THROW(Pool(1, "huge", (1ULL << 32) + 1), Fault);
+}
+
+TEST(Pool, AdoptImageValidatesMagic)
+{
+    Backing junk(1 << 20);
+    EXPECT_THROW(Pool("junk", std::move(junk)), Fault);
+}
+
+TEST(Pool, AdoptImageValidatesSizeField)
+{
+    Pool p(3, "orig", 1 << 20);
+    // Tamper: shrink the size field so it disagrees with the backing.
+    PoolHeader h = p.header();
+    h.size = 4096;
+    p.setHeader(h);
+    Backing image(p.backing());
+    EXPECT_THROW(Pool("bad", std::move(image)), Fault);
+}
+
+TEST(Pool, AdoptImageKeepsIdentity)
+{
+    Pool p(9, "orig", 1 << 20);
+    p.setRootOff(77);
+    Pool q("reopened", Backing(p.backing()));
+    EXPECT_EQ(q.id(), 9u);
+    EXPECT_EQ(q.rootOff(), 77u);
+    EXPECT_EQ(q.name(), "reopened");
+}

@@ -1,0 +1,167 @@
+/** @file Unit + property tests for the in-pool persistent allocator. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hh"
+#include "nvm/pool.hh"
+#include "nvm/pool_allocator.hh"
+
+using namespace upr;
+
+class PoolAllocatorTest : public ::testing::Test
+{
+  protected:
+    PoolAllocatorTest() : pool(1, "t", 1 << 20), alloc(pool)
+    {
+        alloc.format();
+    }
+
+    Pool pool;
+    PoolAllocator alloc;
+};
+
+TEST_F(PoolAllocatorTest, FormatCreatesOneFreeBlock)
+{
+    alloc.checkConsistency();
+    EXPECT_EQ(alloc.liveBlocks(), 0u);
+    EXPECT_GT(alloc.freeBytes(), 900u * 1024);
+}
+
+TEST_F(PoolAllocatorTest, DoubleFormatPanics)
+{
+    EXPECT_DEATH(alloc.format(), "formatted twice");
+}
+
+TEST_F(PoolAllocatorTest, AllocAlignedAndInArena)
+{
+    const PoolOffset p = alloc.alloc(100);
+    EXPECT_EQ(p % 16, 0u);
+    EXPECT_GE(p, pool.header().arenaStart);
+    EXPECT_LT(p + 100, pool.size());
+    EXPECT_GE(alloc.payloadSize(p), 100u);
+    alloc.checkConsistency();
+}
+
+TEST_F(PoolAllocatorTest, AllocZeroBytesStillDistinct)
+{
+    const PoolOffset a = alloc.alloc(0);
+    const PoolOffset b = alloc.alloc(0);
+    EXPECT_NE(a, b);
+}
+
+TEST_F(PoolAllocatorTest, FreeReturnsSpace)
+{
+    const Bytes before = alloc.freeBytes();
+    const PoolOffset p = alloc.alloc(1000);
+    EXPECT_LT(alloc.freeBytes(), before);
+    alloc.free(p);
+    EXPECT_EQ(alloc.freeBytes(), before);
+    EXPECT_EQ(alloc.liveBlocks(), 0u);
+    alloc.checkConsistency();
+}
+
+TEST_F(PoolAllocatorTest, DoubleFreePanics)
+{
+    const PoolOffset p = alloc.alloc(64);
+    alloc.free(p);
+    EXPECT_DEATH(alloc.free(p), "double free");
+}
+
+TEST_F(PoolAllocatorTest, ExhaustionThrowsPoolFull)
+{
+    EXPECT_THROW(alloc.alloc(2 << 20), Fault);
+    try {
+        alloc.alloc(2 << 20);
+        FAIL();
+    } catch (const Fault &f) {
+        EXPECT_EQ(f.kind(), FaultKind::PoolFull);
+    }
+    // Failing allocation must not corrupt the arena.
+    alloc.checkConsistency();
+}
+
+TEST_F(PoolAllocatorTest, ManySmallThenCoalesceBack)
+{
+    std::vector<PoolOffset> ptrs;
+    for (int i = 0; i < 200; ++i)
+        ptrs.push_back(alloc.alloc(100));
+    EXPECT_EQ(alloc.liveBlocks(), 200u);
+    alloc.checkConsistency();
+    // Free in an interleaved order to exercise both coalesce paths.
+    for (std::size_t i = 0; i < ptrs.size(); i += 2)
+        alloc.free(ptrs[i]);
+    alloc.checkConsistency();
+    for (std::size_t i = 1; i < ptrs.size(); i += 2)
+        alloc.free(ptrs[i]);
+    alloc.checkConsistency();
+    EXPECT_EQ(alloc.liveBlocks(), 0u);
+    // Everything coalesced into one block again: a huge alloc fits.
+    EXPECT_NO_THROW(alloc.alloc(900 * 1024));
+}
+
+TEST_F(PoolAllocatorTest, MetadataSurvivesImageCopy)
+{
+    std::vector<PoolOffset> keep;
+    for (int i = 0; i < 10; ++i)
+        keep.push_back(alloc.alloc(64));
+    alloc.free(keep[3]);
+    alloc.free(keep[7]);
+
+    // Clone the pool image; the allocator state must be identical
+    // because every byte of metadata lives inside the pool.
+    Pool clone("clone", Backing(pool.backing()));
+    PoolAllocator alloc2(clone);
+    alloc2.checkConsistency();
+    EXPECT_EQ(alloc2.liveBlocks(), 8u);
+    EXPECT_EQ(alloc2.freeBytes(), alloc.freeBytes());
+
+    // The clone can keep allocating.
+    const PoolOffset p = alloc2.alloc(64);
+    EXPECT_EQ(p % 16, 0u);
+    alloc2.checkConsistency();
+}
+
+/** Property test: random alloc/free with payload integrity checks. */
+TEST_F(PoolAllocatorTest, RandomizedStress)
+{
+    Rng rng(7);
+    struct Block
+    {
+        PoolOffset off;
+        Bytes size;
+        std::uint8_t fill;
+    };
+    std::vector<Block> live;
+
+    for (int step = 0; step < 3000; ++step) {
+        if (live.empty() || rng.nextBounded(100) < 55) {
+            const Bytes n = 1 + rng.nextBounded(1024);
+            PoolOffset p;
+            try {
+                p = alloc.alloc(n);
+            } catch (const Fault &) {
+                continue; // pool momentarily full; keep going
+            }
+            const auto fill = static_cast<std::uint8_t>(step & 0xff);
+            std::vector<std::uint8_t> data(n, fill);
+            pool.backing().write(p, data.data(), n);
+            live.push_back({p, n, fill});
+        } else {
+            const std::size_t idx = rng.nextBounded(live.size());
+            const Block b = live[idx];
+            std::vector<std::uint8_t> data(b.size);
+            pool.backing().read(b.off, data.data(), b.size);
+            for (Bytes i = 0; i < b.size; i += 61)
+                ASSERT_EQ(data[i], b.fill) << "corrupt at step " << step;
+            alloc.free(b.off);
+            live[idx] = live.back();
+            live.pop_back();
+        }
+        if (step % 250 == 0)
+            alloc.checkConsistency();
+    }
+    alloc.checkConsistency();
+    EXPECT_EQ(alloc.liveBlocks(), live.size());
+}

@@ -1,0 +1,226 @@
+/** @file Tests for the Ptr<T> facade: member access, Fig 4 operator
+ * behaviour, and identical container-visible semantics across all four
+ * versions. */
+
+#include <gtest/gtest.h>
+
+#include "core/ptr.hh"
+
+using namespace upr;
+
+namespace
+{
+
+struct Node
+{
+    Ptr<Node> next;
+    std::uint64_t value = 0;
+    std::uint32_t tag = 0;
+};
+
+struct Point
+{
+    double x = 0;
+    double y = 0;
+};
+
+Runtime::Config
+makeConfig(Version v)
+{
+    Runtime::Config cfg;
+    cfg.version = v;
+    cfg.seed = 31;
+    return cfg;
+}
+
+} // namespace
+
+TEST(PtrStatic, LayoutIsOneWord)
+{
+    EXPECT_EQ(sizeof(Ptr<Node>), 8u);
+    // A node with one pointer + u64 + u32 packs like the raw struct.
+    EXPECT_EQ(sizeof(Node), 24u);
+    EXPECT_EQ(memberOffset(&Node::next), 0u);
+    EXPECT_EQ(memberOffset(&Node::value), 8u);
+    EXPECT_EQ(memberOffset(&Node::tag), 16u);
+}
+
+TEST(PtrNoRuntime, AccessWithoutScopePanics)
+{
+    Ptr<Node> p = Ptr<Node>::fromBits(0x1000);
+    ASSERT_FALSE(hasCurrentRuntime());
+    EXPECT_DEATH((void)p.field(&Node::value), "no Runtime");
+}
+
+class PtrVersions : public ::testing::TestWithParam<Version>
+{
+  protected:
+    PtrVersions()
+        : rt(makeConfig(GetParam())), scope(rt),
+          pool(rt.createPool("p", 1 << 20))
+    {}
+
+    Ptr<Node>
+    allocNode()
+    {
+        return Ptr<Node>::fromBits(rt.pmallocBits(pool, sizeof(Node)));
+    }
+
+    Runtime rt;
+    RuntimeScope scope;
+    PoolId pool;
+};
+
+TEST_P(PtrVersions, FieldRoundTrip)
+{
+    Ptr<Node> n = allocNode();
+    n.setField(&Node::value, std::uint64_t{777});
+    n.setField(&Node::tag, std::uint32_t{9});
+    EXPECT_EQ(n.field(&Node::value), 777u);
+    EXPECT_EQ(n.field(&Node::tag), 9u);
+}
+
+TEST_P(PtrVersions, PtrFieldLinksAndTraverses)
+{
+    Ptr<Node> a = allocNode();
+    Ptr<Node> b = allocNode();
+    a.setPtrField(&Node::next, b);
+    b.setPtrField(&Node::next, Ptr<Node>::null());
+    b.setField(&Node::value, std::uint64_t{42});
+
+    Ptr<Node> loaded = a.ptrField(&Node::next);
+    EXPECT_TRUE(loaded == b);
+    EXPECT_EQ(loaded.field(&Node::value), 42u);
+    EXPECT_TRUE(loaded.ptrField(&Node::next).isNull());
+}
+
+TEST_P(PtrVersions, NullComparisons)
+{
+    Ptr<Node> n = allocNode();
+    EXPECT_TRUE(Ptr<Node>::null().isNull());
+    EXPECT_FALSE(n.isNull());
+    EXPECT_TRUE(n != Ptr<Node>::null());
+    EXPECT_FALSE(n == Ptr<Node>::null());
+    EXPECT_TRUE(static_cast<bool>(n));
+}
+
+TEST_P(PtrVersions, WholeObjectLoadStoreForPointerFreeTypes)
+{
+    Ptr<Point> p =
+        Ptr<Point>::fromBits(rt.pmallocBits(pool, sizeof(Point)));
+    p.store(Point{1.5, -2.5});
+    const Point got = p.load();
+    EXPECT_EQ(got.x, 1.5);
+    EXPECT_EQ(got.y, -2.5);
+}
+
+TEST_P(PtrVersions, ArrayArithmetic)
+{
+    Ptr<Point> arr =
+        Ptr<Point>::fromBits(rt.pmallocBits(pool, 8 * sizeof(Point)));
+    for (int i = 0; i < 8; ++i)
+        (arr + i).store(Point{double(i), double(-i)});
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(arr.at(i).x, double(i));
+        EXPECT_EQ(arr.at(i).y, double(-i));
+    }
+    Ptr<Point> last = arr + 7;
+    EXPECT_EQ(last - arr, 7);
+    EXPECT_TRUE(arr < last);
+    EXPECT_TRUE((last - 7) == arr);
+}
+
+TEST_P(PtrVersions, MixedVolatileAndPersistentObjects)
+{
+    // The same container-visible code handles both media: that is the
+    // user-transparency property.
+    Ptr<Node> pers = allocNode();
+    Ptr<Node> vol =
+        Ptr<Node>::fromBits(rt.mallocBytes(sizeof(Node)));
+
+    // Volatile node points to persistent node and vice versa.
+    vol.setPtrField(&Node::next, pers);
+    pers.setPtrField(&Node::next, vol);
+    vol.setField(&Node::value, std::uint64_t{1});
+    pers.setField(&Node::value, std::uint64_t{2});
+
+    EXPECT_EQ(vol.ptrField(&Node::next).field(&Node::value), 2u);
+    EXPECT_EQ(pers.ptrField(&Node::next).field(&Node::value), 1u);
+}
+
+TEST_P(PtrVersions, CastPreservesBits)
+{
+    Ptr<Node> n = allocNode();
+    Ptr<Point> q = n.cast<Point>();
+    EXPECT_EQ(q.bits(), n.bits());
+    Ptr<Node> back = q.cast<Node>();
+    EXPECT_TRUE(back == n);
+}
+
+TEST_P(PtrVersions, ToIntYieldsDereferenceableAddress)
+{
+    Ptr<Node> n = allocNode();
+    n.setField(&Node::value, std::uint64_t{55});
+    const std::uint64_t i = n.toInt();
+    // The integer is the virtual address (Fig 4 cast semantics).
+    EXPECT_EQ(rt.space().read<std::uint64_t>(i + 8), 55u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVersions, PtrVersions,
+    ::testing::Values(Version::Volatile, Version::Sw, Version::Hw,
+                      Version::Explicit),
+    [](const ::testing::TestParamInfo<Version> &info) {
+        return versionName(info.param);
+    });
+
+TEST(PtrPersistence, StoredFormatsAreCanonical)
+{
+    Runtime rt(makeConfig(Version::Hw));
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("p", 1 << 20);
+
+    Ptr<Node> pers =
+        Ptr<Node>::fromBits(rt.pmallocBits(pool, sizeof(Node)));
+    Ptr<Node> vol = Ptr<Node>::fromBits(rt.mallocBytes(sizeof(Node)));
+
+    pers.setPtrField(&Node::next, pers);
+    vol.setPtrField(&Node::next, pers);
+
+    // In NVM the pointer is stored relative; in DRAM it is stored as
+    // a virtual address — the Sec VII-B soundness criterion.
+    const SimAddr pers_va = pers.resolve();
+    const SimAddr vol_va = vol.resolve();
+    EXPECT_EQ(PtrRepr::determineY(rt.space().read<PtrBits>(pers_va)),
+              PtrForm::Relative);
+    EXPECT_EQ(PtrRepr::determineY(rt.space().read<PtrBits>(vol_va)),
+              PtrForm::VirtualNvm);
+}
+
+TEST(PtrPersistence, GraphSurvivesPoolRelocation)
+{
+    Runtime rt(makeConfig(Version::Hw));
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("p", 1 << 20);
+
+    // Build a 100-node persistent ring.
+    std::vector<Ptr<Node>> nodes;
+    for (int i = 0; i < 100; ++i) {
+        nodes.push_back(
+            Ptr<Node>::fromBits(rt.pmallocBits(pool, sizeof(Node))));
+        nodes.back().setField(&Node::value, std::uint64_t(i));
+    }
+    for (int i = 0; i < 100; ++i)
+        nodes[i].setPtrField(&Node::next, nodes[(i + 1) % 100]);
+
+    rt.pools().detach(pool);
+    rt.pools().openPool("p");
+
+    // Walk the ring from node 0 via stored pointers only.
+    Ptr<Node> cur = nodes[0];
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(cur.field(&Node::value), std::uint64_t(i));
+        cur = cur.ptrField(&Node::next);
+    }
+    EXPECT_TRUE(cur == nodes[0]);
+}

@@ -1,0 +1,91 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/random.hh"
+
+using namespace upr;
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(99);
+    for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.nextBounded(bound), bound);
+    }
+}
+
+TEST(Rng, BoundedOneAlwaysZero)
+{
+    Rng r(5);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(r.nextBounded(1), 0ULL);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(7);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double d = r.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    // Mean of U[0,1) should be near 0.5.
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BoundedRoughlyUniform)
+{
+    Rng r(11);
+    int buckets[10] = {};
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[r.nextBounded(10)];
+    for (int b : buckets) {
+        EXPECT_GT(b, n / 10 - n / 100);
+        EXPECT_LT(b, n / 10 + n / 100);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(13);
+    double sum = 0, sq = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const double g = r.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, SequencesWithManySeedsDistinct)
+{
+    std::set<std::uint64_t> firsts;
+    for (std::uint64_t s = 0; s < 500; ++s)
+        firsts.insert(Rng(s).next());
+    EXPECT_EQ(firsts.size(), 500u);
+}

@@ -1,0 +1,159 @@
+/** @file Unit + property tests for the B+tree range table (VATB). */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "arch/range_table.hh"
+#include "common/random.hh"
+
+using namespace upr;
+
+TEST(RangeTable, EmptyLookupMisses)
+{
+    RangeTable t;
+    EXPECT_FALSE(t.lookup(0x1000).has_value());
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.height(), 0u);
+}
+
+TEST(RangeTable, SingleRangeBoundaries)
+{
+    RangeTable t;
+    t.insert({0x1000, 0x100, 7});
+    EXPECT_FALSE(t.lookup(0xFFF).has_value());
+    ASSERT_TRUE(t.lookup(0x1000).has_value());
+    EXPECT_EQ(t.lookup(0x1000)->id, 7u);
+    EXPECT_TRUE(t.lookup(0x10FF).has_value());
+    EXPECT_FALSE(t.lookup(0x1100).has_value());
+}
+
+TEST(RangeTable, ManyRangesSplitNodes)
+{
+    RangeTable t;
+    // 100 ranges force several levels of splits (kMaxKeys = 8).
+    for (std::uint64_t i = 0; i < 100; ++i)
+        t.insert({i * 0x1000, 0x800, static_cast<PoolId>(i + 1)});
+    t.checkConsistency();
+    EXPECT_EQ(t.size(), 100u);
+    EXPECT_GE(t.height(), 2u);
+
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        auto hit = t.lookup(i * 0x1000 + 0x7FF);
+        ASSERT_TRUE(hit.has_value()) << i;
+        EXPECT_EQ(hit->id, i + 1);
+        // Gap between ranges misses.
+        EXPECT_FALSE(t.lookup(i * 0x1000 + 0x800).has_value());
+    }
+}
+
+TEST(RangeTable, LookupDepthGrowsWithSize)
+{
+    RangeTable t;
+    t.insert({0, 16, 1});
+    unsigned depth_small = 0;
+    t.lookup(0, &depth_small);
+    for (std::uint64_t i = 1; i < 200; ++i)
+        t.insert({i * 32, 16, static_cast<PoolId>(i + 1)});
+    unsigned depth_large = 0;
+    t.lookup(0, &depth_large);
+    EXPECT_GT(depth_large, depth_small);
+    EXPECT_EQ(depth_large, t.height());
+}
+
+TEST(RangeTable, EraseRemovesExactlyOne)
+{
+    RangeTable t;
+    t.insert({0x1000, 0x100, 1});
+    t.insert({0x3000, 0x100, 2});
+    t.erase(0x1000);
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_FALSE(t.lookup(0x1000).has_value());
+    EXPECT_TRUE(t.lookup(0x3000).has_value());
+    t.checkConsistency();
+}
+
+TEST(RangeTable, EraseUnknownPanics)
+{
+    RangeTable t;
+    t.insert({0x1000, 0x100, 1});
+    EXPECT_DEATH(t.erase(0x9999), "unknown range");
+}
+
+TEST(RangeTable, OverlapInsertPanics)
+{
+    RangeTable t;
+    t.insert({0x1000, 0x100, 1});
+    EXPECT_DEATH(t.insert({0x1080, 0x100, 2}), "overlapping");
+}
+
+TEST(RangeTable, RebuildReplacesContents)
+{
+    RangeTable t;
+    t.insert({0x1000, 0x100, 1});
+    t.rebuild({{0x5000, 0x200, 9}});
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_FALSE(t.lookup(0x1000).has_value());
+    EXPECT_EQ(t.lookup(0x5100)->id, 9u);
+}
+
+TEST(RangeTable, CollectIsSorted)
+{
+    RangeTable t;
+    const std::uint64_t starts[] = {0x9000, 0x1000, 0x5000, 0x3000};
+    for (std::uint64_t s : starts)
+        t.insert({s, 0x100, 1});
+    const auto all = t.collect();
+    ASSERT_EQ(all.size(), 4u);
+    for (std::size_t i = 1; i < all.size(); ++i)
+        EXPECT_LT(all[i - 1].start, all[i].start);
+}
+
+/** Property test: agree with a std::map oracle under random ops. */
+TEST(RangeTable, RandomizedAgainstOracle)
+{
+    RangeTable t;
+    std::map<SimAddr, RangeRecord> oracle;
+    Rng rng(2024);
+
+    for (int step = 0; step < 2000; ++step) {
+        if (oracle.size() < 64 && rng.nextBounded(100) < 60) {
+            // Insert a fresh non-overlapping range on a 1 MiB grid.
+            const SimAddr start = rng.nextBounded(1024) << 20;
+            if (oracle.count(start))
+                continue;
+            const Bytes size = (1 + rng.nextBounded(255)) << 12;
+            const RangeRecord r{start, size,
+                                static_cast<PoolId>(step + 1)};
+            t.insert(r);
+            oracle.emplace(start, r);
+        } else if (!oracle.empty()) {
+            auto it = oracle.begin();
+            std::advance(it, rng.nextBounded(oracle.size()));
+            t.erase(it->first);
+            oracle.erase(it);
+        }
+
+        // Random probes must agree with the oracle.
+        for (int probe = 0; probe < 5; ++probe) {
+            const SimAddr va = rng.nextBounded(1024ULL << 20);
+            auto got = t.lookup(va);
+            auto up = oracle.upper_bound(va);
+            const RangeRecord *want = nullptr;
+            if (up != oracle.begin()) {
+                const auto &cand = std::prev(up)->second;
+                if (va >= cand.start && va < cand.start + cand.size)
+                    want = &cand;
+            }
+            if (want) {
+                ASSERT_TRUE(got.has_value());
+                EXPECT_EQ(got->id, want->id);
+            } else {
+                EXPECT_FALSE(got.has_value());
+            }
+        }
+        if (step % 200 == 0)
+            t.checkConsistency();
+    }
+    t.checkConsistency();
+}

@@ -1,0 +1,74 @@
+/** @file Unit tests for the statistics registry. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+using namespace upr;
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(9);
+    ++c;
+    c += 10;
+    EXPECT_EQ(c.value(), 21u);
+    c.sub(1);
+    EXPECT_EQ(c.value(), 20u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(StatGroup, RegisterAndLookup)
+{
+    StatGroup g("grp");
+    Counter a, b;
+    g.registerCounter("a", a, "first");
+    g.registerCounter("b", b, "second");
+    a.add(3);
+    b.add(4);
+    EXPECT_EQ(g.lookup("a"), 3u);
+    EXPECT_EQ(g.lookup("b"), 4u);
+}
+
+TEST(StatGroup, DuplicateRegistrationPanics)
+{
+    StatGroup g("grp");
+    Counter a, b;
+    g.registerCounter("x", a, "one");
+    EXPECT_DEATH(g.registerCounter("x", b, "two"), "duplicate stat");
+}
+
+TEST(StatGroup, LookupUnknownPanics)
+{
+    StatGroup g("grp");
+    EXPECT_DEATH(g.lookup("nope"), "no stat");
+}
+
+TEST(StatGroup, ResetAllZeroesEverything)
+{
+    StatGroup g("grp");
+    Counter a, b;
+    g.registerCounter("a", a, "first");
+    g.registerCounter("b", b, "second");
+    a.add(5);
+    b.add(6);
+    g.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(StatGroup, DumpFormat)
+{
+    StatGroup g("core");
+    Counter a;
+    g.registerCounter("loads", a, "load count");
+    a.add(7);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "core.loads 7  # load count\n");
+}

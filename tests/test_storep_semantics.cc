@@ -1,0 +1,179 @@
+/** @file Table I, row by row: the semantics of load / storeD /
+ * storeP for every combination of operand forms, as a table-driven
+ * test over the HW version (the instruction set the table defines). */
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hh"
+
+using namespace upr;
+
+namespace
+{
+
+class TableI : public ::testing::Test
+{
+  protected:
+    TableI()
+    {
+        Runtime::Config cfg;
+        cfg.version = Version::Hw;
+        cfg.seed = 41;
+        rt = std::make_unique<Runtime>(cfg);
+        pool = rt->createPool("t1", 8 << 20);
+
+        nvm_obj = rt->pmallocBits(pool, 64);          // relative
+        nvm_va = rt->resolveForAccess(nvm_obj, 1);    // VA, bit47=1
+        dram_loc = rt->mallocBytes(64);               // VA, bit47=0
+    }
+
+    std::unique_ptr<Runtime> rt;
+    PoolId pool = 0;
+    PtrBits nvm_obj = 0;  //!< relative address of an NVM object
+    SimAddr nvm_va = 0;   //!< its virtual address
+    SimAddr dram_loc = 0; //!< a DRAM location
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// load: if Rs bit 63 is 1, the relative address converts to a virtual
+// address before issue to the TLB/cache.
+// ---------------------------------------------------------------------
+
+TEST_F(TableI, LoadWithRelativeRs)
+{
+    rt->storeData<std::uint64_t>(nvm_va, 0x11);
+    // Dereferencing the relative form reads the same cell.
+    const SimAddr ea = rt->resolveForAccess(nvm_obj, 2);
+    EXPECT_EQ(ea, nvm_va);
+    EXPECT_EQ(rt->loadData<std::uint64_t>(ea), 0x11u);
+}
+
+TEST_F(TableI, LoadWithVirtualRsPassesThrough)
+{
+    rt->storeData<std::uint64_t>(dram_loc, 0x22);
+    EXPECT_EQ(rt->resolveForAccess(PtrRepr::fromVa(dram_loc), 3),
+              dram_loc);
+    EXPECT_EQ(rt->loadData<std::uint64_t>(dram_loc), 0x22u);
+}
+
+// ---------------------------------------------------------------------
+// storeD: a data store; Rd converts like a load address. The stored
+// bits are data — never reformatted.
+// ---------------------------------------------------------------------
+
+TEST_F(TableI, StoreDWithRelativeRd)
+{
+    const SimAddr ea = rt->resolveForAccess(nvm_obj, 4);
+    rt->storeData<std::uint64_t>(ea, 0xDA7A);
+    EXPECT_EQ(rt->space().read<std::uint64_t>(nvm_va), 0xDA7Au);
+}
+
+TEST_F(TableI, StoreDDoesNotReformatPointerLookingData)
+{
+    // An integer that happens to have bit 63 set is data under
+    // storeD: stored verbatim.
+    const std::uint64_t fake = 0x8000'0001'0000'0040ULL;
+    rt->storeData<std::uint64_t>(nvm_va, fake);
+    EXPECT_EQ(rt->space().read<std::uint64_t>(nvm_va), fake);
+}
+
+// ---------------------------------------------------------------------
+// storeP rows: Rs (value) form x Rd (destination medium).
+// ---------------------------------------------------------------------
+
+TEST_F(TableI, StorePRelativeValueToNvm)
+{
+    // Rs relative, Rd NVM: stored as-is (already canonical).
+    rt->storePtr(nvm_va, nvm_obj, 5);
+    EXPECT_EQ(rt->space().read<PtrBits>(nvm_va), nvm_obj);
+}
+
+TEST_F(TableI, StorePVirtualNvmValueToNvm)
+{
+    // Rs virtual (NVM): va2ra via the VALB before writing.
+    const auto valb_before = rt->machine().valb().accesses();
+    rt->storePtr(nvm_va, PtrRepr::fromVa(nvm_va), 6);
+    const PtrBits stored = rt->space().read<PtrBits>(nvm_va);
+    EXPECT_EQ(PtrRepr::determineY(stored), PtrForm::Relative);
+    EXPECT_EQ(stored, nvm_obj);
+    EXPECT_GT(rt->machine().valb().accesses(), valb_before);
+}
+
+TEST_F(TableI, StorePRelativeValueToDram)
+{
+    // Rs relative, Rd DRAM: ra2va via the POLB before writing.
+    rt->storePtr(dram_loc, nvm_obj, 7);
+    const PtrBits stored = rt->space().read<PtrBits>(dram_loc);
+    EXPECT_EQ(PtrRepr::determineY(stored), PtrForm::VirtualNvm);
+    EXPECT_EQ(PtrRepr::toVa(stored), nvm_va);
+}
+
+TEST_F(TableI, StorePVirtualDramValueToDram)
+{
+    // Rs virtual (DRAM), Rd DRAM: no conversion.
+    const SimAddr other = rt->mallocBytes(8);
+    rt->storePtr(dram_loc, PtrRepr::fromVa(other), 8);
+    EXPECT_EQ(rt->space().read<PtrBits>(dram_loc),
+              PtrRepr::fromVa(other));
+}
+
+TEST_F(TableI, StorePNullToEitherMedium)
+{
+    // p = NULL stores zero bits with no conversion (Fig 4 row).
+    rt->storePtr(nvm_va, 0, 9);
+    EXPECT_EQ(rt->space().read<PtrBits>(nvm_va), 0u);
+    rt->storePtr(dram_loc, 0, 10);
+    EXPECT_EQ(rt->space().read<PtrBits>(dram_loc), 0u);
+}
+
+TEST_F(TableI, StorePFaultRowStrictMode)
+{
+    // The Table I fault: a DRAM virtual address stored into NVM has
+    // no persistent meaning; strict mode raises the storeP fault.
+    Runtime::Config cfg;
+    cfg.version = Version::Hw;
+    cfg.strictStoreP = true;
+    cfg.seed = 41;
+    Runtime strict(cfg);
+    const PoolId p = strict.createPool("s", 8 << 20);
+    const PtrBits obj = strict.pmallocBits(p, 64);
+    const SimAddr loc = strict.resolveForAccess(obj, 1);
+    const SimAddr dram = strict.mallocBytes(8);
+    try {
+        strict.storePtr(loc, PtrRepr::fromVa(dram), 2);
+        FAIL();
+    } catch (const Fault &f) {
+        EXPECT_EQ(f.kind(), FaultKind::StorePFault);
+    }
+}
+
+TEST_F(TableI, StorePCountsAsItsOwnInstruction)
+{
+    const auto storeps = rt->machine().storePCount();
+    const auto stores = rt->machine().stats().lookup("stores");
+    rt->storePtr(nvm_va, nvm_obj, 11);
+    EXPECT_EQ(rt->machine().storePCount(), storeps + 1);
+    // storeD count unchanged: distinct instruction kinds.
+    EXPECT_EQ(rt->machine().stats().lookup("stores"), stores);
+}
+
+TEST_F(TableI, StorePLatencyHiddenByFsmBuffer)
+{
+    // A storeP whose Rs needs a VALB walk still costs the pipeline
+    // only the issue latency (plus the storeD-path memory access).
+    rt->machine().flushAll();
+    const Cycles t0 = rt->machine().now();
+    rt->storePtr(nvm_va, PtrRepr::fromVa(nvm_va), 12);
+    const Cycles storep_cost = rt->machine().now() - t0;
+
+    rt->machine().flushAll();
+    const Cycles t1 = rt->machine().now();
+    rt->storeData<std::uint64_t>(nvm_va, 1);
+    const Cycles stored_cost = rt->machine().now() - t1;
+
+    EXPECT_LE(storep_cost,
+              stored_cost + rt->config().machine.storePIssueLatency +
+                  rt->config().machine.valbHitLatency);
+}

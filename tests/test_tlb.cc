@@ -1,0 +1,72 @@
+/** @file Unit tests for the two-level TLB model. */
+
+#include <gtest/gtest.h>
+
+#include "arch/tlb.hh"
+
+using namespace upr;
+
+TEST(Tlb, MissThenHitOnSamePage)
+{
+    Tlb tlb("t", 64, 4);
+    EXPECT_FALSE(tlb.access(0x1000));
+    EXPECT_TRUE(tlb.access(0x1FFF));  // same 4 KiB page
+    EXPECT_FALSE(tlb.access(0x2000)); // next page
+}
+
+TEST(Tlb, FlushDropsTranslations)
+{
+    Tlb tlb("t", 64, 4);
+    tlb.access(0x1000);
+    tlb.flush();
+    EXPECT_FALSE(tlb.access(0x1000));
+}
+
+TEST(Tlb, StatsCount)
+{
+    Tlb tlb("t", 64, 4);
+    tlb.access(0x1000);
+    tlb.access(0x1000);
+    tlb.access(0x1000);
+    EXPECT_EQ(tlb.stats().lookup("misses"), 1u);
+    EXPECT_EQ(tlb.stats().lookup("hits"), 2u);
+}
+
+TEST(TlbHierarchy, LatencyLevels)
+{
+    MachineParams p;
+    TlbHierarchy h(p);
+
+    // Cold: L1 miss + L2 miss + walk.
+    EXPECT_EQ(h.access(0x5000),
+              p.l1TlbLatency + p.l2TlbHitLatency + p.pageWalkLatency);
+    EXPECT_EQ(h.walks(), 1u);
+
+    // Warm: L1 hit.
+    EXPECT_EQ(h.access(0x5000), p.l1TlbLatency);
+}
+
+TEST(TlbHierarchy, L2CatchesL1Evictions)
+{
+    MachineParams p;
+    p.l1TlbEntries = 4; // 1 set x 4 ways after division
+    p.l1TlbWays = 4;
+    TlbHierarchy h(p);
+
+    // Fill L1 beyond capacity: pages 0..4 (5 pages, 4 ways).
+    for (SimAddr page = 0; page < 5; ++page)
+        h.access(page * Layout::kPageSize);
+
+    // Page 0 evicted from L1 but present in the big L2.
+    EXPECT_EQ(h.access(0), p.l1TlbLatency + p.l2TlbHitLatency);
+}
+
+TEST(TlbHierarchy, FlushAllForcesWalks)
+{
+    MachineParams p;
+    TlbHierarchy h(p);
+    h.access(0x9000);
+    h.flushAll();
+    EXPECT_EQ(h.access(0x9000),
+              p.l1TlbLatency + p.l2TlbHitLatency + p.pageWalkLatency);
+}

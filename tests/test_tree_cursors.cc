@@ -1,0 +1,141 @@
+/** @file Tests for the ordered cursor API on the search trees:
+ * forward/backward walks agree with a std::map oracle, seek() is a
+ * lower-bound cursor, and cursors survive pool relocation. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.hh"
+#include "containers/avl_tree.hh"
+#include "containers/rb_tree.hh"
+#include "containers/scapegoat_tree.hh"
+#include "containers/splay_tree.hh"
+
+using namespace upr;
+
+template <typename TreeT>
+class TreeCursors : public ::testing::Test
+{
+  protected:
+    template <typename Body>
+    void
+    withTree(Body &&body)
+    {
+        Runtime::Config cfg;
+        cfg.version = Version::Hw;
+        cfg.seed = 29;
+        Runtime rt(cfg);
+        RuntimeScope scope(rt);
+        const PoolId pool = rt.createPool("c", 32 << 20);
+        TreeT tree(MemEnv::persistentEnv(rt, pool));
+        body(rt, pool, tree);
+    }
+};
+
+using TreeTypes = ::testing::Types<
+    RbTree<std::uint64_t, std::uint64_t>,
+    AvlTree<std::uint64_t, std::uint64_t>,
+    SplayTree<std::uint64_t, std::uint64_t>,
+    ScapegoatTree<std::uint64_t, std::uint64_t>>;
+
+TYPED_TEST_SUITE(TreeCursors, TreeTypes);
+
+TYPED_TEST(TreeCursors, EmptyTreeHasNoCursor)
+{
+    this->withTree([](Runtime &, PoolId, TypeParam &tree) {
+        EXPECT_FALSE(tree.first().valid());
+        EXPECT_FALSE(tree.last().valid());
+        EXPECT_FALSE(tree.seek(0).valid());
+    });
+}
+
+TYPED_TEST(TreeCursors, ForwardWalkIsSorted)
+{
+    this->withTree([](Runtime &, PoolId, TypeParam &tree) {
+        std::map<std::uint64_t, std::uint64_t> oracle;
+        Rng rng(3);
+        for (int i = 0; i < 500; ++i) {
+            const std::uint64_t k = rng.nextBounded(10'000);
+            tree.insert(k, k * 2);
+            oracle[k] = k * 2;
+        }
+
+        auto want = oracle.begin();
+        for (auto c = tree.first(); c.valid(); c = tree.next(c)) {
+            ASSERT_NE(want, oracle.end());
+            ASSERT_EQ(tree.keyAt(c), want->first);
+            ASSERT_EQ(tree.valueAt(c), want->second);
+            ++want;
+        }
+        EXPECT_EQ(want, oracle.end());
+    });
+}
+
+TYPED_TEST(TreeCursors, BackwardWalkIsReverseSorted)
+{
+    this->withTree([](Runtime &, PoolId, TypeParam &tree) {
+        for (std::uint64_t k : {5, 1, 9, 3, 7})
+            tree.insert(k, k);
+        std::vector<std::uint64_t> got;
+        for (auto c = tree.last(); c.valid(); ) {
+            got.push_back(tree.keyAt(c));
+            if (c == tree.first())
+                break;
+            c = tree.prev(c);
+        }
+        EXPECT_EQ(got, (std::vector<std::uint64_t>{9, 7, 5, 3, 1}));
+    });
+}
+
+TYPED_TEST(TreeCursors, NextPrevRoundTrip)
+{
+    this->withTree([](Runtime &, PoolId, TypeParam &tree) {
+        for (std::uint64_t k = 0; k < 64; ++k)
+            tree.insert(k * 3, k);
+        auto c = tree.first();
+        for (int i = 0; i < 30; ++i)
+            c = tree.next(c);
+        auto back = tree.prev(tree.next(c));
+        EXPECT_EQ(tree.keyAt(back), tree.keyAt(c));
+    });
+}
+
+TYPED_TEST(TreeCursors, SeekIsLowerBound)
+{
+    this->withTree([](Runtime &, PoolId, TypeParam &tree) {
+        for (std::uint64_t k : {10, 20, 30})
+            tree.insert(k, k);
+        EXPECT_EQ(tree.keyAt(tree.seek(10)), 10u);
+        EXPECT_EQ(tree.keyAt(tree.seek(11)), 20u);
+        EXPECT_EQ(tree.keyAt(tree.seek(0)), 10u);
+        EXPECT_FALSE(tree.seek(31).valid());
+
+        // Cursor continuation from a seek: range scan [11, 30].
+        std::vector<std::uint64_t> got;
+        for (auto c = tree.seek(11); c.valid(); c = tree.next(c))
+            got.push_back(tree.keyAt(c));
+        EXPECT_EQ(got, (std::vector<std::uint64_t>{20, 30}));
+    });
+}
+
+TYPED_TEST(TreeCursors, CursorsWorkAfterRelocation)
+{
+    this->withTree([](Runtime &rt, PoolId pool, TypeParam &tree) {
+        for (std::uint64_t k = 0; k < 100; ++k)
+            tree.insert(k, k);
+        rt.pools().detach(pool);
+        rt.pools().openPool("c");
+
+        std::uint64_t count = 0, prev = 0;
+        for (auto c = tree.first(); c.valid(); c = tree.next(c)) {
+            const std::uint64_t k = tree.keyAt(c);
+            if (count > 0) {
+                ASSERT_GT(k, prev);
+            }
+            prev = k;
+            ++count;
+        }
+        EXPECT_EQ(count, 100u);
+    });
+}

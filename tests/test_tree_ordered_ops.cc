@@ -1,0 +1,155 @@
+/** @file Tests for the ordered-query extensions on the search trees:
+ * minKey/maxKey, lowerBound, and in-order range scans — checked
+ * against a std::map oracle across tree types and versions. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.hh"
+#include "containers/avl_tree.hh"
+#include "containers/rb_tree.hh"
+#include "containers/scapegoat_tree.hh"
+#include "containers/splay_tree.hh"
+
+using namespace upr;
+
+namespace
+{
+
+const Version kAllVersions[] = {Version::Volatile, Version::Sw,
+                                Version::Hw, Version::Explicit};
+
+Runtime::Config
+makeConfig(Version v)
+{
+    Runtime::Config cfg;
+    cfg.version = v;
+    cfg.seed = 61;
+    return cfg;
+}
+
+} // namespace
+
+template <typename TreeT>
+class TreeOrderedOps : public ::testing::Test
+{
+  protected:
+    template <typename Body>
+    void
+    forEachVersion(Body &&body)
+    {
+        for (Version v : kAllVersions) {
+            SCOPED_TRACE(versionName(v));
+            Runtime rt(makeConfig(v));
+            RuntimeScope scope(rt);
+            const PoolId pool = rt.createPool("p", 32 << 20);
+            TreeT tree(MemEnv::persistentEnv(rt, pool));
+            body(tree);
+        }
+    }
+};
+
+using TreeTypes = ::testing::Types<
+    RbTree<std::uint64_t, std::uint64_t>,
+    AvlTree<std::uint64_t, std::uint64_t>,
+    SplayTree<std::uint64_t, std::uint64_t>,
+    ScapegoatTree<std::uint64_t, std::uint64_t>>;
+
+TYPED_TEST_SUITE(TreeOrderedOps, TreeTypes);
+
+TYPED_TEST(TreeOrderedOps, MinMaxOnEmptyAndGrowing)
+{
+    this->forEachVersion([](TypeParam &tree) {
+        EXPECT_FALSE(tree.minKey().has_value());
+        EXPECT_FALSE(tree.maxKey().has_value());
+        tree.insert(50, 1);
+        EXPECT_EQ(tree.minKey().value(), 50u);
+        EXPECT_EQ(tree.maxKey().value(), 50u);
+        tree.insert(10, 1);
+        tree.insert(90, 1);
+        EXPECT_EQ(tree.minKey().value(), 10u);
+        EXPECT_EQ(tree.maxKey().value(), 90u);
+        tree.erase(10);
+        EXPECT_EQ(tree.minKey().value(), 50u);
+    });
+}
+
+TYPED_TEST(TreeOrderedOps, LowerBoundSemantics)
+{
+    this->forEachVersion([](TypeParam &tree) {
+        for (std::uint64_t k : {10, 20, 30, 40})
+            tree.insert(k, k * 10);
+
+        // Exact hit.
+        auto lb = tree.lowerBound(20);
+        ASSERT_TRUE(lb.has_value());
+        EXPECT_EQ(lb->first, 20u);
+        EXPECT_EQ(lb->second, 200u);
+
+        // Between keys: rounds up.
+        lb = tree.lowerBound(21);
+        ASSERT_TRUE(lb.has_value());
+        EXPECT_EQ(lb->first, 30u);
+
+        // Below the minimum.
+        EXPECT_EQ(tree.lowerBound(0)->first, 10u);
+
+        // Above the maximum: no bound.
+        EXPECT_FALSE(tree.lowerBound(41).has_value());
+    });
+}
+
+TYPED_TEST(TreeOrderedOps, RangeScanMatchesOracle)
+{
+    this->forEachVersion([](TypeParam &tree) {
+        std::map<std::uint64_t, std::uint64_t> oracle;
+        Rng rng(77);
+        for (int i = 0; i < 300; ++i) {
+            const std::uint64_t k = rng.nextBounded(1000);
+            const std::uint64_t v = rng.next();
+            tree.insert(k, v);
+            oracle[k] = v;
+        }
+
+        for (auto [lo, hi] : {std::pair<std::uint64_t, std::uint64_t>
+                                  {100, 300},
+                              {0, 1000},
+                              {500, 500},
+                              {999, 1'000'000}}) {
+            std::vector<std::pair<std::uint64_t, std::uint64_t>> got;
+            tree.forEachInRange(lo, hi,
+                                [&](std::uint64_t k, std::uint64_t v) {
+                                    got.emplace_back(k, v);
+                                });
+            std::vector<std::pair<std::uint64_t, std::uint64_t>> want(
+                oracle.lower_bound(lo), oracle.lower_bound(hi));
+            ASSERT_EQ(got, want) << "range [" << lo << "," << hi
+                                 << ")";
+        }
+    });
+}
+
+TYPED_TEST(TreeOrderedOps, RandomizedLowerBoundAgainstOracle)
+{
+    this->forEachVersion([](TypeParam &tree) {
+        std::map<std::uint64_t, std::uint64_t> oracle;
+        Rng rng(13);
+        for (int i = 0; i < 400; ++i) {
+            const std::uint64_t k = rng.nextBounded(5000);
+            tree.insert(k, k);
+            oracle[k] = k;
+        }
+        for (int probe = 0; probe < 500; ++probe) {
+            const std::uint64_t q = rng.nextBounded(6000);
+            auto got = tree.lowerBound(q);
+            auto want = oracle.lower_bound(q);
+            if (want == oracle.end()) {
+                ASSERT_FALSE(got.has_value()) << q;
+            } else {
+                ASSERT_TRUE(got.has_value()) << q;
+                ASSERT_EQ(got->first, want->first) << q;
+            }
+        }
+    });
+}

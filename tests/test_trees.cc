@@ -1,0 +1,272 @@
+/** @file Typed tests exercising all four search trees (RB, AVL,
+ * Splay, SG) with identical workloads under all four versions —
+ * invariants validated continuously, results checked against a
+ * std::map oracle. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.hh"
+#include "containers/avl_tree.hh"
+#include "containers/rb_tree.hh"
+#include "containers/scapegoat_tree.hh"
+#include "containers/splay_tree.hh"
+
+using namespace upr;
+
+namespace
+{
+
+Runtime::Config
+makeConfig(Version v)
+{
+    Runtime::Config cfg;
+    cfg.version = v;
+    cfg.seed = 17;
+    return cfg;
+}
+
+const Version kAllVersions[] = {Version::Volatile, Version::Sw,
+                                Version::Hw, Version::Explicit};
+
+} // namespace
+
+template <typename TreeT>
+class TreeTest : public ::testing::Test
+{
+  protected:
+    /** Run @p body with a fresh tree under each version. */
+    template <typename Body>
+    void
+    forEachVersion(Body &&body)
+    {
+        for (Version v : kAllVersions) {
+            SCOPED_TRACE(versionName(v));
+            Runtime rt(makeConfig(v));
+            RuntimeScope scope(rt);
+            const PoolId pool = rt.createPool("p", 32 << 20);
+            MemEnv env = MemEnv::persistentEnv(rt, pool);
+            TreeT tree(env);
+            body(rt, tree);
+        }
+    }
+};
+
+using TreeTypes = ::testing::Types<
+    RbTree<std::uint64_t, std::uint64_t>,
+    AvlTree<std::uint64_t, std::uint64_t>,
+    SplayTree<std::uint64_t, std::uint64_t>,
+    ScapegoatTree<std::uint64_t, std::uint64_t>>;
+
+TYPED_TEST_SUITE(TreeTest, TreeTypes);
+
+TYPED_TEST(TreeTest, EmptyTreeBasics)
+{
+    this->forEachVersion([](Runtime &, TypeParam &tree) {
+        EXPECT_TRUE(tree.empty());
+        EXPECT_EQ(tree.size(), 0u);
+        EXPECT_FALSE(tree.find(1).has_value());
+        EXPECT_FALSE(tree.erase(1));
+        tree.validate();
+    });
+}
+
+TYPED_TEST(TreeTest, InsertFindUpdate)
+{
+    this->forEachVersion([](Runtime &, TypeParam &tree) {
+        EXPECT_TRUE(tree.insert(5, 50));
+        EXPECT_TRUE(tree.insert(3, 30));
+        EXPECT_TRUE(tree.insert(8, 80));
+        EXPECT_FALSE(tree.insert(5, 55)); // update
+        EXPECT_EQ(tree.size(), 3u);
+        EXPECT_EQ(tree.find(5).value(), 55u);
+        EXPECT_EQ(tree.find(3).value(), 30u);
+        EXPECT_EQ(tree.find(8).value(), 80u);
+        EXPECT_FALSE(tree.find(4).has_value());
+        tree.validate();
+    });
+}
+
+TYPED_TEST(TreeTest, AscendingInsertionStaysValid)
+{
+    // Worst case for naive BSTs; each balanced tree must cope.
+    this->forEachVersion([](Runtime &, TypeParam &tree) {
+        for (std::uint64_t i = 0; i < 300; ++i) {
+            tree.insert(i, i);
+            if (i % 50 == 0)
+                tree.validate();
+        }
+        tree.validate();
+        for (std::uint64_t i = 0; i < 300; ++i)
+            ASSERT_EQ(tree.find(i).value(), i);
+    });
+}
+
+TYPED_TEST(TreeTest, DescendingInsertionStaysValid)
+{
+    this->forEachVersion([](Runtime &, TypeParam &tree) {
+        for (std::uint64_t i = 300; i > 0; --i)
+            tree.insert(i, i);
+        tree.validate();
+        EXPECT_EQ(tree.size(), 300u);
+    });
+}
+
+TYPED_TEST(TreeTest, InOrderTraversalSorted)
+{
+    this->forEachVersion([](Runtime &, TypeParam &tree) {
+        const std::uint64_t keys[] = {42, 7, 99, 1, 64, 13, 77};
+        for (std::uint64_t k : keys)
+            tree.insert(k, k * 10);
+        std::uint64_t prev = 0;
+        bool first = true;
+        std::size_t count = 0;
+        tree.forEach([&](std::uint64_t k, std::uint64_t v) {
+            if (!first) {
+                EXPECT_LT(prev, k);
+            }
+            EXPECT_EQ(v, k * 10);
+            prev = k;
+            first = false;
+            ++count;
+        });
+        EXPECT_EQ(count, 7u);
+    });
+}
+
+TYPED_TEST(TreeTest, EraseLeafInternalRoot)
+{
+    this->forEachVersion([](Runtime &, TypeParam &tree) {
+        for (std::uint64_t k : {50, 25, 75, 12, 37, 62, 87})
+            tree.insert(k, k);
+        EXPECT_TRUE(tree.erase(12)); // leaf
+        tree.validate();
+        EXPECT_TRUE(tree.erase(25)); // internal, one child
+        tree.validate();
+        EXPECT_TRUE(tree.erase(50)); // (possibly) two children / root
+        tree.validate();
+        EXPECT_EQ(tree.size(), 4u);
+        for (std::uint64_t k : {37, 62, 75, 87})
+            EXPECT_TRUE(tree.contains(k)) << k;
+        for (std::uint64_t k : {12, 25, 50})
+            EXPECT_FALSE(tree.contains(k)) << k;
+    });
+}
+
+TYPED_TEST(TreeTest, EraseEverythingThenReuse)
+{
+    this->forEachVersion([](Runtime &, TypeParam &tree) {
+        for (std::uint64_t i = 0; i < 100; ++i)
+            tree.insert(i, i);
+        for (std::uint64_t i = 0; i < 100; ++i) {
+            ASSERT_TRUE(tree.erase(i));
+            if (i % 25 == 0)
+                tree.validate();
+        }
+        EXPECT_TRUE(tree.empty());
+        tree.validate();
+        tree.insert(7, 70);
+        EXPECT_EQ(tree.find(7).value(), 70u);
+        tree.validate();
+    });
+}
+
+TYPED_TEST(TreeTest, ClearFreesAndResets)
+{
+    this->forEachVersion([](Runtime &, TypeParam &tree) {
+        for (std::uint64_t i = 0; i < 200; ++i)
+            tree.insert(i * 3, i);
+        tree.clear();
+        EXPECT_TRUE(tree.empty());
+        tree.validate();
+        tree.insert(1, 1);
+        EXPECT_EQ(tree.size(), 1u);
+    });
+}
+
+TYPED_TEST(TreeTest, RandomizedAgainstOracle)
+{
+    this->forEachVersion([](Runtime &, TypeParam &tree) {
+        std::map<std::uint64_t, std::uint64_t> oracle;
+        Rng rng(4242);
+        for (int step = 0; step < 2500; ++step) {
+            const std::uint64_t key = rng.nextBounded(400);
+            const std::uint64_t op = rng.nextBounded(100);
+            if (op < 50) {
+                const std::uint64_t v = rng.next();
+                const bool fresh = oracle.emplace(key, v).second;
+                ASSERT_EQ(tree.insert(key, v), fresh);
+                oracle[key] = v;
+            } else if (op < 80) {
+                auto got = tree.find(key);
+                auto it = oracle.find(key);
+                if (it == oracle.end()) {
+                    ASSERT_FALSE(got.has_value());
+                } else {
+                    ASSERT_TRUE(got.has_value());
+                    ASSERT_EQ(*got, it->second);
+                }
+            } else {
+                ASSERT_EQ(tree.erase(key), oracle.erase(key) == 1);
+            }
+            if (step % 500 == 499)
+                tree.validate();
+        }
+        tree.validate();
+        ASSERT_EQ(tree.size(), oracle.size());
+        // Full sweep at the end.
+        auto it = oracle.begin();
+        tree.forEach([&](std::uint64_t k, std::uint64_t v) {
+            ASSERT_NE(it, oracle.end());
+            ASSERT_EQ(k, it->first);
+            ASSERT_EQ(v, it->second);
+            ++it;
+        });
+        ASSERT_EQ(it, oracle.end());
+    });
+}
+
+TYPED_TEST(TreeTest, SurvivesPoolRelocation)
+{
+    Runtime rt(makeConfig(Version::Hw));
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("p", 32 << 20);
+    MemEnv env = MemEnv::persistentEnv(rt, pool);
+    TypeParam tree(env);
+    for (std::uint64_t i = 0; i < 256; ++i)
+        tree.insert(i * 7, i);
+    rt.pools().pool(pool).setRootOff(
+        PtrRepr::offsetOf(tree.header().bits()));
+
+    rt.pools().detach(pool);
+    rt.pools().openPool("p");
+
+    using Hdr = typename TypeParam::Header;
+    Ptr<Hdr> hdr = Ptr<Hdr>::fromBits(PtrRepr::makeRelative(
+        pool, rt.pools().pool(pool).rootOff()));
+    TypeParam reopened(env, hdr);
+    EXPECT_EQ(reopened.size(), 256u);
+    reopened.validate();
+    for (std::uint64_t i = 0; i < 256; ++i)
+        ASSERT_EQ(reopened.find(i * 7).value(), i);
+}
+
+TYPED_TEST(TreeTest, MixedVolatileAndPersistentTreesCoexist)
+{
+    Runtime rt(makeConfig(Version::Hw));
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("p", 32 << 20);
+    TypeParam pers(MemEnv::persistentEnv(rt, pool));
+    TypeParam vol(MemEnv::volatileEnv(rt));
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        pers.insert(i, i);
+        vol.insert(i, i * 2);
+    }
+    pers.validate();
+    vol.validate();
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        ASSERT_EQ(pers.find(i).value(), i);
+        ASSERT_EQ(vol.find(i).value(), i * 2);
+    }
+}

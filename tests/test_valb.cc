@@ -1,0 +1,99 @@
+/** @file Unit tests for the VALB (VA -> pool-ID range buffer) model. */
+
+#include <gtest/gtest.h>
+
+#include "arch/valb.hh"
+
+using namespace upr;
+
+class ValbTest : public ::testing::Test
+{
+  protected:
+    ValbTest() : mgr(space, Placement::Sequential), valb(params, mgr)
+    {
+        pool = mgr.createPool("p", 1 << 20);
+        base = mgr.baseOf(pool);
+    }
+
+    MachineParams params;
+    AddressSpace space;
+    PoolManager mgr;
+    Valb valb;
+    PoolId pool;
+    SimAddr base;
+};
+
+TEST_F(ValbTest, MissWalksThenRangeHits)
+{
+    const Va2RaResult miss = valb.va2ra(base + 0x500);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_EQ(miss.latency, params.valbHitLatency + params.vawLatency);
+    EXPECT_EQ(miss.id, pool);
+    EXPECT_EQ(miss.offset, 0x500u);
+
+    // Any address in the same pool range now hits.
+    const Va2RaResult hit = valb.va2ra(base + 0xFFFFF);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.latency, params.valbHitLatency);
+    EXPECT_EQ(hit.offset, 0xFFFFFu);
+}
+
+TEST_F(ValbTest, VaOutsideAnyPoolFaults)
+{
+    try {
+        valb.va2ra(Layout::kNvmBase + 5);
+        FAIL();
+    } catch (const Fault &f) {
+        EXPECT_EQ(f.kind(), FaultKind::UnmappedAccess);
+    }
+}
+
+TEST_F(ValbTest, VatbTracksAttachEpochs)
+{
+    valb.va2ra(base); // builds the VATB
+    EXPECT_EQ(valb.vatb().size(), 1u);
+    mgr.createPool("q", 1 << 18);
+    valb.va2ra(base); // epoch sync rebuilds
+    EXPECT_EQ(valb.vatb().size(), 2u);
+    mgr.detach(pool);
+    const PoolId q = mgr.va2ra(mgr.baseOf(2)).first;
+    (void)q;
+    valb.va2ra(mgr.baseOf(2));
+    EXPECT_EQ(valb.vatb().size(), 1u);
+}
+
+TEST_F(ValbTest, DetachedPoolVaFaults)
+{
+    valb.va2ra(base);
+    mgr.detach(pool);
+    EXPECT_THROW(valb.va2ra(base), Fault);
+}
+
+TEST_F(ValbTest, RelocatedPoolTranslatesAtNewRange)
+{
+    valb.va2ra(base);
+    mgr.detach(pool);
+    mgr.openPool("p");
+    const SimAddr base2 = mgr.baseOf(pool);
+    ASSERT_NE(base, base2);
+    const Va2RaResult r = valb.va2ra(base2 + 0x30);
+    EXPECT_EQ(r.id, pool);
+    EXPECT_EQ(r.offset, 0x30u);
+}
+
+TEST_F(ValbTest, TwoPoolsDistinctIds)
+{
+    const PoolId q = mgr.createPool("q", 1 << 18);
+    const SimAddr qbase = mgr.baseOf(q);
+    EXPECT_EQ(valb.va2ra(base + 1).id, pool);
+    EXPECT_EQ(valb.va2ra(qbase + 1).id, q);
+}
+
+TEST_F(ValbTest, StatsAccumulate)
+{
+    valb.va2ra(base);
+    valb.va2ra(base + 64);
+    EXPECT_EQ(valb.accesses(), 2u);
+    EXPECT_EQ(valb.walkCount(), 1u);
+    EXPECT_EQ(valb.stats().lookup("hits"), 1u);
+}

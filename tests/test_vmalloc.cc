@@ -1,0 +1,153 @@
+/** @file Unit + property tests for the volatile heap allocator. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/random.hh"
+#include "mem/vmalloc.hh"
+
+using namespace upr;
+
+class VmallocTest : public ::testing::Test
+{
+  protected:
+    AddressSpace space;
+    VolatileHeap heap{space};
+};
+
+TEST_F(VmallocTest, AllocateGivesMappedDramAddress)
+{
+    const SimAddr p = heap.allocate(64);
+    EXPECT_FALSE(Layout::isNvm(p));
+    EXPECT_TRUE(space.isMapped(p, 64));
+    space.write<std::uint64_t>(p, 0x1122334455667788ULL);
+    EXPECT_EQ(space.read<std::uint64_t>(p), 0x1122334455667788ULL);
+}
+
+TEST_F(VmallocTest, AlignmentRespected)
+{
+    for (Bytes align : {16ULL, 64ULL, 256ULL, 4096ULL}) {
+        const SimAddr p = heap.allocate(10, align);
+        EXPECT_EQ(p % align, 0u) << "align " << align;
+    }
+}
+
+TEST_F(VmallocTest, DistinctBlocksDoNotOverlap)
+{
+    std::vector<std::pair<SimAddr, Bytes>> blocks;
+    for (int i = 0; i < 100; ++i)
+        blocks.emplace_back(heap.allocate(48), 48);
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        for (std::size_t j = i + 1; j < blocks.size(); ++j) {
+            const auto [a, an] = blocks[i];
+            const auto [b, bn] = blocks[j];
+            EXPECT_TRUE(a + an <= b || b + bn <= a);
+        }
+    }
+}
+
+TEST_F(VmallocTest, FreeAndReuse)
+{
+    const SimAddr p = heap.allocate(128);
+    heap.deallocate(p);
+    const SimAddr q = heap.allocate(128);
+    EXPECT_EQ(p, q); // first-fit reuses the freed block
+}
+
+TEST_F(VmallocTest, FreeNullIsNoop)
+{
+    EXPECT_NO_THROW(heap.deallocate(kNullAddr));
+}
+
+TEST_F(VmallocTest, DoubleFreePanics)
+{
+    const SimAddr p = heap.allocate(16);
+    heap.deallocate(p);
+    EXPECT_DEATH(heap.deallocate(p), "non-allocated");
+}
+
+TEST_F(VmallocTest, ZeroByteAllocationWorks)
+{
+    const SimAddr p = heap.allocate(0);
+    EXPECT_NE(p, kNullAddr);
+    heap.deallocate(p);
+}
+
+TEST_F(VmallocTest, GrowsBeyondInitialSize)
+{
+    // Initial mapping is 1 MiB; allocate several MiB total.
+    std::vector<SimAddr> ptrs;
+    for (int i = 0; i < 40; ++i)
+        ptrs.push_back(heap.allocate(128 * 1024));
+    for (SimAddr p : ptrs)
+        space.write<std::uint8_t>(p, 0xAB);
+    EXPECT_EQ(heap.liveCount(), 40u);
+}
+
+TEST_F(VmallocTest, CoalescingAllowsBigBlockAfterFrees)
+{
+    // Fill with small blocks, free them all, then a block the size of
+    // (almost) the whole initial heap must fit without growth.
+    std::vector<SimAddr> ptrs;
+    for (int i = 0; i < 1000; ++i)
+        ptrs.push_back(heap.allocate(512));
+    for (SimAddr p : ptrs)
+        heap.deallocate(p);
+    EXPECT_EQ(heap.liveCount(), 0u);
+    EXPECT_NO_THROW(heap.allocate(VolatileHeap::kInitialSize / 2));
+}
+
+TEST_F(VmallocTest, BytesInUseTracksLiveData)
+{
+    const auto &st = heap.stats();
+    EXPECT_EQ(st.lookup("bytesInUse"), 0u);
+    // Sizes round up to 16 (allocator granularity): 100->112,
+    // 200->208.
+    const SimAddr a = heap.allocate(100);
+    const SimAddr b = heap.allocate(200);
+    EXPECT_EQ(st.lookup("bytesInUse"), 320u);
+    heap.deallocate(a);
+    EXPECT_EQ(st.lookup("bytesInUse"), 208u);
+    heap.deallocate(b);
+    EXPECT_EQ(st.lookup("bytesInUse"), 0u);
+}
+
+/** Randomized property test: alloc/free interleaving with integrity. */
+TEST_F(VmallocTest, RandomizedStressKeepsDataIntact)
+{
+    Rng rng(42);
+    struct Block
+    {
+        SimAddr addr;
+        Bytes size;
+        std::uint8_t fill;
+    };
+    std::vector<Block> live;
+
+    for (int step = 0; step < 5000; ++step) {
+        const bool do_alloc =
+            live.empty() || rng.nextBounded(100) < 60;
+        if (do_alloc) {
+            const Bytes n = 1 + rng.nextBounded(2048);
+            const SimAddr p = heap.allocate(n);
+            const auto fill = static_cast<std::uint8_t>(step & 0xff);
+            for (Bytes i = 0; i < n; ++i)
+                space.write<std::uint8_t>(p + i, fill);
+            live.push_back({p, n, fill});
+        } else {
+            const std::size_t idx = rng.nextBounded(live.size());
+            const Block b = live[idx];
+            // Verify contents before freeing.
+            for (Bytes i = 0; i < b.size; i += 97) {
+                ASSERT_EQ(space.read<std::uint8_t>(b.addr + i), b.fill)
+                    << "corruption at step " << step;
+            }
+            heap.deallocate(b.addr);
+            live[idx] = live.back();
+            live.pop_back();
+        }
+    }
+    EXPECT_EQ(heap.liveCount(), live.size());
+}

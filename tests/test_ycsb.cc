@@ -1,0 +1,159 @@
+/** @file Tests for the YCSB workload generator. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "kvstore/ycsb.hh"
+
+using namespace upr;
+
+TEST(Zipfian, SamplesInRange)
+{
+    ZipfianGenerator z(1000);
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(z.sample(rng), 1000u);
+}
+
+TEST(Zipfian, SkewFavorsLowRanks)
+{
+    ZipfianGenerator z(10000);
+    Rng rng(2);
+    std::uint64_t low = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        low += z.sample(rng) < 100 ? 1 : 0;
+    // With theta=0.99 the head is very hot: far beyond the uniform 1%.
+    EXPECT_GT(low, n / 4);
+}
+
+TEST(Zipfian, GrowKeepsSamplingValid)
+{
+    ZipfianGenerator z(10);
+    Rng rng(3);
+    for (std::uint64_t n = 10; n <= 500; n += 7) {
+        z.growTo(n);
+        for (int i = 0; i < 50; ++i)
+            ASSERT_LT(z.sample(rng), n);
+    }
+}
+
+TEST(Ycsb, DefaultsMatchPaperSpec)
+{
+    YcsbWorkload w;
+    EXPECT_EQ(w.loadOps().size(), 10000u);
+    EXPECT_EQ(w.runOps().size(), 100000u);
+
+    std::uint64_t gets = 0, sets = 0;
+    for (const KvOp &op : w.runOps())
+        (op.kind == KvOp::Kind::Get ? gets : sets) += 1;
+    // 95/5 split within noise.
+    EXPECT_NEAR(static_cast<double>(gets) / 100000.0, 0.95, 0.01);
+    EXPECT_NEAR(static_cast<double>(sets) / 100000.0, 0.05, 0.01);
+}
+
+TEST(Ycsb, DeterministicFromSeed)
+{
+    WorkloadSpec spec;
+    spec.seed = 7;
+    YcsbWorkload a(spec), b(spec);
+    ASSERT_EQ(a.runOps().size(), b.runOps().size());
+    for (std::size_t i = 0; i < a.runOps().size(); ++i) {
+        EXPECT_EQ(a.runOps()[i].key, b.runOps()[i].key);
+        EXPECT_EQ(static_cast<int>(a.runOps()[i].kind),
+                  static_cast<int>(b.runOps()[i].kind));
+    }
+}
+
+TEST(Ycsb, LoadKeysAreUnique)
+{
+    YcsbWorkload w;
+    std::set<std::uint64_t> keys;
+    for (const KvOp &op : w.loadOps())
+        EXPECT_TRUE(keys.insert(op.key).second);
+}
+
+TEST(Ycsb, SetsInsertFreshKeys)
+{
+    YcsbWorkload w;
+    std::set<std::uint64_t> keys;
+    for (const KvOp &op : w.loadOps())
+        keys.insert(op.key);
+    for (const KvOp &op : w.runOps()) {
+        if (op.kind == KvOp::Kind::Set) {
+            EXPECT_TRUE(keys.insert(op.key).second)
+                << "SET reused an existing key";
+        }
+    }
+}
+
+TEST(Ycsb, GetsAlwaysHitExistingKeys)
+{
+    YcsbWorkload w;
+    std::set<std::uint64_t> keys;
+    for (const KvOp &op : w.loadOps())
+        keys.insert(op.key);
+    for (const KvOp &op : w.runOps()) {
+        if (op.kind == KvOp::Kind::Set) {
+            keys.insert(op.key);
+        } else {
+            ASSERT_TRUE(keys.count(op.key))
+                << "GET of a never-inserted key";
+        }
+    }
+}
+
+TEST(Ycsb, LatestDistributionSkewsToRecent)
+{
+    WorkloadSpec spec;
+    spec.distribution = Distribution::Latest;
+    YcsbWorkload w(spec);
+
+    // Track the "age" of read keys: distance from the newest insert
+    // at the time of the read. Build key -> index mapping first.
+    std::map<std::uint64_t, std::uint64_t> key_index;
+    std::uint64_t next = 0;
+    for (const KvOp &op : w.loadOps())
+        key_index[op.key] = next++;
+
+    std::uint64_t recent = 0, total = 0;
+    for (const KvOp &op : w.runOps()) {
+        if (op.kind == KvOp::Kind::Set) {
+            key_index[op.key] = next++;
+        } else {
+            const std::uint64_t age = next - 1 - key_index[op.key];
+            recent += age < next / 10 ? 1 : 0; // youngest 10%
+            ++total;
+        }
+    }
+    // "More recently inserted records are more likely to be read".
+    EXPECT_GT(static_cast<double>(recent) / total, 0.5);
+}
+
+TEST(Ycsb, UniformDistributionIsFlat)
+{
+    WorkloadSpec spec;
+    spec.distribution = Distribution::Uniform;
+    spec.recordCount = 1000;
+    YcsbWorkload w(spec);
+
+    std::map<std::uint64_t, std::uint64_t> key_index;
+    std::uint64_t next = 0;
+    for (const KvOp &op : w.loadOps())
+        key_index[op.key] = next++;
+
+    std::uint64_t old_half = 0, total = 0;
+    for (const KvOp &op : w.runOps()) {
+        if (op.kind == KvOp::Kind::Set) {
+            key_index[op.key] = next++;
+            continue;
+        }
+        // Older half of the key space *as of this read*.
+        old_half += key_index[op.key] < next / 2 ? 1 : 0;
+        ++total;
+    }
+    // Uniform: each half of the live key space gets ~50% of reads.
+    EXPECT_NEAR(static_cast<double>(old_half) / total, 0.5, 0.05);
+}
