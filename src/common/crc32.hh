@@ -1,0 +1,66 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3 polynomial, reflected) for integrity-checking
+ * persistent structures — undo-log entries, pool images.
+ *
+ * Table-driven, byte-at-a-time; the table is built at compile time so
+ * the header stays dependency-free.
+ */
+
+#ifndef UPR_COMMON_CRC32_HH
+#define UPR_COMMON_CRC32_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace upr
+{
+
+namespace detail
+{
+
+constexpr std::array<std::uint32_t, 256>
+makeCrc32Table()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? (0xEDB8'8320u ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    makeCrc32Table();
+
+} // namespace detail
+
+/**
+ * Continue a CRC-32 over @p n bytes at @p data.
+ *
+ * @param crc the running checksum (pass the previous return value to
+ *            chain several buffers into one checksum)
+ */
+inline std::uint32_t
+crc32Update(std::uint32_t crc, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    crc = ~crc;
+    for (std::size_t i = 0; i < n; ++i)
+        crc = detail::kCrc32Table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+    return ~crc;
+}
+
+/** CRC-32 of one buffer. */
+inline std::uint32_t
+crc32(const void *data, std::size_t n)
+{
+    return crc32Update(0, data, n);
+}
+
+} // namespace upr
+
+#endif // UPR_COMMON_CRC32_HH

@@ -35,6 +35,12 @@ enum class FaultKind
     HeapFull,
     /** Inconsistent configuration or API misuse by the embedder. */
     BadUsage,
+    /**
+     * A pool image failed validation: bad magic/version, impossible
+     * header geometry, or an undo log whose checksums do not match.
+     * Raised instead of proceeding on garbage bytes.
+     */
+    CorruptPool,
 };
 
 /** Human-readable name of a fault kind. */
@@ -69,6 +75,7 @@ faultKindName(FaultKind kind)
       case FaultKind::PoolFull:           return "pool-full";
       case FaultKind::HeapFull:           return "heap-full";
       case FaultKind::BadUsage:           return "bad-usage";
+      case FaultKind::CorruptPool:        return "corrupt-pool";
     }
     return "unknown-fault";
 }

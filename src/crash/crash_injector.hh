@@ -1,0 +1,173 @@
+/**
+ * @file
+ * CrashInjector: systematic crash-point injection for the simulated
+ * persistence domain.
+ *
+ * The injector attaches to a pool Backing's persistence-event stream
+ * (writes, flushes, fences) and counts events. Armed with a crash
+ * point N, it simulates power failure *at* the Nth event: the event
+ * never takes effect, the durable image is captured exactly as the
+ * media would have kept it (per CrashMode), and a SimulatedCrash
+ * unwinds the workload — the in-simulation analogue of the
+ * Agamotto/XFDetector exhaustive failure schedules.
+ */
+
+#ifndef UPR_CRASH_CRASH_INJECTOR_HH
+#define UPR_CRASH_CRASH_INJECTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mem/backing.hh"
+
+namespace upr
+{
+
+/**
+ * Thrown when an armed CrashInjector reaches its crash point.
+ * Deliberately NOT a Fault: workload code that catches Fault for
+ * error handling must not accidentally swallow a power failure.
+ */
+class SimulatedCrash : public std::runtime_error
+{
+  public:
+    explicit SimulatedCrash(std::uint64_t at)
+        : std::runtime_error("simulated crash at persistence event " +
+                             std::to_string(at)),
+          at_(at)
+    {}
+
+    /** The 1-based persistence-event index the crash fired at. */
+    std::uint64_t at() const { return at_; }
+
+  private:
+    std::uint64_t at_;
+};
+
+/** Counts persistence events on one Backing and crashes at event N. */
+class CrashInjector
+{
+  public:
+    /**
+     * @param mode fate of unfenced lines in the captured image
+     * @param seed retention RNG seed (CrashMode::RetainRandom)
+     */
+    explicit CrashInjector(CrashMode mode = CrashMode::DiscardUnfenced,
+                           std::uint64_t seed = 1)
+        : mode_(mode), seed_(seed)
+    {}
+
+    ~CrashInjector() { detach(); }
+
+    CrashInjector(const CrashInjector &) = delete;
+    CrashInjector &operator=(const CrashInjector &) = delete;
+
+    /**
+     * Set the crash point *before* the workload runs (the sweep
+     * driver's half of the handshake). 0 = never crash, only count —
+     * the profiling pass that sizes an exhaustive sweep.
+     */
+    void arm(std::uint64_t crashAt) { crashAt_ = crashAt; }
+
+    /**
+     * Start observing @p backing (the workload's half: called once
+     * its pool exists and the crash window opens). Enables the
+     * backing's persistence domain (the current content becomes
+     * durable) and resets the event counter.
+     *
+     * Lifetime: the observer closure holds only a shared hook that
+     * detach() (or destruction) nulls out, so the backing may outlive
+     * the injector or vice versa — a workload's Runtime (and its pool
+     * backings) is routinely destroyed while the sweep driver still
+     * holds the injector.
+     */
+    void
+    attach(Backing &backing)
+    {
+        detach();
+        backing_ = &backing;
+        events_ = 0;
+        fired_ = false;
+        hook_ = std::make_shared<Hook>(Hook{this});
+        backing.enablePersistenceDomain();
+        backing.setPersistObserver(
+            [hook = hook_](PersistEvent, Bytes, Bytes) {
+                if (hook->owner != nullptr)
+                    hook->owner->onEvent();
+            });
+    }
+
+    /**
+     * Stop observing. Never touches the backing (it may already be
+     * gone): the installed observer goes inert and dies with it.
+     */
+    void
+    detach()
+    {
+        if (hook_ != nullptr) {
+            hook_->owner = nullptr;
+            hook_.reset();
+        }
+        backing_ = nullptr;
+    }
+
+    /** Persistence events seen since attach(). */
+    std::uint64_t events() const { return events_; }
+
+    /** True once the crash point fired. */
+    bool fired() const { return fired_; }
+
+    /**
+     * The durable image captured at the crash instant. Only valid
+     * after fired().
+     */
+    const std::vector<std::uint8_t> &
+    image() const
+    {
+        upr_assert_msg(fired_, "crash image requested before a crash");
+        return image_;
+    }
+
+  private:
+    void
+    onEvent()
+    {
+        ++events_;
+        if (crashAt_ != 0 && events_ == crashAt_ && !fired_) {
+            // Capture the media state *before* this event applies,
+            // then go inert: unwinding destructors (e.g. Txn::~Txn
+            // rolling back) still touch the backing, but the machine
+            // is already off — their writes must not count or crash
+            // again. The observer stays installed (we are executing
+            // inside it right now) but its hook no longer points here.
+            image_ = backing_->crashImage(mode_, seed_ ^ crashAt_);
+            fired_ = true;
+            hook_->owner = nullptr;
+            hook_.reset();
+            backing_ = nullptr;
+            throw SimulatedCrash(crashAt_);
+        }
+    }
+
+    /** Shared with the observer closure; nulled when we go away. */
+    struct Hook
+    {
+        CrashInjector *owner;
+    };
+
+    CrashMode mode_;
+    std::uint64_t seed_;
+    std::shared_ptr<Hook> hook_;
+    Backing *backing_ = nullptr;
+    std::uint64_t crashAt_ = 0;
+    std::uint64_t events_ = 0;
+    bool fired_ = false;
+    std::vector<std::uint8_t> image_;
+};
+
+} // namespace upr
+
+#endif // UPR_CRASH_CRASH_INJECTOR_HH

@@ -1,0 +1,68 @@
+#include "crash/crash_sweep.hh"
+
+#include "common/logging.hh"
+#include "nvm/txn.hh"
+
+namespace upr
+{
+
+CrashSweepResult
+crashSweep(const CrashWorkload &workload, const CrashValidator &validate,
+           const CrashSweepConfig &config)
+{
+    // Profiling pass: count the workload's persistence events without
+    // crashing. This also shakes out workloads that fail on their own.
+    std::uint64_t total = 0;
+    {
+        CrashInjector injector(config.mode, config.seed);
+        injector.arm(0);
+        workload(injector);
+        total = injector.events();
+    }
+    if (total == 0) {
+        throw Fault(FaultKind::BadUsage,
+                    "crash sweep workload generated no persistence "
+                    "events (injector never attached?)");
+    }
+
+    CrashSweepResult result;
+    result.crashPoints = total;
+
+    for (std::uint64_t n = 1; n <= total; ++n) {
+        CrashInjector injector(config.mode, config.seed);
+        injector.arm(n);
+        bool crashed = false;
+        try {
+            workload(injector);
+        } catch (const SimulatedCrash &) {
+            crashed = true;
+        }
+        if (!crashed || !injector.fired()) {
+            throw Fault(FaultKind::BadUsage,
+                        "crash point " + std::to_string(n) + " of " +
+                        std::to_string(total) + " never fired — the "
+                        "workload is not deterministic");
+        }
+
+        // Reopen the dead machine's media image and recover it.
+        Backing media;
+        media.assign(injector.image());
+        Pool pool("crash@" + std::to_string(n), std::move(media));
+        const bool rolled_back = Txn::recover(pool);
+        if (rolled_back) {
+            ++result.rollbacks;
+        } else {
+            ++result.cleanImages;
+        }
+        // Recovery must be idempotent: a crash *during* recovery is
+        // just another recovery on the next boot.
+        upr_assert_msg(!Txn::recover(pool),
+                       "recovery of crash point %llu is not idempotent",
+                       (unsigned long long)n);
+
+        validate(pool, n, rolled_back);
+    }
+    return result;
+}
+
+} // namespace upr

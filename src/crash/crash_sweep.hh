@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Exhaustive crash-schedule sweep over a persistent workload.
+ *
+ * The driver runs a workload once in profiling mode to count its
+ * persistence events, then re-runs it crashing at *every* event index
+ * 1..N. Each crash's durable image is reopened as a pool, put through
+ * hardened crash recovery (Txn::recover — including a second, must-be-
+ * no-op recovery to prove idempotence), and handed to a caller-
+ * supplied validator that asserts workload invariants.
+ *
+ * This is the simulator-scale version of the exhaustive failure
+ * schedules that Agamotto and XFDetector explore on real PM stacks:
+ * because our persistence domain is deterministic, "every crash point"
+ * is literally every point, not a sample.
+ */
+
+#ifndef UPR_CRASH_CRASH_SWEEP_HH
+#define UPR_CRASH_CRASH_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "crash/crash_injector.hh"
+#include "nvm/pool.hh"
+
+namespace upr
+{
+
+/** Parameters of one sweep. */
+struct CrashSweepConfig
+{
+    /** Fate of unfenced lines in each captured image. */
+    CrashMode mode = CrashMode::DiscardUnfenced;
+    /** Base seed for the retention RNG (varied per crash point). */
+    std::uint64_t seed = 1;
+};
+
+/** What an exhaustive sweep observed. */
+struct CrashSweepResult
+{
+    /** Persistence events in one workload run == crash points swept. */
+    std::uint64_t crashPoints = 0;
+    /** Images whose recovery found an active log and rolled back. */
+    std::uint64_t rollbacks = 0;
+    /** Images that were already consistent (no active log). */
+    std::uint64_t cleanImages = 0;
+};
+
+/**
+ * The workload under test. Called once per crash point with a fresh
+ * injector; it must build its pool(s), call injector.attach(backing,
+ * ...) on the pool backing when the crash window opens, and then run
+ * its operations. Everything it does must be deterministic — the
+ * sweep's whole premise is that run i and run j see the same event
+ * stream.
+ */
+using CrashWorkload = std::function<void(CrashInjector &injector)>;
+
+/**
+ * Invariant check over one recovered image. @p pool has already been
+ * through Txn::recover; @p rolledBack says whether that replayed an
+ * undo log. Throw (or fail a test assertion) to flag a violation.
+ */
+using CrashValidator = std::function<void(
+    Pool &pool, std::uint64_t crashPoint, bool rolledBack)>;
+
+/**
+ * Run @p workload under every possible crash point and validate every
+ * recovered image.
+ *
+ * @throws whatever @p validate throws, plus Fault{BadUsage} if the
+ *         workload completes without the injector ever firing (the
+ *         crash point was never reached — nondeterministic workload)
+ */
+CrashSweepResult crashSweep(const CrashWorkload &workload,
+                            const CrashValidator &validate,
+                            const CrashSweepConfig &config = {});
+
+} // namespace upr
+
+#endif // UPR_CRASH_CRASH_SWEEP_HH

@@ -6,13 +6,44 @@
  * outlive its mapping: persistent pools keep their Backing alive while
  * detached, and map it again (possibly at a different virtual address)
  * on reopen — that is what makes pool relocation real in this codebase.
+ *
+ * ## Persistence domain
+ *
+ * By default every write is instantly durable — fine for volatile
+ * heaps and for functional tests, but it hides the failure modes real
+ * NVM has: a cache line that never left the CPU caches is *gone* after
+ * a crash, and write-back order is not program order. Enabling the
+ * persistence domain (enablePersistenceDomain()) splits the backing in
+ * two:
+ *
+ *   - the *live* bytes: what reads and writes see (CPU caches);
+ *   - the *durable* image: what survives a crash (the NVM media).
+ *
+ * Writes land in the live bytes only and mark their 64-byte lines
+ * dirty. flush(off, len) stages the covered lines for write-back
+ * (CLWB); fence() completes all staged write-backs into the durable
+ * image (SFENCE). crashImage() materializes what a crash at this
+ * instant would leave on media:
+ *
+ *   - CrashMode::DiscardUnfenced — only fenced lines survive (the
+ *     strictest schedule: nothing in flight makes it out);
+ *   - CrashMode::RetainRandom — each unfenced line *independently*
+ *     survives with probability 1/2, modeling write-back reordering
+ *     and torn multi-line stores.
+ *
+ * Lines are the atomicity unit of the model (real NVM guarantees
+ * 8-byte atomic writes; we use the coarser line so torn stores are
+ * *more* hostile, not less).
  */
 
 #ifndef UPR_MEM_BACKING_HH
 #define UPR_MEM_BACKING_HH
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/fault.hh"
@@ -22,10 +53,33 @@
 namespace upr
 {
 
+/** What a crash leaves of the unfenced lines. */
+enum class CrashMode
+{
+    /** Unfenced lines are lost; only fenced data survives. */
+    DiscardUnfenced,
+    /**
+     * Each unfenced line independently survives with p = 1/2:
+     * write-back reordering and torn multi-line stores.
+     */
+    RetainRandom,
+};
+
+/** One persistence event, as seen by a CrashInjector. */
+enum class PersistEvent
+{
+    Write, //!< a store into the backing
+    Flush, //!< flush(): lines staged for write-back
+    Fence, //!< fence(): staged lines reached the durable image
+};
+
 /** A contiguous, resizable byte store. */
 class Backing
 {
   public:
+    /** Cache-line granularity of the persistence domain. */
+    static constexpr Bytes kLineBytes = 64;
+
     /** Create a backing of @p size zeroed bytes. */
     explicit Backing(Bytes size = 0) : bytes_(size, 0) {}
 
@@ -36,18 +90,18 @@ class Backing
     void
     grow(Bytes new_size)
     {
-        if (new_size > bytes_.size())
+        if (new_size > bytes_.size()) {
             bytes_.resize(new_size, 0);
+            if (domainEnabled_)
+                durable_.resize(new_size, 0);
+        }
     }
 
     /** Copy @p n bytes at byte offset @p off into @p dst. */
     void
     read(Bytes off, void *dst, Bytes n) const
     {
-        upr_assert_msg(off + n <= bytes_.size(),
-                       "backing read [%llu,+%llu) past size %llu",
-                       (unsigned long long)off, (unsigned long long)n,
-                       (unsigned long long)bytes_.size());
+        checkRange(off, n, "read");
         std::memcpy(dst, bytes_.data() + off, n);
     }
 
@@ -55,13 +109,14 @@ class Backing
     void
     write(Bytes off, const void *src, Bytes n)
     {
-        upr_assert_msg(off + n <= bytes_.size(),
-                       "backing write [%llu,+%llu) past size %llu",
-                       (unsigned long long)off, (unsigned long long)n,
-                       (unsigned long long)bytes_.size());
+        checkRange(off, n, "write");
+        if (persistObserver_)
+            persistObserver_(PersistEvent::Write, off, n);
         if (writeObserver_)
             writeObserver_(off, n);
         std::memcpy(bytes_.data() + off, src, n);
+        if (domainEnabled_)
+            markLines(off, n, LineState::Dirty);
     }
 
     /**
@@ -76,19 +131,189 @@ class Backing
         writeObserver_ = std::move(observer);
     }
 
+    /**
+     * Install a persistence-event observer, invoked *before* each
+     * event takes effect (a crash "at" event N means event N never
+     * happened). The crash-injection hook; pass nullptr to remove.
+     * For Fence events the (offset, length) arguments are (0, 0).
+     */
+    void
+    setPersistObserver(
+        std::function<void(PersistEvent, Bytes, Bytes)> observer)
+    {
+        persistObserver_ = std::move(observer);
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence domain
+    // ------------------------------------------------------------------
+
+    /**
+     * Start distinguishing live from durable bytes. The current
+     * content becomes the durable image (everything written so far is
+     * considered on media). Idempotent.
+     */
+    void
+    enablePersistenceDomain()
+    {
+        if (domainEnabled_)
+            return;
+        domainEnabled_ = true;
+        durable_ = bytes_;
+        pending_.clear();
+    }
+
+    /** True once enablePersistenceDomain() has run. */
+    bool persistenceDomainEnabled() const { return domainEnabled_; }
+
+    /**
+     * Stage the lines covering [off, off+len) for write-back (CLWB).
+     * Durable only after the next fence(). No-op when the domain is
+     * disabled; flushing clean lines is allowed and has no effect.
+     */
+    void
+    flush(Bytes off, Bytes len)
+    {
+        if (!domainEnabled_ || len == 0)
+            return;
+        checkRange(off, len, "flush");
+        if (persistObserver_)
+            persistObserver_(PersistEvent::Flush, off, len);
+        const Bytes first = off / kLineBytes;
+        const Bytes last = (off + len - 1) / kLineBytes;
+        for (Bytes line = first; line <= last; ++line) {
+            auto it = pending_.find(line);
+            if (it != pending_.end())
+                it->second = LineState::Flushed;
+        }
+    }
+
+    /**
+     * Complete all staged write-backs (SFENCE): every Flushed line is
+     * copied into the durable image. Dirty-but-unflushed lines stay
+     * volatile. No-op when the domain is disabled.
+     */
+    void
+    fence()
+    {
+        if (!domainEnabled_)
+            return;
+        if (persistObserver_)
+            persistObserver_(PersistEvent::Fence, 0, 0);
+        for (auto it = pending_.begin(); it != pending_.end();) {
+            if (it->second == LineState::Flushed) {
+                persistLine(it->first, durable_);
+                it = pending_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    /**
+     * The bytes a crash right now would leave on media. With the
+     * domain disabled this is simply the current content.
+     *
+     * @param mode  fate of unfenced lines
+     * @param seed  RNG seed for CrashMode::RetainRandom (deterministic
+     *              per crash point)
+     */
+    std::vector<std::uint8_t>
+    crashImage(CrashMode mode, std::uint64_t seed = 0) const
+    {
+        if (!domainEnabled_)
+            return bytes_;
+        std::vector<std::uint8_t> image = durable_;
+        if (mode == CrashMode::RetainRandom) {
+            // splitmix64 over (seed, line): deterministic, and
+            // independent across lines.
+            for (const auto &[line, state] : pending_) {
+                (void)state;
+                std::uint64_t x = seed + 0x9E37'79B9'7F4A'7C15ULL *
+                                             (line + 1);
+                x ^= x >> 30; x *= 0xBF58'476D'1CE4'E5B9ULL;
+                x ^= x >> 27; x *= 0x94D0'49BB'1331'11EBULL;
+                x ^= x >> 31;
+                if (x & 1)
+                    persistLine(line, image);
+            }
+        }
+        return image;
+    }
+
+    /** Number of lines that are dirty or flushed-but-unfenced. */
+    std::size_t pendingLines() const { return pending_.size(); }
+
     /** Raw byte access for serialization (pool images). */
     const std::vector<std::uint8_t> &raw() const { return bytes_; }
 
-    /** Replace the whole content (pool image load). */
+    /** Replace the whole content (pool image load); resets the domain. */
     void
     assign(std::vector<std::uint8_t> content)
     {
         bytes_ = std::move(content);
+        domainEnabled_ = false;
+        durable_.clear();
+        pending_.clear();
     }
 
   private:
+    enum class LineState : std::uint8_t
+    {
+        Dirty,   //!< written, not flushed
+        Flushed, //!< flush issued, not yet fenced
+    };
+
+    /**
+     * Overflow-safe bounds check: rejects hostile offsets where
+     * off + n wraps. Faults (catchable) instead of asserting, so
+     * corrupt images degrade into typed errors in release builds too.
+     */
+    void
+    checkRange(Bytes off, Bytes n, const char *op) const
+    {
+        if (n > bytes_.size() || off > bytes_.size() - n) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf),
+                          "backing %s [%llu,+%llu) outside size %llu",
+                          op, (unsigned long long)off,
+                          (unsigned long long)n,
+                          (unsigned long long)bytes_.size());
+            throw Fault(FaultKind::OffsetOutOfPool, buf);
+        }
+    }
+
+    /** Mark the lines covering [off, off+len) with @p state. */
+    void
+    markLines(Bytes off, Bytes len, LineState state)
+    {
+        if (len == 0)
+            return;
+        const Bytes first = off / kLineBytes;
+        const Bytes last = (off + len - 1) / kLineBytes;
+        for (Bytes line = first; line <= last; ++line)
+            pending_[line] = state;
+    }
+
+    /** Copy line @p line of the live bytes into @p dst. */
+    void
+    persistLine(Bytes line, std::vector<std::uint8_t> &dst) const
+    {
+        const Bytes off = line * kLineBytes;
+        const Bytes n =
+            std::min<Bytes>(kLineBytes, bytes_.size() - off);
+        std::memcpy(dst.data() + off, bytes_.data() + off, n);
+    }
+
     std::vector<std::uint8_t> bytes_;
     std::function<void(Bytes, Bytes)> writeObserver_;
+    std::function<void(PersistEvent, Bytes, Bytes)> persistObserver_;
+
+    bool domainEnabled_ = false;
+    /** The crash-surviving image (valid while domainEnabled_). */
+    std::vector<std::uint8_t> durable_;
+    /** Line index -> volatile state, for every unfenced line. */
+    std::unordered_map<Bytes, LineState> pending_;
 };
 
 } // namespace upr

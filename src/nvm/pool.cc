@@ -35,8 +35,6 @@ Pool::Pool(PoolId id, std::string name, Bytes size)
     h.usedBytes = 0;
     h.logStart = kHeaderSize;
     h.logSize = log_size;
-    h.logTail = 0;
-    h.logActive = 0;
     h.arenaStart = roundUp(kHeaderSize + log_size, 16);
     setHeader(h);
 }
@@ -45,17 +43,46 @@ Pool::Pool(std::string name, Backing image)
     : name_(std::move(name)), backing_(std::move(image))
 {
     if (backing_.size() < sizeof(PoolHeader)) {
-        throw Fault(FaultKind::BadUsage, "pool image truncated");
+        throw Fault(FaultKind::CorruptPool,
+                    "image '" + name_ + "' smaller than a pool header");
     }
     const PoolHeader h = header();
     if (h.magic != PoolHeader::kMagic) {
-        throw Fault(FaultKind::BadUsage, "pool image has bad magic");
+        throw Fault(FaultKind::CorruptPool,
+                    "image '" + name_ + "' has bad magic");
     }
     if (h.version != PoolHeader::kVersion) {
-        throw Fault(FaultKind::BadUsage, "pool image version mismatch");
+        throw Fault(FaultKind::CorruptPool,
+                    "image '" + name_ + "' has version " +
+                    std::to_string(h.version) + ", expected " +
+                    std::to_string(PoolHeader::kVersion));
     }
     if (h.size != backing_.size()) {
-        throw Fault(FaultKind::BadUsage, "pool image size mismatch");
+        throw Fault(FaultKind::CorruptPool,
+                    "image '" + name_ + "' size field disagrees with "
+                    "image length");
+    }
+    if (h.size > kMaxSize || h.poolId == 0) {
+        throw Fault(FaultKind::CorruptPool,
+                    "image '" + name_ + "' has impossible size or id");
+    }
+    // Geometry: header, then log area, then 16-byte-aligned arena,
+    // all strictly inside the pool. Every later module (allocator,
+    // undo log) trusts these bounds, so garbage here would otherwise
+    // turn into wild offset arithmetic.
+    if (h.logStart < sizeof(PoolHeader) || h.logSize < 64 ||
+        h.logStart + h.logSize < h.logStart ||
+        h.logStart + h.logSize > h.arenaStart ||
+        h.arenaStart % 16 != 0 || h.arenaStart >= h.size) {
+        throw Fault(FaultKind::CorruptPool,
+                    "image '" + name_ + "' has corrupt log/arena "
+                    "geometry");
+    }
+    if (h.rootOff >= h.size || h.freeHead >= h.size ||
+        h.usedBytes > h.size) {
+        throw Fault(FaultKind::CorruptPool,
+                    "image '" + name_ + "' has out-of-range root, "
+                    "free-list, or usage fields");
     }
 }
 
@@ -78,7 +105,11 @@ Pool::header() const
 void
 Pool::setHeader(const PoolHeader &h)
 {
+    // The header is a durability commit point: allocator free-list
+    // and root-object publication must survive a crash that follows.
     backing_.write(0, &h, sizeof(h));
+    backing_.flush(0, sizeof(h));
+    backing_.fence();
 }
 
 } // namespace upr

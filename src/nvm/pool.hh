@@ -29,7 +29,12 @@ namespace upr
 struct PoolHeader
 {
     static constexpr std::uint64_t kMagic = 0x5550'525f'504f'4f4cULL;
-    static constexpr std::uint32_t kVersion = 1;
+    /**
+     * Image format version. v2 dropped the dead logTail/logActive
+     * fields (log state lives in the log area's control block; see
+     * Txn); v1 images are rejected on open.
+     */
+    static constexpr std::uint32_t kVersion = 2;
 
     std::uint64_t magic;
     std::uint32_t version;
@@ -41,13 +46,9 @@ struct PoolHeader
     std::uint64_t arenaStart;    //!< first allocatable offset
     std::uint64_t logStart;      //!< undo-log area offset
     std::uint64_t logSize;       //!< undo-log area size in bytes
-    std::uint64_t logTail;       //!< unused (log state lives in the
-                                 //!< log area's control block)
-    std::uint32_t logActive;     //!< unused (see Txn::isActive)
-    std::uint32_t pad;
 };
 
-static_assert(sizeof(PoolHeader) == 88);
+static_assert(sizeof(PoolHeader) == 72);
 
 /**
  * The in-memory handle for one pool. Attachment state (the virtual
@@ -73,7 +74,11 @@ class Pool
      */
     Pool(PoolId id, std::string name, Bytes size);
 
-    /** Adopt an existing image (reopen path); validates the header. */
+    /**
+     * Adopt an existing image (reopen path). The header is fully
+     * validated — magic, version, size, and log/arena geometry.
+     * @throws Fault{CorruptPool} if any header field is implausible
+     */
     Pool(std::string name, Backing image);
 
     Pool(const Pool &) = delete;

@@ -23,7 +23,11 @@ PoolAllocator::rd64(Bytes off) const
 void
 PoolAllocator::wr64(Bytes off, std::uint64_t v)
 {
+    // Every metadata word is flushed as written; the public
+    // operations fence once at their end, so one alloc/free is one
+    // durability epoch.
     pool_.backing().write(off, &v, sizeof(v));
+    pool_.backing().flush(off, sizeof(v));
 }
 
 Bytes
@@ -62,6 +66,7 @@ PoolAllocator::format()
     setPrevFree(start, 0);
     h.freeHead = start;
     pool_.setHeader(h);
+    pool_.backing().fence();
 }
 
 void
@@ -131,6 +136,7 @@ PoolAllocator::alloc(Bytes n)
             PoolHeader h2 = pool_.header();
             h2.usedBytes += blockSize(block);
             pool_.setHeader(h2);
+            pool_.backing().fence();
             return static_cast<PoolOffset>(block + kHeaderBytes);
         }
         block = nextFree(block);
@@ -176,6 +182,7 @@ PoolAllocator::free(PoolOffset payload)
     }
     setBlock(block, size, false);
     freeListInsert(block);
+    pool_.backing().fence();
 }
 
 Bytes

@@ -5,6 +5,7 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "nvm/txn.hh"
 
 namespace upr
 {
@@ -277,17 +278,30 @@ PoolManager::loadImage(const std::string &path, const std::string &name)
         throw Fault(FaultKind::BadUsage, "short read from '" + path + "'");
     }
 
+    Backing image;
+    image.assign(std::move(bytes));
+    return adoptImage(std::move(image), name);
+}
+
+PoolId
+PoolManager::adoptImage(Backing image, const std::string &name)
+{
     if (byName_.count(name)) {
         throw Fault(FaultKind::BadUsage,
                     "pool name '" + name + "' already in use");
     }
-    Backing image;
-    image.assign(std::move(bytes));
     auto loaded = std::make_unique<Pool>(name, std::move(image));
     const PoolId id = loaded->id();
     if (pools_.count(id)) {
         throw Fault(FaultKind::BadUsage,
                     "pool ID from image collides with a live pool");
+    }
+    // Crash recovery before the pool is reachable: an image saved
+    // mid-transaction rolls back to its last consistent state here.
+    if (Txn::recover(*loaded)) {
+        upr_warn("pool '%s': image carried an active undo log; "
+                 "rolled back to the last committed state",
+                 name.c_str());
     }
     nextId_ = std::max(nextId_, id + 1);
 

@@ -133,6 +133,17 @@ class PoolManager
      */
     PoolId loadImage(const std::string &path, const std::string &name);
 
+    /**
+     * Adopt an in-memory pool image (e.g. a crash snapshot), register
+     * it under @p name, and attach it. The header is validated and —
+     * if the image was saved mid-transaction — crash recovery runs
+     * before the pool becomes visible, so callers never observe a
+     * half-applied transaction.
+     * @throws Fault{CorruptPool} on a malformed image
+     * @return the pool's ID (from the image)
+     */
+    PoolId adoptImage(Backing image, const std::string &name);
+
     /** Statistics (attaches, detaches, translations). */
     const StatGroup &stats() const { return stats_; }
 

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/crc32.hh"
 #include "common/fault.hh"
 #include "common/logging.hh"
 
@@ -30,10 +31,19 @@ static_assert(sizeof(LogControl) == 16);
 struct LogEntry
 {
     std::uint32_t length;
-    std::uint32_t pad;
+    std::uint32_t crc;     //!< crc32 over poolOffset, length, payload
     std::uint64_t poolOffset;
 };
 static_assert(sizeof(LogEntry) == 16);
+
+/** The checksum an entry with this header and payload must carry. */
+std::uint32_t
+entryCrc(const LogEntry &e, const std::uint8_t *payload)
+{
+    std::uint32_t crc = crc32(&e.poolOffset, sizeof(e.poolOffset));
+    crc = crc32Update(crc, &e.length, sizeof(e.length));
+    return crc32Update(crc, payload, e.length);
+}
 
 LogControl
 readControl(const Pool &pool)
@@ -43,10 +53,14 @@ readControl(const Pool &pool)
     return c;
 }
 
+/** Write the control block and make it durable. */
 void
 writeControl(Pool &pool, const LogControl &c)
 {
-    pool.backing().write(pool.header().logStart, &c, sizeof(c));
+    const Bytes at = pool.header().logStart;
+    pool.backing().write(at, &c, sizeof(c));
+    pool.backing().flush(at, sizeof(c));
+    pool.backing().fence();
 }
 
 /** First byte of the entry area. */
@@ -61,6 +75,69 @@ Bytes
 entriesCapacity(const Pool &pool)
 {
     return pool.header().logSize - sizeof(LogControl);
+}
+
+/**
+ * Walk the log and return the byte offsets (within the entry area) of
+ * the entries that verify: well-formed lengths, in-pool target range,
+ * matching checksum. Stops at the first invalid entry — by the
+ * write-ahead discipline only the *tail* entry can legitimately be
+ * torn, and nothing after a bad entry can be trusted anyway (entry
+ * boundaries are chained through the length fields).
+ */
+std::vector<Bytes>
+validEntries(const Pool &pool, const LogControl &c)
+{
+    std::vector<Bytes> entries;
+    Bytes tail = c.tail;
+    if (tail > entriesCapacity(pool)) {
+        upr_warn("pool '%s': undo-log tail %llu exceeds capacity %llu; "
+                 "clamping", pool.name().c_str(),
+                 (unsigned long long)tail,
+                 (unsigned long long)entriesCapacity(pool));
+        tail = entriesCapacity(pool);
+    }
+
+    Bytes cursor = 0;
+    while (cursor + sizeof(LogEntry) <= tail) {
+        const Bytes at = entriesStart(pool) + cursor;
+        LogEntry e;
+        pool.backing().read(at, &e, sizeof(e));
+        if (e.length == 0 ||
+            cursor + sizeof(LogEntry) + e.length > tail) {
+            upr_warn("pool '%s': torn undo entry at log offset %llu "
+                     "(length %u); discarding it and the log tail",
+                     pool.name().c_str(), (unsigned long long)cursor,
+                     e.length);
+            break;
+        }
+        if (e.poolOffset > pool.size() ||
+            e.length > pool.size() - e.poolOffset) {
+            upr_warn("pool '%s': undo entry at log offset %llu names "
+                     "out-of-pool range [%llu,+%u); discarding it and "
+                     "the log tail", pool.name().c_str(),
+                     (unsigned long long)cursor,
+                     (unsigned long long)e.poolOffset, e.length);
+            break;
+        }
+        std::vector<std::uint8_t> payload(e.length);
+        pool.backing().read(at + sizeof(e), payload.data(), e.length);
+        if (entryCrc(e, payload.data()) != e.crc) {
+            upr_warn("pool '%s': undo entry at log offset %llu fails "
+                     "its checksum; discarding it and the log tail",
+                     pool.name().c_str(), (unsigned long long)cursor);
+            break;
+        }
+        entries.push_back(cursor);
+        cursor += sizeof(LogEntry) + e.length;
+    }
+    if (cursor != c.tail) {
+        upr_warn("pool '%s': undo log replays %zu entries, ignoring "
+                 "%llu trailing bytes", pool.name().c_str(),
+                 entries.size(),
+                 (unsigned long long)(c.tail - cursor));
+    }
+    return entries;
 }
 
 } // namespace
@@ -88,7 +165,10 @@ void
 Txn::recordWrite(PoolOffset off, Bytes len)
 {
     upr_assert_msg(!closed_, "recordWrite on a closed transaction");
-    upr_assert_msg(off + len <= pool_.size(), "logged range out of pool");
+    upr_assert_msg(len <= pool_.size() && off <= pool_.size() - len,
+                   "logged range out of pool");
+    if (len == 0)
+        return;
 
     LogControl c = readControl(pool_);
     const Bytes need = sizeof(LogEntry) + len;
@@ -97,31 +177,44 @@ Txn::recordWrite(PoolOffset off, Bytes len)
                     "undo log of pool '" + pool_.name() + "' full");
     }
 
-    LogEntry e;
-    e.length = static_cast<std::uint32_t>(len);
-    e.pad = 0;
-    e.poolOffset = off;
-
     std::vector<std::uint8_t> pre(len);
     pool_.backing().read(off, pre.data(), len);
 
+    LogEntry e;
+    e.length = static_cast<std::uint32_t>(len);
+    e.poolOffset = off;
+    e.crc = entryCrc(e, pre.data());
+
+    // Write-ahead: the entry (and the tail bump that publishes it)
+    // must be durable before the caller's data write happens, or a
+    // crash could leave new data with no pre-image to undo.
     const Bytes at = entriesStart(pool_) + c.tail;
     pool_.backing().write(at, &e, sizeof(e));
     pool_.backing().write(at + sizeof(e), pre.data(), len);
+    pool_.backing().flush(at, need);
 
     c.tail += need;
-    writeControl(pool_, c);
+    writeControl(pool_, c); // flushes + fences control (and entry)
+
+    dirty_.emplace_back(off, len);
 }
 
 void
 Txn::commit()
 {
     upr_assert_msg(!closed_, "double commit");
+    // Committed data must be durable before the log that could undo
+    // it disappears.
+    for (const auto &[off, len] : dirty_)
+        pool_.backing().flush(off, len);
+    pool_.backing().fence();
+
     LogControl c = readControl(pool_);
     c.active = 0;
     c.tail = 0;
     writeControl(pool_, c);
     closed_ = true;
+    dirty_.clear();
 }
 
 void
@@ -130,6 +223,7 @@ Txn::abort()
     upr_assert_msg(!closed_, "abort after close");
     rollback(pool_);
     closed_ = true;
+    dirty_.clear();
 }
 
 bool
@@ -150,21 +244,11 @@ Txn::recover(Pool &pool)
 void
 Txn::rollback(Pool &pool)
 {
-    LogControl c = readControl(pool);
+    const LogControl c = readControl(pool);
+    const std::vector<Bytes> entries = validEntries(pool, c);
 
-    // Collect entry offsets front-to-back, then undo back-to-front so
-    // overlapping writes restore the oldest pre-image last.
-    std::vector<Bytes> entries;
-    Bytes cursor = 0;
-    while (cursor < c.tail) {
-        entries.push_back(cursor);
-        LogEntry e;
-        pool.backing().read(entriesStart(pool) + cursor, &e,
-                            sizeof(e));
-        cursor += sizeof(LogEntry) + e.length;
-    }
-    upr_assert_msg(cursor == c.tail, "undo log corrupt");
-
+    // Undo back-to-front so overlapping writes restore the oldest
+    // pre-image last.
     for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
         LogEntry e;
         const Bytes at = entriesStart(pool) + *it;
@@ -172,12 +256,14 @@ Txn::rollback(Pool &pool)
         std::vector<std::uint8_t> pre(e.length);
         pool.backing().read(at + sizeof(e), pre.data(), e.length);
         pool.backing().write(e.poolOffset, pre.data(), e.length);
+        pool.backing().flush(e.poolOffset, e.length);
     }
+    pool.backing().fence();
 
-    c = readControl(pool);
-    c.active = 0;
-    c.tail = 0;
-    writeControl(pool, c);
+    LogControl done = readControl(pool);
+    done.active = 0;
+    done.tail = 0;
+    writeControl(pool, done);
 }
 
 } // namespace upr

@@ -9,12 +9,34 @@
  * the next open — simulating crash recovery.
  *
  * Log entry layout:
- *   u32 length (payload bytes), u32 pad, u64 poolOffset, then payload
- *   (the pre-image of the range about to be overwritten).
+ *   u32 length (payload bytes), u32 crc32, u64 poolOffset, then the
+ *   payload (the pre-image of the range about to be overwritten).
+ *   The CRC covers poolOffset, length, and the payload, so recovery
+ *   never replays torn or corrupted bytes.
+ *
+ * ## Durability ordering (write-ahead discipline)
+ *
+ * Against a Backing with the persistence domain enabled, every step
+ * that a later crash must observe is flushed and fenced before the
+ * step it protects:
+ *
+ *   recordWrite: entry + payload -> flush -> tail bump -> flush ->
+ *                FENCE, *then* the caller's data write proceeds;
+ *   commit:      flush all logged data ranges -> FENCE ->
+ *                log truncate -> flush -> FENCE;
+ *   rollback:    restore pre-images -> flush -> FENCE ->
+ *                log truncate -> flush -> FENCE.
+ *
+ * So a crash anywhere leaves either (a) no trace of an update, or
+ * (b) a durable undo entry for it — never a durable data write
+ * without its undo entry.
  */
 
 #ifndef UPR_NVM_TXN_HH
 #define UPR_NVM_TXN_HH
+
+#include <utility>
+#include <vector>
 
 #include "common/types.hh"
 #include "nvm/pool.hh"
@@ -44,7 +66,8 @@ class Txn
 
     /**
      * Log the pre-image of [off, off+len) within the pool. Must be
-     * called before the range is modified.
+     * called before the range is modified. Returns only after the
+     * entry is durable (flushed and fenced).
      * @throws Fault{PoolFull} when the log area overflows
      */
     void recordWrite(PoolOffset off, Bytes len);
@@ -63,18 +86,30 @@ class Txn
 
     /**
      * Crash-recovery entry point: if @p pool carries an active log,
-     * apply its undo entries in reverse order and clear it. Called
-     * by openers of freshly loaded images.
+     * apply its valid undo entries in reverse order and clear it.
+     * Idempotent — recovering twice is a no-op the second time.
+     *
+     * Hardened against hostile images: a torn final entry (crash
+     * mid-append) or a checksum-corrupt entry is discarded with a
+     * warning, never replayed; entries whose range falls outside the
+     * pool are likewise skipped. Called by openers of freshly loaded
+     * images.
      * @return true if a rollback was performed
      */
     static bool recover(Pool &pool);
 
   private:
-    /** Apply undo entries in reverse and clear the log. */
+    /** Apply valid undo entries in reverse and clear the log. */
     static void rollback(Pool &pool);
 
     Pool &pool_;
     bool closed_ = false;
+    /**
+     * Ranges logged this transaction (volatile bookkeeping): commit
+     * flushes exactly these so committed data is durable before the
+     * log is truncated.
+     */
+    std::vector<std::pair<Bytes, Bytes>> dirty_;
 };
 
 } // namespace upr

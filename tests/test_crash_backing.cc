@@ -1,0 +1,297 @@
+/** @file Unit tests for the Backing persistence domain (shadowed
+ * writes, flush/fence discipline, crash images, random retention),
+ * the overflow-safe bounds checks, CRC-32, and the CrashInjector. */
+
+#include <gtest/gtest.h>
+
+#include "common/crc32.hh"
+#include "crash/crash_injector.hh"
+#include "mem/backing.hh"
+
+using namespace upr;
+
+namespace
+{
+
+std::uint64_t
+peek(const std::vector<std::uint8_t> &image, Bytes off)
+{
+    std::uint64_t v;
+    std::memcpy(&v, image.data() + off, sizeof(v));
+    return v;
+}
+
+void
+poke(Backing &b, Bytes off, std::uint64_t v)
+{
+    b.write(off, &v, sizeof(v));
+}
+
+std::uint64_t
+read64(const Backing &b, Bytes off)
+{
+    std::uint64_t v;
+    b.read(off, &v, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// CRC-32
+// ---------------------------------------------------------------------
+
+TEST(Crc32, KnownVector)
+{
+    // The canonical IEEE check value.
+    EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(Crc32, ChainingMatchesOneShot)
+{
+    const char data[] = "the quick brown fox";
+    const std::uint32_t whole = crc32(data, sizeof(data));
+    std::uint32_t chained = crc32(data, 7);
+    chained = crc32Update(chained, data + 7, sizeof(data) - 7);
+    EXPECT_EQ(chained, whole);
+}
+
+TEST(Crc32, DetectsSingleBitFlip)
+{
+    std::uint8_t buf[64] = {};
+    const std::uint32_t clean = crc32(buf, sizeof(buf));
+    buf[40] ^= 0x10;
+    EXPECT_NE(crc32(buf, sizeof(buf)), clean);
+}
+
+// ---------------------------------------------------------------------
+// Overflow-safe bounds
+// ---------------------------------------------------------------------
+
+TEST(BackingBounds, HostileOffsetWrapsAreFaultsNotCorruption)
+{
+    Backing b(4096);
+    std::uint8_t buf[16] = {};
+    // off + n wraps around 2^64 and would pass a naive `off + n <=
+    // size` check.
+    const Bytes evil = ~0ULL - 7;
+    EXPECT_THROW(b.read(evil, buf, 16), Fault);
+    EXPECT_THROW(b.write(evil, buf, 16), Fault);
+    try {
+        b.read(evil, buf, 16);
+        FAIL();
+    } catch (const Fault &f) {
+        EXPECT_EQ(f.kind(), FaultKind::OffsetOutOfPool);
+    }
+}
+
+TEST(BackingBounds, PastEndFaults)
+{
+    Backing b(128);
+    std::uint8_t buf[16] = {};
+    EXPECT_THROW(b.read(120, buf, 16), Fault);
+    EXPECT_THROW(b.write(128, buf, 1), Fault);
+    EXPECT_NO_THROW(b.read(112, buf, 16)); // exactly at the end
+}
+
+// ---------------------------------------------------------------------
+// Persistence domain
+// ---------------------------------------------------------------------
+
+TEST(PersistenceDomain, DisabledWritesAreInstantlyDurable)
+{
+    Backing b(4096);
+    poke(b, 0, 42);
+    const auto image = b.crashImage(CrashMode::DiscardUnfenced);
+    EXPECT_EQ(peek(image, 0), 42u);
+}
+
+TEST(PersistenceDomain, UnflushedWriteIsLostUnfencedFlushIsLost)
+{
+    Backing b(4096);
+    poke(b, 0, 1);
+    poke(b, 64, 2);
+    b.enablePersistenceDomain(); // both become durable baseline
+
+    poke(b, 0, 111);              // dirty, never flushed
+    poke(b, 64, 222);
+    b.flush(64, 8);               // staged, never fenced
+
+    // The program sees the new values...
+    EXPECT_EQ(read64(b, 0), 111u);
+    EXPECT_EQ(read64(b, 64), 222u);
+    // ...but a crash keeps neither.
+    const auto image = b.crashImage(CrashMode::DiscardUnfenced);
+    EXPECT_EQ(peek(image, 0), 1u);
+    EXPECT_EQ(peek(image, 64), 2u);
+}
+
+TEST(PersistenceDomain, FlushFenceMakesLinesDurable)
+{
+    Backing b(4096);
+    b.enablePersistenceDomain();
+    poke(b, 0, 7);
+    poke(b, 128, 9);
+    b.flush(0, 8);
+    b.fence();
+
+    const auto image = b.crashImage(CrashMode::DiscardUnfenced);
+    EXPECT_EQ(peek(image, 0), 7u);   // fenced: survives
+    EXPECT_EQ(peek(image, 128), 0u); // dirty: lost
+    EXPECT_EQ(b.pendingLines(), 1u); // only line 2 still pending
+}
+
+TEST(PersistenceDomain, RewriteAfterFlushNeedsAnotherFlush)
+{
+    Backing b(4096);
+    b.enablePersistenceDomain();
+    poke(b, 0, 1);
+    b.flush(0, 8);
+    poke(b, 0, 2); // dirties the line again: the staged CLWB is stale
+    b.fence();
+    const auto image = b.crashImage(CrashMode::DiscardUnfenced);
+    EXPECT_EQ(peek(image, 0), 0u);
+    b.flush(0, 8);
+    b.fence();
+    EXPECT_EQ(peek(b.crashImage(CrashMode::DiscardUnfenced), 0), 2u);
+}
+
+TEST(PersistenceDomain, FlushCoversWholeLinesOfTheRange)
+{
+    Backing b(4096);
+    b.enablePersistenceDomain();
+    // One 16-byte write straddling the line-0/line-1 boundary.
+    std::uint8_t buf[16];
+    std::memset(buf, 0xAB, sizeof(buf));
+    b.write(56, buf, sizeof(buf));
+    b.flush(56, 16);
+    b.fence();
+    const auto image = b.crashImage(CrashMode::DiscardUnfenced);
+    EXPECT_EQ(image[56], 0xABu);
+    EXPECT_EQ(image[71], 0xABu);
+    EXPECT_EQ(b.pendingLines(), 0u);
+}
+
+TEST(PersistenceDomain, RetainRandomIsLineGranularAndDeterministic)
+{
+    Backing b(64 * 64);
+    b.enablePersistenceDomain();
+    // Dirty 64 full lines with a recognizable pattern.
+    for (Bytes line = 0; line < 64; ++line) {
+        std::uint8_t buf[64];
+        std::memset(buf, 0x11 + static_cast<int>(line % 7), sizeof(buf));
+        b.write(line * 64, buf, sizeof(buf));
+    }
+
+    const auto a = b.crashImage(CrashMode::RetainRandom, 12345);
+    const auto c = b.crashImage(CrashMode::RetainRandom, 12345);
+    EXPECT_EQ(a, c); // deterministic per seed
+
+    const auto d = b.crashImage(CrashMode::RetainRandom, 54321);
+    EXPECT_NE(a, d); // but seed-dependent
+
+    // Every line is atomically old (all zero) or new (all pattern);
+    // with 64 lines at p=1/2, both outcomes occur.
+    std::size_t kept = 0;
+    for (Bytes line = 0; line < 64; ++line) {
+        const std::uint8_t first = a[line * 64];
+        for (Bytes i = 0; i < 64; ++i)
+            ASSERT_EQ(a[line * 64 + i], first) << "torn line " << line;
+        if (first != 0)
+            ++kept;
+    }
+    EXPECT_GT(kept, 0u);
+    EXPECT_LT(kept, 64u);
+}
+
+TEST(PersistenceDomain, GrowExtendsDurableImage)
+{
+    Backing b(128);
+    b.enablePersistenceDomain();
+    b.grow(4096);
+    poke(b, 4000, 5);
+    b.flush(4000, 8);
+    b.fence();
+    const auto image = b.crashImage(CrashMode::DiscardUnfenced);
+    ASSERT_EQ(image.size(), 4096u);
+    EXPECT_EQ(peek(image, 4000), 5u);
+}
+
+TEST(PersistenceDomain, AssignResetsTheDomain)
+{
+    Backing b(128);
+    b.enablePersistenceDomain();
+    poke(b, 0, 9);
+    b.assign(std::vector<std::uint8_t>(256, 0xFF));
+    EXPECT_FALSE(b.persistenceDomainEnabled());
+    EXPECT_EQ(b.size(), 256u);
+}
+
+// ---------------------------------------------------------------------
+// CrashInjector
+// ---------------------------------------------------------------------
+
+TEST(CrashInjector, CountsWritesFlushesAndFences)
+{
+    Backing b(4096);
+    CrashInjector inj;
+    inj.arm(0);
+    inj.attach(b);
+    poke(b, 0, 1);   // event 1
+    b.flush(0, 8);   // event 2
+    b.fence();       // event 3
+    EXPECT_EQ(inj.events(), 3u);
+    EXPECT_FALSE(inj.fired());
+}
+
+TEST(CrashInjector, CrashEventNeverTakesEffect)
+{
+    Backing b(4096);
+    b.enablePersistenceDomain();
+    CrashInjector inj;
+    inj.arm(4);
+    inj.attach(b);
+
+    poke(b, 0, 1);
+    b.flush(0, 8);
+    b.fence(); // value 1 durable
+    bool crashed = false;
+    try {
+        poke(b, 0, 2); // event 4: the write "never happened"
+    } catch (const SimulatedCrash &c) {
+        crashed = true;
+        EXPECT_EQ(c.at(), 4u);
+    }
+    ASSERT_TRUE(crashed);
+    ASSERT_TRUE(inj.fired());
+    EXPECT_EQ(peek(inj.image(), 0), 1u);
+    // The live backing never saw the aborted write either.
+    EXPECT_EQ(read64(b, 0), 1u);
+}
+
+TEST(CrashInjector, DisarmsAfterFiringSoUnwindingCanWrite)
+{
+    Backing b(4096);
+    CrashInjector inj;
+    inj.arm(1);
+    inj.attach(b);
+    EXPECT_THROW(poke(b, 0, 1), SimulatedCrash);
+    // Post-crash writes (e.g. destructors rolling back) must not
+    // crash again or perturb the captured image.
+    EXPECT_NO_THROW(poke(b, 8, 2));
+    EXPECT_EQ(inj.events(), 1u);
+    EXPECT_EQ(peek(inj.image(), 8), 0u);
+}
+
+TEST(CrashInjector, FenceCrashLeavesStagedLinesVolatile)
+{
+    Backing b(4096);
+    CrashInjector inj;
+    inj.arm(3);
+    inj.attach(b);
+    poke(b, 0, 7); // event 1
+    b.flush(0, 8); // event 2
+    EXPECT_THROW(b.fence(), SimulatedCrash); // event 3: no SFENCE
+    EXPECT_EQ(peek(inj.image(), 0), 0u);
+}
+

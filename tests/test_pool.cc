@@ -15,7 +15,6 @@ TEST(Pool, FreshPoolHasValidHeader)
     EXPECT_EQ(h.poolId, 7u);
     EXPECT_EQ(h.size, 1u << 20);
     EXPECT_EQ(h.rootOff, 0u);
-    EXPECT_EQ(h.logActive, 0u);
     EXPECT_GE(h.arenaStart, Pool::kHeaderSize + h.logSize);
     EXPECT_EQ(p.id(), 7u);
     EXPECT_EQ(p.name(), "test");
@@ -62,6 +61,71 @@ TEST(Pool, AdoptImageValidatesSizeField)
     p.setHeader(h);
     Backing image(p.backing());
     EXPECT_THROW(Pool("bad", std::move(image)), Fault);
+}
+
+namespace
+{
+
+/** The FaultKind an adoption of @p image raises (asserts it throws). */
+FaultKind
+adoptFaultKind(Backing image)
+{
+    try {
+        Pool p("tampered", std::move(image));
+    } catch (const Fault &f) {
+        return f.kind();
+    }
+    ADD_FAILURE() << "adoption of a tampered image did not throw";
+    return FaultKind::BadUsage;
+}
+
+/** Copy @p p's image with one header field mutated. */
+template <typename Mutate>
+Backing
+tamper(Pool &p, Mutate &&mutate)
+{
+    PoolHeader h = p.header();
+    mutate(h);
+    Backing image(p.backing());
+    image.write(0, &h, sizeof(h));
+    return image;
+}
+
+} // namespace
+
+TEST(Pool, AdoptImageReportsCorruptPoolKind)
+{
+    Backing junk(1 << 20);
+    EXPECT_EQ(adoptFaultKind(std::move(junk)), FaultKind::CorruptPool);
+}
+
+TEST(Pool, AdoptImageValidatesVersion)
+{
+    Pool p(3, "orig", 1 << 20);
+    const auto kind = adoptFaultKind(tamper(p, [](PoolHeader &h) {
+        h.version = PoolHeader::kVersion + 1;
+    }));
+    EXPECT_EQ(kind, FaultKind::CorruptPool);
+}
+
+TEST(Pool, AdoptImageValidatesLogGeometry)
+{
+    Pool p(3, "orig", 1 << 20);
+    // Log area overruns the arena start: every downstream module
+    // would compute wild offsets from this.
+    const auto kind = adoptFaultKind(tamper(p, [](PoolHeader &h) {
+        h.logSize = h.size;
+    }));
+    EXPECT_EQ(kind, FaultKind::CorruptPool);
+}
+
+TEST(Pool, AdoptImageValidatesRootOffset)
+{
+    Pool p(3, "orig", 1 << 20);
+    const auto kind = adoptFaultKind(tamper(p, [](PoolHeader &h) {
+        h.rootOff = h.size + 1;
+    }));
+    EXPECT_EQ(kind, FaultKind::CorruptPool);
 }
 
 TEST(Pool, AdoptImageKeepsIdentity)

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/logging.hh"
 #include "nvm/pool.hh"
 #include "nvm/txn.hh"
 
@@ -106,6 +107,86 @@ TEST_F(TxnTest, RecoverAppliesLogFromCrashedImage)
         EXPECT_FALSE(Txn::isActive(crashed));
         // Second recovery is a no-op.
         EXPECT_FALSE(Txn::recover(crashed));
+        txn.commit();
+    }
+}
+
+TEST_F(TxnTest, RecoverWithEmptyLogClearsTheActiveFlag)
+{
+    {
+        // Crash after the txn opened but before any write was logged.
+        Txn txn(pool);
+        Pool crashed("crashed", Backing(pool.backing()));
+        EXPECT_TRUE(Txn::isActive(crashed));
+        EXPECT_TRUE(Txn::recover(crashed)); // rollback of zero entries
+        EXPECT_FALSE(Txn::isActive(crashed));
+        EXPECT_EQ(peek(crashed, dataOff), 100u);
+        txn.commit();
+    }
+}
+
+TEST_F(TxnTest, DoubleRecoveryIsIdempotent)
+{
+    {
+        Txn txn(pool);
+        txn.recordWrite(dataOff, 8);
+        poke(pool, dataOff, 111);
+        Pool crashed("crashed", Backing(pool.backing()));
+        EXPECT_TRUE(Txn::recover(crashed));
+        EXPECT_EQ(peek(crashed, dataOff), 100u);
+        // A crash *during* recovery means recovery simply runs again
+        // on the next boot; the image must be a stable fixed point.
+        EXPECT_FALSE(Txn::recover(crashed));
+        EXPECT_FALSE(Txn::recover(crashed));
+        EXPECT_EQ(peek(crashed, dataOff), 100u);
+        txn.commit();
+    }
+}
+
+TEST_F(TxnTest, RecoverReplaysOverlappingRangesInReverse)
+{
+    {
+        Txn txn(pool);
+        txn.recordWrite(dataOff, 8); // pre-image 100
+        poke(pool, dataOff, 1);
+        txn.recordWrite(dataOff, 8); // pre-image 1
+        poke(pool, dataOff, 2);
+        Pool crashed("crashed", Backing(pool.backing()));
+        EXPECT_TRUE(Txn::recover(crashed));
+        // Reverse replay: the entry holding 1 lands first, then the
+        // entry holding 100 overwrites it. Forward order would leave 1.
+        EXPECT_EQ(peek(crashed, dataOff), 100u);
+        txn.commit();
+    }
+}
+
+TEST_F(TxnTest, TornFinalEntryIsDiscardedNotReplayed)
+{
+    {
+        Txn txn(pool);
+        txn.recordWrite(dataOff, 8); // entry 0: pre-image 100
+        poke(pool, dataOff, 111);
+        txn.recordWrite(dataOff + 8, 8); // entry 1: pre-image 200
+        poke(pool, dataOff + 8, 222);
+
+        Pool crashed("crashed", Backing(pool.backing()));
+        // Tear the tail at byte granularity: wind the tail pointer
+        // back into the middle of entry 1, as if its append made it
+        // to media only partially.
+        const Bytes control = Pool::kHeaderSize;
+        std::uint64_t tail;
+        crashed.backing().read(control, &tail, sizeof(tail));
+        tail -= 5;
+        crashed.backing().write(control, &tail, sizeof(tail));
+
+        const std::uint64_t warns_before = warnCount();
+        EXPECT_TRUE(Txn::recover(crashed));
+        // Entry 0 replays; the torn entry 1 must be discarded, never
+        // half-applied.
+        EXPECT_EQ(peek(crashed, dataOff), 100u);
+        EXPECT_EQ(peek(crashed, dataOff + 8), 222u);
+        EXPECT_FALSE(Txn::isActive(crashed));
+        EXPECT_GT(warnCount(), warns_before);
         txn.commit();
     }
 }
