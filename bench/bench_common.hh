@@ -75,6 +75,7 @@ struct RunStats
     std::uint64_t dynamicChecks = 0;
     std::uint64_t absToRel = 0;
     std::uint64_t relToAbs = 0;
+    std::uint64_t reuseHits = 0;
 };
 
 /** Workload scaling divisor from UPR_BENCH_SCALE (default 1). */
@@ -121,6 +122,7 @@ snapshot(Runtime &rt, Cycles cycles, std::uint64_t checksum)
     st.dynamicChecks = rt.dynamicChecks();
     st.absToRel = rt.absToRel();
     st.relToAbs = rt.relToAbs();
+    st.reuseHits = rt.reuseHits();
     return st;
 }
 

@@ -1,0 +1,549 @@
+/**
+ * @file
+ * Parallel benchmark harness: runs every (workload x version) cell of
+ * the Figure 11 grid concurrently — one forked child process per cell
+ * — then a set of pointer-op microkernels, and writes machine-readable
+ * BENCH_fig11.json / BENCH_micro.json.
+ *
+ * Cells run in child *processes*, not threads, for determinism:
+ * branch-predictor site indices are salted at each pointer-op call
+ * site's first execution (detail::nextSiteSalt), so concurrent cells
+ * sharing one process would be handed salts in thread-schedule order
+ * and "identical" runs would drift by a few cycles. fork() gives every
+ * cell the pristine pre-run salt state: each cell's counters equal a
+ * standalone run of exactly that cell, under any parallelism, every
+ * time.
+ *
+ * The JSON records both the harness wall time and the sum of per-cell
+ * wall times so the speedup is auditable, and scripts/bench_diff.py
+ * compares two result files (wall regression = warning, any
+ * simulated-counter drift = hard error).
+ *
+ * Usage: bench_harness [--quick] [--jobs N] [--out DIR]
+ *                      [--fig11-only | --micro-only]
+ *   --quick   scale workloads down 100x (smoke test; implies scale
+ *             via UPR_BENCH_SCALE only if that variable is unset)
+ *   --jobs N  worker processes (default: hardware concurrency)
+ *   --out DIR output directory for the JSON files (default: .)
+ */
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "bench_common.hh"
+#include "bench_json.hh"
+#include "core/ptr.hh"
+
+#ifndef UPR_GIT_REV
+#define UPR_GIT_REV "unknown"
+#endif
+
+using namespace upr;
+using namespace upr::bench;
+
+namespace
+{
+
+using SteadyClock = std::chrono::steady_clock;
+
+double
+millisSince(SteadyClock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               SteadyClock::now() - start)
+        .count();
+}
+
+const Version kAllVersions[] = {Version::Volatile, Version::Sw,
+                                Version::Hw, Version::Explicit};
+
+// ----------------------------------------------------------------------
+// Forked cell runner
+// ----------------------------------------------------------------------
+
+/** Fixed-size result record shipped child -> parent over a pipe. */
+struct CellOutcome
+{
+    RunStats stats = {};
+    double wallMs = 0;
+    std::uint8_t failed = 0;
+    char error[160] = {};
+};
+
+void
+setOutcomeError(CellOutcome &oc, const char *what)
+{
+    oc.failed = 1;
+    std::snprintf(oc.error, sizeof(oc.error), "%s", what);
+}
+
+/**
+ * Run @p n cells, each in its own forked child, at most @p jobs
+ * children live at once. @p fn(i) computes cell i's RunStats (in the
+ * child). A child that dies without reporting yields a failed cell,
+ * not a dead harness.
+ */
+template <typename RunFn>
+std::vector<CellOutcome>
+runForked(std::size_t n, unsigned jobs, RunFn fn)
+{
+    std::vector<CellOutcome> out(n);
+    std::vector<pid_t> pids(n, -1);
+    std::vector<int> fds(n, -1);
+    std::size_t launched = 0;
+    std::size_t live = 0;
+
+    const auto launch = [&](std::size_t i) {
+        int pipefd[2];
+        if (pipe(pipefd) != 0) {
+            setOutcomeError(out[i], "pipe() failed");
+            return;
+        }
+        std::fflush(nullptr); // don't duplicate buffered output
+        const pid_t pid = fork();
+        if (pid < 0) {
+            close(pipefd[0]);
+            close(pipefd[1]);
+            setOutcomeError(out[i], "fork() failed");
+            return;
+        }
+        if (pid == 0) {
+            close(pipefd[0]);
+            CellOutcome oc;
+            const auto t0 = SteadyClock::now();
+            try {
+                oc.stats = fn(i);
+            } catch (const std::exception &e) {
+                setOutcomeError(oc, e.what());
+            }
+            oc.wallMs = millisSince(t0);
+            // One record, well under PIPE_BUF: a single atomic write.
+            const ssize_t w = write(pipefd[1], &oc, sizeof(oc));
+            _exit(w == static_cast<ssize_t>(sizeof(oc)) ? 0 : 1);
+        }
+        close(pipefd[1]);
+        pids[i] = pid;
+        fds[i] = pipefd[0];
+        ++live;
+    };
+
+    const auto reap = [&] {
+        int status = 0;
+        const pid_t pid = waitpid(-1, &status, 0);
+        if (pid < 0)
+            return;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (pids[i] != pid)
+                continue;
+            const ssize_t r = read(fds[i], &out[i], sizeof(out[i]));
+            if (r != static_cast<ssize_t>(sizeof(out[i])) ||
+                (WIFEXITED(status) && WEXITSTATUS(status) != 0) ||
+                WIFSIGNALED(status)) {
+                if (!out[i].failed)
+                    setOutcomeError(out[i],
+                                    "cell process died without "
+                                    "reporting");
+            }
+            close(fds[i]);
+            fds[i] = -1;
+            pids[i] = -1;
+            --live;
+            return;
+        }
+    };
+
+    while (launched < n || live > 0) {
+        if (launched < n && live < jobs)
+            launch(launched++);
+        else
+            reap();
+    }
+    return out;
+}
+
+// ----------------------------------------------------------------------
+// Fig 11 grid
+// ----------------------------------------------------------------------
+
+struct Cell
+{
+    Workload workload;
+    Version version;
+    RunStats stats = {};
+    double wallMs = 0;
+    bool failed = false;
+    std::string error = {};
+};
+
+/** Run all cells in forked children, @p jobs at a time. */
+void
+runGrid(std::vector<Cell> &cells, unsigned jobs)
+{
+    const std::vector<CellOutcome> outcomes =
+        runForked(cells.size(), jobs, [&](std::size_t i) {
+            return run(cells[i].workload, cells[i].version);
+        });
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        cells[i].stats = outcomes[i].stats;
+        cells[i].wallMs = outcomes[i].wallMs;
+        cells[i].failed = outcomes[i].failed != 0;
+        cells[i].error = outcomes[i].error;
+    }
+}
+
+void
+emitStats(JsonWriter &json, const RunStats &st)
+{
+    json.kv("cycles", st.cycles);
+    json.kv("checksum", st.checksum);
+    json.kv("memAccesses", st.memAccesses);
+    json.kv("storePs", st.storePs);
+    json.kv("polbAccesses", st.polbAccesses);
+    json.kv("polbWalks", st.polbWalks);
+    json.kv("valbAccesses", st.valbAccesses);
+    json.kv("valbWalks", st.valbWalks);
+    json.kv("branches", st.branches);
+    json.kv("branchMisses", st.branchMisses);
+    json.kv("dynamicChecks", st.dynamicChecks);
+    json.kv("absToRel", st.absToRel);
+    json.kv("relToAbs", st.relToAbs);
+    json.kv("reuseHits", st.reuseHits);
+}
+
+void
+emitHeader(JsonWriter &json, unsigned jobs)
+{
+    json.kv("schema", std::uint64_t{1});
+    json.kv("gitRev", UPR_GIT_REV);
+    json.kv("benchScale", benchScale());
+    json.kv("jobs", std::uint64_t{jobs});
+}
+
+/** @return true on success (all cells ran, checksums agree). */
+bool
+runFig11(const std::string &out_dir, unsigned jobs)
+{
+    std::vector<Cell> cells;
+    for (Workload w : kAllWorkloads)
+        for (Version v : kAllVersions)
+            cells.push_back(Cell{w, v});
+
+    const auto start = SteadyClock::now();
+    runGrid(cells, jobs);
+    const double harness_wall = millisSince(start);
+
+    double serial_sum = 0;
+    bool ok = true;
+    for (const Cell &cell : cells) {
+        serial_sum += cell.wallMs;
+        if (cell.failed) {
+            std::fprintf(stderr, "FAIL %s/%s: %s\n",
+                         workloadName(cell.workload),
+                         versionName(cell.version), cell.error.c_str());
+            ok = false;
+        }
+    }
+
+    // Soundness: every version of a workload computed the same value.
+    for (Workload w : kAllWorkloads) {
+        std::uint64_t checksum = 0;
+        bool have = false;
+        for (const Cell &cell : cells) {
+            if (cell.workload != w || cell.failed)
+                continue;
+            if (!have) {
+                checksum = cell.stats.checksum;
+                have = true;
+            } else if (cell.stats.checksum != checksum) {
+                std::fprintf(stderr,
+                             "OUTPUT MISMATCH on %s: version %s\n",
+                             workloadName(w),
+                             versionName(cell.version));
+                ok = false;
+            }
+        }
+    }
+
+    JsonWriter json;
+    json.beginObject();
+    emitHeader(json, jobs);
+    json.kv("harnessWallMs", harness_wall);
+    json.kv("serialSumMs", serial_sum);
+    json.key("cells").beginArray();
+    for (const Cell &cell : cells) {
+        json.beginObject();
+        json.kv("workload", workloadName(cell.workload));
+        json.kv("version", versionName(cell.version));
+        json.kv("wallMs", cell.wallMs);
+        if (cell.failed) {
+            json.kv("error", cell.error);
+        } else {
+            emitStats(json, cell.stats);
+        }
+        json.end();
+    }
+    json.end();
+    json.end();
+
+    const std::string path = out_dir + "/BENCH_fig11.json";
+    if (!json.writeFile(path)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::printf("fig11 grid: %zu cells, wall %.0f ms "
+                "(serial sum %.0f ms, %.2fx), %s\n",
+                cells.size(), harness_wall, serial_sum,
+                serial_sum / harness_wall, path.c_str());
+    return ok;
+}
+
+// ----------------------------------------------------------------------
+// Microkernels: tight loops over single pointer operations, the
+// host-hot paths the translation caches serve. Cycle counts and model
+// counters are deterministic per (kernel, version, scale).
+// ----------------------------------------------------------------------
+
+struct MicroResult
+{
+    std::string kernel;
+    Version version;
+    RunStats stats;
+    double wallMs = 0;
+    std::string error = {};
+};
+
+Runtime::Config
+microConfig(Version v)
+{
+    Runtime::Config cfg;
+    cfg.version = v;
+    cfg.seed = 0xB0;
+    return cfg;
+}
+
+/** Chase one pointer ring end to end @p laps times. */
+RunStats
+microPtrChase(Version v, std::uint64_t nodes, std::uint64_t laps)
+{
+    Runtime rt(microConfig(v));
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("micro", 64 << 20);
+
+    struct Node
+    {
+        Ptr<Node> next;
+        std::uint64_t value = 0;
+    };
+    MemEnv env = MemEnv::persistentEnv(rt, pool);
+    std::vector<Ptr<Node>> ring;
+    for (std::uint64_t i = 0; i < nodes; ++i) {
+        Ptr<Node> n = env.alloc<Node>();
+        n.setField(&Node::value, i);
+        ring.push_back(n);
+    }
+    for (std::uint64_t i = 0; i < nodes; ++i)
+        ring[i].setPtrField(&Node::next, ring[(i + 1) % nodes]);
+
+    rt.machine().resetAllStats();
+    rt.resetCounters();
+    const Cycles begin = rt.machine().now();
+    std::uint64_t sum = 0;
+    Ptr<Node> p = ring[0];
+    for (std::uint64_t i = 0; i < nodes * laps; ++i) {
+        sum += p.field(&Node::value);
+        p = p.ptrField(&Node::next);
+    }
+    return bench::detail::snapshot(rt, rt.machine().now() - begin, sum);
+}
+
+/** storeP churn: overwrite pointer slots with relative values. */
+RunStats
+microStorePChurn(Version v, std::uint64_t slots, std::uint64_t rounds)
+{
+    Runtime rt(microConfig(v));
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("micro", 64 << 20);
+
+    struct Node
+    {
+        Ptr<Node> next;
+        std::uint64_t value = 0;
+    };
+    MemEnv env = MemEnv::persistentEnv(rt, pool);
+    std::vector<Ptr<Node>> cells;
+    for (std::uint64_t i = 0; i < slots; ++i)
+        cells.push_back(env.alloc<Node>());
+
+    rt.machine().resetAllStats();
+    rt.resetCounters();
+    const Cycles begin = rt.machine().now();
+    for (std::uint64_t r = 0; r < rounds; ++r)
+        for (std::uint64_t i = 0; i < slots; ++i)
+            cells[i].setPtrField(&Node::next,
+                                 cells[(i + r + 1) % slots]);
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = 0; i < slots; ++i)
+        sum += cells[i].ptrField(&Node::next).bits();
+    return bench::detail::snapshot(rt, rt.machine().now() - begin, sum);
+}
+
+/** Hot ra2va: dereference the same few persistent objects. */
+RunStats
+microResolveHot(Version v, std::uint64_t objects, std::uint64_t reps)
+{
+    Runtime rt(microConfig(v));
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("micro", 64 << 20);
+
+    struct Node
+    {
+        Ptr<Node> next;
+        std::uint64_t value = 0;
+    };
+    MemEnv env = MemEnv::persistentEnv(rt, pool);
+    std::vector<Ptr<Node>> objs;
+    for (std::uint64_t i = 0; i < objects; ++i) {
+        Ptr<Node> n = env.alloc<Node>();
+        n.setField(&Node::value, i * 3 + 1);
+        objs.push_back(n);
+    }
+
+    rt.machine().resetAllStats();
+    rt.resetCounters();
+    const Cycles begin = rt.machine().now();
+    std::uint64_t sum = 0;
+    for (std::uint64_t r = 0; r < reps; ++r)
+        for (std::uint64_t i = 0; i < objects; ++i)
+            sum += objs[i].field(&Node::value);
+    return bench::detail::snapshot(rt, rt.machine().now() - begin, sum);
+}
+
+bool
+runMicro(const std::string &out_dir, unsigned jobs)
+{
+    const std::uint64_t scale = benchScale();
+    struct Kernel
+    {
+        const char *name;
+        RunStats (*fn)(Version, std::uint64_t, std::uint64_t);
+        std::uint64_t a;
+        std::uint64_t b;
+    };
+    const Kernel kernels[] = {
+        {"ptr_chase", microPtrChase, 1024, 64 / std::min<std::uint64_t>(scale, 64)},
+        {"storep_churn", microStorePChurn, 512, 128 / std::min<std::uint64_t>(scale, 128)},
+        {"resolve_hot", microResolveHot, 64, 2048 / std::min<std::uint64_t>(scale, 2048)},
+    };
+
+    std::vector<MicroResult> results;
+    for (const Kernel &k : kernels)
+        for (Version v : kAllVersions)
+            results.push_back(MicroResult{k.name, v, {}, 0});
+
+    const auto start = SteadyClock::now();
+    const std::vector<CellOutcome> outcomes =
+        runForked(results.size(), jobs, [&](std::size_t i) {
+            const Kernel &k = kernels[i / 4];
+            return k.fn(results[i].version, k.a, k.b);
+        });
+    bool ok = true;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        results[i].stats = outcomes[i].stats;
+        results[i].wallMs = outcomes[i].wallMs;
+        if (outcomes[i].failed) {
+            results[i].error = outcomes[i].error;
+            std::fprintf(stderr, "FAIL micro %s/%s: %s\n",
+                         results[i].kernel.c_str(),
+                         versionName(results[i].version),
+                         outcomes[i].error);
+            ok = false;
+        }
+    }
+    const double harness_wall = millisSince(start);
+
+    double serial_sum = 0;
+    for (const MicroResult &r : results)
+        serial_sum += r.wallMs;
+
+    JsonWriter json;
+    json.beginObject();
+    emitHeader(json, jobs);
+    json.kv("harnessWallMs", harness_wall);
+    json.kv("serialSumMs", serial_sum);
+    json.key("cells").beginArray();
+    for (const MicroResult &r : results) {
+        json.beginObject();
+        json.kv("workload", r.kernel);
+        json.kv("version", versionName(r.version));
+        json.kv("wallMs", r.wallMs);
+        if (!r.error.empty())
+            json.kv("error", r.error);
+        else
+            emitStats(json, r.stats);
+        json.end();
+    }
+    json.end();
+    json.end();
+
+    const std::string path = out_dir + "/BENCH_micro.json";
+    if (!json.writeFile(path)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::printf("micro: %zu cells, wall %.0f ms, %s\n", results.size(),
+                harness_wall, path.c_str());
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned jobs = std::thread::hardware_concurrency();
+    if (jobs == 0)
+        jobs = 1;
+    std::string out_dir = ".";
+    bool fig11 = true;
+    bool micro = true;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--quick")) {
+            // Smoke mode: shrink workloads unless the caller already
+            // pinned a scale explicitly.
+            setenv("UPR_BENCH_SCALE", "100", /*overwrite=*/0);
+        } else if (!std::strcmp(arg, "--jobs") && i + 1 < argc) {
+            const long v = std::atol(argv[++i]);
+            if (v >= 1)
+                jobs = static_cast<unsigned>(v);
+        } else if (!std::strcmp(arg, "--out") && i + 1 < argc) {
+            out_dir = argv[++i];
+        } else if (!std::strcmp(arg, "--fig11-only")) {
+            micro = false;
+        } else if (!std::strcmp(arg, "--micro-only")) {
+            fig11 = false;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--jobs N] [--out DIR] "
+                         "[--fig11-only | --micro-only]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    printConfigBanner();
+    std::printf("# harness: %u worker process(es), git %s\n", jobs,
+                UPR_GIT_REV);
+
+    bool ok = true;
+    if (fig11)
+        ok = runFig11(out_dir, jobs) && ok;
+    if (micro)
+        ok = runMicro(out_dir, jobs) && ok;
+    return ok ? 0 : 1;
+}

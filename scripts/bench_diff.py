@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Compare two bench_harness JSON outputs (BENCH_fig11.json /
+BENCH_micro.json).
+
+Two different contracts are enforced:
+
+* Simulated model counters (cycles, checksum, memAccesses, ...) are
+  part of the model's behaviour. Any drift between the two files is a
+  HARD ERROR (exit 2): either the model changed on purpose (then the
+  goldens must be recaptured and the change called out) or a
+  "host-side-only" optimization leaked into the model.
+
+* Wall-clock times are host-side and noisy. A cell or harness total
+  regressing by more than the threshold (default 10%) is FLAGGED
+  (exit 1) but is not proof of a bug -- re-measure interleaved before
+  acting on it (see docs/PERFORMANCE.md).
+
+Exit codes: 0 ok, 1 wall regression flagged, 2 counter drift or usage
+error.
+
+Usage: bench_diff.py [--wall-threshold PCT] old.json new.json
+"""
+
+import argparse
+import json
+import sys
+
+# Every simulated counter a cell can carry; all must match exactly.
+MODEL_KEYS = (
+    "cycles", "checksum", "memAccesses", "storePs",
+    "polbAccesses", "polbWalks", "valbAccesses", "valbWalks",
+    "branches", "branchMisses", "dynamicChecks", "absToRel",
+    "relToAbs", "reuseHits",
+)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    if "cells" not in doc:
+        sys.exit(f"bench_diff: {path}: not a bench_harness file "
+                 "(no 'cells')")
+    return doc
+
+
+def cell_key(cell):
+    return (cell.get("workload", "?"), cell.get("version", "?"))
+
+
+def index_cells(doc, path):
+    cells = {}
+    for cell in doc["cells"]:
+        key = cell_key(cell)
+        if key in cells:
+            sys.exit(f"bench_diff: {path}: duplicate cell "
+                     f"{key[0]} x {key[1]}")
+        cells[key] = cell
+    return cells
+
+
+def fmt_cell(key):
+    return f"{key[0]} x {key[1]}"
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--wall-threshold", type=float, default=10.0,
+                    metavar="PCT",
+                    help="flag wall-time regressions beyond this "
+                         "percentage (default: %(default)s)")
+    ap.add_argument("old", help="baseline BENCH_*.json")
+    ap.add_argument("new", help="candidate BENCH_*.json")
+    args = ap.parse_args()
+
+    old_doc = load(args.old)
+    new_doc = load(args.new)
+
+    if old_doc.get("benchScale") != new_doc.get("benchScale"):
+        sys.exit(f"bench_diff: benchScale differs "
+                 f"({old_doc.get('benchScale')} vs "
+                 f"{new_doc.get('benchScale')}): runs not comparable")
+
+    old_cells = index_cells(old_doc, args.old)
+    new_cells = index_cells(new_doc, args.new)
+
+    drift = []        # model-counter mismatches: hard error
+    regressions = []  # wall-time flags
+    notes = []
+
+    for key in sorted(set(old_cells) | set(new_cells)):
+        if key not in new_cells:
+            drift.append(f"{fmt_cell(key)}: missing from {args.new}")
+            continue
+        if key not in old_cells:
+            notes.append(f"{fmt_cell(key)}: new cell (no baseline)")
+            continue
+        old, new = old_cells[key], new_cells[key]
+
+        for side, cell, path in (("old", old, args.old),
+                                 ("new", new, args.new)):
+            if "error" in cell:
+                drift.append(f"{fmt_cell(key)}: {side} run failed "
+                             f"({path}): {cell['error']}")
+        if "error" in old or "error" in new:
+            continue
+
+        for k in MODEL_KEYS:
+            if old.get(k) != new.get(k):
+                drift.append(
+                    f"{fmt_cell(key)}: {k} {old.get(k)} -> "
+                    f"{new.get(k)}")
+
+        ow, nw = old.get("wallMs"), new.get("wallMs")
+        if ow and nw and ow > 0:
+            pct = 100.0 * (nw - ow) / ow
+            if pct > args.wall_threshold:
+                regressions.append(
+                    f"{fmt_cell(key)}: wall {ow:.1f} ms -> "
+                    f"{nw:.1f} ms (+{pct:.1f}%)")
+
+    oh, nh = old_doc.get("harnessWallMs"), new_doc.get("harnessWallMs")
+    if oh and nh and oh > 0:
+        pct = 100.0 * (nh - oh) / oh
+        if pct > args.wall_threshold:
+            regressions.append(
+                f"harness total: {oh:.1f} ms -> {nh:.1f} ms "
+                f"(+{pct:.1f}%)")
+
+    for n in notes:
+        print(f"note: {n}")
+    if drift:
+        print(f"MODEL DRIFT ({len(drift)} mismatches) -- simulated "
+              "counters must be bit-identical between runs:")
+        for d in drift:
+            print(f"  {d}")
+    if regressions:
+        print(f"wall-time regressions beyond "
+              f"{args.wall_threshold:.0f}% ({len(regressions)}):")
+        for r in regressions:
+            print(f"  {r}")
+    if not drift and not regressions:
+        n = len(set(old_cells) & set(new_cells))
+        print(f"ok: {n} cells compared, counters identical, "
+              f"wall within {args.wall_threshold:.0f}%"
+              f" (rev {old_doc.get('gitRev')} -> "
+              f"{new_doc.get('gitRev')})")
+
+    if drift:
+        return 2
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

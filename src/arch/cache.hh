@@ -33,6 +33,7 @@ class Cache
         : lineBytes_(line_bytes),
           lineShift_(log2i(line_bytes)),
           sets_(static_cast<std::uint32_t>(size / (ways * line_bytes))),
+          tagShift_(log2i(sets_)),
           array_(sets_, ways),
           stats_(name)
     {
@@ -57,7 +58,7 @@ class Cache
         const std::uint64_t line = addr >> lineShift_;
         const std::uint32_t set =
             static_cast<std::uint32_t>(line & (sets_ - 1));
-        const std::uint64_t tag = line >> log2i(sets_);
+        const std::uint64_t tag = line >> tagShift_;
 
         if (LineState *st = array_.lookup(set, tag)) {
             st->dirty |= is_write;
@@ -98,6 +99,7 @@ class Cache
     Bytes lineBytes_;
     unsigned lineShift_;
     std::uint32_t sets_;
+    unsigned tagShift_;
     SetAssocArray<std::uint64_t, LineState> array_;
 
     StatGroup stats_;

@@ -11,6 +11,7 @@
 #ifndef UPR_ARCH_SET_ASSOC_HH
 #define UPR_ARCH_SET_ASSOC_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -23,6 +24,11 @@ namespace upr
 /**
  * @tparam Tag lookup key within a set
  * @tparam Payload per-entry data (use a tiny struct or std::monostate)
+ *
+ * Storage is struct-of-arrays: a lookup is a probe of every simulated
+ * memory access (TLB and three cache levels each scan one set), so the
+ * tag scan walks a dense Tag array instead of striding over full
+ * entries, and the LRU stamps and payloads are only touched on a hit.
  */
 template <typename Tag, typename Payload>
 class SetAssocArray
@@ -33,7 +39,9 @@ class SetAssocArray
      * @param ways associativity
      */
     SetAssocArray(std::uint32_t sets, std::uint32_t ways)
-        : sets_(sets), ways_(ways), entries_(sets * ways)
+        : sets_(sets), ways_(ways), valid_(sets * ways, 0),
+          tags_(sets * ways), payloads_(sets * ways),
+          lastUse_(sets * ways, 0)
     {
         // Non-power-of-two set counts are allowed (e.g. the 384-set
         // L2 TLB); callers index with modulo in that case.
@@ -53,20 +61,32 @@ class SetAssocArray
     Payload *
     lookup(std::uint32_t set_index, Tag tag)
     {
-        Entry *e = findEntry(set_index, tag);
-        if (!e)
+        // MRU memo: consecutive lookups overwhelmingly repeat the
+        // previous (set, tag) — same cache line, same page, same pool.
+        // The slot is re-verified (valid bit and tag), so eviction or
+        // invalidation since the last hit just falls through to the
+        // scan; the memo can never return a stale entry.
+        const std::size_t m = mru_;
+        if (m != kMiss && mruSet_ == set_index && valid_[m] &&
+            tags_[m] == tag) {
+            lastUse_[m] = ++clock_;
+            return &payloads_[m];
+        }
+        const std::size_t i = findEntry(set_index, tag);
+        if (i == kMiss)
             return nullptr;
-        e->lastUse = ++clock_;
-        return &e->payload;
+        mru_ = i;
+        mruSet_ = set_index;
+        lastUse_[i] = ++clock_;
+        return &payloads_[i];
     }
 
     /** Lookup without LRU update (for inspection in tests). */
     const Payload *
     peek(std::uint32_t set_index, Tag tag) const
     {
-        const Entry *e =
-            const_cast<SetAssocArray *>(this)->findEntry(set_index, tag);
-        return e ? &e->payload : nullptr;
+        const std::size_t i = findEntry(set_index, tag);
+        return i == kMiss ? nullptr : &payloads_[i];
     }
 
     /**
@@ -81,23 +101,24 @@ class SetAssocArray
            Payload *evicted_out = nullptr)
     {
         upr_assert(set_index < sets_);
-        Entry *victim = nullptr;
+        const std::size_t base = std::size_t{set_index} * ways_;
+        std::size_t victim = kMiss;
         for (std::uint32_t w = 0; w < ways_; ++w) {
-            Entry &e = at(set_index, w);
-            if (!e.valid) {
-                victim = &e;
+            const std::size_t i = base + w;
+            if (!valid_[i]) {
+                victim = i;
                 break;
             }
-            if (!victim || e.lastUse < victim->lastUse)
-                victim = &e;
+            if (victim == kMiss || lastUse_[i] < lastUse_[victim])
+                victim = i;
         }
-        const bool evicted = victim->valid;
+        const bool evicted = valid_[victim] != 0;
         if (evicted && evicted_out)
-            *evicted_out = victim->payload;
-        victim->valid = true;
-        victim->tag = tag;
-        victim->payload = payload;
-        victim->lastUse = ++clock_;
+            *evicted_out = payloads_[victim];
+        valid_[victim] = 1;
+        tags_[victim] = tag;
+        payloads_[victim] = payload;
+        lastUse_[victim] = ++clock_;
         return evicted;
     }
 
@@ -105,16 +126,16 @@ class SetAssocArray
     void
     invalidate(std::uint32_t set_index, Tag tag)
     {
-        if (Entry *e = findEntry(set_index, tag))
-            e->valid = false;
+        const std::size_t i = findEntry(set_index, tag);
+        if (i != kMiss)
+            valid_[i] = 0;
     }
 
     /** Invalidate everything (epoch change / shootdown). */
     void
     invalidateAll()
     {
-        for (auto &e : entries_)
-            e.valid = false;
+        std::fill(valid_.begin(), valid_.end(), std::uint8_t{0});
     }
 
     /** Visit every valid entry: cb(set, tag, payload). */
@@ -124,9 +145,9 @@ class SetAssocArray
     {
         for (std::uint32_t s = 0; s < sets_; ++s) {
             for (std::uint32_t w = 0; w < ways_; ++w) {
-                const Entry &e = entryAt(s, w);
-                if (e.valid)
-                    cb(s, e.tag, e.payload);
+                const std::size_t i = std::size_t{s} * ways_ + w;
+                if (valid_[i])
+                    cb(s, tags_[i], payloads_[i]);
             }
         }
     }
@@ -136,46 +157,38 @@ class SetAssocArray
     validCount() const
     {
         std::uint32_t n = 0;
-        for (const auto &e : entries_)
-            n += e.valid ? 1 : 0;
+        for (const std::uint8_t v : valid_)
+            n += v ? 1 : 0;
         return n;
     }
 
   private:
-    struct Entry
-    {
-        bool valid = false;
-        Tag tag{};
-        Payload payload{};
-        std::uint64_t lastUse = 0;
-    };
+    static constexpr std::size_t kMiss = ~std::size_t{0};
 
-    Entry &at(std::uint32_t s, std::uint32_t w)
-    {
-        return entries_[s * ways_ + w];
-    }
-
-    const Entry &entryAt(std::uint32_t s, std::uint32_t w) const
-    {
-        return entries_[s * ways_ + w];
-    }
-
-    Entry *
-    findEntry(std::uint32_t set_index, Tag tag)
+    std::size_t
+    findEntry(std::uint32_t set_index, Tag tag) const
     {
         upr_assert(set_index < sets_);
+        const std::size_t base = std::size_t{set_index} * ways_;
         for (std::uint32_t w = 0; w < ways_; ++w) {
-            Entry &e = at(set_index, w);
-            if (e.valid && e.tag == tag)
-                return &e;
+            const std::size_t i = base + w;
+            if (valid_[i] && tags_[i] == tag)
+                return i;
         }
-        return nullptr;
+        return kMiss;
     }
 
     std::uint32_t sets_;
     std::uint32_t ways_;
-    std::vector<Entry> entries_;
+    std::vector<std::uint8_t> valid_;
+    std::vector<Tag> tags_;
+    std::vector<Payload> payloads_;
+    std::vector<std::uint64_t> lastUse_;
     std::uint64_t clock_ = 0;
+    /** Entry index of the last lookup hit (kMiss = none yet). */
+    std::size_t mru_ = kMiss;
+    /** Set the MRU entry belongs to (guards against index reuse). */
+    std::uint32_t mruSet_ = 0;
 };
 
 } // namespace upr

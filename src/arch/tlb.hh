@@ -24,7 +24,9 @@ class Tlb
   public:
     Tlb(const std::string &name, std::uint32_t entries,
         std::uint32_t ways)
-        : sets_(entries / ways), array_(sets_, ways), stats_(name)
+        : sets_(entries / ways),
+          setMask_(isPow2(sets_) ? sets_ - 1 : 0),
+          array_(sets_, ways), stats_(name)
     {
         stats_.registerCounter("hits", hits_, "TLB hits");
         stats_.registerCounter("misses", misses_, "TLB misses");
@@ -36,9 +38,11 @@ class Tlb
     {
         const std::uint64_t vpn = va / Layout::kPageSize;
         // Modulo indexing with the full VPN as tag supports the
-        // non-power-of-two set counts real TLBs use (384-set STLB).
-        const std::uint32_t set =
-            static_cast<std::uint32_t>(vpn % sets_);
+        // non-power-of-two set counts real TLBs use (384-set STLB);
+        // power-of-two set counts (the L1 dTLB, probed every access)
+        // take the mask instead of a hardware divide.
+        const std::uint32_t set = static_cast<std::uint32_t>(
+            setMask_ ? (vpn & setMask_) : vpn % sets_);
         const std::uint64_t tag = vpn;
         if (array_.lookup(set, tag)) {
             ++hits_;
@@ -62,6 +66,8 @@ class Tlb
     struct Empty {};
 
     std::uint32_t sets_;
+    /** sets_ - 1 when sets_ is a power of two, else 0 (use modulo). */
+    std::uint32_t setMask_;
     SetAssocArray<std::uint64_t, Empty> array_;
     StatGroup stats_;
     Counter hits_;

@@ -5,33 +5,20 @@
 namespace upr
 {
 
-namespace
+namespace detail
 {
-thread_local Runtime *tCurrent = nullptr;
-} // namespace
+thread_local Runtime *tCurrentRuntime = nullptr;
+} // namespace detail
 
-Runtime &
-currentRuntime()
+RuntimeScope::RuntimeScope(Runtime &rt)
+    : previous_(detail::tCurrentRuntime)
 {
-    upr_assert_msg(tCurrent != nullptr,
-                   "no Runtime bound; create a RuntimeScope first");
-    return *tCurrent;
-}
-
-bool
-hasCurrentRuntime()
-{
-    return tCurrent != nullptr;
-}
-
-RuntimeScope::RuntimeScope(Runtime &rt) : previous_(tCurrent)
-{
-    tCurrent = &rt;
+    detail::tCurrentRuntime = &rt;
 }
 
 RuntimeScope::~RuntimeScope()
 {
-    tCurrent = previous_;
+    detail::tCurrentRuntime = previous_;
 }
 
 namespace detail

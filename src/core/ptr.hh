@@ -31,11 +31,27 @@
 namespace upr
 {
 
+namespace detail
+{
+/** The thread-bound runtime (one per simulation thread). */
+extern thread_local Runtime *tCurrentRuntime;
+} // namespace detail
+
 /** The thread-current runtime; panics if none is bound. */
-Runtime &currentRuntime();
+inline Runtime &
+currentRuntime()
+{
+    upr_assert_msg(detail::tCurrentRuntime != nullptr,
+                   "no Runtime bound; create a RuntimeScope first");
+    return *detail::tCurrentRuntime;
+}
 
 /** True if a runtime is currently bound on this thread. */
-bool hasCurrentRuntime();
+inline bool
+hasCurrentRuntime()
+{
+    return detail::tCurrentRuntime != nullptr;
+}
 
 /** RAII binder making one Runtime current for the enclosing scope. */
 class RuntimeScope

@@ -1,5 +1,7 @@
 #include "core/runtime.hh"
 
+#include <cstdio>
+
 namespace upr
 {
 
@@ -190,68 +192,8 @@ Runtime::swLookupBranches(std::uint64_t key, std::uint64_t site)
         machine_.branch(site + i, bit(key, 4 + 5 * i));
 }
 
-SimAddr
-Runtime::reuseLookup(PtrBits ra)
-{
-    if (config_.version != Version::Hw || !config_.hwConversionReuse)
-        return kNullAddr;
-    const std::size_t idx =
-        static_cast<std::size_t>((ra ^ (ra >> 16)) &
-                                 (reuse_.size() - 1));
-    const ReuseEntry &e = reuse_[idx];
-    if (e.valid && e.ra == ra && e.epoch == pools_.epoch()) {
-        ++reuseHits_;
-        return e.va;
-    }
-    return kNullAddr;
-}
 
-void
-Runtime::reuseFill(PtrBits ra, SimAddr va)
-{
-    if (config_.version != Version::Hw || !config_.hwConversionReuse)
-        return;
-    const std::size_t idx =
-        static_cast<std::size_t>((ra ^ (ra >> 16)) &
-                                 (reuse_.size() - 1));
-    reuse_[idx] = ReuseEntry{true, ra, va, pools_.epoch()};
-}
 
-SimAddr
-Runtime::ra2va(PtrBits p, std::uint64_t site)
-{
-    (void)site;
-    upr_assert_msg(PtrRepr::isRelative(p), "ra2va of non-relative bits");
-    const PoolId id = PtrRepr::poolOf(p);
-    const PoolOffset off = PtrRepr::offsetOf(p);
-    switch (config_.version) {
-      case Version::Volatile:
-        upr_panic("relative address under the Volatile version");
-      case Version::Sw:
-        ++relToAbs_;
-        machine_.tick(config_.machine.swConvertLatency);
-        swLookupBranches(off, site * 16 + 9);
-        return pools_.ra2va(id, off);
-      case Version::Hw: {
-        // Conversion results live on in registers/temporaries under
-        // user transparency (Fig 12): a reuse hit costs nothing and
-        // performs no translation.
-        if (const SimAddr va = reuseLookup(p); va != kNullAddr)
-            return va;
-        ++relToAbs_;
-        const SimAddr va = machine_.ra2vaHw(id, off);
-        reuseFill(p, va);
-        return va;
-      }
-      case Version::Explicit:
-        // The object-ID API cannot park conversions in normal
-        // pointers: every access translates anew.
-        ++relToAbs_;
-        machine_.tick(config_.machine.explicitApiLatency);
-        return machine_.ra2vaHw(id, off);
-    }
-    upr_panic("unreachable");
-}
 
 PtrBits
 Runtime::va2ra(SimAddr va, std::uint64_t site)
@@ -283,64 +225,7 @@ Runtime::va2ra(SimAddr va, std::uint64_t site)
 // Dereference path
 // ----------------------------------------------------------------------
 
-SimAddr
-Runtime::resolveForAccess(PtrBits p, std::uint64_t site)
-{
-    if (PtrRepr::isNull(p))
-        throw Fault(FaultKind::BadUsage, "dereference of null pointer");
 
-    switch (config_.version) {
-      case Version::Volatile:
-        return PtrRepr::toVa(p);
-
-      case Version::Sw: {
-        // determineY as a real branch, then software conversion.
-        const bool rel = swCheck(site, PtrRepr::isRelative(p));
-        if (rel)
-            return ra2va(p, site);
-        return PtrRepr::toVa(p);
-      }
-
-      case Version::Hw:
-        // The check is wired logic at effective-address generation
-        // (bit 63): no branch, no ALU cost; relative addresses pay
-        // the POLB lookup.
-        if (PtrRepr::isRelative(p))
-            return ra2va(p, site);
-        return PtrRepr::toVa(p);
-
-      case Version::Explicit:
-        // Object-ID API: translation at every persistent access.
-        if (PtrRepr::isRelative(p))
-            return ra2va(p, site);
-        return PtrRepr::toVa(p);
-    }
-    upr_panic("unreachable");
-}
-
-PtrBits
-Runtime::loadPtr(SimAddr loc_va)
-{
-    // Memory dependence on an in-flight storeP. The store queue can
-    // usually forward the (unconverted) operand early; when
-    // forwarding misses — the load straddles the store or arrives at
-    // the wrong LSQ moment — it waits for the storeP's translation.
-    // Forwarding coverage is modeled at 2 of 3 dependent loads.
-    if (!pendingStoreP_.empty()) {
-        const SimAddr line =
-            roundDown(loc_va, config_.machine.cacheLineBytes);
-        auto it = pendingStoreP_.find(line);
-        if (it != pendingStoreP_.end()) {
-            if (it->second > machine_.now() &&
-                ++depLoads_ % 3 == 0) {
-                machine_.tick(it->second - machine_.now());
-            }
-            pendingStoreP_.erase(it);
-        }
-    }
-    machine_.memAccess(loc_va, false, Machine::AccessKind::Load);
-    return space_.read<PtrBits>(loc_va);
-}
 
 void
 Runtime::storePtr(SimAddr loc_va, PtrBits value, std::uint64_t site)
@@ -429,9 +314,7 @@ Runtime::storePtr(SimAddr loc_va, PtrBits value, std::uint64_t site)
     if (rs_latency > 0) {
         const SimAddr line =
             roundDown(loc_va, config_.machine.cacheLineBytes);
-        pendingStoreP_[line] = machine_.now() + rs_latency;
-        if (pendingStoreP_.size() > 4096)
-            pendingStoreP_.clear(); // stale entries, long since done
+        pendingStoreP_.put(line, machine_.now() + rs_latency);
     }
     machine_.memAccess(loc_va, true, Machine::AccessKind::StoreP);
     space_.write<PtrBits>(loc_va, out);
@@ -501,25 +384,30 @@ Runtime::ptrLt(PtrBits a, PtrBits b, std::uint64_t site)
     return r;
 }
 
-bool
-Runtime::nullCheck(bool outcome, std::uint64_t site)
-{
-    machine_.branch(site, outcome);
-    return outcome;
-}
 
-bool
-Runtime::dataBranch(bool outcome, std::uint64_t site)
-{
-    machine_.branch(site, outcome);
-    return outcome;
-}
 
 PtrBits
 Runtime::ptrAddBytes(PtrBits p, std::int64_t delta, std::uint64_t site)
 {
     if (config_.version == Version::Sw)
         swCheck(site * 8 + 5, PtrRepr::isRelative(p));
+    if (PtrRepr::isRelative(p)) {
+        // Relative pointers carry a 32-bit offset; arithmetic that
+        // leaves [0, 2^32) cannot name anything in the pool. Raise a
+        // catchable fault rather than dying on the representation
+        // assert inside PtrRepr::addBytes.
+        const std::int64_t off =
+            static_cast<std::int64_t>(PtrRepr::offsetOf(p)) + delta;
+        if (off < 0 || off > 0xffffffffLL) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf),
+                          "pointer arithmetic wraps the 32-bit offset "
+                          "(offset %llu, delta %lld)",
+                          (unsigned long long)PtrRepr::offsetOf(p),
+                          (long long)delta);
+            throw Fault(FaultKind::OffsetOutOfPool, buf);
+        }
+    }
     machine_.tick(1);
     return PtrRepr::addBytes(p, delta);
 }

@@ -28,7 +28,6 @@
 #include <cstring>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "arch/machine.hh"
@@ -315,6 +314,133 @@ class Runtime
         std::uint64_t epoch = 0;
     };
 
+    /**
+     * Fixed-capacity open-addressing map from cache line to storeP
+     * completion cycle. Drop-in for the unordered_map it replaces on
+     * the loadPtr/storePtr hot path, with identical contents at every
+     * step: collisions probe instead of evicting, erasures leave
+     * tombstones, and the same "flush everything past 4096 live
+     * entries" policy applies — so dependent-load timing (depLoads_
+     * and the cycles it adds) is bit-exact with the old container.
+     */
+    class PendingStorePTable
+    {
+      public:
+        PendingStorePTable() : slots_(kCapacity) {}
+
+        bool empty() const { return live_ == 0; }
+
+        /** Insert or overwrite the completion cycle for @p line. */
+        void
+        put(SimAddr line, Cycles deadline)
+        {
+            std::size_t i = indexOf(line);
+            std::size_t at = kCapacity; // first tombstone on the path
+            for (;;) {
+                Slot &s = slots_[i];
+                if (s.state == kLive && s.line == line) {
+                    s.deadline = deadline;
+                    return;
+                }
+                if (s.state == kDead && at == kCapacity)
+                    at = i;
+                if (s.state == kEmpty) {
+                    if (at == kCapacity) {
+                        at = i;
+                        ++used_;
+                    }
+                    break;
+                }
+                i = (i + 1) & (kCapacity - 1);
+            }
+            slots_[at] = Slot{line, deadline, kLive};
+            ++live_;
+            if (live_ > kMaxLive) {
+                clear(); // stale entries, long since done
+                return;
+            }
+            if (used_ > kRebuild)
+                rebuild();
+        }
+
+        /** Remove @p line if present; its deadline goes to @p out. */
+        bool
+        take(SimAddr line, Cycles &out)
+        {
+            std::size_t i = indexOf(line);
+            for (;;) {
+                Slot &s = slots_[i];
+                if (s.state == kEmpty)
+                    return false;
+                if (s.state == kLive && s.line == line) {
+                    out = s.deadline;
+                    s.state = kDead;
+                    --live_;
+                    return true;
+                }
+                i = (i + 1) & (kCapacity - 1);
+            }
+        }
+
+        void
+        clear()
+        {
+            for (Slot &s : slots_)
+                s.state = kEmpty;
+            live_ = 0;
+            used_ = 0;
+        }
+
+      private:
+        static constexpr std::uint8_t kEmpty = 0;
+        static constexpr std::uint8_t kLive = 1;
+        static constexpr std::uint8_t kDead = 2;
+        /** Must stay a power of two (and above kRebuild + slack). */
+        static constexpr std::size_t kCapacity = 8192;
+        /** The flush threshold the unordered_map version used. */
+        static constexpr std::size_t kMaxLive = 4096;
+        /** Used (live + tombstone) slots before de-tombstoning. */
+        static constexpr std::size_t kRebuild = 6144;
+
+        struct Slot
+        {
+            SimAddr line = 0;
+            Cycles deadline = 0;
+            std::uint8_t state = kEmpty;
+        };
+
+        static std::size_t
+        indexOf(SimAddr line)
+        {
+            static_assert(kCapacity == std::size_t{1} << 13);
+            return (line * 0x9E3779B97F4A7C15ULL) >> (64 - 13);
+        }
+
+        /** Reinsert live entries to shed accumulated tombstones. */
+        void
+        rebuild()
+        {
+            std::vector<Slot> old(kCapacity);
+            old.swap(slots_);
+            live_ = 0;
+            used_ = 0;
+            for (const Slot &s : old) {
+                if (s.state != kLive)
+                    continue;
+                std::size_t i = indexOf(s.line);
+                while (slots_[i].state != kEmpty)
+                    i = (i + 1) & (kCapacity - 1);
+                slots_[i] = s;
+                ++live_;
+                ++used_;
+            }
+        }
+
+        std::vector<Slot> slots_;
+        std::size_t live_ = 0;
+        std::size_t used_ = 0;
+    };
+
     Config config_;
     AddressSpace space_;
     VolatileHeap heap_;
@@ -329,7 +455,7 @@ class Runtime
      * buffer must wait for it — the memory-dependence path through
      * which VALB latency becomes visible (Fig 14 sensitivity).
      */
-    std::unordered_map<SimAddr, Cycles> pendingStoreP_;
+    PendingStorePTable pendingStoreP_;
     /** Dependent-load round-robin state for forwarding coverage. */
     std::uint64_t depLoads_ = 0;
 
@@ -349,6 +475,146 @@ class Runtime
     Counter storePOps_;
     Counter reuseHits_;
 };
+
+// ----------------------------------------------------------------------
+// Hot-path inline definitions. These sit under every simulated pointer
+// operation (millions of calls per benchmark cell); defining them here
+// lets callers in other translation units inline them without LTO.
+// ----------------------------------------------------------------------
+
+inline bool
+Runtime::nullCheck(bool outcome, std::uint64_t site)
+{
+    machine_.branch(site, outcome);
+    return outcome;
+}
+
+inline bool
+Runtime::dataBranch(bool outcome, std::uint64_t site)
+{
+    machine_.branch(site, outcome);
+    return outcome;
+}
+
+inline SimAddr
+Runtime::reuseLookup(PtrBits ra)
+{
+    if (config_.version != Version::Hw || !config_.hwConversionReuse)
+        return kNullAddr;
+    const std::size_t idx =
+        static_cast<std::size_t>((ra ^ (ra >> 16)) &
+                                 (reuse_.size() - 1));
+    const ReuseEntry &e = reuse_[idx];
+    if (e.valid && e.ra == ra && e.epoch == pools_.epoch()) {
+        ++reuseHits_;
+        return e.va;
+    }
+    return kNullAddr;
+}
+
+inline void
+Runtime::reuseFill(PtrBits ra, SimAddr va)
+{
+    if (config_.version != Version::Hw || !config_.hwConversionReuse)
+        return;
+    const std::size_t idx =
+        static_cast<std::size_t>((ra ^ (ra >> 16)) &
+                                 (reuse_.size() - 1));
+    reuse_[idx] = ReuseEntry{true, ra, va, pools_.epoch()};
+}
+
+inline SimAddr
+Runtime::ra2va(PtrBits p, std::uint64_t site)
+{
+    (void)site;
+    upr_assert_msg(PtrRepr::isRelative(p), "ra2va of non-relative bits");
+    const PoolId id = PtrRepr::poolOf(p);
+    const PoolOffset off = PtrRepr::offsetOf(p);
+    switch (config_.version) {
+      case Version::Volatile:
+        upr_panic("relative address under the Volatile version");
+      case Version::Sw:
+        ++relToAbs_;
+        machine_.tick(config_.machine.swConvertLatency);
+        swLookupBranches(off, site * 16 + 9);
+        return pools_.ra2va(id, off);
+      case Version::Hw: {
+        // Conversion results live on in registers/temporaries under
+        // user transparency (Fig 12): a reuse hit costs nothing and
+        // performs no translation.
+        if (const SimAddr va = reuseLookup(p); va != kNullAddr)
+            return va;
+        ++relToAbs_;
+        const SimAddr va = machine_.ra2vaHw(id, off);
+        reuseFill(p, va);
+        return va;
+      }
+      case Version::Explicit:
+        // The object-ID API cannot park conversions in normal
+        // pointers: every access translates anew.
+        ++relToAbs_;
+        machine_.tick(config_.machine.explicitApiLatency);
+        return machine_.ra2vaHw(id, off);
+    }
+    upr_panic("unreachable");
+}
+
+inline SimAddr
+Runtime::resolveForAccess(PtrBits p, std::uint64_t site)
+{
+    if (PtrRepr::isNull(p))
+        throw Fault(FaultKind::BadUsage, "dereference of null pointer");
+
+    switch (config_.version) {
+      case Version::Volatile:
+        return PtrRepr::toVa(p);
+
+      case Version::Sw: {
+        // determineY as a real branch, then software conversion.
+        const bool rel = swCheck(site, PtrRepr::isRelative(p));
+        if (rel)
+            return ra2va(p, site);
+        return PtrRepr::toVa(p);
+      }
+
+      case Version::Hw:
+        // The check is wired logic at effective-address generation
+        // (bit 63): no branch, no ALU cost; relative addresses pay
+        // the POLB lookup.
+        if (PtrRepr::isRelative(p))
+            return ra2va(p, site);
+        return PtrRepr::toVa(p);
+
+      case Version::Explicit:
+        // Object-ID API: translation at every persistent access.
+        if (PtrRepr::isRelative(p))
+            return ra2va(p, site);
+        return PtrRepr::toVa(p);
+    }
+    upr_panic("unreachable");
+}
+
+inline PtrBits
+Runtime::loadPtr(SimAddr loc_va)
+{
+    // Memory dependence on an in-flight storeP. The store queue can
+    // usually forward the (unconverted) operand early; when
+    // forwarding misses — the load straddles the store or arrives at
+    // the wrong LSQ moment — it waits for the storeP's translation.
+    // Forwarding coverage is modeled at 2 of 3 dependent loads.
+    if (!pendingStoreP_.empty()) {
+        const SimAddr line =
+            roundDown(loc_va, config_.machine.cacheLineBytes);
+        Cycles ready = 0;
+        if (pendingStoreP_.take(line, ready)) {
+            if (ready > machine_.now() && ++depLoads_ % 3 == 0) {
+                machine_.tick(ready - machine_.now());
+            }
+        }
+    }
+    machine_.memAccess(loc_va, false, Machine::AccessKind::Load);
+    return space_.read<PtrBits>(loc_va);
+}
 
 } // namespace upr
 

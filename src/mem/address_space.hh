@@ -16,10 +16,11 @@
 #ifndef UPR_MEM_ADDRESS_SPACE_HH
 #define UPR_MEM_ADDRESS_SPACE_HH
 
+#include <algorithm>
 #include <cstdio>
-#include <map>
 #include <string>
 #include <type_traits>
+#include <vector>
 
 #include "common/bits.hh"
 #include "common/fault.hh"
@@ -50,6 +51,13 @@ struct Layout
 /**
  * Sparse simulated address space: an ordered set of non-overlapping
  * mapped regions, each backed by (a slice of) a Backing.
+ *
+ * Lookup sits under every simulated load and store, so regions live in
+ * a base-sorted flat vector (binary search) fronted by an MRU
+ * last-region cache: almost all accesses hit the same region as their
+ * predecessor (the heap, or the one attached pool), making the common
+ * case a single bounds compare. Mappings change rarely (pool
+ * attach/detach, heap growth), so O(n) insert/erase is irrelevant.
  */
 class AddressSpace
 {
@@ -79,20 +87,23 @@ class AddressSpace
             throw Fault(FaultKind::BadUsage,
                         "mapping '" + name + "' overlaps existing region");
         }
-        regions_.emplace(base, Region{base, size, &backing, backing_off,
-                                      std::move(name)});
+        regions_.insert(lowerBound(base),
+                        Region{base, size, &backing, backing_off,
+                               std::move(name)});
+        mru_ = kNoMru; // insertion shifts indices
     }
 
     /** Remove the mapping that starts exactly at @p base. */
     void
     unmap(SimAddr base)
     {
-        auto it = regions_.find(base);
-        if (it == regions_.end()) {
+        auto it = lowerBound(base);
+        if (it == regions_.end() || it->base != base) {
             throw Fault(FaultKind::BadUsage,
                         "unmap of address with no region");
         }
         regions_.erase(it);
+        mru_ = kNoMru; // erasure shifts indices
     }
 
     /** True if [addr, addr+size) is fully inside one mapped region. */
@@ -160,16 +171,44 @@ class AddressSpace
         std::string name;
     };
 
+    static constexpr std::size_t kNoMru = ~std::size_t{0};
+
+    /** First region with base >= @p addr. */
+    std::vector<Region>::iterator
+    lowerBound(SimAddr addr)
+    {
+        return std::lower_bound(
+            regions_.begin(), regions_.end(), addr,
+            [](const Region &r, SimAddr a) { return r.base < a; });
+    }
+
     /** Region containing @p addr, or nullptr. */
     const Region *
     find(SimAddr addr) const
     {
-        auto it = regions_.upper_bound(addr);
-        if (it == regions_.begin())
+        // MRU fast path: consecutive accesses overwhelmingly land in
+        // the same region.
+        if (mru_ < regions_.size()) {
+            const Region &m = regions_[mru_];
+            if (addr - m.base < m.size)
+                return &m;
+        }
+        // Binary search for the last region with base <= addr.
+        std::size_t lo = 0, hi = regions_.size();
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            if (regions_[mid].base <= addr)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        if (lo == 0)
             return nullptr;
-        --it;
-        const Region &r = it->second;
-        return addr < r.base + r.size ? &r : nullptr;
+        const Region &r = regions_[lo - 1];
+        if (addr - r.base >= r.size)
+            return nullptr;
+        mru_ = lo - 1;
+        return &r;
     }
 
     /** Region fully containing [addr, addr+n), or throw. */
@@ -191,19 +230,21 @@ class AddressSpace
     bool
     overlapsMapped(SimAddr base, Bytes size) const
     {
-        auto it = regions_.lower_bound(base);
-        if (it != regions_.end() && it->second.base < base + size)
+        auto it = const_cast<AddressSpace *>(this)->lowerBound(base);
+        if (it != regions_.end() && it->base < base + size)
             return true;
         if (it != regions_.begin()) {
-            --it;
-            const Region &r = it->second;
+            const Region &r = *std::prev(it);
             if (base < r.base + r.size)
                 return true;
         }
         return false;
     }
 
-    std::map<SimAddr, Region> regions_;
+    /** Base-sorted, non-overlapping mapped regions. */
+    std::vector<Region> regions_;
+    /** Index of the last region a lookup resolved to (kNoMru = none). */
+    mutable std::size_t mru_ = kNoMru;
 };
 
 } // namespace upr

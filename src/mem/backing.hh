@@ -41,10 +41,17 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define UPR_BYTESTORE_MMAP 1
+#endif
 
 #include "common/fault.hh"
 #include "common/logging.hh"
@@ -52,6 +59,142 @@
 
 namespace upr
 {
+
+/**
+ * Zero-on-demand byte buffer backing the simulated "physical" storage.
+ *
+ * Pools are created at their full size (hundreds of MB) but benchmarks
+ * touch only a sliver of them; an eagerly zeroed std::vector pays a
+ * full memset plus page faults per pool. ByteStore instead maps
+ * anonymous pages, so untouched bytes are shared zero pages that cost
+ * nothing until first write — identical observable content (reads of
+ * never-written bytes return 0, exactly like the zeroed vector), much
+ * cheaper construction. Falls back to a heap allocation when mmap is
+ * unavailable.
+ */
+class ByteStore
+{
+  public:
+    ByteStore() = default;
+
+    explicit ByteStore(Bytes size) { allocate(size); }
+
+    ByteStore(const ByteStore &other)
+    {
+        allocate(other.size_);
+        if (size_ > 0)
+            std::memcpy(data_, other.data_, size_);
+    }
+
+    ByteStore &
+    operator=(const ByteStore &other)
+    {
+        if (this != &other) {
+            ByteStore copy(other);
+            swap(copy);
+        }
+        return *this;
+    }
+
+    ByteStore(ByteStore &&other) noexcept { swap(other); }
+
+    ByteStore &
+    operator=(ByteStore &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            swap(other);
+        }
+        return *this;
+    }
+
+    ~ByteStore() { release(); }
+
+    std::uint8_t *data() { return data_; }
+    const std::uint8_t *data() const { return data_; }
+    Bytes size() const { return size_; }
+
+    std::uint8_t &operator[](Bytes i) { return data_[i]; }
+    const std::uint8_t &operator[](Bytes i) const { return data_[i]; }
+
+    /** Grow to @p new_size, preserving content, zero-filling the tail. */
+    void
+    resize(Bytes new_size)
+    {
+        if (new_size <= size_) {
+            size_ = new_size;
+            return;
+        }
+        ByteStore grown(new_size);
+        if (size_ > 0)
+            std::memcpy(grown.data_, data_, size_);
+        swap(grown);
+    }
+
+    /** Copy out as a plain vector (serialization, crash images). */
+    std::vector<std::uint8_t>
+    toVector() const
+    {
+        return std::vector<std::uint8_t>(data_, data_ + size_);
+    }
+
+    void
+    swap(ByteStore &other) noexcept
+    {
+        std::swap(data_, other.data_);
+        std::swap(size_, other.size_);
+        std::swap(mapBytes_, other.mapBytes_);
+    }
+
+  private:
+    void
+    allocate(Bytes size)
+    {
+        size_ = size;
+        if (size == 0) {
+            data_ = nullptr;
+            mapBytes_ = 0;
+            return;
+        }
+#ifdef UPR_BYTESTORE_MMAP
+        mapBytes_ = size;
+        void *p = ::mmap(nullptr, mapBytes_, PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+        if (p == MAP_FAILED) {
+            throw Fault(FaultKind::BadUsage,
+                        "cannot map backing storage");
+        }
+        data_ = static_cast<std::uint8_t *>(p);
+#else
+        mapBytes_ = 0;
+        data_ = static_cast<std::uint8_t *>(std::calloc(size, 1));
+        if (!data_) {
+            throw Fault(FaultKind::BadUsage,
+                        "cannot allocate backing storage");
+        }
+#endif
+    }
+
+    void
+    release() noexcept
+    {
+        if (!data_)
+            return;
+#ifdef UPR_BYTESTORE_MMAP
+        ::munmap(data_, mapBytes_);
+#else
+        std::free(data_);
+#endif
+        data_ = nullptr;
+        size_ = 0;
+        mapBytes_ = 0;
+    }
+
+    std::uint8_t *data_ = nullptr;
+    Bytes size_ = 0;
+    /** Bytes actually mapped (may exceed size_ after a shrink). */
+    Bytes mapBytes_ = 0;
+};
 
 /** What a crash leaves of the unfenced lines. */
 enum class CrashMode
@@ -81,7 +224,7 @@ class Backing
     static constexpr Bytes kLineBytes = 64;
 
     /** Create a backing of @p size zeroed bytes. */
-    explicit Backing(Bytes size = 0) : bytes_(size, 0) {}
+    explicit Backing(Bytes size = 0) : bytes_(size) {}
 
     /** Size in bytes. */
     Bytes size() const { return bytes_.size(); }
@@ -91,7 +234,7 @@ class Backing
     grow(Bytes new_size)
     {
         if (new_size > bytes_.size()) {
-            bytes_.resize(new_size, 0);
+            bytes_.resize(new_size);
             if (domainEnabled_)
                 durable_.resize(new_size, 0);
         }
@@ -159,7 +302,7 @@ class Backing
         if (domainEnabled_)
             return;
         domainEnabled_ = true;
-        durable_ = bytes_;
+        durable_ = bytes_.toVector();
         pending_.clear();
     }
 
@@ -222,7 +365,7 @@ class Backing
     crashImage(CrashMode mode, std::uint64_t seed = 0) const
     {
         if (!domainEnabled_)
-            return bytes_;
+            return bytes_.toVector();
         std::vector<std::uint8_t> image = durable_;
         if (mode == CrashMode::RetainRandom) {
             // splitmix64 over (seed, line): deterministic, and
@@ -245,13 +388,26 @@ class Backing
     std::size_t pendingLines() const { return pending_.size(); }
 
     /** Raw byte access for serialization (pool images). */
-    const std::vector<std::uint8_t> &raw() const { return bytes_; }
+    const ByteStore &raw() const { return bytes_; }
 
     /** Replace the whole content (pool image load); resets the domain. */
     void
     assign(std::vector<std::uint8_t> content)
     {
-        bytes_ = std::move(content);
+        ByteStore fresh(content.size());
+        if (!content.empty())
+            std::memcpy(fresh.data(), content.data(), content.size());
+        bytes_ = std::move(fresh);
+        domainEnabled_ = false;
+        durable_.clear();
+        pending_.clear();
+    }
+
+    /** Replace the whole content from another raw store. */
+    void
+    assign(const ByteStore &content)
+    {
+        bytes_ = content;
         domainEnabled_ = false;
         durable_.clear();
         pending_.clear();
@@ -305,7 +461,7 @@ class Backing
         std::memcpy(dst.data() + off, bytes_.data() + off, n);
     }
 
-    std::vector<std::uint8_t> bytes_;
+    ByteStore bytes_;
     std::function<void(Bytes, Bytes)> writeObserver_;
     std::function<void(PersistEvent, Bytes, Bytes)> persistObserver_;
 

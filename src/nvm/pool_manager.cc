@@ -1,5 +1,6 @@
 #include "nvm/pool_manager.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -16,6 +17,13 @@ namespace
 constexpr Bytes kAttachAlign = 64 * 1024;
 /** First usable address in the NVM half (guard page below). */
 constexpr SimAddr kNvmFirst = Layout::kNvmBase + kAttachAlign;
+/**
+ * Direct-index ceiling of the flat pool table. IDs assigned by this
+ * manager are small and dense, but adopted images carry arbitrary
+ * 32-bit IDs; those beyond the ceiling take the map-based slow path
+ * instead of forcing a multi-gigabyte table.
+ */
+constexpr std::size_t kMaxDirectSlots = 1u << 16;
 } // namespace
 
 PoolManager::PoolManager(AddressSpace &space, Placement placement,
@@ -29,6 +37,50 @@ PoolManager::PoolManager(AddressSpace &space, Placement placement,
                            "software relative-to-virtual translations");
     stats_.registerCounter("va2ra", va2raCalls_,
                            "software virtual-to-relative translations");
+}
+
+PoolManager::PoolSlot &
+PoolManager::slotFor(PoolId id)
+{
+    static PoolSlot overflow; // shared dummy for out-of-range IDs
+    if (id >= kMaxDirectSlots) {
+        overflow = PoolSlot{};
+        return overflow;
+    }
+    if (id >= slots_.size())
+        slots_.resize(id + 1);
+    return slots_[id];
+}
+
+void
+PoolManager::refreshSlot(PoolId id)
+{
+    if (id >= kMaxDirectSlots)
+        return;
+    PoolSlot &slot = slotFor(id);
+    auto it = pools_.find(id);
+    if (it == pools_.end()) {
+        // Destroyed: keep the generation stamp so stale translations
+        // remain detectably stale, drop everything else.
+        slot.exists = false;
+        slot.attached = false;
+        slot.base = 0;
+        slot.size = 0;
+        return;
+    }
+    const Entry &entry = it->second;
+    slot.exists = true;
+    slot.attached = entry.attached;
+    slot.base = entry.base;
+    slot.size = entry.pool->size();
+}
+
+std::uint32_t
+PoolManager::generationOf(PoolId id) const
+{
+    if (id < slots_.size())
+        return slots_[id].generation;
+    return 0;
 }
 
 SimAddr
@@ -95,7 +147,16 @@ PoolManager::attach(PoolId id)
     space_.map(base, size, entry.pool->backing(), 0, label);
     entry.attached = true;
     entry.base = base;
-    ranges_.emplace(base, AttachedRange{base, size, id});
+    const AttachedRange range{base, size, id};
+    ranges_.insert(std::lower_bound(
+                       ranges_.begin(), ranges_.end(), base,
+                       [](const AttachedRange &r, SimAddr b) {
+                           return r.base < b;
+                       }),
+                   range);
+    rangeMru_ = 0; // indices shifted
+    ++slotFor(id).generation;
+    refreshSlot(id);
     ++attaches_;
     ++epoch_;
 }
@@ -113,9 +174,15 @@ PoolManager::detach(PoolId id)
         throw Fault(FaultKind::BadUsage, "pool is not attached");
     }
     space_.unmap(entry.base);
-    ranges_.erase(entry.base);
+    const SimAddr base = entry.base;
+    ranges_.erase(std::lower_bound(
+        ranges_.begin(), ranges_.end(), base,
+        [](const AttachedRange &r, SimAddr b) { return r.base < b; }));
+    rangeMru_ = 0; // indices shifted
     entry.attached = false;
     entry.base = 0;
+    ++slotFor(id).generation;
+    refreshSlot(id);
     ++detaches_;
     ++epoch_;
 }
@@ -132,6 +199,7 @@ PoolManager::destroy(PoolId id)
         detach(id);
     byName_.erase(it->second.pool->name());
     pools_.erase(it);
+    refreshSlot(id);
 }
 
 bool
@@ -178,6 +246,14 @@ SimAddr
 PoolManager::ra2va(PoolId id, PoolOffset off) const
 {
     ++ra2vaCalls_;
+    // Fast path: one flat-table row carries every check ra2va needs.
+    if (id < slots_.size()) {
+        const PoolSlot &slot = slots_[id];
+        if (slot.attached && off < slot.size)
+            return slot.base + off;
+    }
+    // Slow path: distinguish the fault cases (or serve an ID beyond
+    // the direct-index ceiling).
     auto it = pools_.find(id);
     if (it == pools_.end()) {
         char buf[48];
@@ -200,11 +276,26 @@ std::pair<PoolId, PoolOffset>
 PoolManager::va2ra(SimAddr va) const
 {
     ++va2raCalls_;
-    auto it = ranges_.upper_bound(va);
-    if (it != ranges_.begin()) {
-        --it;
-        const AttachedRange &r = it->second;
-        if (va >= r.base && va < r.base + r.size) {
+    // MRU fast path: repeated translations overwhelmingly target the
+    // same attached range.
+    if (rangeMru_ < ranges_.size()) {
+        const AttachedRange &m = ranges_[rangeMru_];
+        if (va - m.base < m.size)
+            return {m.id, static_cast<PoolOffset>(va - m.base)};
+    }
+    // Binary search for the last range with base <= va.
+    std::size_t lo = 0, hi = ranges_.size();
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (ranges_[mid].base <= va)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo > 0) {
+        const AttachedRange &r = ranges_[lo - 1];
+        if (va - r.base < r.size) {
+            rangeMru_ = lo - 1;
             return {r.id, static_cast<PoolOffset>(va - r.base)};
         }
     }
@@ -239,11 +330,7 @@ PoolManager::pfree(SimAddr va)
 std::vector<AttachedRange>
 PoolManager::attachedRanges() const
 {
-    std::vector<AttachedRange> out;
-    out.reserve(ranges_.size());
-    for (const auto &kv : ranges_)
-        out.push_back(kv.second);
-    return out;
+    return ranges_;
 }
 
 void

@@ -123,6 +123,13 @@ class PoolManager
      */
     std::uint64_t epoch() const { return epoch_; }
 
+    /**
+     * Per-pool attach generation: bumped every time pool @p id
+     * attaches or detaches (0 for a pool never seen). Lets tests and
+     * tools detect that a translation was cached across a relocation.
+     */
+    std::uint32_t generationOf(PoolId id) const;
+
     /** Serialize a pool's image to a host file. */
     void saveImage(PoolId id, const std::string &path) const;
 
@@ -162,6 +169,30 @@ class PoolManager
         SimAddr base = 0;
     };
 
+    /**
+     * One row of the flat translation table indexed directly by
+     * PoolId — the software analogue of the kernel's POTB. ra2va is
+     * the hottest call in the whole simulator (it sits under every
+     * SW-version pointer check and every POLB walk), so the row
+     * carries everything the fast path needs: no map node chase, no
+     * Pool::header() re-read for the size.
+     */
+    struct PoolSlot
+    {
+        SimAddr base = 0;
+        Bytes size = 0;
+        /** Bumped on every attach and detach of this ID. */
+        std::uint32_t generation = 0;
+        bool exists = false;
+        bool attached = false;
+    };
+
+    /** Slot for @p id, growing the table as needed. */
+    PoolSlot &slotFor(PoolId id);
+
+    /** Keep the slot table in sync after a state change. */
+    void refreshSlot(PoolId id);
+
     AddressSpace &space_;
     Placement placement_;
     Rng rng_;
@@ -171,8 +202,13 @@ class PoolManager
 
     std::map<PoolId, Entry> pools_;
     std::map<std::string, PoolId> byName_;
-    /** Attached ranges ordered by base VA for va2ra lookups. */
-    std::map<SimAddr, AttachedRange> ranges_;
+
+    /** Flat pool table: slots_[id] (direct index, generation-stamped). */
+    std::vector<PoolSlot> slots_;
+    /** Attached ranges sorted by base VA for va2ra binary search. */
+    std::vector<AttachedRange> ranges_;
+    /** Index into ranges_ of the last va2ra hit (MRU cache). */
+    mutable std::size_t rangeMru_ = 0;
 
     StatGroup stats_;
     Counter attaches_;

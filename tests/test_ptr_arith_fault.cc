@@ -1,0 +1,99 @@
+/** @file
+ * Regression tests for pointer arithmetic that would wrap a relative
+ * pointer's 32-bit offset field. ptrAddBytes must raise a catchable
+ * Fault(OffsetOutOfPool) -- not hit the representation assert inside
+ * PtrRepr::addBytes -- and must leave absolute pointers alone, since
+ * their arithmetic is full 64-bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ptr.hh"
+
+using namespace upr;
+
+namespace
+{
+
+class PtrArithFault : public ::testing::TestWithParam<Version>
+{
+  protected:
+    PtrArithFault() : rt(makeConfig()), scope(rt) {}
+
+    Runtime::Config
+    makeConfig()
+    {
+        Runtime::Config cfg;
+        cfg.version = GetParam();
+        cfg.seed = 31;
+        return cfg;
+    }
+
+    Runtime rt;
+    RuntimeScope scope;
+};
+
+TEST_P(PtrArithFault, PositiveOverflowThrowsTypedFault)
+{
+    const PtrBits p = PtrRepr::makeRelative(PoolId{3}, 0xfffffff0u);
+    try {
+        rt.ptrAddBytes(p, 0x20, /*site=*/1);
+        FAIL() << "expected Fault";
+    } catch (const Fault &f) {
+        EXPECT_EQ(f.kind(), FaultKind::OffsetOutOfPool);
+        EXPECT_NE(std::string(f.what()).find("wraps"),
+                  std::string::npos);
+    }
+}
+
+TEST_P(PtrArithFault, NegativeUnderflowThrowsTypedFault)
+{
+    const PtrBits p = PtrRepr::makeRelative(PoolId{3}, 8);
+    try {
+        rt.ptrAddBytes(p, -16, /*site=*/2);
+        FAIL() << "expected Fault";
+    } catch (const Fault &f) {
+        EXPECT_EQ(f.kind(), FaultKind::OffsetOutOfPool);
+    }
+}
+
+TEST_P(PtrArithFault, LargeDeltaOverflowThrowsTypedFault)
+{
+    // Deltas far beyond 2^32 must not wrap back into range via the
+    // 64-bit intermediate.
+    const PtrBits p = PtrRepr::makeRelative(PoolId{1}, 0);
+    EXPECT_THROW(rt.ptrAddBytes(p, std::int64_t{1} << 40, 3), Fault);
+    EXPECT_THROW(rt.ptrAddBytes(p, -(std::int64_t{1} << 40), 4), Fault);
+}
+
+TEST_P(PtrArithFault, BoundaryOffsetsStayLegal)
+{
+    // [0, 2^32) is the representable range; both endpoints reachable.
+    const PtrBits lo = PtrRepr::makeRelative(PoolId{5}, 0);
+    const PtrBits hi = rt.ptrAddBytes(lo, 0xffffffffLL, 5);
+    EXPECT_TRUE(PtrRepr::isRelative(hi));
+    EXPECT_EQ(PtrRepr::poolOf(hi), PoolId{5});
+    EXPECT_EQ(PtrRepr::offsetOf(hi), 0xffffffffu);
+
+    const PtrBits back = rt.ptrAddBytes(hi, -0xffffffffLL, 6);
+    EXPECT_EQ(PtrRepr::offsetOf(back), 0u);
+}
+
+TEST_P(PtrArithFault, AbsolutePointersUseFull64BitArithmetic)
+{
+    // An absolute VA crossing a 32-bit boundary is fine.
+    const PtrBits p = 0xfffffff0ULL;
+    const PtrBits q = rt.ptrAddBytes(p, 0x20, 7);
+    EXPECT_EQ(q, 0x100000010ULL);
+    EXPECT_FALSE(PtrRepr::isRelative(q));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVersions, PtrArithFault,
+                         ::testing::Values(Version::Volatile,
+                                           Version::Sw, Version::Hw,
+                                           Version::Explicit),
+                         [](const auto &info) {
+                             return versionName(info.param);
+                         });
+
+} // namespace

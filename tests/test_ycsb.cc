@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <set>
 
@@ -156,4 +157,93 @@ TEST(Ycsb, UniformDistributionIsFlat)
     }
     // Uniform: each half of the live key space gets ~50% of reads.
     EXPECT_NEAR(static_cast<double>(old_half) / total, 0.5, 0.05);
+}
+
+TEST(Zipfian, HeadMassMatchesTheta099Analytic)
+{
+    // The sampler implements YCSB's zipfian with theta = 0.99: rank r
+    // is drawn with probability (1/(r+1)^theta) / zeta(n, theta).
+    // Check the empirical head mass against that closed form.
+    const std::uint64_t n = 1000;
+    double zetan = 0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+        zetan += 1.0 / std::pow(static_cast<double>(i),
+                                ZipfianGenerator::kTheta);
+
+    ZipfianGenerator z(n);
+    Rng rng(17);
+    const int draws = 200000;
+    std::uint64_t head1 = 0, head10 = 0;
+    for (int i = 0; i < draws; ++i) {
+        const std::uint64_t s = z.sample(rng);
+        head1 += s == 0 ? 1 : 0;
+        head10 += s < 10 ? 1 : 0;
+    }
+
+    const double p1 = 1.0 / zetan;
+    double p10 = 0;
+    for (std::uint64_t i = 1; i <= 10; ++i)
+        p10 += 1.0 / std::pow(static_cast<double>(i),
+                              ZipfianGenerator::kTheta) / zetan;
+
+    EXPECT_NEAR(static_cast<double>(head1) / draws, p1, 0.15 * p1);
+    EXPECT_NEAR(static_cast<double>(head10) / draws, p10, 0.10 * p10);
+}
+
+TEST(Zipfian, DeterministicFromSeed)
+{
+    ZipfianGenerator a(5000), b(5000);
+    Rng ra(99), rb(99);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_EQ(a.sample(ra), b.sample(rb)) << "draw " << i;
+
+    // A different seed must produce a different stream (with
+    // overwhelming probability over 10k draws).
+    ZipfianGenerator c(5000);
+    Rng rc(100);
+    Rng ra2(99);
+    ZipfianGenerator a2(5000);
+    int diffs = 0;
+    for (int i = 0; i < 10000; ++i)
+        diffs += a2.sample(ra2) != c.sample(rc) ? 1 : 0;
+    EXPECT_GT(diffs, 0);
+}
+
+TEST(Ycsb, LatestReadsFollowRunPhaseInserts)
+{
+    // Under Latest, the hot set must slide forward as the run phase
+    // inserts new records: keys born *during* the run get read, and
+    // the very newest records stay disproportionately hot throughout.
+    WorkloadSpec spec;
+    spec.distribution = Distribution::Latest;
+    spec.recordCount = 2000;
+    spec.operationCount = 40000;
+    spec.readProportion = 0.9;
+    YcsbWorkload w(spec);
+
+    std::map<std::uint64_t, std::uint64_t> key_index;
+    std::uint64_t next = 0;
+    for (const KvOp &op : w.loadOps())
+        key_index[op.key] = next++;
+    const std::uint64_t load_end = next;
+
+    std::uint64_t run_born_reads = 0, newest16 = 0, reads = 0;
+    for (const KvOp &op : w.runOps()) {
+        if (op.kind == KvOp::Kind::Set) {
+            key_index[op.key] = next++;
+            continue;
+        }
+        const std::uint64_t idx = key_index[op.key];
+        run_born_reads += idx >= load_end ? 1 : 0;
+        newest16 += next - 1 - idx < 16 ? 1 : 0;
+        ++reads;
+    }
+
+    // ~10% of 40k ops insert ~4000 new records on top of 2000 loaded;
+    // by the end two thirds of the key space was born in the run
+    // phase, and Latest concentrates mass there.
+    EXPECT_GT(run_born_reads, reads / 4);
+    // The 16 newest records are a vanishing fraction of the key space
+    // but must draw far more than their uniform share of reads.
+    EXPECT_GT(static_cast<double>(newest16) / reads, 0.05);
 }
