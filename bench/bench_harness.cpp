@@ -36,6 +36,11 @@
 
 #include "bench_common.hh"
 #include "bench_json.hh"
+#include "compiler/analysis/abstract_interp.hh"
+#include "compiler/analysis/elision.hh"
+#include "compiler/demo_programs.hh"
+#include "compiler/interpreter.hh"
+#include "compiler/ir_parser.hh"
 #include "core/ptr.hh"
 
 #ifndef UPR_GIT_REV
@@ -499,6 +504,103 @@ runMicro(const std::string &out_dir, unsigned jobs)
     return ok;
 }
 
+// ----------------------------------------------------------------------
+// Static-analysis section: the Fig 9 program interpreted under three
+// check plans — fully dynamic, inference-pruned, and elision-pruned —
+// with the plan statistics and elided-check counts alongside the
+// simulated counters. Serial and in-process: the IR interpreter is
+// deterministic on a fresh Runtime, and the three runs take
+// milliseconds.
+// ----------------------------------------------------------------------
+
+struct StaticCell
+{
+    const char *variant;
+    CheckPlan plan;
+    std::uint64_t elided = 0;
+};
+
+bool
+runStatic(const std::string &out_dir)
+{
+    using namespace upr::ir;
+    const std::uint64_t kNodes = 200;
+
+    Module mod = parseModule(kFig9Source);
+    const InferenceResult inf = inferPointerKinds(mod, true);
+    FlowAnalysis flow(mod, inf);
+
+    std::vector<StaticCell> cells;
+    cells.push_back({"sw-dynamic", insertChecks(mod, nullptr), 0});
+    cells.push_back({"sw-inferred", insertChecks(mod, &inf), 0});
+    {
+        StaticCell c{"sw-elided", insertChecks(mod, &inf), 0};
+        c.elided = elideChecks(mod, flow, c.plan).elidedSites;
+        cells.push_back(std::move(c));
+    }
+
+    const auto start = SteadyClock::now();
+    JsonWriter json;
+    json.beginObject();
+    emitHeader(json, 1);
+    json.key("cells").beginArray();
+
+    bool ok = true;
+    std::uint64_t checksum = 0;
+    bool have_checksum = false;
+    for (const StaticCell &cell : cells) {
+        const auto t0 = SteadyClock::now();
+        Runtime::Config cfg;
+        cfg.version = Version::Sw;
+        cfg.seed = 0xB0;
+        Runtime rt(cfg);
+        Interpreter::Config icfg;
+        icfg.pool = rt.createPool("static", 32 << 20);
+        Interpreter interp(rt, mod, cell.plan, icfg);
+
+        rt.machine().resetAllStats();
+        rt.resetCounters();
+        const Cycles begin = rt.machine().now();
+        const std::uint64_t result = interp.call("main", {kNodes});
+        const RunStats st = bench::detail::snapshot(
+            rt, rt.machine().now() - begin, result);
+
+        if (!have_checksum) {
+            checksum = result;
+            have_checksum = true;
+        } else if (result != checksum) {
+            std::fprintf(stderr,
+                         "OUTPUT MISMATCH on fig9: variant %s\n",
+                         cell.variant);
+            ok = false;
+        }
+
+        json.beginObject();
+        json.kv("workload", "fig9");
+        json.kv("version", cell.variant);
+        json.kv("wallMs", millisSince(t0));
+        emitStats(json, st);
+        json.kv("staticTotalSites", cell.plan.totalSites);
+        json.kv("staticRemainingSites", cell.plan.remainingSites);
+        json.kv("staticRefinedSites", cell.plan.refinedSites);
+        json.kv("staticElidedSites", cell.elided);
+        json.kv("irInstructions", interp.instructionCount());
+        json.kv("irDynamicChecks", interp.dynamicCheckCount());
+        json.end();
+    }
+    json.end();
+    json.end();
+
+    const std::string path = out_dir + "/BENCH_static.json";
+    if (!json.writeFile(path)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::printf("static: %zu plans, wall %.0f ms, %s\n", cells.size(),
+                millisSince(start), path.c_str());
+    return ok;
+}
+
 } // namespace
 
 int
@@ -510,6 +612,7 @@ main(int argc, char **argv)
     std::string out_dir = ".";
     bool fig11 = true;
     bool micro = true;
+    bool static_sec = true;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -525,12 +628,18 @@ main(int argc, char **argv)
             out_dir = argv[++i];
         } else if (!std::strcmp(arg, "--fig11-only")) {
             micro = false;
+            static_sec = false;
         } else if (!std::strcmp(arg, "--micro-only")) {
             fig11 = false;
+            static_sec = false;
+        } else if (!std::strcmp(arg, "--static-only")) {
+            fig11 = false;
+            micro = false;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--quick] [--jobs N] [--out DIR] "
-                         "[--fig11-only | --micro-only]\n",
+                         "[--fig11-only | --micro-only | "
+                         "--static-only]\n",
                          argv[0]);
             return 2;
         }
@@ -545,5 +654,7 @@ main(int argc, char **argv)
         ok = runFig11(out_dir, jobs) && ok;
     if (micro)
         ok = runMicro(out_dir, jobs) && ok;
+    if (static_sec)
+        ok = runStatic(out_dir) && ok;
     return ok ? 0 : 1;
 }

@@ -10,6 +10,10 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "compiler/analysis/abstract_interp.hh"
+#include "compiler/analysis/elision.hh"
+#include "compiler/analysis/fig4_conformance.hh"
+#include "compiler/demo_programs.hh"
 #include "compiler/interpreter.hh"
 #include "compiler/ir_parser.hh"
 
@@ -20,64 +24,7 @@ namespace
 {
 
 /** A library function (unknown params) plus a driver (known kinds). */
-const char *kSource = R"(
-; The paper's Fig 9 example: linked-list append.
-; Node layout: { ptr next; i64 value }
-func @append(%p: ptr, %n: ptr) {
-entry:
-  %same = eq %p, %n
-  br %same, out, doit
-doit:
-  %slot = gep %p, 0
-  storep %n, %slot
-  jmp out
-out:
-  ret
-}
-
-; Build a persistent chain of %n nodes using @append, then sum it.
-func @main(%count: i64) -> i64 {
-entry:
-  %zero = const 0
-  %head = pmalloc 16
-  %vslot0 = gep %head, 8
-  store %zero, %vslot0
-  jmp loop
-loop:
-  %i = phi.i64 [entry, %zero], [body, %inext]
-  %tail = phi.ptr [entry, %head], [body, %node]
-  %cont = lt %i, %count
-  br %cont, body, walk
-body:
-  %node = pmalloc 16
-  %one = const 1
-  %inext = add %i, %one
-  %vslot = gep %node, 8
-  store %inext, %vslot
-  %nslot = gep %node, 0
-  storep %node, %nslot     ; self-link first (append overwrites)
-  call @append(%tail, %node)
-  jmp loop
-walk:
-  jmp whead
-whead:
-  %cur = phi.ptr [walk, %head], [wbody, %nxt]
-  %acc = phi.i64 [walk, %zero], [wbody, %accn]
-  %curv = gep %cur, 8
-  %v = load.i64 %curv
-  %accn = add %acc, %v
-  %nslot2 = gep %cur, 0
-  %nxt = load.ptr %nslot2
-  %ni = ptrtoint %nxt
-  %ci = ptrtoint %cur
-  %self = eq %ni, %ci
-  br %self, done, wbody
-wbody:
-  jmp whead
-done:
-  ret %accn
-}
-)";
+const char *kSource = kFig9Source;
 
 std::uint64_t
 runOnce(bool with_inference, std::uint64_t *dynamic_execs,
@@ -168,5 +115,45 @@ main()
                 " with inference\n", dyn_without, dyn_with);
     std::printf("  cycles: %" PRIu64 " -> %" PRIu64
                 " with inference\n", cyc_without, cyc_with);
-    return r1 == r2 ? 0 : 1;
+
+    // Static analysis (what `uprlint --report-elision` prints):
+    // Fig 4 conformance verdicts per site, then proof-driven check
+    // elision validated against the unelided plan.
+    std::printf("\n=== static analysis (uprlint view) ===\n");
+    const auto linf = inferPointerKinds(mod, true);
+    FlowAnalysis flow(mod, linf);
+    DiagnosticEngine diags;
+    const ConformanceReport rep =
+        checkFig4Conformance(mod, flow, diags);
+    std::printf("  %zu site(s): %" PRIu64 " proved-safe, %" PRIu64
+                " needs-dynamic-check, %" PRIu64 " diagnosed-UB\n",
+                rep.sites.size(), rep.provedSafe, rep.needsDynamic,
+                rep.diagnosedUB);
+    if (!diags.empty())
+        std::printf("%s", diags.render("fig9.ir").c_str());
+
+    CheckPlan before = insertChecks(mod, &linf);
+    CheckPlan after = before;
+    const ElisionResult eres = elideChecks(mod, flow, after);
+    std::printf("  elision: %" PRIu64 " check(s) elided, %" PRIu64
+                " of %" PRIu64 " site(s) remain dynamic\n",
+                eres.elidedSites, after.remainingSites,
+                after.totalSites);
+    for (const ElisionProof &p : eres.proofs) {
+        std::printf("  %s: [elide-%s] %s [@%s]\n",
+                    p.loc.str().c_str(), p.role.c_str(),
+                    p.reason.c_str(), p.function.c_str());
+    }
+    const ElisionValidation v =
+        validateElision(mod, before, after, "main", {200});
+    std::printf("  validation: result %" PRIu64 " == %" PRIu64
+                ", dynamic checks %" PRIu64 " -> %" PRIu64
+                ", bit-identical: %s\n",
+                v.resultBefore, v.resultAfter, v.checksBefore,
+                v.checksAfter, v.bitIdentical ? "yes" : "NO");
+
+    return r1 == r2 && v.bitIdentical &&
+                   v.checksAfter <= v.checksBefore
+               ? 0
+               : 1;
 }

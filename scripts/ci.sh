@@ -1,0 +1,29 @@
+#!/bin/sh
+# CI entry point:
+#   1. full RelWithDebInfo build + complete test suite;
+#   2. ASan+UBSan build (cmake --preset asan) + the crash and
+#      compiler test labels — the suites that exercise raw-memory
+#      recovery paths and the parser/verifier/interpreter, where
+#      memory bugs would hide;
+#   3. clang-tidy over the compiler subsystem, if available.
+#
+# Usage: scripts/ci.sh [jobs]
+set -eu
+
+JOBS=${1:-$(nproc 2>/dev/null || echo 4)}
+cd "$(dirname "$0")/.."
+
+echo "==> tier 1: full build + full test suite"
+cmake --preset default
+cmake --build --preset default -j "$JOBS"
+ctest --preset default -j "$JOBS"
+
+echo "==> tier 2: ASan+UBSan build + crash/compiler labels"
+cmake --preset asan
+cmake --build --preset asan -j "$JOBS"
+ctest --preset asan -j "$JOBS"
+
+echo "==> tier 3: clang-tidy (best effort)"
+scripts/run_clang_tidy.sh || exit 1
+
+echo "ci: all stages passed"

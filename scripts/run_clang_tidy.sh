@@ -1,0 +1,30 @@
+#!/bin/sh
+# Run clang-tidy (config: .clang-tidy) over the first-party sources
+# using the compile database from the default build directory.
+#
+#   scripts/run_clang_tidy.sh [build-dir]
+#
+# Degrades gracefully: exits 0 with a notice when clang-tidy is not
+# installed, so CI works on minimal images.
+set -u
+
+cd "$(dirname "$0")/.."
+BUILD=${1:-build}
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "run_clang_tidy: clang-tidy not installed; skipping" >&2
+    exit 0
+fi
+
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+    echo "run_clang_tidy: $BUILD/compile_commands.json missing;" \
+         "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+    exit 2
+fi
+
+FILES=$(find src tools -name '*.cc' -o -name '*.cpp' | sort)
+fail=0
+for f in $FILES; do
+    clang-tidy -p "$BUILD" --quiet "$f" || fail=1
+done
+exit "$fail"

@@ -1,0 +1,134 @@
+#include "common/diag.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace upr
+{
+
+std::string
+SrcLoc::str() const
+{
+    if (!known())
+        return "?";
+    return std::to_string(line) + ":" + std::to_string(col);
+}
+
+const char *
+diagSeverityName(DiagSeverity sev)
+{
+    switch (sev) {
+      case DiagSeverity::Note:    return "note";
+      case DiagSeverity::Warning: return "warning";
+      case DiagSeverity::Error:   return "error";
+    }
+    return "?";
+}
+
+std::string
+Diagnostic::render(const std::string &file) const
+{
+    std::string out;
+    if (!file.empty())
+        out += file + ":";
+    if (loc.known())
+        out += loc.str() + ":";
+    if (!out.empty())
+        out += " ";
+    out += diagSeverityName(severity);
+    out += ": [" + code + "] " + message;
+    if (!function.empty())
+        out += " [@" + function + "]";
+    return out;
+}
+
+std::size_t
+DiagnosticEngine::errorCount() const
+{
+    std::size_t n = 0;
+    for (const Diagnostic &d : diags_)
+        n += d.severity == DiagSeverity::Error ? 1 : 0;
+    return n;
+}
+
+std::size_t
+DiagnosticEngine::warningCount() const
+{
+    std::size_t n = 0;
+    for (const Diagnostic &d : diags_)
+        n += d.severity == DiagSeverity::Warning ? 1 : 0;
+    return n;
+}
+
+void
+DiagnosticEngine::sortByLocation()
+{
+    std::stable_sort(
+        diags_.begin(), diags_.end(),
+        [](const Diagnostic &a, const Diagnostic &b) {
+            if (a.loc.line != b.loc.line)
+                return a.loc.line < b.loc.line;
+            if (a.loc.col != b.loc.col)
+                return a.loc.col < b.loc.col;
+            if (a.severity != b.severity)
+                return a.severity > b.severity; // errors first
+            return a.code < b.code;
+        });
+}
+
+std::string
+DiagnosticEngine::render(const std::string &file) const
+{
+    std::string out;
+    for (const Diagnostic &d : diags_) {
+        out += d.render(file);
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+DiagnosticEngine::renderJson() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < diags_.size(); ++i) {
+        const Diagnostic &d = diags_[i];
+        os << (i ? "," : "") << "\n    {\"severity\": \""
+           << diagSeverityName(d.severity) << "\", \"code\": \""
+           << jsonEscape(d.code) << "\", \"line\": " << d.loc.line
+           << ", \"col\": " << d.loc.col << ", \"function\": \""
+           << jsonEscape(d.function) << "\", \"message\": \""
+           << jsonEscape(d.message) << "\"}";
+    }
+    os << (diags_.empty() ? "]" : "\n  ]");
+    return os.str();
+}
+
+} // namespace upr

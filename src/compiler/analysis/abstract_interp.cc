@@ -1,0 +1,241 @@
+#include "compiler/analysis/abstract_interp.hh"
+
+#include <deque>
+
+namespace upr
+{
+
+using namespace ir;
+
+FlowAnalysis::FlowAnalysis(const Module &mod,
+                           const InferenceResult &inf)
+    : mod_(mod), inf_(inf)
+{
+    for (const auto &f : mod.functions)
+        analyzeFunction(*f);
+}
+
+const std::vector<PtrKind> &
+FlowAnalysis::blockIn(const Function &fn, BlockId b) const
+{
+    auto it = perFunction_.find(fn.name);
+    upr_assert_msg(it != perFunction_.end(), "@%s was not analyzed",
+                   fn.name.c_str());
+    return it->second.in.at(b);
+}
+
+PtrKind
+FlowAnalysis::kindBefore(const Function &fn, BlockId b,
+                         std::size_t instIdx, ValueId v) const
+{
+    std::vector<PtrKind> state = blockIn(fn, b);
+    const Block &blk = fn.blocks[b];
+    for (std::size_t i = 0; i < instIdx && i < blk.insts.size(); ++i)
+        applyInst(fn, blk.insts[i], state);
+    return state.at(v);
+}
+
+PtrKind
+FlowAnalysis::meetOnEq(PtrKind mine, PtrKind other)
+{
+    if (mine == other)
+        return mine;
+    if (mine == PtrKind::NoInfo || other == PtrKind::NoInfo)
+        return PtrKind::NoInfo;
+    // Equality with a DRAM pointer: the named object is in DRAM and
+    // DRAM objects have a unique pointer form.
+    if (other == PtrKind::VaDram) {
+        return mine == PtrKind::Unknown ? PtrKind::VaDram
+                                        : PtrKind::NoInfo;
+    }
+    // Equality with an NVM-side pointer (Ra or VaNvm): a VaDram
+    // partner is infeasible; Unknown stays Unknown (the partner may
+    // hold either NVM form); Ra==VaNvm is feasible with forms intact.
+    if (other == PtrKind::Ra || other == PtrKind::VaNvm) {
+        if (mine == PtrKind::VaDram)
+            return PtrKind::NoInfo;
+        return mine;
+    }
+    // other == Unknown: no information about the partner.
+    return mine;
+}
+
+void
+FlowAnalysis::applyInst(const Function &fn, const Inst &in,
+                        std::vector<PtrKind> &state) const
+{
+    switch (in.op) {
+      case Op::Alloca:
+      case Op::Malloc:
+        state[in.result] = PtrKind::VaDram;
+        break;
+      case Op::Pmalloc:
+        state[in.result] = PtrKind::Ra;
+        break;
+      case Op::Load:
+        if (in.type == Type::Ptr)
+            state[in.result] = PtrKind::Unknown;
+        break;
+      case Op::IntToPtr:
+        state[in.result] = PtrKind::Unknown;
+        break;
+      case Op::Gep:
+        // Pointer arithmetic preserves representation (Fig 4).
+        state[in.result] = state[in.operands[0]];
+        break;
+      case Op::Call:
+        // Interprocedural facts stay flow-insensitive: take the
+        // base inference's (call-graph fixpoint) result kind.
+        if (in.type == Type::Ptr) {
+            const PtrKind k = inf_.kindOf(fn, in.result);
+            state[in.result] =
+                k == PtrKind::NoInfo ? PtrKind::Unknown : k;
+        }
+        break;
+      case Op::Phi:
+        // Phi results are written by edgeState; replaying a block
+        // prefix must not disturb them.
+        break;
+      default:
+        break;
+    }
+}
+
+std::vector<PtrKind>
+FlowAnalysis::edgeState(const Function &fn, BlockId from,
+                        const std::vector<PtrKind> &out, BlockId to,
+                        bool is_true_edge) const
+{
+    std::vector<PtrKind> s = out;
+
+    // Guard narrowing: br %c where %c = eq %a, %b (possibly through
+    // ptrtoint images of pointers).
+    const Inst &term = fn.blocks[from].insts.back();
+    if (term.op == Op::Br && is_true_edge) {
+        // Find the SSA definition of the condition.
+        const Inst *cond = nullptr;
+        for (const Block &b : fn.blocks) {
+            for (const Inst &in : b.insts) {
+                if (in.result == term.operands[0]) {
+                    cond = &in;
+                    break;
+                }
+            }
+            if (cond)
+                break;
+        }
+        if (cond && cond->op == Op::Eq) {
+            auto underlyingPtr = [&](ValueId v) -> ValueId {
+                if (fn.valueTypes[v] == Type::Ptr)
+                    return v;
+                // i64 side: look through a ptrtoint image.
+                for (const Block &b : fn.blocks) {
+                    for (const Inst &in : b.insts) {
+                        if (in.result == v) {
+                            if (in.op == Op::PtrToInt)
+                                return in.operands[0];
+                            return kNoValue;
+                        }
+                    }
+                }
+                return kNoValue;
+            };
+            const ValueId pa = underlyingPtr(cond->operands[0]);
+            const ValueId pb = underlyingPtr(cond->operands[1]);
+            if (pa != kNoValue && pb != kNoValue) {
+                const PtrKind ka = s[pa];
+                const PtrKind kb = s[pb];
+                s[pa] = meetOnEq(ka, kb);
+                s[pb] = meetOnEq(kb, ka);
+            }
+        }
+    }
+
+    // Phi results take the kind flowing along this edge.
+    std::vector<std::pair<ValueId, PtrKind>> writes;
+    for (const Inst &in : fn.blocks[to].insts) {
+        if (in.op != Op::Phi)
+            break;
+        for (std::size_t i = 0; i < in.phiBlocks.size(); ++i) {
+            if (in.phiBlocks[i] == from) {
+                writes.emplace_back(
+                    in.result, in.type == Type::Ptr
+                                   ? s[in.operands[i]]
+                                   : PtrKind::NoInfo);
+                break;
+            }
+        }
+    }
+    for (auto [r, k] : writes)
+        s[r] = k;
+    return s;
+}
+
+void
+FlowAnalysis::analyzeFunction(const Function &fn)
+{
+    FnFlow &ff = perFunction_[fn.name];
+    ff.in.assign(fn.blocks.size(),
+                 std::vector<PtrKind>(fn.numValues(),
+                                      PtrKind::NoInfo));
+    if (fn.blocks.empty())
+        return;
+
+    // Entry: parameter kinds come from the interprocedural fixpoint.
+    for (std::size_t i = 0; i < fn.paramValues.size(); ++i) {
+        if (fn.paramTypes[i] == Type::Ptr) {
+            const PtrKind k = inf_.kindOf(fn, fn.paramValues[i]);
+            ff.in[0][fn.paramValues[i]] =
+                k == PtrKind::NoInfo ? PtrKind::Unknown : k;
+        }
+    }
+
+    std::deque<BlockId> worklist{0};
+    std::vector<bool> queued(fn.blocks.size(), false);
+    queued[0] = true;
+
+    while (!worklist.empty()) {
+        const BlockId b = worklist.front();
+        worklist.pop_front();
+        queued[b] = false;
+
+        std::vector<PtrKind> out = ff.in[b];
+        for (const Inst &in : fn.blocks[b].insts)
+            applyInst(fn, in, out);
+
+        const Inst &term = fn.blocks[b].insts.back();
+        struct Edge
+        {
+            BlockId to;
+            bool isTrue;
+        };
+        Edge edges[2];
+        int n_edges = 0;
+        if (term.op == Op::Br) {
+            edges[n_edges++] = {term.target0, true};
+            edges[n_edges++] = {term.target1, false};
+        } else if (term.op == Op::Jmp) {
+            edges[n_edges++] = {term.target0, false};
+        }
+
+        for (int e = 0; e < n_edges; ++e) {
+            const std::vector<PtrKind> es =
+                edgeState(fn, b, out, edges[e].to, edges[e].isTrue);
+            std::vector<PtrKind> &dst = ff.in[edges[e].to];
+            bool changed = false;
+            for (std::size_t v = 0; v < dst.size(); ++v) {
+                const PtrKind j = joinKind(dst[v], es[v]);
+                if (j != dst[v]) {
+                    dst[v] = j;
+                    changed = true;
+                }
+            }
+            if (changed && !queued[edges[e].to]) {
+                queued[edges[e].to] = true;
+                worklist.push_back(edges[e].to);
+            }
+        }
+    }
+}
+
+} // namespace upr

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Branch-sensitive abstract interpretation over the pointer-kind
+ * lattice (NoInfo < {VaDram, VaNvm, Ra} < Unknown).
+ *
+ * The flow-insensitive inference (type_inference.hh) computes one
+ * kind per SSA register. This pass refines it with flow facts:
+ *
+ *  - per-block entry states, joined only over *feasible* CFG edges
+ *    (an eq between two distinct statically-known kinds can never be
+ *    true, so its true edge contributes nothing);
+ *  - phi results take the kind of the operand on each incoming edge
+ *    rather than the join over all of them;
+ *  - conditional narrowing on `br` whose condition is an `eq` guard
+ *    (directly on pointers, or on their ptrtoint images).
+ *
+ * Narrowing soundness: `eq` compares pointers by the object they
+ * name (the runtime normalizes both sides to virtual addresses), so
+ * a true guard proves object identity, NOT representation equality.
+ * A DRAM object has exactly one pointer form (VirtualDram; relative
+ * addresses encode pool objects and VaNvm encodes NVM), so equality
+ * with a known-VaDram pointer narrows the partner to VaDram. An NVM
+ * object circulates both as Ra and as VaNvm (Fig 4), so equality
+ * with those proves nothing about the partner's form and the meet
+ * leaves it unchanged. Equality between VaDram and a known NVM kind
+ * is infeasible (different media): the edge state drops to NoInfo.
+ *
+ * All transfer functions are monotone in the join ordering, states
+ * start at bottom, and the lattice is finite, so the worklist
+ * reaches the least fixpoint.
+ */
+
+#ifndef UPR_COMPILER_ANALYSIS_ABSTRACT_INTERP_HH
+#define UPR_COMPILER_ANALYSIS_ABSTRACT_INTERP_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/ir.hh"
+#include "compiler/type_inference.hh"
+
+namespace upr
+{
+
+/** Flow-sensitive pointer-kind facts for a whole module. */
+class FlowAnalysis
+{
+  public:
+    /** Run to fixpoint. Both references must outlive the analysis. */
+    FlowAnalysis(const ir::Module &mod, const InferenceResult &inf);
+
+    /** Kind vector (indexed by ValueId) on entry to a block. */
+    const std::vector<PtrKind> &
+    blockIn(const ir::Function &fn, ir::BlockId b) const;
+
+    /**
+     * Kind of @p v immediately before instruction @p instIdx of
+     * block @p b (recomputed by replaying the block prefix).
+     */
+    PtrKind kindBefore(const ir::Function &fn, ir::BlockId b,
+                       std::size_t instIdx, ir::ValueId v) const;
+
+    /**
+     * kindBefore with NoInfo mapped to Unknown: a query about code
+     * the fixpoint never reached answers conservatively.
+     */
+    PtrKind
+    kindBeforeChecked(const ir::Function &fn, ir::BlockId b,
+                      std::size_t instIdx, ir::ValueId v) const
+    {
+        const PtrKind k = kindBefore(fn, b, instIdx, v);
+        return k == PtrKind::NoInfo ? PtrKind::Unknown : k;
+    }
+
+    /**
+     * Object-equality meet (see file comment): what an eq-true guard
+     * lets each side conclude about the other's representation.
+     * Returns the narrowed kind for the side currently at @p mine
+     * given the partner is @p other; NoInfo marks an infeasible
+     * combination.
+     */
+    static PtrKind meetOnEq(PtrKind mine, PtrKind other);
+
+  private:
+    struct FnFlow
+    {
+        /** in[b][v] = kind of v on entry to block b. */
+        std::vector<std::vector<PtrKind>> in;
+    };
+
+    void analyzeFunction(const ir::Function &fn);
+    /** Transfer one non-phi instruction over @p state. */
+    void applyInst(const ir::Function &fn, const ir::Inst &in,
+                   std::vector<PtrKind> &state) const;
+    /** State along the (from -> to) edge, narrowing included. */
+    std::vector<PtrKind>
+    edgeState(const ir::Function &fn, ir::BlockId from,
+              const std::vector<PtrKind> &out, ir::BlockId to,
+              bool is_true_edge) const;
+
+    const ir::Module &mod_;
+    const InferenceResult &inf_;
+    std::map<std::string, FnFlow> perFunction_;
+};
+
+} // namespace upr
+
+#endif // UPR_COMPILER_ANALYSIS_ABSTRACT_INTERP_HH

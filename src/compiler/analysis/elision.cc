@@ -1,0 +1,307 @@
+#include "compiler/analysis/elision.hh"
+
+#include <set>
+
+#include "compiler/interpreter.hh"
+#include "core/runtime.hh"
+
+namespace upr
+{
+
+using namespace ir;
+
+namespace
+{
+
+/** The register a plan's addr site refers to, or kNoValue. */
+ValueId
+addrOperand(const Inst &in)
+{
+    switch (in.op) {
+      case Op::Load:
+      case Op::Free:
+      case Op::Pfree:
+        return in.operands[0];
+      case Op::Store:
+      case Op::StoreP:
+        return in.operands[1];
+      default:
+        return kNoValue;
+    }
+}
+
+void
+prove(ElisionResult &res, CheckPlan &plan, const Function &fn,
+      const Inst &in, const char *role, std::string reason)
+{
+    ++res.elidedSites;
+    ++plan.elidedSites;
+    res.proofs.push_back(
+        ElisionProof{fn.name, in.loc, role, std::move(reason)});
+}
+
+/**
+ * Rule 1: flow facts prove a kind the flow-insensitive inference
+ * could not; the dynamic check becomes the planted conversion.
+ */
+void
+applyFlowProofs(const Function &fn, const FlowAnalysis &flow,
+                CheckPlan &plan, FunctionPlan &fp, ElisionResult &res)
+{
+    for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+        for (std::size_t i = 0; i < fn.blocks[b].insts.size(); ++i) {
+            const Inst &in = fn.blocks[b].insts[i];
+            InstPlan &ip = fp.perBlock[b][i];
+            if (ip.addrDynamic) {
+                const ValueId a = addrOperand(in);
+                const PtrKind k =
+                    flow.kindBeforeChecked(fn, b, i, a);
+                if (isStaticKind(k)) {
+                    ip.addrDynamic = false;
+                    ip.addrStaticConvert = (k == PtrKind::Ra);
+                    --plan.remainingSites;
+                    prove(res, plan, fn, in, "addr",
+                          std::string("flow-proved-kind: address is ") +
+                          kindName(k));
+                }
+            }
+            if (ip.valueDynamic) {
+                const PtrKind k =
+                    flow.kindBeforeChecked(fn, b, i, in.operands[0]);
+                if (isStaticKind(k)) {
+                    ip.valueDynamic = false;
+                    --plan.remainingSites;
+                    prove(res, plan, fn, in, "value",
+                          std::string("flow-proved-kind: stored "
+                                      "value is ") + kindName(k));
+                }
+            }
+            if (ip.cmp0Dynamic) {
+                const PtrKind k =
+                    flow.kindBeforeChecked(fn, b, i, in.operands[0]);
+                if (isStaticKind(k)) {
+                    ip.cmp0Dynamic = false;
+                    --plan.remainingSites;
+                    prove(res, plan, fn, in, "op0",
+                          std::string("flow-proved-kind: operand "
+                                      "is ") + kindName(k));
+                }
+            }
+            if (ip.cmp1Dynamic) {
+                const PtrKind k =
+                    flow.kindBeforeChecked(fn, b, i, in.operands[1]);
+                if (isStaticKind(k)) {
+                    ip.cmp1Dynamic = false;
+                    --plan.remainingSites;
+                    prove(res, plan, fn, in, "op1",
+                          std::string("flow-proved-kind: operand "
+                                      "is ") + kindName(k));
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Rule 3: must-availability of already-checked registers. A
+ * register's form is immutable (SSA), so a dynamic check dominated
+ * by another dynamic check of the same register on every path can
+ * reuse its outcome: the site keeps only the conversion
+ * (addrRefined, the cross-block generalization of flow_refine).
+ */
+void
+applyAvailableChecks(const Function &fn, CheckPlan &plan,
+                     FunctionPlan &fp, ElisionResult &res)
+{
+    const std::size_t nb = fn.blocks.size();
+    if (nb == 0)
+        return;
+
+    // Predecessors.
+    std::vector<std::vector<BlockId>> preds(nb);
+    for (BlockId b = 0; b < nb; ++b) {
+        const Inst &term = fn.blocks[b].insts.back();
+        if (term.op == Op::Br) {
+            preds[term.target0].push_back(b);
+            preds[term.target1].push_back(b);
+        } else if (term.op == Op::Jmp) {
+            preds[term.target0].push_back(b);
+        }
+    }
+
+    // A block's local effect: registers checked by the time it ends,
+    // given a set available on entry.
+    auto walk = [&](BlockId b, std::set<ValueId> avail) {
+        for (std::size_t i = 0; i < fn.blocks[b].insts.size(); ++i) {
+            const Inst &in = fn.blocks[b].insts[i];
+            const InstPlan &ip = fp.perBlock[b][i];
+            if (ip.addrDynamic || ip.addrRefined)
+                avail.insert(addrOperand(in));
+            if (ip.valueDynamic)
+                avail.insert(in.operands[0]);
+            if (ip.cmp0Dynamic)
+                avail.insert(in.operands[0]);
+            if (ip.cmp1Dynamic)
+                avail.insert(in.operands[1]);
+        }
+        return avail;
+    };
+
+    // Must-dataflow to fixpoint: in[b] = ∩ out[p]. Universe init
+    // for non-entry blocks keeps loop back-edges optimistic.
+    const bool universe = true;
+    std::vector<std::set<ValueId>> in(nb);
+    std::vector<bool> isUniverse(nb, universe);
+    isUniverse[0] = false;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (BlockId b = 1; b < nb; ++b) {
+            if (preds[b].empty())
+                continue;
+            bool meet_universe = true;
+            std::set<ValueId> meet;
+            for (BlockId p : preds[b]) {
+                if (isUniverse[p])
+                    continue;
+                const std::set<ValueId> po = walk(p, in[p]);
+                if (meet_universe) {
+                    meet = po;
+                    meet_universe = false;
+                } else {
+                    std::set<ValueId> inter;
+                    for (ValueId v : meet) {
+                        if (po.count(v))
+                            inter.insert(v);
+                    }
+                    meet.swap(inter);
+                }
+            }
+            if (meet_universe)
+                continue; // all preds still optimistic
+            if (isUniverse[b] || meet != in[b]) {
+                in[b] = std::move(meet);
+                isUniverse[b] = false;
+                changed = true;
+            }
+        }
+    }
+
+    // Transform: re-checks of available registers keep only the
+    // conversion.
+    for (BlockId b = 0; b < nb; ++b) {
+        if (isUniverse[b] && b != 0)
+            continue; // unreachable
+        std::set<ValueId> avail = in[b];
+        for (std::size_t i = 0; i < fn.blocks[b].insts.size(); ++i) {
+            const Inst &in_i = fn.blocks[b].insts[i];
+            InstPlan &ip = fp.perBlock[b][i];
+            const ValueId a =
+                ip.addrDynamic ? addrOperand(in_i) : kNoValue;
+            if (a != kNoValue && avail.count(a)) {
+                ip.addrDynamic = false;
+                ip.addrRefined = true;
+                --plan.remainingSites;
+                ++plan.refinedSites;
+                prove(res, plan, fn, in_i, "addr",
+                      "available-check: form of this register is "
+                      "checked on every path to this site");
+            }
+            if (ip.addrDynamic || ip.addrRefined)
+                avail.insert(addrOperand(in_i));
+            if (ip.valueDynamic)
+                avail.insert(in_i.operands[0]);
+            if (ip.cmp0Dynamic)
+                avail.insert(in_i.operands[0]);
+            if (ip.cmp1Dynamic)
+                avail.insert(in_i.operands[1]);
+        }
+    }
+}
+
+/**
+ * Rule 2: the storep destination's determineX is implied by the
+ * address resolution at the same instruction.
+ */
+void
+applyDestImplied(const Function &fn, CheckPlan &plan,
+                 FunctionPlan &fp, ElisionResult &res)
+{
+    for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+        for (std::size_t i = 0; i < fn.blocks[b].insts.size(); ++i) {
+            InstPlan &ip = fp.perBlock[b][i];
+            if (!ip.destDynamic)
+                continue;
+            ip.destDynamic = false;
+            ip.destElided = true;
+            --plan.remainingSites;
+            prove(res, plan, fn, fn.blocks[b].insts[i], "dest",
+                  "dest-implied-by-addr: the resolved destination "
+                  "VA's NVM bit is the medium; no separate "
+                  "determineX needed");
+        }
+    }
+}
+
+} // namespace
+
+ElisionResult
+elideChecks(const Module &mod, const FlowAnalysis &flow,
+            CheckPlan &plan)
+{
+    ElisionResult res;
+    for (const auto &f : mod.functions) {
+        FunctionPlan &fp = plan.perFunction.at(f->name);
+        applyFlowProofs(*f, flow, plan, fp, res);
+        applyAvailableChecks(*f, plan, fp, res);
+        applyDestImplied(*f, plan, fp, res);
+    }
+    return res;
+}
+
+namespace
+{
+
+struct RunOutcome
+{
+    std::uint64_t result;
+    std::uint64_t checks;
+    std::uint64_t insts;
+};
+
+RunOutcome
+runPlan(const Module &mod, const CheckPlan &plan,
+        const std::string &entry,
+        const std::vector<std::uint64_t> &args)
+{
+    Runtime::Config cfg;
+    cfg.version = Version::Sw;
+    Runtime rt(cfg);
+    Interpreter::Config icfg;
+    icfg.pool = rt.createPool("elide", 32 << 20);
+    Interpreter interp(rt, mod, plan, icfg);
+    const std::uint64_t r = interp.call(entry, args);
+    return RunOutcome{r, interp.dynamicCheckCount(),
+                      interp.instructionCount()};
+}
+
+} // namespace
+
+ElisionValidation
+validateElision(const Module &mod, const CheckPlan &before,
+                const CheckPlan &after, const std::string &entry,
+                const std::vector<std::uint64_t> &args)
+{
+    const RunOutcome b = runPlan(mod, before, entry, args);
+    const RunOutcome a = runPlan(mod, after, entry, args);
+    ElisionValidation v;
+    v.resultBefore = b.result;
+    v.resultAfter = a.result;
+    v.checksBefore = b.checks;
+    v.checksAfter = a.checks;
+    v.bitIdentical = b.result == a.result && b.insts == a.insts;
+    return v;
+}
+
+} // namespace upr

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Proof-driven check elision: consumes the flow analysis'
+ * proved-safe facts and deletes redundant dynamic checks from a
+ * CheckPlan. Three rules, each recorded as an ElisionProof:
+ *
+ *  1. flow-proved-kind: a site the flow-insensitive plan left
+ *     dynamic whose flow-sensitive kind is static (branch narrowing
+ *     or infeasible-edge pruning) becomes the planted conversion
+ *     check insertion would have chosen.
+ *
+ *  2. dest-implied-by-addr: the storep destination's determineX is
+ *     always redundant — resolving the destination *address* at the
+ *     very same instruction (dynamically or statically) yields the
+ *     virtual address, whose NVM bit (Layout::kNvmBit) IS the
+ *     medium. No separate classification check is needed. The
+ *     interpreter keeps the strict storeP fault on this path.
+ *
+ *  3. available-check: a must-availability dataflow (intersection
+ *     over predecessors) of "registers whose form was dynamically
+ *     checked on every path" turns dominated re-checks into
+ *     conversion-only refined sites — the cross-block
+ *     generalization of the block-local flow_refine option. Sound
+ *     because an SSA value's representation never changes; only
+ *     translations are stateful and those still run per use.
+ *
+ * The contract (validated by tests and `uprlint --report-elision`):
+ * interpreting the module under the elided plan is bit-identical to
+ * the original plan — same results, same instruction count — with a
+ * strictly lower Interpreter::dynamicCheckCount() whenever any
+ * executed site was elided.
+ */
+
+#ifndef UPR_COMPILER_ANALYSIS_ELISION_HH
+#define UPR_COMPILER_ANALYSIS_ELISION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/diag.hh"
+#include "compiler/analysis/abstract_interp.hh"
+#include "compiler/check_insertion.hh"
+#include "compiler/ir.hh"
+
+namespace upr
+{
+
+/** Why one dynamic check was deleted. */
+struct ElisionProof
+{
+    std::string function;
+    SrcLoc loc;
+    /** Site role: addr/dest/value/op0/op1. */
+    std::string role;
+    /** Rule name + proving fact, human-readable. */
+    std::string reason;
+};
+
+/** Result of the elision pass. */
+struct ElisionResult
+{
+    /** Dynamic checks deleted (== proofs.size()). */
+    std::uint64_t elidedSites = 0;
+    std::vector<ElisionProof> proofs;
+};
+
+/**
+ * Delete provably-redundant dynamic checks from @p plan in place;
+ * plan counters (remainingSites, refinedSites, elidedSites) are
+ * kept consistent. @p plan must have been produced by insertChecks
+ * over @p mod.
+ */
+ElisionResult elideChecks(const ir::Module &mod,
+                          const FlowAnalysis &flow, CheckPlan &plan);
+
+/** Outcome of running a module under two plans (see validate). */
+struct ElisionValidation
+{
+    /** Same return value and instruction count under both plans. */
+    bool bitIdentical = false;
+    std::uint64_t resultBefore = 0;
+    std::uint64_t resultAfter = 0;
+    std::uint64_t checksBefore = 0;
+    std::uint64_t checksAfter = 0;
+};
+
+/**
+ * Execute @p entry under the SW version twice — once with each
+ * plan, on identically-configured fresh runtimes — and compare.
+ * Used by tests and `uprlint --report-elision` to enforce the
+ * elision contract.
+ */
+ElisionValidation
+validateElision(const ir::Module &mod, const CheckPlan &before,
+                const CheckPlan &after, const std::string &entry,
+                const std::vector<std::uint64_t> &args);
+
+} // namespace upr
+
+#endif // UPR_COMPILER_ANALYSIS_ELISION_HH

@@ -1,0 +1,313 @@
+#include "compiler/analysis/fig4_conformance.hh"
+
+#include <map>
+
+namespace upr
+{
+
+using namespace ir;
+
+const char *
+siteVerdictName(SiteVerdict v)
+{
+    switch (v) {
+      case SiteVerdict::ProvedSafe:   return "proved-safe";
+      case SiteVerdict::NeedsDynamic: return "needs-dynamic-check";
+      case SiteVerdict::DiagnosedUB:  return "diagnosed-UB";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** SSA allocation provenance of one register. */
+struct Provenance
+{
+    bool known = false;
+    std::int64_t size = 0; //!< allocation size in bytes
+    std::int64_t off = 0;  //!< accumulated byte offset from base
+    ValueId base = kNoValue; //!< allocating instruction's result
+};
+
+/**
+ * Per-register provenance: follows gep chains back to the single
+ * SSA allocation they derive from. Registers defined by phi, load,
+ * call, or casts have no provenance. Blocks are scanned in layout
+ * order; the verifier's def-before-use guarantee makes defs appear
+ * before uses for non-phi chains.
+ */
+std::map<ValueId, Provenance>
+computeProvenance(const Function &fn)
+{
+    std::map<ValueId, Provenance> prov;
+    for (const Block &b : fn.blocks) {
+        for (const Inst &in : b.insts) {
+            if (in.result == kNoValue)
+                continue;
+            switch (in.op) {
+              case Op::Alloca:
+              case Op::Malloc:
+              case Op::Pmalloc:
+                prov[in.result] =
+                    Provenance{true, in.imm, 0, in.result};
+                break;
+              case Op::Gep: {
+                auto it = prov.find(in.operands[0]);
+                if (it != prov.end() && it->second.known) {
+                    Provenance p = it->second;
+                    p.off += in.imm;
+                    prov[in.result] = p;
+                }
+                break;
+              }
+              default:
+                break;
+            }
+        }
+    }
+    return prov;
+}
+
+/** Classifier for one function. */
+class Checker
+{
+  public:
+    Checker(const Function &fn, const FlowAnalysis &flow,
+            DiagnosticEngine &diags, ConformanceReport &report)
+        : fn_(fn), flow_(flow), diags_(diags), report_(report),
+          prov_(computeProvenance(fn))
+    {
+    }
+
+    void
+    run()
+    {
+        for (BlockId b = 0; b < fn_.blocks.size(); ++b) {
+            for (std::size_t i = 0; i < fn_.blocks[b].insts.size();
+                 ++i) {
+                checkInst(b, i, fn_.blocks[b].insts[i]);
+            }
+        }
+    }
+
+  private:
+    PtrKind
+    kindAt(BlockId b, std::size_t i, ValueId v) const
+    {
+        return flow_.kindBeforeChecked(fn_, b, i, v);
+    }
+
+    SiteReport &
+    addSite(BlockId b, std::size_t i, const char *role, PtrKind k,
+            SrcLoc loc)
+    {
+        SiteReport s;
+        s.function = fn_.name;
+        s.block = b;
+        s.instIdx = i;
+        s.role = role;
+        s.fact = k;
+        s.loc = loc;
+        if (isStaticKind(k)) {
+            s.verdict = SiteVerdict::ProvedSafe;
+            ++report_.provedSafe;
+        } else {
+            s.verdict = SiteVerdict::NeedsDynamic;
+            ++report_.needsDynamic;
+        }
+        report_.sites.push_back(std::move(s));
+        return report_.sites.back();
+    }
+
+    void
+    markUB(SiteReport &s)
+    {
+        if (s.verdict == SiteVerdict::ProvedSafe)
+            --report_.provedSafe;
+        else
+            --report_.needsDynamic;
+        s.verdict = SiteVerdict::DiagnosedUB;
+        ++report_.diagnosedUB;
+    }
+
+    std::string
+    ref(ValueId v) const
+    {
+        return "%" + fn_.valueNames[v];
+    }
+
+    void
+    checkInst(BlockId b, std::size_t i, const Inst &in)
+    {
+        switch (in.op) {
+          case Op::Load:
+          case Op::Free:
+          case Op::Pfree:
+            addSite(b, i, "addr",
+                    kindAt(b, i, in.operands[0]), in.loc);
+            break;
+          case Op::Store:
+            addSite(b, i, "addr",
+                    kindAt(b, i, in.operands[1]), in.loc);
+            break;
+          case Op::StoreP:
+            checkStoreP(b, i, in);
+            break;
+          case Op::Gep:
+            checkGep(in);
+            break;
+          case Op::PtrToInt:
+            addSite(b, i, "op0",
+                    kindAt(b, i, in.operands[0]), in.loc);
+            break;
+          case Op::Eq:
+          case Op::Lt:
+            checkCompare(b, i, in);
+            break;
+          default:
+            break;
+        }
+    }
+
+    void
+    checkStoreP(BlockId b, std::size_t i, const Inst &in)
+    {
+        const PtrKind addr_k = kindAt(b, i, in.operands[1]);
+        const PtrKind val_k = kindAt(b, i, in.operands[0]);
+        addSite(b, i, "addr", addr_k, in.loc);
+        addSite(b, i, "dest", addr_k, in.loc);
+        const std::size_t dest_idx = report_.sites.size() - 1;
+        addSite(b, i, "value", val_k, in.loc);
+        const std::size_t val_idx = report_.sites.size() - 1;
+
+        // A provably-DRAM pointer persisted through a provably-NVM
+        // destination dangles after restart (Fig 4 has no defined
+        // row for it; the runtime's strictStoreP faults here).
+        const bool dest_nvm =
+            addr_k == PtrKind::Ra || addr_k == PtrKind::VaNvm;
+        if (dest_nvm && val_k == PtrKind::VaDram) {
+            markUB(report_.sites[dest_idx]);
+            markUB(report_.sites[val_idx]);
+            diags_.error("fig4-mixed-storep", in.loc,
+                         "DRAM pointer " + ref(in.operands[0]) +
+                         " stored into NVM destination " +
+                         ref(in.operands[1]) +
+                         " (dangles after restart)",
+                         fn_.name);
+        }
+    }
+
+    void
+    checkGep(const Inst &in)
+    {
+        // Not a check site (arithmetic preserves representation);
+        // provenance still bounds the offset.
+        auto it = prov_.find(in.result);
+        if (it == prov_.end() || !it->second.known)
+            return;
+        const Provenance &p = it->second;
+        if (p.off < 0 || p.off > p.size) {
+            diags_.error(
+                "fig4-arith-escape", in.loc,
+                "pointer arithmetic on " + ref(in.operands[0]) +
+                " reaches byte " + std::to_string(p.off) +
+                " of a " + std::to_string(p.size) +
+                "-byte allocation (escapes the object)",
+                fn_.name);
+        }
+    }
+
+    void
+    checkCompare(BlockId b, std::size_t i, const Inst &in)
+    {
+        const bool p0 = fn_.valueTypes[in.operands[0]] == Type::Ptr;
+        const bool p1 = fn_.valueTypes[in.operands[1]] == Type::Ptr;
+        const PtrKind k0 =
+            p0 ? kindAt(b, i, in.operands[0]) : PtrKind::NoInfo;
+        const PtrKind k1 =
+            p1 ? kindAt(b, i, in.operands[1]) : PtrKind::NoInfo;
+        SiteReport *s0 =
+            p0 ? &addSite(b, i, "op0", k0, in.loc) : nullptr;
+        // NOTE: addSite may reallocate report_.sites; take s0 again
+        // after the second insertion.
+        const std::size_t idx0 = report_.sites.size() - 1;
+        SiteReport *s1 =
+            p1 ? &addSite(b, i, "op1", k1, in.loc) : nullptr;
+        if (p0)
+            s0 = &report_.sites[idx0];
+
+        if (!p0 || !p1)
+            return;
+        const bool distinct_static =
+            isStaticKind(k0) && isStaticKind(k1) && k0 != k1 &&
+            // Ra vs VaNvm may name the same NVM object; only
+            // DRAM-vs-NVM kinds are provably different objects.
+            (k0 == PtrKind::VaDram || k1 == PtrKind::VaDram);
+
+        if (in.op == Op::Lt) {
+            if (distinct_static) {
+                markUB(*s0);
+                markUB(*s1);
+                diags_.error(
+                    "fig4-cross-pool-compare", in.loc,
+                    "relational compare between " +
+                    std::string(kindName(k0)) + " " +
+                    ref(in.operands[0]) + " and " +
+                    std::string(kindName(k1)) + " " +
+                    ref(in.operands[1]) +
+                    " (pointers into different media order "
+                    "arbitrarily)",
+                    fn_.name);
+            } else if (k0 == PtrKind::Ra && k1 == PtrKind::Ra &&
+                       !sameAllocation(in.operands[0],
+                                       in.operands[1])) {
+                diags_.warning(
+                    "fig4-pool-identity", in.loc,
+                    "relational compare between relative addresses " +
+                    ref(in.operands[0]) + " and " +
+                    ref(in.operands[1]) +
+                    " not proved to share an allocation",
+                    fn_.name);
+            }
+        } else if (in.op == Op::Eq && distinct_static) {
+            diags_.warning(
+                "fig4-constant-compare", in.loc,
+                "equality between " + std::string(kindName(k0)) +
+                " " + ref(in.operands[0]) + " and " +
+                std::string(kindName(k1)) + " " +
+                ref(in.operands[1]) + " is always false",
+                fn_.name);
+        }
+    }
+
+    bool
+    sameAllocation(ValueId a, ValueId b) const
+    {
+        auto ia = prov_.find(a);
+        auto ib = prov_.find(b);
+        return ia != prov_.end() && ib != prov_.end() &&
+               ia->second.known && ib->second.known &&
+               ia->second.base == ib->second.base;
+    }
+
+    const Function &fn_;
+    const FlowAnalysis &flow_;
+    DiagnosticEngine &diags_;
+    ConformanceReport &report_;
+    std::map<ValueId, Provenance> prov_;
+};
+
+} // namespace
+
+ConformanceReport
+checkFig4Conformance(const Module &mod, const FlowAnalysis &flow,
+                     DiagnosticEngine &diags)
+{
+    ConformanceReport report;
+    for (const auto &f : mod.functions)
+        Checker(*f, flow, diags, report).run();
+    return report;
+}
+
+} // namespace upr

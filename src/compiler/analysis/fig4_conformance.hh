@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fig-4 conformance checker: classifies every pointer-operation
+ * site of a module against the paper's pointer-semantics table
+ * (Fig 4) using the flow-sensitive kind facts.
+ *
+ * Each site (the same enumeration check insertion uses: load/store
+ * addresses, storep destination + stored value, comparison/cast
+ * operands, free/pfree operands) gets one of three verdicts:
+ *
+ *  - ProvedSafe: the lattice fact pins the representation; the
+ *    compiler can plant the exact conversion (or none) with no
+ *    dynamic check. The proving fact is recorded.
+ *  - NeedsDynamic: the fact is Unknown (typically a pointer loaded
+ *    from untyped memory); a determineX/determineY check survives.
+ *  - DiagnosedUB: the operation is outside Fig 4's defined rows.
+ *
+ * UB diagnoses (located errors through the DiagnosticEngine):
+ *  - fig4-cross-pool-compare: relational (lt) compare between
+ *    pointers of provably different kinds — their bit patterns
+ *    order arbitrarily, the paper defines pxr relational compares
+ *    only within one pool;
+ *  - fig4-arith-escape: gep whose accumulated offset provably
+ *    leaves [0, size] of the allocation it derives from —
+ *    arithmetic escaping a pool breaks relative-address encoding;
+ *  - fig4-mixed-storep: a provably-DRAM virtual address stored
+ *    through a provably-NVM destination — the persisted pointer
+ *    would dangle across restarts (the strictStoreP fault, found
+ *    statically).
+ *
+ * Warnings:
+ *  - fig4-constant-compare: eq between provably-distinct kinds
+ *    (constant-false object equality, usually a logic bug);
+ *  - fig4-pool-identity: lt between two relative addresses whose
+ *    provenance does not prove a common allocation (the pool ids
+ *    are not statically tracked, so ordering is unproven).
+ */
+
+#ifndef UPR_COMPILER_ANALYSIS_FIG4_CONFORMANCE_HH
+#define UPR_COMPILER_ANALYSIS_FIG4_CONFORMANCE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/diag.hh"
+#include "compiler/analysis/abstract_interp.hh"
+#include "compiler/ir.hh"
+
+namespace upr
+{
+
+/** Verdict for one pointer-operation site. */
+enum class SiteVerdict
+{
+    ProvedSafe,
+    NeedsDynamic,
+    DiagnosedUB,
+};
+
+const char *siteVerdictName(SiteVerdict v);
+
+/** One classified site. */
+struct SiteReport
+{
+    std::string function;
+    ir::BlockId block = ir::kNoBlock;
+    std::size_t instIdx = 0;
+    /** Which operand of the instruction: addr/dest/value/op0/op1. */
+    std::string role;
+    SiteVerdict verdict = SiteVerdict::NeedsDynamic;
+    /** Proving lattice fact (ProvedSafe) or best-known kind. */
+    PtrKind fact = PtrKind::Unknown;
+    SrcLoc loc;
+};
+
+/** Whole-module conformance result. */
+struct ConformanceReport
+{
+    std::vector<SiteReport> sites;
+    std::uint64_t provedSafe = 0;
+    std::uint64_t needsDynamic = 0;
+    std::uint64_t diagnosedUB = 0;
+};
+
+/**
+ * Classify every site of @p mod; UB/warning findings are appended
+ * to @p diags with the locations the parser recorded.
+ */
+ConformanceReport
+checkFig4Conformance(const ir::Module &mod, const FlowAnalysis &flow,
+                     DiagnosticEngine &diags);
+
+} // namespace upr
+
+#endif // UPR_COMPILER_ANALYSIS_FIG4_CONFORMANCE_HH

@@ -1,0 +1,609 @@
+#include "compiler/analysis/verifier.hh"
+
+#include <cstddef>
+#include <vector>
+
+#include "common/fault.hh"
+
+namespace upr::ir
+{
+
+namespace
+{
+
+bool
+isTerminator(Op op)
+{
+    return op == Op::Br || op == Op::Jmp || op == Op::Ret;
+}
+
+/** Per-function verifier state. */
+class FunctionVerifier
+{
+  public:
+    FunctionVerifier(const Function &fn, DiagnosticEngine &diags)
+        : fn_(fn), diags_(diags)
+    {
+    }
+
+    bool
+    run()
+    {
+        const std::size_t errors_before = diags_.errorCount();
+        if (fn_.blocks.empty()) {
+            error("verify-empty-function", fn_.loc,
+                  "function has no blocks");
+            return false;
+        }
+        for (BlockId b = 0; b < fn_.blocks.size(); ++b)
+            checkBlockShape(b);
+        // Operand/type rules only make sense on shape-valid IR.
+        if (diags_.errorCount() != errors_before)
+            return false;
+        computePredecessors();
+        for (BlockId b = 0; b < fn_.blocks.size(); ++b) {
+            for (const Inst &in : fn_.blocks[b].insts)
+                checkInst(b, in);
+        }
+        checkReachability();
+        if (diags_.errorCount() == errors_before)
+            checkDefBeforeUse();
+        return diags_.errorCount() == errors_before;
+    }
+
+  private:
+    void
+    error(std::string code, SrcLoc loc, std::string msg)
+    {
+        diags_.error(std::move(code), loc, std::move(msg), fn_.name);
+    }
+
+    void
+    warning(std::string code, SrcLoc loc, std::string msg)
+    {
+        diags_.warning(std::move(code), loc, std::move(msg), fn_.name);
+    }
+
+    std::string
+    ref(ValueId v) const
+    {
+        if (v < fn_.valueNames.size())
+            return "%" + fn_.valueNames[v];
+        return "%<v" + std::to_string(v) + ">";
+    }
+
+    Type
+    typeOf(ValueId v) const
+    {
+        return fn_.valueTypes[v];
+    }
+
+    /** Non-empty, one terminator, at the end. */
+    void
+    checkBlockShape(BlockId b)
+    {
+        const Block &blk = fn_.blocks[b];
+        if (blk.insts.empty()) {
+            error("verify-empty-block", blk.loc,
+                  "block '" + blk.name + "' is empty");
+            return;
+        }
+        bool phi_prefix_over = false;
+        for (std::size_t i = 0; i < blk.insts.size(); ++i) {
+            const Inst &in = blk.insts[i];
+            const bool last = (i + 1 == blk.insts.size());
+            if (isTerminator(in.op) && !last) {
+                error("verify-terminator-mid-block", in.loc,
+                      "terminator '" + std::string(opName(in.op)) +
+                      "' before end of block '" + blk.name + "'");
+            }
+            if (last && !isTerminator(in.op)) {
+                error("verify-missing-terminator", in.loc,
+                      "block '" + blk.name +
+                      "' does not end in a terminator");
+            }
+            if (in.op == Op::Phi) {
+                if (phi_prefix_over) {
+                    error("verify-phi-not-at-top", in.loc,
+                          "phi after non-phi instruction in block '" +
+                          blk.name + "'");
+                }
+            } else {
+                phi_prefix_over = true;
+            }
+            // Value ids in range (everything else indexes by them).
+            for (ValueId v : in.operands) {
+                if (v >= fn_.numValues()) {
+                    error("verify-bad-value-id", in.loc,
+                          "operand id " + std::to_string(v) +
+                          " out of range");
+                }
+            }
+            if (in.result != kNoValue && in.result >= fn_.numValues()) {
+                error("verify-bad-value-id", in.loc,
+                      "result id " + std::to_string(in.result) +
+                      " out of range");
+            }
+            if ((in.op == Op::Br || in.op == Op::Jmp) &&
+                (in.target0 >= fn_.blocks.size() ||
+                 (in.op == Op::Br &&
+                  in.target1 >= fn_.blocks.size()))) {
+                error("verify-bad-block-id", in.loc,
+                      "branch target out of range");
+            }
+            if (in.op == Op::Phi) {
+                for (BlockId pb : in.phiBlocks) {
+                    if (pb >= fn_.blocks.size()) {
+                        error("verify-bad-block-id", in.loc,
+                              "phi incoming block out of range");
+                    }
+                }
+            }
+        }
+    }
+
+    void
+    computePredecessors()
+    {
+        preds_.assign(fn_.blocks.size(), {});
+        for (BlockId b = 0; b < fn_.blocks.size(); ++b) {
+            const Inst &term = fn_.blocks[b].insts.back();
+            if (term.op == Op::Br) {
+                addPred(term.target0, b);
+                addPred(term.target1, b);
+            } else if (term.op == Op::Jmp) {
+                addPred(term.target0, b);
+            }
+        }
+    }
+
+    void
+    addPred(BlockId to, BlockId from)
+    {
+        for (BlockId p : preds_[to]) {
+            if (p == from)
+                return;
+        }
+        preds_[to].push_back(from);
+    }
+
+    bool
+    isPred(BlockId of, BlockId maybe) const
+    {
+        for (BlockId p : preds_[of]) {
+            if (p == maybe)
+                return true;
+        }
+        return false;
+    }
+
+    /** Expect an exact operand count. */
+    bool
+    arity(const Inst &in, std::size_t n)
+    {
+        if (in.operands.size() == n)
+            return true;
+        error("verify-operand-count", in.loc,
+              std::string(opName(in.op)) + " expects " +
+              std::to_string(n) + " operand(s), has " +
+              std::to_string(in.operands.size()));
+        return false;
+    }
+
+    void
+    expectType(const Inst &in, ValueId v, Type want,
+               const char *what)
+    {
+        if (typeOf(v) == want)
+            return;
+        error("verify-operand-type", in.loc,
+              std::string(opName(in.op)) + " " + what + " " + ref(v) +
+              " must be " + typeName(want) + ", is " +
+              typeName(typeOf(v)));
+    }
+
+    void
+    expectResult(const Inst &in, Type want)
+    {
+        if (in.result == kNoValue) {
+            error("verify-result-type", in.loc,
+                  std::string(opName(in.op)) + " must have a result");
+            return;
+        }
+        if (in.type != want || typeOf(in.result) != want) {
+            error("verify-result-type", in.loc,
+                  std::string(opName(in.op)) + " result " +
+                  ref(in.result) + " must be " + typeName(want));
+        }
+    }
+
+    void
+    checkInst(BlockId b, const Inst &in)
+    {
+        switch (in.op) {
+          case Op::Const:
+            arity(in, 0);
+            expectResult(in, Type::I64);
+            break;
+          case Op::Alloca:
+          case Op::Malloc:
+          case Op::Pmalloc:
+            arity(in, 0);
+            expectResult(in, Type::Ptr);
+            if (in.imm <= 0) {
+                warning("verify-alloc-size", in.loc,
+                        std::string(opName(in.op)) +
+                        " with non-positive size " +
+                        std::to_string(in.imm));
+            }
+            break;
+          case Op::Free:
+          case Op::Pfree:
+            if (arity(in, 1))
+                expectType(in, in.operands[0], Type::Ptr, "operand");
+            break;
+          case Op::Load:
+            if (arity(in, 1))
+                expectType(in, in.operands[0], Type::Ptr, "address");
+            if (in.type != Type::I64 && in.type != Type::Ptr) {
+                error("verify-result-type", in.loc,
+                      "load must produce i64 or ptr");
+            } else {
+                expectResult(in, in.type);
+            }
+            break;
+          case Op::Store:
+            if (arity(in, 2)) {
+                expectType(in, in.operands[0], Type::I64, "value");
+                expectType(in, in.operands[1], Type::Ptr, "address");
+            }
+            break;
+          case Op::StoreP:
+            if (arity(in, 2)) {
+                expectType(in, in.operands[0], Type::Ptr, "value");
+                expectType(in, in.operands[1], Type::Ptr, "address");
+            }
+            break;
+          case Op::Gep:
+            if (arity(in, 1))
+                expectType(in, in.operands[0], Type::Ptr, "base");
+            expectResult(in, Type::Ptr);
+            break;
+          case Op::PtrToInt:
+            if (arity(in, 1))
+                expectType(in, in.operands[0], Type::Ptr, "operand");
+            expectResult(in, Type::I64);
+            break;
+          case Op::IntToPtr:
+            if (arity(in, 1))
+                expectType(in, in.operands[0], Type::I64, "operand");
+            expectResult(in, Type::Ptr);
+            break;
+          case Op::Eq:
+          case Op::Lt:
+            if (arity(in, 2) &&
+                typeOf(in.operands[0]) != typeOf(in.operands[1])) {
+                warning("verify-mixed-compare", in.loc,
+                        std::string(opName(in.op)) + " compares " +
+                        typeName(typeOf(in.operands[0])) + " " +
+                        ref(in.operands[0]) + " with " +
+                        typeName(typeOf(in.operands[1])) + " " +
+                        ref(in.operands[1]));
+            }
+            expectResult(in, Type::I64);
+            break;
+          case Op::Add:
+          case Op::Sub:
+          case Op::Mul:
+            if (arity(in, 2)) {
+                expectType(in, in.operands[0], Type::I64, "operand");
+                expectType(in, in.operands[1], Type::I64, "operand");
+            }
+            expectResult(in, Type::I64);
+            break;
+          case Op::Br:
+            if (arity(in, 1))
+                expectType(in, in.operands[0], Type::I64, "condition");
+            break;
+          case Op::Jmp:
+            arity(in, 0);
+            break;
+          case Op::Phi:
+            checkPhi(b, in);
+            break;
+          case Op::Call:
+            // Resolution/arity/types are module-level; here only the
+            // declared result type can be sanity-checked.
+            if (in.result != kNoValue && in.type == Type::Void) {
+                error("verify-result-type", in.loc,
+                      "call with a result must not be void-typed");
+            }
+            break;
+          case Op::Ret:
+            if (fn_.returnType == Type::Void) {
+                if (!in.operands.empty()) {
+                    error("verify-return-type", in.loc,
+                          "ret with a value in void function");
+                }
+            } else if (in.operands.empty()) {
+                error("verify-return-type", in.loc,
+                      "ret without a value in non-void function");
+            } else if (arity(in, 1)) {
+                expectType(in, in.operands[0], fn_.returnType,
+                           "value");
+            }
+            break;
+        }
+    }
+
+    void
+    checkPhi(BlockId b, const Inst &in)
+    {
+        if (in.phiBlocks.size() != in.operands.size()) {
+            error("verify-phi-shape", in.loc,
+                  "phi has " + std::to_string(in.phiBlocks.size()) +
+                  " incoming blocks but " +
+                  std::to_string(in.operands.size()) + " values");
+            return;
+        }
+        if (in.type != Type::I64 && in.type != Type::Ptr) {
+            error("verify-result-type", in.loc,
+                  "phi must produce i64 or ptr");
+            return;
+        }
+        expectResult(in, in.type);
+        for (std::size_t i = 0; i < in.operands.size(); ++i) {
+            if (typeOf(in.operands[i]) != in.type) {
+                error("verify-operand-type", in.loc,
+                      "phi operand " + ref(in.operands[i]) +
+                      " must be " + typeName(in.type) + ", is " +
+                      typeName(typeOf(in.operands[i])));
+            }
+            // Missing edges panic the interpreter, extra entries are
+            // merely dead: error vs warning.
+            if (!isPred(b, in.phiBlocks[i])) {
+                warning("verify-phi-pred", in.loc,
+                        "phi lists non-predecessor block '" +
+                        fn_.blocks[in.phiBlocks[i]].name + "'");
+            }
+        }
+        for (BlockId p : preds_[b]) {
+            bool covered = false;
+            for (BlockId pb : in.phiBlocks) {
+                if (pb == p) {
+                    covered = true;
+                    break;
+                }
+            }
+            if (!covered) {
+                error("verify-phi-pred", in.loc,
+                      "phi misses predecessor block '" +
+                      fn_.blocks[p].name + "'");
+            }
+        }
+    }
+
+    void
+    checkReachability()
+    {
+        std::vector<bool> seen(fn_.blocks.size(), false);
+        std::vector<BlockId> stack{0};
+        seen[0] = true;
+        while (!stack.empty()) {
+            const BlockId b = stack.back();
+            stack.pop_back();
+            const Inst &term = fn_.blocks[b].insts.back();
+            BlockId succs[2] = {kNoBlock, kNoBlock};
+            if (term.op == Op::Br) {
+                succs[0] = term.target0;
+                succs[1] = term.target1;
+            } else if (term.op == Op::Jmp) {
+                succs[0] = term.target0;
+            }
+            for (BlockId s : succs) {
+                if (s != kNoBlock && !seen[s]) {
+                    seen[s] = true;
+                    stack.push_back(s);
+                }
+            }
+        }
+        reachable_ = seen;
+        for (BlockId b = 0; b < fn_.blocks.size(); ++b) {
+            if (!seen[b]) {
+                warning("verify-unreachable-block", fn_.blocks[b].loc,
+                        "block '" + fn_.blocks[b].name +
+                        "' is unreachable");
+            }
+        }
+    }
+
+    /**
+     * Must-reach-definitions: a use is well-defined iff its value is
+     * assigned on *every* path from entry. Forward dataflow with
+     * intersection at joins; optimistic (all-defined) initial state
+     * so loops converge to the greatest fixpoint.
+     */
+    void
+    checkDefBeforeUse()
+    {
+        const std::size_t nv = fn_.numValues();
+        const std::size_t nb = fn_.blocks.size();
+        // in_[b][v] = v defined on entry to b on all paths.
+        std::vector<std::vector<bool>> in(
+            nb, std::vector<bool>(nv, true));
+        in[0].assign(nv, false);
+        for (ValueId p : fn_.paramValues)
+            in[0][p] = true;
+
+        auto outOf = [&](BlockId b) {
+            std::vector<bool> s = in[b];
+            for (const Inst &inst : fn_.blocks[b].insts) {
+                if (inst.result != kNoValue)
+                    s[inst.result] = true;
+            }
+            return s;
+        };
+
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (BlockId b = 1; b < nb; ++b) {
+                if (preds_[b].empty())
+                    continue;
+                std::vector<bool> meet(nv, true);
+                for (BlockId p : preds_[b]) {
+                    const std::vector<bool> po = outOf(p);
+                    for (std::size_t v = 0; v < nv; ++v)
+                        meet[v] = meet[v] && po[v];
+                }
+                if (meet != in[b]) {
+                    in[b] = std::move(meet);
+                    changed = true;
+                }
+            }
+        }
+
+        for (BlockId b = 0; b < nb; ++b) {
+            if (!reachable_[b])
+                continue;
+            std::vector<bool> defined = in[b];
+            for (const Inst &inst : fn_.blocks[b].insts) {
+                if (inst.op == Op::Phi) {
+                    // Phi reads along the incoming edge.
+                    for (std::size_t i = 0; i < inst.operands.size();
+                         ++i) {
+                        const BlockId pb = inst.phiBlocks[i];
+                        if (!isPred(b, pb) || !reachable_[pb])
+                            continue;
+                        if (!outOf(pb)[inst.operands[i]]) {
+                            error("verify-def-before-use", inst.loc,
+                                  "phi reads " +
+                                  ref(inst.operands[i]) +
+                                  " which is not defined on exit of '" +
+                                  fn_.blocks[pb].name + "'");
+                        }
+                    }
+                } else {
+                    for (ValueId v : inst.operands) {
+                        if (!defined[v]) {
+                            error("verify-def-before-use", inst.loc,
+                                  ref(v) +
+                                  " may be used before definition");
+                        }
+                    }
+                }
+                if (inst.result != kNoValue)
+                    defined[inst.result] = true;
+            }
+        }
+    }
+
+    const Function &fn_;
+    DiagnosticEngine &diags_;
+    std::vector<std::vector<BlockId>> preds_;
+    std::vector<bool> reachable_;
+};
+
+} // namespace
+
+bool
+verifyFunction(const Function &fn, DiagnosticEngine &diags)
+{
+    return FunctionVerifier(fn, diags).run();
+}
+
+bool
+verifyModule(const Module &mod, DiagnosticEngine &diags)
+{
+    const std::size_t errors_before = diags.errorCount();
+    for (const auto &f : mod.functions) {
+        verifyFunction(*f, diags);
+        for (const Block &b : f->blocks) {
+            for (const Inst &in : b.insts) {
+                if (in.op != Op::Call)
+                    continue;
+                const Function *callee = mod.find(in.callee);
+                if (!callee) {
+                    diags.error("verify-undefined-callee", in.loc,
+                                "call to undefined @" + in.callee,
+                                f->name);
+                    continue;
+                }
+                if (callee->paramTypes.size() != in.operands.size()) {
+                    diags.error(
+                        "verify-call-arity", in.loc,
+                        "call to @" + in.callee +
+                        " arity mismatch: takes " +
+                        std::to_string(callee->paramTypes.size()) +
+                        " argument(s), got " +
+                        std::to_string(in.operands.size()),
+                        f->name);
+                    continue;
+                }
+                for (std::size_t i = 0; i < in.operands.size(); ++i) {
+                    const Type got = f->valueTypes[in.operands[i]];
+                    if (got != callee->paramTypes[i]) {
+                        diags.error(
+                            "verify-call-type", in.loc,
+                            "argument " + std::to_string(i) +
+                            " of call to @" + in.callee + " must be " +
+                            typeName(callee->paramTypes[i]) +
+                            ", is " + typeName(got),
+                            f->name);
+                    }
+                }
+                if (in.result != kNoValue &&
+                    callee->returnType != in.type) {
+                    diags.error("verify-call-type", in.loc,
+                                "result of call to @" + in.callee +
+                                " must be " +
+                                typeName(callee->returnType),
+                                f->name);
+                }
+            }
+        }
+    }
+    return diags.errorCount() == errors_before;
+}
+
+namespace
+{
+
+[[noreturn]] void
+throwFirstError(const DiagnosticEngine &diags)
+{
+    for (const Diagnostic &d : diags.all()) {
+        if (d.severity != DiagSeverity::Error)
+            continue;
+        std::string msg = "IR verify error";
+        if (d.loc.known()) {
+            msg += " at line " + std::to_string(d.loc.line) +
+                   ", col " + std::to_string(d.loc.col);
+        }
+        msg += ": [" + d.code + "] " + d.message;
+        if (!d.function.empty())
+            msg += " [@" + d.function + "]";
+        throw Fault(FaultKind::BadUsage, msg);
+    }
+    upr_panic("throwFirstError called without errors");
+}
+
+} // namespace
+
+void
+verifyFunctionOrThrow(const Function &fn)
+{
+    DiagnosticEngine diags;
+    if (!verifyFunction(fn, diags))
+        throwFirstError(diags);
+}
+
+void
+verifyModuleOrThrow(const Module &mod)
+{
+    DiagnosticEngine diags;
+    if (!verifyModule(mod, diags))
+        throwFirstError(diags);
+}
+
+} // namespace upr::ir

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * IR verifier: structural and type well-formedness over the mini-IR,
+ * reported through the DiagnosticEngine instead of panicking.
+ *
+ * Checked per function:
+ *  - at least one block; every block non-empty;
+ *  - exactly one terminator per block, and only in last position;
+ *  - every ValueId (results and operands) is in range;
+ *  - result and operand types match the opcode's signature
+ *    (load addr is ptr, storep stores ptr into ptr, gep/ptrtoint
+ *    take ptr, inttoptr takes i64, br conditions are i64, ...);
+ *  - phi nodes form a contiguous prefix of their block, have matched
+ *    block/value arity, operand types equal to the phi type, and
+ *    their incoming blocks are actual CFG predecessors;
+ *  - ret matches the function's return type;
+ *  - every use is dominated by a definition on all paths
+ *    (must-reach-definitions forward dataflow; phi operands are
+ *    checked against the out-set of their incoming block).
+ *
+ * Checked per module, additionally:
+ *  - calls resolve, arity matches, argument and result types match.
+ *
+ * Warnings (not errors): unreachable blocks, eq/lt comparing a ptr
+ * with an i64.
+ *
+ * The parser runs verifyFunctionOrThrow / verifyModuleOrThrow after
+ * parsing; passes that rewrite IR should re-run them on the result.
+ */
+
+#ifndef UPR_COMPILER_ANALYSIS_VERIFIER_HH
+#define UPR_COMPILER_ANALYSIS_VERIFIER_HH
+
+#include "common/diag.hh"
+#include "compiler/ir.hh"
+
+namespace upr::ir
+{
+
+/**
+ * Verify one function (everything except cross-function checks).
+ * Appends findings to @p diags; returns true iff no *errors* were
+ * added (warnings alone keep it true).
+ */
+bool verifyFunction(const Function &fn, DiagnosticEngine &diags);
+
+/** Verify every function plus call-site resolution/arity/types. */
+bool verifyModule(const Module &mod, DiagnosticEngine &diags);
+
+/**
+ * Throwing wrappers used by the parser: on the first error, throw
+ * Fault(BadUsage) whose message carries the rendered diagnostic
+ * ("IR verify error at line L, col C: ...").
+ */
+void verifyFunctionOrThrow(const Function &fn);
+void verifyModuleOrThrow(const Module &mod);
+
+} // namespace upr::ir
+
+#endif // UPR_COMPILER_ANALYSIS_VERIFIER_HH

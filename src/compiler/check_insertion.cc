@@ -177,6 +177,8 @@ printAnnotated(const Module &mod, const CheckPlan &plan)
                     mark += " [ra2va addr]";
                 if (ip.destDynamic)
                     mark += " [checkX dest]";
+                if (ip.destElided)
+                    mark += " [elided dest]";
                 if (ip.valueDynamic)
                     mark += " [checkY val]";
                 if (ip.cmp0Dynamic)

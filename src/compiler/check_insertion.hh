@@ -38,6 +38,14 @@ struct InstPlan
     bool valueDynamic = false;
     /** The destination medium needs a dynamic determineX. */
     bool destDynamic = false;
+    /**
+     * A determineX the elision pass proved redundant: the address
+     * resolution at this same storep already reveals the medium
+     * (bit 47 of the resolved VA), so no classification check runs.
+     * The interpreter still preserves the dynamic path's strict
+     * storeP fault behavior.
+     */
+    bool destElided = false;
     /** First comparison/cast pointer operand needs a dynamic check. */
     bool cmp0Dynamic = false;
     /** Second comparison pointer operand needs a dynamic check. */
@@ -76,6 +84,8 @@ struct CheckPlan
     std::uint64_t remainingSites = 0;
     /** Sites downgraded to check-free by block-local refinement. */
     std::uint64_t refinedSites = 0;
+    /** Sites deleted by the proof-driven elision pass (elision.hh). */
+    std::uint64_t elidedSites = 0;
 
     /** Fraction of checks the inference removed. */
     double

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared mini-IR demo programs: the paper's Fig 9 linked-list
+ * example, used by the compiler-pass demo, the static-analysis
+ * bench section, and the lint/elision tests. One definition so the
+ * numbers printed by each agree.
+ */
+
+#ifndef UPR_COMPILER_DEMO_PROGRAMS_HH
+#define UPR_COMPILER_DEMO_PROGRAMS_HH
+
+namespace upr::ir
+{
+
+/**
+ * The Fig 9 example: @append is a library function (parameters of
+ * unknown kind), @main a driver building a persistent chain of
+ * %count nodes through it, then walking the chain summing values.
+ * Node layout: { ptr next; i64 value }.
+ */
+inline const char *kFig9Source = R"(
+; The paper's Fig 9 example: linked-list append.
+; Node layout: { ptr next; i64 value }
+func @append(%p: ptr, %n: ptr) {
+entry:
+  %same = eq %p, %n
+  br %same, out, doit
+doit:
+  %slot = gep %p, 0
+  storep %n, %slot
+  jmp out
+out:
+  ret
+}
+
+; Build a persistent chain of %n nodes using @append, then sum it.
+func @main(%count: i64) -> i64 {
+entry:
+  %zero = const 0
+  %head = pmalloc 16
+  %vslot0 = gep %head, 8
+  store %zero, %vslot0
+  jmp loop
+loop:
+  %i = phi.i64 [entry, %zero], [body, %inext]
+  %tail = phi.ptr [entry, %head], [body, %node]
+  %cont = lt %i, %count
+  br %cont, body, walk
+body:
+  %node = pmalloc 16
+  %one = const 1
+  %inext = add %i, %one
+  %vslot = gep %node, 8
+  store %inext, %vslot
+  %nslot = gep %node, 0
+  storep %node, %nslot     ; self-link first (append overwrites)
+  call @append(%tail, %node)
+  jmp loop
+walk:
+  jmp whead
+whead:
+  %cur = phi.ptr [walk, %head], [wbody, %nxt]
+  %acc = phi.i64 [walk, %zero], [wbody, %accn]
+  %curv = gep %cur, 8
+  %v = load.i64 %curv
+  %accn = add %acc, %v
+  %nslot2 = gep %cur, 0
+  %nxt = load.ptr %nslot2
+  %ni = ptrtoint %nxt
+  %ci = ptrtoint %cur
+  %self = eq %ni, %ci
+  br %self, done, wbody
+wbody:
+  jmp whead
+done:
+  ret %accn
+}
+)";
+
+} // namespace upr::ir
+
+#endif // UPR_COMPILER_DEMO_PROGRAMS_HH

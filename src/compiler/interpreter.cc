@@ -104,6 +104,12 @@ Interpreter::execStoreP(std::uint64_t value_bits, SimAddr dest_va,
             out = rt_.va2ra(PtrRepr::toVa(value_bits), site);
         } else if (!dest_nvm && form == PtrForm::Relative) {
             out = PtrRepr::fromVa(rt_.ra2va(value_bits, site));
+        } else if (dest_nvm && form == PtrForm::VirtualDram &&
+                   plan.destElided && rt_.config().strictStoreP) {
+            // The destination check was elided, not proved away:
+            // keep the dynamic path's strict storeP fault.
+            throw Fault(FaultKind::StorePFault,
+                        "DRAM pointer stored into NVM");
         }
     }
     rt_.storeData<PtrBits>(dest_va, out);

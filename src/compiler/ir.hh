@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/diag.hh"
 #include "common/logging.hh"
 
 namespace upr::ir
@@ -84,6 +85,7 @@ struct Inst
     BlockId target1 = kNoBlock;       //!< Br else
     std::vector<BlockId> phiBlocks;   //!< Phi incoming blocks
     std::string callee;               //!< Call target name
+    SrcLoc loc;                       //!< source position (parser-set)
 };
 
 /** A basic block: straight-line instructions ending in a terminator. */
@@ -91,12 +93,14 @@ struct Block
 {
     std::string name;
     std::vector<Inst> insts;
+    SrcLoc loc;                       //!< label position (parser-set)
 };
 
 /** A function: parameters, registers, and blocks. */
 struct Function
 {
     std::string name;
+    SrcLoc loc;                       //!< 'func' line (parser-set)
     std::vector<Type> paramTypes;
     std::vector<ValueId> paramValues; //!< register ids of parameters
     Type returnType = Type::Void;

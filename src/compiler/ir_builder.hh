@@ -45,7 +45,7 @@ class FunctionBuilder
     BlockId
     block(const std::string &name)
     {
-        fn_->blocks.push_back(Block{name, {}});
+        fn_->blocks.push_back(Block{name, {}, {}});
         return static_cast<BlockId>(fn_->blocks.size() - 1);
     }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/fault.hh"
+#include "compiler/analysis/verifier.hh"
 
 namespace upr::ir
 {
@@ -13,33 +14,49 @@ namespace
 {
 
 [[noreturn]] void
-parseError(int line, const std::string &message)
+parseError(int line, int col, const std::string &message)
 {
     throw Fault(FaultKind::BadUsage,
                 "IR parse error at line " + std::to_string(line) +
-                ": " + message);
+                ", col " + std::to_string(col) + ": " + message);
 }
 
+/** One token plus the 1-based column it starts at. */
+struct Tok
+{
+    std::string text;
+    int col = 0;
+
+    char first() const { return text.empty() ? '\0' : text[0]; }
+    bool operator==(const std::string &s) const { return text == s; }
+    bool operator!=(const std::string &s) const { return text != s; }
+};
+
 /** Whitespace/comma tokenizer keeping punctuation tokens. */
-std::vector<std::string>
+std::vector<Tok>
 tokenize(const std::string &line)
 {
-    std::vector<std::string> out;
+    std::vector<Tok> out;
     std::string cur;
+    int cur_col = 0;
     auto flush = [&] {
         if (!cur.empty()) {
-            out.push_back(cur);
+            out.push_back(Tok{cur, cur_col});
             cur.clear();
         }
     };
-    for (char c : line) {
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        const int col = static_cast<int>(i) + 1;
         if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
             flush();
         } else if (c == '(' || c == ')' || c == '[' || c == ']' ||
                    c == '{' || c == '}' || c == ':') {
             flush();
-            out.push_back(std::string(1, c));
+            out.push_back(Tok{std::string(1, c), col});
         } else {
+            if (cur.empty())
+                cur_col = col;
             cur.push_back(c);
         }
     }
@@ -48,7 +65,7 @@ tokenize(const std::string &line)
 }
 
 Type
-parseType(const std::string &t, int line)
+parseType(const Tok &t, int line)
 {
     if (t == "i64")
         return Type::I64;
@@ -56,7 +73,7 @@ parseType(const std::string &t, int line)
         return Type::Ptr;
     if (t == "void")
         return Type::Void;
-    parseError(line, "unknown type '" + t + "'");
+    parseError(line, t.col, "unknown type '" + t.text + "'");
 }
 
 /** Parser state for one function. */
@@ -68,10 +85,11 @@ struct FnParser
     int line = 0;
 
     ValueId
-    defineValue(const std::string &name, Type ty)
+    defineValue(const Tok &name_tok, Type ty)
     {
+        const std::string &name = name_tok.text;
         if (valueByName.count(name))
-            parseError(line, "%" + name + " redefined");
+            parseError(line, name_tok.col, "%" + name + " redefined");
         fn.valueTypes.push_back(ty);
         fn.valueNames.push_back(name);
         const ValueId v = fn.numValues() - 1;
@@ -80,38 +98,57 @@ struct FnParser
     }
 
     ValueId
-    useValue(const std::string &token)
+    useValue(const Tok &token)
     {
-        if (token.empty() || token[0] != '%')
-            parseError(line, "expected a %value, got '" + token + "'");
-        auto it = valueByName.find(token.substr(1));
-        if (it == valueByName.end())
-            parseError(line, token + " used before definition");
+        if (token.first() != '%') {
+            parseError(line, token.col,
+                       "expected a %value, got '" + token.text + "'");
+        }
+        auto it = valueByName.find(token.text.substr(1));
+        if (it == valueByName.end()) {
+            parseError(line, token.col,
+                       token.text + " used before definition");
+        }
         return it->second;
     }
 
     BlockId
-    useBlock(const std::string &name)
+    useBlock(const Tok &token)
     {
-        auto it = blockByName.find(name);
-        if (it == blockByName.end())
-            parseError(line, "unknown block '" + name + "'");
+        auto it = blockByName.find(token.text);
+        if (it == blockByName.end()) {
+            parseError(line, token.col,
+                       "unknown block '" + token.text + "'");
+        }
         return it->second;
     }
 };
 
 std::int64_t
-parseImm(const std::string &tok, int line)
+parseImm(const Tok &tok, int line)
 {
     try {
         std::size_t pos = 0;
-        const long long v = std::stoll(tok, &pos, 0);
-        if (pos != tok.size())
-            parseError(line, "bad integer '" + tok + "'");
+        const long long v = std::stoll(tok.text, &pos, 0);
+        if (pos != tok.text.size())
+            parseError(line, tok.col, "bad integer '" + tok.text + "'");
         return v;
     } catch (const std::logic_error &) {
-        parseError(line, "bad integer '" + tok + "'");
+        parseError(line, tok.col, "bad integer '" + tok.text + "'");
     }
+}
+
+/** Bounds-checked token access. */
+const Tok &
+at(const std::vector<Tok> &toks, std::size_t i, int line)
+{
+    if (i >= toks.size()) {
+        const int col =
+            toks.empty() ? 1 : toks.back().col +
+                               static_cast<int>(toks.back().text.size());
+        parseError(line, col, "unexpected end of line");
+    }
+    return toks[i];
 }
 
 } // namespace
@@ -135,14 +172,16 @@ parseModule(const std::string &text)
     {
         BlockId block;
         std::size_t inst;
-        std::string fromBlock;
-        std::string value;
+        Tok fromBlock;
+        Tok value;
+        int line;
     };
     struct PendingTarget
     {
         BlockId block;
         std::size_t inst;
-        std::string name0, name1;
+        Tok name0, name1;
+        int line;
     };
     std::vector<PendingPhiArg> pending_phis;
     std::vector<PendingTarget> pending_targets;
@@ -151,18 +190,20 @@ parseModule(const std::string &text)
         upr_assert(cur != nullptr);
         for (const auto &pt : pending_targets) {
             Inst &in = cur->fn.blocks[pt.block].insts[pt.inst];
+            cur->line = pt.line;
             in.target0 = cur->useBlock(pt.name0);
-            if (!pt.name1.empty())
+            if (!pt.name1.text.empty())
                 in.target1 = cur->useBlock(pt.name1);
         }
         for (const auto &pp : pending_phis) {
             Inst &in = cur->fn.blocks[pp.block].insts[pp.inst];
+            cur->line = pp.line;
             in.phiBlocks.push_back(cur->useBlock(pp.fromBlock));
             in.operands.push_back(cur->useValue(pp.value));
         }
         pending_targets.clear();
         pending_phis.clear();
-        validate(cur->fn);
+        verifyFunctionOrThrow(cur->fn);
         mod.functions.push_back(
             std::make_unique<Function>(std::move(cur->fn)));
         fp.reset();
@@ -176,31 +217,35 @@ parseModule(const std::string &text)
         const std::size_t semi = raw.find(';');
         if (semi != std::string::npos)
             raw.resize(semi);
-        std::vector<std::string> toks = tokenize(raw);
+        std::vector<Tok> toks = tokenize(raw);
         if (toks.empty())
             continue;
 
         if (toks[0] == "func") {
             if (cur)
-                parseError(line_no, "nested func");
+                parseError(line_no, toks[0].col, "nested func");
             fp = std::make_unique<FnParser>();
             cur = fp.get();
             cur->line = line_no;
+            cur->fn.loc = SrcLoc{line_no, toks[0].col};
             // func @name ( %a : ty ... ) [-> ty] {
             std::size_t i = 1;
-            if (i >= toks.size() || toks[i][0] != '@')
-                parseError(line_no, "expected @name");
-            cur->fn.name = toks[i].substr(1);
+            if (at(toks, i, line_no).first() != '@')
+                parseError(line_no, toks[i].col, "expected @name");
+            cur->fn.name = toks[i].text.substr(1);
             ++i;
-            if (i >= toks.size() || toks[i] != "(")
-                parseError(line_no, "expected (");
+            if (at(toks, i, line_no) != "(")
+                parseError(line_no, toks[i].col, "expected (");
             ++i;
             while (i < toks.size() && toks[i] != ")") {
-                if (toks[i][0] != '%')
-                    parseError(line_no, "expected %param");
-                const std::string pname = toks[i].substr(1);
-                if (i + 2 >= toks.size() || toks[i + 1] != ":")
-                    parseError(line_no, "expected ': type'");
+                if (toks[i].first() != '%')
+                    parseError(line_no, toks[i].col, "expected %param");
+                const Tok pname{toks[i].text.substr(1), toks[i].col};
+                if (i + 2 >= toks.size() || toks[i + 1] != ":") {
+                    parseError(line_no,
+                               at(toks, i + 1, line_no).col,
+                               "expected ': type'");
+                }
                 const Type ty = parseType(toks[i + 2], line_no);
                 cur->line = line_no;
                 const ValueId v = cur->defineValue(pname, ty);
@@ -208,15 +253,23 @@ parseModule(const std::string &text)
                 cur->fn.paramValues.push_back(v);
                 i += 3;
             }
-            if (i >= toks.size())
-                parseError(line_no, "expected )");
+            if (i >= toks.size()) {
+                parseError(line_no,
+                           toks.back().col +
+                               static_cast<int>(toks.back().text.size()),
+                           "expected )");
+            }
             ++i;
             if (i < toks.size() && toks[i] == "->") {
-                cur->fn.returnType = parseType(toks[i + 1], line_no);
+                cur->fn.returnType =
+                    parseType(at(toks, i + 1, line_no), line_no);
                 i += 2;
             }
-            if (i >= toks.size() || toks[i] != "{")
-                parseError(line_no, "expected {");
+            if (i >= toks.size() || toks[i] != "{") {
+                parseError(line_no,
+                           i < toks.size() ? toks[i].col : 1,
+                           "expected {");
+            }
 
             // Pre-scan the body for block labels so forward branch
             // targets resolve; labels are lines ending in ':'.
@@ -228,16 +281,19 @@ parseModule(const std::string &text)
                 const std::size_t sc = body_line.find(';');
                 if (sc != std::string::npos)
                     body_line.resize(sc);
-                std::vector<std::string> btoks = tokenize(body_line);
+                std::vector<Tok> btoks = tokenize(body_line);
                 if (btoks.empty())
                     continue;
                 if (btoks[0] == "}")
                     break;
                 if (btoks.size() == 2 && btoks[1] == ":" &&
-                    btoks[0][0] != '%') {
-                    cur->fn.blocks.push_back(Block{btoks[0], {}});
+                    btoks[0].first() != '%') {
+                    Block blk;
+                    blk.name = btoks[0].text;
+                    blk.loc = SrcLoc{scan_line, btoks[0].col};
+                    cur->fn.blocks.push_back(std::move(blk));
                     cur->blockByName.emplace(
-                        btoks[0],
+                        btoks[0].text,
                         static_cast<BlockId>(cur->fn.blocks.size() -
                                              1));
                 }
@@ -248,7 +304,7 @@ parseModule(const std::string &text)
         }
 
         if (!cur)
-            parseError(line_no, "instruction outside func");
+            parseError(line_no, toks[0].col, "instruction outside func");
         cur->line = line_no;
 
         if (toks[0] == "}") {
@@ -257,76 +313,82 @@ parseModule(const std::string &text)
         }
 
         // Block label?
-        if (toks.size() == 2 && toks[1] == ":" && toks[0][0] != '%') {
+        if (toks.size() == 2 && toks[1] == ":" &&
+            toks[0].first() != '%') {
             cur_block = cur->useBlock(toks[0]);
             continue;
         }
-        if (cur_block == kNoBlock)
-            parseError(line_no, "instruction before first label");
+        if (cur_block == kNoBlock) {
+            parseError(line_no, toks[0].col,
+                       "instruction before first label");
+        }
 
         Block &blk = cur->fn.blocks[cur_block];
 
         // Result form: "%name = op ..." or bare "op ...".
-        std::string result_name;
+        Tok result_name;
         std::size_t i = 0;
-        if (toks[0][0] == '%') {
+        if (toks[0].first() == '%') {
             if (toks.size() < 3 || toks[1] != "=")
-                parseError(line_no, "expected '='");
-            result_name = toks[0].substr(1);
+                parseError(line_no, toks[0].col, "expected '='");
+            result_name = Tok{toks[0].text.substr(1), toks[0].col};
             i = 2;
         }
-        const std::string op = toks[i++];
+        const Tok &op_tok = at(toks, i, line_no);
+        const std::string &op = op_tok.text;
+        ++i;
         Inst in{};
+        in.loc = SrcLoc{line_no, toks[0].col};
 
         auto finishWithResult = [&](Type ty) {
             in.type = ty;
-            if (result_name.empty())
-                parseError(line_no, op + " needs a result");
+            if (result_name.text.empty())
+                parseError(line_no, op_tok.col, op + " needs a result");
             in.result = cur->defineValue(result_name, ty);
             blk.insts.push_back(in);
         };
         auto finishVoid = [&] {
-            if (!result_name.empty())
-                parseError(line_no, op + " has no result");
+            if (!result_name.text.empty())
+                parseError(line_no, op_tok.col, op + " has no result");
             blk.insts.push_back(in);
         };
 
         if (op == "const") {
             in.op = Op::Const;
-            in.imm = parseImm(toks[i], line_no);
+            in.imm = parseImm(at(toks, i, line_no), line_no);
             finishWithResult(Type::I64);
         } else if (op == "alloca" || op == "malloc" ||
                    op == "pmalloc") {
             in.op = op == "alloca" ? Op::Alloca
                     : op == "malloc" ? Op::Malloc
                                      : Op::Pmalloc;
-            in.imm = parseImm(toks[i], line_no);
+            in.imm = parseImm(at(toks, i, line_no), line_no);
             finishWithResult(Type::Ptr);
         } else if (op == "free" || op == "pfree") {
             in.op = op == "free" ? Op::Free : Op::Pfree;
-            in.operands = {cur->useValue(toks[i])};
+            in.operands = {cur->useValue(at(toks, i, line_no))};
             finishVoid();
         } else if (op == "load.i64" || op == "load.ptr") {
             in.op = Op::Load;
-            in.operands = {cur->useValue(toks[i])};
+            in.operands = {cur->useValue(at(toks, i, line_no))};
             finishWithResult(op == "load.ptr" ? Type::Ptr : Type::I64);
         } else if (op == "store" || op == "storep") {
             in.op = op == "store" ? Op::Store : Op::StoreP;
-            in.operands = {cur->useValue(toks[i]),
-                           cur->useValue(toks[i + 1])};
+            in.operands = {cur->useValue(at(toks, i, line_no)),
+                           cur->useValue(at(toks, i + 1, line_no))};
             finishVoid();
         } else if (op == "gep") {
             in.op = Op::Gep;
-            in.operands = {cur->useValue(toks[i])};
-            in.imm = parseImm(toks[i + 1], line_no);
+            in.operands = {cur->useValue(at(toks, i, line_no))};
+            in.imm = parseImm(at(toks, i + 1, line_no), line_no);
             finishWithResult(Type::Ptr);
         } else if (op == "ptrtoint") {
             in.op = Op::PtrToInt;
-            in.operands = {cur->useValue(toks[i])};
+            in.operands = {cur->useValue(at(toks, i, line_no))};
             finishWithResult(Type::I64);
         } else if (op == "inttoptr") {
             in.op = Op::IntToPtr;
-            in.operands = {cur->useValue(toks[i])};
+            in.operands = {cur->useValue(at(toks, i, line_no))};
             finishWithResult(Type::Ptr);
         } else if (op == "eq" || op == "lt" || op == "add" ||
                    op == "sub" || op == "mul") {
@@ -335,20 +397,21 @@ parseModule(const std::string &text)
                     : op == "add" ? Op::Add
                     : op == "sub" ? Op::Sub
                                   : Op::Mul;
-            in.operands = {cur->useValue(toks[i]),
-                           cur->useValue(toks[i + 1])};
+            in.operands = {cur->useValue(at(toks, i, line_no)),
+                           cur->useValue(at(toks, i + 1, line_no))};
             finishWithResult(Type::I64);
         } else if (op == "br") {
             in.op = Op::Br;
-            in.operands = {cur->useValue(toks[i])};
+            in.operands = {cur->useValue(at(toks, i, line_no))};
             pending_targets.push_back(
-                {cur_block, blk.insts.size(), toks[i + 1],
-                 toks[i + 2]});
+                {cur_block, blk.insts.size(), at(toks, i + 1, line_no),
+                 at(toks, i + 2, line_no), line_no});
             finishVoid();
         } else if (op == "jmp") {
             in.op = Op::Jmp;
             pending_targets.push_back(
-                {cur_block, blk.insts.size(), toks[i], ""});
+                {cur_block, blk.insts.size(), at(toks, i, line_no),
+                 Tok{}, line_no});
             finishVoid();
         } else if (op == "phi.i64" || op == "phi.ptr") {
             in.op = Op::Phi;
@@ -358,29 +421,31 @@ parseModule(const std::string &text)
             const std::size_t inst_idx = blk.insts.size();
             while (i < toks.size()) {
                 if (toks[i] != "[")
-                    parseError(line_no, "expected [");
+                    parseError(line_no, toks[i].col, "expected [");
                 pending_phis.push_back({cur_block, inst_idx,
-                                        toks[i + 1], toks[i + 2]});
-                if (toks[i + 3] != "]")
-                    parseError(line_no, "expected ]");
+                                        at(toks, i + 1, line_no),
+                                        at(toks, i + 2, line_no),
+                                        line_no});
+                if (at(toks, i + 3, line_no) != "]")
+                    parseError(line_no, toks[i + 3].col, "expected ]");
                 i += 4;
             }
             finishWithResult(ty);
         } else if (op == "call" || op == "call.i64" ||
                    op == "call.ptr") {
             in.op = Op::Call;
-            if (toks[i][0] != '@')
-                parseError(line_no, "expected @callee");
-            in.callee = toks[i].substr(1);
+            if (at(toks, i, line_no).first() != '@')
+                parseError(line_no, toks[i].col, "expected @callee");
+            in.callee = toks[i].text.substr(1);
             ++i;
-            if (i >= toks.size() || toks[i] != "(")
-                parseError(line_no, "expected (");
+            if (at(toks, i, line_no) != "(")
+                parseError(line_no, toks[i].col, "expected (");
             ++i;
-            while (i < toks.size() && toks[i] != ")") {
+            while (at(toks, i, line_no) != ")") {
                 in.operands.push_back(cur->useValue(toks[i]));
                 ++i;
             }
-            if (result_name.empty()) {
+            if (result_name.text.empty()) {
                 in.type = Type::Void;
                 finishVoid();
             } else {
@@ -399,13 +464,14 @@ parseModule(const std::string &text)
                 in.operands = {cur->useValue(toks[i])};
             finishVoid();
         } else {
-            parseError(line_no, "unknown opcode '" + op + "'");
+            parseError(line_no, op_tok.col, "unknown opcode '" + op +
+                       "'");
         }
     }
 
     if (cur)
-        parseError(line_no, "missing closing }");
-    validate(mod);
+        parseError(line_no, 1, "missing closing }");
+    verifyModuleOrThrow(mod);
     return mod;
 }
 

@@ -1,0 +1,273 @@
+/** @file Tests for the branch-sensitive abstract interpreter over
+ * the pointer-kind lattice: the eq-guard meet table, the narrowing
+ * regression the flow-insensitive inference cannot get, infeasible
+ * edge pruning, and loop fixpoints. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/analysis/abstract_interp.hh"
+#include "compiler/ir_parser.hh"
+#include "compiler/type_inference.hh"
+
+using namespace upr;
+using namespace upr::ir;
+
+namespace
+{
+
+ValueId
+idOfName(const Function &fn, const std::string &name)
+{
+    for (ValueId v = 0; v < fn.numValues(); ++v) {
+        if (fn.valueNames[v] == name)
+            return v;
+    }
+    upr_panic("no value %%%s", name.c_str());
+}
+
+} // namespace
+
+TEST(MeetOnEq, DramPartnerPinsRepresentation)
+{
+    // DRAM objects have exactly one pointer form, so eq-true with a
+    // known-VaDram pointer narrows an Unknown partner.
+    EXPECT_EQ(FlowAnalysis::meetOnEq(PtrKind::Unknown,
+                                     PtrKind::VaDram),
+              PtrKind::VaDram);
+    EXPECT_EQ(FlowAnalysis::meetOnEq(PtrKind::VaDram,
+                                     PtrKind::VaDram),
+              PtrKind::VaDram);
+}
+
+TEST(MeetOnEq, NvmPartnerProvesNothingAboutForm)
+{
+    // An NVM object circulates both as Ra and VaNvm (Fig 4): object
+    // identity with an NVM pointer must NOT narrow the partner's
+    // representation. This asymmetry is the soundness core.
+    EXPECT_EQ(FlowAnalysis::meetOnEq(PtrKind::Unknown, PtrKind::Ra),
+              PtrKind::Unknown);
+    EXPECT_EQ(FlowAnalysis::meetOnEq(PtrKind::Unknown,
+                                     PtrKind::VaNvm),
+              PtrKind::Unknown);
+    // Both NVM forms naming one object is feasible, forms intact.
+    EXPECT_EQ(FlowAnalysis::meetOnEq(PtrKind::Ra, PtrKind::VaNvm),
+              PtrKind::Ra);
+    EXPECT_EQ(FlowAnalysis::meetOnEq(PtrKind::VaNvm, PtrKind::Ra),
+              PtrKind::VaNvm);
+}
+
+TEST(MeetOnEq, CrossMediumEqualityIsInfeasible)
+{
+    // A DRAM object and an NVM object are never the same object.
+    EXPECT_EQ(FlowAnalysis::meetOnEq(PtrKind::VaDram, PtrKind::Ra),
+              PtrKind::NoInfo);
+    EXPECT_EQ(FlowAnalysis::meetOnEq(PtrKind::Ra, PtrKind::VaDram),
+              PtrKind::NoInfo);
+    EXPECT_EQ(FlowAnalysis::meetOnEq(PtrKind::VaDram,
+                                     PtrKind::VaNvm),
+              PtrKind::NoInfo);
+}
+
+TEST(MeetOnEq, UnknownAndBottomPartners)
+{
+    EXPECT_EQ(FlowAnalysis::meetOnEq(PtrKind::Ra, PtrKind::Unknown),
+              PtrKind::Ra);
+    EXPECT_EQ(FlowAnalysis::meetOnEq(PtrKind::Unknown,
+                                     PtrKind::Unknown),
+              PtrKind::Unknown);
+    EXPECT_EQ(FlowAnalysis::meetOnEq(PtrKind::NoInfo, PtrKind::Ra),
+              PtrKind::NoInfo);
+    EXPECT_EQ(FlowAnalysis::meetOnEq(PtrKind::Ra, PtrKind::NoInfo),
+              PtrKind::NoInfo);
+}
+
+TEST(FlowAnalysis, GuardNarrowsWhereInferenceCannot)
+{
+    // The satellite regression: a pointer loaded from memory is
+    // Unknown to the flow-insensitive inference on every path, but
+    // equality with a known-DRAM pointer pins it on the taken edge.
+    Module mod = parseModule(R"(
+func @main() -> i64 {
+entry:
+  %buf = malloc 16
+  %slotp = malloc 16
+  storep %buf, %slotp
+  %l = load.ptr %slotp
+  %same = eq %l, %buf
+  br %same, hit, out
+hit:
+  %one = const 1
+  store %one, %l
+  jmp out
+out:
+  %v = load.i64 %buf
+  ret %v
+}
+)");
+    const auto inf = inferPointerKinds(mod);
+    const Function &fn = mod.get("main");
+    const ValueId l = idOfName(fn, "l");
+
+    // Base inference: one kind per register, necessarily Unknown.
+    EXPECT_EQ(inf.kindOf(fn, l), PtrKind::Unknown);
+
+    FlowAnalysis flow(mod, inf);
+    EXPECT_EQ(flow.blockIn(fn, fn.blockByName("hit")).at(l),
+              PtrKind::VaDram);
+    // The join block still sees the unguarded value.
+    EXPECT_EQ(flow.blockIn(fn, fn.blockByName("out")).at(l),
+              PtrKind::Unknown);
+}
+
+TEST(FlowAnalysis, NvmGuardDoesNotNarrow)
+{
+    // Same shape with pmalloc: the guard proves object identity but
+    // the loaded pointer may still be either NVM form, so it must
+    // stay Unknown on the hit path.
+    Module mod = parseModule(R"(
+func @main() -> i64 {
+entry:
+  %buf = pmalloc 16
+  %slotp = pmalloc 16
+  storep %buf, %slotp
+  %l = load.ptr %slotp
+  %same = eq %l, %buf
+  br %same, hit, out
+hit:
+  %one = const 1
+  store %one, %l
+  jmp out
+out:
+  %zero = const 0
+  ret %zero
+}
+)");
+    const auto inf = inferPointerKinds(mod);
+    const Function &fn = mod.get("main");
+    const ValueId l = idOfName(fn, "l");
+    FlowAnalysis flow(mod, inf);
+    EXPECT_EQ(flow.blockIn(fn, fn.blockByName("hit")).at(l),
+              PtrKind::Unknown);
+}
+
+TEST(FlowAnalysis, InfeasibleEdgeDropsToBottom)
+{
+    // eq between provably different media can never be true: on the
+    // true edge both operands drop to NoInfo (bottom).
+    Module mod = parseModule(R"(
+func @main() -> i64 {
+entry:
+  %d = malloc 16
+  %p = pmalloc 16
+  %di = ptrtoint %d
+  %pi = ptrtoint %p
+  %same = eq %di, %pi
+  br %same, never, out
+never:
+  %one = const 1
+  ret %one
+out:
+  %zero = const 0
+  ret %zero
+}
+)");
+    const auto inf = inferPointerKinds(mod);
+    const Function &fn = mod.get("main");
+    FlowAnalysis flow(mod, inf);
+    const auto &never_in = flow.blockIn(fn, fn.blockByName("never"));
+    EXPECT_EQ(never_in.at(idOfName(fn, "d")), PtrKind::NoInfo);
+    EXPECT_EQ(never_in.at(idOfName(fn, "p")), PtrKind::NoInfo);
+    // The fall-through edge keeps the full facts.
+    const auto &out_in = flow.blockIn(fn, fn.blockByName("out"));
+    EXPECT_EQ(out_in.at(idOfName(fn, "d")), PtrKind::VaDram);
+    EXPECT_EQ(out_in.at(idOfName(fn, "p")), PtrKind::Ra);
+}
+
+TEST(FlowAnalysis, LoopPhiReachesFixpoint)
+{
+    // A loop whose phi joins two Ra pointers stays Ra at the head; a
+    // phi mixing media converges to Unknown instead of oscillating.
+    Module mod = parseModule(R"(
+func @main(%n: i64) -> i64 {
+entry:
+  %zero = const 0
+  %head = pmalloc 16
+  %dram = malloc 16
+  jmp loop
+loop:
+  %i = phi.i64 [entry, %zero], [body, %inext]
+  %cur = phi.ptr [entry, %head], [body, %next]
+  %mix = phi.ptr [entry, %head], [body, %dram]
+  %cont = lt %i, %n
+  br %cont, body, exit
+body:
+  %one = const 1
+  %inext = add %i, %one
+  %next = gep %cur, 0
+  jmp loop
+exit:
+  ret %zero
+}
+)");
+    const auto inf = inferPointerKinds(mod);
+    const Function &fn = mod.get("main");
+    FlowAnalysis flow(mod, inf);
+    const auto &loop_in = flow.blockIn(fn, fn.blockByName("loop"));
+    EXPECT_EQ(loop_in.at(idOfName(fn, "cur")), PtrKind::Ra);
+    EXPECT_EQ(loop_in.at(idOfName(fn, "mix")), PtrKind::Unknown);
+}
+
+TEST(FlowAnalysis, KindBeforeReplaysBlockPrefix)
+{
+    Module mod = parseModule(R"(
+func @main() -> i64 {
+entry:
+  %p = pmalloc 16
+  %q = load.ptr %p
+  %r = gep %q, 8
+  %zero = const 0
+  ret %zero
+}
+)");
+    const auto inf = inferPointerKinds(mod);
+    const Function &fn = mod.get("main");
+    FlowAnalysis flow(mod, inf);
+    const ValueId q = idOfName(fn, "q");
+    // Before its own definition %q is bottom; after, Unknown; and
+    // the checked variant maps bottom to Unknown for conservative
+    // clients.
+    EXPECT_EQ(flow.kindBefore(fn, 0, 1, q), PtrKind::NoInfo);
+    EXPECT_EQ(flow.kindBefore(fn, 0, 2, q), PtrKind::Unknown);
+    EXPECT_EQ(flow.kindBeforeChecked(fn, 0, 1, q), PtrKind::Unknown);
+    // gep preserves the operand's representation.
+    EXPECT_EQ(flow.kindBefore(fn, 0, 3, idOfName(fn, "r")),
+              PtrKind::Unknown);
+}
+
+TEST(FlowAnalysis, ParamsSeedFromInterproceduralFixpoint)
+{
+    Module mod = parseModule(R"(
+func @use(%p: ptr) -> i64 {
+entry:
+  %v = load.i64 %p
+  ret %v
+}
+
+func @main() -> i64 {
+entry:
+  %a = pmalloc 16
+  %zero = const 0
+  store %zero, %a
+  %r = call.i64 @use(%a)
+  pfree %a
+  ret %r
+}
+)");
+    // Whole-program inference pins @use's parameter to Ra; the flow
+    // analysis starts its entry state from that fact.
+    const auto inf = inferPointerKinds(mod, false);
+    const Function &use = mod.get("use");
+    FlowAnalysis flow(mod, inf);
+    EXPECT_EQ(flow.blockIn(use, 0).at(idOfName(use, "p")),
+              PtrKind::Ra);
+}

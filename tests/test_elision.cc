@@ -1,0 +1,212 @@
+/** @file Tests for the proof-driven check-elision pass and its
+ * contract: the elided plan is bit-identical to the original with a
+ * strictly lower dynamic-check count whenever an executed site was
+ * elided. */
+
+#include <gtest/gtest.h>
+
+#include "compiler/analysis/abstract_interp.hh"
+#include "compiler/analysis/elision.hh"
+#include "compiler/check_insertion.hh"
+#include "compiler/demo_programs.hh"
+#include "compiler/ir_parser.hh"
+#include "compiler/type_inference.hh"
+
+using namespace upr;
+using namespace upr::ir;
+
+namespace
+{
+
+struct Elided
+{
+    Module mod;
+    InferenceResult inf;
+    CheckPlan before;
+    CheckPlan after;
+    ElisionResult res;
+};
+
+/** Parse, infer (library mode, like uprlint), plan, elide. */
+Elided
+elide(const char *source)
+{
+    Elided e;
+    e.mod = parseModule(source);
+    e.inf = inferPointerKinds(e.mod, true);
+    e.before = insertChecks(e.mod, &e.inf);
+    e.after = e.before;
+    FlowAnalysis flow(e.mod, e.inf);
+    e.res = elideChecks(e.mod, flow, e.after);
+    return e;
+}
+
+/** Whether any proof with the given role mentions @p needle. */
+bool
+hasProof(const ElisionResult &res, const std::string &role,
+         const std::string &needle)
+{
+    for (const ElisionProof &p : res.proofs) {
+        if (p.role == role &&
+            p.reason.find(needle) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+TEST(Elision, Fig9DestCheckProvedRedundant)
+{
+    // The acceptance scenario: on the paper's Fig 9 program, the
+    // storep destination's determineX is provably implied by the
+    // address resolution at the same instruction.
+    Elided e = elide(kFig9Source);
+    EXPECT_GE(e.res.elidedSites, 1u);
+    EXPECT_EQ(e.res.elidedSites, e.res.proofs.size());
+    EXPECT_TRUE(hasProof(e.res, "dest", "dest-implied-by-addr"));
+
+    // The @append storep (block 'doit', second instruction) carries
+    // the elided-dest marker and lost its dynamic dest check.
+    const Function &append = e.mod.get("append");
+    const BlockId doit = append.blockByName("doit");
+    const InstPlan &ip = e.after.perFunction.at("append").at(doit, 1);
+    EXPECT_TRUE(ip.destElided);
+    EXPECT_FALSE(ip.destDynamic);
+    EXPECT_TRUE(e.before.perFunction.at("append").at(doit, 1)
+                    .destDynamic);
+
+    // Plan counters stay consistent: every proof removed exactly one
+    // dynamic site.
+    EXPECT_EQ(e.after.totalSites, e.before.totalSites);
+    EXPECT_EQ(e.after.remainingSites + e.res.elidedSites,
+              e.before.remainingSites);
+    EXPECT_EQ(e.after.elidedSites, e.res.elidedSites);
+}
+
+TEST(Elision, Fig9BitIdenticalWithStrictlyFewerChecks)
+{
+    Elided e = elide(kFig9Source);
+    const ElisionValidation v =
+        validateElision(e.mod, e.before, e.after, "main", {8});
+    EXPECT_TRUE(v.bitIdentical);
+    EXPECT_EQ(v.resultBefore, 36u); // sum 1..8
+    EXPECT_EQ(v.resultAfter, 36u);
+    EXPECT_LT(v.checksAfter, v.checksBefore);
+}
+
+TEST(Elision, GuardNarrowingElidesTheCheck)
+{
+    // Rule 1: equality with a known-DRAM pointer pins the loaded
+    // pointer's form on the hit path; the store's dynamic check
+    // becomes a no-op passthrough.
+    Elided e = elide(R"(
+func @main() -> i64 {
+entry:
+  %buf = malloc 16
+  %slotp = malloc 16
+  storep %buf, %slotp
+  %l = load.ptr %slotp
+  %same = eq %l, %buf
+  br %same, hit, out
+hit:
+  %one = const 1
+  store %one, %l
+  jmp out
+out:
+  %v = load.i64 %buf
+  free %buf
+  free %slotp
+  ret %v
+}
+)");
+    EXPECT_TRUE(hasProof(e.res, "addr",
+                         "flow-proved-kind: address is va-dram"));
+    const ElisionValidation v =
+        validateElision(e.mod, e.before, e.after, "main", {});
+    EXPECT_TRUE(v.bitIdentical);
+    EXPECT_EQ(v.resultAfter, 1u);
+    // The guarded path executes, so exactly that check disappears.
+    EXPECT_EQ(v.checksBefore, 2u);
+    EXPECT_EQ(v.checksAfter, 1u);
+}
+
+TEST(Elision, AvailableCheckAcrossBlocks)
+{
+    // Rule 3: the entry block checks %p's form; the re-check in the
+    // dominated block reuses the outcome (conversion only). This is
+    // the cross-block generalization of the flow_refine option.
+    Elided e = elide(R"(
+func @lib(%p: ptr, %c: i64) -> i64 {
+entry:
+  %a = load.i64 %p
+  br %c, t, out
+t:
+  %b = load.i64 %p
+  %s = add %a, %b
+  ret %s
+out:
+  ret %a
+}
+
+func @main() -> i64 {
+entry:
+  %p = pmalloc 16
+  %v = const 21
+  store %v, %p
+  %one = const 1
+  %r = call.i64 @lib(%p, %one)
+  pfree %p
+  ret %r
+}
+)");
+    EXPECT_TRUE(hasProof(e.res, "addr", "available-check"));
+
+    const Function &lib = e.mod.get("lib");
+    const BlockId t = lib.blockByName("t");
+    const InstPlan &ip = e.after.perFunction.at("lib").at(t, 0);
+    EXPECT_TRUE(ip.addrRefined);
+    EXPECT_FALSE(ip.addrDynamic);
+
+    const ElisionValidation v =
+        validateElision(e.mod, e.before, e.after, "main", {});
+    EXPECT_TRUE(v.bitIdentical);
+    EXPECT_EQ(v.resultAfter, 42u);
+    EXPECT_EQ(v.checksBefore, 2u);
+    EXPECT_EQ(v.checksAfter, 1u);
+}
+
+TEST(Elision, NoChecksMeansNothingToElide)
+{
+    // Fully statically-typed module: inference already removed every
+    // check, so elision has no addr/value/cmp work; there is no
+    // storep either, so no dest proofs.
+    Elided e = elide(R"(
+func @main() -> i64 {
+entry:
+  %p = pmalloc 16
+  %v = const 7
+  store %v, %p
+  %r = load.i64 %p
+  pfree %p
+  ret %r
+}
+)");
+    EXPECT_EQ(e.res.elidedSites, 0u);
+    EXPECT_TRUE(e.res.proofs.empty());
+    const ElisionValidation v =
+        validateElision(e.mod, e.before, e.after, "main", {});
+    EXPECT_TRUE(v.bitIdentical);
+    EXPECT_EQ(v.checksBefore, 0u);
+    EXPECT_EQ(v.checksAfter, 0u);
+}
+
+TEST(Elision, ProofsCarryLocations)
+{
+    Elided e = elide(kFig9Source);
+    ASSERT_FALSE(e.res.proofs.empty());
+    for (const ElisionProof &p : e.res.proofs) {
+        EXPECT_TRUE(p.loc.known()) << p.function << " " << p.role;
+        EXPECT_FALSE(p.function.empty());
+    }
+}

@@ -181,6 +181,109 @@ entry:
     EXPECT_EQ(kindOfName(inf, mod.get("main"), "q"), PtrKind::Ra);
 }
 
+TEST(Inference, UnknownParamMeetsKnownKindsAcrossBranches)
+{
+    // A phi joining an unknown-kind parameter with each static kind
+    // must stay Unknown — the parameter may be any form at runtime,
+    // so no branch arm can sharpen the join.
+    Module mod = parseModule(R"(
+func @lib(%u: ptr, %c: i64) -> i64 {
+entry:
+  %p = pmalloc 16
+  %m = malloc 16
+  br %c, a, b
+a:
+  jmp out
+b:
+  jmp out
+out:
+  %j1 = phi.ptr [a, %u], [b, %p]
+  %j2 = phi.ptr [a, %u], [b, %m]
+  %j3 = phi.ptr [a, %p], [b, %p]
+  %zero = const 0
+  ret %zero
+}
+)");
+    const auto inf = inferPointerKinds(mod, true);
+    const Function &fn = mod.get("lib");
+    EXPECT_EQ(kindOfName(inf, fn, "u"), PtrKind::Unknown);
+    EXPECT_EQ(kindOfName(inf, fn, "j1"), PtrKind::Unknown);
+    EXPECT_EQ(kindOfName(inf, fn, "j2"), PtrKind::Unknown);
+    // Joining two same-kind operands keeps the kind.
+    EXPECT_EQ(kindOfName(inf, fn, "j3"), PtrKind::Ra);
+}
+
+TEST(Inference, LoopPhiReachesFixpoint)
+{
+    // The loop-carried pointer starts Ra (head) and every iteration
+    // feeds back a gep of itself, so the fixpoint keeps Ra; the
+    // second phi mixes in a DRAM pointer on the back edge and must
+    // converge to Unknown without oscillating.
+    Module mod = parseModule(R"(
+func @main(%n: i64) -> i64 {
+entry:
+  %zero = const 0
+  %head = pmalloc 16
+  %dram = malloc 16
+  jmp loop
+loop:
+  %i = phi.i64 [entry, %zero], [body, %inext]
+  %cur = phi.ptr [entry, %head], [body, %next]
+  %mix = phi.ptr [entry, %head], [body, %dram]
+  %cont = lt %i, %n
+  br %cont, body, exit
+body:
+  %one = const 1
+  %inext = add %i, %one
+  %next = gep %cur, 0
+  jmp loop
+exit:
+  ret %zero
+}
+)");
+    const auto inf = inferPointerKinds(mod);
+    const Function &fn = mod.get("main");
+    EXPECT_EQ(kindOfName(inf, fn, "cur"), PtrKind::Ra);
+    EXPECT_EQ(kindOfName(inf, fn, "next"), PtrKind::Ra);
+    EXPECT_EQ(kindOfName(inf, fn, "mix"), PtrKind::Unknown);
+}
+
+TEST(Inference, LoopThroughCallReachesFixpoint)
+{
+    // Interprocedural loop: @step's parameter kind depends on its
+    // own return value through @main's loop. The call-graph fixpoint
+    // must settle at Ra (only Ra flows in from every site).
+    Module mod = parseModule(R"(
+func @step(%p: ptr) -> ptr {
+entry:
+  %q = gep %p, 0
+  ret %q
+}
+
+func @main(%n: i64) -> i64 {
+entry:
+  %zero = const 0
+  %head = pmalloc 16
+  jmp loop
+loop:
+  %i = phi.i64 [entry, %zero], [body, %inext]
+  %cur = phi.ptr [entry, %head], [body, %next]
+  %cont = lt %i, %n
+  br %cont, body, exit
+body:
+  %one = const 1
+  %inext = add %i, %one
+  %next = call.ptr @step(%cur)
+  jmp loop
+exit:
+  ret %zero
+}
+)");
+    const auto inf = inferPointerKinds(mod, false);
+    EXPECT_EQ(kindOfName(inf, mod.get("step"), "p"), PtrKind::Ra);
+    EXPECT_EQ(kindOfName(inf, mod.get("main"), "next"), PtrKind::Ra);
+}
+
 TEST(KindLattice, JoinRules)
 {
     EXPECT_EQ(joinKind(PtrKind::NoInfo, PtrKind::Ra), PtrKind::Ra);

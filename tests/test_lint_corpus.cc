@@ -1,0 +1,140 @@
+/** @file In-process lint of every tests/ir_corpus fixture: each
+ * file must parse, verify, and produce exactly the Fig-4 findings
+ * its header comment promises. The golden CLI output is diffed
+ * separately by scripts/lint_corpus_check.sh (lint_corpus_golden). */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "compiler/analysis/abstract_interp.hh"
+#include "compiler/analysis/fig4_conformance.hh"
+#include "compiler/ir_parser.hh"
+#include "compiler/type_inference.hh"
+
+using namespace upr;
+using namespace upr::ir;
+
+namespace
+{
+
+/** What one fixture is expected to produce. */
+struct Fixture
+{
+    const char *name;
+    /** Error diagnostic code, or nullptr for clean fixtures. */
+    const char *errorCode;
+    /** Every site provable without dynamic checks? */
+    bool allProved;
+    /**
+     * Does the violation condemn enumerated sites (DiagnosedUB)?
+     * A gep escape is an error about the arithmetic itself, not a
+     * check site, so it diagnoses without condemning any site.
+     */
+    bool ubSites;
+};
+
+const Fixture kFixtures[] = {
+    {"clean_static.ir", nullptr, true, false},
+    {"fig9_append.ir", nullptr, false, false},
+    {"guard_narrow.ir", nullptr, false, false},
+    {"cross_pool_compare.ir", "fig4-cross-pool-compare", true, true},
+    {"escaping_arith.ir", "fig4-arith-escape", true, false},
+    {"mixed_storep.ir", "fig4-mixed-storep", true, true},
+};
+
+std::string
+readFixture(const std::string &name)
+{
+    const std::string path =
+        std::string(UPR_IR_CORPUS_DIR) + "/" + name;
+    std::ifstream f(path);
+    EXPECT_TRUE(f.good()) << "missing fixture " << path;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+TEST(LintCorpus, FixturesProduceTheirPromisedFindings)
+{
+    for (const Fixture &fx : kFixtures) {
+        SCOPED_TRACE(fx.name);
+        Module mod = parseModule(readFixture(fx.name));
+        const auto inf = inferPointerKinds(mod, true);
+        FlowAnalysis flow(mod, inf);
+        DiagnosticEngine diags;
+        const ConformanceReport rep =
+            checkFig4Conformance(mod, flow, diags);
+
+        EXPECT_EQ(rep.sites.size(),
+                  rep.provedSafe + rep.needsDynamic + rep.diagnosedUB);
+        EXPECT_GT(rep.sites.size(), 0u);
+
+        if (fx.errorCode == nullptr) {
+            EXPECT_EQ(diags.errorCount(), 0u) << diags.render();
+            EXPECT_EQ(rep.diagnosedUB, 0u);
+        } else {
+            if (fx.ubSites) {
+                EXPECT_GT(rep.diagnosedUB, 0u);
+            } else {
+                EXPECT_EQ(rep.diagnosedUB, 0u);
+            }
+            bool found = false;
+            for (const Diagnostic &d : diags.all()) {
+                if (d.code != fx.errorCode)
+                    continue;
+                found = true;
+                EXPECT_EQ(d.severity, DiagSeverity::Error);
+                // Seeded violations must be *located*.
+                EXPECT_TRUE(d.loc.known()) << d.render(fx.name);
+                EXPECT_FALSE(d.function.empty());
+            }
+            EXPECT_TRUE(found)
+                << "no " << fx.errorCode << " in:\n" << diags.render();
+        }
+
+        if (fx.allProved) {
+            EXPECT_EQ(rep.needsDynamic, 0u);
+        } else {
+            EXPECT_GT(rep.needsDynamic, 0u);
+        }
+    }
+}
+
+TEST(LintCorpus, VerdictsMatchDiagnosedSites)
+{
+    // Every DiagnosedUB site must reference a real instruction and
+    // carry the location the parser recorded.
+    for (const Fixture &fx : kFixtures) {
+        SCOPED_TRACE(fx.name);
+        Module mod = parseModule(readFixture(fx.name));
+        const auto inf = inferPointerKinds(mod, true);
+        FlowAnalysis flow(mod, inf);
+        DiagnosticEngine diags;
+        const ConformanceReport rep =
+            checkFig4Conformance(mod, flow, diags);
+        for (const SiteReport &s : rep.sites) {
+            const Function &fn = mod.get(s.function);
+            ASSERT_LT(s.block, fn.blocks.size());
+            ASSERT_LT(s.instIdx, fn.blocks[s.block].insts.size());
+            if (s.verdict == SiteVerdict::DiagnosedUB) {
+                EXPECT_TRUE(s.loc.known());
+            }
+        }
+    }
+}
+
+TEST(LintCorpus, VerdictNamesAreStable)
+{
+    // uprlint's text/JSON output and the goldens depend on these.
+    EXPECT_STREQ(siteVerdictName(SiteVerdict::ProvedSafe),
+                 "proved-safe");
+    EXPECT_STREQ(siteVerdictName(SiteVerdict::NeedsDynamic),
+                 "needs-dynamic-check");
+    EXPECT_STREQ(siteVerdictName(SiteVerdict::DiagnosedUB),
+                 "diagnosed-UB");
+}

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * uprlint: static Fig-4 conformance linter for mini-IR files.
+ *
+ *   uprlint [options] file.ir...
+ *
+ * Pipeline per file: parse (verifier runs automatically inside the
+ * parser), pointer-kind inference, branch-sensitive flow analysis,
+ * Fig-4 conformance classification, and — with --report-elision —
+ * the proof-driven check-elision pass including its bit-identical
+ * execution validation when the module has a runnable @main.
+ *
+ * Options:
+ *   --json             machine-readable output (one JSON document)
+ *   --report-elision   run the elision pass and print its proofs
+ *   --whole-program    treat the module as closed: parameter kinds
+ *                      come only from call sites in the module
+ *   --flow-refine      enable block-local refinement in the base
+ *                      check plan before elision
+ *
+ * Exit status: 0 clean (warnings allowed), 1 on parse/verify errors
+ * or diagnosed UB.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/diag.hh"
+#include "common/fault.hh"
+#include "compiler/analysis/elision.hh"
+#include "compiler/analysis/fig4_conformance.hh"
+#include "compiler/ir_parser.hh"
+
+using namespace upr;
+
+namespace
+{
+
+struct Options
+{
+    bool json = false;
+    bool reportElision = false;
+    bool wholeProgram = false;
+    bool flowRefine = false;
+    std::vector<std::string> files;
+};
+
+/** Per-file lint outcome (for JSON assembly). */
+struct FileResult
+{
+    std::string file;
+    bool parseFailed = false;
+    std::string parseError;
+    DiagnosticEngine diags;
+    ConformanceReport report;
+    CheckPlan plan;
+    ElisionResult elision;
+    bool validated = false;
+    ElisionValidation validation;
+    std::vector<std::uint64_t> validationArgs;
+    bool hasErrors = false;
+};
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: uprlint [--json] [--report-elision] "
+                 "[--whole-program] [--flow-refine] file.ir...\n");
+    return 2;
+}
+
+FileResult
+lintFile(const std::string &path, const Options &opt)
+{
+    FileResult r;
+    r.file = path;
+
+    std::ifstream is(path);
+    if (!is) {
+        r.parseFailed = true;
+        r.parseError = "cannot open file";
+        r.hasErrors = true;
+        return r;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+
+    ir::Module mod;
+    try {
+        mod = ir::parseModule(buf.str());
+    } catch (const Fault &f) {
+        r.parseFailed = true;
+        r.parseError = f.what();
+        r.hasErrors = true;
+        return r;
+    }
+
+    const InferenceResult inf =
+        inferPointerKinds(mod, !opt.wholeProgram);
+    const FlowAnalysis flow(mod, inf);
+    r.report = checkFig4Conformance(mod, flow, r.diags);
+    r.diags.sortByLocation();
+    r.hasErrors = r.diags.hasErrors();
+
+    r.plan = insertChecks(mod, &inf, opt.flowRefine);
+    if (opt.reportElision) {
+        const CheckPlan before = r.plan;
+        r.elision = elideChecks(mod, flow, r.plan);
+
+        // Validate on @main when it is runnable with integer args.
+        const ir::Function *entry = mod.find("main");
+        bool runnable = entry != nullptr;
+        if (entry) {
+            for (ir::Type t : entry->paramTypes)
+                runnable = runnable && t == ir::Type::I64;
+        }
+        if (runnable) {
+            r.validationArgs.assign(entry->paramTypes.size(), 8);
+            try {
+                r.validation = validateElision(
+                    mod, before, r.plan, "main", r.validationArgs);
+                r.validated = true;
+                if (!r.validation.bitIdentical)
+                    r.hasErrors = true;
+            } catch (const Fault &f) {
+                // The program faults identically under both plans
+                // only if the fault is plan-independent; treat any
+                // fault during validation as "not validated".
+                r.validated = false;
+            }
+        }
+    }
+    return r;
+}
+
+void
+printText(const FileResult &r, const Options &opt)
+{
+    if (r.parseFailed) {
+        std::printf("%s: error: %s\n", r.file.c_str(),
+                    r.parseError.c_str());
+        return;
+    }
+    std::printf("%s: %llu site(s): %llu proved-safe, %llu "
+                "needs-dynamic-check, %llu diagnosed-UB\n",
+                r.file.c_str(),
+                (unsigned long long)r.report.sites.size(),
+                (unsigned long long)r.report.provedSafe,
+                (unsigned long long)r.report.needsDynamic,
+                (unsigned long long)r.report.diagnosedUB);
+    std::fputs(r.diags.render(r.file).c_str(), stdout);
+
+    if (opt.reportElision) {
+        std::printf("%s: elision: %llu check(s) elided, %llu of "
+                    "%llu site(s) remain dynamic\n",
+                    r.file.c_str(),
+                    (unsigned long long)r.plan.elidedSites,
+                    (unsigned long long)r.plan.remainingSites,
+                    (unsigned long long)r.plan.totalSites);
+        for (const ElisionProof &p : r.elision.proofs) {
+            std::printf("%s:%s: note: [elide-%s] %s [@%s]\n",
+                        r.file.c_str(), p.loc.str().c_str(),
+                        p.role.c_str(), p.reason.c_str(),
+                        p.function.c_str());
+        }
+        if (r.validated) {
+            std::printf(
+                "%s: validation: @main result %llu == %llu, "
+                "dynamic checks %llu -> %llu, bit-identical: %s\n",
+                r.file.c_str(),
+                (unsigned long long)r.validation.resultBefore,
+                (unsigned long long)r.validation.resultAfter,
+                (unsigned long long)r.validation.checksBefore,
+                (unsigned long long)r.validation.checksAfter,
+                r.validation.bitIdentical ? "yes" : "NO");
+        }
+    }
+}
+
+void
+printJson(const std::vector<FileResult> &results, const Options &opt)
+{
+    std::printf("[");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const FileResult &r = results[i];
+        std::printf("%s\n{\n  \"file\": \"%s\",\n",
+                    i ? "," : "", jsonEscape(r.file).c_str());
+        if (r.parseFailed) {
+            std::printf("  \"error\": \"%s\"\n}",
+                        jsonEscape(r.parseError).c_str());
+            continue;
+        }
+        std::printf("  \"summary\": {\"sites\": %llu, "
+                    "\"provedSafe\": %llu, \"needsDynamic\": %llu, "
+                    "\"diagnosedUB\": %llu, \"totalSites\": %llu, "
+                    "\"remainingSites\": %llu, "
+                    "\"refinedSites\": %llu, "
+                    "\"elidedSites\": %llu},\n",
+                    (unsigned long long)r.report.sites.size(),
+                    (unsigned long long)r.report.provedSafe,
+                    (unsigned long long)r.report.needsDynamic,
+                    (unsigned long long)r.report.diagnosedUB,
+                    (unsigned long long)r.plan.totalSites,
+                    (unsigned long long)r.plan.remainingSites,
+                    (unsigned long long)r.plan.refinedSites,
+                    (unsigned long long)r.plan.elidedSites);
+        std::printf("  \"diagnostics\": %s",
+                    r.diags.renderJson().c_str());
+        if (opt.reportElision) {
+            std::printf(",\n  \"elision\": {\"elided\": %llu, "
+                        "\"proofs\": [",
+                        (unsigned long long)r.elision.elidedSites);
+            for (std::size_t p = 0; p < r.elision.proofs.size();
+                 ++p) {
+                const ElisionProof &pr = r.elision.proofs[p];
+                std::printf("%s\n    {\"function\": \"%s\", "
+                            "\"line\": %d, \"col\": %d, "
+                            "\"role\": \"%s\", \"reason\": \"%s\"}",
+                            p ? "," : "",
+                            jsonEscape(pr.function).c_str(),
+                            pr.loc.line, pr.loc.col,
+                            jsonEscape(pr.role).c_str(),
+                            jsonEscape(pr.reason).c_str());
+            }
+            std::printf("%s]",
+                        r.elision.proofs.empty() ? "" : "\n  ");
+            if (r.validated) {
+                std::printf(
+                    ",\n  \"validation\": {\"bitIdentical\": %s, "
+                    "\"resultBefore\": %llu, \"resultAfter\": %llu, "
+                    "\"checksBefore\": %llu, \"checksAfter\": %llu}",
+                    r.validation.bitIdentical ? "true" : "false",
+                    (unsigned long long)r.validation.resultBefore,
+                    (unsigned long long)r.validation.resultAfter,
+                    (unsigned long long)r.validation.checksBefore,
+                    (unsigned long long)r.validation.checksAfter);
+            }
+            std::printf("}");
+        }
+        std::printf("\n}");
+    }
+    std::printf("\n]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            opt.json = true;
+        else if (std::strcmp(argv[i], "--report-elision") == 0)
+            opt.reportElision = true;
+        else if (std::strcmp(argv[i], "--whole-program") == 0)
+            opt.wholeProgram = true;
+        else if (std::strcmp(argv[i], "--flow-refine") == 0)
+            opt.flowRefine = true;
+        else if (argv[i][0] == '-')
+            return usage();
+        else
+            opt.files.push_back(argv[i]);
+    }
+    if (opt.files.empty())
+        return usage();
+
+    std::vector<FileResult> results;
+    bool any_errors = false;
+    for (const std::string &f : opt.files) {
+        results.push_back(lintFile(f, opt));
+        any_errors = any_errors || results.back().hasErrors;
+    }
+
+    if (opt.json) {
+        printJson(results, opt);
+    } else {
+        for (const FileResult &r : results)
+            printText(r, opt);
+    }
+    return any_errors ? 1 : 0;
+}
