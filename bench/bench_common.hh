@@ -23,6 +23,7 @@
 
 #include "containers/linked_list.hh"
 #include "kvstore/kv_store.hh"
+#include "obs/histogram.hh"
 
 namespace upr::bench
 {
@@ -57,6 +58,34 @@ inline const Workload kAllWorkloads[] = {
     Workload::Splay, Workload::AVL, Workload::SG,
 };
 
+/**
+ * POD percentile summary of one latency histogram. Cells run in
+ * forked children and ship results over a pipe as fixed-size records,
+ * so this must stay trivially copyable.
+ */
+struct HistSummary
+{
+    std::uint64_t count = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p90 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t max = 0;
+};
+
+/** Summarize a histogram into its pipe-safe POD form. */
+inline HistSummary
+summarize(const obs::LatencyHistogram &h)
+{
+    HistSummary s;
+    const obs::HistogramData &d = h.data();
+    s.count = d.count;
+    s.p50 = d.percentile(50);
+    s.p90 = d.percentile(90);
+    s.p99 = d.percentile(99);
+    s.max = d.max;
+    return s;
+}
+
 /** Everything a figure/table might need from one run. */
 struct RunStats
 {
@@ -76,6 +105,14 @@ struct RunStats
     std::uint64_t absToRel = 0;
     std::uint64_t relToAbs = 0;
     std::uint64_t reuseHits = 0;
+
+    /**
+     * Latency histograms of the run's measured phase, simulated
+     * cycles per operation — deterministic like the counters above,
+     * so goldens can assert on them.
+     */
+    HistSummary checkCycles = {};
+    HistSummary ptrAssignCycles = {};
 };
 
 /** Workload scaling divisor from UPR_BENCH_SCALE (default 1). */
@@ -123,6 +160,8 @@ snapshot(Runtime &rt, Cycles cycles, std::uint64_t checksum)
     st.absToRel = rt.absToRel();
     st.relToAbs = rt.relToAbs();
     st.reuseHits = rt.reuseHits();
+    st.checkCycles = summarize(rt.checkHistogram());
+    st.ptrAssignCycles = summarize(rt.ptrAssignHistogram());
     return st;
 }
 

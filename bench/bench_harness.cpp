@@ -32,6 +32,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <fstream>
 #include <thread>
 
 #include "bench_common.hh"
@@ -42,6 +43,7 @@
 #include "compiler/interpreter.hh"
 #include "compiler/ir_parser.hh"
 #include "core/ptr.hh"
+#include "obs/trace_ring.hh"
 
 #ifndef UPR_GIT_REV
 #define UPR_GIT_REV "unknown"
@@ -201,6 +203,19 @@ runGrid(std::vector<Cell> &cells, unsigned jobs)
 }
 
 void
+emitHistSummary(JsonWriter &json, const char *name,
+                const HistSummary &h)
+{
+    json.key(name).beginObject();
+    json.kv("count", h.count);
+    json.kv("p50", h.p50);
+    json.kv("p90", h.p90);
+    json.kv("p99", h.p99);
+    json.kv("max", h.max);
+    json.end();
+}
+
+void
 emitStats(JsonWriter &json, const RunStats &st)
 {
     json.kv("cycles", st.cycles);
@@ -217,6 +232,12 @@ emitStats(JsonWriter &json, const RunStats &st)
     json.kv("absToRel", st.absToRel);
     json.kv("relToAbs", st.relToAbs);
     json.kv("reuseHits", st.reuseHits);
+    // Per-operation latency histograms of the measured phase.
+    // Simulated cycles, deterministic like the counters above.
+    json.key("metrics").beginObject();
+    emitHistSummary(json, "checkCycles", st.checkCycles);
+    emitHistSummary(json, "ptrAssignCycles", st.ptrAssignCycles);
+    json.end();
 }
 
 void
@@ -656,5 +677,23 @@ main(int argc, char **argv)
         ok = runMicro(out_dir, jobs) && ok;
     if (static_sec)
         ok = runStatic(out_dir) && ok;
+
+    // With UPR_OBS_TRACE set, dump the harness process's event ring
+    // (the serial static section and any in-process setup; forked
+    // cells have their own rings that die with them).
+    if (obs::traceEnabled()) {
+        const std::string path = out_dir + "/BENCH_trace.json";
+        std::ofstream trace(path);
+        if (trace) {
+            obs::traceRing().exportChromeTrace(trace);
+            std::printf("trace: %llu events, %s\n",
+                        (unsigned long long)
+                            obs::traceRing().appended(),
+                        path.c_str());
+        } else {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            ok = false;
+        }
+    }
     return ok ? 0 : 1;
 }

@@ -33,6 +33,12 @@ MODEL_KEYS = (
     "relToAbs", "reuseHits",
 )
 
+# Histogram summaries under a cell's "metrics" object that are
+# simulated-cycle based and therefore deterministic. Only compared
+# when both files carry the section (pre-observability baselines
+# don't).
+METRICS_KEYS = ("checkCycles", "ptrAssignCycles")
+
 
 def load(path):
     try:
@@ -114,6 +120,17 @@ def main():
                 drift.append(
                     f"{fmt_cell(key)}: {k} {old.get(k)} -> "
                     f"{new.get(k)}")
+
+        om, nm = old.get("metrics"), new.get("metrics")
+        if om is not None and nm is not None:
+            for k in METRICS_KEYS:
+                if om.get(k) != nm.get(k):
+                    drift.append(
+                        f"{fmt_cell(key)}: metrics.{k} {om.get(k)} "
+                        f"-> {nm.get(k)}")
+        elif (om is None) != (nm is None):
+            notes.append(f"{fmt_cell(key)}: metrics section only in "
+                         f"{'new' if om is None else 'old'} file")
 
         ow, nw = old.get("wallMs"), new.get("wallMs")
         if ow and nw and ow > 0:

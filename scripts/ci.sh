@@ -5,7 +5,11 @@
 #      compiler test labels — the suites that exercise raw-memory
 #      recovery paths and the parser/verifier/interpreter, where
 #      memory bugs would hide;
-#   3. clang-tidy over the compiler subsystem, if available.
+#   3. clang-tidy over the compiler subsystem, if available;
+#   4. observability overhead gate: with event tracing compiled in,
+#      a traced run and an untraced run of the quick bench must agree
+#      on every simulated counter (tracing observes the model, never
+#      perturbs it) and stay within 2% wall of each other.
 #
 # Usage: scripts/ci.sh [jobs]
 set -eu
@@ -25,5 +29,73 @@ ctest --preset asan -j "$JOBS"
 
 echo "==> tier 3: clang-tidy (best effort)"
 scripts/run_clang_tidy.sh || exit 1
+
+echo "==> tier 4: observability overhead gate"
+GATE_OUT=$(mktemp -d)
+trap 'rm -rf "$GATE_OUT"' EXIT
+
+# 4a. Zero counter drift: a traced quick run and an untraced quick run
+# must agree on every simulated counter and metrics summary (tracing
+# observes the model, never changes it). Wall is not gated here --
+# quick-scale cells finish in ~1 ms, where wall time is pure noise --
+# so the threshold is set out of reach and only bench_diff's hard
+# drift error (exit 2) can fire.
+mkdir -p "$GATE_OUT/off" "$GATE_OUT/on"
+env -u UPR_OBS_TRACE build/bench/bench_harness \
+    --quick --jobs "$JOBS" --out "$GATE_OUT/off" > /dev/null
+UPR_OBS_TRACE=1 build/bench/bench_harness \
+    --quick --jobs "$JOBS" --out "$GATE_OUT/on" > /dev/null
+for f in BENCH_fig11.json BENCH_micro.json BENCH_static.json; do
+    python3 scripts/bench_diff.py --wall-threshold 100000 \
+        "$GATE_OUT/off/$f" "$GATE_OUT/on/$f"
+done
+
+# 4b. <2% overhead: full fig11 with tracing *enabled* must cost no
+# more than 2% (median) over tracing disabled. Enabled does strictly
+# more work than the disabled no-op branch, so passing this bounds
+# the disabled overhead too. Methodology per docs/PERFORMANCE.md:
+# children CPU time, not wall (shared CI boxes jitter wall well past
+# 2%), adjacent off/on pairs so slow-machine drift cancels within a
+# pair, and the median across pairs to shed outliers; four more
+# pairs are added before failing.
+python3 - "$GATE_OUT" "$JOBS" <<'EOF'
+import os, statistics, subprocess, sys
+
+base, jobs = sys.argv[1], sys.argv[2]
+
+def cpu_of_run(out, trace):
+    os.makedirs(out, exist_ok=True)
+    env = dict(os.environ)
+    env.pop("UPR_OBS_TRACE", None)
+    if trace:
+        env["UPR_OBS_TRACE"] = "1"
+    t0 = os.times()
+    subprocess.run(
+        ["build/bench/bench_harness", "--fig11-only",
+         "--jobs", jobs, "--out", out],
+        check=True, stdout=subprocess.DEVNULL, env=env)
+    t1 = os.times()
+    return ((t1.children_user + t1.children_system) -
+            (t0.children_user + t0.children_system))
+
+deltas = []
+
+def measure_pairs(n):
+    for _ in range(n):
+        i = len(deltas)
+        off = cpu_of_run(f"{base}/cpu-off{i}", False)
+        on = cpu_of_run(f"{base}/cpu-on{i}", True)
+        deltas.append(100.0 * (on - off) / off)
+    med = statistics.median(deltas)
+    print(f"tracing overhead (enabled vs disabled, median of "
+          f"{len(deltas)} cpu-time pairs): {med:+.2f}% (gate +2%)")
+    return med
+
+med = measure_pairs(5)
+if med > 2.0:
+    print("ci: over gate; adding four more interleaved pairs")
+    med = measure_pairs(4)
+sys.exit(0 if med <= 2.0 else 1)
+EOF
 
 echo "ci: all stages passed"

@@ -1,0 +1,87 @@
+#!/bin/sh
+# CLI-contract checks for uprlint that the golden corpus cannot cover:
+#
+#  1. `--` ends option parsing, so files whose names start with '-'
+#     are lintable (they were previously unreachable: any leading '-'
+#     was treated as an unknown option).
+#  2. Without `--`, an unknown leading-dash argument is still a usage
+#     error (exit 2).
+#  3. Output is deterministic and files are processed in argument
+#     order, in both text and --json modes.
+#
+#   uprlint_cli_check.sh <path-to-uprlint>
+set -u
+
+if [ $# -ne 1 ]; then
+    echo "usage: $0 <uprlint>" >&2
+    exit 2
+fi
+
+UPRLINT=$(cd "$(dirname "$1")" && pwd)/$(basename "$1")
+WORK=$(mktemp -d) || exit 2
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK" || exit 2
+fail=0
+
+# A minimal clean module; linting it must exit 0.
+cat > module.ir <<'EOF'
+func @main() -> i64 {
+entry:
+  %p = pmalloc 16
+  %v = const 7
+  %slot = gep %p, 8
+  store %v, %slot
+  %r = load.i64 %slot
+  pfree %p
+  ret %r
+}
+EOF
+cp module.ir ./-dash.ir
+cp module.ir second.ir
+
+# 1. '--' makes the dash-prefixed file reachable.
+if ! "$UPRLINT" -- -dash.ir > /dev/null 2>&1; then
+    echo "FAIL: 'uprlint -- -dash.ir' did not lint the file" >&2
+    fail=1
+fi
+
+# ... also when options precede the '--'.
+if ! "$UPRLINT" --json -- -dash.ir > /dev/null 2>&1; then
+    echo "FAIL: 'uprlint --json -- -dash.ir' did not lint" >&2
+    fail=1
+fi
+
+# 2. Without '--' the same argument is a usage error.
+"$UPRLINT" -dash.ir > /dev/null 2>&1
+if [ $? -ne 2 ]; then
+    echo "FAIL: 'uprlint -dash.ir' should be a usage error" >&2
+    fail=1
+fi
+
+# 3a. Runs are byte-identical.
+"$UPRLINT" --json -- -dash.ir second.ir > run1.json 2>&1
+"$UPRLINT" --json -- -dash.ir second.ir > run2.json 2>&1
+if ! cmp -s run1.json run2.json; then
+    echo "FAIL: repeated runs differ" >&2
+    fail=1
+fi
+
+# 3b. Files are reported in argument order.
+order=$(grep -o '"file": "[^"]*"' run1.json | tr -d '"' |
+        awk '{print $2}' | paste -sd' ' -)
+if [ "$order" != "-dash.ir second.ir" ]; then
+    echo "FAIL: argument order not preserved (got: $order)" >&2
+    fail=1
+fi
+rev=$(
+    "$UPRLINT" --json -- second.ir -dash.ir |
+    grep -o '"file": "[^"]*"' | tr -d '"' |
+    awk '{print $2}' | paste -sd' ' -
+)
+if [ "$rev" != "second.ir -dash.ir" ]; then
+    echo "FAIL: reversed argument order not preserved (got: $rev)" >&2
+    fail=1
+fi
+
+[ "$fail" -eq 0 ] && echo "uprlint CLI: OK"
+exit "$fail"

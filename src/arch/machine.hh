@@ -21,6 +21,7 @@
 #include "arch/valb.hh"
 #include "mem/address_space.hh"
 #include "nvm/pool_manager.hh"
+#include "obs/metrics.hh"
 
 namespace upr
 {
@@ -257,6 +258,24 @@ class Machine
     Counter stores_;
     Counter storePs_;
     Counter nvmAccesses_;
+
+    /**
+     * Observability federation: every architectural StatGroup joins
+     * the process-wide MetricsRegistry for the machine's lifetime.
+     * Declared last so they deregister before any group they name
+     * is torn down.
+     */
+    obs::ScopedMetricsGroup obsCore_{stats_};
+    obs::ScopedMetricsGroup obsL1_{caches_.l1().stats()};
+    obs::ScopedMetricsGroup obsL2_{caches_.l2().stats()};
+    obs::ScopedMetricsGroup obsL3_{caches_.l3().stats()};
+    obs::ScopedMetricsGroup obsDtlb_{tlbs_.l1().stats()};
+    obs::ScopedMetricsGroup obsStlb_{tlbs_.l2().stats()};
+    obs::ScopedMetricsGroup obsBpred_{bpred_.stats()};
+    obs::ScopedMetricsGroup obsPolb_{polb_.stats()};
+    obs::ScopedMetricsGroup obsValb_{valb_.stats()};
+    obs::ScopedMetricsGroup obsStoreP_{storePUnit_.stats()};
+    obs::ScopedMetricsGroup obsBypass_{bypass_.stats()};
 };
 
 } // namespace upr

@@ -13,6 +13,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace_ring.hh"
+
 namespace upr
 {
 
@@ -54,7 +56,13 @@ class Fault : public std::runtime_error
         : std::runtime_error(std::string(faultKindName(kind)) + ": " +
                              what),
           kind_(kind)
-    {}
+    {
+        // Every raised fault is a structured trace event; the kind
+        // ordinal rides in 'a' so exported traces can histogram
+        // fault rates without string matching.
+        obs::traceEvent(obs::EventKind::FaultRaised,
+                        static_cast<std::uint64_t>(kind));
+    }
 
     /** Which fault this is. */
     FaultKind kind() const { return kind_; }

@@ -15,6 +15,7 @@
 #define UPR_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 namespace upr

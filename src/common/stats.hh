@@ -29,8 +29,28 @@ class Counter
     /** Add @p n to the counter. */
     void add(std::uint64_t n = 1) { value_ += n; }
 
-    /** Subtract @p n (for gauge-style counters such as bytes-in-use). */
-    void sub(std::uint64_t n) { value_ -= n; }
+    /**
+     * Subtract @p n (for gauge-style counters such as bytes-in-use).
+     * Subtracting below zero is a caller bug: a sanitized build
+     * panics on it; a regular build saturates at zero rather than
+     * silently wrapping to 2^64 - n and poisoning every dump and
+     * snapshot downstream.
+     */
+    void
+    sub(std::uint64_t n)
+    {
+        if (n > value_) {
+#ifdef UPR_SANITIZE
+            upr_panic("counter underflow: %llu - %llu",
+                      (unsigned long long)value_,
+                      (unsigned long long)n);
+#else
+            value_ = 0;
+            return;
+#endif
+        }
+        value_ -= n;
+    }
 
     /** Current value. */
     std::uint64_t value() const { return value_; }
@@ -90,6 +110,20 @@ class StatGroup
     {
         for (auto &kv : counters_)
             kv.second.counter->reset();
+    }
+
+    /**
+     * Visit every counter as (stat_name, value, description), in
+     * name order. This is how the observability registry flattens a
+     * group without owning its counters.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &kv : counters_)
+            fn(kv.first, kv.second.counter->value(),
+               kv.second.description);
     }
 
     /** Dump all counters as "group.stat value  # description" lines. */

@@ -4,6 +4,7 @@
 
 #include "compiler/interpreter.hh"
 #include "core/runtime.hh"
+#include "obs/trace_ring.hh"
 
 namespace upr
 {
@@ -36,6 +37,11 @@ prove(ElisionResult &res, CheckPlan &plan, const Function &fn,
 {
     ++res.elidedSites;
     ++plan.elidedSites;
+    // Trace each proved site: 'a' is the source line, 'b' the
+    // running total of elided checks.
+    obs::traceEvent(obs::EventKind::ElisionDecision,
+                    static_cast<std::uint64_t>(in.loc.line),
+                    res.elidedSites);
     res.proofs.push_back(
         ElisionProof{fn.name, in.loc, role, std::move(reason)});
 }

@@ -1,5 +1,6 @@
 #include "core/runtime.hh"
 
+#include <chrono>
 #include <cstdio>
 
 namespace upr
@@ -154,7 +155,12 @@ Runtime::commitTxn()
         return;
     upr_assert_msg(activeTxn_ != nullptr, "commit without beginTxn");
     pools_.pool(txnPool_).backing().setWriteObserver(nullptr);
+    const auto t0 = std::chrono::steady_clock::now();
     activeTxn_->commit();
+    txnCommitNs_.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
     activeTxn_.reset();
 }
 
@@ -176,9 +182,14 @@ Runtime::abortTxn()
 bool
 Runtime::swCheck(std::uint64_t site, bool outcome)
 {
+    const Cycles t0 = machine_.now();
     ++dynChecks_;
     machine_.tick(config_.machine.swCheckAluLatency);
     machine_.branch(site, outcome);
+    // Simulated-cycle cost of this check (ALU + branch, including a
+    // possible misprediction penalty) — deterministic, so the bench
+    // goldens can assert on the histogram.
+    checkCycles_.record(machine_.now() - t0);
     return outcome;
 }
 
@@ -235,6 +246,7 @@ Runtime::storePtr(SimAddr loc_va, PtrBits value, std::uint64_t site)
         return;
     }
 
+    const Cycles assign_t0 = machine_.now();
     const bool dest_nvm =
         PtrRepr::determineX(loc_va) == LocKind::Nvm;
     const PtrForm form = PtrRepr::determineY(value);
@@ -246,6 +258,7 @@ Runtime::storePtr(SimAddr loc_va, PtrBits value, std::uint64_t site)
         // (Pre-image already logged above when in a transaction.)
         machine_.memAccess(loc_va, true, Machine::AccessKind::StoreD);
         space_.write<PtrBits>(loc_va, value);
+        ptrAssignCycles_.record(machine_.now() - assign_t0);
         return;
     }
 
@@ -270,6 +283,7 @@ Runtime::storePtr(SimAddr loc_va, PtrBits value, std::uint64_t site)
         }
         machine_.memAccess(loc_va, true, Machine::AccessKind::StoreD);
         space_.write<PtrBits>(loc_va, out);
+        ptrAssignCycles_.record(machine_.now() - assign_t0);
         return;
     }
 
@@ -318,6 +332,7 @@ Runtime::storePtr(SimAddr loc_va, PtrBits value, std::uint64_t site)
     }
     machine_.memAccess(loc_va, true, Machine::AccessKind::StoreP);
     space_.write<PtrBits>(loc_va, out);
+    ptrAssignCycles_.record(machine_.now() - assign_t0);
 }
 
 void
@@ -460,6 +475,12 @@ void
 Runtime::resetCounters()
 {
     stats_.resetAll();
+    // The histograms cover the same measured region as the counters:
+    // resetting one without the other would break the
+    // count-equals-counter invariants the obs tests assert.
+    checkCycles_.reset();
+    ptrAssignCycles_.reset();
+    txnCommitNs_.reset();
 }
 
 } // namespace upr

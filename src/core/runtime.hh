@@ -36,6 +36,7 @@
 #include "mem/vmalloc.hh"
 #include "nvm/pool_manager.hh"
 #include "nvm/txn.hh"
+#include "obs/metrics.hh"
 
 namespace upr
 {
@@ -274,6 +275,31 @@ class Runtime
     std::uint64_t relToAbs() const { return relToAbs_.value(); }
     const StatGroup &stats() const { return stats_; }
 
+    // ------------------------------------------------------------------
+    // Latency histograms (observability layer)
+    // ------------------------------------------------------------------
+
+    /** Cycles charged per software dynamic check (deterministic). */
+    const obs::LatencyHistogram &checkHistogram() const
+    {
+        return checkCycles_;
+    }
+
+    /**
+     * Cycles charged per pointerAssignment / storeP (deterministic;
+     * assignments that fault are not recorded).
+     */
+    const obs::LatencyHistogram &ptrAssignHistogram() const
+    {
+        return ptrAssignCycles_;
+    }
+
+    /** Host nanoseconds per transaction commit (wall clock). */
+    const obs::LatencyHistogram &txnCommitHistogram() const
+    {
+        return txnCommitNs_;
+    }
+
     /** Reset UPR counters (machine counters are reset separately). */
     void resetCounters();
 
@@ -474,6 +500,22 @@ class Runtime
     Counter relToAbs_;
     Counter storePOps_;
     Counter reuseHits_;
+
+    /** Simulated-cycle cost per software check (see swCheck). */
+    obs::LatencyHistogram checkCycles_;
+    /** Simulated-cycle cost per pointerAssignment (see storePtr). */
+    obs::LatencyHistogram ptrAssignCycles_;
+    /** Host nanoseconds per commitTxn (wall clock, non-model). */
+    obs::LatencyHistogram txnCommitNs_;
+
+    /** Observability federation (deregisters on destruction). */
+    obs::ScopedMetricsGroup obsStats_{stats_};
+    obs::ScopedMetricsHistogram obsCheckCycles_{"upr.checkCycles",
+                                                checkCycles_};
+    obs::ScopedMetricsHistogram obsPtrAssignCycles_{
+        "upr.ptrAssignCycles", ptrAssignCycles_};
+    obs::ScopedMetricsHistogram obsTxnCommitNs_{"upr.txnCommitNs",
+                                                txnCommitNs_};
 };
 
 // ----------------------------------------------------------------------

@@ -1,10 +1,49 @@
 #include "crash/crash_sweep.hh"
 
 #include "common/logging.hh"
+#include "common/stats.hh"
 #include "nvm/txn.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_ring.hh"
 
 namespace upr
 {
+
+namespace
+{
+
+/**
+ * Process-wide crash-sweep statistics, cumulative across sweeps.
+ * Function-local so the group registers with the MetricsRegistry on
+ * first use and stays registered for the process lifetime.
+ */
+struct CrashStats
+{
+    StatGroup group{"crash"};
+    Counter crashPoints;
+    Counter rollbacks;
+    Counter cleanImages;
+    obs::ScopedMetricsGroup reg{group};
+
+    CrashStats()
+    {
+        group.registerCounter("crashPoints", crashPoints,
+                              "crash points injected and recovered");
+        group.registerCounter("rollbacks", rollbacks,
+                              "recoveries that rolled a txn back");
+        group.registerCounter("cleanImages", cleanImages,
+                              "recoveries that found a clean image");
+    }
+};
+
+CrashStats &
+crashStats()
+{
+    static CrashStats stats;
+    return stats;
+}
+
+} // namespace
 
 CrashSweepResult
 crashSweep(const CrashWorkload &workload, const CrashValidator &validate,
@@ -27,6 +66,7 @@ crashSweep(const CrashWorkload &workload, const CrashValidator &validate,
 
     CrashSweepResult result;
     result.crashPoints = total;
+    crashStats().crashPoints.add(total);
 
     for (std::uint64_t n = 1; n <= total; ++n) {
         CrashInjector injector(config.mode, config.seed);
@@ -49,10 +89,13 @@ crashSweep(const CrashWorkload &workload, const CrashValidator &validate,
         media.assign(injector.image());
         Pool pool("crash@" + std::to_string(n), std::move(media));
         const bool rolled_back = Txn::recover(pool);
+        obs::traceEvent(obs::EventKind::CrashPoint, n, rolled_back);
         if (rolled_back) {
             ++result.rollbacks;
+            ++crashStats().rollbacks;
         } else {
             ++result.cleanImages;
+            ++crashStats().cleanImages;
         }
         // Recovery must be idempotent: a crash *during* recovery is
         // just another recovery on the next boot.

@@ -1,18 +1,30 @@
 #include "nvm/pool_manager.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "nvm/txn.hh"
+#include "obs/trace_ring.hh"
 
 namespace upr
 {
 
 namespace
 {
+
+/** Host nanoseconds since @p t0 (observability histograms only). */
+std::uint64_t
+hostNsSince(std::chrono::steady_clock::time_point t0)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
 /** Pools attach on 64 KiB boundaries. */
 constexpr Bytes kAttachAlign = 64 * 1024;
 /** First usable address in the NVM half (guard page below). */
@@ -131,7 +143,10 @@ PoolManager::openPool(const std::string &name)
         throw Fault(FaultKind::BadUsage,
                     "pool '" + name + "' is already attached");
     }
+    const auto t0 = std::chrono::steady_clock::now();
     attach(id);
+    openNs_.record(hostNsSince(t0));
+    obs::traceEvent(obs::EventKind::PoolOpen, id);
     return id;
 }
 
@@ -159,6 +174,7 @@ PoolManager::attach(PoolId id)
     refreshSlot(id);
     ++attaches_;
     ++epoch_;
+    obs::traceEvent(obs::EventKind::PoolAttach, id, base);
 }
 
 void
@@ -185,6 +201,7 @@ PoolManager::detach(PoolId id)
     refreshSlot(id);
     ++detaches_;
     ++epoch_;
+    obs::traceEvent(obs::EventKind::PoolDetach, id);
 }
 
 void
@@ -385,7 +402,10 @@ PoolManager::adoptImage(Backing image, const std::string &name)
     }
     // Crash recovery before the pool is reachable: an image saved
     // mid-transaction rolls back to its last consistent state here.
-    if (Txn::recover(*loaded)) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool rolled_back = Txn::recover(*loaded);
+    recoverNs_.record(hostNsSince(t0));
+    if (rolled_back) {
         upr_warn("pool '%s': image carried an active undo log; "
                  "rolled back to the last committed state",
                  name.c_str());
@@ -397,7 +417,10 @@ PoolManager::adoptImage(Backing image, const std::string &name)
     entry.allocator = std::make_unique<PoolAllocator>(*entry.pool);
     pools_.emplace(id, std::move(entry));
     byName_.emplace(name, id);
+    const auto t1 = std::chrono::steady_clock::now();
     attach(id);
+    openNs_.record(hostNsSince(t1));
+    obs::traceEvent(obs::EventKind::PoolAdopt, id, rolled_back);
     return id;
 }
 

@@ -25,6 +25,7 @@
 #include "mem/address_space.hh"
 #include "nvm/pool.hh"
 #include "nvm/pool_allocator.hh"
+#include "obs/metrics.hh"
 
 namespace upr
 {
@@ -154,6 +155,18 @@ class PoolManager
     /** Statistics (attaches, detaches, translations). */
     const StatGroup &stats() const { return stats_; }
 
+    /** Host-side pool open/attach latency in nanoseconds. */
+    const obs::LatencyHistogram &openHistogram() const
+    {
+        return openNs_;
+    }
+
+    /** Host-side crash-recovery latency in nanoseconds. */
+    const obs::LatencyHistogram &recoverHistogram() const
+    {
+        return recoverNs_;
+    }
+
   private:
     /** Pick an attach base for @p size bytes. */
     SimAddr placeRange(Bytes size);
@@ -215,6 +228,16 @@ class PoolManager
     Counter detaches_;
     mutable Counter ra2vaCalls_;
     mutable Counter va2raCalls_;
+
+    /** Host-side latency histograms (observability, not the model). */
+    obs::LatencyHistogram openNs_;
+    obs::LatencyHistogram recoverNs_;
+
+    /** Observability federation (deregisters on destruction). */
+    obs::ScopedMetricsGroup obsGroup_{stats_};
+    obs::ScopedMetricsHistogram obsOpenNs_{"pools.openNs", openNs_};
+    obs::ScopedMetricsHistogram obsRecoverNs_{"pools.recoverNs",
+                                              recoverNs_};
 };
 
 } // namespace upr

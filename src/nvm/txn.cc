@@ -5,6 +5,7 @@
 #include "common/crc32.hh"
 #include "common/fault.hh"
 #include "common/logging.hh"
+#include "obs/trace_ring.hh"
 
 namespace upr
 {
@@ -153,6 +154,7 @@ Txn::Txn(Pool &pool) : pool_(pool)
     c.active = 1;
     c.tail = 0;
     writeControl(pool_, c);
+    obs::traceEvent(obs::EventKind::TxnBegin, pool_.id());
 }
 
 Txn::~Txn()
@@ -210,9 +212,12 @@ Txn::commit()
     pool_.backing().fence();
 
     LogControl c = readControl(pool_);
+    obs::traceEvent(obs::EventKind::UndoTruncate, pool_.id(), c.tail);
     c.active = 0;
     c.tail = 0;
     writeControl(pool_, c);
+    obs::traceEvent(obs::EventKind::TxnCommit, pool_.id(),
+                    dirty_.size());
     closed_ = true;
     dirty_.clear();
 }
@@ -222,6 +227,7 @@ Txn::abort()
 {
     upr_assert_msg(!closed_, "abort after close");
     rollback(pool_);
+    obs::traceEvent(obs::EventKind::TxnAbort, pool_.id());
     closed_ = true;
     dirty_.clear();
 }
@@ -261,9 +267,13 @@ Txn::rollback(Pool &pool)
     pool.backing().fence();
 
     LogControl done = readControl(pool);
+    obs::traceEvent(obs::EventKind::UndoTruncate, pool.id(),
+                    done.tail);
     done.active = 0;
     done.tail = 0;
     writeControl(pool, done);
+    obs::traceEvent(obs::EventKind::RecoveryApplied, entries.size(),
+                    1);
 }
 
 } // namespace upr

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Log-bucketed latency histogram for the observability layer.
+ *
+ * Values land in power-of-two buckets: bucket 0 holds exactly the
+ * value 0, bucket b >= 1 holds [2^(b-1), 2^b - 1]. 65 buckets cover
+ * the whole uint64 range, so recording never saturates or clips.
+ * Recording is a handful of arithmetic ops — cheap enough for the
+ * simulator's per-operation hot paths — and percentile queries are
+ * deterministic functions of the recorded multiset, which is what
+ * lets tests and bench goldens assert on them.
+ */
+
+#ifndef UPR_OBS_HISTOGRAM_HH
+#define UPR_OBS_HISTOGRAM_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace upr::obs
+{
+
+/** Plain-data snapshot of a histogram (registry / JSON currency). */
+struct HistogramData
+{
+    static constexpr unsigned kBuckets = 65;
+
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::array<std::uint64_t, kBuckets> buckets = {};
+
+    /**
+     * Deterministic percentile estimate: the upper bound of the
+     * bucket holding the rank-ceil(p/100 * count) smallest sample,
+     * clamped to the observed [min, max]. Exact for values that are
+     * themselves bucket bounds; otherwise an upper estimate within
+     * 2x. @p p in [0, 100]; returns 0 on an empty histogram.
+     */
+    std::uint64_t percentile(double p) const;
+
+    /** Add another histogram's samples into this one. */
+    void merge(const HistogramData &other);
+
+    /**
+     * The samples in *this that are not in @p older (interval
+     * arithmetic for snapshot deltas). Bucket counts and sums
+     * subtract; min/max keep the newer values since the interval's
+     * own extrema are not recoverable from totals.
+     */
+    HistogramData minus(const HistogramData &older) const;
+};
+
+/** Bucket index for a value: 0 for 0, else bit_width(v). */
+constexpr unsigned
+histogramBucketOf(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::bit_width(v));
+}
+
+/** Inclusive [lo, hi] range of values mapping to bucket @p b. */
+constexpr std::uint64_t
+histogramBucketLow(unsigned b)
+{
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+}
+
+constexpr std::uint64_t
+histogramBucketHigh(unsigned b)
+{
+    if (b == 0)
+        return 0;
+    if (b >= 64)
+        return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+}
+
+/** A recordable log2 histogram (a thin mutator over HistogramData). */
+class LatencyHistogram
+{
+  public:
+    /** Record one sample. */
+    void
+    record(std::uint64_t v)
+    {
+        if (data_.count == 0 || v < data_.min)
+            data_.min = v;
+        if (v > data_.max)
+            data_.max = v;
+        ++data_.count;
+        data_.sum += v;
+        ++data_.buckets[histogramBucketOf(v)];
+    }
+
+    std::uint64_t count() const { return data_.count; }
+    std::uint64_t sum() const { return data_.sum; }
+    std::uint64_t min() const { return data_.min; }
+    std::uint64_t max() const { return data_.max; }
+
+    std::uint64_t
+    percentile(double p) const
+    {
+        return data_.percentile(p);
+    }
+
+    const HistogramData &data() const { return data_; }
+
+    void reset() { data_ = HistogramData{}; }
+
+  private:
+    HistogramData data_;
+};
+
+inline std::uint64_t
+HistogramData::percentile(double p) const
+{
+    if (count == 0)
+        return 0;
+    if (p <= 0)
+        return min;
+    if (p >= 100)
+        return max;
+    // Rank of the requested sample, 1-based.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        p / 100.0 * static_cast<double>(count));
+    if (static_cast<double>(rank) * 100.0 <
+        p * static_cast<double>(count))
+        ++rank; // ceil
+    if (rank == 0)
+        rank = 1;
+    std::uint64_t seen = 0;
+    for (unsigned b = 0; b < kBuckets; ++b) {
+        seen += buckets[b];
+        if (seen >= rank) {
+            std::uint64_t v = histogramBucketHigh(b);
+            if (v > max)
+                v = max;
+            if (v < min)
+                v = min;
+            return v;
+        }
+    }
+    return max;
+}
+
+inline void
+HistogramData::merge(const HistogramData &other)
+{
+    if (other.count == 0)
+        return;
+    if (count == 0 || other.min < min)
+        min = other.min;
+    if (other.max > max)
+        max = other.max;
+    count += other.count;
+    sum += other.sum;
+    for (unsigned b = 0; b < kBuckets; ++b)
+        buckets[b] += other.buckets[b];
+}
+
+inline HistogramData
+HistogramData::minus(const HistogramData &older) const
+{
+    HistogramData d;
+    d.count = count - older.count;
+    d.sum = sum - older.sum;
+    for (unsigned b = 0; b < kBuckets; ++b)
+        d.buckets[b] = buckets[b] - older.buckets[b];
+    // Interval extrema are unknowable from totals; report the
+    // endpoint values (documented, and harmless for assertions on
+    // counts/sums, the delta use case).
+    d.min = d.count ? min : 0;
+    d.max = d.count ? max : 0;
+    return d;
+}
+
+} // namespace upr::obs
+
+#endif // UPR_OBS_HISTOGRAM_HH

@@ -1,0 +1,448 @@
+/**
+ * @file
+ * Minimal JSON reader for the observability tools (uprstat): a
+ * recursive-descent parser producing an ordered value tree, plus a
+ * canonical re-emitter.
+ *
+ * Two properties matter more than generality here:
+ *
+ *  - Numbers keep their source spelling. BENCH_*.json carries exact
+ *    64-bit counters; round-tripping through double would corrupt
+ *    values above 2^53. The raw token is preserved and re-emitted
+ *    verbatim (asUint/asDouble parse on demand).
+ *  - Object members keep insertion order, so parse -> emit -> parse
+ *    is byte-stable on the canonical form (the uprstat round-trip
+ *    test).
+ *
+ * Not supported (not needed for our emitters): \uXXXX escapes beyond
+ * pass-through, duplicate-key policies, numbers with leading '+'.
+ */
+
+#ifndef UPR_OBS_JSON_VALUE_HH
+#define UPR_OBS_JSON_VALUE_HH
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace upr::obs
+{
+
+/** Thrown on malformed input, with a byte offset for context. */
+class JsonParseError : public std::runtime_error
+{
+  public:
+    JsonParseError(const std::string &what, std::size_t at)
+        : std::runtime_error(what + " at byte " + std::to_string(at)),
+          at_(at)
+    {}
+
+    std::size_t at() const { return at_; }
+
+  private:
+    std::size_t at_;
+};
+
+/** One JSON value; objects/arrays own their children. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    static JsonValue makeNull() { return JsonValue(Kind::Null); }
+
+    static JsonValue
+    makeBool(bool b)
+    {
+        JsonValue v(Kind::Bool);
+        v.flag_ = b;
+        return v;
+    }
+
+    /** @p raw is the verbatim number token, e.g. "-12" or "3.5e2". */
+    static JsonValue
+    makeNumber(std::string raw)
+    {
+        JsonValue v(Kind::Number);
+        v.text_ = std::move(raw);
+        return v;
+    }
+
+    static JsonValue
+    makeString(std::string s)
+    {
+        JsonValue v(Kind::String);
+        v.text_ = std::move(s);
+        return v;
+    }
+
+    static JsonValue makeArray() { return JsonValue(Kind::Array); }
+    static JsonValue makeObject() { return JsonValue(Kind::Object); }
+
+    bool asBool() const { return flag_; }
+
+    /** Decoded string contents (escapes already resolved). */
+    const std::string &asString() const { return text_; }
+
+    /** The number's source spelling. */
+    const std::string &raw() const { return text_; }
+
+    double asDouble() const { return std::strtod(text_.c_str(), nullptr); }
+
+    std::uint64_t
+    asUint() const
+    {
+        return std::strtoull(text_.c_str(), nullptr, 10);
+    }
+
+    /** True if the number token is a plain non-negative integer. */
+    bool
+    isUint() const
+    {
+        if (kind_ != Kind::Number || text_.empty() || text_[0] == '-')
+            return false;
+        return text_.find_first_of(".eE") == std::string::npos;
+    }
+
+    // Array access ---------------------------------------------------
+    std::vector<JsonValue> &items() { return items_; }
+    const std::vector<JsonValue> &items() const { return items_; }
+
+    // Object access --------------------------------------------------
+    using Member = std::pair<std::string, JsonValue>;
+    std::vector<Member> &members() { return members_; }
+    const std::vector<Member> &members() const { return members_; }
+
+    /** Member lookup; nullptr when absent (or not an object). */
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        for (const Member &m : members_) {
+            if (m.first == key)
+                return &m.second;
+        }
+        return nullptr;
+    }
+
+    /** Emit canonical JSON (2-space indent, key order preserved). */
+    std::string
+    dump() const
+    {
+        std::string out;
+        emit(out, 0);
+        out += '\n';
+        return out;
+    }
+
+  private:
+    explicit JsonValue(Kind k) : kind_(k) {}
+
+    void
+    emit(std::string &out, unsigned depth) const
+    {
+        switch (kind_) {
+          case Kind::Null:
+            out += "null";
+            return;
+          case Kind::Bool:
+            out += flag_ ? "true" : "false";
+            return;
+          case Kind::Number:
+            out += text_;
+            return;
+          case Kind::String:
+            emitString(out, text_);
+            return;
+          case Kind::Array: {
+            if (items_.empty()) {
+                out += "[]";
+                return;
+            }
+            out += '[';
+            for (std::size_t i = 0; i < items_.size(); ++i) {
+                out += i ? ",\n" : "\n";
+                out.append(2 * (depth + 1), ' ');
+                items_[i].emit(out, depth + 1);
+            }
+            out += '\n';
+            out.append(2 * depth, ' ');
+            out += ']';
+            return;
+          }
+          case Kind::Object: {
+            if (members_.empty()) {
+                out += "{}";
+                return;
+            }
+            out += '{';
+            for (std::size_t i = 0; i < members_.size(); ++i) {
+                out += i ? ",\n" : "\n";
+                out.append(2 * (depth + 1), ' ');
+                emitString(out, members_[i].first);
+                out += ": ";
+                members_[i].second.emit(out, depth + 1);
+            }
+            out += '\n';
+            out.append(2 * depth, ' ');
+            out += '}';
+            return;
+          }
+        }
+    }
+
+    static void
+    emitString(std::string &out, const std::string &s)
+    {
+        out += '"';
+        for (const char c : s) {
+            switch (c) {
+              case '"':  out += "\\\""; break;
+              case '\\': out += "\\\\"; break;
+              case '\n': out += "\\n";  break;
+              case '\t': out += "\\t";  break;
+              case '\r': out += "\\r";  break;
+              default:   out += c;
+            }
+        }
+        out += '"';
+    }
+
+    Kind kind_ = Kind::Null;
+    bool flag_ = false;
+    std::string text_;
+    std::vector<JsonValue> items_;
+    std::vector<Member> members_;
+};
+
+namespace detail
+{
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &src) : src_(src) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != src_.size())
+            fail("trailing content");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw JsonParseError(what, pos_);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < src_.size() &&
+               (src_[pos_] == ' ' || src_[pos_] == '\t' ||
+                src_[pos_] == '\n' || src_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= src_.size())
+            fail("unexpected end of input");
+        return src_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeWord(const char *w)
+    {
+        const std::size_t n = std::strlen(w);
+        if (src_.compare(pos_, n, w) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWs();
+        const char c = peek();
+        switch (c) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return JsonValue::makeString(parseString());
+          case 't':
+            if (consumeWord("true"))
+                return JsonValue::makeBool(true);
+            fail("bad literal");
+          case 'f':
+            if (consumeWord("false"))
+                return JsonValue::makeBool(false);
+            fail("bad literal");
+          case 'n':
+            if (consumeWord("null"))
+                return JsonValue::makeNull();
+            fail("bad literal");
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v = JsonValue::makeObject();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            v.members().emplace_back(std::move(key), parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v = JsonValue::makeArray();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.items().push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (pos_ >= src_.size())
+                fail("unterminated string");
+            const char c = src_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= src_.size())
+                fail("unterminated escape");
+            const char e = src_[pos_++];
+            switch (e) {
+              case '"':  out += '"';  break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/';  break;
+              case 'n':  out += '\n'; break;
+              case 't':  out += '\t'; break;
+              case 'r':  out += '\r'; break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'u': {
+                // Pass low \u00XX escapes through as a byte; anything
+                // else is out of scope for our emitters.
+                if (pos_ + 4 > src_.size())
+                    fail("truncated \\u escape");
+                const std::string hex = src_.substr(pos_, 4);
+                pos_ += 4;
+                const unsigned long cp =
+                    std::strtoul(hex.c_str(), nullptr, 16);
+                if (cp > 0xFF)
+                    fail("unsupported \\u escape");
+                out += static_cast<char>(cp);
+                break;
+              }
+              default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        bool digits = false;
+        while (pos_ < src_.size() &&
+               (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '.' || src_[pos_] == 'e' ||
+                src_[pos_] == 'E' || src_[pos_] == '+' ||
+                src_[pos_] == '-')) {
+            digits = digits ||
+                     std::isdigit(static_cast<unsigned char>(
+                         src_[pos_]));
+            ++pos_;
+        }
+        if (!digits)
+            fail("bad number");
+        return JsonValue::makeNumber(src_.substr(start, pos_ - start));
+    }
+
+    const std::string &src_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace detail
+
+/** Parse @p src; throws JsonParseError on malformed input. */
+inline JsonValue
+parseJson(const std::string &src)
+{
+    return detail::JsonParser(src).parse();
+}
+
+} // namespace upr::obs
+
+#endif // UPR_OBS_JSON_VALUE_HH

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * MetricsRegistry: the process-wide federation point of every
+ * StatGroup and latency histogram in the runtime.
+ *
+ * Components register their StatGroup (and histograms) on
+ * construction through the RAII handles below and deregister on
+ * destruction. A snapshot flattens everything live into a
+ * name -> value map ("group.stat") plus histogram data; same-named
+ * entries from multiple live instances (e.g. two Runtimes, each with
+ * a "core" machine group) sum — the registry reports the fleet, not
+ * one instance.
+ *
+ * Named snapshots + delta() let benches and tests assert on
+ * *intervals* ("what did phase 2 add?") instead of process totals.
+ */
+
+#ifndef UPR_OBS_METRICS_HH
+#define UPR_OBS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hh"
+
+namespace upr
+{
+class StatGroup; // from common/stats.hh; not included to stay light
+} // namespace upr
+
+namespace upr::obs
+{
+
+/** Flattened view of everything registered at one instant. */
+struct MetricsSnapshot
+{
+    /** "group.stat" -> value, summed across live instances. */
+    std::map<std::string, std::uint64_t> counters;
+    /** histogram name -> merged data across live instances. */
+    std::map<std::string, HistogramData> histograms;
+
+    /**
+     * The interval this - older: counters subtract (saturating at
+     * zero so a component re-created between snapshots cannot
+     * underflow), histograms subtract bucket-wise. Entries absent
+     * from @p older pass through unchanged.
+     */
+    MetricsSnapshot minus(const MetricsSnapshot &older) const;
+
+    /** Render as a deterministic JSON document. */
+    std::string toJson() const;
+};
+
+/** The process-wide registry. */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry &instance();
+
+    // Registration (prefer the RAII handles below) ------------------
+    void addGroup(const StatGroup *group);
+    void removeGroup(const StatGroup *group);
+    void addHistogram(const std::string &name,
+                      const LatencyHistogram *hist);
+    void removeHistogram(const LatencyHistogram *hist);
+
+    /** Flatten everything currently registered. */
+    MetricsSnapshot snapshot() const;
+
+    /** Store snapshot() under @p name (overwrites). */
+    void saveNamed(const std::string &name);
+
+    /**
+     * Retrieve a named snapshot.
+     * @return empty snapshot if @p name was never saved
+     */
+    MetricsSnapshot named(const std::string &name) const;
+
+    /** Drop a named snapshot (no-op if absent). */
+    void dropNamed(const std::string &name);
+
+    /** Live registration counts (tests). */
+    std::size_t groupCount() const;
+    std::size_t histogramCount() const;
+
+  private:
+    MetricsRegistry() = default;
+
+    mutable std::mutex mu_;
+    std::vector<const StatGroup *> groups_;
+    std::vector<std::pair<std::string, const LatencyHistogram *>>
+        histograms_;
+    std::map<std::string, MetricsSnapshot> named_;
+};
+
+/** RAII registration of one StatGroup for an owning component. */
+class ScopedMetricsGroup
+{
+  public:
+    explicit ScopedMetricsGroup(const StatGroup &group) : group_(&group)
+    {
+        MetricsRegistry::instance().addGroup(group_);
+    }
+
+    ~ScopedMetricsGroup()
+    {
+        MetricsRegistry::instance().removeGroup(group_);
+    }
+
+    ScopedMetricsGroup(const ScopedMetricsGroup &) = delete;
+    ScopedMetricsGroup &operator=(const ScopedMetricsGroup &) = delete;
+
+  private:
+    const StatGroup *group_;
+};
+
+/** RAII registration of one histogram under a fixed name. */
+class ScopedMetricsHistogram
+{
+  public:
+    ScopedMetricsHistogram(std::string name,
+                           const LatencyHistogram &hist)
+        : hist_(&hist)
+    {
+        MetricsRegistry::instance().addHistogram(std::move(name),
+                                                 hist_);
+    }
+
+    ~ScopedMetricsHistogram()
+    {
+        MetricsRegistry::instance().removeHistogram(hist_);
+    }
+
+    ScopedMetricsHistogram(const ScopedMetricsHistogram &) = delete;
+    ScopedMetricsHistogram &
+    operator=(const ScopedMetricsHistogram &) = delete;
+
+  private:
+    const LatencyHistogram *hist_;
+};
+
+} // namespace upr::obs
+
+#endif // UPR_OBS_METRICS_HH

@@ -79,6 +79,39 @@ TEST_F(BenchHarness, CountersMatchVersionSemantics)
     EXPECT_EQ(ex.storePs, 0u);
 }
 
+TEST_F(BenchHarness, MetricsSummariesMatchModelCounters)
+{
+    const RunStats vol = run(Workload::RB, Version::Volatile);
+    const RunStats sw = run(Workload::RB, Version::Sw);
+    const RunStats hw = run(Workload::RB, Version::Hw);
+
+    // The latency histograms ride the same simulated-cycle model as
+    // the counters, so their sample counts must agree exactly.
+    EXPECT_EQ(sw.checkCycles.count, sw.dynamicChecks);
+    EXPECT_GT(sw.checkCycles.count, 0u);
+    EXPECT_GT(sw.ptrAssignCycles.count, 0u);
+    EXPECT_GT(hw.ptrAssignCycles.count, 0u);
+
+    // Summaries are internally ordered.
+    for (const HistSummary *s :
+         {&sw.checkCycles, &sw.ptrAssignCycles, &hw.ptrAssignCycles}) {
+        EXPECT_LE(s->p50, s->p90);
+        EXPECT_LE(s->p90, s->p99);
+        EXPECT_LE(s->p99, s->max);
+        EXPECT_GT(s->max, 0u);
+    }
+
+    // Volatile runs have neither checks nor pointer assignments.
+    EXPECT_EQ(vol.checkCycles.count, 0u);
+    EXPECT_EQ(vol.ptrAssignCycles.count, 0u);
+
+    // Determinism: rerunning the same cell reproduces the summaries.
+    const RunStats sw2 = run(Workload::RB, Version::Sw);
+    EXPECT_EQ(sw2.checkCycles.p50, sw.checkCycles.p50);
+    EXPECT_EQ(sw2.checkCycles.p99, sw.checkCycles.p99);
+    EXPECT_EQ(sw2.ptrAssignCycles.max, sw.ptrAssignCycles.max);
+}
+
 TEST_F(BenchHarness, RunPhaseOnlyCountersAreClean)
 {
     // The load phase is excluded: a GET-only run phase must show far

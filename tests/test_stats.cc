@@ -23,6 +23,49 @@ TEST(Counter, StartsAtZeroAndAccumulates)
     EXPECT_EQ(c.value(), 0u);
 }
 
+TEST(Counter, SubBelowZeroDoesNotWrap)
+{
+    Counter c;
+    c.add(3);
+#ifdef UPR_SANITIZE
+    // Sanitized builds treat gauge underflow as a caller bug.
+    EXPECT_DEATH(c.sub(4), "counter underflow");
+#else
+    // Regular builds saturate instead of wrapping to 2^64 - 1.
+    c.sub(4);
+    EXPECT_EQ(c.value(), 0u);
+    c.add(2);
+    EXPECT_EQ(c.value(), 2u); // still usable afterwards
+#endif
+}
+
+TEST(Counter, SubZeroFromZeroIsFine)
+{
+    Counter c;
+    c.sub(0);
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(StatGroup, ForEachVisitsInNameOrder)
+{
+    StatGroup g("grp");
+    Counter a, b;
+    g.registerCounter("b", b, "second");
+    g.registerCounter("a", a, "first");
+    a.add(1);
+    b.add(2);
+    std::string names;
+    g.forEach([&](const std::string &name, std::uint64_t value,
+                  const std::string &desc) {
+        names += name;
+        names += '=';
+        names += std::to_string(value);
+        names += ';';
+        EXPECT_FALSE(desc.empty());
+    });
+    EXPECT_EQ(names, "a=1;b=2;");
+}
+
 TEST(StatGroup, RegisterAndLookup)
 {
     StatGroup g("grp");

@@ -17,6 +17,8 @@
  *                      come only from call sites in the module
  *   --flow-refine      enable block-local refinement in the base
  *                      check plan before elision
+ *   --                 end of options; every later argument is a
+ *                      file, even one starting with '-'
  *
  * Exit status: 0 clean (warnings allowed), 1 on parse/verify errors
  * or diagnosed UB.
@@ -70,7 +72,7 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: uprlint [--json] [--report-elision] "
-                 "[--whole-program] [--flow-refine] file.ir...\n");
+                 "[--whole-program] [--flow-refine] [--] file.ir...\n");
     return 2;
 }
 
@@ -253,8 +255,13 @@ int
 main(int argc, char **argv)
 {
     Options opt;
+    bool options_done = false;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--json") == 0)
+        if (options_done)
+            opt.files.push_back(argv[i]);
+        else if (std::strcmp(argv[i], "--") == 0)
+            options_done = true;
+        else if (std::strcmp(argv[i], "--json") == 0)
             opt.json = true;
         else if (std::strcmp(argv[i], "--report-elision") == 0)
             opt.reportElision = true;
