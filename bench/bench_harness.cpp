@@ -35,6 +35,8 @@
 #include <fstream>
 #include <thread>
 
+#include <map>
+
 #include "bench_common.hh"
 #include "bench_json.hh"
 #include "compiler/analysis/abstract_interp.hh"
@@ -43,6 +45,8 @@
 #include "compiler/interpreter.hh"
 #include "compiler/ir_parser.hh"
 #include "core/ptr.hh"
+#include "faultinject/fault_sweep.hh"
+#include "kvstore/kv_store.hh"
 #include "obs/trace_ring.hh"
 
 #ifndef UPR_GIT_REV
@@ -622,6 +626,203 @@ runStatic(const std::string &out_dir)
     return ok;
 }
 
+// ----------------------------------------------------------------------
+// Fault section: the hostile-media corruption sweep, one cell per
+// retention mode. Every count is a deterministic function of the seed
+// (the persistence-event stream, the retention coin flips, and the
+// fault RNG are all seed-driven), so bench_diff compares the cells as
+// hard-error keys: a classification shifting from `repaired` to
+// `quarantined` — or worse, to `silent` — is model drift.
+// ----------------------------------------------------------------------
+
+namespace faultbench
+{
+
+using Tree = RbTree<std::uint64_t, std::uint64_t>;
+
+constexpr std::uint64_t kSetupKeys = 8;
+
+struct Op
+{
+    bool erase;
+    std::uint64_t key;
+    std::uint64_t value;
+};
+
+const std::vector<Op> &
+ops()
+{
+    static const std::vector<Op> kOps = {
+        {false, 100, 1000},
+        {false, 3, 333},
+        {true, 5, 0},
+        {false, 101, 1010},
+    };
+    return kOps;
+}
+
+std::map<std::uint64_t, std::uint64_t>
+referenceState(std::size_t n)
+{
+    std::map<std::uint64_t, std::uint64_t> m;
+    for (std::uint64_t i = 0; i < kSetupKeys; ++i)
+        m[i] = i * 10;
+    for (std::size_t i = 0; i < n && i < ops().size(); ++i) {
+        if (ops()[i].erase)
+            m.erase(ops()[i].key);
+        else
+            m[ops()[i].key] = ops()[i].value;
+    }
+    return m;
+}
+
+Runtime::Config
+config()
+{
+    Runtime::Config cfg;
+    cfg.version = Version::Hw;
+    cfg.seed = 1234;
+    return cfg;
+}
+
+void
+workload(CrashInjector &injector, std::size_t &committed)
+{
+    committed = 0;
+    Runtime rt(config());
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("sweep", 1 << 20);
+    MemEnv env = MemEnv::persistentEnv(rt, pool);
+    KvStore<Tree> store(env);
+    rt.pools().pool(pool).setRootOff(static_cast<PoolOffset>(
+        PtrRepr::offsetOf(store.index().header().bits())));
+    for (std::uint64_t i = 0; i < kSetupKeys; ++i)
+        store.set(i, i * 10);
+
+    injector.attach(rt.pools().pool(pool).backing());
+    for (const Op &op : ops()) {
+        rt.beginTxn(pool);
+        if (op.erase)
+            store.index().erase(op.key);
+        else
+            store.set(op.key, op.value);
+        rt.commitTxn();
+        ++committed;
+    }
+}
+
+bool
+contentValid(const std::vector<std::uint8_t> &image,
+             std::size_t committed)
+{
+    try {
+        Backing b;
+        b.assign(image);
+        Runtime rt(config());
+        RuntimeScope scope(rt);
+        const PoolId id = rt.pools().adoptImage(std::move(b), "v");
+
+        const ArenaReport arena =
+            rt.pools().allocator(id).inspectArena();
+        if (!arena.tagsValid || !arena.freeListValid ||
+            !arena.usedBytesMatch)
+            return false;
+
+        const PoolOffset root = rt.pools().pool(id).rootOff();
+        if (root == 0)
+            return false;
+        MemEnv env = MemEnv::persistentEnv(rt, id);
+        Tree tree(env, Ptr<Tree::Header>::fromBits(
+                           PtrRepr::makeRelative(id, root)));
+        tree.validate();
+        std::map<std::uint64_t, std::uint64_t> actual;
+        tree.forEach([&](std::uint64_t k, std::uint64_t v) {
+            actual.emplace(k, v);
+        });
+        return actual == referenceState(committed) ||
+               actual == referenceState(committed + 1);
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+} // namespace faultbench
+
+bool
+runFault(const std::string &out_dir)
+{
+    // Sweeps spew (expected) torn-log warnings; keep the bench output
+    // readable.
+    setLogSink(+[](LogLevel, const std::string &) {});
+
+    const CrashMode kModes[] = {
+        CrashMode::DiscardUnfenced, CrashMode::RetainRandom,
+        CrashMode::RetainEpoch, CrashMode::RetainBoundedStale};
+
+    const auto start = SteadyClock::now();
+    JsonWriter json;
+    json.beginObject();
+    emitHeader(json, 1);
+    json.key("cells").beginArray();
+
+    bool ok = true;
+    std::size_t committed = 0;
+    for (CrashMode mode : kModes) {
+        FaultSweepConfig cfg;
+        cfg.mode = mode;
+        cfg.seed = 99;
+        cfg.pointStride = 61;
+        const auto t0 = SteadyClock::now();
+        const FaultSweepResult r = faultSweep(
+            [&committed](CrashInjector &inj) {
+                faultbench::workload(inj, committed);
+            },
+            [&committed](const std::vector<std::uint8_t> &image,
+                         std::uint64_t) {
+                return faultbench::contentValid(image, committed);
+            },
+            cfg);
+
+        if (r.silent != 0 || r.containment != 0) {
+            std::fprintf(stderr,
+                         "FAIL fault sweep (%s): %llu silent, %llu "
+                         "containment failures\n",
+                         crashModeName(mode),
+                         (unsigned long long)r.silent,
+                         (unsigned long long)r.containment);
+            ok = false;
+        }
+
+        json.beginObject();
+        json.kv("workload", "fault_sweep");
+        json.kv("version", crashModeName(mode));
+        json.kv("wallMs", millisSince(t0));
+        json.kv("crashPointsSampled", r.crashPointsSampled);
+        json.kv("injections", r.injections);
+        json.kv("benign", r.benign);
+        json.kv("repaired", r.repaired);
+        json.kv("quarantined", r.quarantined);
+        json.kv("rejected", r.rejected);
+        json.kv("noEffect", r.noEffect);
+        json.kv("silent", r.silent);
+        json.kv("containment", r.containment);
+        json.end();
+    }
+    json.end();
+    json.end();
+    setLogSink(nullptr);
+
+    const std::string path = out_dir + "/BENCH_fault.json";
+    if (!json.writeFile(path)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::printf("fault: %zu modes, wall %.0f ms, %s\n",
+                sizeof(kModes) / sizeof(kModes[0]),
+                millisSince(start), path.c_str());
+    return ok;
+}
+
 } // namespace
 
 int
@@ -634,6 +835,11 @@ main(int argc, char **argv)
     bool fig11 = true;
     bool micro = true;
     bool static_sec = true;
+    // Opt-in only: the sweep exercises the fault-injection paths,
+    // which must stay untouched (and their lazy "fault" metrics group
+    // unregistered) in default runs so the existing BENCH goldens and
+    // metrics dumps stay bit-identical.
+    bool fault = false;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -656,11 +862,16 @@ main(int argc, char **argv)
         } else if (!std::strcmp(arg, "--static-only")) {
             fig11 = false;
             micro = false;
+        } else if (!std::strcmp(arg, "--fault-only")) {
+            fig11 = false;
+            micro = false;
+            static_sec = false;
+            fault = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--quick] [--jobs N] [--out DIR] "
                          "[--fig11-only | --micro-only | "
-                         "--static-only]\n",
+                         "--static-only | --fault-only]\n",
                          argv[0]);
             return 2;
         }
@@ -677,6 +888,8 @@ main(int argc, char **argv)
         ok = runMicro(out_dir, jobs) && ok;
     if (static_sec)
         ok = runStatic(out_dir) && ok;
+    if (fault)
+        ok = runFault(out_dir) && ok;
 
     // With UPR_OBS_TRACE set, dump the harness process's event ring
     // (the serial static section and any in-process setup; forked

@@ -76,10 +76,16 @@ inspect(Pool &pool, bool recover)
 
     std::printf("\n== allocator arena ==\n");
     PoolAllocator alloc(pool);
-    alloc.checkConsistency();
-    const std::size_t live = alloc.liveBlocks();
+    // inspectArena, not checkConsistency: an inspector pointed at a
+    // damaged image must report, never panic.
+    const ArenaReport arena = alloc.inspectArena();
+    if (!arena.tagsValid || !arena.freeListValid) {
+        std::printf("  DAMAGED      %s\n", arena.what.c_str());
+        std::printf("  (run 'uprpool check' for a full diagnosis)\n");
+        return;
+    }
     const Bytes free_bytes = alloc.freeBytes();
-    std::printf("  live blocks  %zu\n", live);
+    std::printf("  live blocks  %zu\n", arena.blocks - arena.freeBlocks);
     std::printf("  free bytes   %" PRIu64 " (%.1f%% of arena)\n",
                 free_bytes,
                 100.0 * static_cast<double>(free_bytes) /
@@ -120,7 +126,7 @@ buildDemoImage(bool crashed)
 
 int
 main(int argc, char **argv)
-{
+try {
     if (argc >= 2) {
         const bool recover =
             argc >= 3 && std::strcmp(argv[2], "--recover") == 0;
@@ -148,4 +154,14 @@ main(int argc, char **argv)
     std::remove(clean.c_str());
     std::remove(crashed.c_str());
     return 0;
+} catch (const Fault &f) {
+    // Damaged images surface as typed Faults (e.g. a CorruptPool from
+    // the adopting Pool constructor): report the diagnosis, don't let
+    // the runtime print an uncaught-exception backtrace.
+    std::fprintf(stderr, "pool_inspector: [%s] %s\n",
+                 faultKindName(f.kind()), f.what());
+    std::fprintf(stderr,
+                 "the image is damaged beyond plain inspection — try "
+                 "'uprpool check --repair'\n");
+    return 2;
 }

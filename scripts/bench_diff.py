@@ -39,6 +39,14 @@ MODEL_KEYS = (
 # don't).
 METRICS_KEYS = ("checkCycles", "ptrAssignCycles")
 
+# Fault-sweep cells (BENCH_fault.json): every outcome tally is
+# seed-driven and deterministic, so any drift is a hard error just
+# like the model counters. wallMs stays host-side/noisy as usual.
+FAULT_KEYS = (
+    "crashPointsSampled", "injections", "benign", "repaired",
+    "quarantined", "rejected", "noEffect", "silent", "containment",
+)
+
 
 def load(path):
     try:
@@ -115,7 +123,7 @@ def main():
         if "error" in old or "error" in new:
             continue
 
-        for k in MODEL_KEYS:
+        for k in MODEL_KEYS + FAULT_KEYS:
             if old.get(k) != new.get(k):
                 drift.append(
                     f"{fmt_cell(key)}: {k} {old.get(k)} -> "

@@ -1,10 +1,11 @@
 #!/bin/sh
 # CI entry point:
 #   1. full RelWithDebInfo build + complete test suite;
-#   2. ASan+UBSan build (cmake --preset asan) + the crash and
-#      compiler test labels — the suites that exercise raw-memory
-#      recovery paths and the parser/verifier/interpreter, where
-#      memory bugs would hide;
+#   2. ASan+UBSan build (cmake --preset asan) + the crash, compiler,
+#      obs and fault test labels — the suites that exercise
+#      raw-memory recovery paths, deliberately corrupted pool images,
+#      and the parser/verifier/interpreter, where memory bugs would
+#      hide;
 #   3. clang-tidy over the compiler subsystem, if available;
 #   4. observability overhead gate: with event tracing compiled in,
 #      a traced run and an untraced run of the quick bench must agree
@@ -30,7 +31,14 @@ ctest --preset asan -j "$JOBS"
 echo "==> tier 3: clang-tidy (best effort)"
 scripts/run_clang_tidy.sh || exit 1
 
-echo "==> tier 4: observability overhead gate"
+echo "==> tier 4: hostile-media fault sweep vs golden"
+FAULT_OUT=$(mktemp -d)
+build/bench/bench_harness --fault-only --out "$FAULT_OUT" > /dev/null
+python3 scripts/bench_diff.py --wall-threshold 100000 \
+    BENCH_fault.json "$FAULT_OUT/BENCH_fault.json"
+rm -rf "$FAULT_OUT"
+
+echo "==> tier 5: observability overhead gate"
 GATE_OUT=$(mktemp -d)
 trap 'rm -rf "$GATE_OUT"' EXIT
 

@@ -43,6 +43,18 @@ enum class FaultKind
      * Raised instead of proceeding on garbage bytes.
      */
     CorruptPool,
+    /**
+     * The media reported a (possibly transient) I/O error: the open
+     * or read may succeed on retry. openResilient retries these with
+     * backoff before giving up.
+     */
+    MediaError,
+    /**
+     * The pool is quarantined (attached read-only after unrepairable
+     * damage): mutating operations are rejected while the rest of
+     * the fleet keeps serving.
+     */
+    PoolQuarantined,
 };
 
 /** Human-readable name of a fault kind. */
@@ -84,6 +96,8 @@ faultKindName(FaultKind kind)
       case FaultKind::HeapFull:           return "heap-full";
       case FaultKind::BadUsage:           return "bad-usage";
       case FaultKind::CorruptPool:        return "corrupt-pool";
+      case FaultKind::MediaError:         return "media-error";
+      case FaultKind::PoolQuarantined:    return "pool-quarantined";
     }
     return "unknown-fault";
 }

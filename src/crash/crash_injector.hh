@@ -120,6 +120,12 @@ class CrashInjector
     /** True once the crash point fired. */
     bool fired() const { return fired_; }
 
+    /** The retention RNG seed (replay diagnostics). */
+    std::uint64_t seed() const { return seed_; }
+
+    /** The retention mode images are captured under. */
+    CrashMode mode() const { return mode_; }
+
     /**
      * The durable image captured at the crash instant. Only valid
      * after fired().
@@ -129,6 +135,19 @@ class CrashInjector
     {
         upr_assert_msg(fired_, "crash image requested before a crash");
         return image_;
+    }
+
+    /**
+     * The strict (DiscardUnfenced) image captured at the same crash
+     * instant: exactly the lines that were *certainly* on media. The
+     * fault model uses it as the revert-to baseline for torn-line and
+     * dropped-flush faults. Only valid after fired().
+     */
+    const std::vector<std::uint8_t> &
+    strictImage() const
+    {
+        upr_assert_msg(fired_, "crash image requested before a crash");
+        return strict_;
     }
 
   private:
@@ -144,6 +163,7 @@ class CrashInjector
             // again. The observer stays installed (we are executing
             // inside it right now) but its hook no longer points here.
             image_ = backing_->crashImage(mode_, seed_ ^ crashAt_);
+            strict_ = backing_->crashImage(CrashMode::DiscardUnfenced);
             fired_ = true;
             hook_->owner = nullptr;
             hook_.reset();
@@ -166,6 +186,7 @@ class CrashInjector
     std::uint64_t events_ = 0;
     bool fired_ = false;
     std::vector<std::uint8_t> image_;
+    std::vector<std::uint8_t> strict_;
 };
 
 } // namespace upr

@@ -1,5 +1,8 @@
 #include "crash/crash_sweep.hh"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "nvm/txn.hh"
@@ -49,11 +52,20 @@ CrashSweepResult
 crashSweep(const CrashWorkload &workload, const CrashValidator &validate,
            const CrashSweepConfig &config)
 {
+    // One-command replay of a failed sweep point: UPR_CRASH_SEED in
+    // the environment overrides the configured retention seed, and
+    // any failure below prints the seed/mode/point needed to set it.
+    std::uint64_t seed = config.seed;
+    if (const char *env = std::getenv("UPR_CRASH_SEED");
+        env != nullptr && *env != '\0') {
+        seed = std::strtoull(env, nullptr, 0);
+    }
+
     // Profiling pass: count the workload's persistence events without
     // crashing. This also shakes out workloads that fail on their own.
     std::uint64_t total = 0;
     {
-        CrashInjector injector(config.mode, config.seed);
+        CrashInjector injector(config.mode, seed);
         injector.arm(0);
         workload(injector);
         total = injector.events();
@@ -69,7 +81,7 @@ crashSweep(const CrashWorkload &workload, const CrashValidator &validate,
     crashStats().crashPoints.add(total);
 
     for (std::uint64_t n = 1; n <= total; ++n) {
-        CrashInjector injector(config.mode, config.seed);
+        CrashInjector injector(config.mode, seed);
         injector.arm(n);
         bool crashed = false;
         try {
@@ -84,26 +96,46 @@ crashSweep(const CrashWorkload &workload, const CrashValidator &validate,
                         "workload is not deterministic");
         }
 
-        // Reopen the dead machine's media image and recover it.
-        Backing media;
-        media.assign(injector.image());
-        Pool pool("crash@" + std::to_string(n), std::move(media));
-        const bool rolled_back = Txn::recover(pool);
-        obs::traceEvent(obs::EventKind::CrashPoint, n, rolled_back);
-        if (rolled_back) {
-            ++result.rollbacks;
-            ++crashStats().rollbacks;
-        } else {
-            ++result.cleanImages;
-            ++crashStats().cleanImages;
-        }
-        // Recovery must be idempotent: a crash *during* recovery is
-        // just another recovery on the next boot.
-        upr_assert_msg(!Txn::recover(pool),
-                       "recovery of crash point %llu is not idempotent",
-                       (unsigned long long)n);
+        try {
+            // Reopen the dead machine's media image and recover it.
+            Backing media;
+            media.assign(injector.image());
+            Pool pool("crash@" + std::to_string(n), std::move(media));
+            const bool rolled_back = Txn::recover(pool);
+            obs::traceEvent(obs::EventKind::CrashPoint, n,
+                            rolled_back);
+            if (rolled_back) {
+                ++result.rollbacks;
+                ++crashStats().rollbacks;
+            } else {
+                ++result.cleanImages;
+                ++crashStats().cleanImages;
+            }
+            // Recovery must be idempotent: a crash *during* recovery
+            // is just another recovery on the next boot.
+            if (Txn::recover(pool)) {
+                throw Fault(FaultKind::CorruptPool,
+                            "recovery of crash point " +
+                            std::to_string(n) + " is not idempotent");
+            }
 
-        validate(pool, n, rolled_back);
+            validate(pool, n, rolled_back);
+        } catch (...) {
+            // Straight to stderr, not the log sink: sweeps routinely
+            // run with warnings silenced, and this line is the whole
+            // point of a reproducible failure.
+            std::fprintf(stderr,
+                         "crash sweep FAILED at point %llu/%llu "
+                         "(mode %s, seed %llu)\n"
+                         "replay with: UPR_CRASH_SEED=%llu "
+                         "<this test>\n",
+                         (unsigned long long)n,
+                         (unsigned long long)total,
+                         crashModeName(config.mode),
+                         (unsigned long long)seed,
+                         (unsigned long long)seed);
+            throw;
+        }
     }
     return result;
 }

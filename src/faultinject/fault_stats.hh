@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The process-wide "fault" metrics group: every injected media fault,
+ * detection, repair, quarantine, and resilient-open retry in the
+ * process bumps a counter here, and the PR-5 metrics registry exports
+ * them ("fault.injected", "fault.repaired", ...) next to the machine
+ * and crash groups.
+ *
+ * Header-only singleton on purpose: the *consumers* live on both
+ * sides of the library graph (nvm/pool_check repairs, faultinject
+ * corrupts, pool_manager quarantines), so a singleton accessed
+ * through an inline function is the only shape that avoids a link
+ * cycle between upr_nvm and upr_faultinject.
+ */
+
+#ifndef UPR_FAULTINJECT_FAULT_STATS_HH
+#define UPR_FAULTINJECT_FAULT_STATS_HH
+
+#include "common/stats.hh"
+#include "obs/metrics.hh"
+
+namespace upr
+{
+
+/** Counters of the media-fault / resilience subsystem. */
+class FaultStats
+{
+  public:
+    static FaultStats &
+    instance()
+    {
+        static FaultStats s;
+        return s;
+    }
+
+    Counter injected;    //!< media faults injected into crash images
+    Counter detected;    //!< corruptions caught with a typed diagnosis
+    Counter repaired;    //!< pools fully repaired by check/repair
+    Counter quarantined; //!< pools contained in read-only quarantine
+    Counter benign;      //!< injected faults erased by normal recovery
+    Counter retries;     //!< openResilient retry attempts
+    Counter scrubbed;    //!< undo-log scrubs (pending logs replayed)
+
+    StatGroup &group() { return group_; }
+
+    /** Zero everything (bench sections, test isolation). */
+    void resetAll() { group_.resetAll(); }
+
+  private:
+    FaultStats() : group_("fault"), registration_(group_)
+    {
+        group_.registerCounter("injected", injected,
+                               "media faults injected into crash images");
+        group_.registerCounter("detected", detected,
+                               "corruptions detected with a typed fault");
+        group_.registerCounter("repaired", repaired,
+                               "pools fully repaired");
+        group_.registerCounter("quarantined", quarantined,
+                               "pools quarantined read-only");
+        group_.registerCounter("benign", benign,
+                               "injected faults erased by recovery");
+        group_.registerCounter("retries", retries,
+                               "resilient-open retry attempts");
+        group_.registerCounter("scrubbed", scrubbed,
+                               "pending undo logs replayed");
+    }
+
+    StatGroup group_;
+    obs::ScopedMetricsGroup registration_;
+};
+
+} // namespace upr
+
+#endif // UPR_FAULTINJECT_FAULT_STATS_HH

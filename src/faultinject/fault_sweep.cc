@@ -1,0 +1,241 @@
+#include "faultinject/fault_sweep.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/fault.hh"
+#include "faultinject/fault_stats.hh"
+#include "mem/address_space.hh"
+#include "nvm/pool_manager.hh"
+#include "nvm/txn.hh"
+
+namespace upr
+{
+
+namespace
+{
+
+/** One sweep coordinate, printed whenever an invariant fails. */
+struct Coord
+{
+    std::uint64_t point;
+    std::uint64_t total;
+    CrashMode mode;
+    MediaFaultKind kind;
+    FaultRegion region;
+    std::uint64_t seed;
+};
+
+/**
+ * Straight to stderr, not the log sink: fault sweeps run with
+ * warnings silenced (every classification spews torn-log warnings),
+ * and this line is the whole point of a reproducible failure.
+ */
+void
+banner(const Coord &c, const char *why)
+{
+    std::fprintf(stderr,
+                 "fault sweep FAILED at point %llu/%llu (mode %s, "
+                 "fault %s, region %s, seed %llu): %s\n"
+                 "replay with: UPR_CRASH_SEED=%llu <this test>\n",
+                 (unsigned long long)c.point,
+                 (unsigned long long)c.total, crashModeName(c.mode),
+                 mediaFaultKindName(c.kind), faultRegionName(c.region),
+                 (unsigned long long)c.seed, why,
+                 (unsigned long long)c.seed);
+}
+
+/** Capture the crash image at point @p n (plus its strict baseline). */
+void
+captureAt(const CrashWorkload &workload, CrashMode mode,
+          std::uint64_t seed, std::uint64_t n,
+          std::vector<std::uint8_t> &image,
+          std::vector<std::uint8_t> &strict)
+{
+    CrashInjector injector(mode, seed);
+    injector.arm(n);
+    bool crashed = false;
+    try {
+        workload(injector);
+    } catch (const SimulatedCrash &) {
+        crashed = true;
+    }
+    if (!crashed || !injector.fired()) {
+        throw Fault(FaultKind::BadUsage,
+                    "fault sweep point " + std::to_string(n) +
+                    " never fired — the workload is not deterministic");
+    }
+    image = injector.image();
+    strict = injector.strictImage();
+}
+
+} // namespace
+
+FaultSweepResult
+faultSweep(const CrashWorkload &workload,
+           const FaultValidator &contentValid,
+           const FaultSweepConfig &config)
+{
+    std::uint64_t seed = config.seed;
+    if (const char *env = std::getenv("UPR_CRASH_SEED");
+        env != nullptr && *env != '\0') {
+        seed = std::strtoull(env, nullptr, 0);
+    }
+
+    // Profiling pass: size the crash-point space.
+    std::uint64_t total = 0;
+    {
+        CrashInjector injector(config.mode, seed);
+        injector.arm(0);
+        workload(injector);
+        total = injector.events();
+    }
+    if (total == 0) {
+        throw Fault(FaultKind::BadUsage,
+                    "fault sweep workload generated no persistence "
+                    "events (injector never attached?)");
+    }
+
+    const std::uint64_t stride = config.pointStride ? config.pointStride
+                                                    : 1;
+    FaultSweepResult result;
+
+    for (std::uint64_t n = 1; n <= total; n += stride) {
+        std::vector<std::uint8_t> image, strict;
+        captureAt(workload, config.mode, seed, n, image, strict);
+        ++result.crashPointsSampled;
+
+        // Control leg: the UNcorrupted image must open clean — any
+        // other outcome means the sweep would blame the checker for
+        // damage it never injected.
+        {
+            AddressSpace space;
+            PoolManager mgr(space, Placement::Sequential, seed);
+            Backing fb;
+            fb.assign(image);
+            const ResilientOpenReport rep =
+                mgr.openResilient(std::move(fb), "control");
+            if (rep.outcome != OpenOutcome::Clean &&
+                rep.outcome != OpenOutcome::Recovered) {
+                Coord c{n, total, config.mode, MediaFaultKind::BitFlip,
+                        FaultRegion::Header, seed};
+                banner(c, "uncorrupted control image did not open "
+                          "clean");
+                throw Fault(FaultKind::CorruptPool,
+                            "fault sweep control image at point " +
+                            std::to_string(n) + " opened as '" +
+                            openOutcomeName(rep.outcome) + "'");
+            }
+        }
+
+        // Header and arena targets come from a *recovered* copy: the
+        // crash image is legitimately mid-transaction, and a tag walk
+        // over it would aim faults at payload bytes that recovery is
+        // about to overwrite — silently weakening the sweep. Undo-log
+        // targets come from the crash image itself (recovery
+        // truncates the log).
+        Backing rb;
+        rb.assign(image);
+        Pool ref("ref", std::move(rb));
+        Txn::recover(ref);
+        const std::vector<std::uint8_t> recovered =
+            ref.backing().raw().toVector();
+
+        for (std::size_t k = 0; k < kMediaFaultKinds; ++k) {
+            for (std::size_t r = 0; r < kFaultRegions; ++r) {
+                MediaFaultSpec spec;
+                spec.kind = static_cast<MediaFaultKind>(k);
+                spec.region = static_cast<FaultRegion>(r);
+                spec.seed = seed ^ (n * 0x9E37'79B9'7F4A'7C15ULL) ^
+                            (k * 0x0000'0100'0000'01B3ULL) ^
+                            (r * 0x1000'0193ULL);
+                const Coord coord{n, total, config.mode, spec.kind,
+                                  spec.region, seed};
+
+                const std::vector<Bytes> targets =
+                    MediaFaultModel::targets(
+                        spec.region == FaultRegion::UndoLog ? image
+                                                            : recovered,
+                        spec.region);
+
+                std::vector<std::uint8_t> damaged = image;
+                const MediaFaultModel model(spec);
+                if (model.corrupt(damaged, strict, targets).empty()) {
+                    ++result.noEffect;
+                    continue;
+                }
+                ++result.injections;
+
+                // Fresh fleet per classification. The damaged image
+                // adopts first (its header claims a pool ID; a
+                // sibling created before it would race for the same
+                // one), then a sibling pool joins the fleet and must
+                // keep serving regardless of what the image did.
+                AddressSpace space;
+                PoolManager mgr(space, Placement::Sequential, seed);
+
+                Backing fb;
+                fb.assign(damaged);
+                const ResilientOpenReport rep =
+                    mgr.openResilient(std::move(fb), "uut");
+                const PoolId sibling =
+                    mgr.createPool("sibling", config.siblingSize);
+
+                switch (rep.outcome) {
+                  case OpenOutcome::Rejected:
+                    ++result.rejected;
+                    break;
+                  case OpenOutcome::Quarantined: {
+                    bool refused = false;
+                    try {
+                        mgr.pmalloc(rep.id, 16);
+                    } catch (const Fault &f) {
+                        refused =
+                            f.kind() == FaultKind::PoolQuarantined;
+                    }
+                    if (refused) {
+                        ++result.quarantined;
+                    } else {
+                        ++result.silent;
+                        banner(coord,
+                               "quarantined pool accepted a write");
+                    }
+                    break;
+                  }
+                  case OpenOutcome::Clean:
+                  case OpenOutcome::Recovered:
+                  case OpenOutcome::Repaired: {
+                    // Served read-write: the contents must be a state
+                    // a pure crash could have produced. Anything else
+                    // is the one unforgivable outcome.
+                    if (!contentValid(
+                            mgr.pool(rep.id).backing().raw().toVector(),
+                            n)) {
+                        ++result.silent;
+                        banner(coord, "served pool fails content "
+                                      "validation");
+                    } else if (rep.outcome == OpenOutcome::Repaired) {
+                        ++result.repaired;
+                    } else {
+                        ++result.benign;
+                        FaultStats::instance().benign.add(1);
+                    }
+                    break;
+                  }
+                }
+
+                // Fleet containment: the sibling keeps serving.
+                try {
+                    mgr.pmalloc(sibling, 64);
+                } catch (const Fault &) {
+                    ++result.containment;
+                    banner(coord, "sibling pool stopped serving");
+                }
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace upr

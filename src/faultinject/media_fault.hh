@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Deterministic media-fault model for pool crash images.
+ *
+ * Where CrashInjector models *power* failure (which lines made it to
+ * media), MediaFaultModel models *media* failure: the bytes that did
+ * make it are later returned wrong. Faults are seeded and fully
+ * reproducible — the same spec against the same image always corrupts
+ * the same bytes the same way — so a sweep failure replays from its
+ * printed seed.
+ *
+ * The model corrupts *metadata* regions (header, undo log, allocator
+ * boundary tags and links): exactly the byte ranges whose integrity
+ * the check/repair subsystem claims to detect or repair. Two target
+ * ranges are deliberately excluded, and honestly so:
+ *
+ *  - rootOff and pool payload bytes: user data carries no checksum in
+ *    this design (the paper's pools are checksum-free too), so damage
+ *    there is indistinguishable from a legitimate value. Protecting it
+ *    is application-level (or a future data-CRC mode), not a claim the
+ *    pool layer makes.
+ *  - the *final* valid undo-log entry: the write-ahead discipline
+ *    means a pure crash can tear exactly that entry, so damage to it
+ *    is provably indistinguishable from a benign torn tail. Mid-log
+ *    entries ARE targeted — valid entries after a bad one prove media
+ *    damage, and the checker must refuse to serve the pool.
+ */
+
+#ifndef UPR_FAULTINJECT_MEDIA_FAULT_HH
+#define UPR_FAULTINJECT_MEDIA_FAULT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace upr
+{
+
+/** The ways a byte (or line) of media can go wrong. */
+enum class MediaFaultKind
+{
+    BitFlip,      //!< one bit of one metadata byte flips
+    MultiBitFlip, //!< a multi-bit upset within one byte
+    StuckAtZero,  //!< a cell reads back 0x00 regardless of contents
+    StuckAtOne,   //!< a cell reads back 0xFF regardless of contents
+    TornLine,     //!< half a cacheline reverts to its pre-write value
+    DroppedFlush, //!< a whole line silently never reached media
+};
+
+constexpr std::size_t kMediaFaultKinds = 6;
+
+/** Stable printable name (sweep reports, BENCH output). */
+inline const char *
+mediaFaultKindName(MediaFaultKind k)
+{
+    switch (k) {
+      case MediaFaultKind::BitFlip:      return "bit-flip";
+      case MediaFaultKind::MultiBitFlip: return "multi-bit-flip";
+      case MediaFaultKind::StuckAtZero:  return "stuck-at-zero";
+      case MediaFaultKind::StuckAtOne:   return "stuck-at-one";
+      case MediaFaultKind::TornLine:     return "torn-line";
+      case MediaFaultKind::DroppedFlush: return "dropped-flush";
+    }
+    return "unknown";
+}
+
+/** Which metadata structure the fault lands in. */
+enum class FaultRegion
+{
+    Header,        //!< pool header (identity fields, allocator heads)
+    UndoLog,       //!< log control block and mid-log entries
+    AllocatorMeta, //!< boundary tags and free-list links
+};
+
+constexpr std::size_t kFaultRegions = 3;
+
+inline const char *
+faultRegionName(FaultRegion r)
+{
+    switch (r) {
+      case FaultRegion::Header:        return "header";
+      case FaultRegion::UndoLog:       return "undo-log";
+      case FaultRegion::AllocatorMeta: return "allocator-meta";
+    }
+    return "unknown";
+}
+
+/** One fault to inject: what kind, where, and the RNG seed. */
+struct MediaFaultSpec
+{
+    MediaFaultKind kind = MediaFaultKind::BitFlip;
+    FaultRegion region = FaultRegion::Header;
+    std::uint64_t seed = 1;
+};
+
+/** One byte the model actually changed (replay diagnostics). */
+struct InjectedByte
+{
+    Bytes offset;
+    std::uint8_t before;
+    std::uint8_t after;
+};
+
+/** Seeded, deterministic corruptor for one (kind, region) pair. */
+class MediaFaultModel
+{
+  public:
+    explicit MediaFaultModel(const MediaFaultSpec &spec) : spec_(spec)
+    {}
+
+    const MediaFaultSpec &spec() const { return spec_; }
+
+    /**
+     * Byte offsets eligible for corruption in @p region of @p image.
+     *
+     * Pass the right image per region: Header and AllocatorMeta
+     * targets must come from a *recovered* copy of the crash image
+     * (the tag walk needs a consistent arena — the crash image may be
+     * mid-transaction), while UndoLog targets must come from the
+     * crash image itself (recovery truncates the log). Offsets are
+     * valid in both: recovery never moves metadata.
+     *
+     * Returns empty when the region has no eligible bytes (e.g. an
+     * unparseable header, or a log with fewer than two entries).
+     */
+    static std::vector<Bytes> targets(
+        const std::vector<std::uint8_t> &image, FaultRegion region);
+
+    /**
+     * Corrupt @p image in place, deterministically per the spec.
+     * @p baseline is the strict (DiscardUnfenced) image captured at
+     * the same crash instant — the revert-to state for TornLine and
+     * DroppedFlush, which model writes that never reached media
+     * rather than cells returning garbage. Must be image-sized for
+     * those kinds; unused otherwise.
+     *
+     * Bumps the fault.injected counter and emits a MediaFault trace
+     * event when at least one byte changed. Returns the changed
+     * bytes; empty means the fault had no effect on this image (e.g.
+     * stuck-at-zero on already-zero targets) and the caller should
+     * skip classification for it.
+     */
+    std::vector<InjectedByte> corrupt(
+        std::vector<std::uint8_t> &image,
+        const std::vector<std::uint8_t> &baseline,
+        const std::vector<Bytes> &targets) const;
+
+  private:
+    MediaFaultSpec spec_;
+};
+
+} // namespace upr
+
+#endif // UPR_FAULTINJECT_MEDIA_FAULT_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Transient media-error injection site for the resilient open path.
+ *
+ * Real NVM opens can fail transiently (device resets, DIMM address
+ * range scrub in progress); the simulation models that as an armed
+ * counter: the next N openResilient attempts throw Fault{MediaError}
+ * before touching the image, then the fault clears. Deterministic —
+ * no RNG — so retry/backoff tests are exact.
+ *
+ * Header-only for the same layering reason as fault_stats.hh: the
+ * *throw* site lives in nvm (PoolManager) while the *arming* side
+ * lives in tests and the fault sweep.
+ */
+
+#ifndef UPR_FAULTINJECT_TRANSIENT_HH
+#define UPR_FAULTINJECT_TRANSIENT_HH
+
+#include "common/fault.hh"
+
+namespace upr
+{
+
+namespace detail
+{
+inline unsigned g_transientOpenFaults = 0;
+} // namespace detail
+
+/** Make the next @p n resilient opens fail with Fault{MediaError}. */
+inline void
+armTransientOpenFailures(unsigned n)
+{
+    detail::g_transientOpenFaults = n;
+}
+
+/** Armed failures not yet consumed. */
+inline unsigned
+pendingTransientOpenFailures()
+{
+    return detail::g_transientOpenFaults;
+}
+
+/**
+ * The injection site: called by PoolManager::openResilient at the top
+ * of each attempt. Consumes one armed failure, if any.
+ * @throws Fault{MediaError} while failures are armed
+ */
+inline void
+maybeTransientOpenFault()
+{
+    if (detail::g_transientOpenFaults == 0)
+        return;
+    --detail::g_transientOpenFaults;
+    throw Fault(FaultKind::MediaError,
+                "transient media error (injected)");
+}
+
+} // namespace upr
+
+#endif // UPR_FAULTINJECT_TRANSIENT_HH

@@ -29,7 +29,13 @@
  *     strictest schedule: nothing in flight makes it out);
  *   - CrashMode::RetainRandom — each unfenced line *independently*
  *     survives with probability 1/2, modeling write-back reordering
- *     and torn multi-line stores.
+ *     and torn multi-line stores;
+ *   - CrashMode::RetainEpoch — epoch persistency (Wang/Tuck PDRM):
+ *     lines written before the most recent fence survive even when
+ *     never flushed;
+ *   - CrashMode::RetainBoundedStale — the media lags program order by
+ *     at most kStaleBound epochs: older pending lines are guaranteed
+ *     durable, younger ones flip a per-line coin.
  *
  * Lines are the atomicity unit of the model (real NVM guarantees
  * 8-byte atomic writes; we use the coarser line so torn stores are
@@ -196,7 +202,11 @@ class ByteStore
     Bytes mapBytes_ = 0;
 };
 
-/** What a crash leaves of the unfenced lines. */
+/**
+ * What a crash leaves of the unfenced lines — the persistent data
+ * retention model of the media (Wang/Tuck PDRM). Epochs are delimited
+ * by fence(): every fence closes the current epoch and opens the next.
+ */
 enum class CrashMode
 {
     /** Unfenced lines are lost; only fenced data survives. */
@@ -206,7 +216,32 @@ enum class CrashMode
      * write-back reordering and torn multi-line stores.
      */
     RetainRandom,
+    /**
+     * Epoch persistency: lines written before the most recent fence
+     * survive even when never flushed (completed epochs drain to
+     * media on their own); only current-epoch writes are lost.
+     */
+    RetainEpoch,
+    /**
+     * Bounded staleness: the media lags program order by at most
+     * Backing::kStaleBound epochs. Pending lines older than the bound
+     * are guaranteed durable; younger ones survive with p = 1/2.
+     */
+    RetainBoundedStale,
 };
+
+/** Stable printable name of a crash/retention mode. */
+inline const char *
+crashModeName(CrashMode mode)
+{
+    switch (mode) {
+      case CrashMode::DiscardUnfenced:    return "discard-unfenced";
+      case CrashMode::RetainRandom:       return "retain-random";
+      case CrashMode::RetainEpoch:        return "retain-epoch";
+      case CrashMode::RetainBoundedStale: return "retain-bounded-stale";
+    }
+    return "unknown";
+}
 
 /** One persistence event, as seen by a CrashInjector. */
 enum class PersistEvent
@@ -222,6 +257,13 @@ class Backing
   public:
     /** Cache-line granularity of the persistence domain. */
     static constexpr Bytes kLineBytes = 64;
+
+    /**
+     * Staleness bound of CrashMode::RetainBoundedStale, in epochs: a
+     * pending line at least this many fences old is guaranteed on
+     * media at a crash.
+     */
+    static constexpr std::uint64_t kStaleBound = 2;
 
     /** Create a backing of @p size zeroed bytes. */
     explicit Backing(Bytes size = 0) : bytes_(size) {}
@@ -253,6 +295,10 @@ class Backing
     write(Bytes off, const void *src, Bytes n)
     {
         checkRange(off, n, "write");
+        if (readOnly_) {
+            throw Fault(FaultKind::PoolQuarantined,
+                        "write to quarantined (read-only) backing");
+        }
         if (persistObserver_)
             persistObserver_(PersistEvent::Write, off, n);
         if (writeObserver_)
@@ -327,7 +373,7 @@ class Backing
         for (Bytes line = first; line <= last; ++line) {
             auto it = pending_.find(line);
             if (it != pending_.end())
-                it->second = LineState::Flushed;
+                it->second.state = LineState::Flushed;
         }
     }
 
@@ -344,21 +390,22 @@ class Backing
         if (persistObserver_)
             persistObserver_(PersistEvent::Fence, 0, 0);
         for (auto it = pending_.begin(); it != pending_.end();) {
-            if (it->second == LineState::Flushed) {
+            if (it->second.state == LineState::Flushed) {
                 persistLine(it->first, durable_);
                 it = pending_.erase(it);
             } else {
                 ++it;
             }
         }
+        ++fenceEpoch_; // close the epoch the surviving writes live in
     }
 
     /**
      * The bytes a crash right now would leave on media. With the
      * domain disabled this is simply the current content.
      *
-     * @param mode  fate of unfenced lines
-     * @param seed  RNG seed for CrashMode::RetainRandom (deterministic
+     * @param mode  fate of unfenced lines (the media retention model)
+     * @param seed  RNG seed for the probabilistic modes (deterministic
      *              per crash point)
      */
     std::vector<std::uint8_t>
@@ -367,18 +414,28 @@ class Backing
         if (!domainEnabled_)
             return bytes_.toVector();
         std::vector<std::uint8_t> image = durable_;
-        if (mode == CrashMode::RetainRandom) {
-            // splitmix64 over (seed, line): deterministic, and
-            // independent across lines.
-            for (const auto &[line, state] : pending_) {
-                (void)state;
-                std::uint64_t x = seed + 0x9E37'79B9'7F4A'7C15ULL *
-                                             (line + 1);
-                x ^= x >> 30; x *= 0xBF58'476D'1CE4'E5B9ULL;
-                x ^= x >> 27; x *= 0x94D0'49BB'1331'11EBULL;
-                x ^= x >> 31;
-                if (x & 1)
+        for (const auto &[line, info] : pending_) {
+            switch (mode) {
+              case CrashMode::DiscardUnfenced:
+                break; // unfenced lines never survive
+              case CrashMode::RetainRandom:
+                if (lineCoin(line, seed))
                     persistLine(line, image);
+                break;
+              case CrashMode::RetainEpoch:
+                // Completed epochs drained to media by themselves.
+                if (info.writeEpoch < fenceEpoch_)
+                    persistLine(line, image);
+                break;
+              case CrashMode::RetainBoundedStale:
+                // Media lags by <= kStaleBound epochs: old pending
+                // lines are guaranteed durable, younger ones race.
+                if (fenceEpoch_ - info.writeEpoch >= kStaleBound) {
+                    persistLine(line, image);
+                } else if (lineCoin(line, seed)) {
+                    persistLine(line, image);
+                }
+                break;
             }
         }
         return image;
@@ -386,6 +443,24 @@ class Backing
 
     /** Number of lines that are dirty or flushed-but-unfenced. */
     std::size_t pendingLines() const { return pending_.size(); }
+
+    /** Fences completed so far (the current epoch number). */
+    std::uint64_t fenceEpoch() const { return fenceEpoch_; }
+
+    // ------------------------------------------------------------------
+    // Quarantine (read-only attach)
+    // ------------------------------------------------------------------
+
+    /**
+     * Toggle read-only mode: writes throw Fault{PoolQuarantined};
+     * reads, flush, and fence remain allowed (they cannot damage the
+     * media further). Used to keep a damaged pool inspectable while
+     * the rest of the fleet keeps serving.
+     */
+    void setReadOnly(bool ro) { readOnly_ = ro; }
+
+    /** True while writes are rejected. */
+    bool readOnly() const { return readOnly_; }
 
     /** Raw byte access for serialization (pool images). */
     const ByteStore &raw() const { return bytes_; }
@@ -401,6 +476,7 @@ class Backing
         domainEnabled_ = false;
         durable_.clear();
         pending_.clear();
+        fenceEpoch_ = 0;
     }
 
     /** Replace the whole content from another raw store. */
@@ -411,6 +487,7 @@ class Backing
         domainEnabled_ = false;
         durable_.clear();
         pending_.clear();
+        fenceEpoch_ = 0;
     }
 
   private:
@@ -419,6 +496,29 @@ class Backing
         Dirty,   //!< written, not flushed
         Flushed, //!< flush issued, not yet fenced
     };
+
+    /** Volatile state of one unfenced line. */
+    struct LineInfo
+    {
+        LineState state;
+        /** fenceEpoch_ at the line's most recent write. */
+        std::uint64_t writeEpoch;
+    };
+
+    /**
+     * splitmix64 over (seed, line): the deterministic per-line
+     * survival coin of the probabilistic retention modes. Independent
+     * across lines, reproducible per crash point.
+     */
+    static bool
+    lineCoin(Bytes line, std::uint64_t seed)
+    {
+        std::uint64_t x = seed + 0x9E37'79B9'7F4A'7C15ULL * (line + 1);
+        x ^= x >> 30; x *= 0xBF58'476D'1CE4'E5B9ULL;
+        x ^= x >> 27; x *= 0x94D0'49BB'1331'11EBULL;
+        x ^= x >> 31;
+        return (x & 1) != 0;
+    }
 
     /**
      * Overflow-safe bounds check: rejects hostile offsets where
@@ -448,7 +548,7 @@ class Backing
         const Bytes first = off / kLineBytes;
         const Bytes last = (off + len - 1) / kLineBytes;
         for (Bytes line = first; line <= last; ++line)
-            pending_[line] = state;
+            pending_[line] = {state, fenceEpoch_};
     }
 
     /** Copy line @p line of the live bytes into @p dst. */
@@ -466,10 +566,13 @@ class Backing
     std::function<void(PersistEvent, Bytes, Bytes)> persistObserver_;
 
     bool domainEnabled_ = false;
+    bool readOnly_ = false;
+    /** Fences completed since the domain (or backing) came up. */
+    std::uint64_t fenceEpoch_ = 0;
     /** The crash-surviving image (valid while domainEnabled_). */
     std::vector<std::uint8_t> durable_;
     /** Line index -> volatile state, for every unfenced line. */
-    std::unordered_map<Bytes, LineState> pending_;
+    std::unordered_map<Bytes, LineInfo> pending_;
 };
 
 } // namespace upr

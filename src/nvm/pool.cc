@@ -1,10 +1,24 @@
 #include "nvm/pool.hh"
 
 #include "common/bits.hh"
+#include "common/crc32.hh"
 #include "common/logging.hh"
+#include "nvm/txn.hh"
 
 namespace upr
 {
+
+std::uint32_t
+poolIdentCrc(const PoolHeader &h)
+{
+    std::uint32_t crc = crc32(&h.magic, sizeof(h.magic));
+    crc = crc32Update(crc, &h.version, sizeof(h.version));
+    crc = crc32Update(crc, &h.poolId, sizeof(h.poolId));
+    crc = crc32Update(crc, &h.size, sizeof(h.size));
+    crc = crc32Update(crc, &h.arenaStart, sizeof(h.arenaStart));
+    crc = crc32Update(crc, &h.logStart, sizeof(h.logStart));
+    return crc32Update(crc, &h.logSize, sizeof(h.logSize));
+}
 
 Pool::Pool(PoolId id, std::string name, Bytes size)
     : name_(std::move(name)), backing_(size)
@@ -36,7 +50,12 @@ Pool::Pool(PoolId id, std::string name, Bytes size)
     h.logStart = kHeaderSize;
     h.logSize = log_size;
     h.arenaStart = roundUp(kHeaderSize + log_size, 16);
+    h.identCrc = poolIdentCrc(h);
     setHeader(h);
+    // The log control block carries its own checksum; a fresh pool
+    // must be sealed as "no transaction pending" or recovery would
+    // read the zeroed area as media damage.
+    Txn::formatLog(*this);
 }
 
 Pool::Pool(std::string name, Backing image)
@@ -83,6 +102,11 @@ Pool::Pool(std::string name, Backing image)
         throw Fault(FaultKind::CorruptPool,
                     "image '" + name_ + "' has out-of-range root, "
                     "free-list, or usage fields");
+    }
+    if (h.identCrc != poolIdentCrc(h)) {
+        throw Fault(FaultKind::CorruptPool,
+                    "image '" + name_ + "' fails the header identity "
+                    "checksum (media damage in the header block)");
     }
 }
 

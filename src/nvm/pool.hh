@@ -32,9 +32,10 @@ struct PoolHeader
     /**
      * Image format version. v2 dropped the dead logTail/logActive
      * fields (log state lives in the log area's control block; see
-     * Txn); v1 images are rejected on open.
+     * Txn); v3 added identCrc over the immutable identity fields.
+     * Older images are rejected on open.
      */
-    static constexpr std::uint32_t kVersion = 2;
+    static constexpr std::uint32_t kVersion = 3;
 
     std::uint64_t magic;
     std::uint32_t version;
@@ -46,9 +47,25 @@ struct PoolHeader
     std::uint64_t arenaStart;    //!< first allocatable offset
     std::uint64_t logStart;      //!< undo-log area offset
     std::uint64_t logSize;       //!< undo-log area size in bytes
+    /**
+     * CRC32 over the *immutable* identity fields only (magic,
+     * version, poolId, size, arenaStart, logStart, logSize) — never
+     * over rootOff/freeHead/usedBytes, which are rewritten on every
+     * commit point: the header spans two cache lines, so a crash
+     * under a relaxed retention model can legitimately mix an old and
+     * a new header write, and a whole-header CRC would flag those
+     * recoverable images as media damage. The identity fields are
+     * written once at format time; any later mismatch *is* media
+     * damage, localized to the header.
+     */
+    std::uint32_t identCrc;
+    std::uint32_t pad;           //!< reserved; keeps 8-byte alignment
 };
 
-static_assert(sizeof(PoolHeader) == 72);
+static_assert(sizeof(PoolHeader) == 80);
+
+/** CRC32 over the immutable identity fields of @p h (see identCrc). */
+std::uint32_t poolIdentCrc(const PoolHeader &h);
 
 /**
  * The in-memory handle for one pool. Attachment state (the virtual

@@ -1,5 +1,8 @@
 #include "nvm/pool_allocator.hh"
 
+#include <cstdio>
+#include <vector>
+
 #include "common/bits.hh"
 #include "common/fault.hh"
 #include "common/logging.hh"
@@ -261,6 +264,152 @@ PoolAllocator::checkConsistency() const
                    "free list has %llu entries, arena has %llu free",
                    (unsigned long long)listed,
                    (unsigned long long)free_blocks);
+}
+
+ArenaReport
+PoolAllocator::inspectArena() const
+{
+    ArenaReport r;
+    const Bytes start = arenaFirst();
+    const Bytes end = arenaEnd();
+    char buf[128];
+
+    // Pass 1: guarded tag walk. Every read below is bounds-checked
+    // against the arena before it happens, so garbage never escapes
+    // as an exception — it becomes a report.
+    bool uncoalesced = false;
+    bool prev_free = false;
+    Bytes b = start;
+    while (b + kMinBlock <= end) {
+        const std::uint64_t tag = rd64(b);
+        const Bytes size = tag & ~std::uint64_t{1};
+        if (size < kMinBlock || size % kAlign != 0 ||
+            size > end - b) {
+            std::snprintf(buf, sizeof(buf),
+                          "bad block size %llu at offset %llu",
+                          (unsigned long long)size,
+                          (unsigned long long)b);
+            r.what = buf;
+            return r;
+        }
+        if (tag != rd64(b + size - kFooterBytes)) {
+            std::snprintf(buf, sizeof(buf),
+                          "header/footer mismatch at offset %llu",
+                          (unsigned long long)b);
+            r.what = buf;
+            return r;
+        }
+        const bool is_free = !(tag & 1);
+        if (is_free) {
+            ++r.freeBlocks;
+            if (prev_free)
+                uncoalesced = true; // repairable: rebuild coalesces
+        } else {
+            r.usedBytes += size;
+        }
+        prev_free = is_free;
+        ++r.blocks;
+        b += size;
+    }
+    r.tagsValid = true;
+
+    // Pass 2: guarded free-list walk (cycle-capped), must agree with
+    // the tag walk.
+    bool links_ok = !uncoalesced;
+    if (uncoalesced)
+        r.what = "adjacent free blocks not coalesced";
+    std::size_t listed = 0;
+    Bytes prev = 0;
+    Bytes f = pool_.header().freeHead;
+    std::size_t steps = 0;
+    while (f != 0 && links_ok) {
+        if (++steps > r.blocks + 1) {
+            r.what = "free list cycle";
+            links_ok = false;
+            break;
+        }
+        if (f < start || f + kMinBlock > end) {
+            std::snprintf(buf, sizeof(buf),
+                          "free list points outside arena (%llu)",
+                          (unsigned long long)f);
+            r.what = buf;
+            links_ok = false;
+            break;
+        }
+        const std::uint64_t tag = rd64(f);
+        if (tag & 1) {
+            std::snprintf(buf, sizeof(buf),
+                          "allocated block %llu on free list",
+                          (unsigned long long)f);
+            r.what = buf;
+            links_ok = false;
+            break;
+        }
+        if (prevFree(f) != prev || (prev != 0 && prev >= f)) {
+            std::snprintf(buf, sizeof(buf),
+                          "free list links broken at %llu",
+                          (unsigned long long)f);
+            r.what = buf;
+            links_ok = false;
+            break;
+        }
+        prev = f;
+        ++listed;
+        f = nextFree(f);
+    }
+    if (links_ok && listed != r.freeBlocks) {
+        std::snprintf(buf, sizeof(buf),
+                      "free list has %zu entries, arena has %zu free",
+                      listed, r.freeBlocks);
+        r.what = buf;
+        links_ok = false;
+    }
+    r.freeListValid = links_ok;
+    r.usedBytesMatch = pool_.header().usedBytes == r.usedBytes;
+    if (!r.usedBytesMatch && r.what.empty())
+        r.what = "header usedBytes disagrees with the tag walk";
+    return r;
+}
+
+void
+PoolAllocator::rebuildFreeList()
+{
+    const Bytes start = arenaFirst();
+    const Bytes end = arenaEnd();
+
+    // Pass 1: walk the (trusted) tags, coalescing adjacent free runs
+    // and collecting the surviving free block addresses.
+    std::vector<Bytes> frees;
+    Bytes used = 0;
+    Bytes b = start;
+    while (b + kMinBlock <= end) {
+        const Bytes size = blockSize(b);
+        if (blockAllocated(b)) {
+            used += size;
+            b += size;
+            continue;
+        }
+        Bytes run = size;
+        while (b + run + kMinBlock <= end && !blockAllocated(b + run))
+            run += blockSize(b + run);
+        if (run != size)
+            setBlock(b, run, false);
+        frees.push_back(b);
+        b += run;
+    }
+
+    // Pass 2: relink in address order.
+    for (std::size_t i = 0; i < frees.size(); ++i) {
+        setPrevFree(frees[i], i == 0 ? 0 : frees[i - 1]);
+        setNextFree(frees[i],
+                    i + 1 == frees.size() ? 0 : frees[i + 1]);
+    }
+
+    PoolHeader h = pool_.header();
+    h.freeHead = frees.empty() ? 0 : frees.front();
+    h.usedBytes = used;
+    pool_.setHeader(h);
+    pool_.backing().fence();
 }
 
 } // namespace upr

@@ -21,11 +21,33 @@
 #ifndef UPR_NVM_POOL_ALLOCATOR_HH
 #define UPR_NVM_POOL_ALLOCATOR_HH
 
+#include <cstddef>
+#include <string>
+
 #include "common/types.hh"
 #include "nvm/pool.hh"
 
 namespace upr
 {
+
+/**
+ * Result of a non-throwing arena inspection (pool_check): what a
+ * guarded walk of the boundary tags and the free list found. The
+ * split matters for repair: valid tags with a broken free list is
+ * *repairable* (links are redundant — rebuildFreeList() recomputes
+ * them from the tags); broken tags are not (the block structure
+ * itself is lost).
+ */
+struct ArenaReport
+{
+    bool tagsValid = false;      //!< every block tag/footer verified
+    bool freeListValid = false;  //!< links match the tag walk
+    bool usedBytesMatch = false; //!< header.usedBytes == tag walk sum
+    std::size_t blocks = 0;      //!< total blocks walked
+    std::size_t freeBlocks = 0;  //!< free blocks seen by the walk
+    Bytes usedBytes = 0;         //!< allocated bytes per the tag walk
+    std::string what;            //!< first problem found, if any
+};
 
 /** Allocator over one pool's arena; stateless apart from the pool. */
 class PoolAllocator
@@ -67,6 +89,22 @@ class PoolAllocator
      * Heavily used by the property tests.
      */
     void checkConsistency() const;
+
+    /**
+     * Non-throwing version of checkConsistency() for damaged images:
+     * a bounds-guarded walk that reports what it found instead of
+     * panicking. Safe to call on arbitrary garbage.
+     */
+    ArenaReport inspectArena() const;
+
+    /**
+     * Rebuild the free list purely from the boundary tags: relink
+     * free blocks in address order, coalesce adjacent free runs,
+     * recompute freeHead and usedBytes. The repair path for a pool
+     * whose tags verify but whose links or header accounting were
+     * damaged. Precondition: inspectArena().tagsValid.
+     */
+    void rebuildFreeList();
 
   private:
     std::uint64_t rd64(Bytes off) const;

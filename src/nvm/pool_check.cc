@@ -1,0 +1,324 @@
+#include "nvm/pool_check.hh"
+
+#include <cstdio>
+#include <optional>
+#include <utility>
+
+#include "common/fault.hh"
+#include "faultinject/fault_stats.hh"
+#include "nvm/pool.hh"
+#include "nvm/pool_allocator.hh"
+#include "obs/trace_ring.hh"
+
+namespace upr
+{
+
+namespace
+{
+
+/** Minimal JSON string escaping (our diagnostics are plain ASCII). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/**
+ * Mirror of the Pool adopt constructor's geometry checks, as a
+ * predicate: "" when the identity fields describe a usable layout.
+ */
+std::string
+geometryProblem(const PoolHeader &h, Bytes image_size)
+{
+    if (h.magic != PoolHeader::kMagic)
+        return "bad magic";
+    if (h.version != PoolHeader::kVersion)
+        return "unsupported version " + std::to_string(h.version);
+    if (h.size != image_size)
+        return "size field disagrees with image length";
+    if (h.size > Pool::kMaxSize || h.poolId == 0)
+        return "impossible size or pool id";
+    if (h.logStart < sizeof(PoolHeader) || h.logSize < 64 ||
+        h.logStart + h.logSize < h.logStart ||
+        h.logStart + h.logSize > h.arenaStart ||
+        h.arenaStart % 16 != 0 || h.arenaStart >= h.size)
+        return "corrupt log/arena geometry";
+    return "";
+}
+
+void
+addIssue(CheckReport &rep, const char *component, std::string what,
+         bool repairable, bool repaired)
+{
+    rep.issues.push_back(
+        CheckIssue{component, std::move(what), repairable, repaired});
+}
+
+/** rootOff must name a byte inside some allocated block's payload. */
+bool
+rootInsideAllocatedBlock(const Pool &pool)
+{
+    const PoolHeader h = pool.header();
+    if (h.rootOff == 0)
+        return true;
+    const Bytes first = h.arenaStart + 8;
+    Bytes b = first;
+    while (b + PoolAllocator::kMinBlock <= h.size) {
+        std::uint64_t tag;
+        pool.backing().read(b, &tag, sizeof(tag));
+        const Bytes size = tag & ~std::uint64_t{1};
+        const bool allocated = (tag & 1) != 0;
+        const Bytes payload = b + PoolAllocator::kHeaderBytes;
+        const Bytes payload_end = b + size - PoolAllocator::kFooterBytes;
+        if (allocated && h.rootOff >= payload &&
+            h.rootOff < payload_end)
+            return true;
+        b += size;
+    }
+    return false;
+}
+
+} // namespace
+
+std::string
+CheckReport::toJson() const
+{
+    std::string out = "{\n  \"status\": \"";
+    out += checkStatusName(status);
+    out += "\",\n  \"issues\": [";
+    bool first = true;
+    for (const CheckIssue &i : issues) {
+        out += first ? "\n" : ",\n";
+        out += "    {\"component\": \"" + jsonEscape(i.component) +
+               "\", \"what\": \"" + jsonEscape(i.what) +
+               "\", \"repairable\": " +
+               (i.repairable ? "true" : "false") + ", \"repaired\": " +
+               (i.repaired ? "true" : "false") + "}";
+        first = false;
+    }
+    out += first ? "],\n" : "\n  ],\n";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"log\": {\"active\": %s, \"entries\": %zu, "
+                  "\"discardedBytes\": %llu, \"lostCommitted\": %s, "
+                  "\"controlDamaged\": %s}\n}",
+                  recovery.logActive ? "true" : "false",
+                  recovery.entriesReplayed,
+                  (unsigned long long)recovery.bytesDiscarded,
+                  recovery.lostCommittedEntries ? "true" : "false",
+                  recovery.controlDamaged ? "true" : "false");
+    out += buf;
+    out += "\n";
+    return out;
+}
+
+CheckReport
+checkPool(Backing &image, bool repair)
+{
+    CheckReport rep;
+
+    // Everything below operates on a scratch copy: dry runs stay
+    // side-effect free, and repair mode only publishes the scratch
+    // when the verdict allows it.
+    Backing scratch(image);
+
+    // ---- Phase 1: header identity -------------------------------
+    if (scratch.size() < sizeof(PoolHeader)) {
+        addIssue(rep, "header", "image smaller than a pool header",
+                 false, false);
+        rep.status = CheckStatus::Corrupt;
+        return rep;
+    }
+    PoolHeader h;
+    scratch.read(0, &h, sizeof(h));
+
+    if (h.identCrc != poolIdentCrc(h)) {
+        // The identity CRC localizes the damage: restore a candidate
+        // field from its known-good value and accept the repair only
+        // if the stored CRC revalidates — redundancy *proves* the
+        // fix, we never guess.
+        PoolHeader fixed = h;
+        std::string what;
+        bool proven = false;
+        if (h.magic != PoolHeader::kMagic) {
+            fixed = h;
+            fixed.magic = PoolHeader::kMagic;
+            if (poolIdentCrc(fixed) == h.identCrc) {
+                what = "magic damaged (restore proven by identity CRC)";
+                proven = true;
+            }
+        }
+        if (!proven && h.version != PoolHeader::kVersion) {
+            fixed = h;
+            fixed.version = PoolHeader::kVersion;
+            if (poolIdentCrc(fixed) == h.identCrc) {
+                what = "version damaged (restore proven by identity "
+                       "CRC)";
+                proven = true;
+            }
+        }
+        if (!proven && h.size != scratch.size()) {
+            fixed = h;
+            fixed.size = scratch.size();
+            if (poolIdentCrc(fixed) == h.identCrc) {
+                what = "size field damaged (restore proven by identity "
+                       "CRC)";
+                proven = true;
+            }
+        }
+        if (!proven) {
+            // Maybe the CRC itself took the hit: reseal only when
+            // every identity field independently validates.
+            fixed = h;
+            if (geometryProblem(h, scratch.size()).empty()) {
+                fixed.identCrc = poolIdentCrc(h);
+                what = "identity CRC damaged (reseal: all identity "
+                       "fields validate)";
+                proven = true;
+            }
+        }
+        if (!proven) {
+            addIssue(rep, "header",
+                     "identity fields damaged beyond what the CRC can "
+                     "prove a repair for",
+                     false, false);
+            rep.status = CheckStatus::Corrupt;
+            return rep;
+        }
+        scratch.write(0, &fixed, sizeof(fixed));
+        h = fixed;
+        addIssue(rep, "header", what, true, repair);
+    }
+
+    const std::string geo = geometryProblem(h, scratch.size());
+    if (!geo.empty()) {
+        // CRC-consistent garbage: the whole header block was replaced
+        // wholesale. Nothing to anchor a repair to.
+        addIssue(rep, "header", geo, false, false);
+        rep.status = CheckStatus::Corrupt;
+        return rep;
+    }
+
+    // Mutable header fields. rootOff is irreplaceable (it *is* the
+    // user's data); freeHead/usedBytes are recomputable from the
+    // boundary tags, so out-of-range values are pre-clamped to let
+    // the Pool constructor pass and the rebuild below fix them.
+    if (h.rootOff >= h.size) {
+        addIssue(rep, "root", "root offset outside the pool", false,
+                 false);
+        rep.status = CheckStatus::Corrupt;
+        return rep;
+    }
+    bool arena_meta_damaged = false;
+    if (h.freeHead >= h.size || h.usedBytes > h.size) {
+        arena_meta_damaged = true;
+        h.freeHead = 0;
+        h.usedBytes = 0;
+        scratch.write(0, &h, sizeof(h));
+    }
+
+    // ---- Phase 2: adopt the vetted image ------------------------
+    // Every adopt-constructor check is mirrored above, so this should
+    // never throw; a surprise is reported, not propagated.
+    std::optional<Pool> adopted;
+    try {
+        adopted.emplace("check", std::move(scratch));
+    } catch (const Fault &f) {
+        addIssue(rep, "header", f.what(), false, false);
+        rep.status = CheckStatus::Corrupt;
+        return rep;
+    }
+    Pool &pool = *adopted;
+
+    // ---- Phase 3: undo log --------------------------------------
+    rep.recovery = Txn::analyze(pool);
+    if (rep.recovery.controlDamaged) {
+        addIssue(rep, "undo-log",
+                 "log control block fails its checksum: whether a "
+                 "transaction was pending is unknowable",
+                 false, false);
+    } else if (rep.recovery.lostCommittedEntries) {
+        addIssue(rep, "undo-log",
+                 "mid-log entry damaged with committed entries after "
+                 "it: their data writes cannot be rolled back",
+                 false, false);
+    } else if (rep.recovery.logActive) {
+        addIssue(rep, "undo-log", "pending transaction log (replay)",
+                 true, repair);
+    }
+    // Scrub on the scratch pool either way: the arena checks below
+    // need the post-recovery state (a mid-transaction arena is
+    // legitimately torn until its pre-images are restored). With
+    // lostCommittedEntries the rollback is still the best available
+    // state — the verdict is already Corrupt.
+    if (rep.recovery.logActive)
+        Txn::recoverEx(pool);
+
+    // ---- Phase 4: allocator arena -------------------------------
+    PoolAllocator alloc(pool);
+    ArenaReport arena = alloc.inspectArena();
+    if (!arena.tagsValid) {
+        addIssue(rep, "arena",
+                 "boundary tags damaged (" + arena.what +
+                 "): block structure unrecoverable",
+                 false, false);
+    } else if (arena_meta_damaged || !arena.freeListValid ||
+               !arena.usedBytesMatch) {
+        std::string what = arena_meta_damaged
+                               ? "free-list head / usage accounting "
+                                 "out of range"
+                               : arena.what;
+        alloc.rebuildFreeList();
+        const ArenaReport after = alloc.inspectArena();
+        if (after.tagsValid && after.freeListValid &&
+            after.usedBytesMatch) {
+            addIssue(rep, "arena",
+                     what + " (free list rebuilt from boundary tags)",
+                     true, repair);
+        } else {
+            addIssue(rep, "arena",
+                     "free-list rebuild failed to converge: " +
+                     after.what,
+                     false, false);
+        }
+    }
+
+    // ---- Phase 5: root containment ------------------------------
+    if (arena.tagsValid && !rootInsideAllocatedBlock(pool)) {
+        addIssue(rep, "root",
+                 "root offset does not fall inside any allocated "
+                 "block",
+                 false, false);
+    }
+
+    // ---- Verdict ------------------------------------------------
+    bool any_corrupt = false;
+    for (const CheckIssue &i : rep.issues)
+        any_corrupt = any_corrupt || !i.repairable;
+    if (any_corrupt)
+        rep.status = CheckStatus::Corrupt;
+    else if (rep.issues.empty())
+        rep.status = CheckStatus::Clean;
+    else
+        rep.status = repair ? CheckStatus::Repaired
+                            : CheckStatus::Repairable;
+
+    if (repair && rep.status == CheckStatus::Repaired) {
+        image.assign(pool.backing().raw());
+        FaultStats::instance().repaired.add(1);
+        if (rep.recovery.logActive)
+            FaultStats::instance().scrubbed.add(1);
+        obs::traceEvent(obs::EventKind::PoolRepair, pool.id(),
+                        rep.issues.size());
+    }
+    return rep;
+}
+
+} // namespace upr

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Offline pool check/repair — the engine behind `uprpool check` and
+ * PoolManager::openResilient, modeled on pmempool-check.
+ *
+ * checkPool() takes a raw image (possibly garbage: it never constructs
+ * a Pool until the header has been vetted), diagnoses every component
+ * — header identity, undo log, allocator arena, root pointer — and
+ * classifies the image:
+ *
+ *   Clean      — nothing wrong;
+ *   Repairable — damage found, and every issue has a proven repair
+ *                (dry run: nothing was modified);
+ *   Repaired   — same damage, repairs applied (repair = true);
+ *   Corrupt    — at least one issue has no safe repair; the image
+ *                must not be served writable (quarantine material).
+ *
+ * The repair menu is deliberately conservative: a repair is offered
+ * only when redundancy *proves* the fix (header identity CRC
+ * revalidates after restoring a field; free-list links recompute from
+ * intact boundary tags; a pending undo log replays through its
+ * checksums). Anything else — torn boundary tags, a mid-log CRC
+ * failure with later valid entries (committed writes lost), an
+ * out-of-pool root — is reported Corrupt, never guessed at.
+ */
+
+#ifndef UPR_NVM_POOL_CHECK_HH
+#define UPR_NVM_POOL_CHECK_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/backing.hh"
+#include "nvm/txn.hh"
+
+namespace upr
+{
+
+/** Overall verdict of a checkPool() run. */
+enum class CheckStatus
+{
+    Clean,      //!< no issues
+    Repairable, //!< issues found; all have proven repairs (dry run)
+    Repaired,   //!< issues found and repaired in place
+    Corrupt,    //!< unrepairable damage; serve read-only at most
+};
+
+/** Stable printable name (JSON output, tests). */
+inline const char *
+checkStatusName(CheckStatus s)
+{
+    switch (s) {
+      case CheckStatus::Clean:      return "clean";
+      case CheckStatus::Repairable: return "repairable";
+      case CheckStatus::Repaired:   return "repaired";
+      case CheckStatus::Corrupt:    return "corrupt";
+    }
+    return "unknown";
+}
+
+/** One finding: which component, what, and whether it was fixed. */
+struct CheckIssue
+{
+    std::string component; //!< "header", "undo-log", "arena", "root"
+    std::string what;      //!< human-readable diagnosis
+    bool repairable;       //!< a proven repair exists
+    bool repaired;         //!< the repair ran (repair mode only)
+};
+
+/** Everything a check run learned about one image. */
+struct CheckReport
+{
+    CheckStatus status = CheckStatus::Clean;
+    std::vector<CheckIssue> issues;
+    /** Undo-log classification (valid whenever the header parsed). */
+    Txn::RecoveryReport recovery;
+
+    /** True if any issue has no proven repair. */
+    bool corrupt() const { return status == CheckStatus::Corrupt; }
+
+    /** Deterministic JSON rendering (uprpool --json). */
+    std::string toJson() const;
+};
+
+/**
+ * Diagnose (and with @p repair, fix) the pool image in @p image.
+ *
+ * Dry runs (@p repair = false) never modify @p image: repairs are
+ * trial-applied to a scratch copy to *prove* they work, then
+ * discarded. With @p repair = true the repaired scratch replaces
+ * @p image (unless the verdict is Corrupt, in which case the image
+ * is left exactly as found, for forensics).
+ */
+CheckReport checkPool(Backing &image, bool repair);
+
+} // namespace upr
+
+#endif // UPR_NVM_POOL_CHECK_HH

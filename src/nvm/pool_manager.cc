@@ -7,6 +7,8 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "faultinject/fault_stats.hh"
+#include "faultinject/transient.hh"
 #include "nvm/txn.hh"
 #include "obs/trace_ring.hh"
 
@@ -333,6 +335,11 @@ PoolManager::pmalloc(PoolId id, Bytes n)
                     "pmalloc in detached pool '" + entry.pool->name() +
                     "'");
     }
+    if (entry.quarantined) {
+        throw Fault(FaultKind::PoolQuarantined,
+                    "pmalloc in quarantined pool '" +
+                    entry.pool->name() + "'");
+    }
     const PoolOffset off = entry.allocator->alloc(n);
     return entry.base + off;
 }
@@ -388,6 +395,29 @@ PoolManager::loadImage(const std::string &path, const std::string &name)
 }
 
 PoolId
+PoolManager::registerAdopted(std::unique_ptr<Pool> loaded,
+                             const std::string &name, bool quarantined)
+{
+    const PoolId id = loaded->id();
+    if (pools_.count(id)) {
+        throw Fault(FaultKind::BadUsage,
+                    "pool ID from image collides with a live pool");
+    }
+    nextId_ = std::max(nextId_, id + 1);
+
+    Entry entry;
+    entry.pool = std::move(loaded);
+    entry.allocator = std::make_unique<PoolAllocator>(*entry.pool);
+    entry.quarantined = quarantined;
+    pools_.emplace(id, std::move(entry));
+    byName_.emplace(name, id);
+    const auto t0 = std::chrono::steady_clock::now();
+    attach(id);
+    openNs_.record(hostNsSince(t0));
+    return id;
+}
+
+PoolId
 PoolManager::adoptImage(Backing image, const std::string &name)
 {
     if (byName_.count(name)) {
@@ -395,11 +425,6 @@ PoolManager::adoptImage(Backing image, const std::string &name)
                     "pool name '" + name + "' already in use");
     }
     auto loaded = std::make_unique<Pool>(name, std::move(image));
-    const PoolId id = loaded->id();
-    if (pools_.count(id)) {
-        throw Fault(FaultKind::BadUsage,
-                    "pool ID from image collides with a live pool");
-    }
     // Crash recovery before the pool is reachable: an image saved
     // mid-transaction rolls back to its last consistent state here.
     const auto t0 = std::chrono::steady_clock::now();
@@ -410,18 +435,103 @@ PoolManager::adoptImage(Backing image, const std::string &name)
                  "rolled back to the last committed state",
                  name.c_str());
     }
-    nextId_ = std::max(nextId_, id + 1);
-
-    Entry entry;
-    entry.pool = std::move(loaded);
-    entry.allocator = std::make_unique<PoolAllocator>(*entry.pool);
-    pools_.emplace(id, std::move(entry));
-    byName_.emplace(name, id);
-    const auto t1 = std::chrono::steady_clock::now();
-    attach(id);
-    openNs_.record(hostNsSince(t1));
+    const PoolId id = registerAdopted(std::move(loaded), name, false);
     obs::traceEvent(obs::EventKind::PoolAdopt, id, rolled_back);
     return id;
+}
+
+ResilientOpenReport
+PoolManager::openResilient(Backing image, const std::string &name,
+                           const ResilientOpenOptions &opts)
+{
+    if (byName_.count(name)) {
+        throw Fault(FaultKind::BadUsage,
+                    "pool name '" + name + "' already in use");
+    }
+    ResilientOpenReport r;
+
+    // Bounded retry-with-backoff over transient media errors. The
+    // backoff is simulated (recorded, not slept): the model cares
+    // about the retry *schedule*, not host wall time.
+    std::uint64_t backoff = opts.backoffNs;
+    for (;;) {
+        try {
+            maybeTransientOpenFault();
+            break;
+        } catch (const Fault &f) {
+            if (r.retries >= opts.maxRetries) {
+                r.outcome = OpenOutcome::Rejected;
+                r.diagnosis = f.kind();
+                r.detail = "media error persisted through " +
+                           std::to_string(r.retries) + " retries";
+                FaultStats::instance().detected.add(1);
+                return r;
+            }
+            ++r.retries;
+            FaultStats::instance().retries.add(1);
+            obs::traceEvent(obs::EventKind::OpenRetry, r.retries,
+                            backoff);
+            backoff *= 2;
+        }
+    }
+
+    // Offline diagnosis (and repair) before anything is registered:
+    // a damaged pool must never transit through a servable state.
+    r.check = checkPool(image, opts.repair);
+
+    if (r.check.status == CheckStatus::Clean ||
+        r.check.status == CheckStatus::Repaired) {
+        bool non_log_issue = false;
+        for (const CheckIssue &i : r.check.issues)
+            non_log_issue =
+                non_log_issue || i.component != "undo-log";
+        const PoolId id = adoptImage(std::move(image), name);
+        r.id = id;
+        r.outcome = r.check.issues.empty()
+                        ? OpenOutcome::Clean
+                        : (non_log_issue ? OpenOutcome::Repaired
+                                         : OpenOutcome::Recovered);
+        if (r.check.status != CheckStatus::Clean)
+            FaultStats::instance().detected.add(1);
+        return r;
+    }
+
+    // Repairable (with repair disabled) or Corrupt: contain. If the
+    // header is usable the pool attaches read-only — inspectable,
+    // fleet keeps serving; otherwise reject.
+    FaultStats::instance().detected.add(1);
+    for (const CheckIssue &i : r.check.issues) {
+        if (!i.repairable || !opts.repair) {
+            r.detail = i.component + ": " + i.what;
+            break;
+        }
+    }
+    std::unique_ptr<Pool> loaded;
+    try {
+        loaded = std::make_unique<Pool>(name, std::move(image));
+    } catch (const Fault &f) {
+        r.outcome = OpenOutcome::Rejected;
+        r.diagnosis = f.kind();
+        if (r.detail.empty())
+            r.detail = f.what();
+        return r;
+    }
+    // No recovery here: a quarantined pool is evidence. Freeze it.
+    loaded->backing().setReadOnly(true);
+    const PoolId id = registerAdopted(std::move(loaded), name, true);
+    r.id = id;
+    r.outcome = OpenOutcome::Quarantined;
+    r.diagnosis = FaultKind::CorruptPool;
+    FaultStats::instance().quarantined.add(1);
+    obs::traceEvent(obs::EventKind::PoolQuarantine, id);
+    return r;
+}
+
+bool
+PoolManager::isQuarantined(PoolId id) const
+{
+    auto it = pools_.find(id);
+    return it != pools_.end() && it->second.quarantined;
 }
 
 } // namespace upr

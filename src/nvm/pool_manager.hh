@@ -25,10 +25,59 @@
 #include "mem/address_space.hh"
 #include "nvm/pool.hh"
 #include "nvm/pool_allocator.hh"
+#include "nvm/pool_check.hh"
 #include "obs/metrics.hh"
 
 namespace upr
 {
+
+/** How a resilient open left the pool. */
+enum class OpenOutcome
+{
+    Clean,       //!< no damage, no pending recovery
+    Recovered,   //!< a pending undo log was replayed, nothing else
+    Repaired,    //!< media damage found and repaired before serving
+    Quarantined, //!< unrepairable damage: attached read-only
+    Rejected,    //!< header unusable: not even safe to attach
+};
+
+/** Stable printable name (reports, BENCH output). */
+inline const char *
+openOutcomeName(OpenOutcome o)
+{
+    switch (o) {
+      case OpenOutcome::Clean:       return "clean";
+      case OpenOutcome::Recovered:   return "recovered";
+      case OpenOutcome::Repaired:    return "repaired";
+      case OpenOutcome::Quarantined: return "quarantined";
+      case OpenOutcome::Rejected:    return "rejected";
+    }
+    return "unknown";
+}
+
+/** Tuning of PoolManager::openResilient. */
+struct ResilientOpenOptions
+{
+    /** Retries after the first attempt on Fault{MediaError}. */
+    unsigned maxRetries = 3;
+    /** Simulated backoff before the first retry; doubles per retry. */
+    std::uint64_t backoffNs = 1000;
+    /** Run check/repair; false = any non-clean image quarantines. */
+    bool repair = true;
+};
+
+/** What a resilient open did and found. */
+struct ResilientOpenReport
+{
+    /** The registered pool's ID; 0 when the image was rejected. */
+    PoolId id = 0;
+    OpenOutcome outcome = OpenOutcome::Clean;
+    /** Typed cause when Quarantined/Rejected. */
+    FaultKind diagnosis = FaultKind::CorruptPool;
+    std::string detail;
+    unsigned retries = 0;
+    CheckReport check;
+};
 
 /** How attach chooses virtual addresses within the NVM half. */
 enum class Placement
@@ -152,6 +201,30 @@ class PoolManager
      */
     PoolId adoptImage(Backing image, const std::string &name);
 
+    /**
+     * Graceful-degradation open: adoptImage for hostile media. Where
+     * adoptImage throws on the first sign of damage, openResilient
+     *
+     *   - retries transient Fault{MediaError}s with exponential
+     *     (simulated) backoff,
+     *   - runs the pool_check diagnosis, repairing what redundancy
+     *     can prove (undo-log scrub, free-list rebuild, header
+     *     restore),
+     *   - quarantines unrepairably damaged pools: attached read-only
+     *     with a typed diagnosis, so the data stays inspectable and
+     *     every *other* pool keeps serving, and
+     *   - rejects only images whose header is unusable.
+     *
+     * Never throws for media damage (only for caller errors such as
+     * a duplicate name).
+     */
+    ResilientOpenReport
+    openResilient(Backing image, const std::string &name,
+                  const ResilientOpenOptions &opts = {});
+
+    /** True if @p id is attached read-only after damage. */
+    bool isQuarantined(PoolId id) const;
+
     /** Statistics (attaches, detaches, translations). */
     const StatGroup &stats() const { return stats_; }
 
@@ -179,8 +252,16 @@ class PoolManager
         std::unique_ptr<Pool> pool;
         std::unique_ptr<PoolAllocator> allocator;
         bool attached = false;
+        bool quarantined = false;
         SimAddr base = 0;
     };
+
+    /**
+     * Register an already-constructed (validated) pool and attach it.
+     * Shared tail of adoptImage and the quarantine path.
+     */
+    PoolId registerAdopted(std::unique_ptr<Pool> loaded,
+                           const std::string &name, bool quarantined);
 
     /**
      * One row of the flat translation table indexed directly by

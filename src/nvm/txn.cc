@@ -1,5 +1,6 @@
 #include "nvm/txn.hh"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/crc32.hh"
@@ -22,26 +23,60 @@ namespace
  */
 struct LogControl
 {
-    std::uint64_t tail;    //!< next free byte within the entry area
-    std::uint32_t active;  //!< non-zero while a txn is open
-    std::uint32_t pad;
+    std::uint32_t tail;        //!< next free byte within the entry area
+    /**
+     * Transaction incarnation counter; bumped at every begin, never
+     * reset. Every entry checksum is seeded with the generation it was
+     * written under, which is what makes stale log bytes detectable:
+     * entries are fenced only together with the control block that
+     * publishes them, so a reordered write-back can pair a fresh
+     * control block (larger tail) with an entry slot whose media
+     * content still holds a *complete, checksummed entry of an earlier
+     * transaction*. Without the generation seed that stale entry
+     * verifies, and recovery restores a pre-image from the wrong
+     * transaction into the arena.
+     */
+    std::uint32_t generation;
+    std::uint32_t active;      //!< non-zero while a txn is open
+    /**
+     * CRC32 over tail+generation+active. The control block is written
+     * atomically (16 bytes, one cache line), so a pure crash always
+     * leaves a consistent block — a CRC mismatch is *media* damage,
+     * which matters because a flipped active bit or a shrunk tail
+     * would otherwise silently skip recovery. A freshly formatted pool
+     * gets a sealed empty control block (Txn::formatLog), so every
+     * legitimate image carries a valid checksum from birth.
+     */
+    std::uint32_t crc;
 };
 static_assert(sizeof(LogControl) == 16);
+
+/** The checksum a control block must carry. */
+std::uint32_t
+controlCrc(const LogControl &c)
+{
+    std::uint32_t crc = crc32(&c.tail, sizeof(c.tail));
+    crc = crc32Update(crc, &c.generation, sizeof(c.generation));
+    return crc32Update(crc, &c.active, sizeof(c.active));
+}
 
 /** On-log entry header. */
 struct LogEntry
 {
     std::uint32_t length;
-    std::uint32_t crc;     //!< crc32 over poolOffset, length, payload
+    /** crc32 over generation (seed), poolOffset, length, payload. */
+    std::uint32_t crc;
     std::uint64_t poolOffset;
 };
 static_assert(sizeof(LogEntry) == 16);
 
 /** The checksum an entry with this header and payload must carry. */
 std::uint32_t
-entryCrc(const LogEntry &e, const std::uint8_t *payload)
+entryCrc(const LogEntry &e, std::uint32_t generation,
+         const std::uint8_t *payload)
 {
-    std::uint32_t crc = crc32(&e.poolOffset, sizeof(e.poolOffset));
+    std::uint32_t crc = crc32(&generation, sizeof(generation));
+    crc = crc32Update(crc, &e.poolOffset, sizeof(e.poolOffset));
     crc = crc32Update(crc, &e.length, sizeof(e.length));
     return crc32Update(crc, payload, e.length);
 }
@@ -58,9 +93,11 @@ readControl(const Pool &pool)
 void
 writeControl(Pool &pool, const LogControl &c)
 {
+    LogControl sealed = c;
+    sealed.crc = controlCrc(sealed);
     const Bytes at = pool.header().logStart;
-    pool.backing().write(at, &c, sizeof(c));
-    pool.backing().flush(at, sizeof(c));
+    pool.backing().write(at, &sealed, sizeof(sealed));
+    pool.backing().flush(at, sizeof(sealed));
     pool.backing().fence();
 }
 
@@ -87,7 +124,8 @@ entriesCapacity(const Pool &pool)
  * boundaries are chained through the length fields).
  */
 std::vector<Bytes>
-validEntries(const Pool &pool, const LogControl &c)
+validEntries(const Pool &pool, const LogControl &c,
+             Bytes *end_cursor = nullptr)
 {
     std::vector<Bytes> entries;
     Bytes tail = c.tail;
@@ -123,7 +161,7 @@ validEntries(const Pool &pool, const LogControl &c)
         }
         std::vector<std::uint8_t> payload(e.length);
         pool.backing().read(at + sizeof(e), payload.data(), e.length);
-        if (entryCrc(e, payload.data()) != e.crc) {
+        if (entryCrc(e, c.generation, payload.data()) != e.crc) {
             upr_warn("pool '%s': undo entry at log offset %llu fails "
                      "its checksum; discarding it and the log tail",
                      pool.name().c_str(), (unsigned long long)cursor);
@@ -138,7 +176,98 @@ validEntries(const Pool &pool, const LogControl &c)
                  entries.size(),
                  (unsigned long long)(c.tail - cursor));
     }
+    if (end_cursor)
+        *end_cursor = cursor;
     return entries;
+}
+
+/**
+ * Resync scan of the discarded log region (end_cursor, tail): probe
+ * every byte offset for a CRC-valid, in-pool entry. The write-ahead
+ * discipline fences each entry before the next is appended, so a pure
+ * crash can only tear the *final* entry — a valid entry after a bad
+ * one means the bad entry was damaged on media, and the data writes
+ * the later entries protect were executed but cannot be rolled back.
+ */
+bool
+discardedRegionHasValidEntry(const Pool &pool, std::uint32_t generation,
+                             Bytes from, Bytes to)
+{
+    // from is the first invalid entry itself: start one byte past it.
+    for (Bytes o = from + 1; o + sizeof(LogEntry) <= to; ++o) {
+        const Bytes at = entriesStart(pool) + o;
+        LogEntry e;
+        pool.backing().read(at, &e, sizeof(e));
+        if (e.length == 0 || o + sizeof(LogEntry) + e.length > to)
+            continue;
+        if (e.poolOffset > pool.size() ||
+            e.length > pool.size() - e.poolOffset)
+            continue;
+        std::vector<std::uint8_t> payload(e.length);
+        pool.backing().read(at + sizeof(e), payload.data(), e.length);
+        if (entryCrc(e, generation, payload.data()) == e.crc)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Restore the pre-images of @p entries back-to-front (so overlapping
+ * writes restore the oldest pre-image last) and truncate the log.
+ */
+void
+applyEntries(Pool &pool, const std::vector<Bytes> &entries)
+{
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+        LogEntry e;
+        const Bytes at = entriesStart(pool) + *it;
+        pool.backing().read(at, &e, sizeof(e));
+        std::vector<std::uint8_t> pre(e.length);
+        pool.backing().read(at + sizeof(e), pre.data(), e.length);
+        pool.backing().write(e.poolOffset, pre.data(), e.length);
+        pool.backing().flush(e.poolOffset, e.length);
+    }
+    pool.backing().fence();
+
+    LogControl done = readControl(pool);
+    obs::traceEvent(obs::EventKind::UndoTruncate, pool.id(),
+                    done.tail);
+    done.active = 0;
+    done.tail = 0;
+    writeControl(pool, done);
+    obs::traceEvent(obs::EventKind::RecoveryApplied, entries.size(),
+                    1);
+}
+
+/** Classify the log; shared by analyze() and recoverEx(). */
+Txn::RecoveryReport
+classifyLog(const Pool &pool, const LogControl &c,
+            std::vector<Bytes> *entries_out)
+{
+    Txn::RecoveryReport r;
+    if (c.crc != controlCrc(c)) {
+        // A pure crash writes the control block atomically (one cache
+        // line), so a checksum mismatch is media damage — and neither
+        // the active flag nor the tail can be trusted. A flipped
+        // active bit or shrunk tail would otherwise skip rollback of
+        // logged writes and leave torn data in place silently.
+        r.controlDamaged = true;
+        return r;
+    }
+    r.logActive = c.active != 0;
+    if (!r.logActive)
+        return r;
+    Bytes end = 0;
+    std::vector<Bytes> entries = validEntries(pool, c, &end);
+    const Bytes tail = std::min<Bytes>(c.tail, entriesCapacity(pool));
+    r.entriesReplayed = entries.size();
+    r.bytesDiscarded = tail > end ? tail - end : 0;
+    if (r.bytesDiscarded > 0)
+        r.lostCommittedEntries =
+            discardedRegionHasValidEntry(pool, c.generation, end, tail);
+    if (entries_out)
+        *entries_out = std::move(entries);
+    return r;
 }
 
 } // namespace
@@ -153,6 +282,10 @@ Txn::Txn(Pool &pool) : pool_(pool)
     }
     c.active = 1;
     c.tail = 0;
+    // New incarnation: entries left on media by earlier transactions
+    // no longer checksum under this generation, so recovery cannot
+    // mistake them for ours.
+    c.generation += 1;
     writeControl(pool_, c);
     obs::traceEvent(obs::EventKind::TxnBegin, pool_.id());
 }
@@ -185,7 +318,7 @@ Txn::recordWrite(PoolOffset off, Bytes len)
     LogEntry e;
     e.length = static_cast<std::uint32_t>(len);
     e.poolOffset = off;
-    e.crc = entryCrc(e, pre.data());
+    e.crc = entryCrc(e, c.generation, pre.data());
 
     // Write-ahead: the entry (and the tail bump that publishes it)
     // must be durable before the caller's data write happens, or a
@@ -195,7 +328,7 @@ Txn::recordWrite(PoolOffset off, Bytes len)
     pool_.backing().write(at + sizeof(e), pre.data(), len);
     pool_.backing().flush(at, need);
 
-    c.tail += need;
+    c.tail += static_cast<std::uint32_t>(need);
     writeControl(pool_, c); // flushes + fences control (and entry)
 
     dirty_.emplace_back(off, len);
@@ -238,6 +371,12 @@ Txn::isActive(const Pool &pool)
     return readControl(pool).active != 0;
 }
 
+void
+Txn::formatLog(Pool &pool)
+{
+    writeControl(pool, LogControl{});
+}
+
 bool
 Txn::recover(Pool &pool)
 {
@@ -247,33 +386,29 @@ Txn::recover(Pool &pool)
     return true;
 }
 
+Txn::RecoveryReport
+Txn::recoverEx(Pool &pool)
+{
+    std::vector<Bytes> entries;
+    RecoveryReport r = classifyLog(pool, readControl(pool), &entries);
+    if (!r.logActive)
+        return r;
+    applyEntries(pool, entries);
+    r.rolledBack = true;
+    return r;
+}
+
+Txn::RecoveryReport
+Txn::analyze(const Pool &pool)
+{
+    return classifyLog(pool, readControl(pool), nullptr);
+}
+
 void
 Txn::rollback(Pool &pool)
 {
     const LogControl c = readControl(pool);
-    const std::vector<Bytes> entries = validEntries(pool, c);
-
-    // Undo back-to-front so overlapping writes restore the oldest
-    // pre-image last.
-    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
-        LogEntry e;
-        const Bytes at = entriesStart(pool) + *it;
-        pool.backing().read(at, &e, sizeof(e));
-        std::vector<std::uint8_t> pre(e.length);
-        pool.backing().read(at + sizeof(e), pre.data(), e.length);
-        pool.backing().write(e.poolOffset, pre.data(), e.length);
-        pool.backing().flush(e.poolOffset, e.length);
-    }
-    pool.backing().fence();
-
-    LogControl done = readControl(pool);
-    obs::traceEvent(obs::EventKind::UndoTruncate, pool.id(),
-                    done.tail);
-    done.active = 0;
-    done.tail = 0;
-    writeControl(pool, done);
-    obs::traceEvent(obs::EventKind::RecoveryApplied, entries.size(),
-                    1);
+    applyEntries(pool, validEntries(pool, c));
 }
 
 } // namespace upr

@@ -85,6 +85,41 @@ class Txn
     static bool isActive(const Pool &pool);
 
     /**
+     * Write a sealed empty control block into a fresh pool's log
+     * area. Part of pool formatting: the control block carries a
+     * checksum, and a plain zeroed log area would fail it (this CRC-32
+     * inverts in and out, so even all-zero input has a nonzero sum).
+     */
+    static void formatLog(Pool &pool);
+
+    /**
+     * What recovery found and did. The interesting bit for resilient
+     * opens is lostCommittedEntries: the write-ahead discipline means
+     * a *pure* crash can only tear the final log entry, so CRC-valid
+     * entries found *after* a bad one prove the bad entry is media
+     * damage — the writes those later entries protect were executed
+     * but can no longer be rolled back, i.e. the pool is torn and
+     * must not be served as-is.
+     */
+    struct RecoveryReport
+    {
+        bool logActive = false;     //!< an uncommitted log was present
+        bool rolledBack = false;    //!< undo entries were applied
+        std::size_t entriesReplayed = 0;
+        Bytes bytesDiscarded = 0;   //!< log bytes after the last valid entry
+        /** CRC-valid entries inside the discarded region (see above). */
+        bool lostCommittedEntries = false;
+        /**
+         * The 16-byte control block fails its checksum. It is written
+         * atomically (one cache line), so this is media damage and
+         * neither the active flag nor the tail can be trusted; the
+         * log's recovery state is unknowable and the pool must not be
+         * served. When set, every other field is left defaulted.
+         */
+        bool controlDamaged = false;
+    };
+
+    /**
      * Crash-recovery entry point: if @p pool carries an active log,
      * apply its valid undo entries in reverse order and clear it.
      * Idempotent — recovering twice is a no-op the second time.
@@ -97,6 +132,15 @@ class Txn
      * @return true if a rollback was performed
      */
     static bool recover(Pool &pool);
+
+    /** recover(), reporting what happened (resilient-open path). */
+    static RecoveryReport recoverEx(Pool &pool);
+
+    /**
+     * Dry-run of recovery: classify the log without mutating the
+     * pool (rolledBack stays false — nothing ran).
+     */
+    static RecoveryReport analyze(const Pool &pool);
 
   private:
     /** Apply valid undo entries in reverse and clear the log. */

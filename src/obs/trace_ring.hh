@@ -53,6 +53,10 @@ enum class EventKind : std::uint32_t
     TxnAbort,         //!< a=pool id
     CrashPoint,       //!< a=crash point index, b=1 if rolled back
     ElisionDecision,  //!< a=site line, b=1 elided / 0 kept
+    MediaFault,       //!< a=MediaFaultKind ordinal, b=byte offset
+    PoolQuarantine,   //!< a=pool id
+    PoolRepair,       //!< a=pool id, b=issues repaired
+    OpenRetry,        //!< a=retry number, b=backoff "ns" (simulated)
 };
 
 /** Printable kind name (stable identifiers for exports and tests). */
@@ -72,6 +76,10 @@ eventKindName(EventKind k)
       case EventKind::TxnAbort:        return "txn-abort";
       case EventKind::CrashPoint:      return "crash-point";
       case EventKind::ElisionDecision: return "elision-decision";
+      case EventKind::MediaFault:      return "media-fault";
+      case EventKind::PoolQuarantine:  return "pool-quarantine";
+      case EventKind::PoolRepair:      return "pool-repair";
+      case EventKind::OpenRetry:       return "open-retry";
     }
     return "unknown";
 }

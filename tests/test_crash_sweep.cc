@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <map>
 
 #include "common/logging.hh"
@@ -150,13 +151,20 @@ validateImage(Pool &recovered, std::size_t committed,
         << " committed ops (actual size " << actual.size() << ")";
 }
 
-/** Silence the (expected, numerous) torn-log warnings of a sweep. */
+/**
+ * Silence the (expected, numerous) torn-log warnings of a sweep —
+ * but never a Panic/Fatal, which is about to abort the process and
+ * whose message is the only clue to which crash point blew up.
+ */
 class QuietWarnings
 {
   public:
     QuietWarnings()
     {
-        setLogSink(+[](LogLevel, const std::string &) {});
+        setLogSink(+[](LogLevel level, const std::string &msg) {
+            if (level == LogLevel::Panic || level == LogLevel::Fatal)
+                std::fprintf(stderr, "%s\n", msg.c_str());
+        });
     }
     ~QuietWarnings() { setLogSink(nullptr); }
 };
@@ -195,6 +203,16 @@ TEST(CrashSweep, EveryCrashPointRecoversDiscardUnfenced)
 TEST(CrashSweep, EveryCrashPointRecoversRetainRandom)
 {
     runSweep(CrashMode::RetainRandom);
+}
+
+TEST(CrashSweep, EveryCrashPointRecoversRetainEpoch)
+{
+    runSweep(CrashMode::RetainEpoch);
+}
+
+TEST(CrashSweep, EveryCrashPointRecoversRetainBoundedStale)
+{
+    runSweep(CrashMode::RetainBoundedStale);
 }
 
 // ---------------------------------------------------------------------

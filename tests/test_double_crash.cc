@@ -1,0 +1,187 @@
+/** @file Double-crash recovery: a crash in the middle of undo-log
+ * rollback, followed by a second recovery, must land in exactly the
+ * state a single clean recovery produces — at every crash point
+ * inside the recovery itself, under both the strict and the
+ * torn-write retention schedules. Recovery must be idempotent and
+ * restartable, or "recover on next open" is not a safety net. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/logging.hh"
+#include "crash/crash_injector.hh"
+#include "mem/address_space.hh"
+#include "nvm/pool_manager.hh"
+#include "nvm/txn.hh"
+
+using namespace upr;
+
+namespace
+{
+
+constexpr Bytes kSlots = 6;
+
+/** Offsets the interrupted transaction scribbled over. */
+Bytes
+slotOff(const std::vector<std::uint8_t> &image, Bytes i)
+{
+    std::uint64_t arena;
+    std::memcpy(&arena, image.data() + 48, sizeof(arena));
+    return arena + 64 + 16 * i;
+}
+
+std::uint64_t
+peek64(const Backing &b, Bytes off)
+{
+    std::uint64_t v;
+    b.read(off, &v, sizeof(v));
+    return v;
+}
+
+/**
+ * A mid-transaction crash image: kSlots logged pre-images (value
+ * 100+i each), all overwritten with 200+i, log still active.
+ */
+std::vector<std::uint8_t>
+interruptedImage()
+{
+    AddressSpace space;
+    PoolManager mgr(space, Placement::Sequential, 1);
+    const PoolId id = mgr.createPool("d", 1 << 20);
+    Pool &p = mgr.pool(id);
+
+    std::vector<std::uint8_t> probe = p.backing().raw().toVector();
+    for (Bytes i = 0; i < kSlots; ++i) {
+        const std::uint64_t v = 100 + i;
+        p.backing().write(slotOff(probe, i), &v, sizeof(v));
+    }
+
+    Txn txn(p);
+    for (Bytes i = 0; i < kSlots; ++i) {
+        const Bytes off = slotOff(probe, i);
+        txn.recordWrite(static_cast<PoolOffset>(off), 8);
+        const std::uint64_t v = 200 + i;
+        p.backing().write(off, &v, sizeof(v));
+    }
+    std::vector<std::uint8_t> image = p.backing().raw().toVector();
+    txn.commit();
+    return image;
+}
+
+/** Recover @p image to completion with no interference. */
+std::vector<std::uint8_t>
+recoverCleanly(const std::vector<std::uint8_t> &image)
+{
+    Backing b;
+    b.assign(image);
+    Pool pool("clean", std::move(b));
+    EXPECT_TRUE(Txn::recover(pool));
+    return pool.backing().raw().toVector();
+}
+
+/**
+ * Crash the recovery of @p image at persistence event @p crashAt
+ * under @p mode, then recover the wreckage. Returns the final image.
+ */
+std::vector<std::uint8_t>
+crashRecoveryAt(const std::vector<std::uint8_t> &image,
+                std::uint64_t crashAt, CrashMode mode,
+                std::uint64_t seed, bool &crashed)
+{
+    CrashInjector injector(mode, seed);
+    injector.arm(crashAt);
+    {
+        Backing b;
+        b.assign(image);
+        Pool pool("wounded", std::move(b));
+        injector.attach(pool.backing());
+        try {
+            Txn::recover(pool);
+            crashed = false;
+            return pool.backing().raw().toVector();
+        } catch (const SimulatedCrash &) {
+            crashed = true;
+        }
+    }
+
+    Backing again;
+    again.assign(injector.image());
+    Pool pool("rerecovered", std::move(again));
+    Txn::recover(pool);
+    return pool.backing().raw().toVector();
+}
+
+/** Count the persistence events one full recovery emits. */
+std::uint64_t
+recoveryEvents(const std::vector<std::uint8_t> &image)
+{
+    CrashInjector injector(CrashMode::DiscardUnfenced, 1);
+    injector.arm(0); // profile only
+    Backing b;
+    b.assign(image);
+    Pool pool("profile", std::move(b));
+    injector.attach(pool.backing());
+    Txn::recover(pool);
+    return injector.events();
+}
+
+void
+sweepRecoveryCrashes(CrashMode mode)
+{
+    setLogSink(+[](LogLevel, const std::string &) {});
+    const auto image = interruptedImage();
+    const auto want = recoverCleanly(image);
+    const std::uint64_t events = recoveryEvents(image);
+    ASSERT_GT(events, 0u);
+
+    std::uint64_t crashes = 0;
+    for (std::uint64_t at = 1; at <= events; ++at) {
+        bool crashed = false;
+        const auto final_image =
+            crashRecoveryAt(image, at, mode, 7 * at + 1, crashed);
+        crashes += crashed ? 1 : 0;
+
+        Backing b;
+        b.assign(final_image);
+        Pool pool("check", std::move(b));
+        EXPECT_FALSE(Txn::isActive(pool)) << "crash point " << at;
+        for (Bytes i = 0; i < kSlots; ++i) {
+            EXPECT_EQ(peek64(pool.backing(), slotOff(final_image, i)),
+                      100 + i)
+                << "crash point " << at << ", slot " << i;
+        }
+    }
+    EXPECT_GT(crashes, 0u) << "sweep never crashed inside recovery";
+    setLogSink(nullptr);
+}
+
+} // namespace
+
+TEST(DoubleCrash, RecoveryRestartsFromAnyPointDiscardUnfenced)
+{
+    sweepRecoveryCrashes(CrashMode::DiscardUnfenced);
+}
+
+TEST(DoubleCrash, RecoveryRestartsFromAnyPointRetainRandom)
+{
+    sweepRecoveryCrashes(CrashMode::RetainRandom);
+}
+
+TEST(DoubleCrash, ThirdRecoveryIsANoOp)
+{
+    setLogSink(+[](LogLevel, const std::string &) {});
+    const auto image = interruptedImage();
+
+    bool crashed = false;
+    const auto final_image = crashRecoveryAt(
+        image, 3, CrashMode::RetainRandom, 17, crashed);
+    ASSERT_TRUE(crashed);
+
+    Backing b;
+    b.assign(final_image);
+    Pool pool("p", std::move(b));
+    EXPECT_FALSE(Txn::recover(pool)); // nothing left to do
+    EXPECT_EQ(pool.backing().raw().toVector(), final_image);
+    setLogSink(nullptr);
+}

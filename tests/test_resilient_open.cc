@@ -1,0 +1,210 @@
+/** @file PoolManager::openResilient: all five outcomes, the
+ * retry-with-backoff loop over transient media errors, quarantine
+ * write-protection, and fleet containment (a damaged image never
+ * takes a healthy sibling down). */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/fault.hh"
+#include "common/logging.hh"
+#include "faultinject/transient.hh"
+#include "mem/address_space.hh"
+#include "nvm/pool_manager.hh"
+#include "nvm/txn.hh"
+
+using namespace upr;
+
+namespace
+{
+
+std::vector<std::uint8_t>
+freshImage()
+{
+    AddressSpace space;
+    PoolManager mgr(space, Placement::Sequential, 1);
+    const PoolId id = mgr.createPool("img", 1 << 20);
+    mgr.pmalloc(id, 64);
+    return mgr.pool(id).backing().raw().toVector();
+}
+
+std::vector<std::uint8_t>
+midTxnImage()
+{
+    AddressSpace space;
+    PoolManager mgr(space, Placement::Sequential, 1);
+    const PoolId id = mgr.createPool("img", 1 << 20);
+    Pool &p = mgr.pool(id);
+    const PoolOffset a =
+        static_cast<PoolOffset>(p.header().arenaStart) + 64;
+    Txn txn(p);
+    txn.recordWrite(a, 8);
+    std::vector<std::uint8_t> image = p.backing().raw().toVector();
+    txn.commit();
+    return image;
+}
+
+Backing
+toBacking(const std::vector<std::uint8_t> &image)
+{
+    Backing b;
+    b.assign(image);
+    return b;
+}
+
+void
+poke64(std::vector<std::uint8_t> &image, Bytes off, std::uint64_t v)
+{
+    std::memcpy(image.data() + off, &v, sizeof(v));
+}
+
+class ResilientOpen : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        setLogSink(+[](LogLevel, const std::string &) {});
+        armTransientOpenFailures(0);
+    }
+    void TearDown() override
+    {
+        armTransientOpenFailures(0);
+        setLogSink(nullptr);
+    }
+
+    AddressSpace space_;
+    PoolManager mgr_{space_, Placement::Sequential, 42};
+};
+
+} // namespace
+
+TEST_F(ResilientOpen, CleanImageServes)
+{
+    const ResilientOpenReport rep =
+        mgr_.openResilient(toBacking(freshImage()), "p");
+    EXPECT_EQ(rep.outcome, OpenOutcome::Clean);
+    ASSERT_NE(rep.id, 0u);
+    EXPECT_NE(mgr_.pmalloc(rep.id, 64), 0u);
+}
+
+TEST_F(ResilientOpen, PendingLogRecovers)
+{
+    const ResilientOpenReport rep =
+        mgr_.openResilient(toBacking(midTxnImage()), "p");
+    EXPECT_EQ(rep.outcome, OpenOutcome::Recovered);
+    ASSERT_NE(rep.id, 0u);
+    EXPECT_FALSE(Txn::isActive(mgr_.pool(rep.id)));
+    EXPECT_NE(mgr_.pmalloc(rep.id, 64), 0u);
+}
+
+TEST_F(ResilientOpen, RepairableDamageRepairs)
+{
+    auto image = freshImage();
+    image[72] ^= 0x10; // identity CRC byte
+    const ResilientOpenReport rep =
+        mgr_.openResilient(toBacking(image), "p");
+    EXPECT_EQ(rep.outcome, OpenOutcome::Repaired);
+    ASSERT_NE(rep.id, 0u);
+    EXPECT_NE(mgr_.pmalloc(rep.id, 64), 0u);
+}
+
+TEST_F(ResilientOpen, RepairDisabledQuarantinesInstead)
+{
+    // Garbage free-list head: proven-repairable (rebuilt from the
+    // boundary tags), and the header still loads. With repair off the
+    // pool must be held for inspection, not silently fixed.
+    auto image = freshImage();
+    poke64(image, 32, 12345); // freeHead
+    ResilientOpenOptions opts;
+    opts.repair = false;
+    const ResilientOpenReport rep =
+        mgr_.openResilient(toBacking(image), "p", opts);
+    EXPECT_EQ(rep.outcome, OpenOutcome::Quarantined);
+}
+
+TEST_F(ResilientOpen, UnrepairableDamageQuarantinesReadOnly)
+{
+    // A torn arena boundary tag: the header is intact so the pool can
+    // attach for forensics, but the allocator walk is broken and no
+    // repair is proven — read-only quarantine.
+    auto image = freshImage();
+    std::uint64_t arena;
+    std::memcpy(&arena, image.data() + 48, sizeof(arena));
+    poke64(image, arena + 8, 0); // first block's boundary tag
+    const ResilientOpenReport rep =
+        mgr_.openResilient(toBacking(image), "p");
+    EXPECT_EQ(rep.outcome, OpenOutcome::Quarantined);
+    ASSERT_NE(rep.id, 0u);
+
+    // Reads still work; every write path is refused with the typed
+    // quarantine fault.
+    EXPECT_NO_THROW(mgr_.pool(rep.id).header());
+    try {
+        mgr_.pmalloc(rep.id, 64);
+        FAIL() << "write to a quarantined pool was accepted";
+    } catch (const Fault &f) {
+        EXPECT_EQ(f.kind(), FaultKind::PoolQuarantined);
+    }
+}
+
+TEST_F(ResilientOpen, UnusableHeaderRejects)
+{
+    // Magic destroyed AND the identity CRC flipped: the magic restore
+    // can no longer be proven against the CRC, so the header is
+    // unusable and nothing may attach, not even read-only.
+    auto image = freshImage();
+    poke64(image, 0, 0xDEADDEADDEADDEADull); // destroy the magic
+    image[72] ^= 0x10;                       // ...and its proof
+    const ResilientOpenReport rep =
+        mgr_.openResilient(toBacking(image), "p");
+    EXPECT_EQ(rep.outcome, OpenOutcome::Rejected);
+    EXPECT_EQ(rep.id, 0u);
+}
+
+TEST_F(ResilientOpen, DamagedImageNeverTakesTheFleetDown)
+{
+    // One rejected pool (corrupt geometry) and one quarantined pool
+    // (torn tag), then a healthy sibling: the fleet keeps serving.
+    auto corrupt = freshImage();
+    corrupt[48] ^= 0x20; // arenaStart: header unusable
+    EXPECT_EQ(mgr_.openResilient(toBacking(corrupt), "c").outcome,
+              OpenOutcome::Rejected);
+
+    auto torn = freshImage();
+    std::uint64_t arena;
+    std::memcpy(&arena, torn.data() + 48, sizeof(arena));
+    poke64(torn, arena + 8, 0);
+    EXPECT_EQ(mgr_.openResilient(toBacking(torn), "q").outcome,
+              OpenOutcome::Quarantined);
+
+    const PoolId sibling = mgr_.createPool("sibling", 1 << 20);
+    EXPECT_NE(mgr_.pmalloc(sibling, 256), 0u);
+}
+
+TEST_F(ResilientOpen, TransientMediaErrorsRetryThenSucceed)
+{
+    armTransientOpenFailures(2);
+    ResilientOpenOptions opts;
+    opts.maxRetries = 3;
+    const ResilientOpenReport rep =
+        mgr_.openResilient(toBacking(freshImage()), "p", opts);
+    EXPECT_EQ(rep.outcome, OpenOutcome::Clean);
+    EXPECT_EQ(rep.retries, 2u);
+    EXPECT_EQ(pendingTransientOpenFailures(), 0u);
+    ASSERT_NE(rep.id, 0u);
+    EXPECT_NE(mgr_.pmalloc(rep.id, 64), 0u);
+}
+
+TEST_F(ResilientOpen, PersistentMediaErrorsExhaustRetriesAndReject)
+{
+    armTransientOpenFailures(10);
+    ResilientOpenOptions opts;
+    opts.maxRetries = 3;
+    const ResilientOpenReport rep =
+        mgr_.openResilient(toBacking(freshImage()), "p", opts);
+    EXPECT_EQ(rep.outcome, OpenOutcome::Rejected);
+    EXPECT_EQ(rep.diagnosis, FaultKind::MediaError);
+    EXPECT_EQ(rep.retries, 3u);
+    EXPECT_EQ(rep.id, 0u);
+}

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * uprpool — check/repair/dump maintenance tool for pool image files,
+ * modeled on nvml's pmempool. Grown from examples/pool_inspector: the
+ * inspector demos the APIs, this is the operational tool — it opens
+ * hostile images through the pool_check engine, never through the
+ * throwing Pool constructor, so a damaged file produces a diagnosis
+ * and an exit status instead of an exception.
+ *
+ * Usage:
+ *   uprpool create <image> <sizeMiB>     format a fresh pool image
+ *   uprpool info   <image>               header / log / arena summary
+ *   uprpool check  [-r|--repair] [--json] <image>
+ *   uprpool dump   <image>               arena block map
+ *
+ * check exit status: 0 = clean, 1 = repairable damage found (or
+ * repaired with -r), 2 = corrupt (unrepairable), 3 = usage/IO error.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault.hh"
+#include "nvm/pool_allocator.hh"
+#include "nvm/pool_check.hh"
+#include "nvm/txn.hh"
+
+using namespace upr;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: uprpool create <image> <sizeMiB>\n"
+                 "       uprpool info   <image>\n"
+                 "       uprpool check  [-r|--repair] [--json] <image>\n"
+                 "       uprpool dump   <image>\n");
+    return 3;
+}
+
+bool
+loadFile(const std::string &path, Backing &image)
+{
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    if (!is) {
+        std::fprintf(stderr, "uprpool: cannot open '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    const std::streamsize n = is.tellg();
+    is.seekg(0);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(n));
+    is.read(reinterpret_cast<char *>(bytes.data()), n);
+    if (!is) {
+        std::fprintf(stderr, "uprpool: short read from '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    image.assign(std::move(bytes));
+    return true;
+}
+
+bool
+saveFile(const std::string &path, const Backing &image)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    const std::vector<std::uint8_t> bytes = image.raw().toVector();
+    os.write(reinterpret_cast<const char *>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    if (!os) {
+        std::fprintf(stderr, "uprpool: cannot write '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+int
+cmdCreate(const std::string &path, const std::string &mib)
+{
+    const unsigned long size_mib = std::strtoul(mib.c_str(), nullptr, 0);
+    if (size_mib == 0 || size_mib > 4096) {
+        std::fprintf(stderr,
+                     "uprpool: bad size '%s' (1..4096 MiB)\n",
+                     mib.c_str());
+        return 3;
+    }
+    try {
+        Pool pool(1, path, static_cast<Bytes>(size_mib) << 20);
+        PoolAllocator(pool).format();
+        if (!saveFile(path, pool.backing()))
+            return 3;
+    } catch (const Fault &f) {
+        std::fprintf(stderr, "uprpool: create failed [%s]: %s\n",
+                     faultKindName(f.kind()), f.what());
+        return 3;
+    }
+    std::printf("created '%s': %lu MiB pool image\n", path.c_str(),
+                size_mib);
+    return 0;
+}
+
+/** check's exit status from a report (the CLI contract). */
+int
+statusExit(const CheckReport &rep)
+{
+    switch (rep.status) {
+      case CheckStatus::Clean:      return 0;
+      case CheckStatus::Repairable: return 1;
+      case CheckStatus::Repaired:   return 1;
+      case CheckStatus::Corrupt:    return 2;
+    }
+    return 3;
+}
+
+int
+cmdCheck(const std::string &path, bool repair, bool json)
+{
+    Backing image;
+    if (!loadFile(path, image))
+        return 3;
+    const CheckReport rep = checkPool(image, repair);
+    if (repair && rep.status == CheckStatus::Repaired &&
+        !saveFile(path, image))
+        return 3;
+
+    if (json) {
+        std::fputs(rep.toJson().c_str(), stdout);
+        return statusExit(rep);
+    }
+
+    std::printf("%s: %s\n", path.c_str(), checkStatusName(rep.status));
+    for (const CheckIssue &i : rep.issues) {
+        std::printf("  [%s] %s%s\n", i.component.c_str(),
+                    i.what.c_str(),
+                    i.repaired     ? " (repaired)"
+                    : i.repairable ? " (repairable: rerun with -r)"
+                                   : " (NOT repairable)");
+    }
+    if (rep.recovery.logActive) {
+        std::printf("  undo log: %zu entries to replay, %" PRIu64
+                    " bytes discarded\n",
+                    rep.recovery.entriesReplayed,
+                    rep.recovery.bytesDiscarded);
+    }
+    return statusExit(rep);
+}
+
+int
+cmdInfo(const std::string &path)
+{
+    Backing image;
+    if (!loadFile(path, image))
+        return 3;
+    if (image.size() < sizeof(PoolHeader)) {
+        std::fprintf(stderr,
+                     "uprpool: '%s' is smaller than a pool header\n",
+                     path.c_str());
+        return 2;
+    }
+    PoolHeader h;
+    image.read(0, &h, sizeof(h));
+    std::printf("== pool header ==\n");
+    std::printf("  magic        0x%016" PRIx64 " (%s)\n", h.magic,
+                h.magic == PoolHeader::kMagic ? "ok" : "BAD");
+    std::printf("  version      %u%s\n", h.version,
+                h.version == PoolHeader::kVersion ? "" : " (BAD)");
+    std::printf("  pool id      %u\n", h.poolId);
+    std::printf("  size         %" PRIu64 " bytes (%.1f MiB)\n",
+                h.size, static_cast<double>(h.size) / (1 << 20));
+    std::printf("  identity crc 0x%08x (%s)\n", h.identCrc,
+                h.identCrc == poolIdentCrc(h) ? "ok" : "MISMATCH");
+    std::printf("  root offset  0x%" PRIx64 "%s\n", h.rootOff,
+                h.rootOff ? "" : " (unset)");
+    std::printf("  undo log     [0x%" PRIx64 ", +%" PRIu64 ")\n",
+                h.logStart, h.logSize);
+    std::printf("  arena        [0x%" PRIx64 ", 0x%" PRIx64 ")\n",
+                h.arenaStart, h.size);
+
+    // Dry-run diagnosis (never mutates the file).
+    const CheckReport rep = checkPool(image, false);
+    std::printf("\n== diagnosis ==\n");
+    std::printf("  status       %s\n", checkStatusName(rep.status));
+    for (const CheckIssue &i : rep.issues)
+        std::printf("  [%s] %s\n", i.component.c_str(),
+                    i.what.c_str());
+    std::printf("  undo log     %s\n",
+                rep.recovery.controlDamaged ? "control block damaged"
+                : rep.recovery.logActive    ? "pending transaction"
+                                            : "clean");
+    return statusExit(rep);
+}
+
+int
+cmdDump(const std::string &path)
+{
+    Backing image;
+    if (!loadFile(path, image))
+        return 3;
+    if (image.size() < sizeof(PoolHeader)) {
+        std::fprintf(stderr,
+                     "uprpool: '%s' is smaller than a pool header\n",
+                     path.c_str());
+        return 2;
+    }
+    PoolHeader h;
+    image.read(0, &h, sizeof(h));
+    if (h.magic != PoolHeader::kMagic ||
+        h.arenaStart >= image.size()) {
+        std::fprintf(stderr,
+                     "uprpool: header too damaged to walk the arena "
+                     "(run 'uprpool check')\n");
+        return 2;
+    }
+
+    std::printf("offset            size        state\n");
+    Bytes b = h.arenaStart + 8;
+    const Bytes end = image.size();
+    while (b + PoolAllocator::kMinBlock <= end) {
+        std::uint64_t tag;
+        image.read(b, &tag, sizeof(tag));
+        const Bytes size = tag & ~std::uint64_t{1};
+        if (size < PoolAllocator::kMinBlock ||
+            size % PoolAllocator::kAlign != 0 || size > end - b) {
+            std::printf("0x%-16" PRIx64 "DAMAGED tag 0x%016" PRIx64
+                        " — walk stopped\n",
+                        b, tag);
+            return 2;
+        }
+        std::uint64_t footer;
+        image.read(b + size - 8, &footer, sizeof(footer));
+        std::printf("0x%-16" PRIx64 "%-12" PRIu64 "%s%s\n", b, size,
+                    (tag & 1) ? "allocated" : "free",
+                    footer == tag ? "" : "  [FOOTER MISMATCH]");
+        b += size;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string cmd = argv[1];
+
+    try {
+        if (cmd == "create") {
+            if (argc != 4)
+                return usage();
+            return cmdCreate(argv[2], argv[3]);
+        }
+        if (cmd == "info")
+            return cmdInfo(argv[2]);
+        if (cmd == "dump")
+            return cmdDump(argv[2]);
+        if (cmd == "check") {
+            bool repair = false, json = false;
+            std::string path;
+            for (int i = 2; i < argc; ++i) {
+                const std::string a = argv[i];
+                if (a == "-r" || a == "--repair")
+                    repair = true;
+                else if (a == "--json")
+                    json = true;
+                else if (!a.empty() && a[0] == '-')
+                    return usage();
+                else
+                    path = a;
+            }
+            if (path.empty())
+                return usage();
+            return cmdCheck(path, repair, json);
+        }
+    } catch (const Fault &f) {
+        // checkPool is designed not to throw on damage; anything that
+        // still surfaces is reported as a typed diagnosis, not a
+        // backtrace.
+        std::fprintf(stderr, "uprpool: [%s] %s\n",
+                     faultKindName(f.kind()), f.what());
+        return 2;
+    }
+    return usage();
+}
