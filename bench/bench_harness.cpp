@@ -823,6 +823,143 @@ runFault(const std::string &out_dir)
     return ok;
 }
 
+// ----------------------------------------------------------------------
+// Txn section: the same write-heavy transactional workload committed
+// through the undo engine, the redo engine, and redo group commit.
+// The flush/fence tallies come from the "txn" metrics group and are
+// exact functions of the fence-accounting model, so bench_diff treats
+// them as hard-error keys; commit latency is real wall time and is
+// reported (like wallMs) for information only.
+// ----------------------------------------------------------------------
+
+namespace txnbench
+{
+
+struct TxnCell
+{
+    const char *variant;
+    EngineKind engine;
+    unsigned group;
+};
+
+} // namespace txnbench
+
+bool
+runTxn(const std::string &out_dir)
+{
+    const txnbench::TxnCell cells[] = {
+        {"undo", EngineKind::Undo, 1},
+        {"redo", EngineKind::Redo, 1},
+        {"redo-group4", EngineKind::Redo, 4},
+    };
+    constexpr std::uint64_t kTxns = 96;
+    constexpr std::uint64_t kWritesPerTxn = 4;
+
+    const auto start = SteadyClock::now();
+    JsonWriter json;
+    json.beginObject();
+    emitHeader(json, 1);
+    json.key("cells").beginArray();
+
+    bool ok = true;
+    std::map<std::string, std::uint64_t> fences_by_variant;
+    for (const txnbench::TxnCell &cell : cells) {
+        const auto t0 = SteadyClock::now();
+        Runtime rt(faultbench::config());
+        RuntimeScope scope(rt);
+        const PoolId pool =
+            rt.createPool("txn", 1 << 20, cell.engine);
+        rt.setGroupCommitSize(cell.group);
+        Pool &p = rt.pools().pool(pool);
+        const Bytes base = p.header().arenaStart + 64;
+
+        // Snapshot after pool creation: formatting the fresh log
+        // control block costs one flush+fence outside the model.
+        const obs::MetricsSnapshot before =
+            obs::MetricsRegistry::instance().snapshot();
+
+        for (std::uint64_t t = 0; t < kTxns; ++t) {
+            rt.beginTxn(pool);
+            for (std::uint64_t w = 0; w < kWritesPerTxn; ++w) {
+                const std::uint64_t n = t * kWritesPerTxn + w;
+                const std::uint64_t value = n * 2654435761u;
+                // 64-byte spacing: distinct journal runs, one undo
+                // record each; wraps over a 16 KiB window.
+                p.backing().write(base + 64 * (n % 256), &value,
+                                  sizeof(value));
+            }
+            rt.commitTxn();
+        }
+        rt.flushGroup(); // drain a trailing partial batch
+
+        const obs::MetricsSnapshot d =
+            obs::MetricsRegistry::instance().snapshot().minus(before);
+        const auto get = [&d](const char *name) -> std::uint64_t {
+            const auto it = d.counters.find(name);
+            return it == d.counters.end() ? 0 : it->second;
+        };
+        const std::uint64_t commits =
+            get("txn.undoCommits") + get("txn.redoCommits");
+        const std::uint64_t fences =
+            get("txn.undoFences") + get("txn.redoFences");
+        const std::uint64_t flushes =
+            get("txn.undoFlushes") + get("txn.redoFlushes");
+        fences_by_variant[cell.variant] = fences;
+
+        if (commits != kTxns) {
+            std::fprintf(stderr,
+                         "FAIL txn bench (%s): %llu commits counted, "
+                         "%llu expected\n",
+                         cell.variant, (unsigned long long)commits,
+                         (unsigned long long)kTxns);
+            ok = false;
+        }
+
+        json.beginObject();
+        json.kv("workload", "txn");
+        json.kv("version", cell.variant);
+        json.kv("wallMs", millisSince(t0));
+        json.kv("txns", kTxns);
+        json.kv("writesPerTxn", kWritesPerTxn);
+        json.kv("commits", commits);
+        json.kv("fences", fences);
+        json.kv("flushes", flushes);
+        json.kv("groupBatches", get("txn.groupBatches"));
+        json.kv("groupTxns", get("txn.groupTxns"));
+        emitHistSummary(json, "commitNs",
+                        summarize(rt.txnCommitHistogram()));
+        json.end();
+    }
+    json.end();
+    json.end();
+
+    // The headline invariant of the redo design: per committed
+    // transaction, redo fences strictly less than undo, and group
+    // commit strictly less than solo redo.
+    if (!(fences_by_variant["redo"] < fences_by_variant["undo"] &&
+          fences_by_variant["redo-group4"] <
+              fences_by_variant["redo"])) {
+        std::fprintf(stderr,
+                     "FAIL txn bench: fence ordering violated "
+                     "(undo=%llu redo=%llu group4=%llu)\n",
+                     (unsigned long long)fences_by_variant["undo"],
+                     (unsigned long long)fences_by_variant["redo"],
+                     (unsigned long long)
+                         fences_by_variant["redo-group4"]);
+        ok = false;
+    }
+
+    const std::string path = out_dir + "/BENCH_txn.json";
+    if (!json.writeFile(path)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::printf("txn: %zu engines, wall %.0f ms, %s\n",
+                sizeof(cells) / sizeof(cells[0]), millisSince(start),
+                path.c_str());
+    return ok;
+}
+
 } // namespace
 
 int
@@ -840,6 +977,9 @@ main(int argc, char **argv)
     // unregistered) in default runs so the existing BENCH goldens and
     // metrics dumps stay bit-identical.
     bool fault = false;
+    // Opt-in for the same reason: running transactions would register
+    // the lazy "txn" metrics group.
+    bool txn = false;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -867,11 +1007,17 @@ main(int argc, char **argv)
             micro = false;
             static_sec = false;
             fault = true;
+        } else if (!std::strcmp(arg, "--txn-only")) {
+            fig11 = false;
+            micro = false;
+            static_sec = false;
+            txn = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--quick] [--jobs N] [--out DIR] "
                          "[--fig11-only | --micro-only | "
-                         "--static-only | --fault-only]\n",
+                         "--static-only | --fault-only | "
+                         "--txn-only]\n",
                          argv[0]);
             return 2;
         }
@@ -890,6 +1036,8 @@ main(int argc, char **argv)
         ok = runStatic(out_dir) && ok;
     if (fault)
         ok = runFault(out_dir) && ok;
+    if (txn)
+        ok = runTxn(out_dir) && ok;
 
     // With UPR_OBS_TRACE set, dump the harness process's event ring
     // (the serial static section and any in-process setup; forked

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "containers/rb_tree.hh"
+#include "nvm/engine.hh"
 #include "nvm/pool_allocator.hh"
 #include "nvm/txn.hh"
 
@@ -54,24 +55,31 @@ inspect(Pool &pool, bool recover)
                 h.size, static_cast<double>(h.size) / (1 << 20));
     std::printf("  root offset  0x%" PRIx64 "%s\n", h.rootOff,
                 h.rootOff ? "" : " (unset)");
+    std::printf("  engine       %s\n", engineKindName(pool.engineKind()));
     std::printf("  arena        [0x%" PRIx64 ", 0x%" PRIx64 ")\n",
                 h.arenaStart, h.size);
-    std::printf("  undo log     [0x%" PRIx64 ", +%" PRIu64 ")\n",
+    std::printf("  txn log      [0x%" PRIx64 ", +%" PRIu64 ")\n",
                 h.logStart, h.logSize);
 
     std::printf("\n== transaction state ==\n");
-    if (Txn::isActive(pool)) {
-        std::printf("  ACTIVE transaction log found (crashed "
-                    "mid-transaction)\n");
+    const bool redo = pool.engineKind() == EngineKind::Redo;
+    if (TxnEngine::isActive(pool)) {
+        std::printf(redo ? "  COMMITTED redo journal awaiting replay "
+                           "(crashed mid-commit)\n"
+                         : "  ACTIVE transaction log found (crashed "
+                           "mid-transaction)\n");
         if (recover) {
-            Txn::recover(pool);
-            std::printf("  ...recovered: undo entries applied, log "
-                        "cleared\n");
+            TxnEngine::recover(pool);
+            std::printf(redo ? "  ...recovered: journal replayed "
+                               "forward, log cleared\n"
+                             : "  ...recovered: undo entries applied, "
+                               "log cleared\n");
         } else {
-            std::printf("  run with --recover to roll back\n");
+            std::printf(redo ? "  run with --recover to replay\n"
+                             : "  run with --recover to roll back\n");
         }
     } else {
-        std::printf("  clean (no open transaction)\n");
+        std::printf("  clean (no pending recovery work)\n");
     }
 
     std::printf("\n== allocator arena ==\n");

@@ -47,6 +47,16 @@ FAULT_KEYS = (
     "quarantined", "rejected", "noEffect", "silent", "containment",
 )
 
+# Txn-engine cells (BENCH_txn.json): the flush/fence tallies are exact
+# functions of the fence-accounting model (docs/CRASH_CONSISTENCY.md),
+# so counter drift is a hard error — an ordering-protocol change must
+# recapture the golden deliberately. commitNs is real wall time and is
+# not compared.
+TXN_KEYS = (
+    "txns", "writesPerTxn", "commits", "fences", "flushes",
+    "groupBatches", "groupTxns",
+)
+
 
 def load(path):
     try:
@@ -123,7 +133,7 @@ def main():
         if "error" in old or "error" in new:
             continue
 
-        for k in MODEL_KEYS + FAULT_KEYS:
+        for k in MODEL_KEYS + FAULT_KEYS + TXN_KEYS:
             if old.get(k) != new.get(k):
                 drift.append(
                     f"{fmt_cell(key)}: {k} {old.get(k)} -> "

@@ -2,10 +2,10 @@
 # CI entry point:
 #   1. full RelWithDebInfo build + complete test suite;
 #   2. ASan+UBSan build (cmake --preset asan) + the crash, compiler,
-#      obs and fault test labels — the suites that exercise
+#      obs, fault and txn test labels — the suites that exercise
 #      raw-memory recovery paths, deliberately corrupted pool images,
-#      and the parser/verifier/interpreter, where memory bugs would
-#      hide;
+#      both transaction engines' log replay, and the
+#      parser/verifier/interpreter, where memory bugs would hide;
 #   3. clang-tidy over the compiler subsystem, if available;
 #   4. observability overhead gate: with event tracing compiled in,
 #      a traced run and an untraced run of the quick bench must agree
@@ -37,6 +37,13 @@ build/bench/bench_harness --fault-only --out "$FAULT_OUT" > /dev/null
 python3 scripts/bench_diff.py --wall-threshold 100000 \
     BENCH_fault.json "$FAULT_OUT/BENCH_fault.json"
 rm -rf "$FAULT_OUT"
+
+echo "==> tier 4t: txn-engine fence accounting vs golden"
+TXN_OUT=$(mktemp -d)
+build/bench/bench_harness --txn-only --out "$TXN_OUT" > /dev/null
+python3 scripts/bench_diff.py --wall-threshold 100000 \
+    BENCH_txn.json "$TXN_OUT/BENCH_txn.json"
+rm -rf "$TXN_OUT"
 
 echo "==> tier 5: observability overhead gate"
 GATE_OUT=$(mktemp -d)

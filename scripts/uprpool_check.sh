@@ -52,6 +52,23 @@ status=$?
 grep -q '"status": "corrupt"' "$TMP/corrupt.json" \
     || fail "--json must report corrupt"
 
+# --- engine branding: create redo + info/check name the engine ---------
+RIMG="$TMP/redo.img"
+"$UPRPOOL" create "$RIMG" 1 redo || fail "create redo failed"
+"$UPRPOOL" info "$RIMG" | grep -q "redo" \
+    || fail "info must name the redo engine"
+"$UPRPOOL" check --json "$RIMG" > "$TMP/redo.json"
+grep -q '"engine": "redo"' "$TMP/redo.json" \
+    || fail "--json must name the redo engine"
+"$UPRPOOL" check "$RIMG" > /dev/null \
+    || fail "fresh redo image: check must exit 0"
+"$UPRPOOL" create "$TMP/u2.img" 1 undo || fail "create undo failed"
+"$UPRPOOL" check --json "$TMP/u2.img" | grep -q '"engine": "undo"' \
+    || fail "--json must name the undo engine"
+"$UPRPOOL" create "$TMP/bad.img" 1 frob 2> /dev/null
+status=$?
+[ $status -eq 3 ] || fail "bad engine name: expected 3, got $status"
+
 # --- usage errors -> exit 3 --------------------------------------------
 "$UPRPOOL" frobnicate "$IMG" 2> /dev/null
 status=$?

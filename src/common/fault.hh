@@ -55,6 +55,13 @@ enum class FaultKind
      * the fleet keeps serving.
      */
     PoolQuarantined,
+    /**
+     * A transaction engine was asked to drive a pool formatted for a
+     * different engine (e.g. the undo path handed a redo pool).
+     * Raised instead of misparsing the log region, whose wire bytes
+     * mean different things per engine.
+     */
+    EngineMismatch,
 };
 
 /** Human-readable name of a fault kind. */
@@ -98,6 +105,7 @@ faultKindName(FaultKind kind)
       case FaultKind::CorruptPool:        return "corrupt-pool";
       case FaultKind::MediaError:         return "media-error";
       case FaultKind::PoolQuarantined:    return "pool-quarantined";
+      case FaultKind::EngineMismatch:     return "engine-mismatch";
     }
     return "unknown-fault";
 }

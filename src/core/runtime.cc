@@ -108,9 +108,10 @@ Runtime::pfreeBits(PtrBits p)
 }
 
 PoolId
-Runtime::createPool(const std::string &name, Bytes size)
+Runtime::createPool(const std::string &name, Bytes size,
+                    EngineKind engine)
 {
-    return pools_.createPool(name, size);
+    return pools_.createPool(name, size, engine);
 }
 
 // ----------------------------------------------------------------------
@@ -122,7 +123,7 @@ Runtime::beginTxn(PoolId pool)
 {
     if (config_.version == Version::Volatile)
         return; // no NVM, nothing to make crash-consistent
-    if (activeTxn_) {
+    if (activeTxn_ || (redoBatch_ && redoBatch_->txnOpen())) {
         throw Fault(FaultKind::BadUsage,
                     "a transaction is already active");
     }
@@ -131,6 +132,25 @@ Runtime::beginTxn(PoolId pool)
                     "beginTxn on a detached pool");
     }
     Pool &p = pools_.pool(pool);
+
+    if (p.engineKind() == EngineKind::Redo) {
+        // Redo path: no write observer and no per-store log latency —
+        // stores are staged in DRAM by the Backing itself and cost
+        // nothing extra until commit journals them.
+        if (redoBatch_ && txnPool_ != pool) {
+            redoBatch_->flush(); // drain the old pool's batch first
+            redoBatch_.reset();
+        }
+        if (!redoBatch_)
+            redoBatch_ = std::make_unique<RedoBatch>(p);
+        redoBatch_->begin();
+        txnPool_ = pool;
+        return;
+    }
+    if (redoBatch_) {
+        redoBatch_->flush(); // leaving redo: make its batch durable
+        redoBatch_.reset();
+    }
     activeTxn_ = std::make_unique<Txn>(p);
     txnPool_ = pool;
 
@@ -153,6 +173,19 @@ Runtime::commitTxn()
 {
     if (config_.version == Version::Volatile)
         return;
+    if (redoBatch_ && redoBatch_->txnOpen()) {
+        const auto t0 = std::chrono::steady_clock::now();
+        redoBatch_->commit();
+        if (groupCommitSize_ <= 1 ||
+            redoBatch_->pendingTxns() >= groupCommitSize_) {
+            redoBatch_->flush();
+        }
+        txnCommitNs_.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+        return;
+    }
     upr_assert_msg(activeTxn_ != nullptr, "commit without beginTxn");
     pools_.pool(txnPool_).backing().setWriteObserver(nullptr);
     const auto t0 = std::chrono::steady_clock::now();
@@ -169,10 +202,23 @@ Runtime::abortTxn()
 {
     if (config_.version == Version::Volatile)
         return;
+    if (redoBatch_ && redoBatch_->txnOpen()) {
+        redoBatch_->abort();
+        return;
+    }
     upr_assert_msg(activeTxn_ != nullptr, "abort without beginTxn");
     pools_.pool(txnPool_).backing().setWriteObserver(nullptr);
     activeTxn_->abort();
     activeTxn_.reset();
+}
+
+void
+Runtime::flushGroup()
+{
+    if (config_.version == Version::Volatile)
+        return;
+    if (redoBatch_)
+        redoBatch_->flush();
 }
 
 // ----------------------------------------------------------------------

@@ -35,6 +35,7 @@
 #include "core/pointer_repr.hh"
 #include "mem/vmalloc.hh"
 #include "nvm/pool_manager.hh"
+#include "nvm/redo_log.hh"
 #include "nvm/txn.hh"
 #include "obs/metrics.hh"
 
@@ -150,32 +151,81 @@ class Runtime
     /** Free a persistent (or Volatile-version) allocation. */
     void pfreeBits(PtrBits p);
 
-    /** Create-and-attach a pool (no-op handle under Volatile). */
-    PoolId createPool(const std::string &name, Bytes size);
+    /**
+     * Create-and-attach a pool (no-op handle under Volatile). The
+     * engine choice is persisted in the pool header: it decides how
+     * beginTxn() on this pool logs (undo pre-images vs staged redo
+     * journal) and how recovery replays after a crash.
+     */
+    PoolId createPool(const std::string &name, Bytes size,
+                      EngineKind engine = EngineKind::Undo);
 
     // ------------------------------------------------------------------
     // Persistent transactions (paper Sec VI)
     // ------------------------------------------------------------------
 
     /**
-     * Open an undo-log transaction on @p pool. While active, every
-     * store this runtime performs into that pool — including stores
-     * issued from inside recompiled legacy-library code, which is
-     * the paper's point: the application's transaction covers the
-     * library's writes with no library changes — logs its pre-image
-     * first. No-op under the Volatile version.
+     * Open a transaction on @p pool, speaking whatever engine the
+     * pool was created with. While active, every store this runtime
+     * performs into that pool — including stores issued from inside
+     * recompiled legacy-library code, which is the paper's point: the
+     * application's transaction covers the library's writes with no
+     * library changes — is covered: an undo pool logs each store's
+     * pre-image first; a redo pool stages the store in DRAM until
+     * commit journals it. No-op under the Volatile version.
      * @throws Fault{BadUsage} if a transaction is already active
      */
     void beginTxn(PoolId pool);
 
-    /** Commit the active transaction (durable; log truncated). */
+    /**
+     * Commit the active transaction. On an undo pool this is durable
+     * on return (log truncated). On a redo pool the transaction
+     * enters the group-commit batch; it is durable on return iff the
+     * batch reached groupCommitSize() (size 1, the default, makes
+     * every commit durable immediately).
+     */
     void commitTxn();
 
-    /** Roll every logged write back and close the transaction. */
+    /** Discard the active transaction (undo: roll back; redo: drop). */
     void abortTxn();
 
     /** True while a transaction is open. */
-    bool inTxn() const { return activeTxn_ != nullptr; }
+    bool
+    inTxn() const
+    {
+        return activeTxn_ != nullptr ||
+               (redoBatch_ && redoBatch_->txnOpen());
+    }
+
+    /**
+     * Batch size for redo group commit: commitTxn() folds redo
+     * transactions into a DRAM batch and pays the journal's flushes
+     * and fences once every @p n commits. 0 is treated as 1 (flush
+     * every commit). Undo pools ignore this. Lowering the size does
+     * not flush an already-pending batch — call flushGroup().
+     */
+    void setGroupCommitSize(unsigned n)
+    {
+        groupCommitSize_ = n == 0 ? 1 : n;
+    }
+
+    /** Current redo group-commit batch size. */
+    unsigned groupCommitSize() const { return groupCommitSize_; }
+
+    /** Redo transactions committed but not yet flushed to the pool. */
+    std::size_t
+    pendingGroupTxns() const
+    {
+        return redoBatch_ ? redoBatch_->pendingTxns() : 0;
+    }
+
+    /**
+     * Flush the pending redo group-commit batch now (no-op when
+     * nothing is pending). Unflushed batches are *volatile*: anything
+     * not flushed before the runtime goes away is discarded.
+     * @throws Fault{BadUsage} while a transaction is open
+     */
+    void flushGroup();
 
     // ------------------------------------------------------------------
     // Pointer-operation semantics (paper Figs 3 and 4)
@@ -490,9 +540,18 @@ class Runtime
 
     /** Active undo-log transaction, if any. */
     std::unique_ptr<Txn> activeTxn_;
+    /**
+     * Redo group-commit driver for the pool named by txnPool_, kept
+     * across transactions so a batch can span commits. Declared after
+     * pools_: it holds a reference into the pool table and must be
+     * destroyed first.
+     */
+    std::unique_ptr<RedoBatch> redoBatch_;
     PoolId txnPool_ = 0;
     /** Re-entrancy guard: the undo log's own writes are not logged. */
     bool txnLogging_ = false;
+    /** Redo commits per journal flush (1 = no batching). */
+    unsigned groupCommitSize_ = 1;
 
     StatGroup stats_;
     Counter dynChecks_;

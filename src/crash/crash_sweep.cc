@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "nvm/engine.hh"
 #include "nvm/txn.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_ring.hh"
@@ -101,7 +102,7 @@ crashSweep(const CrashWorkload &workload, const CrashValidator &validate,
             Backing media;
             media.assign(injector.image());
             Pool pool("crash@" + std::to_string(n), std::move(media));
-            const bool rolled_back = Txn::recover(pool);
+            const bool rolled_back = TxnEngine::recover(pool);
             obs::traceEvent(obs::EventKind::CrashPoint, n,
                             rolled_back);
             if (rolled_back) {
@@ -113,7 +114,7 @@ crashSweep(const CrashWorkload &workload, const CrashValidator &validate,
             }
             // Recovery must be idempotent: a crash *during* recovery
             // is just another recovery on the next boot.
-            if (Txn::recover(pool)) {
+            if (TxnEngine::recover(pool)) {
                 throw Fault(FaultKind::CorruptPool,
                             "recovery of crash point " +
                             std::to_string(n) + " is not idempotent");

@@ -8,6 +8,7 @@
 #include "faultinject/fault_stats.hh"
 #include "mem/address_space.hh"
 #include "nvm/pool_manager.hh"
+#include "nvm/engine.hh"
 #include "nvm/txn.hh"
 
 namespace upr
@@ -138,7 +139,7 @@ faultSweep(const CrashWorkload &workload,
         Backing rb;
         rb.assign(image);
         Pool ref("ref", std::move(rb));
-        Txn::recover(ref);
+        TxnEngine::recover(ref);
         const std::vector<std::uint8_t> recovered =
             ref.backing().raw().toVector();
 

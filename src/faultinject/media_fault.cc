@@ -70,6 +70,15 @@ headerTargets(const std::vector<std::uint8_t> &image)
     addRange(out, offsetof(PoolHeader, logSize), sizeof(std::uint64_t));
     addRange(out, offsetof(PoolHeader, identCrc),
              sizeof(std::uint32_t));
+    // The engine field joined the identity CRC when the redo engine
+    // arrived, but only for nonzero values: on legacy-layout (undo)
+    // images it is CRC-unprotected padding, so damage there would be
+    // undetectable by design and targeting it would break the
+    // zero-silent-corruption invariant. Target it on redo images only.
+    PoolHeader h;
+    if (readAt(image, 0, h) && h.engine != 0)
+        addRange(out, offsetof(PoolHeader, engine),
+                 sizeof(std::uint32_t));
     return out;
 }
 

@@ -50,6 +50,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -251,6 +252,27 @@ enum class PersistEvent
     Fence, //!< fence(): staged lines reached the durable image
 };
 
+/**
+ * A DRAM staging buffer for redo-style transactions: while installed
+ * on a Backing (setWriteStage), every write is captured here instead
+ * of reaching the backing bytes, and reads overlay the staged bytes
+ * on top of the backing content. Staged bytes are *volatile by
+ * construction* — they are not part of the persistence domain, emit
+ * no persistence events, and vanish at a crash — which is exactly the
+ * durability contract of an uncommitted redo transaction.
+ *
+ * Stages nest one level via @c under (a transaction stage layered
+ * over a group-commit batch stage): reads see the top stage over the
+ * under stage over the media.
+ */
+struct WriteStage
+{
+    /** Absolute byte offset -> staged value (sparse, ordered). */
+    std::map<Bytes, std::uint8_t> bytes;
+    /** Older stage this one shadows (read-through), or nullptr. */
+    const WriteStage *under = nullptr;
+};
+
 /** A contiguous, resizable byte store. */
 class Backing
 {
@@ -267,6 +289,35 @@ class Backing
 
     /** Create a backing of @p size zeroed bytes. */
     explicit Backing(Bytes size = 0) : bytes_(size) {}
+
+    /**
+     * Copy: duplicates the bytes and the persistence-domain state
+     * (durable image, pending lines, epoch, read-only flag) but NOT
+     * the observers or an installed write stage — a copy is a fresh
+     * view of the same media (crash images, scratch check/repair
+     * trials), never a second endpoint of the original's
+     * instrumentation.
+     */
+    Backing(const Backing &other)
+        : bytes_(other.bytes_), domainEnabled_(other.domainEnabled_),
+          readOnly_(other.readOnly_), fenceEpoch_(other.fenceEpoch_),
+          durable_(other.durable_), pending_(other.pending_)
+    {
+    }
+
+    Backing &
+    operator=(const Backing &other)
+    {
+        if (this != &other) {
+            Backing copy(other);
+            *this = std::move(copy);
+        }
+        return *this;
+    }
+
+    /** Moves transfer the whole identity, observers and stage included. */
+    Backing(Backing &&) = default;
+    Backing &operator=(Backing &&) = default;
 
     /** Size in bytes. */
     Bytes size() const { return bytes_.size(); }
@@ -288,6 +339,9 @@ class Backing
     {
         checkRange(off, n, "read");
         std::memcpy(dst, bytes_.data() + off, n);
+        if (stage_)
+            overlayStage(*stage_, off,
+                         static_cast<std::uint8_t *>(dst), n);
     }
 
     /** Copy @p n bytes from @p src to byte offset @p off. */
@@ -299,6 +353,17 @@ class Backing
             throw Fault(FaultKind::PoolQuarantined,
                         "write to quarantined (read-only) backing");
         }
+        if (stage_) {
+            // Staged (redo) path: the bytes land in DRAM only. No
+            // persistence event fires — nothing touched the media, so
+            // there is nothing a crash schedule could tear.
+            if (writeObserver_)
+                writeObserver_(off, n);
+            const auto *p = static_cast<const std::uint8_t *>(src);
+            for (Bytes i = 0; i < n; ++i)
+                stage_->bytes[off + i] = p[i];
+            return;
+        }
         if (persistObserver_)
             persistObserver_(PersistEvent::Write, off, n);
         if (writeObserver_)
@@ -306,6 +371,45 @@ class Backing
         std::memcpy(bytes_.data() + off, src, n);
         if (domainEnabled_)
             markLines(off, n, LineState::Dirty);
+    }
+
+    /**
+     * Install (or, with nullptr, remove) a write stage. At most one
+     * stage can be installed — the engine layers transaction-over-
+     * batch stages itself via WriteStage::under and installs only the
+     * top one here.
+     */
+    void
+    setWriteStage(WriteStage *stage)
+    {
+        if (stage && stage_) {
+            throw Fault(FaultKind::BadUsage,
+                        "write stage already installed on backing");
+        }
+        stage_ = stage;
+    }
+
+    /** The installed write stage, or nullptr. */
+    const WriteStage *writeStage() const { return stage_; }
+
+    /**
+     * Write that bypasses an installed stage and lands directly on
+     * the (simulated) media — the redo engine's journal-append and
+     * in-place-apply path, which must remain governed by the
+     * persistence domain even while user writes are being staged.
+     */
+    void
+    writeThrough(Bytes off, const void *src, Bytes n)
+    {
+        WriteStage *saved = stage_;
+        stage_ = nullptr;
+        try {
+            write(off, src, n);
+        } catch (...) {
+            stage_ = saved;
+            throw;
+        }
+        stage_ = saved;
     }
 
     /**
@@ -551,6 +655,20 @@ class Backing
             pending_[line] = {state, fenceEpoch_};
     }
 
+    /** Overlay staged bytes (under first, then top) onto @p dst. */
+    static void
+    overlayStage(const WriteStage &s, Bytes off, std::uint8_t *dst,
+                 Bytes n)
+    {
+        if (s.under)
+            overlayStage(*s.under, off, dst, n);
+        if (n == 0)
+            return;
+        for (auto it = s.bytes.lower_bound(off);
+             it != s.bytes.end() && it->first - off < n; ++it)
+            dst[it->first - off] = it->second;
+    }
+
     /** Copy line @p line of the live bytes into @p dst. */
     void
     persistLine(Bytes line, std::vector<std::uint8_t> &dst) const
@@ -564,6 +682,8 @@ class Backing
     ByteStore bytes_;
     std::function<void(Bytes, Bytes)> writeObserver_;
     std::function<void(PersistEvent, Bytes, Bytes)> persistObserver_;
+    /** Installed redo staging buffer (not owned), or nullptr. */
+    WriteStage *stage_ = nullptr;
 
     bool domainEnabled_ = false;
     bool readOnly_ = false;

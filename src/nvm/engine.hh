@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Engine-dispatching recovery facade: code that handles pool images
+ * of *either* engine (image adoption, crash sweeps, check/repair,
+ * inspection tools) goes through TxnEngine, which reads the engine
+ * kind persisted in the pool header and forwards to the undo (Txn)
+ * or redo (RedoLog) implementation. Code that *drives* transactions
+ * keeps using the engine-specific APIs directly.
+ */
+
+#ifndef UPR_NVM_ENGINE_HH
+#define UPR_NVM_ENGINE_HH
+
+#include "nvm/pool.hh"
+#include "nvm/redo_log.hh"
+#include "nvm/txn.hh"
+
+namespace upr
+{
+
+/** Static dispatch over the engine persisted in the pool header. */
+struct TxnEngine
+{
+    /** The engine @p pool's log region speaks. */
+    static EngineKind kindOf(const Pool &pool)
+    {
+        return pool.engineKind();
+    }
+
+    /**
+     * True if the log region holds pending recovery work (an open
+     * undo log / a committed, unapplied redo journal).
+     */
+    static bool
+    isActive(const Pool &pool)
+    {
+        return kindOf(pool) == EngineKind::Redo ? RedoLog::isActive(pool)
+                                                : Txn::isActive(pool);
+    }
+
+    /**
+     * Run the pool's own recovery: undo rollback or redo forward
+     * replay. Idempotent either way.
+     * @return true if recovery mutated the pool
+     */
+    static bool
+    recover(Pool &pool)
+    {
+        return kindOf(pool) == EngineKind::Redo ? RedoLog::recover(pool)
+                                                : Txn::recover(pool);
+    }
+
+    /** recover(), reporting what happened. */
+    static Txn::RecoveryReport
+    recoverEx(Pool &pool)
+    {
+        return kindOf(pool) == EngineKind::Redo
+                   ? RedoLog::recoverEx(pool)
+                   : Txn::recoverEx(pool);
+    }
+
+    /** Dry-run classification of the log region. */
+    static Txn::RecoveryReport
+    analyze(const Pool &pool)
+    {
+        return kindOf(pool) == EngineKind::Redo
+                   ? RedoLog::analyze(pool)
+                   : Txn::analyze(pool);
+    }
+};
+
+} // namespace upr
+
+#endif // UPR_NVM_ENGINE_HH

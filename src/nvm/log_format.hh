@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The on-media wire format of the pool log region, shared by both
+ * transaction engines (undo in txn.cc, redo in redo_log.cc).
+ *
+ * Both engines speak the same 16-byte control block and 16-byte entry
+ * header with identical checksum formulas; only the *meaning* differs
+ * per engine (pre-images rolled back vs new-values replayed forward,
+ * `active` as open-transaction flag vs committed-journal flag). Pool
+ * formatting, the fault-injection target parser, and the check/repair
+ * log walk therefore work on either engine's log region without
+ * knowing which engine wrote it.
+ *
+ * Internal detail header: everything here lives in upr::logfmt and is
+ * not part of the public transaction API.
+ */
+
+#ifndef UPR_NVM_LOG_FORMAT_HH
+#define UPR_NVM_LOG_FORMAT_HH
+
+#include <cstdint>
+
+#include "common/crc32.hh"
+#include "nvm/pool.hh"
+
+namespace upr::logfmt
+{
+
+/**
+ * Control block at the start of the log area. Kept *outside* the pool
+ * header on purpose: header writes are frequent (allocator metadata)
+ * and may be in flight while the log appends its own state; a shared
+ * struct would let the in-flight header write clobber the log's
+ * bookkeeping.
+ */
+struct LogControl
+{
+    std::uint32_t tail;        //!< next free byte within the entry area
+    /**
+     * Transaction incarnation counter; bumped at every undo begin /
+     * redo commit, never reset. Every entry checksum is seeded with
+     * the generation it was written under, which is what makes stale
+     * log bytes detectable: a reordered write-back can pair a fresh
+     * control block with an entry slot whose media content still
+     * holds a *complete, checksummed entry of an earlier
+     * transaction*. Without the generation seed that stale entry
+     * verifies and gets replayed from the wrong transaction.
+     */
+    std::uint32_t generation;
+    /**
+     * Engine-specific state word. Undo: non-zero while a transaction
+     * is open (pre-images pending rollback). Redo: non-zero once a
+     * journal is committed and pending forward replay.
+     */
+    std::uint32_t active;
+    /**
+     * CRC32 over tail+generation+active. The control block is written
+     * atomically (16 bytes, one cache line), so a pure crash always
+     * leaves a consistent block — a CRC mismatch is *media* damage.
+     * A freshly formatted pool gets a sealed empty control block
+     * (Txn::formatLog), so every legitimate image carries a valid
+     * checksum from birth.
+     */
+    std::uint32_t crc;
+};
+static_assert(sizeof(LogControl) == 16);
+
+/** The checksum a control block must carry. */
+inline std::uint32_t
+controlCrc(const LogControl &c)
+{
+    std::uint32_t crc = crc32(&c.tail, sizeof(c.tail));
+    crc = crc32Update(crc, &c.generation, sizeof(c.generation));
+    return crc32Update(crc, &c.active, sizeof(c.active));
+}
+
+/** On-log entry header. */
+struct LogEntry
+{
+    std::uint32_t length;
+    /** crc32 over generation (seed), poolOffset, length, payload. */
+    std::uint32_t crc;
+    std::uint64_t poolOffset;
+};
+static_assert(sizeof(LogEntry) == 16);
+
+/** The checksum an entry with this header and payload must carry. */
+inline std::uint32_t
+entryCrc(const LogEntry &e, std::uint32_t generation,
+         const std::uint8_t *payload)
+{
+    std::uint32_t crc = crc32(&generation, sizeof(generation));
+    crc = crc32Update(crc, &e.poolOffset, sizeof(e.poolOffset));
+    crc = crc32Update(crc, &e.length, sizeof(e.length));
+    return crc32Update(crc, payload, e.length);
+}
+
+/** Read the control block of @p pool's log region. */
+inline LogControl
+readControl(const Pool &pool)
+{
+    LogControl c;
+    pool.backing().read(pool.header().logStart, &c, sizeof(c));
+    return c;
+}
+
+/** Seal @p c with its checksum, write it, and make it durable. */
+inline void
+writeControl(Pool &pool, const LogControl &c)
+{
+    LogControl sealed = c;
+    sealed.crc = controlCrc(sealed);
+    const Bytes at = pool.header().logStart;
+    pool.backing().write(at, &sealed, sizeof(sealed));
+    pool.backing().flush(at, sizeof(sealed));
+    pool.backing().fence();
+}
+
+/** First byte of the entry area. */
+inline Bytes
+entriesStart(const Pool &pool)
+{
+    return pool.header().logStart + sizeof(LogControl);
+}
+
+/** Capacity of the entry area. */
+inline Bytes
+entriesCapacity(const Pool &pool)
+{
+    return pool.header().logSize - sizeof(LogControl);
+}
+
+} // namespace upr::logfmt
+
+#endif // UPR_NVM_LOG_FORMAT_HH

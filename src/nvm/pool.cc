@@ -17,10 +17,18 @@ poolIdentCrc(const PoolHeader &h)
     crc = crc32Update(crc, &h.size, sizeof(h.size));
     crc = crc32Update(crc, &h.arenaStart, sizeof(h.arenaStart));
     crc = crc32Update(crc, &h.logStart, sizeof(h.logStart));
-    return crc32Update(crc, &h.logSize, sizeof(h.logSize));
+    crc = crc32Update(crc, &h.logSize, sizeof(h.logSize));
+    // The engine field joined the identity late; folding it only when
+    // non-zero keeps every undo (engine = 0) image bit-identical to
+    // the pre-engine format while still CRC-protecting redo pools:
+    // a 0 -> nonzero flip changes the input set, a nonzero -> 0 flip
+    // removes it, and both break the checksum.
+    if (h.engine != 0)
+        crc = crc32Update(crc, &h.engine, sizeof(h.engine));
+    return crc;
 }
 
-Pool::Pool(PoolId id, std::string name, Bytes size)
+Pool::Pool(PoolId id, std::string name, Bytes size, EngineKind engine)
     : name_(std::move(name)), backing_(size)
 {
     upr_assert_msg(id != 0, "pool id 0 is reserved");
@@ -50,11 +58,14 @@ Pool::Pool(PoolId id, std::string name, Bytes size)
     h.logStart = kHeaderSize;
     h.logSize = log_size;
     h.arenaStart = roundUp(kHeaderSize + log_size, 16);
+    h.engine = static_cast<std::uint32_t>(engine);
     h.identCrc = poolIdentCrc(h);
     setHeader(h);
     // The log control block carries its own checksum; a fresh pool
     // must be sealed as "no transaction pending" or recovery would
-    // read the zeroed area as media damage.
+    // read the zeroed area as media damage. The sealed empty control
+    // block is engine-independent (both engines share the wire
+    // format), so the undo formatter serves redo pools too.
     Txn::formatLog(*this);
 }
 
@@ -102,6 +113,11 @@ Pool::Pool(std::string name, Backing image)
         throw Fault(FaultKind::CorruptPool,
                     "image '" + name_ + "' has out-of-range root, "
                     "free-list, or usage fields");
+    }
+    if (h.engine > static_cast<std::uint32_t>(EngineKind::Redo)) {
+        throw Fault(FaultKind::CorruptPool,
+                    "image '" + name_ + "' names unknown transaction "
+                    "engine " + std::to_string(h.engine));
     }
     if (h.identCrc != poolIdentCrc(h)) {
         throw Fault(FaultKind::CorruptPool,

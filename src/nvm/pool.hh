@@ -23,6 +23,34 @@ namespace upr
 {
 
 /**
+ * Which transaction engine a pool's log region speaks. Persisted in
+ * the pool header (PoolHeader::engine) so an image always knows how
+ * its log must be parsed; recovery, check/repair, and the crash
+ * sweeps dispatch on it (see nvm/engine.hh).
+ */
+enum class EngineKind : std::uint32_t
+{
+    /** Write-ahead undo log: pre-images logged, rollback on crash. */
+    Undo = 0,
+    /**
+     * Redo journal: new-values staged in DRAM, journaled at commit,
+     * replayed forward on crash (supports group commit).
+     */
+    Redo = 1,
+};
+
+/** Stable printable name of an engine kind. */
+inline const char *
+engineKindName(EngineKind kind)
+{
+    switch (kind) {
+      case EngineKind::Undo: return "undo";
+      case EngineKind::Redo: return "redo";
+    }
+    return "unknown";
+}
+
+/**
  * Persistent pool header, stored at offset 0 of the pool backing.
  * All members are fixed-width and offset-based (no virtual addresses).
  */
@@ -59,7 +87,15 @@ struct PoolHeader
      * damage, localized to the header.
      */
     std::uint32_t identCrc;
-    std::uint32_t pad;           //!< reserved; keeps 8-byte alignment
+    /**
+     * Transaction engine of the log region (EngineKind value; was a
+     * reserved pad, so every pre-engine image reads back as Undo).
+     * Folded into identCrc only when non-zero: undo images stay
+     * bit-identical to the pre-engine format, while a redo pool's
+     * engine field is CRC-protected — a flip in either direction
+     * breaks the identity checksum.
+     */
+    std::uint32_t engine;
 };
 
 static_assert(sizeof(PoolHeader) == 80);
@@ -88,8 +124,10 @@ class Pool
      * @param id pool ID assigned by the manager (non-zero)
      * @param name user-visible pool name
      * @param size total size in bytes (header + log + arena)
+     * @param engine transaction engine the pool's log region speaks
      */
-    Pool(PoolId id, std::string name, Bytes size);
+    Pool(PoolId id, std::string name, Bytes size,
+         EngineKind engine = EngineKind::Undo);
 
     /**
      * Adopt an existing image (reopen path). The header is fully
@@ -116,6 +154,12 @@ class Pool
     PoolOffset rootOff() const
     {
         return static_cast<PoolOffset>(header().rootOff);
+    }
+
+    /** Transaction engine of the pool's log region. */
+    EngineKind engineKind() const
+    {
+        return static_cast<EngineKind>(header().engine);
     }
 
     /** Set the root object offset. */

@@ -1,11 +1,13 @@
 #include "nvm/pool_check.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <optional>
 #include <utility>
 
 #include "common/fault.hh"
 #include "faultinject/fault_stats.hh"
+#include "nvm/engine.hh"
 #include "nvm/pool.hh"
 #include "nvm/pool_allocator.hh"
 #include "obs/trace_ring.hh"
@@ -50,6 +52,8 @@ geometryProblem(const PoolHeader &h, Bytes image_size)
         h.logStart + h.logSize > h.arenaStart ||
         h.arenaStart % 16 != 0 || h.arenaStart >= h.size)
         return "corrupt log/arena geometry";
+    if (h.engine > static_cast<std::uint32_t>(EngineKind::Redo))
+        return "unknown transaction engine " + std::to_string(h.engine);
     return "";
 }
 
@@ -59,6 +63,54 @@ addIssue(CheckReport &rep, const char *component, std::string what,
 {
     rep.issues.push_back(
         CheckIssue{component, std::move(what), repairable, repaired});
+}
+
+/**
+ * Census of pool IDs embedded in the image's own relative pointers.
+ * The header's poolId field has no legal-value constraint a geometry
+ * check could enforce, but the pool *contents* carry independent
+ * copies: every stored relative pointer (bit 63 set) embeds the
+ * 31-bit id of the pool it was stored into (bits 62..32 — the fixed
+ * on-media representation the whole design is built on). Collects the
+ * distinct ids found in aligned words of allocated payloads, capped
+ * at a handful. Defensive walk: the arena may be mid-transaction, so
+ * any inconsistent boundary tag ends the scan with whatever was
+ * gathered so far.
+ */
+std::vector<std::uint32_t>
+interiorPoolIdCensus(const Backing &img, const PoolHeader &h)
+{
+    constexpr std::size_t kMaxDistinct = 8;
+    std::vector<std::uint32_t> ids;
+    Bytes b = h.arenaStart + 8;
+    while (b + PoolAllocator::kMinBlock <= h.size) {
+        std::uint64_t tag;
+        img.read(b, &tag, sizeof(tag));
+        const Bytes size = tag & ~std::uint64_t{1};
+        if (size < PoolAllocator::kMinBlock || size % 8 != 0 ||
+            b + size > h.size)
+            break;
+        if ((tag & 1) != 0) {
+            const Bytes payload = b + PoolAllocator::kHeaderBytes;
+            const Bytes end = b + size - PoolAllocator::kFooterBytes;
+            for (Bytes w = payload; w + 8 <= end; w += 8) {
+                std::uint64_t word;
+                img.read(w, &word, sizeof(word));
+                if ((word >> 63) == 0)
+                    continue;
+                const auto id = static_cast<std::uint32_t>(
+                    (word >> 32) & 0x7FFF'FFFFu);
+                if (id == 0 ||
+                    std::find(ids.begin(), ids.end(), id) != ids.end())
+                    continue;
+                if (ids.size() == kMaxDistinct)
+                    return ids;
+                ids.push_back(id);
+            }
+        }
+        b += size;
+    }
+    return ids;
 }
 
 /** rootOff must name a byte inside some allocated block's payload. */
@@ -104,16 +156,19 @@ CheckReport::toJson() const
         first = false;
     }
     out += first ? "],\n" : "\n  ],\n";
-    char buf[160];
+    char buf[224];
     std::snprintf(buf, sizeof(buf),
+                  "  \"engine\": \"%s\",\n"
                   "  \"log\": {\"active\": %s, \"entries\": %zu, "
                   "\"discardedBytes\": %llu, \"lostCommitted\": %s, "
-                  "\"controlDamaged\": %s}\n}",
+                  "\"controlDamaged\": %s, \"generation\": %lu}\n}",
+                  engineKindName(engine),
                   recovery.logActive ? "true" : "false",
                   recovery.entriesReplayed,
                   (unsigned long long)recovery.bytesDiscarded,
                   recovery.lostCommittedEntries ? "true" : "false",
-                  recovery.controlDamaged ? "true" : "false");
+                  recovery.controlDamaged ? "true" : "false",
+                  (unsigned long)recovery.generation);
     out += buf;
     out += "\n";
     return out;
@@ -174,10 +229,70 @@ checkPool(Backing &image, bool repair)
             }
         }
         if (!proven) {
+            // The engine field has only two legal values: try the
+            // other one (and, for a bit-flipped field, both).
+            for (std::uint32_t cand = 0;
+                 cand <= static_cast<std::uint32_t>(EngineKind::Redo);
+                 ++cand) {
+                if (cand == h.engine)
+                    continue;
+                fixed = h;
+                fixed.engine = cand;
+                if (poolIdentCrc(fixed) == h.identCrc) {
+                    what = std::string("engine field damaged (restore "
+                                       "to ") +
+                           engineKindName(
+                               static_cast<EngineKind>(cand)) +
+                           " proven by identity CRC)";
+                    proven = true;
+                    break;
+                }
+            }
+        }
+        // The remaining suspects are poolId and the CRC field itself,
+        // and geometry cannot arbitrate between them: poolId has no
+        // legal-value constraint. The pool's own contents break the
+        // tie — stored relative pointers embed the id (the census
+        // below), and a restore from that witness must still be
+        // proven by the stored CRC revalidating.
+        const bool walkable = h.size == scratch.size() &&
+                              h.arenaStart >= sizeof(PoolHeader) &&
+                              h.arenaStart % 16 == 0 &&
+                              h.arenaStart < h.size;
+        const std::vector<std::uint32_t> census =
+            !proven && walkable ? interiorPoolIdCensus(scratch, h)
+                                : std::vector<std::uint32_t>{};
+        if (!proven) {
+            for (std::uint32_t cand : census) {
+                if (cand == h.poolId)
+                    continue;
+                fixed = h;
+                fixed.poolId = cand;
+                if (poolIdentCrc(fixed) == h.identCrc) {
+                    what = "pool id damaged (restore to " +
+                           std::to_string(cand) +
+                           " proven by identity CRC + interior "
+                           "relative pointers)";
+                    proven = true;
+                    break;
+                }
+            }
+        }
+        if (!proven) {
             // Maybe the CRC itself took the hit: reseal only when
-            // every identity field independently validates.
+            // every identity field independently validates — and the
+            // interior census does not contradict poolId, which the
+            // geometry checks cannot vouch for. Resealing over a
+            // damaged poolId would serve a pool whose own pointers
+            // name a different pool.
             fixed = h;
-            if (geometryProblem(h, scratch.size()).empty()) {
+            const bool contradicted =
+                std::any_of(census.begin(), census.end(),
+                            [&h](std::uint32_t id) {
+                                return id != h.poolId;
+                            });
+            if (geometryProblem(h, scratch.size()).empty() &&
+                !contradicted) {
                 fixed.identCrc = poolIdentCrc(h);
                 what = "identity CRC damaged (reseal: all identity "
                        "fields validate)";
@@ -237,29 +352,40 @@ checkPool(Backing &image, bool repair)
     }
     Pool &pool = *adopted;
 
-    // ---- Phase 3: undo log --------------------------------------
-    rep.recovery = Txn::analyze(pool);
+    // ---- Phase 3: transaction log (engine-dispatched) -----------
+    const bool redo = pool.engineKind() == EngineKind::Redo;
+    const char *log_comp = redo ? "redo-log" : "undo-log";
+    rep.engine = pool.engineKind();
+    rep.recovery = TxnEngine::analyze(pool);
     if (rep.recovery.controlDamaged) {
-        addIssue(rep, "undo-log",
+        addIssue(rep, log_comp,
                  "log control block fails its checksum: whether a "
                  "transaction was pending is unknowable",
                  false, false);
     } else if (rep.recovery.lostCommittedEntries) {
-        addIssue(rep, "undo-log",
-                 "mid-log entry damaged with committed entries after "
-                 "it: their data writes cannot be rolled back",
+        addIssue(rep, log_comp,
+                 redo ? "committed journal entry damaged before it "
+                        "could be applied: the committed data is "
+                        "unrecoverable"
+                      : "mid-log entry damaged with committed entries "
+                        "after it: their data writes cannot be rolled "
+                        "back",
                  false, false);
     } else if (rep.recovery.logActive) {
-        addIssue(rep, "undo-log", "pending transaction log (replay)",
+        addIssue(rep, log_comp,
+                 redo ? "committed journal pending forward replay"
+                      : "pending transaction log (replay)",
                  true, repair);
     }
     // Scrub on the scratch pool either way: the arena checks below
     // need the post-recovery state (a mid-transaction arena is
-    // legitimately torn until its pre-images are restored). With
-    // lostCommittedEntries the rollback is still the best available
-    // state — the verdict is already Corrupt.
+    // legitimately torn until the undo pre-images are restored — or,
+    // for redo, until the committed journal finishes applying). With
+    // lostCommittedEntries the undo rollback is still the best
+    // available state, while the redo engine refuses to touch the
+    // image (forensics) — either way the verdict is already Corrupt.
     if (rep.recovery.logActive)
-        Txn::recoverEx(pool);
+        TxnEngine::recoverEx(pool);
 
     // ---- Phase 4: allocator arena -------------------------------
     PoolAllocator alloc(pool);

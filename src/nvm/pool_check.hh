@@ -73,8 +73,10 @@ struct CheckReport
 {
     CheckStatus status = CheckStatus::Clean;
     std::vector<CheckIssue> issues;
-    /** Undo-log classification (valid whenever the header parsed). */
+    /** Log classification (valid whenever the header parsed). */
     Txn::RecoveryReport recovery;
+    /** Transaction engine the (vetted) header names. */
+    EngineKind engine = EngineKind::Undo;
 
     /** True if any issue has no proven repair. */
     bool corrupt() const { return status == CheckStatus::Corrupt; }

@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "faultinject/fault_stats.hh"
 #include "faultinject/transient.hh"
+#include "nvm/engine.hh"
 #include "nvm/txn.hh"
 #include "obs/trace_ring.hh"
 
@@ -114,7 +115,8 @@ PoolManager::placeRange(Bytes size)
 }
 
 PoolId
-PoolManager::createPool(const std::string &name, Bytes size)
+PoolManager::createPool(const std::string &name, Bytes size,
+                        EngineKind engine)
 {
     if (byName_.count(name)) {
         throw Fault(FaultKind::BadUsage,
@@ -122,7 +124,7 @@ PoolManager::createPool(const std::string &name, Bytes size)
     }
     const PoolId id = nextId_++;
     Entry entry;
-    entry.pool = std::make_unique<Pool>(id, name, size);
+    entry.pool = std::make_unique<Pool>(id, name, size, engine);
     entry.allocator = std::make_unique<PoolAllocator>(*entry.pool);
     entry.allocator->format();
     pools_.emplace(id, std::move(entry));
@@ -428,12 +430,12 @@ PoolManager::adoptImage(Backing image, const std::string &name)
     // Crash recovery before the pool is reachable: an image saved
     // mid-transaction rolls back to its last consistent state here.
     const auto t0 = std::chrono::steady_clock::now();
-    const bool rolled_back = Txn::recover(*loaded);
+    const bool rolled_back = TxnEngine::recover(*loaded);
     recoverNs_.record(hostNsSince(t0));
     if (rolled_back) {
-        upr_warn("pool '%s': image carried an active undo log; "
-                 "rolled back to the last committed state",
-                 name.c_str());
+        upr_warn("pool '%s': image carried pending %s-log recovery "
+                 "work; restored the last committed state",
+                 name.c_str(), engineKindName(loaded->engineKind()));
     }
     const PoolId id = registerAdopted(std::move(loaded), name, false);
     obs::traceEvent(obs::EventKind::PoolAdopt, id, rolled_back);
@@ -483,8 +485,9 @@ PoolManager::openResilient(Backing image, const std::string &name,
         r.check.status == CheckStatus::Repaired) {
         bool non_log_issue = false;
         for (const CheckIssue &i : r.check.issues)
-            non_log_issue =
-                non_log_issue || i.component != "undo-log";
+            non_log_issue = non_log_issue ||
+                            (i.component != "undo-log" &&
+                             i.component != "redo-log");
         const PoolId id = adoptImage(std::move(image), name);
         r.id = id;
         r.outcome = r.check.issues.empty()

@@ -113,10 +113,13 @@ class PoolManager
     PoolManager &operator=(const PoolManager &) = delete;
 
     /**
-     * Create a new pool, format its allocator, and attach it.
+     * Create a new pool, format its allocator, and attach it. The
+     * transaction engine is branded into the header for the pool's
+     * lifetime (see EngineKind).
      * @return the new pool's ID
      */
-    PoolId createPool(const std::string &name, Bytes size);
+    PoolId createPool(const std::string &name, Bytes size,
+                      EngineKind engine = EngineKind::Undo);
 
     /** Re-attach a known (detached) pool by name at a fresh VA. */
     PoolId openPool(const std::string &name);

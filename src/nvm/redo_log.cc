@@ -1,0 +1,394 @@
+#include "nvm/redo_log.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/fault.hh"
+#include "common/logging.hh"
+#include "nvm/log_format.hh"
+#include "nvm/txn_stats.hh"
+#include "obs/trace_ring.hh"
+
+namespace upr
+{
+
+namespace
+{
+
+using logfmt::LogControl;
+using logfmt::LogEntry;
+using logfmt::controlCrc;
+using logfmt::entriesCapacity;
+using logfmt::entriesStart;
+using logfmt::entryCrc;
+using logfmt::readControl;
+
+/** This pool's log region speaks redo, or the caller is lost. */
+void
+requireRedo(const Pool &pool)
+{
+    if (pool.engineKind() != EngineKind::Redo) {
+        throw Fault(FaultKind::EngineMismatch,
+                    "pool '" + pool.name() + "' uses the " +
+                    engineKindName(pool.engineKind()) +
+                    " engine; its log region cannot be driven by the "
+                    "redo path");
+    }
+}
+
+/** One coalesced contiguous run of staged bytes. */
+struct Run
+{
+    Bytes off;
+    std::vector<std::uint8_t> bytes;
+};
+
+/** Coalesce the sparse staged byte map into contiguous runs. */
+std::vector<Run>
+coalesce(const std::map<Bytes, std::uint8_t> &staged)
+{
+    std::vector<Run> runs;
+    for (const auto &[off, v] : staged) {
+        if (!runs.empty() &&
+            off == runs.back().off + runs.back().bytes.size()) {
+            runs.back().bytes.push_back(v);
+        } else {
+            runs.push_back({off, {v}});
+        }
+    }
+    return runs;
+}
+
+/**
+ * The four-fence commit protocol: journal the runs, publish the
+ * committed control block, apply in place, truncate. See the ordering
+ * diagram in redo_log.hh for why each fence is where it is.
+ */
+void
+journalAndApply(Pool &pool, const std::vector<Run> &runs)
+{
+    Bytes need = 0;
+    for (const Run &r : runs)
+        need += sizeof(LogEntry) + r.bytes.size();
+    if (need > entriesCapacity(pool)) {
+        throw Fault(FaultKind::PoolFull,
+                    "redo journal of pool '" + pool.name() +
+                    "' cannot hold the staged batch");
+    }
+
+    TxnStats &st = TxnStats::instance();
+    LogControl c = readControl(pool);
+    // Entries are sealed under the generation the committed control
+    // block will carry; entries of earlier commits left on the media
+    // beyond the new tail no longer checksum and cannot alias.
+    const std::uint32_t gen = c.generation + 1;
+
+    // Phase 1: journal. writeThrough, not write — the caller's stage
+    // may still be installed, and the journal must reach the media.
+    Bytes cursor = 0;
+    for (const Run &r : runs) {
+        LogEntry e;
+        e.length = static_cast<std::uint32_t>(r.bytes.size());
+        e.poolOffset = r.off;
+        e.crc = entryCrc(e, gen, r.bytes.data());
+        const Bytes at = entriesStart(pool) + cursor;
+        pool.backing().writeThrough(at, &e, sizeof(e));
+        pool.backing().writeThrough(at + sizeof(e), r.bytes.data(),
+                                    r.bytes.size());
+        pool.backing().flush(at, sizeof(e) + r.bytes.size());
+        st.redoFlushes.add(1);
+        cursor += sizeof(e) + r.bytes.size();
+    }
+    pool.backing().fence(); // (1) journal durable
+    st.redoFences.add(1);
+
+    // Phase 2: publish. One cache line, written atomically: after
+    // this fence the batch is committed; before it, the control block
+    // on media is still idle and the journal tail is dead bytes.
+    c.tail = static_cast<std::uint32_t>(cursor);
+    c.generation = gen;
+    c.active = 1;
+    logfmt::writeControl(pool, c); // (2) the atomic commit point
+    st.redoFlushes.add(1);
+    st.redoFences.add(1);
+    obs::traceEvent(obs::EventKind::RedoCommit, pool.id(),
+                    runs.size());
+
+    // Phase 3: apply the new values in place.
+    for (const Run &r : runs) {
+        pool.backing().writeThrough(r.off, r.bytes.data(),
+                                    r.bytes.size());
+        pool.backing().flush(r.off, r.bytes.size());
+        st.redoFlushes.add(1);
+    }
+    pool.backing().fence(); // (3) applied data durable
+    st.redoFences.add(1);
+
+    // Phase 4: eager truncation — the journal has served its purpose,
+    // and an idle control block keeps recovery a no-op.
+    c.tail = 0;
+    c.active = 0;
+    logfmt::writeControl(pool, c); // (4)
+    st.redoFlushes.add(1);
+    st.redoFences.add(1);
+}
+
+/**
+ * Walk a committed journal and return the entry-area offsets of the
+ * entries that verify (well-formed length, in-pool target, matching
+ * generation-seeded checksum), stopping at the first invalid one.
+ */
+std::vector<Bytes>
+validEntries(const Pool &pool, const LogControl &c, Bytes *end_cursor)
+{
+    std::vector<Bytes> entries;
+    Bytes tail = c.tail;
+    if (tail > entriesCapacity(pool)) {
+        upr_warn("pool '%s': redo-journal tail %llu exceeds capacity "
+                 "%llu; clamping", pool.name().c_str(),
+                 (unsigned long long)tail,
+                 (unsigned long long)entriesCapacity(pool));
+        tail = entriesCapacity(pool);
+    }
+
+    Bytes cursor = 0;
+    while (cursor + sizeof(LogEntry) <= tail) {
+        const Bytes at = entriesStart(pool) + cursor;
+        LogEntry e;
+        pool.backing().read(at, &e, sizeof(e));
+        if (e.length == 0 ||
+            cursor + sizeof(LogEntry) + e.length > tail) {
+            upr_warn("pool '%s': malformed redo entry at journal "
+                     "offset %llu (length %u)", pool.name().c_str(),
+                     (unsigned long long)cursor, e.length);
+            break;
+        }
+        if (e.poolOffset > pool.size() ||
+            e.length > pool.size() - e.poolOffset) {
+            upr_warn("pool '%s': redo entry at journal offset %llu "
+                     "names out-of-pool range [%llu,+%u)",
+                     pool.name().c_str(), (unsigned long long)cursor,
+                     (unsigned long long)e.poolOffset, e.length);
+            break;
+        }
+        std::vector<std::uint8_t> payload(e.length);
+        pool.backing().read(at + sizeof(e), payload.data(), e.length);
+        if (entryCrc(e, c.generation, payload.data()) != e.crc) {
+            upr_warn("pool '%s': redo entry at journal offset %llu "
+                     "fails its checksum", pool.name().c_str(),
+                     (unsigned long long)cursor);
+            break;
+        }
+        entries.push_back(cursor);
+        cursor += sizeof(LogEntry) + e.length;
+    }
+    if (end_cursor)
+        *end_cursor = cursor;
+    return entries;
+}
+
+/** Classify the journal; shared by analyze() and recoverEx(). */
+Txn::RecoveryReport
+classifyJournal(const Pool &pool, const LogControl &c,
+                std::vector<Bytes> *entries_out)
+{
+    Txn::RecoveryReport r;
+    if (c.crc != controlCrc(c)) {
+        r.controlDamaged = true;
+        return r;
+    }
+    r.generation = c.generation;
+    r.logActive = c.active != 0;
+    if (!r.logActive)
+        return r;
+    Bytes end = 0;
+    std::vector<Bytes> entries = validEntries(pool, c, &end);
+    const Bytes tail = std::min<Bytes>(c.tail, entriesCapacity(pool));
+    r.entriesReplayed = entries.size();
+    r.bytesDiscarded = tail > end ? tail - end : 0;
+    // A committed journal admits no torn tail: every entry was fenced
+    // before the control block could publish the commit, so *any*
+    // shortfall is media damage and the committed data it carried is
+    // lost — unlike the undo engine, no byte-probe resync is needed
+    // to prove it.
+    r.lostCommittedEntries = r.bytesDiscarded > 0;
+    if (entries_out)
+        *entries_out = std::move(entries);
+    return r;
+}
+
+/** Replay @p entries forward in commit order and truncate. */
+void
+replayForward(Pool &pool, const std::vector<Bytes> &entries)
+{
+    TxnStats &st = TxnStats::instance();
+    for (Bytes off : entries) {
+        LogEntry e;
+        const Bytes at = entriesStart(pool) + off;
+        pool.backing().read(at, &e, sizeof(e));
+        std::vector<std::uint8_t> payload(e.length);
+        pool.backing().read(at + sizeof(e), payload.data(), e.length);
+        pool.backing().write(e.poolOffset, payload.data(), e.length);
+        pool.backing().flush(e.poolOffset, e.length);
+        st.redoFlushes.add(1);
+    }
+    pool.backing().fence();
+    st.redoFences.add(1);
+
+    LogControl done = readControl(pool);
+    done.active = 0;
+    done.tail = 0;
+    logfmt::writeControl(pool, done);
+    st.redoFlushes.add(1);
+    st.redoFences.add(1);
+    obs::traceEvent(obs::EventKind::RedoApply, pool.id(),
+                    entries.size());
+    obs::traceEvent(obs::EventKind::RecoveryApplied, entries.size(),
+                    1);
+}
+
+} // namespace
+
+RedoBatch::RedoBatch(Pool &pool) : pool_(pool)
+{
+    requireRedo(pool_);
+    txnStage_.under = &batchStage_;
+}
+
+RedoBatch::~RedoBatch()
+{
+    // Unflushed state is DRAM only; dropping it is abort semantics
+    // and needs no media writes — just release the staging slot.
+    if (txnOpen_ || batchInstalled_)
+        pool_.backing().setWriteStage(nullptr);
+}
+
+void
+RedoBatch::begin()
+{
+    if (txnOpen_) {
+        throw Fault(FaultKind::BadUsage,
+                    "pool '" + pool_.name() +
+                    "' already has an open redo transaction");
+    }
+    if (batchInstalled_) {
+        pool_.backing().setWriteStage(nullptr);
+        batchInstalled_ = false;
+    }
+    txnStage_.bytes.clear();
+    // Throws BadUsage if some other stage holds the slot (a second
+    // RedoBatch on the same pool — the double-begin guard).
+    pool_.backing().setWriteStage(&txnStage_);
+    txnOpen_ = true;
+    obs::traceEvent(obs::EventKind::TxnBegin, pool_.id());
+}
+
+void
+RedoBatch::commit()
+{
+    upr_assert_msg(txnOpen_, "redo commit without an open transaction");
+    pool_.backing().setWriteStage(nullptr);
+    for (const auto &[off, v] : txnStage_.bytes)
+        batchStage_.bytes[off] = v;
+    txnStage_.bytes.clear();
+    txnOpen_ = false;
+    ++pending_;
+    // Keep capturing *every* pool write while the batch is pending:
+    // a direct write reaching the media ahead of the still-volatile
+    // batch would invert write ordering across a crash.
+    pool_.backing().setWriteStage(&batchStage_);
+    batchInstalled_ = true;
+    TxnStats::instance().redoCommits.add(1);
+    obs::traceEvent(obs::EventKind::TxnCommit, pool_.id(), pending_);
+}
+
+void
+RedoBatch::abort()
+{
+    upr_assert_msg(txnOpen_, "redo abort without an open transaction");
+    pool_.backing().setWriteStage(nullptr);
+    txnStage_.bytes.clear();
+    txnOpen_ = false;
+    if (pending_ > 0 || !batchStage_.bytes.empty()) {
+        pool_.backing().setWriteStage(&batchStage_);
+        batchInstalled_ = true;
+    }
+    obs::traceEvent(obs::EventKind::TxnAbort, pool_.id());
+}
+
+void
+RedoBatch::flush()
+{
+    if (txnOpen_) {
+        throw Fault(FaultKind::BadUsage,
+                    "cannot flush a redo batch while a transaction "
+                    "is open on pool '" + pool_.name() + "'");
+    }
+    if (batchInstalled_) {
+        pool_.backing().setWriteStage(nullptr);
+        batchInstalled_ = false;
+    }
+    const std::size_t txns = pending_;
+    pending_ = 0;
+    if (batchStage_.bytes.empty()) {
+        // Empty transactions stage nothing: their commit is free.
+        obs::traceEvent(obs::EventKind::GroupFlush, pool_.id(), txns);
+        return;
+    }
+    std::vector<Run> runs = coalesce(batchStage_.bytes);
+    try {
+        journalAndApply(pool_, runs);
+    } catch (...) {
+        // Journal overflow (or a quarantine fault) before anything
+        // was published: the staged batch is intact, keep it.
+        pending_ = txns;
+        pool_.backing().setWriteStage(&batchStage_);
+        batchInstalled_ = true;
+        throw;
+    }
+    batchStage_.bytes.clear();
+    TxnStats::instance().groupBatches.add(1);
+    TxnStats::instance().groupTxns.add(txns);
+    obs::traceEvent(obs::EventKind::GroupFlush, pool_.id(), txns);
+}
+
+bool
+RedoLog::isActive(const Pool &pool)
+{
+    return readControl(pool).active != 0;
+}
+
+bool
+RedoLog::recover(Pool &pool)
+{
+    return recoverEx(pool).rolledBack;
+}
+
+Txn::RecoveryReport
+RedoLog::recoverEx(Pool &pool)
+{
+    requireRedo(pool);
+    std::vector<Bytes> entries;
+    Txn::RecoveryReport r =
+        classifyJournal(pool, readControl(pool), &entries);
+    if (!r.logActive || r.controlDamaged)
+        return r;
+    if (r.lostCommittedEntries) {
+        // Media damage inside a committed journal: replaying the
+        // valid prefix would serve a half-applied commit as fact.
+        // Forensic no-touch; the caller quarantines.
+        return r;
+    }
+    replayForward(pool, entries);
+    r.rolledBack = true;
+    return r;
+}
+
+Txn::RecoveryReport
+RedoLog::analyze(const Pool &pool)
+{
+    requireRedo(pool);
+    return classifyJournal(pool, readControl(pool), nullptr);
+}
+
+} // namespace upr

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Redo-journal persistent transactions with group commit — the second
+ * transaction engine (EngineKind::Redo), cutting the undo engine's
+ * per-recordWrite fence tax down to a constant number of fences per
+ * commit (and per *batch* under group commit).
+ *
+ * While a redo transaction is open, every pool write is captured in a
+ * DRAM staging buffer (WriteStage, installed on the pool's Backing):
+ * nothing touches the media, so there is nothing a crash could tear —
+ * an uncommitted transaction simply evaporates. Reads overlay the
+ * staged bytes, so a transaction sees its own writes.
+ *
+ * ## Durability ordering (redo discipline)
+ *
+ * Commit coalesces the staged bytes into runs and walks four phases,
+ * each one fence:
+ *
+ *   journal:  new-value entries appended + flushed -> FENCE (1);
+ *   publish:  control block {tail, generation+1, committed} ->
+ *             flush -> FENCE (2)   <- the atomic commit point;
+ *   apply:    runs written in place + flushed -> FENCE (3);
+ *   truncate: control block {0, generation, idle} -> flush ->
+ *             FENCE (4).
+ *
+ * A crash before fence 2 lands on an idle control block: the torn
+ * journal tail is implicitly discarded, exactly as the undo engine
+ * discards a torn entry. A crash after fence 2 finds a committed
+ * journal whose entries are all durable (they were fenced *before*
+ * the control block could publish them), and recovery replays them
+ * forward — idempotently, since entries hold absolute new values.
+ * The corollary recovery relies on: a committed control block next to
+ * any invalid entry is *media damage*, never a torn commit.
+ *
+ * Group commit (RedoBatch) layers a transaction stage over a batch
+ * stage: commit() folds the transaction into the batch (DRAM only, 0
+ * fences), and flush() journals the whole batch through the four
+ * phases above — k batched transactions pay the 4 fences once.
+ * Atomicity coarsens to the batch boundary: a crash either keeps the
+ * whole flushed batch or none of it.
+ *
+ * While a batch holds unflushed transactions, the batch stage stays
+ * installed between transactions so *all* pool writes are captured:
+ * letting a direct write reach the media while logically-earlier
+ * batched transactions are still volatile would invert write
+ * ordering across a crash.
+ */
+
+#ifndef UPR_NVM_REDO_LOG_HH
+#define UPR_NVM_REDO_LOG_HH
+
+#include <cstddef>
+
+#include "common/types.hh"
+#include "mem/backing.hh"
+#include "nvm/pool.hh"
+#include "nvm/txn.hh"
+
+namespace upr
+{
+
+/**
+ * Group-commit handle on one redo pool. Drives both modes: a solo
+ * transaction is simply begin() / writes / commit() / flush(), and a
+ * batch of k is k begin/commit pairs followed by one flush().
+ *
+ * At most one RedoBatch can drive a pool at a time (the staging slot
+ * on the Backing is the lock); destroying the batch discards every
+ * unflushed transaction without touching the media.
+ */
+class RedoBatch
+{
+  public:
+    /**
+     * Bind to @p pool.
+     * @throws Fault{EngineMismatch} unless the pool's engine is Redo
+     */
+    explicit RedoBatch(Pool &pool);
+
+    /** Discards any open transaction and unflushed batch (DRAM only). */
+    ~RedoBatch();
+
+    RedoBatch(const RedoBatch &) = delete;
+    RedoBatch &operator=(const RedoBatch &) = delete;
+
+    /**
+     * Open a transaction: subsequent pool writes are staged in DRAM.
+     * @throws Fault{BadUsage} if a transaction is already open here,
+     *         or another stage is already installed on the backing
+     */
+    void begin();
+
+    /**
+     * Commit the open transaction *into the batch* (DRAM only, zero
+     * fences). Durable only after the next flush().
+     */
+    void commit();
+
+    /** Drop the open transaction's staged writes (batch unaffected). */
+    void abort();
+
+    /**
+     * Make the batch durable: journal + publish + apply + truncate
+     * (the four-fence protocol above). No-op when nothing is staged —
+     * a batch of empty transactions costs zero fences.
+     * @throws Fault{BadUsage} while a transaction is open
+     * @throws Fault{PoolFull} if the staged runs overflow the journal
+     */
+    void flush();
+
+    /** Transactions committed into the batch since the last flush. */
+    std::size_t pendingTxns() const { return pending_; }
+
+    /** True between begin() and commit()/abort(). */
+    bool txnOpen() const { return txnOpen_; }
+
+  private:
+    Pool &pool_;
+    /** Committed-but-unflushed writes of the whole batch. */
+    WriteStage batchStage_;
+    /** Writes of the currently open transaction (over the batch). */
+    WriteStage txnStage_;
+    std::size_t pending_ = 0;
+    bool txnOpen_ = false;
+    /** True while batchStage_ is the stage installed on the backing. */
+    bool batchInstalled_ = false;
+};
+
+/**
+ * Static recovery interface of the redo engine, mirroring the undo
+ * engine's (Txn::recover and friends). Reuses Txn::RecoveryReport;
+ * for redo, `logActive` means "a committed journal awaits forward
+ * replay" and `rolledBack` means "the replay ran".
+ */
+struct RedoLog
+{
+    /** True if @p pool holds a committed, not-yet-applied journal. */
+    static bool isActive(const Pool &pool);
+
+    /**
+     * Replay a committed journal forward and truncate it. Idempotent;
+     * leaves a journal with any invalid entry untouched (that is
+     * media damage — see recoverEx).
+     * @return true if a replay was performed
+     * @throws Fault{EngineMismatch} unless the pool's engine is Redo
+     */
+    static bool recover(Pool &pool);
+
+    /**
+     * recover(), reporting what happened. A committed journal with an
+     * invalid entry reports lostCommittedEntries and is *not* touched:
+     * every entry of a committed journal was fenced before the
+     * control block published it, so the damage is on the media and
+     * the committed data can no longer be applied — the pool must be
+     * quarantined, not served.
+     */
+    static Txn::RecoveryReport recoverEx(Pool &pool);
+
+    /** Dry-run classification; never mutates the pool. */
+    static Txn::RecoveryReport analyze(const Pool &pool);
+};
+
+} // namespace upr
+
+#endif // UPR_NVM_REDO_LOG_HH

@@ -6,6 +6,8 @@
 #include "common/crc32.hh"
 #include "common/fault.hh"
 #include "common/logging.hh"
+#include "nvm/log_format.hh"
+#include "nvm/txn_stats.hh"
 #include "obs/trace_ring.hh"
 
 namespace upr
@@ -14,105 +16,36 @@ namespace upr
 namespace
 {
 
-/**
- * Control block at the start of the log area. Kept *outside* the pool
- * header on purpose: header writes are frequent (allocator metadata)
- * and may be in flight while the undo log appends its own state; a
- * shared struct would let the in-flight header write clobber the
- * log's bookkeeping.
- */
-struct LogControl
-{
-    std::uint32_t tail;        //!< next free byte within the entry area
-    /**
-     * Transaction incarnation counter; bumped at every begin, never
-     * reset. Every entry checksum is seeded with the generation it was
-     * written under, which is what makes stale log bytes detectable:
-     * entries are fenced only together with the control block that
-     * publishes them, so a reordered write-back can pair a fresh
-     * control block (larger tail) with an entry slot whose media
-     * content still holds a *complete, checksummed entry of an earlier
-     * transaction*. Without the generation seed that stale entry
-     * verifies, and recovery restores a pre-image from the wrong
-     * transaction into the arena.
-     */
-    std::uint32_t generation;
-    std::uint32_t active;      //!< non-zero while a txn is open
-    /**
-     * CRC32 over tail+generation+active. The control block is written
-     * atomically (16 bytes, one cache line), so a pure crash always
-     * leaves a consistent block — a CRC mismatch is *media* damage,
-     * which matters because a flipped active bit or a shrunk tail
-     * would otherwise silently skip recovery. A freshly formatted pool
-     * gets a sealed empty control block (Txn::formatLog), so every
-     * legitimate image carries a valid checksum from birth.
-     */
-    std::uint32_t crc;
-};
-static_assert(sizeof(LogControl) == 16);
+// The wire format (control block, entry header, checksum formulas)
+// is shared with the redo engine; see nvm/log_format.hh.
+using logfmt::LogControl;
+using logfmt::LogEntry;
+using logfmt::controlCrc;
+using logfmt::entriesCapacity;
+using logfmt::entriesStart;
+using logfmt::entryCrc;
+using logfmt::readControl;
 
-/** The checksum a control block must carry. */
-std::uint32_t
-controlCrc(const LogControl &c)
-{
-    std::uint32_t crc = crc32(&c.tail, sizeof(c.tail));
-    crc = crc32Update(crc, &c.generation, sizeof(c.generation));
-    return crc32Update(crc, &c.active, sizeof(c.active));
-}
-
-/** On-log entry header. */
-struct LogEntry
-{
-    std::uint32_t length;
-    /** crc32 over generation (seed), poolOffset, length, payload. */
-    std::uint32_t crc;
-    std::uint64_t poolOffset;
-};
-static_assert(sizeof(LogEntry) == 16);
-
-/** The checksum an entry with this header and payload must carry. */
-std::uint32_t
-entryCrc(const LogEntry &e, std::uint32_t generation,
-         const std::uint8_t *payload)
-{
-    std::uint32_t crc = crc32(&generation, sizeof(generation));
-    crc = crc32Update(crc, &e.poolOffset, sizeof(e.poolOffset));
-    crc = crc32Update(crc, &e.length, sizeof(e.length));
-    return crc32Update(crc, payload, e.length);
-}
-
-LogControl
-readControl(const Pool &pool)
-{
-    LogControl c;
-    pool.backing().read(pool.header().logStart, &c, sizeof(c));
-    return c;
-}
-
-/** Write the control block and make it durable. */
+/** Write the control block and make it durable (undo accounting). */
 void
-writeControl(Pool &pool, const LogControl &c)
+putControl(Pool &pool, const LogControl &c)
 {
-    LogControl sealed = c;
-    sealed.crc = controlCrc(sealed);
-    const Bytes at = pool.header().logStart;
-    pool.backing().write(at, &sealed, sizeof(sealed));
-    pool.backing().flush(at, sizeof(sealed));
-    pool.backing().fence();
+    logfmt::writeControl(pool, c);
+    TxnStats::instance().undoFlushes.add(1);
+    TxnStats::instance().undoFences.add(1);
 }
 
-/** First byte of the entry area. */
-Bytes
-entriesStart(const Pool &pool)
+/** This pool's log region speaks undo, or the caller is lost. */
+void
+requireUndo(const Pool &pool)
 {
-    return pool.header().logStart + sizeof(LogControl);
-}
-
-/** Capacity of the entry area. */
-Bytes
-entriesCapacity(const Pool &pool)
-{
-    return pool.header().logSize - sizeof(LogControl);
+    if (pool.engineKind() != EngineKind::Undo) {
+        throw Fault(FaultKind::EngineMismatch,
+                    "pool '" + pool.name() + "' uses the " +
+                    engineKindName(pool.engineKind()) +
+                    " engine; its log region cannot be driven by the "
+                    "undo path");
+    }
 }
 
 /**
@@ -226,15 +159,17 @@ applyEntries(Pool &pool, const std::vector<Bytes> &entries)
         pool.backing().read(at + sizeof(e), pre.data(), e.length);
         pool.backing().write(e.poolOffset, pre.data(), e.length);
         pool.backing().flush(e.poolOffset, e.length);
+        TxnStats::instance().undoFlushes.add(1);
     }
     pool.backing().fence();
+    TxnStats::instance().undoFences.add(1);
 
     LogControl done = readControl(pool);
     obs::traceEvent(obs::EventKind::UndoTruncate, pool.id(),
                     done.tail);
     done.active = 0;
     done.tail = 0;
-    writeControl(pool, done);
+    putControl(pool, done);
     obs::traceEvent(obs::EventKind::RecoveryApplied, entries.size(),
                     1);
 }
@@ -254,6 +189,7 @@ classifyLog(const Pool &pool, const LogControl &c,
         r.controlDamaged = true;
         return r;
     }
+    r.generation = c.generation;
     r.logActive = c.active != 0;
     if (!r.logActive)
         return r;
@@ -274,6 +210,7 @@ classifyLog(const Pool &pool, const LogControl &c,
 
 Txn::Txn(Pool &pool) : pool_(pool)
 {
+    requireUndo(pool_);
     LogControl c = readControl(pool_);
     if (c.active) {
         throw Fault(FaultKind::BadUsage,
@@ -286,7 +223,7 @@ Txn::Txn(Pool &pool) : pool_(pool)
     // no longer checksum under this generation, so recovery cannot
     // mistake them for ours.
     c.generation += 1;
-    writeControl(pool_, c);
+    putControl(pool_, c);
     obs::traceEvent(obs::EventKind::TxnBegin, pool_.id());
 }
 
@@ -327,9 +264,10 @@ Txn::recordWrite(PoolOffset off, Bytes len)
     pool_.backing().write(at, &e, sizeof(e));
     pool_.backing().write(at + sizeof(e), pre.data(), len);
     pool_.backing().flush(at, need);
+    TxnStats::instance().undoFlushes.add(1);
 
     c.tail += static_cast<std::uint32_t>(need);
-    writeControl(pool_, c); // flushes + fences control (and entry)
+    putControl(pool_, c); // flushes + fences control (and entry)
 
     dirty_.emplace_back(off, len);
 }
@@ -340,15 +278,19 @@ Txn::commit()
     upr_assert_msg(!closed_, "double commit");
     // Committed data must be durable before the log that could undo
     // it disappears.
-    for (const auto &[off, len] : dirty_)
+    for (const auto &[off, len] : dirty_) {
         pool_.backing().flush(off, len);
+        TxnStats::instance().undoFlushes.add(1);
+    }
     pool_.backing().fence();
+    TxnStats::instance().undoFences.add(1);
 
     LogControl c = readControl(pool_);
     obs::traceEvent(obs::EventKind::UndoTruncate, pool_.id(), c.tail);
     c.active = 0;
     c.tail = 0;
-    writeControl(pool_, c);
+    putControl(pool_, c);
+    TxnStats::instance().undoCommits.add(1);
     obs::traceEvent(obs::EventKind::TxnCommit, pool_.id(),
                     dirty_.size());
     closed_ = true;
@@ -374,12 +316,13 @@ Txn::isActive(const Pool &pool)
 void
 Txn::formatLog(Pool &pool)
 {
-    writeControl(pool, LogControl{});
+    putControl(pool, LogControl{});
 }
 
 bool
 Txn::recover(Pool &pool)
 {
+    requireUndo(pool);
     if (!isActive(pool))
         return false;
     rollback(pool);
@@ -389,6 +332,7 @@ Txn::recover(Pool &pool)
 Txn::RecoveryReport
 Txn::recoverEx(Pool &pool)
 {
+    requireUndo(pool);
     std::vector<Bytes> entries;
     RecoveryReport r = classifyLog(pool, readControl(pool), &entries);
     if (!r.logActive)
@@ -401,6 +345,7 @@ Txn::recoverEx(Pool &pool)
 Txn::RecoveryReport
 Txn::analyze(const Pool &pool)
 {
+    requireUndo(pool);
     return classifyLog(pool, readControl(pool), nullptr);
 }
 

@@ -55,6 +55,8 @@ class Txn
     /**
      * Open a transaction on @p pool.
      * @throws Fault{BadUsage} if one is already active on the pool
+     * @throws Fault{EngineMismatch} if the pool's log region speaks a
+     *         different engine (see RedoBatch for redo pools)
      */
     explicit Txn(Pool &pool);
 
@@ -105,6 +107,12 @@ class Txn
     {
         bool logActive = false;     //!< an uncommitted log was present
         bool rolledBack = false;    //!< undo entries were applied
+        /**
+         * Log-control generation (transaction incarnation counter) at
+         * recovery time; 0 when the control block is damaged. Shared
+         * with the redo engine, whose reports reuse this struct.
+         */
+        std::uint32_t generation = 0;
         std::size_t entriesReplayed = 0;
         Bytes bytesDiscarded = 0;   //!< log bytes after the last valid entry
         /** CRC-valid entries inside the discarded region (see above). */

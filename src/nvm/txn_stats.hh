@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The process-wide "txn" metrics group: every flush and fence either
+ * transaction engine issues is tallied per engine, and the metrics
+ * registry exports them ("txn.undoFences", "txn.redoFences", ...)
+ * next to the machine, crash, and fault groups.
+ *
+ * These are the counters the fence-accounting model in
+ * docs/CRASH_CONSISTENCY.md is tested against: an undo transaction
+ * with k recorded writes pays k+3 fences; a solo redo commit with r
+ * coalesced runs pays 4; a group-commit batch of B transactions pays
+ * 4 for the whole batch.
+ *
+ * Header-only singleton for the same reason as FaultStats: emitters
+ * live in upr_nvm (txn.cc, redo_log.cc) and consumers in tests and
+ * bench, and lazy construction keeps the group out of the metrics
+ * registry — and out of every existing golden — until a transaction
+ * actually runs.
+ */
+
+#ifndef UPR_NVM_TXN_STATS_HH
+#define UPR_NVM_TXN_STATS_HH
+
+#include "common/stats.hh"
+#include "obs/metrics.hh"
+
+namespace upr
+{
+
+/** Counters of the transaction engines. */
+class TxnStats
+{
+  public:
+    static TxnStats &
+    instance()
+    {
+        static TxnStats s;
+        return s;
+    }
+
+    Counter undoCommits;  //!< undo transactions committed
+    Counter undoFlushes;  //!< flush() calls issued by the undo engine
+    Counter undoFences;   //!< fence() calls issued by the undo engine
+    Counter redoCommits;  //!< redo transactions committed
+    Counter redoFlushes;  //!< flush() calls issued by the redo engine
+    Counter redoFences;   //!< fence() calls issued by the redo engine
+    Counter groupBatches; //!< group-commit batches flushed to media
+    Counter groupTxns;    //!< transactions committed via group commit
+
+    StatGroup &group() { return group_; }
+
+    /** Zero everything (bench sections, test isolation). */
+    void resetAll() { group_.resetAll(); }
+
+  private:
+    TxnStats() : group_("txn"), registration_(group_)
+    {
+        group_.registerCounter("undoCommits", undoCommits,
+                               "undo transactions committed");
+        group_.registerCounter("undoFlushes", undoFlushes,
+                               "flushes issued by the undo engine");
+        group_.registerCounter("undoFences", undoFences,
+                               "fences issued by the undo engine");
+        group_.registerCounter("redoCommits", redoCommits,
+                               "redo transactions committed");
+        group_.registerCounter("redoFlushes", redoFlushes,
+                               "flushes issued by the redo engine");
+        group_.registerCounter("redoFences", redoFences,
+                               "fences issued by the redo engine");
+        group_.registerCounter("groupBatches", groupBatches,
+                               "group-commit batches flushed");
+        group_.registerCounter("groupTxns", groupTxns,
+                               "transactions committed via group commit");
+    }
+
+    StatGroup group_;
+    obs::ScopedMetricsGroup registration_;
+};
+
+} // namespace upr
+
+#endif // UPR_NVM_TXN_STATS_HH

@@ -57,6 +57,9 @@ enum class EventKind : std::uint32_t
     PoolQuarantine,   //!< a=pool id
     PoolRepair,       //!< a=pool id, b=issues repaired
     OpenRetry,        //!< a=retry number, b=backoff "ns" (simulated)
+    RedoCommit,       //!< a=pool id, b=journal runs written
+    RedoApply,        //!< a=pool id, b=entries replayed forward
+    GroupFlush,       //!< a=pool id, b=transactions in the batch
 };
 
 /** Printable kind name (stable identifiers for exports and tests). */
@@ -80,6 +83,9 @@ eventKindName(EventKind k)
       case EventKind::PoolQuarantine:  return "pool-quarantine";
       case EventKind::PoolRepair:      return "pool-repair";
       case EventKind::OpenRetry:       return "open-retry";
+      case EventKind::RedoCommit:      return "redo-commit";
+      case EventKind::RedoApply:       return "redo-apply";
+      case EventKind::GroupFlush:      return "group-flush";
     }
     return "unknown";
 }

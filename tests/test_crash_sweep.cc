@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 
@@ -78,16 +79,20 @@ sweepConfig()
 
 /**
  * Build the store, open the crash window, and run every op in its own
- * transaction. @p committed reports how many ops had durably
- * committed when the crash hit.
+ * transaction (under @p engine; @p group > 1 batches redo commits).
+ * @p committed reports how many ops had committed when the crash hit
+ * — with group commit, commits beyond the last flushed batch are
+ * volatile by design.
  */
 void
-runWorkload(CrashInjector &injector, std::size_t &committed)
+runWorkload(CrashInjector &injector, std::size_t &committed,
+            EngineKind engine, unsigned group)
 {
     committed = 0;
     Runtime rt(sweepConfig());
     RuntimeScope scope(rt);
-    const PoolId pool = rt.createPool("sweep", 1 << 20);
+    const PoolId pool = rt.createPool("sweep", 1 << 20, engine);
+    rt.setGroupCommitSize(group);
     MemEnv env = MemEnv::persistentEnv(rt, pool);
     KvStore<Tree> store(env);
     rt.pools().pool(pool).setRootOff(static_cast<PoolOffset>(
@@ -120,7 +125,7 @@ runWorkload(CrashInjector &injector, std::size_t &committed)
  */
 void
 validateImage(Pool &recovered, std::size_t committed,
-              std::uint64_t crashPoint)
+              std::uint64_t crashPoint, unsigned group)
 {
     Backing image;
     image.assign(recovered.backing().raw());
@@ -143,12 +148,29 @@ validateImage(Pool &recovered, std::size_t committed,
         actual.emplace(k, v);
     });
 
-    const auto before = referenceState(committed);
-    const auto after = referenceState(committed + 1);
+    if (group <= 1) {
+        const auto before = referenceState(committed);
+        const auto after = referenceState(committed + 1);
+        EXPECT_TRUE(actual == before || actual == after)
+            << "crash point " << crashPoint
+            << ": state matches neither " << committed << " nor "
+            << (committed + 1) << " committed ops (actual size "
+            << actual.size() << ")";
+        return;
+    }
+    // Group commit coarsens atomicity to the batch boundary: the
+    // durable state is the last flushed batch, or — if the crash hit
+    // mid-flush — the one being flushed, and never anything between.
+    const std::size_t floor_batch = committed - committed % group;
+    const std::size_t next_batch =
+        std::min(floor_batch + group, ops().size());
+    const auto before = referenceState(floor_batch);
+    const auto after = referenceState(next_batch);
     EXPECT_TRUE(actual == before || actual == after)
-        << "crash point " << crashPoint << ": state matches neither "
-        << committed << " nor " << (committed + 1)
-        << " committed ops (actual size " << actual.size() << ")";
+        << "crash point " << crashPoint
+        << ": state matches neither batch boundary " << floor_batch
+        << " nor " << next_batch << " (committed " << committed
+        << ", actual size " << actual.size() << ")";
 }
 
 /**
@@ -170,7 +192,8 @@ class QuietWarnings
 };
 
 void
-runSweep(CrashMode mode)
+runSweep(CrashMode mode, EngineKind engine = EngineKind::Undo,
+         unsigned group = 1)
 {
     QuietWarnings quiet;
     std::size_t committed = 0;
@@ -179,17 +202,28 @@ runSweep(CrashMode mode)
     cfg.seed = 99;
 
     const CrashSweepResult result = crashSweep(
-        [&committed](CrashInjector &inj) { runWorkload(inj, committed); },
-        [&committed](Pool &pool, std::uint64_t n, bool) {
-            validateImage(pool, committed, n);
+        [&committed, engine, group](CrashInjector &inj) {
+            runWorkload(inj, committed, engine, group);
+        },
+        [&committed, group](Pool &pool, std::uint64_t n, bool) {
+            validateImage(pool, committed, n, group);
         },
         cfg);
 
-    // The acceptance bar: hundreds of distinct crash points, and the
-    // sweep exercised both recovery paths (active log rolled back,
-    // and between-transaction clean images).
-    EXPECT_GT(result.crashPoints, 200u);
-    EXPECT_GT(result.rollbacks, 0u);
+    if (engine == EngineKind::Undo) {
+        // The acceptance bar: hundreds of distinct crash points, and
+        // the sweep exercised both recovery paths (active log rolled
+        // back, and between-transaction clean images).
+        EXPECT_GT(result.crashPoints, 200u);
+        EXPECT_GT(result.rollbacks, 0u);
+    } else {
+        // Redo stages writes in DRAM, so its persistence-event stream
+        // is far shorter (only the journal flush sequence) — but the
+        // sweep must still catch images mid-commit (a committed
+        // journal replayed forward) and between commits.
+        EXPECT_GT(result.crashPoints, 20u);
+        EXPECT_GT(result.rollbacks, 0u);
+    }
     EXPECT_GT(result.cleanImages, 0u);
 }
 
@@ -213,6 +247,52 @@ TEST(CrashSweep, EveryCrashPointRecoversRetainEpoch)
 TEST(CrashSweep, EveryCrashPointRecoversRetainBoundedStale)
 {
     runSweep(CrashMode::RetainBoundedStale);
+}
+
+// Same four schedules against the redo engine: journal committed at
+// the control-block publish, replayed forward on recovery.
+
+TEST(CrashSweepRedo, EveryCrashPointRecoversDiscardUnfenced)
+{
+    runSweep(CrashMode::DiscardUnfenced, EngineKind::Redo);
+}
+
+TEST(CrashSweepRedo, EveryCrashPointRecoversRetainRandom)
+{
+    runSweep(CrashMode::RetainRandom, EngineKind::Redo);
+}
+
+TEST(CrashSweepRedo, EveryCrashPointRecoversRetainEpoch)
+{
+    runSweep(CrashMode::RetainEpoch, EngineKind::Redo);
+}
+
+TEST(CrashSweepRedo, EveryCrashPointRecoversRetainBoundedStale)
+{
+    runSweep(CrashMode::RetainBoundedStale, EngineKind::Redo);
+}
+
+// And group commit (batches of 2): atomicity coarsens to the batch
+// boundary but no crash point may ever show a half-batch.
+
+TEST(CrashSweepGroupCommit, EveryCrashPointRecoversDiscardUnfenced)
+{
+    runSweep(CrashMode::DiscardUnfenced, EngineKind::Redo, 2);
+}
+
+TEST(CrashSweepGroupCommit, EveryCrashPointRecoversRetainRandom)
+{
+    runSweep(CrashMode::RetainRandom, EngineKind::Redo, 2);
+}
+
+TEST(CrashSweepGroupCommit, EveryCrashPointRecoversRetainEpoch)
+{
+    runSweep(CrashMode::RetainEpoch, EngineKind::Redo, 2);
+}
+
+TEST(CrashSweepGroupCommit, EveryCrashPointRecoversRetainBoundedStale)
+{
+    runSweep(CrashMode::RetainBoundedStale, EngineKind::Redo, 2);
 }
 
 // ---------------------------------------------------------------------

@@ -60,8 +60,31 @@ peek64(const std::vector<std::uint8_t> &image, Bytes off)
     return v;
 }
 
+/**
+ * Formatted pool whose first allocation holds real relative pointers
+ * into the second — the interior witness the poolId repair anchors on.
+ */
+std::vector<std::uint8_t>
+imageWithPointers()
+{
+    AddressSpace space;
+    PoolManager mgr(space, Placement::Sequential, 1);
+    const PoolId id = mgr.createPool("c", 1 << 20);
+    const PoolOffset a = mgr.allocator(id).alloc(64);
+    const PoolOffset t = mgr.allocator(id).alloc(200);
+    Pool &p = mgr.pool(id);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        const std::uint64_t w = (std::uint64_t{1} << 63) |
+                                (std::uint64_t{id} << 32) |
+                                (t + 8 * i);
+        p.backing().write(a + 8 * i, &w, sizeof(w));
+    }
+    return p.backing().raw().toVector();
+}
+
 /** Byte offsets of PoolHeader fields (fixed on-media layout). */
 constexpr Bytes kMagicOff = 0;
+constexpr Bytes kPoolIdOff = 12;
 constexpr Bytes kSizeOff = 16;
 constexpr Bytes kRootOff = 24;
 constexpr Bytes kFreeHeadOff = 32;
@@ -115,6 +138,45 @@ TEST_F(PoolCheckRepair, IdentityCrcReseals)
     EXPECT_EQ(rep.status, CheckStatus::Repaired);
     const CheckReport again = checkPool(b, true);
     EXPECT_EQ(again.status, CheckStatus::Clean) << "repair not stable";
+}
+
+TEST_F(PoolCheckRepair, DamagedPoolIdRestoresFromInteriorPointers)
+{
+    // poolId has no legal-value constraint a geometry check could
+    // enforce — the redundancy is the pool's own stored relative
+    // pointers, and the restore must revalidate the identity CRC.
+    auto image = imageWithPointers();
+    image[kPoolIdOff] = 0x30; // was 1
+    Backing dry = toBacking(image);
+    EXPECT_EQ(checkPool(dry, false).status, CheckStatus::Repairable);
+
+    Backing b = toBacking(image);
+    EXPECT_EQ(checkPool(b, true).status, CheckStatus::Repaired);
+    EXPECT_EQ(b.raw().toVector()[kPoolIdOff], 1);
+    EXPECT_EQ(checkPool(b, false).status, CheckStatus::Clean);
+}
+
+TEST_F(PoolCheck, ResealRefusedWhenInteriorContradictsPoolId)
+{
+    // poolId AND the CRC field damaged at once: the restore candidate
+    // cannot revalidate, and resealing would brand the pool with an
+    // id its own pointers contradict — the checker must refuse.
+    auto image = imageWithPointers();
+    image[kPoolIdOff] = 7;
+    flip(image, kIdentCrcOff, 0x08);
+    Backing b = toBacking(image);
+    EXPECT_EQ(checkPool(b, true).status, CheckStatus::Corrupt);
+}
+
+TEST_F(PoolCheckRepair, ResealStillProvableWithInteriorPointers)
+{
+    // Only the CRC field damaged: the census agrees with the header,
+    // so the reseal stays a proven repair.
+    auto image = imageWithPointers();
+    flip(image, kIdentCrcOff, 0x08);
+    Backing b = toBacking(image);
+    EXPECT_EQ(checkPool(b, true).status, CheckStatus::Repaired);
+    EXPECT_EQ(checkPool(b, false).status, CheckStatus::Clean);
 }
 
 TEST_F(PoolCheckRepair, KnownConstantsRestoreOneAtATime)

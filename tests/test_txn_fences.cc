@@ -1,0 +1,206 @@
+/** @file Fence-accounting regression tests (ISSUE 7): the exact
+ * flush/fence cost of each engine, observed through the metrics
+ * registry, must match the documented model:
+ *
+ *   undo, k recorded writes ... k+3 fences, 3k+2 flushes per txn
+ *   redo, r coalesced runs  ... 4 fences,   2r+2 flushes per commit
+ *   group commit, batch of B with R total runs
+ *                           ... 4 fences,   2R+2 flushes per *batch*
+ *   empty redo transaction  ... 0 fences,   0 flushes
+ *
+ * Any drift in these counters is an ordering-protocol change and must
+ * be made deliberately (update docs/CRASH_CONSISTENCY.md — and this
+ * file — in the same commit). */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ptr.hh"
+#include "core/runtime.hh"
+#include "nvm/engine.hh"
+#include "nvm/txn.hh"
+#include "obs/metrics.hh"
+
+using namespace upr;
+
+namespace
+{
+
+Runtime::Config
+config()
+{
+    Runtime::Config cfg;
+    cfg.version = Version::Hw;
+    cfg.seed = 1234;
+    return cfg;
+}
+
+/** Registry-level counter delta; 0 when the group never registered. */
+std::uint64_t
+get(const obs::MetricsSnapshot &d, const std::string &name)
+{
+    const auto it = d.counters.find(name);
+    return it == d.counters.end() ? 0 : it->second;
+}
+
+obs::MetricsSnapshot
+snap()
+{
+    return obs::MetricsRegistry::instance().snapshot();
+}
+
+/**
+ * One transaction of @p writes raw 8-byte writes at 64-byte-spaced
+ * arena offsets: far enough apart that the redo stage cannot coalesce
+ * them (runs == writes) and each is one undo recordWrite.
+ */
+void
+runTxn(Runtime &rt, PoolId pool, std::size_t writes,
+       std::uint64_t salt)
+{
+    Pool &p = rt.pools().pool(pool);
+    const Bytes base = p.header().arenaStart + 64;
+    rt.beginTxn(pool);
+    for (std::size_t w = 0; w < writes; ++w) {
+        const std::uint64_t value = salt * 1000 + w;
+        p.backing().write(base + 64 * w, &value, sizeof(value));
+    }
+    rt.commitTxn();
+}
+
+} // namespace
+
+TEST(TxnFences, UndoTxnPaysKPlus3FencesAnd3KPlus2Flushes)
+{
+    Runtime rt(config());
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("u", 1 << 20, EngineKind::Undo);
+    // Snapshot *after* pool creation: formatting the log control block
+    // itself costs one undo flush+fence.
+    for (std::size_t k : {std::size_t{0}, std::size_t{1},
+                          std::size_t{3}, std::size_t{7}}) {
+        const auto before = snap();
+        runTxn(rt, pool, k, k);
+        const auto d = snap().minus(before);
+        EXPECT_EQ(get(d, "txn.undoFences"), k + 3) << "k=" << k;
+        EXPECT_EQ(get(d, "txn.undoFlushes"), 3 * k + 2) << "k=" << k;
+        EXPECT_EQ(get(d, "txn.undoCommits"), 1u) << "k=" << k;
+        // The undo engine never touches the redo counters.
+        EXPECT_EQ(get(d, "txn.redoFences"), 0u) << "k=" << k;
+        EXPECT_EQ(get(d, "txn.redoFlushes"), 0u) << "k=" << k;
+    }
+}
+
+TEST(TxnFences, RedoSoloCommitPaysFourFencesAnd2RPlus2Flushes)
+{
+    Runtime rt(config());
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("r", 1 << 20, EngineKind::Redo);
+    for (std::size_t r : {std::size_t{1}, std::size_t{3},
+                          std::size_t{7}}) {
+        const auto before = snap();
+        runTxn(rt, pool, r, r);
+        const auto d = snap().minus(before);
+        // 4 fences regardless of size: journal, commit point, apply,
+        // truncate. Flushes: r journal entries + 1 control, r applies
+        // + 1 truncate.
+        EXPECT_EQ(get(d, "txn.redoFences"), 4u) << "r=" << r;
+        EXPECT_EQ(get(d, "txn.redoFlushes"), 2 * r + 2) << "r=" << r;
+        EXPECT_EQ(get(d, "txn.redoCommits"), 1u) << "r=" << r;
+        EXPECT_EQ(get(d, "txn.groupBatches"), 1u) << "r=" << r;
+        EXPECT_EQ(get(d, "txn.groupTxns"), 1u) << "r=" << r;
+        EXPECT_EQ(get(d, "txn.undoFences"), 0u) << "r=" << r;
+        EXPECT_EQ(get(d, "txn.undoFlushes"), 0u) << "r=" << r;
+    }
+}
+
+TEST(TxnFences, EmptyRedoTxnIsFree)
+{
+    Runtime rt(config());
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("e", 1 << 20, EngineKind::Redo);
+    const auto before = snap();
+    rt.beginTxn(pool);
+    rt.commitTxn();
+    const auto d = snap().minus(before);
+    EXPECT_EQ(get(d, "txn.redoFences"), 0u);
+    EXPECT_EQ(get(d, "txn.redoFlushes"), 0u);
+    EXPECT_EQ(get(d, "txn.redoCommits"), 1u);
+}
+
+TEST(TxnFences, GroupCommitBatchOfKPaysOneJournalFlushAndFence)
+{
+    Runtime rt(config());
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("g", 1 << 20, EngineKind::Redo);
+    rt.setGroupCommitSize(3);
+
+    const auto before = snap();
+    // Three 2-write txns at disjoint offsets: R = 6 runs in the batch.
+    runTxn(rt, pool, 2, 1);
+    EXPECT_EQ(rt.pendingGroupTxns(), 1u);
+    {
+        // Still staged in DRAM: nothing has been journaled or fenced.
+        const auto d = snap().minus(before);
+        EXPECT_EQ(get(d, "txn.redoFences"), 0u);
+        EXPECT_EQ(get(d, "txn.redoFlushes"), 0u);
+    }
+    Pool &p = rt.pools().pool(pool);
+    const Bytes base = p.header().arenaStart + 64;
+    rt.beginTxn(pool);
+    std::uint64_t v = 42;
+    p.backing().write(base + 64 * 8, &v, sizeof(v));
+    p.backing().write(base + 64 * 9, &v, sizeof(v));
+    rt.commitTxn();
+    EXPECT_EQ(rt.pendingGroupTxns(), 2u);
+    rt.beginTxn(pool);
+    p.backing().write(base + 64 * 10, &v, sizeof(v));
+    p.backing().write(base + 64 * 11, &v, sizeof(v));
+    rt.commitTxn(); // third commit reaches the batch size: flush
+    EXPECT_EQ(rt.pendingGroupTxns(), 0u);
+
+    const auto d = snap().minus(before);
+    EXPECT_EQ(get(d, "txn.redoFences"), 4u);
+    EXPECT_EQ(get(d, "txn.redoFlushes"), 2u * 6 + 2);
+    EXPECT_EQ(get(d, "txn.redoCommits"), 3u);
+    EXPECT_EQ(get(d, "txn.groupBatches"), 1u);
+    EXPECT_EQ(get(d, "txn.groupTxns"), 3u);
+
+    // The headline claim: a batch of 3 two-write txns paid 4 fences
+    // where the undo engine would have paid 3 * (2+3) = 15.
+    EXPECT_LT(get(d, "txn.redoFences"),
+              3u * (2 + 3));
+}
+
+TEST(TxnFences, FlushGroupDrainsAPartialBatch)
+{
+    Runtime rt(config());
+    RuntimeScope scope(rt);
+    const PoolId pool = rt.createPool("p", 1 << 20, EngineKind::Redo);
+    rt.setGroupCommitSize(4);
+
+    const auto before = snap();
+    runTxn(rt, pool, 1, 1);
+    runTxn(rt, pool, 2, 2); // offsets overlap txn 1: runs coalesce
+    EXPECT_EQ(rt.pendingGroupTxns(), 2u);
+    rt.flushGroup();
+    EXPECT_EQ(rt.pendingGroupTxns(), 0u);
+
+    // runTxn(1,..) wrote offset base+0; runTxn(2,..) wrote base+0 and
+    // base+64 — the staged batch holds 2 distinct runs, not 3.
+    const auto d = snap().minus(before);
+    EXPECT_EQ(get(d, "txn.redoFences"), 4u);
+    EXPECT_EQ(get(d, "txn.redoFlushes"), 2u * 2 + 2);
+    EXPECT_EQ(get(d, "txn.groupBatches"), 1u);
+    EXPECT_EQ(get(d, "txn.groupTxns"), 2u);
+
+    // An empty drain is free.
+    const auto before2 = snap();
+    rt.flushGroup();
+    const auto d2 = snap().minus(before2);
+    EXPECT_EQ(get(d2, "txn.redoFences"), 0u);
+    EXPECT_EQ(get(d2, "txn.redoFlushes"), 0u);
+}

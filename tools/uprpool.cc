@@ -38,7 +38,8 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: uprpool create <image> <sizeMiB>\n"
+                 "usage: uprpool create <image> <sizeMiB> "
+                 "[undo|redo]\n"
                  "       uprpool info   <image>\n"
                  "       uprpool check  [-r|--repair] [--json] <image>\n"
                  "       uprpool dump   <image>\n");
@@ -83,7 +84,8 @@ saveFile(const std::string &path, const Backing &image)
 }
 
 int
-cmdCreate(const std::string &path, const std::string &mib)
+cmdCreate(const std::string &path, const std::string &mib,
+          const std::string &engine_name)
 {
     const unsigned long size_mib = std::strtoul(mib.c_str(), nullptr, 0);
     if (size_mib == 0 || size_mib > 4096) {
@@ -92,8 +94,16 @@ cmdCreate(const std::string &path, const std::string &mib)
                      mib.c_str());
         return 3;
     }
+    EngineKind engine = EngineKind::Undo;
+    if (engine_name == "redo")
+        engine = EngineKind::Redo;
+    else if (!engine_name.empty() && engine_name != "undo") {
+        std::fprintf(stderr, "uprpool: unknown engine '%s' "
+                     "(undo|redo)\n", engine_name.c_str());
+        return 3;
+    }
     try {
-        Pool pool(1, path, static_cast<Bytes>(size_mib) << 20);
+        Pool pool(1, path, static_cast<Bytes>(size_mib) << 20, engine);
         PoolAllocator(pool).format();
         if (!saveFile(path, pool.backing()))
             return 3;
@@ -102,8 +112,8 @@ cmdCreate(const std::string &path, const std::string &mib)
                      faultKindName(f.kind()), f.what());
         return 3;
     }
-    std::printf("created '%s': %lu MiB pool image\n", path.c_str(),
-                size_mib);
+    std::printf("created '%s': %lu MiB %s-engine pool image\n",
+                path.c_str(), size_mib, engineKindName(engine));
     return 0;
 }
 
@@ -145,10 +155,12 @@ cmdCheck(const std::string &path, bool repair, bool json)
                                    : " (NOT repairable)");
     }
     if (rep.recovery.logActive) {
-        std::printf("  undo log: %zu entries to replay, %" PRIu64
-                    " bytes discarded\n",
+        std::printf("  %s log: %zu entries to replay, %" PRIu64
+                    " bytes discarded (generation %u)\n",
+                    engineKindName(rep.engine),
                     rep.recovery.entriesReplayed,
-                    rep.recovery.bytesDiscarded);
+                    rep.recovery.bytesDiscarded,
+                    rep.recovery.generation);
     }
     return statusExit(rep);
 }
@@ -179,7 +191,9 @@ cmdInfo(const std::string &path)
                 h.identCrc == poolIdentCrc(h) ? "ok" : "MISMATCH");
     std::printf("  root offset  0x%" PRIx64 "%s\n", h.rootOff,
                 h.rootOff ? "" : " (unset)");
-    std::printf("  undo log     [0x%" PRIx64 ", +%" PRIu64 ")\n",
+    std::printf("  engine       %s\n",
+                engineKindName(static_cast<EngineKind>(h.engine)));
+    std::printf("  txn log      [0x%" PRIx64 ", +%" PRIu64 ")\n",
                 h.logStart, h.logSize);
     std::printf("  arena        [0x%" PRIx64 ", 0x%" PRIx64 ")\n",
                 h.arenaStart, h.size);
@@ -191,10 +205,15 @@ cmdInfo(const std::string &path)
     for (const CheckIssue &i : rep.issues)
         std::printf("  [%s] %s\n", i.component.c_str(),
                     i.what.c_str());
-    std::printf("  undo log     %s\n",
+    std::printf("  %s log     %s (generation %u)\n",
+                engineKindName(rep.engine),
                 rep.recovery.controlDamaged ? "control block damaged"
-                : rep.recovery.logActive    ? "pending transaction"
-                                            : "clean");
+                : rep.recovery.logActive
+                    ? (rep.engine == EngineKind::Redo
+                           ? "committed journal pending replay"
+                           : "pending transaction")
+                    : "clean",
+                rep.recovery.generation);
     return statusExit(rep);
 }
 
@@ -255,9 +274,10 @@ main(int argc, char **argv)
 
     try {
         if (cmd == "create") {
-            if (argc != 4)
+            if (argc != 4 && argc != 5)
                 return usage();
-            return cmdCreate(argv[2], argv[3]);
+            return cmdCreate(argv[2], argv[3],
+                             argc == 5 ? argv[4] : "");
         }
         if (cmd == "info")
             return cmdInfo(argv[2]);
