@@ -38,6 +38,7 @@
 #include <map>
 
 #include "bench_common.hh"
+#include "bench_ir.hh"
 #include "bench_json.hh"
 #include "compiler/analysis/abstract_interp.hh"
 #include "compiler/analysis/elision.hh"
@@ -824,6 +825,117 @@ runFault(const std::string &out_dir)
 }
 
 // ----------------------------------------------------------------------
+// Exec section: the compiler-path workloads run through the
+// direct-threaded FastExecutor in both tiers. Model is the simulated
+// machine (bit-exact to the Interpreter); Native skips the timing
+// model and is expected to be >= 10x faster on at least one
+// workload. The harness itself enforces the cross-tier contract —
+// identical checksum, instruction count and dynamic-check count per
+// workload — and scripts/bench_diff.py re-checks it between runs.
+// Serial and in-process: the emitted counters are plan functions of
+// the workload, independent of branch-predictor salt order.
+// ----------------------------------------------------------------------
+
+bool
+runExec(const std::string &out_dir)
+{
+    const std::uint64_t scale = benchScale();
+    const std::vector<ExecWorkload> workloads = execWorkloads(scale);
+    const ExecTier kTiers[] = {ExecTier::Model, ExecTier::Native};
+
+    const auto start = SteadyClock::now();
+    JsonWriter json;
+    json.beginObject();
+    emitHeader(json, 1);
+    json.key("cells").beginArray();
+
+    bool ok = true;
+    for (const ExecWorkload &w : workloads) {
+        ExecProgram prog;
+        try {
+            prog = compileExecProgram(w.source);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "FAIL exec %s: compile: %s\n",
+                         w.name, e.what());
+            ok = false;
+            continue;
+        }
+
+        ExecRun runs[2];
+        double wall[2] = {0, 0};
+        bool ran[2] = {false, false};
+        for (int t = 0; t < 2; ++t) {
+            const auto t0 = SteadyClock::now();
+            try {
+                runs[t] = runExecTier(prog, kTiers[t], w.args);
+                ran[t] = true;
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "FAIL exec %s/%s: %s\n", w.name,
+                             execTierName(kTiers[t]), e.what());
+                ok = false;
+            }
+            wall[t] = millisSince(t0);
+
+            json.beginObject();
+            json.kv("workload", w.name);
+            json.kv("version", execTierName(kTiers[t]));
+            json.kv("wallMs", wall[t]);
+            if (ran[t]) {
+                json.kv("checksum", runs[t].result);
+                json.kv("dynamicChecks", runs[t].dynamicChecks);
+                json.kv("irInstructions", runs[t].instructions);
+                json.kv("loweredSites", runs[t].lowered.sites);
+                json.kv("retainedGuards",
+                        runs[t].lowered.retainedGuards);
+                json.kv("elidedGuards", runs[t].lowered.elidedGuards);
+                json.kv("elidedSites", prog.elidedSites);
+                json.kv("fusedPairs", runs[t].lowered.fusedPairs);
+            } else {
+                json.kv("error", "tier run failed");
+            }
+            json.end();
+        }
+
+        if (ran[0] && ran[1]) {
+            if (runs[0].result != runs[1].result ||
+                runs[0].instructions != runs[1].instructions ||
+                runs[0].dynamicChecks != runs[1].dynamicChecks) {
+                std::fprintf(
+                    stderr,
+                    "TIER MISMATCH on %s: model "
+                    "(%llu, %llu insts, %llu checks) vs native "
+                    "(%llu, %llu insts, %llu checks)\n",
+                    w.name, (unsigned long long)runs[0].result,
+                    (unsigned long long)runs[0].instructions,
+                    (unsigned long long)runs[0].dynamicChecks,
+                    (unsigned long long)runs[1].result,
+                    (unsigned long long)runs[1].instructions,
+                    (unsigned long long)runs[1].dynamicChecks);
+                ok = false;
+            }
+            std::printf("exec %-10s model %8.1f ms, native %7.1f ms "
+                        "(%.1fx), %llu/%llu guards retained\n",
+                        w.name, wall[0], wall[1],
+                        wall[1] > 0 ? wall[0] / wall[1] : 0.0,
+                        (unsigned long long)
+                            runs[0].lowered.retainedGuards,
+                        (unsigned long long)runs[0].lowered.sites);
+        }
+    }
+    json.end();
+    json.end();
+
+    const std::string path = out_dir + "/BENCH_exec.json";
+    if (!json.writeFile(path)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::printf("exec: %zu workloads x 2 tiers, wall %.0f ms, %s\n",
+                workloads.size(), millisSince(start), path.c_str());
+    return ok;
+}
+
+// ----------------------------------------------------------------------
 // Txn section: the same write-heavy transactional workload committed
 // through the undo engine, the redo engine, and redo group commit.
 // The flush/fence tallies come from the "txn" metrics group and are
@@ -980,6 +1092,9 @@ main(int argc, char **argv)
     // Opt-in for the same reason: running transactions would register
     // the lazy "txn" metrics group.
     bool txn = false;
+    // Opt-in for the same reason: lowering registers the lazy "exec"
+    // metrics group.
+    bool exec = false;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -1012,12 +1127,17 @@ main(int argc, char **argv)
             micro = false;
             static_sec = false;
             txn = true;
+        } else if (!std::strcmp(arg, "--exec-only")) {
+            fig11 = false;
+            micro = false;
+            static_sec = false;
+            exec = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--quick] [--jobs N] [--out DIR] "
                          "[--fig11-only | --micro-only | "
                          "--static-only | --fault-only | "
-                         "--txn-only]\n",
+                         "--txn-only | --exec-only]\n",
                          argv[0]);
             return 2;
         }
@@ -1038,6 +1158,8 @@ main(int argc, char **argv)
         ok = runFault(out_dir) && ok;
     if (txn)
         ok = runTxn(out_dir) && ok;
+    if (exec)
+        ok = runExec(out_dir) && ok;
 
     // With UPR_OBS_TRACE set, dump the harness process's event ring
     // (the serial static section and any in-process setup; forked

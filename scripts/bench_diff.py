@@ -57,6 +57,30 @@ TXN_KEYS = (
     "groupBatches", "groupTxns",
 )
 
+# Execution-tier cells (BENCH_exec.json): lowering statistics and
+# per-tier counters are exact functions of the module and check plan,
+# so drift is a hard error. (checksum / dynamicChecks are already in
+# MODEL_KEYS.) wallMs stays host-side/noisy as usual.
+EXEC_KEYS = (
+    "irInstructions", "loweredSites", "retainedGuards",
+    "elidedGuards", "elidedSites", "fusedPairs",
+)
+
+# Cross-tier contract inside one BENCH_exec.json: for each workload,
+# the model and native cells must agree on these exactly — a Native
+# tier that computes a different checksum or runs a different number
+# of guards is broken, not fast.
+EXEC_TIER_KEYS = ("checksum", "dynamicChecks", "irInstructions")
+
+# Native-vs-Model speedup below this is a flag (exit 1), not a hard
+# error: the Native tier exists to beat the model by an order of
+# magnitude on at least one workload — the conflict workload measures
+# 10.7-14.0x (docs/PERFORMANCE.md) — and this CI floor sits below the
+# worst observed run so a noisy host cannot flake the build.
+EXEC_SPEEDUP_TARGET = 8.0
+# Cells faster than this are too short to measure a ratio on.
+EXEC_SPEEDUP_MIN_WALL_MS = 5.0
+
 
 def load(path):
     try:
@@ -87,6 +111,35 @@ def index_cells(doc, path):
 
 def fmt_cell(key):
     return f"{key[0]} x {key[1]}"
+
+
+def check_exec_tiers(cells, label, drift, regressions):
+    """Cross-tier checks within one file's exec cells.
+
+    Model/native disagreement on EXEC_TIER_KEYS is a hard error;
+    best speedup below EXEC_SPEEDUP_TARGET is a flag.
+    """
+    workloads = sorted({w for (w, v) in cells if v == "model"
+                        and (w, "native") in cells})
+    best = None
+    for w in workloads:
+        model, native = cells[(w, "model")], cells[(w, "native")]
+        if "error" in model or "error" in native:
+            continue
+        for k in EXEC_TIER_KEYS:
+            if model.get(k) != native.get(k):
+                drift.append(
+                    f"{w} ({label}): tier mismatch on {k}: "
+                    f"model {model.get(k)} vs native {native.get(k)}")
+        mw, nw = model.get("wallMs"), native.get("wallMs")
+        if mw and nw and mw >= EXEC_SPEEDUP_MIN_WALL_MS and nw > 0:
+            speedup = mw / nw
+            if best is None or speedup > best[1]:
+                best = (w, speedup)
+    if workloads and best is not None and best[1] < EXEC_SPEEDUP_TARGET:
+        regressions.append(
+            f"exec ({label}): best native speedup {best[1]:.1f}x on "
+            f"{best[0]}, below the {EXEC_SPEEDUP_TARGET:.0f}x target")
 
 
 def main():
@@ -133,7 +186,7 @@ def main():
         if "error" in old or "error" in new:
             continue
 
-        for k in MODEL_KEYS + FAULT_KEYS + TXN_KEYS:
+        for k in MODEL_KEYS + FAULT_KEYS + TXN_KEYS + EXEC_KEYS:
             if old.get(k) != new.get(k):
                 drift.append(
                     f"{fmt_cell(key)}: {k} {old.get(k)} -> "
@@ -157,6 +210,9 @@ def main():
                 regressions.append(
                     f"{fmt_cell(key)}: wall {ow:.1f} ms -> "
                     f"{nw:.1f} ms (+{pct:.1f}%)")
+
+    check_exec_tiers(old_cells, "old", drift, regressions)
+    check_exec_tiers(new_cells, "new", drift, regressions)
 
     oh, nh = old_doc.get("harnessWallMs"), new_doc.get("harnessWallMs")
     if oh and nh and oh > 0:

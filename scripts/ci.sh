@@ -2,10 +2,11 @@
 # CI entry point:
 #   1. full RelWithDebInfo build + complete test suite;
 #   2. ASan+UBSan build (cmake --preset asan) + the crash, compiler,
-#      obs, fault and txn test labels — the suites that exercise
+#      obs, fault, txn and exec test labels — the suites that exercise
 #      raw-memory recovery paths, deliberately corrupted pool images,
-#      both transaction engines' log replay, and the
-#      parser/verifier/interpreter, where memory bugs would hide;
+#      both transaction engines' log replay, the
+#      parser/verifier/interpreter, and the direct-threaded execution
+#      tier's raw-window fast path, where memory bugs would hide;
 #   3. clang-tidy over the compiler subsystem, if available;
 #   4. observability overhead gate: with event tracing compiled in,
 #      a traced run and an untraced run of the quick bench must agree
@@ -44,6 +45,13 @@ build/bench/bench_harness --txn-only --out "$TXN_OUT" > /dev/null
 python3 scripts/bench_diff.py --wall-threshold 100000 \
     BENCH_txn.json "$TXN_OUT/BENCH_txn.json"
 rm -rf "$TXN_OUT"
+
+echo "==> tier 4x: execution-tier invariance + speedup vs golden"
+EXEC_OUT=$(mktemp -d)
+build/bench/bench_harness --exec-only --out "$EXEC_OUT" > /dev/null
+python3 scripts/bench_diff.py --wall-threshold 100000 \
+    BENCH_exec.json "$EXEC_OUT/BENCH_exec.json"
+rm -rf "$EXEC_OUT"
 
 echo "==> tier 5: observability overhead gate"
 GATE_OUT=$(mktemp -d)

@@ -5,9 +5,14 @@
 #
 # Each <name>.ir has a committed <name>.expect holding the exact
 # `uprlint --report-elision <name>.ir` output plus a final "exit=N"
-# line. Regenerate goldens after an intentional output change with:
+# line, and a <name>.json.expect holding the `--json` document — the
+# machine-readable per-site elision contract (siteRecords) that the
+# fast-path lowering consumes. Regenerate goldens after an
+# intentional output change with:
 #   cd tests/ir_corpus && for f in *.ir; do
 #     { uprlint --report-elision "$f"; echo "exit=$?"; } > "${f%.ir}.expect"
+#     { uprlint --json --report-elision "$f"; echo "exit=$?"; } \
+#         > "${f%.ir}.json.expect"
 #   done
 set -u
 
@@ -34,6 +39,20 @@ for f in *.ir; do
     if [ "$actual" != "$expected" ]; then
         echo "GOLDEN MISMATCH: $f" >&2
         printf '%s\n' "$actual" | diff -u "$base.expect" - >&2
+        fail=1
+    fi
+    if [ ! -f "$base.json.expect" ]; then
+        echo "MISSING GOLDEN: $base.json.expect" >&2
+        fail=1
+        count=$((count + 1))
+        continue
+    fi
+    actual=$("$UPRLINT" --json --report-elision "$f" 2>&1
+             echo "exit=$?")
+    expected=$(cat "$base.json.expect")
+    if [ "$actual" != "$expected" ]; then
+        echo "GOLDEN MISMATCH: $f (--json)" >&2
+        printf '%s\n' "$actual" | diff -u "$base.json.expect" - >&2
         fail=1
     fi
     count=$((count + 1))

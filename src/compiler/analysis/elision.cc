@@ -33,7 +33,8 @@ addrOperand(const Inst &in)
 
 void
 prove(ElisionResult &res, CheckPlan &plan, const Function &fn,
-      const Inst &in, const char *role, std::string reason)
+      BlockId b, std::size_t i, const Inst &in, const char *role,
+      const char *kind, std::string reason)
 {
     ++res.elidedSites;
     ++plan.elidedSites;
@@ -42,8 +43,8 @@ prove(ElisionResult &res, CheckPlan &plan, const Function &fn,
     obs::traceEvent(obs::EventKind::ElisionDecision,
                     static_cast<std::uint64_t>(in.loc.line),
                     res.elidedSites);
-    res.proofs.push_back(
-        ElisionProof{fn.name, in.loc, role, std::move(reason)});
+    res.proofs.push_back(ElisionProof{fn.name, in.loc, b, i, role,
+                                      kind, std::move(reason)});
 }
 
 /**
@@ -66,7 +67,8 @@ applyFlowProofs(const Function &fn, const FlowAnalysis &flow,
                     ip.addrDynamic = false;
                     ip.addrStaticConvert = (k == PtrKind::Ra);
                     --plan.remainingSites;
-                    prove(res, plan, fn, in, "addr",
+                    prove(res, plan, fn, b, i, in, "addr",
+                          "flow-proved-kind",
                           std::string("flow-proved-kind: address is ") +
                           kindName(k));
                 }
@@ -77,7 +79,8 @@ applyFlowProofs(const Function &fn, const FlowAnalysis &flow,
                 if (isStaticKind(k)) {
                     ip.valueDynamic = false;
                     --plan.remainingSites;
-                    prove(res, plan, fn, in, "value",
+                    prove(res, plan, fn, b, i, in, "value",
+                          "flow-proved-kind",
                           std::string("flow-proved-kind: stored "
                                       "value is ") + kindName(k));
                 }
@@ -88,7 +91,8 @@ applyFlowProofs(const Function &fn, const FlowAnalysis &flow,
                 if (isStaticKind(k)) {
                     ip.cmp0Dynamic = false;
                     --plan.remainingSites;
-                    prove(res, plan, fn, in, "op0",
+                    prove(res, plan, fn, b, i, in, "op0",
+                          "flow-proved-kind",
                           std::string("flow-proved-kind: operand "
                                       "is ") + kindName(k));
                 }
@@ -99,7 +103,8 @@ applyFlowProofs(const Function &fn, const FlowAnalysis &flow,
                 if (isStaticKind(k)) {
                     ip.cmp1Dynamic = false;
                     --plan.remainingSites;
-                    prove(res, plan, fn, in, "op1",
+                    prove(res, plan, fn, b, i, in, "op1",
+                          "flow-proved-kind",
                           std::string("flow-proved-kind: operand "
                                       "is ") + kindName(k));
                 }
@@ -210,7 +215,8 @@ applyAvailableChecks(const Function &fn, CheckPlan &plan,
                 ip.addrRefined = true;
                 --plan.remainingSites;
                 ++plan.refinedSites;
-                prove(res, plan, fn, in_i, "addr",
+                prove(res, plan, fn, b, i, in_i, "addr",
+                      "available-check",
                       "available-check: form of this register is "
                       "checked on every path to this site");
             }
@@ -242,7 +248,8 @@ applyDestImplied(const Function &fn, CheckPlan &plan,
             ip.destDynamic = false;
             ip.destElided = true;
             --plan.remainingSites;
-            prove(res, plan, fn, fn.blocks[b].insts[i], "dest",
+            prove(res, plan, fn, b, i, fn.blocks[b].insts[i], "dest",
+                  "dest-implied-by-addr",
                   "dest-implied-by-addr: the resolved destination "
                   "VA's NVM bit is the medium; no separate "
                   "determineX needed");

@@ -51,8 +51,19 @@ struct ElisionProof
 {
     std::string function;
     SrcLoc loc;
+    /** Block of the proved site within @p function. */
+    ir::BlockId block = ir::kNoBlock;
+    /** Instruction index within the block (phi prefix included). */
+    std::size_t instIdx = 0;
     /** Site role: addr/dest/value/op0/op1. */
     std::string role;
+    /**
+     * Stable machine-readable rule name: "flow-proved-kind",
+     * "available-check" or "dest-implied-by-addr". Part of the
+     * `uprlint --json` per-site contract the fast-path lowering and
+     * its goldens consume.
+     */
+    const char *kind = "";
     /** Rule name + proving fact, human-readable. */
     std::string reason;
 };

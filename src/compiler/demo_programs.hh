@@ -77,6 +77,546 @@ done:
 }
 )";
 
+/**
+ * Pointer-chase kernel for the execution-tier bench: build a closed
+ * ring of %nodes persistent nodes, then chase next-pointers for
+ * %nodes * %laps hops summing values. Every hop dereferences a
+ * pointer loaded from memory — Unknown kind, so the chase loads keep
+ * their dynamic guards in both tiers (the guarded fast path).
+ * Node layout: { ptr next; i64 value }.
+ */
+inline const char *kPtrChaseSource = R"(
+; Closed persistent ring, chased %nodes * %laps hops.
+func @main(%nodes: i64, %laps: i64) -> i64 {
+entry:
+  %zero = const 0
+  %one = const 1
+  %head = pmalloc 16
+  %hv = gep %head, 8
+  store %zero, %hv
+  jmp build
+build:
+  %i = phi.i64 [entry, %one], [bbody, %inext]
+  %prev = phi.ptr [entry, %head], [bbody, %node]
+  %more = lt %i, %nodes
+  br %more, bbody, close
+bbody:
+  %node = pmalloc 16
+  %nv = gep %node, 8
+  store %i, %nv
+  %pslot = gep %prev, 0
+  storep %node, %pslot
+  %inext = add %i, %one
+  jmp build
+close:
+  %cslot = gep %prev, 0
+  storep %head, %cslot
+  %total = mul %nodes, %laps
+  jmp chase
+chase:
+  %k = phi.i64 [close, %zero], [cbody, %knext]
+  %cur = phi.ptr [close, %head], [cbody, %nxt]
+  %acc = phi.i64 [close, %zero], [cbody, %accn]
+  %go = lt %k, %total
+  br %go, cbody, done
+cbody:
+  %vslot = gep %cur, 8
+  %v = load.i64 %vslot
+  %accn = add %acc, %v
+  %nslot = gep %cur, 0
+  %nxt = load.ptr %nslot
+  %knext = add %k, %one
+  jmp chase
+done:
+  ret %acc
+}
+)";
+
+/**
+ * Fill/readback sweep for the execution-tier bench: %laps laps of
+ * eight stores then eight loads over a persistent 64-byte record
+ * whose slot pointers never leave registers. Inference pins every
+ * address to the pool, so every site is static — the workload the
+ * Native tier lowers to entirely unchecked accesses.
+ */
+inline const char *kSweepSource = R"(
+; Eight static slots, stored and read back every lap.
+func @main(%laps: i64) -> i64 {
+entry:
+  %zero = const 0
+  %one = const 1
+  %rec = pmalloc 64
+  %s0 = gep %rec, 0
+  %s1 = gep %rec, 8
+  %s2 = gep %rec, 16
+  %s3 = gep %rec, 24
+  %s4 = gep %rec, 32
+  %s5 = gep %rec, 40
+  %s6 = gep %rec, 48
+  %s7 = gep %rec, 56
+  jmp loop
+loop:
+  %i = phi.i64 [entry, %zero], [body, %inext]
+  %acc = phi.i64 [entry, %zero], [body, %accn]
+  %go = lt %i, %laps
+  br %go, body, done
+body:
+  %i1 = add %i, %one
+  %i2 = add %i1, %one
+  %i3 = add %i2, %one
+  %i4 = add %i3, %one
+  %i5 = add %i4, %one
+  %i6 = add %i5, %one
+  %i7 = add %i6, %one
+  store %i, %s0
+  store %i1, %s1
+  store %i2, %s2
+  store %i3, %s3
+  store %i4, %s4
+  store %i5, %s5
+  store %i6, %s6
+  store %i7, %s7
+  %v0 = load.i64 %s0
+  %v1 = load.i64 %s1
+  %v2 = load.i64 %s2
+  %v3 = load.i64 %s3
+  %v4 = load.i64 %s4
+  %v5 = load.i64 %s5
+  %v6 = load.i64 %s6
+  %v7 = load.i64 %s7
+  %a0 = add %acc, %v0
+  %a1 = add %a0, %v1
+  %a2 = add %a1, %v2
+  %a3 = add %a2, %v3
+  %a4 = add %a3, %v4
+  %a5 = add %a4, %v5
+  %a6 = add %a5, %v6
+  %accn = add %a6, %v7
+  %inext = add %i, %one
+  jmp loop
+done:
+  ret %acc
+}
+)";
+
+/**
+ * Pointer-publish stream for the execution-tier bench: eight pool
+ * slots each holding a relative pointer, reloaded and re-published
+ * around the ring every lap. The slot addresses are register-resident
+ * pmalloc+gep chains (proved static), but every published *value*
+ * comes from memory, so each storep keeps its value guard: the Model
+ * tier pays the full storeP pipeline simulation per publish while the
+ * Native tier writes the already-canonical bits through the raw
+ * window — the widest honest gap between the tiers.
+ */
+inline const char *kPublishSource = R"(
+; Eight pointer slots re-published around a ring every lap.
+func @main(%laps: i64) -> i64 {
+entry:
+  %zero = const 0
+  %one = const 1
+  %rec = pmalloc 64
+  %s0 = gep %rec, 0
+  %s1 = gep %rec, 8
+  %s2 = gep %rec, 16
+  %s3 = gep %rec, 24
+  %s4 = gep %rec, 32
+  %s5 = gep %rec, 40
+  %s6 = gep %rec, 48
+  %s7 = gep %rec, 56
+  storep %rec, %s0
+  storep %rec, %s1
+  storep %rec, %s2
+  storep %rec, %s3
+  storep %rec, %s4
+  storep %rec, %s5
+  storep %rec, %s6
+  storep %rec, %s7
+  jmp loop
+loop:
+  %i = phi.i64 [entry, %zero], [body, %i1]
+  %go = lt %i, %laps
+  br %go, body, done
+body:
+  %i1 = add %i, %one
+  %v0 = load.ptr %s0
+  storep %v0, %s1
+  %v1 = load.ptr %s1
+  storep %v1, %s2
+  %v2 = load.ptr %s2
+  storep %v2, %s3
+  %v3 = load.ptr %s3
+  storep %v3, %s4
+  %v4 = load.ptr %s4
+  storep %v4, %s5
+  %v5 = load.ptr %s5
+  storep %v5, %s6
+  %v6 = load.ptr %s6
+  storep %v6, %s7
+  %v7 = load.ptr %s7
+  storep %v7, %s0
+  jmp loop
+done:
+  %f = load.ptr %s0
+  %r = ptrtoint %f
+  %sum = add %r, %i
+  ret %sum
+}
+)";
+
+
+/**
+ * Stride-64 streaming kernel for the execution-tier bench: %laps
+ * passes over a 4 MiB persistent array, touching one 8-byte word per
+ * 64-byte line — every access misses the simulated cache hierarchy,
+ * so the Model tier pays the full miss pipeline per access while the
+ * Native tier streams through the raw window. The moving pointer is
+ * a register-resident phi of pmalloc+gep chains, so every site is
+ * static. Each slot is loaded, written back, and the pointer bumped:
+ * the (load, store, gep) triple the fusion peephole packs tightest.
+ */
+inline const char *kStreamSource = R"(
+; Stride-64 write-back stream over a 4 MiB persistent array.
+func @main(%laps: i64) -> i64 {
+entry:
+  %zero = const 0
+  %one = const 1
+  %n = const 8192
+  %arr = pmalloc 4194304
+  jmp outer
+outer:
+  %lap = phi.i64 [entry, %zero], [loop, %lap1]
+  %tot = phi.i64 [entry, %zero], [loop, %acc]
+  %go = lt %lap, %laps
+  br %go, ocont, done
+ocont:
+  %lap1 = add %lap, %one
+  jmp loop
+loop:
+  %p = phi.ptr [ocont, %arr], [body, %p8]
+  %i = phi.i64 [ocont, %zero], [body, %i8]
+  %acc = phi.i64 [ocont, %tot], [body, %a]
+  %more = lt %i, %n
+  br %more, body, outer
+body:
+  %i8 = add %i, %one
+  %v0 = load.i64 %p
+  store %v0, %p
+  %p1 = gep %p, 64
+  %v1 = load.i64 %p1
+  store %v1, %p1
+  %p2 = gep %p1, 64
+  %v2 = load.i64 %p2
+  store %v2, %p2
+  %p3 = gep %p2, 64
+  %v3 = load.i64 %p3
+  store %v3, %p3
+  %p4 = gep %p3, 64
+  %v4 = load.i64 %p4
+  store %v4, %p4
+  %p5 = gep %p4, 64
+  %v5 = load.i64 %p5
+  store %v5, %p5
+  %p6 = gep %p5, 64
+  %v6 = load.i64 %p6
+  store %v6, %p6
+  %p7 = gep %p6, 64
+  %v7 = load.i64 %p7
+  store %v7, %p7
+  %p8 = gep %p7, 64
+  %a = add %acc, %v7
+  jmp loop
+done:
+  ret %tot
+}
+)";
+
+/**
+ * Readback scan for the execution-tier bench: 56 loads per lap over
+ * eight line-resident slots, summing every eighth value. The densest
+ * all-static read kernel — the shape where dispatch, not memory,
+ * bounds the Native tier, which the load-load fusion halves.
+ */
+inline const char *kScanSource = R"(
+; Readback scan: 56 loads per lap over 8 hot slots.
+func @main(%laps: i64) -> i64 {
+entry:
+  %zero = const 0
+  %one = const 1
+  %rec = pmalloc 64
+  %s0 = gep %rec, 0
+  %s1 = gep %rec, 8
+  %s2 = gep %rec, 16
+  %s3 = gep %rec, 24
+  %s4 = gep %rec, 32
+  %s5 = gep %rec, 40
+  %s6 = gep %rec, 48
+  %s7 = gep %rec, 56
+  store %one, %s0
+  store %one, %s1
+  store %one, %s2
+  store %one, %s3
+  store %one, %s4
+  store %one, %s5
+  store %one, %s6
+  store %one, %s7
+  jmp loop
+loop:
+  %i = phi.i64 [entry, %zero], [body, %i1]
+  %acc = phi.i64 [entry, %zero], [body, %a3]
+  %go = lt %i, %laps
+  br %go, body, done
+body:
+  %i1 = add %i, %one
+  %v0 = load.i64 %s0
+  %v1 = load.i64 %s1
+  %v2 = load.i64 %s2
+  %v3 = load.i64 %s3
+  %v4 = load.i64 %s4
+  %v5 = load.i64 %s5
+  %v6 = load.i64 %s6
+  %v7 = load.i64 %s7
+  %v8 = load.i64 %s0
+  %v9 = load.i64 %s1
+  %v10 = load.i64 %s2
+  %v11 = load.i64 %s3
+  %v12 = load.i64 %s4
+  %v13 = load.i64 %s5
+  %v14 = load.i64 %s6
+  %v15 = load.i64 %s7
+  %v16 = load.i64 %s0
+  %v17 = load.i64 %s1
+  %v18 = load.i64 %s2
+  %v19 = load.i64 %s3
+  %v20 = load.i64 %s4
+  %v21 = load.i64 %s5
+  %v22 = load.i64 %s6
+  %v23 = load.i64 %s7
+  %v24 = load.i64 %s0
+  %v25 = load.i64 %s1
+  %v26 = load.i64 %s2
+  %v27 = load.i64 %s3
+  %v28 = load.i64 %s4
+  %v29 = load.i64 %s5
+  %v30 = load.i64 %s6
+  %v31 = load.i64 %s7
+  %v32 = load.i64 %s0
+  %v33 = load.i64 %s1
+  %v34 = load.i64 %s2
+  %v35 = load.i64 %s3
+  %v36 = load.i64 %s4
+  %v37 = load.i64 %s5
+  %v38 = load.i64 %s6
+  %v39 = load.i64 %s7
+  %v40 = load.i64 %s0
+  %v41 = load.i64 %s1
+  %v42 = load.i64 %s2
+  %v43 = load.i64 %s3
+  %v44 = load.i64 %s4
+  %v45 = load.i64 %s5
+  %v46 = load.i64 %s6
+  %v47 = load.i64 %s7
+  %v48 = load.i64 %s0
+  %v49 = load.i64 %s1
+  %v50 = load.i64 %s2
+  %v51 = load.i64 %s3
+  %v52 = load.i64 %s4
+  %v53 = load.i64 %s5
+  %v54 = load.i64 %s6
+  %v55 = load.i64 %s7
+  %a0 = add %acc, %v13
+  %a1 = add %a0, %v27
+  %a2 = add %a1, %v41
+  %a3 = add %a2, %v55
+  jmp loop
+done:
+  ret %acc
+}
+)";
+
+/**
+ * Conflict-stride readback for the execution-tier bench: sixteen
+ * pointers 256 KiB apart all map to the same set of every simulated
+ * cache level (64, 512 and 4096 sets, all 8-way), and each lap cycles
+ * them four times — sixteen lines through an 8-way LRU set, so every
+ * one of the lap's 80 accesses takes the full three-level miss walk —
+ * while the host working set is one kilobyte. The pointers are
+ * republished through NVM and reloaded every lap, so their kind is
+ * unknown to the prover: the first dereference of each keeps its
+ * dynamic guard, and the refined rounds after it still pay the
+ * simulated walk. The Model tier's worst case against the Native
+ * tier's best (pool-cache hit plus a host L1 hit).
+ */
+inline const char *kConflictSource = R"(
+func @main(%laps: i64) -> i64 {
+entry:
+  %zero = const 0
+  %one = const 1
+  %tab = pmalloc 128
+  %data = pmalloc 4194304
+  %t0 = gep %tab, 0
+  %t1 = gep %tab, 8
+  %t2 = gep %tab, 16
+  %t3 = gep %tab, 24
+  %t4 = gep %tab, 32
+  %t5 = gep %tab, 40
+  %t6 = gep %tab, 48
+  %t7 = gep %tab, 56
+  %t8 = gep %tab, 64
+  %t9 = gep %tab, 72
+  %t10 = gep %tab, 80
+  %t11 = gep %tab, 88
+  %t12 = gep %tab, 96
+  %t13 = gep %tab, 104
+  %t14 = gep %tab, 112
+  %t15 = gep %tab, 120
+  %p0 = gep %data, 0
+  %p1 = gep %data, 262144
+  %p2 = gep %data, 524288
+  %p3 = gep %data, 786432
+  %p4 = gep %data, 1048576
+  %p5 = gep %data, 1310720
+  %p6 = gep %data, 1572864
+  %p7 = gep %data, 1835008
+  %p8 = gep %data, 2097152
+  %p9 = gep %data, 2359296
+  %p10 = gep %data, 2621440
+  %p11 = gep %data, 2883584
+  %p12 = gep %data, 3145728
+  %p13 = gep %data, 3407872
+  %p14 = gep %data, 3670016
+  %p15 = gep %data, 3932160
+  store %one, %p0
+  store %one, %p1
+  store %one, %p2
+  store %one, %p3
+  store %one, %p4
+  store %one, %p5
+  store %one, %p6
+  store %one, %p7
+  store %one, %p8
+  store %one, %p9
+  store %one, %p10
+  store %one, %p11
+  store %one, %p12
+  store %one, %p13
+  store %one, %p14
+  store %one, %p15
+  storep %p0, %t0
+  storep %p1, %t1
+  storep %p2, %t2
+  storep %p3, %t3
+  storep %p4, %t4
+  storep %p5, %t5
+  storep %p6, %t6
+  storep %p7, %t7
+  storep %p8, %t8
+  storep %p9, %t9
+  storep %p10, %t10
+  storep %p11, %t11
+  storep %p12, %t12
+  storep %p13, %t13
+  storep %p14, %t14
+  storep %p15, %t15
+  jmp loop
+loop:
+  %i = phi.i64 [entry, %zero], [body, %i1]
+  %acc = phi.i64 [entry, %zero], [body, %a3]
+  %go = lt %i, %laps
+  br %go, body, done
+body:
+  %i1 = add %i, %one
+  %q0 = load.ptr %t0
+  %v0 = load.i64 %q0
+  %q1 = load.ptr %t1
+  %v1 = load.i64 %q1
+  %q2 = load.ptr %t2
+  %v2 = load.i64 %q2
+  %q3 = load.ptr %t3
+  %v3 = load.i64 %q3
+  %q4 = load.ptr %t4
+  %v4 = load.i64 %q4
+  %q5 = load.ptr %t5
+  %v5 = load.i64 %q5
+  %q6 = load.ptr %t6
+  %v6 = load.i64 %q6
+  %q7 = load.ptr %t7
+  %v7 = load.i64 %q7
+  %q8 = load.ptr %t8
+  %v8 = load.i64 %q8
+  %q9 = load.ptr %t9
+  %v9 = load.i64 %q9
+  %q10 = load.ptr %t10
+  %v10 = load.i64 %q10
+  %q11 = load.ptr %t11
+  %v11 = load.i64 %q11
+  %q12 = load.ptr %t12
+  %v12 = load.i64 %q12
+  %q13 = load.ptr %t13
+  %v13 = load.i64 %q13
+  %q14 = load.ptr %t14
+  %v14 = load.i64 %q14
+  %q15 = load.ptr %t15
+  %v15 = load.i64 %q15
+  %w0 = load.i64 %q0
+  %w1 = load.i64 %q1
+  %w2 = load.i64 %q2
+  %w3 = load.i64 %q3
+  %w4 = load.i64 %q4
+  %w5 = load.i64 %q5
+  %w6 = load.i64 %q6
+  %w7 = load.i64 %q7
+  %w8 = load.i64 %q8
+  %w9 = load.i64 %q9
+  %w10 = load.i64 %q10
+  %w11 = load.i64 %q11
+  %w12 = load.i64 %q12
+  %w13 = load.i64 %q13
+  %w14 = load.i64 %q14
+  %w15 = load.i64 %q15
+  %x0 = load.i64 %q0
+  %x1 = load.i64 %q1
+  %x2 = load.i64 %q2
+  %x3 = load.i64 %q3
+  %x4 = load.i64 %q4
+  %x5 = load.i64 %q5
+  %x6 = load.i64 %q6
+  %x7 = load.i64 %q7
+  %x8 = load.i64 %q8
+  %x9 = load.i64 %q9
+  %x10 = load.i64 %q10
+  %x11 = load.i64 %q11
+  %x12 = load.i64 %q12
+  %x13 = load.i64 %q13
+  %x14 = load.i64 %q14
+  %x15 = load.i64 %q15
+  %y0 = load.i64 %q0
+  %y1 = load.i64 %q1
+  %y2 = load.i64 %q2
+  %y3 = load.i64 %q3
+  %y4 = load.i64 %q4
+  %y5 = load.i64 %q5
+  %y6 = load.i64 %q6
+  %y7 = load.i64 %q7
+  %y8 = load.i64 %q8
+  %y9 = load.i64 %q9
+  %y10 = load.i64 %q10
+  %y11 = load.i64 %q11
+  %y12 = load.i64 %q12
+  %y13 = load.i64 %q13
+  %y14 = load.i64 %q14
+  %y15 = load.i64 %q15
+  %a0 = add %acc, %v0
+  %a1 = add %a0, %w5
+  %a2 = add %a1, %x10
+  %a3 = add %a2, %y15
+  jmp loop
+done:
+  ret %acc
+}
+)";
+
+
 } // namespace upr::ir
 
 #endif // UPR_COMPILER_DEMO_PROGRAMS_HH

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * FastExecutor: the direct-threaded execution tier over a
+ * LoweredModule (exec_lower.hh), with computed-goto dispatch where
+ * the compiler supports it. Two tiers (core/runtime.hh ExecTier):
+ *
+ *  - Model: every pointer operation goes through the Runtime exactly
+ *    as the Interpreter would — same call order, same cycles, same
+ *    counters and histograms, bit-exact to all existing goldens.
+ *    Dispatch is cheaper; the simulation is identical.
+ *
+ *  - Native: skips the timing model entirely. Memory still moves
+ *    through the simulated AddressSpace (so unmapped-access faults,
+ *    staged transaction writes and persistence bookkeeping are
+ *    preserved) and retained guards still run — raising the same
+ *    typed Faults and counting the same executor-level
+ *    dynamicCheckCount() — but conversions use a one-entry pool-base
+ *    cache instead of the simulated POLB/VALB, plain-memory accesses
+ *    go through a raw host-memory window, and fuel is burned a block
+ *    at a time.
+ *
+ * The cross-tier contract, enforced by tests and the BENCH_exec
+ * golden: identical results, instruction counts, fault kinds and
+ * dynamicCheckCount() on every workload × version cell.
+ */
+
+#ifndef UPR_COMPILER_EXEC_FAST_HH
+#define UPR_COMPILER_EXEC_FAST_HH
+
+#include "compiler/analysis/elision.hh"
+#include "compiler/exec_lower.hh"
+#include "core/runtime.hh"
+
+namespace upr
+{
+
+/** Executes lowered modules in either tier. */
+class FastExecutor
+{
+  public:
+    struct Config
+    {
+        /** Pool pmalloc allocates from. */
+        PoolId pool = 0;
+        /** Instruction budget (runaway-loop guard). */
+        std::uint64_t fuel = 50'000'000;
+        /** Call-depth limit. */
+        std::uint32_t maxDepth = 256;
+        /** Which tier to run. */
+        ExecTier tier = ExecTier::Model;
+    };
+
+    /**
+     * @param rt runtime supplying memory (and, in Model tier, timing)
+     * @param lm lowered module; must have been lowered for
+     *        rt.version() and must outlive the executor
+     */
+    FastExecutor(Runtime &rt, const LoweredModule &lm, Config config);
+
+    /** Tier and the rest of the config from rt.config().execTier. */
+    FastExecutor(Runtime &rt, const LoweredModule &lm);
+
+    /** Call @p name with integer/pointer arguments. */
+    std::uint64_t call(const std::string &name,
+                       const std::vector<std::uint64_t> &args = {});
+
+    /** Instructions executed so far (Interpreter-identical). */
+    std::uint64_t instructionCount() const
+    {
+        // Derived, not stored: fuel is the only counter maintained.
+        return config_.fuel - fuelLeft_;
+    }
+
+    /** Dynamic checks executed by plan-directed sites. */
+    std::uint64_t dynamicCheckCount() const { return dynChecks_; }
+
+    ExecTier tier() const { return config_.tier; }
+
+  private:
+    /**
+     * The Native tier's hot state, threaded through each exec frame
+     * as locals so the dispatch loop keeps it in registers instead
+     * of reloading members across every opaque runtime call:
+     *
+     *  - the raw-memory window: the last plain-memory region
+     *    touched, exposed as host memory so a load or store is one
+     *    bounds compare plus a memcpy. Dropped by every op that can
+     *    remap regions, grow a backing, or change plain-memory state
+     *    (alloc/free ops, returning from a call) — between those the
+     *    executor is the runtime's only client, so it stays valid.
+     *    All IR accesses are 8 bytes, so the limit is size - 8 and
+     *    the check is a single unsigned compare; an invalid window
+     *    sets base to kNoWindow, which no 48-bit simulated address
+     *    can fall within.
+     *
+     *  - the one-entry pool-base cache, validated against pool id
+     *    and size (out-of-range offsets still take the manager's
+     *    slow path and raise its typed faults). No attach-epoch
+     *    check: only pool attach/detach moves a pool, no executed op
+     *    can do either, and the cache dies with the frame.
+     *
+     * Fuel and the dynamic-check count are mirrored here too and
+     * flushed back to the executor at frame exit, around calls, and
+     * on unwind (see exec()'s catch block).
+     */
+    struct Frame
+    {
+        static constexpr SimAddr kNoWindow = SimAddr(1) << 62;
+
+        SimAddr winBase = kNoWindow;
+        Bytes winLim = 0;
+        std::uint8_t *winData = nullptr;
+
+        PoolId cachePool = 0;
+        SimAddr cacheBase = 0;
+        Bytes cacheSize = 0;
+
+        std::uint64_t fuel = 0;
+        std::uint64_t dynChecks = 0;
+
+        void dropWindow()
+        {
+            winBase = kNoWindow;
+            winLim = 0;
+        }
+    };
+
+    template <ExecTier Tier>
+    std::uint64_t exec(const LoweredFunction &lf,
+                       std::vector<std::uint64_t> &regs,
+                       std::uint32_t depth);
+
+    template <ExecTier Tier>
+    SimAddr resolveAddr(Frame &f, std::uint64_t bits, AddrMode mode,
+                        std::uint64_t site);
+
+    template <ExecTier Tier>
+    std::uint64_t cmpNorm(Frame &f, std::uint64_t bits, CmpMode mode,
+                          std::uint64_t site);
+
+    template <ExecTier Tier>
+    void execStoreP(Frame &f, std::uint64_t value, SimAddr dest_va,
+                    const LoweredInst &in);
+
+    /** Native storePtr: the runtime's stored-bits semantics only. */
+    void nativeStorePtr(Frame &f, SimAddr loc_va, PtrBits value);
+
+    /**
+     * Native memory access: a raw host load/store when the mapped
+     * backing is plain memory, else the full AddressSpace path (same
+     * unmapped faults, staged-transaction overlay, persistence
+     * bookkeeping).
+     */
+    template <typename T> T nativeRead(Frame &f, SimAddr va);
+    template <typename T> void nativeWrite(Frame &f, SimAddr va,
+                                           T value);
+
+    /** Window miss: refill from the space or take the full path. */
+    template <typename T> T nativeReadSlow(Frame &f, SimAddr va);
+    template <typename T> void nativeWriteSlow(Frame &f, SimAddr va,
+                                               T value);
+
+    /** Native ra2va through the frame's pool-base cache. */
+    SimAddr fastRa2va(Frame &f, PtrBits p);
+
+    /** Native va2ra through the same cache. */
+    PtrBits fastVa2ra(Frame &f, SimAddr va);
+
+    /**
+     * Burn a whole block's fuel (plus its entering edge's phi moves)
+     * in one subtraction. Exhaustion faults with the Interpreter's
+     * message and instructionCount() == the budget; the only
+     * divergence from per-instruction accounting is that the final
+     * partial block's side effects are not replayed — fuel is a
+     * runaway-loop backstop, not a semantic event.
+     */
+    void burnBlock(Frame &f, std::uint64_t n);
+
+    Runtime &rt_;
+    const LoweredModule *mod_;
+    Config config_;
+
+    std::uint64_t dynChecks_ = 0;
+    std::uint64_t fuelLeft_;
+
+    /** Parallel-copy scratch for phi-edge moves. */
+    std::vector<std::uint64_t> phiScratch_;
+};
+
+/**
+ * Tier-aware analogue of validateElision(): run @p entry through
+ * FastExecutor at @p tier under both plans (fresh SW runtimes) and
+ * compare. Backs `uprlint --exec-tier`.
+ */
+ElisionValidation
+validateElisionTier(const ir::Module &mod, const CheckPlan &before,
+                    const CheckPlan &after, const std::string &entry,
+                    const std::vector<std::uint64_t> &args,
+                    ExecTier tier);
+
+} // namespace upr
+
+#endif // UPR_COMPILER_EXEC_FAST_HH

@@ -1,0 +1,314 @@
+#include "compiler/exec_lower.hh"
+
+#include <functional>
+
+namespace upr
+{
+
+using namespace ir;
+
+ExecCounters::ExecCounters()
+{
+    group.registerCounter("loweredFunctions", loweredFunctions,
+                          "functions compiled to the flat tier");
+    group.registerCounter("loweredInsts", loweredInsts,
+                          "instructions pre-decoded by lowering");
+    group.registerCounter("loweredSites", loweredSites,
+                          "check sites the lowered code evaluates");
+    group.registerCounter("retainedGuards", retainedGuards,
+                          "sites lowered with their dynamic guard");
+    group.registerCounter("elidedGuards", elidedGuards,
+                          "sites lowered unchecked (proved safe)");
+    group.registerCounter("fusedPairs", fusedPairs,
+                          "adjacent pairs fused into superinstructions");
+    group.registerCounter("modelDispatches", modelDispatches,
+                          "instructions retired in Model tier");
+    group.registerCounter("nativeDispatches", nativeDispatches,
+                          "instructions retired in Native tier");
+}
+
+ExecCounters &
+execCounters()
+{
+    static ExecCounters inst;
+    return inst;
+}
+
+namespace
+{
+
+AddrMode
+bakeAddrMode(const InstPlan &ip, Version version)
+{
+    // The Interpreter tests the version before any plan flag; baking
+    // Volatile down to Plain reproduces that order statically.
+    if (version == Version::Volatile)
+        return AddrMode::Plain;
+    if (ip.addrDynamic)
+        return AddrMode::Dynamic;
+    if (ip.addrRefined)
+        return AddrMode::Refined;
+    if (ip.addrStaticConvert)
+        return AddrMode::StaticConvert;
+    return AddrMode::Plain;
+}
+
+CmpMode
+bakeCmpMode(bool dynamic, Version version)
+{
+    if (version == Version::Volatile)
+        return CmpMode::Raw;
+    return dynamic ? CmpMode::Dynamic : CmpMode::Static;
+}
+
+/** Count one lowered site; a retained guard if @p dynamic. */
+void
+countSite(LowerStats &stats, bool dynamic)
+{
+    ++stats.sites;
+    if (dynamic)
+        ++stats.retainedGuards;
+    else
+        ++stats.elidedGuards;
+}
+
+void
+lowerFunction(const Function &fn, const FunctionPlan &fp,
+              Version version,
+              const std::map<std::string, std::uint32_t> &fnIndex,
+              LoweredFunction &lf, LowerStats &stats)
+{
+    lf.fn = &fn;
+    lf.numRegs = fn.numValues();
+    const std::uint64_t fn_hash = std::hash<std::string>{}(fn.name);
+
+    // Pass 1: flat code index of every block's first non-phi inst,
+    // and its non-phi length (the executor's per-block fuel batch).
+    std::vector<std::uint32_t> block_start(fn.blocks.size(), 0);
+    std::vector<std::uint32_t> block_len(fn.blocks.size(), 0);
+    std::uint32_t flat = 0;
+    for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+        block_start[b] = flat;
+        for (const Inst &in : fn.blocks[b].insts) {
+            if (in.op != Op::Phi)
+                ++flat;
+        }
+        block_len[b] = flat - block_start[b];
+    }
+    lf.code.reserve(flat);
+    lf.entryFuel = fn.blocks.empty() ? 0 : block_len[0];
+
+    // Resolve one CFG edge's phi prefix into parallel moves. Every
+    // phi burns fuel per traversal in the Interpreter; the executor
+    // burns one per move, so the move list must cover the whole
+    // prefix — the verifier guarantees each phi has the edge.
+    auto emit_edge = [&](BlockId from,
+                         BlockId to) -> std::pair<std::uint32_t,
+                                                  std::uint32_t> {
+        const auto begin = static_cast<std::uint32_t>(
+            lf.movePool.size());
+        for (const Inst &phi : fn.blocks[to].insts) {
+            if (phi.op != Op::Phi)
+                break;
+            bool matched = false;
+            for (std::size_t i = 0; i < phi.phiBlocks.size(); ++i) {
+                if (phi.phiBlocks[i] == from) {
+                    lf.movePool.push_back(
+                        PhiMove{phi.result, phi.operands[i]});
+                    matched = true;
+                    break;
+                }
+            }
+            upr_assert_msg(matched,
+                           "@%s: phi in '%s' has no edge from '%s'",
+                           fn.name.c_str(),
+                           fn.blocks[to].name.c_str(),
+                           fn.blocks[from].name.c_str());
+        }
+        return {begin,
+                static_cast<std::uint32_t>(lf.movePool.size())};
+    };
+
+    // Pass 2: decode.
+    for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+        const Block &block = fn.blocks[b];
+        for (std::size_t idx = 0; idx < block.insts.size(); ++idx) {
+            const Inst &in = block.insts[idx];
+            if (in.op == Op::Phi)
+                continue;
+            const InstPlan &ip = fp.at(b, idx);
+
+            LoweredInst li;
+            li.op = static_cast<ExecOp>(in.op);
+            li.type = in.type;
+            li.result = in.result;
+            li.imm = in.imm;
+            // The Interpreter's exact site formula, with the
+            // original in-block index including the phi prefix.
+            li.site = (static_cast<std::uint64_t>(b) << 20) ^
+                      (idx << 4) ^ fn_hash;
+            if (!in.operands.empty())
+                li.a = in.operands[0];
+            if (in.operands.size() > 1)
+                li.b = in.operands[1];
+
+            switch (in.op) {
+              case Op::Load:
+              case Op::Store:
+              case Op::Free:
+                li.addr = bakeAddrMode(ip, version);
+                countSite(stats, ip.addrDynamic);
+                break;
+              case Op::Pfree:
+                // The plan annotates a site, but execution frees by
+                // raw bits with no address resolution (the allocator
+                // accepts either form); no guard is ever evaluated,
+                // so it does not count as a lowered site.
+                break;
+              case Op::StoreP:
+                li.addr = bakeAddrMode(ip, version);
+                li.storep = version == Version::Volatile
+                    ? StorePMode::Raw
+                    : (ip.destDynamic || ip.valueDynamic)
+                        ? StorePMode::Dynamic
+                        : StorePMode::Static;
+                li.destDynamic = ip.destDynamic;
+                li.valueDynamic = ip.valueDynamic;
+                li.destElided = ip.destElided;
+                countSite(stats, ip.addrDynamic);
+                countSite(stats, ip.destDynamic);
+                countSite(stats, ip.valueDynamic);
+                break;
+              case Op::PtrToInt:
+                li.cmp0 = bakeCmpMode(ip.cmp0Dynamic, version);
+                countSite(stats, ip.cmp0Dynamic);
+                break;
+              case Op::Eq:
+              case Op::Lt:
+                if (fn.valueTypes[in.operands[0]] == Type::Ptr) {
+                    li.cmp0 = bakeCmpMode(ip.cmp0Dynamic, version);
+                    countSite(stats, ip.cmp0Dynamic);
+                }
+                if (fn.valueTypes[in.operands[1]] == Type::Ptr) {
+                    li.cmp1 = bakeCmpMode(ip.cmp1Dynamic, version);
+                    countSite(stats, ip.cmp1Dynamic);
+                }
+                break;
+              case Op::Br: {
+                li.target0 = block_start[in.target0];
+                li.target1 = block_start[in.target1];
+                li.len0 = block_len[in.target0];
+                li.len1 = block_len[in.target1];
+                auto [m0b, m0e] = emit_edge(b, in.target0);
+                li.m0Begin = m0b;
+                li.m0End = m0e;
+                auto [m1b, m1e] = emit_edge(b, in.target1);
+                li.m1Begin = m1b;
+                li.m1End = m1e;
+                break;
+              }
+              case Op::Jmp: {
+                li.target0 = block_start[in.target0];
+                li.len0 = block_len[in.target0];
+                auto [m0b, m0e] = emit_edge(b, in.target0);
+                li.m0Begin = m0b;
+                li.m0End = m0e;
+                break;
+              }
+              case Op::Call: {
+                const auto it = fnIndex.find(in.callee);
+                upr_assert_msg(it != fnIndex.end(),
+                               "@%s: call to unknown @%s",
+                               fn.name.c_str(), in.callee.c_str());
+                li.calleeIdx = it->second;
+                li.argBegin = static_cast<std::uint32_t>(
+                    lf.argPool.size());
+                for (ValueId v : in.operands)
+                    lf.argPool.push_back(v);
+                li.argEnd = static_cast<std::uint32_t>(
+                    lf.argPool.size());
+                break;
+              }
+              default:
+                break;
+            }
+            lf.code.push_back(li);
+        }
+    }
+
+    // Pass 3: superinstruction fusion. Greedy left-to-right within
+    // each block: rewrite the first of an adjacent pair to its fused
+    // opcode; the handler executes both bodies (identical work and
+    // order, so both tiers stay bit-exact) with one dispatch. Never
+    // across block boundaries — branch targets are block starts, and
+    // the second instruction must not be separately reachable.
+    const auto fuse_of = [](ExecOp a, ExecOp b) -> ExecOp {
+        switch (a) {
+          case ExecOp::Gep:
+            return b == ExecOp::Load ? ExecOp::FuseGepLoad : a;
+          case ExecOp::Load:
+            if (b == ExecOp::Load)
+                return ExecOp::FuseLoadLoad;
+            if (b == ExecOp::Store)
+                return ExecOp::FuseLoadStore;
+            if (b == ExecOp::StoreP)
+                return ExecOp::FuseLoadStoreP;
+            return a;
+          case ExecOp::Store:
+            if (b == ExecOp::Store)
+                return ExecOp::FuseStoreStore;
+            if (b == ExecOp::Gep)
+                return ExecOp::FuseStoreGep;
+            return a;
+          case ExecOp::Add:
+            return b == ExecOp::Add ? ExecOp::FuseAddAdd : a;
+          default:
+            return a;
+        }
+    };
+    for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+        const std::uint32_t end = block_start[b] + block_len[b];
+        for (std::uint32_t i = block_start[b]; i + 1 < end; ++i) {
+            const ExecOp fused =
+                fuse_of(lf.code[i].op, lf.code[i + 1].op);
+            if (fused != lf.code[i].op) {
+                lf.code[i].op = fused;
+                ++stats.fusedPairs;
+                ++i; // the pair's second half is not re-fusable
+            }
+        }
+    }
+
+    ++stats.functions;
+    stats.instructions += lf.code.size();
+}
+
+} // namespace
+
+LoweredModule
+lowerModule(const Module &mod, const CheckPlan &plan, Version version)
+{
+    LoweredModule lm;
+    lm.version = version;
+    for (std::size_t i = 0; i < mod.functions.size(); ++i) {
+        lm.indexByName[mod.functions[i]->name] =
+            static_cast<std::uint32_t>(i);
+    }
+    lm.functions.resize(mod.functions.size());
+    for (std::size_t i = 0; i < mod.functions.size(); ++i) {
+        const Function &fn = *mod.functions[i];
+        lowerFunction(fn, plan.perFunction.at(fn.name), version,
+                      lm.indexByName, lm.functions[i], lm.stats);
+    }
+
+    ExecCounters &ec = execCounters();
+    ec.loweredFunctions.add(lm.stats.functions);
+    ec.loweredInsts.add(lm.stats.instructions);
+    ec.loweredSites.add(lm.stats.sites);
+    ec.retainedGuards.add(lm.stats.retainedGuards);
+    ec.elidedGuards.add(lm.stats.elidedGuards);
+    ec.fusedPairs.add(lm.stats.fusedPairs);
+    return lm;
+}
+
+} // namespace upr

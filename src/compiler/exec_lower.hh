@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Pre-lowering for the direct-threaded execution tier (paper Sec
+ * VII-B throughput; see docs/PERFORMANCE.md §execution-tiers).
+ *
+ * lowerModule() compiles each Function once into a flat array of
+ * pre-decoded LoweredInsts: operand slots, the interpreter's exact
+ * per-instruction site id, flat branch targets, per-edge phi moves,
+ * and — the point of the exercise — the CheckPlan verdict for every
+ * site baked into an executable mode:
+ *
+ *   - sites uprlint proved safe (flow-proved-kind, available-check,
+ *     dest-implied-by-addr) lower to unchecked conversions or plain
+ *     loads/stores;
+ *   - only needs-dynamic-check sites keep the guard.
+ *
+ * The Version is baked at lower time too (Volatile collapses every
+ * mode to the unchecked form, exactly as the Interpreter's version
+ * test would at each instruction), so the executor's dispatch loop
+ * never re-derives a plan decision. FastExecutor (exec_fast.hh) runs
+ * the result in either tier.
+ */
+
+#ifndef UPR_COMPILER_EXEC_LOWER_HH
+#define UPR_COMPILER_EXEC_LOWER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "compiler/check_insertion.hh"
+#include "compiler/ir.hh"
+#include "core/runtime.hh"
+#include "obs/metrics.hh"
+
+namespace upr
+{
+
+/** How a lowered address operand resolves (plan × version, baked). */
+enum class AddrMode : std::uint8_t
+{
+    /** Statically virtual: null check + toVa, no guard. */
+    Plain,
+    /** Retained guard: the full dynamic resolveForAccess path. */
+    Dynamic,
+    /** Checked earlier on every path: convert per form, no guard. */
+    Refined,
+    /** Proved relative: the planted ra2va conversion alone. */
+    StaticConvert,
+};
+
+/** How a comparison/cast pointer operand normalizes. */
+enum class CmpMode : std::uint8_t
+{
+    /** Not a pointer operand: bits pass through untouched. */
+    Int,
+    /** Volatile version: raw bits, no normalization or guard. */
+    Raw,
+    /** Proved kind: convert if relative, no guard. */
+    Static,
+    /** Retained guard: dynamic determineY + conversion. */
+    Dynamic,
+};
+
+/** How a lowered storep executes. */
+enum class StorePMode : std::uint8_t
+{
+    /** Volatile version: store the raw bits. */
+    Raw,
+    /** At least one retained guard: the runtime storePtr path. */
+    Dynamic,
+    /** Fully static: the planted canonicalization sequence. */
+    Static,
+};
+
+/**
+ * Executable opcode: the ir::Op set (same order, so lowering is a
+ * cast) plus fused superinstructions. Fusion rewrites the first
+ * instruction of an adjacent pair to a fused opcode whose handler
+ * executes both bodies — the exact same work in the exact same order,
+ * one dispatch instead of two. The second instruction stays in the
+ * code array (the handler reads its operands) but is never dispatched;
+ * that is always legal because branch targets are block starts, so
+ * nothing can jump between the two.
+ */
+enum class ExecOp : std::uint8_t
+{
+    Const,
+    Alloca,
+    Malloc,
+    Pmalloc,
+    Free,
+    Pfree,
+    Load,
+    Store,
+    StoreP,
+    Gep,
+    PtrToInt,
+    IntToPtr,
+    Eq,
+    Lt,
+    Add,
+    Sub,
+    Mul,
+    Br,
+    Jmp,
+    Phi,
+    Call,
+    Ret,
+    /** gep then load (pointer walks: chase, list traversal). */
+    FuseGepLoad,
+    /** back-to-back loads (readback scans). */
+    FuseLoadLoad,
+    /** load then plain store (copy/shift kernels). */
+    FuseLoadStore,
+    /** back-to-back plain stores (fill kernels). */
+    FuseStoreStore,
+    /** store then gep (streaming with a moving pointer). */
+    FuseStoreGep,
+    /** load then storep (pointer republishing). */
+    FuseLoadStoreP,
+    /** back-to-back adds (reduction tails). */
+    FuseAddAdd,
+};
+
+static_assert(static_cast<int>(ExecOp::Load) ==
+                      static_cast<int>(ir::Op::Load) &&
+                  static_cast<int>(ExecOp::Br) ==
+                      static_cast<int>(ir::Op::Br) &&
+                  static_cast<int>(ExecOp::Ret) ==
+                      static_cast<int>(ir::Op::Ret),
+              "ExecOp must mirror ir::Op up to Ret");
+
+/** One phi-edge register move (parallel-copy semantics). */
+struct PhiMove
+{
+    std::uint32_t dst;
+    std::uint32_t src;
+};
+
+/**
+ * One pre-decoded instruction. Operand slots, the site id, branch
+ * targets (as indices into the owning function's flat code array),
+ * phi-edge move ranges and all plan verdicts are resolved at lower
+ * time; the executor only reads this struct.
+ */
+struct LoweredInst
+{
+    ExecOp op;
+    ir::Type type = ir::Type::Void;
+    std::uint32_t result = ir::kNoValue;
+    /** First value operand (value for store/storep; addr for load). */
+    std::uint32_t a = ir::kNoValue;
+    /** Second value operand (addr for store/storep; rhs for cmp). */
+    std::uint32_t b = ir::kNoValue;
+    std::int64_t imm = 0;
+    /**
+     * The Interpreter's site id for this instruction, precomputed
+     * with the original in-block index (phi prefix included) so
+     * Model-tier branch-predictor and check-site streams are
+     * bit-exact with interpreted execution.
+     */
+    std::uint64_t site = 0;
+    /** Br taken / Jmp target as a flat code index. */
+    std::uint32_t target0 = 0;
+    /** Br fall-through as a flat code index. */
+    std::uint32_t target1 = 0;
+    /**
+     * Non-phi instruction count of the target blocks, so the executor
+     * burns a whole block's fuel in one subtraction at edge-taking
+     * time instead of one decrement per dispatch.
+     */
+    std::uint32_t len0 = 0;
+    std::uint32_t len1 = 0;
+    /** Callee index into LoweredModule::functions (Call only). */
+    std::uint32_t calleeIdx = ~0U;
+    /** Call argument slots: [argBegin, argEnd) into argPool. */
+    std::uint32_t argBegin = 0;
+    std::uint32_t argEnd = 0;
+    /** Phi moves of the taken/Jmp edge: [m0Begin, m0End). */
+    std::uint32_t m0Begin = 0;
+    std::uint32_t m0End = 0;
+    /** Phi moves of the fall-through edge: [m1Begin, m1End). */
+    std::uint32_t m1Begin = 0;
+    std::uint32_t m1End = 0;
+
+    AddrMode addr = AddrMode::Plain;
+    CmpMode cmp0 = CmpMode::Int;
+    CmpMode cmp1 = CmpMode::Int;
+    StorePMode storep = StorePMode::Raw;
+    /** Retained storep guards (counted like the Interpreter's). */
+    bool destDynamic = false;
+    bool valueDynamic = false;
+    /** Elided determineX: keep the strict storeP fault semantics. */
+    bool destElided = false;
+};
+
+/** One function compiled to the flat direct-threaded form. */
+struct LoweredFunction
+{
+    /** The source function (module must outlive the lowering). */
+    const ir::Function *fn = nullptr;
+    /** Non-phi instructions of every block, concatenated. */
+    std::vector<LoweredInst> code;
+    /** Phi-edge moves referenced by LoweredInst ranges. */
+    std::vector<PhiMove> movePool;
+    /** Call argument slots referenced by LoweredInst ranges. */
+    std::vector<std::uint32_t> argPool;
+    /** Register-file size of a frame. */
+    std::uint32_t numRegs = 0;
+    /** Non-phi instruction count of the entry block (fuel batch). */
+    std::uint32_t entryFuel = 0;
+};
+
+/** What lowering did (feeds the "exec" metrics group and benches). */
+struct LowerStats
+{
+    std::uint64_t functions = 0;
+    std::uint64_t instructions = 0;
+    /** Check sites the lowered code evaluates at runtime. */
+    std::uint64_t sites = 0;
+    /** Sites that kept their dynamic guard. */
+    std::uint64_t retainedGuards = 0;
+    /** Sites lowered unchecked (proved safe or statically known). */
+    std::uint64_t elidedGuards = 0;
+    /** Adjacent pairs fused into superinstructions. */
+    std::uint64_t fusedPairs = 0;
+};
+
+/** A module compiled for FastExecutor. */
+struct LoweredModule
+{
+    /** The version the modes were baked for (must match the rt). */
+    Version version = Version::Sw;
+    std::vector<LoweredFunction> functions;
+    std::map<std::string, std::uint32_t> indexByName;
+    LowerStats stats;
+};
+
+/**
+ * Compile @p mod once for @p version under @p plan. @p mod and
+ * @p plan must outlive the result. Panics (verifier contract) on a
+ * phi lacking an edge for a CFG predecessor.
+ */
+LoweredModule lowerModule(const ir::Module &mod, const CheckPlan &plan,
+                          Version version);
+
+/**
+ * The lazily-created "exec" metrics group: registered with the
+ * observability registry on first use only, so runs that never touch
+ * the execution tiers (the default bench sections, their goldens,
+ * metrics dumps) stay bit-identical.
+ */
+struct ExecCounters
+{
+    StatGroup group{"exec"};
+    Counter loweredFunctions;
+    Counter loweredInsts;
+    Counter loweredSites;
+    Counter retainedGuards;
+    Counter elidedGuards;
+    Counter fusedPairs;
+    Counter modelDispatches;
+    Counter nativeDispatches;
+    obs::ScopedMetricsGroup scoped{group};
+
+    ExecCounters();
+};
+
+/** Process-wide instance, created on first call. */
+ExecCounters &execCounters();
+
+} // namespace upr
+
+#endif // UPR_COMPILER_EXEC_LOWER_HH

@@ -18,6 +18,16 @@ versionName(Version v)
     return "?";
 }
 
+const char *
+execTierName(ExecTier t)
+{
+    switch (t) {
+      case ExecTier::Model:  return "model";
+      case ExecTier::Native: return "native";
+    }
+    return "?";
+}
+
 Runtime::Runtime() : Runtime(Config{}) {}
 
 Runtime::Runtime(Config config)

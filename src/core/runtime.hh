@@ -54,6 +54,23 @@ enum class Version
 /** Printable version name. */
 const char *versionName(Version v);
 
+/**
+ * How compiled IR executes against this runtime (see
+ * compiler/exec_fast.hh). Model drives every pointer operation
+ * through the full timing model and is bit-exact to the Interpreter
+ * (same cycles, counters, and histograms); Native skips the timing
+ * model for raw host throughput while preserving results, faults,
+ * and the executor-level dynamic-check count.
+ */
+enum class ExecTier
+{
+    Model,
+    Native,
+};
+
+/** Printable tier name ("model" / "native", as in BENCH_exec.json). */
+const char *execTierName(ExecTier t);
+
 /** Per-check-site identifiers for the branch predictor (SW mode). */
 enum class CheckSite : std::uint64_t
 {
@@ -109,6 +126,14 @@ class Runtime
          * arch/bypass.hh). None keeps the calibrated behaviour.
          */
         MmuFrontModel mmuFront = MmuFrontModel::None;
+
+        /**
+         * Default execution tier for compiled-IR runs against this
+         * runtime: FastExecutor instances constructed without an
+         * explicit tier inherit it (the Interpreter is always
+         * Model-equivalent).
+         */
+        ExecTier execTier = ExecTier::Model;
     };
 
     /** Construct with default configuration (HW version). */

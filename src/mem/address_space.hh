@@ -130,6 +130,62 @@ class AddressSpace
         r.backing->write(r.backingOff + (addr - r.base), src, n);
     }
 
+    /**
+     * Raw host pointer covering [addr, addr+n) for a direct read,
+     * or nullptr when the range is unmapped, split, or the backing
+     * needs the full read() path (an installed write stage). The
+     * pointer is only valid until the next map/unmap or backing
+     * grow/assign — callers must re-request it per access, which the
+     * MRU cache keeps to a couple of compares.
+     */
+    const std::uint8_t *
+    rawReadSpan(SimAddr addr, Bytes n) const
+    {
+        const Region *r = find(addr);
+        if (!r || addr + n > r->base + r->size ||
+            !r->backing->plainRead())
+            return nullptr;
+        return r->backing->rawData() + r->backingOff +
+               (addr - r->base);
+    }
+
+    /** Write analogue of rawReadSpan(): also requires plainWrite(). */
+    std::uint8_t *
+    rawWriteSpan(SimAddr addr, Bytes n)
+    {
+        const Region *r = find(addr);
+        if (!r || addr + n > r->base + r->size ||
+            !r->backing->plainWrite())
+            return nullptr;
+        return r->backing->rawData() + r->backingOff +
+               (addr - r->base);
+    }
+
+    /** A whole region exposed as raw host memory. */
+    struct RawRegion
+    {
+        SimAddr base = 0;
+        Bytes size = 0;
+        std::uint8_t *data = nullptr;
+    };
+
+    /**
+     * The full extent of the plain-memory region containing @p addr,
+     * or an empty RawRegion. Callers holding the result across
+     * accesses must drop it before anything that can remap regions,
+     * grow a backing, or change a backing's plain-memory state
+     * (stages, observers, persistence domain, quarantine).
+     */
+    RawRegion
+    rawRegion(SimAddr addr)
+    {
+        const Region *r = find(addr);
+        if (!r || !r->backing->plainWrite())
+            return RawRegion{};
+        return RawRegion{r->base, r->size,
+                         r->backing->rawData() + r->backingOff};
+    }
+
     /** Typed read of a trivially copyable value. */
     template <typename T>
     T

@@ -322,6 +322,33 @@ class Backing
     /** Size in bytes. */
     Bytes size() const { return bytes_.size(); }
 
+    /**
+     * True while a read is a plain memcpy of the live bytes: no
+     * write stage is installed to overlay. Fast-path gate for
+     * callers (the Native execution tier) that bypass read() —
+     * reads have no observers, so nothing else can differ.
+     */
+    bool plainRead() const { return stage_ == nullptr; }
+
+    /**
+     * True while a write is a plain memcpy into the live bytes:
+     * no stage to capture it, no observers to notify, not
+     * quarantined, and no persistence domain tracking dirty lines.
+     */
+    bool
+    plainWrite() const
+    {
+        return stage_ == nullptr && !writeObserver_ &&
+               !persistObserver_ && !readOnly_ && !domainEnabled_;
+    }
+
+    /**
+     * Raw live bytes, for fast-path callers that checked
+     * plainRead()/plainWrite() first. The pointer is invalidated by
+     * grow() and assign().
+     */
+    std::uint8_t *rawData() { return bytes_.data(); }
+
     /** Grow to @p new_size bytes (never shrinks). */
     void
     grow(Bytes new_size)

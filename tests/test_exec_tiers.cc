@@ -1,0 +1,241 @@
+/** @file Cross-engine invariance for the direct-threaded execution
+ * tiers: every tests/ir_corpus fixture and every demo workload must
+ * produce byte-identical results, instruction counts and dynamic
+ * check counts through the Interpreter, the FastExecutor Model tier
+ * and the FastExecutor Native tier — and the Model tier must land on
+ * the Interpreter's exact simulated cycle count. Faults are part of
+ * the contract too: all three engines raise the same Fault kind. */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_ir.hh"
+#include "compiler/interpreter.hh"
+
+using namespace upr;
+using namespace upr::bench;
+
+namespace
+{
+
+const char *kCorpusFixtures[] = {
+    "all_dynamic.ir",       "clean_static.ir",  "fig9_append.ir",
+    "guard_narrow.ir",      "cross_pool_compare.ir",
+    "escaping_arith.ir",    "mixed_storep.ir",
+};
+
+std::string
+readFixture(const std::string &name)
+{
+    const std::string path =
+        std::string(UPR_IR_CORPUS_DIR) + "/" + name;
+    std::ifstream f(path);
+    EXPECT_TRUE(f.good()) << "missing fixture " << path;
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+enum class Engine
+{
+    Interp,
+    Model,
+    Native,
+};
+
+const Engine kEngines[] = {Engine::Interp, Engine::Model,
+                           Engine::Native};
+
+const char *
+engineName(Engine e)
+{
+    switch (e) {
+      case Engine::Interp: return "interpreter";
+      case Engine::Model: return "model";
+      case Engine::Native: return "native";
+    }
+    return "?";
+}
+
+struct EngineRun
+{
+    bool faulted = false;
+    FaultKind fault = FaultKind::BadUsage;
+    std::string faultWhat;
+    std::uint64_t result = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t dynamicChecks = 0;
+    Cycles cycles = 0;
+};
+
+/** Run @main through one engine on a fresh SW runtime. */
+EngineRun
+runEngine(const ExecProgram &p, Engine e,
+          const std::vector<std::uint64_t> &args,
+          bool strict_storep = false)
+{
+    Runtime::Config cfg;
+    cfg.version = Version::Sw;
+    cfg.seed = 0xB0;
+    cfg.strictStoreP = strict_storep;
+    cfg.execTier =
+        e == Engine::Native ? ExecTier::Native : ExecTier::Model;
+    Runtime rt(cfg);
+    const PoolId pool = rt.createPool("exec", 32 << 20);
+
+    EngineRun r;
+    try {
+        if (e == Engine::Interp) {
+            Interpreter::Config icfg;
+            icfg.pool = pool;
+            Interpreter in(rt, p.mod, p.plan, icfg);
+            r.result = in.call("main", args);
+            r.instructions = in.instructionCount();
+            r.dynamicChecks = in.dynamicCheckCount();
+        } else {
+            const LoweredModule lm =
+                lowerModule(p.mod, p.plan, rt.version());
+            FastExecutor::Config xcfg;
+            xcfg.pool = pool;
+            xcfg.tier = e == Engine::Native ? ExecTier::Native
+                                            : ExecTier::Model;
+            FastExecutor ex(rt, lm, xcfg);
+            r.result = ex.call("main", args);
+            r.instructions = ex.instructionCount();
+            r.dynamicChecks = ex.dynamicCheckCount();
+        }
+    } catch (const Fault &f) {
+        r.faulted = true;
+        r.fault = f.kind();
+        r.faultWhat = f.what();
+    }
+    r.cycles = rt.machine().now();
+    return r;
+}
+
+/** Run all three engines and assert the cross-engine contract. */
+void
+expectEnginesAgree(const ExecProgram &p,
+                   const std::vector<std::uint64_t> &args,
+                   bool strict_storep = false)
+{
+    const EngineRun interp =
+        runEngine(p, Engine::Interp, args, strict_storep);
+    for (Engine e : {Engine::Model, Engine::Native}) {
+        SCOPED_TRACE(engineName(e));
+        const EngineRun run = runEngine(p, e, args, strict_storep);
+        ASSERT_EQ(run.faulted, interp.faulted)
+            << (run.faulted ? run.faultWhat : interp.faultWhat);
+        if (interp.faulted) {
+            EXPECT_EQ(run.fault, interp.fault);
+            continue;
+        }
+        EXPECT_EQ(run.result, interp.result);
+        EXPECT_EQ(run.instructions, interp.instructions);
+        EXPECT_EQ(run.dynamicChecks, interp.dynamicChecks);
+        // The Model tier is the same simulation behind a faster
+        // dispatch loop: the clock must not move by a single cycle.
+        if (e == Engine::Model) {
+            EXPECT_EQ(run.cycles, interp.cycles);
+        }
+    }
+}
+
+} // namespace
+
+TEST(ExecTiers, CorpusFixturesAgreeAcrossEngines)
+{
+    for (const char *name : kCorpusFixtures) {
+        SCOPED_TRACE(name);
+        const ExecProgram p =
+            compileExecProgram(readFixture(name).c_str());
+        // The uprlint validation contract: runnable @main with
+        // integer parameters, every argument 8.
+        const std::vector<std::uint64_t> args(
+            p.mod.get("main").paramTypes.size(), 8);
+        expectEnginesAgree(p, args);
+    }
+}
+
+TEST(ExecTiers, DemoWorkloadsAgreeAcrossEngines)
+{
+    for (const ExecWorkload &w : execWorkloads(/*scale=*/100)) {
+        SCOPED_TRACE(w.name);
+        const ExecProgram p = compileExecProgram(w.source);
+        expectEnginesAgree(p, w.args);
+    }
+}
+
+// The degenerate end of the elision spectrum: a program where every
+// site keeps its guard. The Native tier gains nothing here but must
+// stay bit-identical — the tier switch changes speed, never results.
+TEST(ExecTiers, AllDynamicFixtureRetainsEveryGuard)
+{
+    const ExecProgram p =
+        compileExecProgram(readFixture("all_dynamic.ir").c_str());
+    EXPECT_EQ(p.elidedSites, 0u);
+
+    const ExecRun model = runExecTier(p, ExecTier::Model, {});
+    const ExecRun native = runExecTier(p, ExecTier::Native, {});
+    EXPECT_GT(model.lowered.sites, 0u);
+    EXPECT_EQ(model.lowered.retainedGuards, model.lowered.sites);
+    EXPECT_EQ(model.lowered.elidedGuards, 0u);
+    EXPECT_EQ(native.result, model.result);
+    EXPECT_EQ(native.instructions, model.instructions);
+    EXPECT_EQ(native.dynamicChecks, model.dynamicChecks);
+    EXPECT_GT(model.dynamicChecks, 0u);
+}
+
+// Fully-static programs take the Native tier's raw-window fast path
+// for every access; the checksum still must not drift.
+TEST(ExecTiers, SweepIsFullyElided)
+{
+    const ExecProgram p = compileExecProgram(ir::kSweepSource);
+    const ExecRun model = runExecTier(p, ExecTier::Model, {64});
+    const ExecRun native = runExecTier(p, ExecTier::Native, {64});
+    EXPECT_EQ(model.lowered.retainedGuards, 0u);
+    EXPECT_GT(model.lowered.sites, 0u);
+    EXPECT_EQ(model.dynamicChecks, 0u);
+    EXPECT_EQ(native.dynamicChecks, 0u);
+    EXPECT_EQ(native.result, model.result);
+}
+
+// An elided destination check must keep the strict storeP fault
+// semantics in every engine: dest-implied-by-addr removes the
+// determineX guard, not the Table I fault row.
+TEST(ExecTiers, ElidedDestKeepsStrictStorePFault)
+{
+    // Open-world inference leaves @sink's parameter Unknown, so the
+    // storep's destination check is inserted dynamically and then
+    // elided (dest-implied-by-addr); the value is statically a DRAM
+    // virtual address, so the storep lowers to StorePMode::Static
+    // with destElided set. At runtime the destination is NVM.
+    static const char *kSource = R"(
+func @sink(%d: ptr) -> i64 {
+entry:
+  %h = malloc 8
+  storep %h, %d
+  %z = const 0
+  ret %z
+}
+func @main() -> i64 {
+entry:
+  %p = pmalloc 16
+  %r = call @sink(%p)
+  ret %r
+}
+)";
+    const ExecProgram p = compileExecProgram(kSource);
+    for (Engine e : kEngines) {
+        SCOPED_TRACE(engineName(e));
+        const EngineRun run =
+            runEngine(p, e, {}, /*strict_storep=*/true);
+        ASSERT_TRUE(run.faulted);
+        EXPECT_EQ(run.fault, FaultKind::StorePFault);
+    }
+    // Without strict mode the same program completes everywhere.
+    expectEnginesAgree(p, {}, /*strict_storep=*/false);
+}

@@ -37,6 +37,7 @@ struct Fixture
 };
 
 const Fixture kFixtures[] = {
+    {"all_dynamic.ir", nullptr, false, false},
     {"clean_static.ir", nullptr, true, false},
     {"fig9_append.ir", nullptr, false, false},
     {"guard_narrow.ir", nullptr, false, false},

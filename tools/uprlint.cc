@@ -11,8 +11,14 @@
  * execution validation when the module has a runnable @main.
  *
  * Options:
- *   --json             machine-readable output (one JSON document)
+ *   --json             machine-readable output (one JSON document),
+ *                      including the per-site elision records the
+ *                      fast-path lowering consumes (site id, proof
+ *                      kind, retained/elided status)
  *   --report-elision   run the elision pass and print its proofs
+ *   --exec-tier TIER   validate elision through the direct-threaded
+ *                      FastExecutor instead of the Interpreter;
+ *                      TIER is "model" or "native"
  *   --whole-program    treat the module as closed: parameter kinds
  *                      come only from call sites in the module
  *   --flow-refine      enable block-local refinement in the base
@@ -27,6 +33,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -35,6 +42,7 @@
 #include "common/fault.hh"
 #include "compiler/analysis/elision.hh"
 #include "compiler/analysis/fig4_conformance.hh"
+#include "compiler/exec_fast.hh"
 #include "compiler/ir_parser.hh"
 
 using namespace upr;
@@ -48,7 +56,27 @@ struct Options
     bool reportElision = false;
     bool wholeProgram = false;
     bool flowRefine = false;
+    /** Validate through FastExecutor instead of the Interpreter. */
+    bool execTierSet = false;
+    ExecTier execTier = ExecTier::Model;
     std::vector<std::string> files;
+};
+
+/**
+ * One check site of the final plan, as the stable machine-readable
+ * contract `--json` publishes for the fast-path lowering: the site
+ * id ("fn:block:inst:role"), its post-elision status, and the proof
+ * rule that elided it (empty when none applies).
+ */
+struct SiteRecord
+{
+    std::string id;
+    int line = 0;
+    int col = 0;
+    std::string role;
+    /** retained / elided / refined / static-convert / static. */
+    std::string status;
+    std::string proof;
 };
 
 /** Per-file lint outcome (for JSON assembly). */
@@ -61,6 +89,7 @@ struct FileResult
     ConformanceReport report;
     CheckPlan plan;
     ElisionResult elision;
+    std::vector<SiteRecord> siteRecords;
     bool validated = false;
     ElisionValidation validation;
     std::vector<std::uint64_t> validationArgs;
@@ -72,8 +101,79 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: uprlint [--json] [--report-elision] "
-                 "[--whole-program] [--flow-refine] [--] file.ir...\n");
+                 "[--exec-tier model|native] [--whole-program] "
+                 "[--flow-refine] [--] file.ir...\n");
     return 2;
+}
+
+/** Enumerate the plan's check sites in program order. */
+void
+collectSiteRecords(const ir::Module &mod, FileResult &r)
+{
+    std::map<std::string, std::string> proof_kind;
+    for (const ElisionProof &p : r.elision.proofs) {
+        proof_kind[p.function + ":" + std::to_string(p.block) + ":" +
+                   std::to_string(p.instIdx) + ":" + p.role] = p.kind;
+    }
+    for (const auto &fptr : mod.functions) {
+        const ir::Function &fn = *fptr;
+        const FunctionPlan &fp = r.plan.perFunction.at(fn.name);
+        for (ir::BlockId b = 0; b < fn.blocks.size(); ++b) {
+            for (std::size_t i = 0; i < fn.blocks[b].insts.size();
+                 ++i) {
+                const ir::Inst &in = fn.blocks[b].insts[i];
+                const InstPlan &ip = fp.at(b, i);
+                auto add = [&](const char *role, bool dynamic,
+                               bool refined, bool convert) {
+                    SiteRecord rec;
+                    rec.id = fn.name + ":" + std::to_string(b) + ":" +
+                             std::to_string(i) + ":" + role;
+                    rec.line = in.loc.line;
+                    rec.col = in.loc.col;
+                    rec.role = role;
+                    const auto it = proof_kind.find(rec.id);
+                    if (it != proof_kind.end())
+                        rec.proof = it->second;
+                    rec.status = dynamic ? "retained"
+                        : it != proof_kind.end() ? "elided"
+                        : refined ? "refined"
+                        : convert ? "static-convert"
+                        : "static";
+                    r.siteRecords.push_back(std::move(rec));
+                };
+                switch (in.op) {
+                  case ir::Op::Load:
+                  case ir::Op::Free:
+                  case ir::Op::Pfree:
+                  case ir::Op::Store:
+                  case ir::Op::StoreP:
+                    add("addr", ip.addrDynamic, ip.addrRefined,
+                        ip.addrStaticConvert);
+                    if (in.op == ir::Op::StoreP) {
+                        add("dest", ip.destDynamic, false, false);
+                        add("value", ip.valueDynamic, false, false);
+                    }
+                    break;
+                  case ir::Op::PtrToInt:
+                    add("op0", ip.cmp0Dynamic, false, false);
+                    break;
+                  case ir::Op::Eq:
+                  case ir::Op::Lt:
+                    if (fn.valueTypes[in.operands[0]] ==
+                        ir::Type::Ptr) {
+                        add("op0", ip.cmp0Dynamic, false, false);
+                    }
+                    if (fn.valueTypes[in.operands[1]] ==
+                        ir::Type::Ptr) {
+                        add("op1", ip.cmp1Dynamic, false, false);
+                    }
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+    }
 }
 
 FileResult
@@ -124,8 +224,12 @@ lintFile(const std::string &path, const Options &opt)
         if (runnable) {
             r.validationArgs.assign(entry->paramTypes.size(), 8);
             try {
-                r.validation = validateElision(
-                    mod, before, r.plan, "main", r.validationArgs);
+                r.validation = opt.execTierSet
+                    ? validateElisionTier(mod, before, r.plan,
+                                          "main", r.validationArgs,
+                                          opt.execTier)
+                    : validateElision(mod, before, r.plan, "main",
+                                      r.validationArgs);
                 r.validated = true;
                 if (!r.validation.bitIdentical)
                     r.hasErrors = true;
@@ -137,6 +241,7 @@ lintFile(const std::string &path, const Options &opt)
             }
         }
     }
+    collectSiteRecords(mod, r);
     return r;
 }
 
@@ -171,10 +276,16 @@ printText(const FileResult &r, const Options &opt)
                         p.function.c_str());
         }
         if (r.validated) {
+            char tier_tag[32] = "";
+            if (opt.execTierSet) {
+                std::snprintf(tier_tag, sizeof tier_tag,
+                              " (%s tier)",
+                              execTierName(opt.execTier));
+            }
             std::printf(
-                "%s: validation: @main result %llu == %llu, "
+                "%s: validation%s: @main result %llu == %llu, "
                 "dynamic checks %llu -> %llu, bit-identical: %s\n",
-                r.file.c_str(),
+                r.file.c_str(), tier_tag,
                 (unsigned long long)r.validation.resultBefore,
                 (unsigned long long)r.validation.resultAfter,
                 (unsigned long long)r.validation.checksBefore,
@@ -211,6 +322,19 @@ printJson(const std::vector<FileResult> &results, const Options &opt)
                     (unsigned long long)r.plan.remainingSites,
                     (unsigned long long)r.plan.refinedSites,
                     (unsigned long long)r.plan.elidedSites);
+        std::printf("  \"siteRecords\": [");
+        for (std::size_t s = 0; s < r.siteRecords.size(); ++s) {
+            const SiteRecord &sr = r.siteRecords[s];
+            std::printf("%s\n    {\"id\": \"%s\", \"line\": %d, "
+                        "\"col\": %d, \"role\": \"%s\", "
+                        "\"status\": \"%s\", \"proof\": \"%s\"}",
+                        s ? "," : "", jsonEscape(sr.id).c_str(),
+                        sr.line, sr.col,
+                        jsonEscape(sr.role).c_str(),
+                        jsonEscape(sr.status).c_str(),
+                        jsonEscape(sr.proof).c_str());
+        }
+        std::printf("%s],\n", r.siteRecords.empty() ? "" : "\n  ");
         std::printf("  \"diagnostics\": %s",
                     r.diags.renderJson().c_str());
         if (opt.reportElision) {
@@ -232,6 +356,10 @@ printJson(const std::vector<FileResult> &results, const Options &opt)
             std::printf("%s]",
                         r.elision.proofs.empty() ? "" : "\n  ");
             if (r.validated) {
+                if (opt.execTierSet) {
+                    std::printf(",\n  \"execTier\": \"%s\"",
+                                execTierName(opt.execTier));
+                }
                 std::printf(
                     ",\n  \"validation\": {\"bitIdentical\": %s, "
                     "\"resultBefore\": %llu, \"resultAfter\": %llu, "
@@ -269,7 +397,18 @@ main(int argc, char **argv)
             opt.wholeProgram = true;
         else if (std::strcmp(argv[i], "--flow-refine") == 0)
             opt.flowRefine = true;
-        else if (argv[i][0] == '-')
+        else if (std::strcmp(argv[i], "--exec-tier") == 0) {
+            if (i + 1 >= argc)
+                return usage();
+            const char *tier = argv[++i];
+            if (std::strcmp(tier, "model") == 0)
+                opt.execTier = ExecTier::Model;
+            else if (std::strcmp(tier, "native") == 0)
+                opt.execTier = ExecTier::Native;
+            else
+                return usage();
+            opt.execTierSet = true;
+        } else if (argv[i][0] == '-')
             return usage();
         else
             opt.files.push_back(argv[i]);
