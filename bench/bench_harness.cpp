@@ -49,6 +49,7 @@
 #include "faultinject/fault_sweep.hh"
 #include "kvstore/kv_store.hh"
 #include "obs/trace_ring.hh"
+#include "txn_ir_workload.hh"
 
 #ifndef UPR_GIT_REV
 #define UPR_GIT_REV "unknown"
@@ -614,6 +615,33 @@ runStatic(const std::string &out_dir)
         json.kv("irDynamicChecks", interp.dynamicCheckCount());
         json.end();
     }
+
+    // Persistency cell: the transactional round workload analysed by
+    // the persistency-ordering abstract interpreter. Its proof and
+    // diagnostic counts are exact functions of the module, so
+    // bench_diff hard-gates them — a lattice change that silently
+    // proves more (or less) must recapture the golden deliberately.
+    {
+        const auto t0 = SteadyClock::now();
+        const txnir::Program p = txnir::compile(/*elide=*/true);
+        json.beginObject();
+        json.kv("workload", "txn-round");
+        json.kv("version", "sw-persistency");
+        json.kv("wallMs", millisSince(t0));
+        json.kv("txStores", p.persistency.txStores);
+        json.kv("logElided", p.persistency.logElided);
+        json.kv("elidedFresh", p.persistency.elidedFresh);
+        json.kv("elidedDominated", p.persistency.elidedDominated);
+        json.kv("persistencyDiags", p.persistency.findingCount());
+        json.end();
+        if (p.persistency.diags.errorCount() != 0) {
+            std::fprintf(stderr,
+                         "FAIL static bench: txn-round has "
+                         "persistency errors:\n%s",
+                         p.persistency.diags.render().c_str());
+            ok = false;
+        }
+    }
     json.end();
     json.end();
 
@@ -1042,6 +1070,146 @@ runTxn(const std::string &out_dir)
                         summarize(rt.txnCommitHistogram()));
         json.end();
     }
+
+    // IR cells: the transactional round workload with and without
+    // the persistency analysis's logging-elision proofs, on both
+    // engines. Each cell runs through the Interpreter and both
+    // FastExecutor tiers and the engine counters (and the committed
+    // pool image) must be bit-identical across the three — elision is
+    // a property of the plan, not of who executes it. The measured
+    // win: undo-ir-elided issues fewer flushes than undo-ir, and
+    // redo-ir-elided journals fewer bytes than redo-ir, while the
+    // committed user bytes stay byte-identical to the unelided run.
+    {
+        const txnir::Program plain = txnir::compile(/*elide=*/false);
+        const txnir::Program elided = txnir::compile(/*elide=*/true);
+        struct IrCell
+        {
+            const char *variant;
+            EngineKind engine;
+            const txnir::Program *prog;
+        };
+        const IrCell ircells[] = {
+            {"undo-ir", EngineKind::Undo, &plain},
+            {"undo-ir-elided", EngineKind::Undo, &elided},
+            {"redo-ir", EngineKind::Redo, &plain},
+            {"redo-ir-elided", EngineKind::Redo, &elided},
+        };
+        static const char *const kTxnCounters[] = {
+            "txn.undoCommits",     "txn.redoCommits",
+            "txn.undoFlushes",     "txn.redoFlushes",
+            "txn.undoFences",      "txn.redoFences",
+            "txn.undoElidedWrites", "txn.redoElidedRuns",
+            "txn.redoJournalEntries", "txn.redoJournalBytes",
+        };
+        std::map<std::string, std::map<std::string, std::uint64_t>>
+            by_variant;
+        std::map<EngineKind, std::vector<std::uint8_t>> user_bytes;
+        for (const IrCell &cell : ircells) {
+            const auto t0 = SteadyClock::now();
+            std::map<std::string, std::uint64_t> counters;
+            std::vector<std::uint8_t> image0;
+            for (txnir::Tier tier :
+                 {txnir::Tier::Interp, txnir::Tier::Model,
+                  txnir::Tier::Native}) {
+                const obs::MetricsSnapshot before =
+                    obs::MetricsRegistry::instance().snapshot();
+                std::vector<std::uint8_t> image;
+                const std::vector<std::uint64_t> bits = txnir::run(
+                    *cell.prog, cell.engine, tier, nullptr, nullptr,
+                    &image);
+                const obs::MetricsSnapshot d =
+                    obs::MetricsRegistry::instance()
+                        .snapshot()
+                        .minus(before);
+                std::map<std::string, std::uint64_t> cur;
+                for (const char *name : kTxnCounters) {
+                    const auto it = d.counters.find(name);
+                    cur[name] =
+                        it == d.counters.end() ? 0 : it->second;
+                }
+                if (tier == txnir::Tier::Interp) {
+                    counters = std::move(cur);
+                    image0 = std::move(image);
+                    // The committed user data, for the plain-vs-
+                    // elided comparison below.
+                    std::vector<std::uint8_t> cells_bytes;
+                    for (const PoolOffset o : txnir::cellOffsets(bits))
+                        cells_bytes.insert(cells_bytes.end(),
+                                           image0.begin() + o,
+                                           image0.begin() + o + 64);
+                    if (user_bytes.count(cell.engine) &&
+                        user_bytes[cell.engine] != cells_bytes) {
+                        std::fprintf(stderr,
+                                     "FAIL txn bench (%s): elision "
+                                     "changed the committed user "
+                                     "bytes\n",
+                                     cell.variant);
+                        ok = false;
+                    }
+                    user_bytes[cell.engine] = std::move(cells_bytes);
+                } else if (cur != counters || image != image0) {
+                    std::fprintf(stderr,
+                                 "TIER MISMATCH on %s: engine "
+                                 "counters or pool image diverge "
+                                 "from the Interpreter run\n",
+                                 cell.variant);
+                    ok = false;
+                }
+            }
+            by_variant[cell.variant] = counters;
+            const auto get = [&counters](const char *n) {
+                return counters.at(n);
+            };
+            json.beginObject();
+            json.kv("workload", "txn-ir");
+            json.kv("version", cell.variant);
+            json.kv("wallMs", millisSince(t0));
+            json.kv("txns", get("txn.undoCommits") +
+                                get("txn.redoCommits"));
+            json.kv("commits", get("txn.undoCommits") +
+                                   get("txn.redoCommits"));
+            json.kv("fences",
+                    get("txn.undoFences") + get("txn.redoFences"));
+            json.kv("flushes",
+                    get("txn.undoFlushes") + get("txn.redoFlushes"));
+            json.kv("undoElidedWrites", get("txn.undoElidedWrites"));
+            json.kv("redoElidedRuns", get("txn.redoElidedRuns"));
+            json.kv("redoJournalBytes", get("txn.redoJournalBytes"));
+            json.kv("logElided", cell.prog->persistency.logElided);
+            json.end();
+        }
+
+        // The measured elision win, gated hard: each engine's cost
+        // shrinks in its own currency (undo: flushes; redo: journaled
+        // bytes).
+        const auto of = [&by_variant](const char *v, const char *c) {
+            return by_variant.at(v).at(c);
+        };
+        if (!(of("undo-ir-elided", "txn.undoFlushes") <
+              of("undo-ir", "txn.undoFlushes"))) {
+            std::fprintf(stderr,
+                         "FAIL txn bench: elision did not reduce "
+                         "undo flushes (%llu vs %llu)\n",
+                         (unsigned long long)of("undo-ir-elided",
+                                                "txn.undoFlushes"),
+                         (unsigned long long)of("undo-ir",
+                                                "txn.undoFlushes"));
+            ok = false;
+        }
+        if (!(of("redo-ir-elided", "txn.redoJournalBytes") <
+              of("redo-ir", "txn.redoJournalBytes"))) {
+            std::fprintf(stderr,
+                         "FAIL txn bench: elision did not reduce "
+                         "redo journal bytes (%llu vs %llu)\n",
+                         (unsigned long long)of(
+                             "redo-ir-elided",
+                             "txn.redoJournalBytes"),
+                         (unsigned long long)of(
+                             "redo-ir", "txn.redoJournalBytes"));
+            ok = false;
+        }
+    }
     json.end();
     json.end();
 
@@ -1066,7 +1234,7 @@ runTxn(const std::string &out_dir)
         std::fprintf(stderr, "cannot write %s\n", path.c_str());
         return false;
     }
-    std::printf("txn: %zu engines, wall %.0f ms, %s\n",
+    std::printf("txn: %zu engines + 4 ir cells, wall %.0f ms, %s\n",
                 sizeof(cells) / sizeof(cells[0]), millisSince(start),
                 path.c_str());
     return ok;

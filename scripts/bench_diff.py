@@ -55,6 +55,20 @@ FAULT_KEYS = (
 TXN_KEYS = (
     "txns", "writesPerTxn", "commits", "fences", "flushes",
     "groupBatches", "groupTxns",
+    # txn-ir cells: the proof-driven logging-elision win. Counts are
+    # exact functions of the plan and the fence-accounting model.
+    "undoElidedWrites", "redoElidedRuns", "redoJournalBytes",
+    "logElided",
+)
+
+# Static-analysis cells (BENCH_static.json): check-insertion site
+# counts and the persistency analysis's proof/diagnostic tallies are
+# exact functions of the module — any drift means the analysis
+# changed, and the golden must be recaptured deliberately.
+STATIC_KEYS = (
+    "staticTotalSites", "staticRemainingSites", "staticRefinedSites",
+    "staticElidedSites", "irInstructions", "irDynamicChecks",
+    "txStores", "elidedFresh", "elidedDominated", "persistencyDiags",
 )
 
 # Execution-tier cells (BENCH_exec.json): lowering statistics and
@@ -186,7 +200,8 @@ def main():
         if "error" in old or "error" in new:
             continue
 
-        for k in MODEL_KEYS + FAULT_KEYS + TXN_KEYS + EXEC_KEYS:
+        for k in (MODEL_KEYS + FAULT_KEYS + TXN_KEYS + EXEC_KEYS +
+                  STATIC_KEYS):
             if old.get(k) != new.get(k):
                 drift.append(
                     f"{fmt_cell(key)}: {k} {old.get(k)} -> "

@@ -32,6 +32,20 @@ ctest --preset asan -j "$JOBS"
 echo "==> tier 3: clang-tidy (best effort)"
 scripts/run_clang_tidy.sh || exit 1
 
+echo "==> tier 3p: persistency lint exit codes over the IR corpus"
+for ir in tests/ir_corpus/*.ir; do
+    exp=$(sed -n 's/^exit=//p' "${ir%.ir}.expect")
+    got=0
+    build/tools/uprlint --persistency "$ir" > /dev/null 2>&1 || got=$?
+    if [ "$got" != "$exp" ]; then
+        echo "ci: uprlint --persistency $ir exited $got," \
+             "expected $exp" >&2
+        exit 1
+    fi
+done
+echo "persistency: $(ls tests/ir_corpus/*.ir | wc -l) fixtures," \
+     "exit codes match"
+
 echo "==> tier 4: hostile-media fault sweep vs golden"
 FAULT_OUT=$(mktemp -d)
 build/bench/bench_harness --fault-only --out "$FAULT_OUT" > /dev/null

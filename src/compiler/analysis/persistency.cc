@@ -1,0 +1,544 @@
+#include "compiler/analysis/persistency.hh"
+
+#include <deque>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace upr
+{
+
+using namespace ir;
+
+bool
+moduleUsesTx(const Module &mod)
+{
+    for (const auto &fptr : mod.functions) {
+        for (const Block &b : fptr->blocks) {
+            for (const Inst &in : b.insts) {
+                if (in.op == Op::TxBegin || in.op == Op::TxCommit ||
+                    in.op == Op::TxAbort) {
+                    return true;
+                }
+            }
+        }
+    }
+    return false;
+}
+
+namespace
+{
+
+/** Transactional state of a program point (see header comment). */
+enum class St : std::uint8_t
+{
+    Bottom,   //!< unreached
+    None,     //!< no transaction open
+    In,       //!< transaction open on pool slot `slot`
+    Conflict, //!< open on some paths only (or on different slots)
+    Unknown,  //!< poisoned by a call into transaction-using code
+};
+
+/** An exact store target: (root register, constant byte offset). */
+using Location = std::pair<ValueId, std::int64_t>;
+
+/** The abstract fact at one program point. */
+struct Fact
+{
+    St st = St::Bottom;
+    std::int64_t slot = 0;
+    /** Must-set: pmalloc results allocated since txbegin. */
+    std::set<ValueId> fresh;
+    /** Must-set: locations already stored in this transaction. */
+    std::set<Location> logged;
+
+    bool
+    operator==(const Fact &o) const
+    {
+        return st == o.st && slot == o.slot && fresh == o.fresh &&
+               logged == o.logged;
+    }
+};
+
+/** Intersect @p into with @p from; true if @p into shrank. */
+template <typename SetT>
+bool
+intersectInto(SetT &into, const SetT &from)
+{
+    bool changed = false;
+    for (auto it = into.begin(); it != into.end();) {
+        if (from.count(*it) == 0) {
+            it = into.erase(it);
+            changed = true;
+        } else {
+            ++it;
+        }
+    }
+    return changed;
+}
+
+/** Lattice join; true if @p into changed. */
+bool
+joinInto(Fact &into, const Fact &from)
+{
+    if (from.st == St::Bottom)
+        return false;
+    if (into.st == St::Bottom) {
+        into = from;
+        return true;
+    }
+    // Unknown absorbs everything.
+    if (into.st == St::Unknown)
+        return false;
+    if (from.st == St::Unknown) {
+        into = Fact{St::Unknown, 0, {}, {}};
+        return true;
+    }
+    if (into.st == from.st &&
+        (into.st != St::In || into.slot == from.slot)) {
+        if (into.st != St::In)
+            return false;
+        bool changed = intersectInto(into.fresh, from.fresh);
+        changed |= intersectInto(into.logged, from.logged);
+        return changed;
+    }
+    // Mixed None/In/Conflict (or differing slots): Conflict.
+    if (into.st == St::Conflict && into.fresh.empty() &&
+        into.logged.empty()) {
+        return false;
+    }
+    into = Fact{St::Conflict, 0, {}, {}};
+    return true;
+}
+
+/** Root register and constant offset of a store target. */
+struct Root
+{
+    ValueId root = kNoValue;
+    std::int64_t off = 0;
+    /** False once a variable-offset gep is crossed. */
+    bool exactOff = true;
+};
+
+/** Per-function precomputed context. */
+struct FnCtx
+{
+    const Function &fn;
+    /** Defining instruction of each register (null for params). */
+    std::vector<const Inst *> defInst;
+    /** Block holding each register's definition (kNoBlock: param). */
+    std::vector<BlockId> defBlock;
+    /** Per block: a txcommit is reachable from its *end*. */
+    std::vector<char> commitFromEnd;
+    /** Diagnostics on: the function directly contains tx opcodes. */
+    bool diagGate = false;
+
+    explicit FnCtx(const Function &f) : fn(f)
+    {
+        defInst.assign(fn.numValues(), nullptr);
+        defBlock.assign(fn.numValues(), kNoBlock);
+        for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+            for (const Inst &in : fn.blocks[b].insts) {
+                if (in.result != kNoValue) {
+                    defInst[in.result] = &in;
+                    defBlock[in.result] = b;
+                }
+                if (in.op == Op::TxBegin || in.op == Op::TxCommit ||
+                    in.op == Op::TxAbort) {
+                    diagGate = true;
+                }
+            }
+        }
+        computeCommitReach();
+    }
+
+    std::vector<BlockId>
+    successors(BlockId b) const
+    {
+        const Inst &last = fn.blocks[b].insts.back();
+        switch (last.op) {
+          case Op::Br:  return {last.target0, last.target1};
+          case Op::Jmp: return {last.target0};
+          default:      return {};
+        }
+    }
+
+    /** Walk constant-gep chains back to the underlying object. */
+    Root
+    resolveRoot(ValueId v) const
+    {
+        Root r;
+        r.root = v;
+        for (;;) {
+            const Inst *def = defInst[r.root];
+            if (!def || def->op != Op::Gep)
+                return r;
+            if (def->operands.size() > 1) {
+                // Variable offset: still the same object (an
+                // out-of-object store is UB regardless), but the
+                // exact cell is unknown.
+                r.exactOff = false;
+            } else {
+                r.off += def->imm;
+            }
+            r.root = def->operands[0];
+        }
+    }
+
+    /** True if the store at (b, i) can still reach a txcommit. */
+    bool
+    commitReachable(BlockId b, std::size_t i) const
+    {
+        const Block &blk = fn.blocks[b];
+        for (std::size_t j = i + 1; j < blk.insts.size(); ++j) {
+            if (blk.insts[j].op == Op::TxCommit)
+                return true;
+        }
+        return commitFromEnd[b] != 0;
+    }
+
+  private:
+    void
+    computeCommitReach()
+    {
+        commitFromEnd.assign(fn.blocks.size(), 0);
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+                if (commitFromEnd[b])
+                    continue;
+                for (BlockId s : successors(b)) {
+                    bool has = commitFromEnd[s] != 0;
+                    for (const Inst &in : fn.blocks[s].insts) {
+                        if (in.op == Op::TxCommit) {
+                            has = true;
+                            break;
+                        }
+                    }
+                    if (has) {
+                        commitFromEnd[b] = 1;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+};
+
+/** One proven LogMode, pending error-free confirmation. */
+struct Proposal
+{
+    BlockId block;
+    std::size_t inst;
+    LogMode mode;
+};
+
+/** Whole-analysis driver. */
+class Analyzer
+{
+  public:
+    Analyzer(const Module &mod, const FlowAnalysis &flow,
+             CheckPlan *plan, PersistencyResult &out)
+        : mod_(mod), flow_(flow), plan_(plan), out_(out)
+    {
+        computeTxUsers();
+    }
+
+    void
+    run()
+    {
+        for (const auto &fptr : mod_.functions)
+            analyzeFunction(*fptr);
+        out_.diags.sortByLocation();
+    }
+
+  private:
+    /** Transitive closure: which functions reach a tx opcode. */
+    void
+    computeTxUsers()
+    {
+        for (const auto &fptr : mod_.functions) {
+            FnCtx ctx(*fptr);
+            if (ctx.diagGate)
+                txUsers_.insert(fptr->name);
+        }
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (const auto &fptr : mod_.functions) {
+                if (txUsers_.count(fptr->name))
+                    continue;
+                for (const Block &b : fptr->blocks) {
+                    for (const Inst &in : b.insts) {
+                        if (in.op == Op::Call &&
+                            txUsers_.count(in.callee)) {
+                            txUsers_.insert(fptr->name);
+                            changed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    void
+    analyzeFunction(const Function &fn)
+    {
+        FnCtx ctx(fn);
+
+        // Fixpoint over per-block entry facts.
+        std::vector<Fact> in(fn.blocks.size());
+        in[0].st = St::None;
+        std::deque<BlockId> work{0};
+        std::vector<char> queued(fn.blocks.size(), 0);
+        queued[0] = 1;
+        while (!work.empty()) {
+            const BlockId b = work.front();
+            work.pop_front();
+            queued[b] = 0;
+            Fact f = in[b];
+            transferBlock(ctx, b, f, /*emit=*/false, nullptr);
+            for (BlockId s : ctx.successors(b)) {
+                if (joinInto(in[s], f) && !queued[s]) {
+                    queued[s] = 1;
+                    work.push_back(s);
+                }
+            }
+        }
+
+        // Reporting pass: replay each reachable block once from its
+        // fixed entry fact, emitting diagnostics and proofs.
+        const std::size_t errs_before = out_.diags.errorCount();
+        std::vector<Proposal> proposals;
+        for (BlockId b = 0; b < fn.blocks.size(); ++b) {
+            if (in[b].st == St::Bottom)
+                continue;
+            Fact f = in[b];
+            transferBlock(ctx, b, f, /*emit=*/true, &proposals);
+        }
+
+        // Proofs hold only in functions free of persistency errors.
+        if (out_.diags.errorCount() != errs_before || !plan_)
+            return;
+        auto it = plan_->perFunction.find(fn.name);
+        if (it == plan_->perFunction.end())
+            return;
+        for (const Proposal &p : proposals) {
+            it->second.perBlock[p.block][p.inst].logMode = p.mode;
+            ++out_.logElided;
+            if (p.mode == LogMode::ElideFreshAlloc)
+                ++out_.elidedFresh;
+            else
+                ++out_.elidedDominated;
+        }
+    }
+
+    /**
+     * Transfer @p f through block @p b. With @p emit, diagnostics go
+     * to the engine and proofs to @p proposals (counters too).
+     */
+    void
+    transferBlock(const FnCtx &ctx, BlockId b, Fact &f, bool emit,
+                  std::vector<Proposal> *proposals)
+    {
+        // Kill-on-entry: facts rooted at registers defined in this
+        // block describe the previous loop iteration's incarnation.
+        for (auto it = f.fresh.begin(); it != f.fresh.end();) {
+            if (ctx.defBlock[*it] == b)
+                it = f.fresh.erase(it);
+            else
+                ++it;
+        }
+        for (auto it = f.logged.begin(); it != f.logged.end();) {
+            if (ctx.defBlock[it->first] == b)
+                it = f.logged.erase(it);
+            else
+                ++it;
+        }
+
+        const Block &blk = ctx.fn.blocks[b];
+        for (std::size_t i = 0; i < blk.insts.size(); ++i)
+            transferInst(ctx, b, i, blk.insts[i], f, emit, proposals);
+    }
+
+    void
+    transferInst(const FnCtx &ctx, BlockId b, std::size_t i,
+                 const Inst &in, Fact &f, bool emit,
+                 std::vector<Proposal> *proposals)
+    {
+        const Function &fn = ctx.fn;
+        switch (in.op) {
+          case Op::TxBegin:
+            if (f.st == St::Unknown)
+                break;
+            if (emit && ctx.diagGate &&
+                (f.st == St::In || f.st == St::Conflict)) {
+                out_.diags.error(
+                    "persist-double-txbegin", in.loc,
+                    f.st == St::In
+                        ? "txbegin while a transaction is already open"
+                        : "txbegin while a transaction is already "
+                          "open on some path",
+                    fn.name);
+            }
+            f = Fact{St::In, in.imm, {}, {}};
+            break;
+
+          case Op::TxCommit:
+          case Op::TxAbort:
+            if (f.st == St::Unknown)
+                break;
+            if (emit && ctx.diagGate && f.st != St::In) {
+                out_.diags.error(
+                    "persist-unbalanced-txn", in.loc,
+                    std::string(opName(in.op)) +
+                        (f.st == St::Conflict
+                             ? " with a transaction open on only "
+                               "some paths"
+                             : " with no open transaction"),
+                    fn.name);
+            }
+            f = Fact{St::None, 0, {}, {}};
+            break;
+
+          case Op::Ret:
+            if (emit && ctx.diagGate &&
+                (f.st == St::In || f.st == St::Conflict)) {
+                out_.diags.error(
+                    "persist-unbalanced-txn", in.loc,
+                    f.st == St::In
+                        ? "return with a transaction still open"
+                        : "return with a transaction still open on "
+                          "some path",
+                    fn.name);
+            }
+            break;
+
+          case Op::Pmalloc:
+            if (f.st == St::In)
+                f.fresh.insert(in.result);
+            break;
+
+          case Op::Free:
+          case Op::Pfree: {
+            const Root r = ctx.resolveRoot(in.operands[0]);
+            f.fresh.erase(r.root);
+            for (auto it = f.logged.begin(); it != f.logged.end();) {
+                if (it->first == r.root)
+                    it = f.logged.erase(it);
+                else
+                    ++it;
+            }
+            break;
+          }
+
+          case Op::Store:
+          case Op::StoreP:
+            transferStore(ctx, b, i, in, f, emit, proposals);
+            break;
+
+          case Op::Call:
+            // A callee that reaches tx opcodes may leave any
+            // transactional state behind: poison. Any other call may
+            // still write memory, invalidating the must-sets.
+            if (txUsers_.count(in.callee))
+                f = Fact{St::Unknown, 0, {}, {}};
+            else {
+                f.fresh.clear();
+                f.logged.clear();
+            }
+            break;
+
+          default:
+            break;
+        }
+    }
+
+    void
+    transferStore(const FnCtx &ctx, BlockId b, std::size_t i,
+                  const Inst &in, Fact &f, bool emit,
+                  std::vector<Proposal> *proposals)
+    {
+        const Function &fn = ctx.fn;
+        // Both store and storep address through operand 1.
+        const ValueId addr = in.operands[1];
+        const PtrKind k = flow_.kindBeforeChecked(fn, b, i, addr);
+        if (k != PtrKind::Ra && k != PtrKind::VaNvm)
+            return; // DRAM or unclassifiable: not a persistency site
+        if (f.st == St::Unknown)
+            return;
+
+        if (f.st != St::In) {
+            if (emit && ctx.diagGate) {
+                out_.diags.error(
+                    "persist-store-outside-txn", in.loc,
+                    f.st == St::Conflict
+                        ? "NVM store not covered by a transaction on "
+                          "every path"
+                        : "NVM store outside any transaction",
+                    fn.name);
+            }
+            return;
+        }
+
+        const Root r = ctx.resolveRoot(addr);
+        if (emit) {
+            ++out_.txStores;
+            // Every pmalloc allocates from the executor's config
+            // pool (slot 0): a pmalloc-rooted write inside a
+            // transaction on another pool is never covered by it.
+            const Inst *rootDef = ctx.defInst[r.root];
+            if (ctx.diagGate && f.slot != 0 && rootDef &&
+                rootDef->op == Op::Pmalloc) {
+                out_.diags.error(
+                    "persist-cross-pool-write", in.loc,
+                    "store to pool-0 object inside a transaction on "
+                    "pool slot " + std::to_string(f.slot),
+                    fn.name);
+            }
+            if (ctx.diagGate && !ctx.commitReachable(b, i)) {
+                out_.diags.warning(
+                    "persist-commit-unreachable", in.loc,
+                    "store inside a transaction from which no "
+                    "txcommit is reachable; its effects always "
+                    "roll back",
+                    fn.name);
+            }
+        }
+
+        LogMode mode = LogMode::MustLog;
+        if (f.fresh.count(r.root)) {
+            mode = LogMode::ElideFreshAlloc;
+        } else if (r.exactOff &&
+                   f.logged.count(Location{r.root, r.off})) {
+            mode = LogMode::ElideDominatedWrite;
+        }
+        if (emit && proposals && mode != LogMode::MustLog)
+            proposals->push_back(Proposal{b, i, mode});
+        if (r.exactOff)
+            f.logged.insert(Location{r.root, r.off});
+    }
+
+    const Module &mod_;
+    const FlowAnalysis &flow_;
+    CheckPlan *plan_;
+    PersistencyResult &out_;
+    std::set<std::string> txUsers_;
+};
+
+} // namespace
+
+PersistencyResult
+analyzePersistency(const Module &mod, const FlowAnalysis &flow,
+                   CheckPlan *plan)
+{
+    PersistencyResult out;
+    Analyzer(mod, flow, plan, out).run();
+    return out;
+}
+
+} // namespace upr

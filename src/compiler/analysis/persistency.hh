@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Persistency-ordering static analysis: a branch-sensitive abstract
+ * interpreter over the transactional state of each program point and
+ * a per-location durability lattice, run on modules that use the
+ * txbegin/txcommit/txabort opcodes.
+ *
+ * Two products:
+ *
+ *  1. Diagnostics (uprlint `--persistency`): NVM stores not covered
+ *     by any transaction, txbegin while a transaction is already
+ *     open on some path, txcommit/txabort (or function return) with
+ *     no transaction open on some path, writes to a different pool
+ *     than the enclosing single-pool transaction, and stores inside
+ *     a transaction from which no commit is reachable.
+ *
+ *  2. Logging-elision proofs: a LogMode per store (check_insertion.hh)
+ *     that both transaction engines honor at run time. A store whose
+ *     target was pmalloc'd inside the same transaction needs no undo
+ *     pre-image (rollback frees the object; its bytes are garbage
+ *     either way) and can be applied write-through by the redo engine
+ *     before the commit fence. A store to an exact location already
+ *     stored earlier in the same transaction on *every* path needs no
+ *     second undo pre-image (the first entry's rollback restores the
+ *     transaction-start bytes).
+ *
+ * Abstract domain, per program point:
+ *
+ *   TxnState:  Bottom < { None, In(pool-slot) } < Conflict < Unknown
+ *
+ *   Conflict joins None with In (or two different slots): the point
+ *   is reached both inside and outside a transaction. Unknown is the
+ *   poison state after calling a function that (transitively) uses
+ *   transaction opcodes: no diagnostics and no proofs downstream.
+ *
+ *   Under In, two *must* sets (intersection at joins):
+ *     fresh   — pmalloc result registers allocated since txbegin
+ *     logged  — (root register, constant byte offset) locations
+ *               already stored (hence pre-image-logged) in this txn
+ *
+ * Soundness around loops: must facts are keyed by SSA registers, and
+ * a register defined inside a loop names a different dynamic value on
+ * every iteration. Two rules make the facts safe anyway: (a) the
+ * intersection join with the loop-entry edge kills facts born inside
+ * the loop at the header, and (b) before transferring a block, every
+ * fact whose root register is defined *in that block* is dropped —
+ * the incoming fact would otherwise refer to the previous iteration's
+ * incarnation. Calls clear both sets (the callee may write anything);
+ * free/pfree drop facts rooted at the freed register.
+ *
+ * Diagnostics are emitted only for functions that directly contain
+ * transaction opcodes, so linting a non-transactional module (or the
+ * legacy-library half of a transactional one — the paper's subject:
+ * the *application* owns the transaction, the library just stores)
+ * stays quiet. Elision proofs are suppressed in any function with a
+ * persistency error.
+ */
+
+#ifndef UPR_COMPILER_ANALYSIS_PERSISTENCY_HH
+#define UPR_COMPILER_ANALYSIS_PERSISTENCY_HH
+
+#include <cstdint>
+
+#include "common/diag.hh"
+#include "compiler/analysis/abstract_interp.hh"
+#include "compiler/check_insertion.hh"
+#include "compiler/ir.hh"
+
+namespace upr
+{
+
+/** True if any function in @p mod contains a transaction opcode. */
+bool moduleUsesTx(const ir::Module &mod);
+
+/** Output of the persistency analysis. */
+struct PersistencyResult
+{
+    /** Located findings (persist-* codes); caller merges/renders. */
+    DiagnosticEngine diags;
+
+    /** NVM stores seen inside a transaction. */
+    std::uint64_t txStores = 0;
+    /** Stores proven elidable (either LogMode elision). */
+    std::uint64_t logElided = 0;
+    /** ...of which fresh-allocation proofs. */
+    std::uint64_t elidedFresh = 0;
+    /** ...of which dominated-write proofs. */
+    std::uint64_t elidedDominated = 0;
+
+    /** Errors + warnings, the BENCH_static.json gate value. */
+    std::uint64_t
+    findingCount() const
+    {
+        return diags.errorCount() + diags.warningCount();
+    }
+};
+
+/**
+ * Run the analysis over @p mod.
+ *
+ * @param flow the flow-sensitive pointer-kind facts (classifies each
+ *        store's target medium: only Ra / VaNvm targets persist)
+ * @param plan if non-null, proven LogModes are written into the
+ *        matching InstPlans (functions with persistency errors keep
+ *        every store at MustLog)
+ */
+PersistencyResult analyzePersistency(const ir::Module &mod,
+                                     const FlowAnalysis &flow,
+                                     CheckPlan *plan);
+
+} // namespace upr
+
+#endif // UPR_COMPILER_ANALYSIS_PERSISTENCY_HH

@@ -333,6 +333,26 @@ class FunctionVerifier
                            "value");
             }
             break;
+          case Op::TxBegin:
+            arity(in, 0);
+            if (in.result != kNoValue) {
+                error("verify-result-type", in.loc,
+                      "txbegin has no result");
+            }
+            if (in.imm < 0) {
+                error("verify-txn-pool-slot", in.loc,
+                      "txbegin pool slot must be >= 0, is " +
+                      std::to_string(in.imm));
+            }
+            break;
+          case Op::TxCommit:
+          case Op::TxAbort:
+            arity(in, 0);
+            if (in.result != kNoValue) {
+                error("verify-result-type", in.loc,
+                      std::string(opName(in.op)) + " has no result");
+            }
+            break;
         }
     }
 

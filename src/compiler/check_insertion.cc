@@ -6,6 +6,17 @@
 namespace upr
 {
 
+const char *
+logModeName(LogMode m)
+{
+    switch (m) {
+      case LogMode::MustLog:             return "must-log";
+      case LogMode::ElideFreshAlloc:     return "elide-fresh-alloc";
+      case LogMode::ElideDominatedWrite: return "elide-dominated-write";
+    }
+    return "?";
+}
+
 using namespace ir;
 
 namespace

@@ -19,6 +19,32 @@
 namespace upr
 {
 
+/**
+ * How a store inside a transaction must be logged, as proven by the
+ * persistency analysis (analysis/persistency.hh). Baked into the
+ * lowered code and honored by both transaction engines.
+ */
+enum class LogMode : std::uint8_t
+{
+    /** No proof: full undo pre-image / redo journal entry. */
+    MustLog,
+    /**
+     * The target was pmalloc'd inside the enclosing transaction, so
+     * its pre-image is unreachable garbage: undo skips the log entry
+     * entirely; redo applies it write-through before the commit
+     * fence instead of journaling it.
+     */
+    ElideFreshAlloc,
+    /**
+     * An earlier store in the same transaction already logged this
+     * exact location on every path here: undo skips the duplicate
+     * pre-image (the first entry's rollback restores it).
+     */
+    ElideDominatedWrite,
+};
+
+const char *logModeName(LogMode m);
+
 /** Per-instruction annotation produced by check insertion. */
 struct InstPlan
 {
@@ -50,6 +76,12 @@ struct InstPlan
     bool cmp0Dynamic = false;
     /** Second comparison pointer operand needs a dynamic check. */
     bool cmp1Dynamic = false;
+    /**
+     * Logging obligation of this store/storep when it hits NVM inside
+     * a transaction (persistency analysis proof; MustLog when the
+     * analysis did not run or could not prove anything).
+     */
+    LogMode logMode = LogMode::MustLog;
 
     /** Total dynamic checks this instruction performs per execution. */
     unsigned

@@ -126,6 +126,31 @@ FastExecutor::fastRa2va(Frame &f, PtrBits p)
     return va;
 }
 
+PoolId
+FastExecutor::poolForSlot(std::int64_t slot)
+{
+    if (slot == 0)
+        return config_.pool;
+    auto it = txPools_.find(slot);
+    if (it != txPools_.end())
+        return it->second;
+    PoolId id = 0;
+    if (rt_.version() == Version::Volatile) {
+        // No NVM anywhere: beginTxn is a no-op on any handle.
+        id = config_.pool;
+    } else {
+        const std::string name = "txslot" + std::to_string(slot);
+        id = rt_.pools().idByName(name);
+        if (id == 0) {
+            id = rt_.createPool(
+                name, Bytes{16} << 20,
+                rt_.pools().pool(config_.pool).engineKind());
+        }
+    }
+    txPools_.emplace(slot, id);
+    return id;
+}
+
 PtrBits
 FastExecutor::fastVa2ra(Frame &f, SimAddr va)
 {
@@ -389,6 +414,7 @@ FastExecutor::exec(const LoweredFunction &lf,
     auto do_store = [&](const LoweredInst &st) {
         const SimAddr va =
             resolveAddr<Tier>(f, R[st.b], st.addr, st.site);
+        ScopedTxnLogHint hint(rt_, st.logHint);
         if constexpr (Tier == ExecTier::Model)
             rt_.storeData<std::uint64_t>(va, R[st.a]);
         else
@@ -397,6 +423,7 @@ FastExecutor::exec(const LoweredFunction &lf,
     auto do_storep = [&](const LoweredInst &sp) {
         const SimAddr va =
             resolveAddr<Tier>(f, R[sp.b], sp.addr, sp.site);
+        ScopedTxnLogHint hint(rt_, sp.logHint);
         execStoreP<Tier>(f, R[sp.a], va, sp);
     };
     auto do_gep = [&](const LoweredInst &g) {
@@ -428,7 +455,8 @@ FastExecutor::exec(const LoweredFunction &lf,
         &&op_Eq,            &&op_Lt,            &&op_Add,
         &&op_Sub,           &&op_Mul,           &&op_Br,
         &&op_Jmp,           &&op_Phi,           &&op_Call,
-        &&op_Ret,           &&op_FuseGepLoad,   &&op_FuseLoadLoad,
+        &&op_Ret,           &&op_TxBegin,       &&op_TxCommit,
+        &&op_TxAbort,       &&op_FuseGepLoad,   &&op_FuseLoadLoad,
         &&op_FuseLoadStore, &&op_FuseStoreStore,
         &&op_FuseStoreGep,  &&op_FuseLoadStoreP,
         &&op_FuseAddAdd,
@@ -606,6 +634,33 @@ FastExecutor::exec(const LoweredFunction &lf,
         if (in->a != kNoValue)
             ret_value = R[in->a];
         goto fn_done;
+    }
+    UPR_OP(TxBegin) : {
+        // Logging stages/observes writes through the backing, so the
+        // raw window must not bypass the space while a txn is open.
+        f.dropWindow();
+        rt_.beginTxn(poolForSlot(in->imm));
+        UPR_NEXT();
+    }
+    UPR_OP(TxCommit) : {
+        // The runtime asserts (process abort) on a commit with no
+        // transaction; IR programs get a catchable fault instead.
+        if (rt_.version() != Version::Volatile && !rt_.inTxn()) {
+            throw Fault(FaultKind::BadUsage,
+                        "txcommit with no open transaction");
+        }
+        f.dropWindow();
+        rt_.commitTxn();
+        UPR_NEXT();
+    }
+    UPR_OP(TxAbort) : {
+        if (rt_.version() != Version::Volatile && !rt_.inTxn()) {
+            throw Fault(FaultKind::BadUsage,
+                        "txabort with no open transaction");
+        }
+        f.dropWindow();
+        rt_.abortTxn();
+        UPR_NEXT();
     }
     UPR_OP(FuseGepLoad) : {
         do_gep(*in);

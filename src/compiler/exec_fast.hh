@@ -167,6 +167,14 @@ class FastExecutor
     PtrBits fastVa2ra(Frame &f, SimAddr va);
 
     /**
+     * Pool behind a txbegin pool slot — the Interpreter's mapping
+     * exactly (slot 0 = config pool; others lazily create or reuse
+     * "txslot<N>" with the config pool's engine), so cross-tier runs
+     * see the same pool table.
+     */
+    PoolId poolForSlot(std::int64_t slot);
+
+    /**
      * Burn a whole block's fuel (plus its entering edge's phi moves)
      * in one subtraction. Exhaustion faults with the Interpreter's
      * message and instructionCount() == the budget; the only
@@ -185,6 +193,9 @@ class FastExecutor
 
     /** Parallel-copy scratch for phi-edge moves. */
     std::vector<std::uint64_t> phiScratch_;
+
+    /** Lazily created pools behind nonzero txbegin slots. */
+    std::map<std::int64_t, PoolId> txPools_;
 };
 
 /**

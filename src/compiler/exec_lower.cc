@@ -61,6 +61,19 @@ bakeCmpMode(bool dynamic, Version version)
     return dynamic ? CmpMode::Dynamic : CmpMode::Static;
 }
 
+/** Pre-map the persistency proof to the runtime's hint. */
+TxnLogHint
+bakeLogHint(LogMode m)
+{
+    switch (m) {
+      case LogMode::MustLog:             return TxnLogHint::Log;
+      case LogMode::ElideFreshAlloc:     return TxnLogHint::ElideFresh;
+      case LogMode::ElideDominatedWrite:
+        return TxnLogHint::ElideDominated;
+    }
+    return TxnLogHint::Log;
+}
+
 /** Count one lowered site; a retained guard if @p dynamic. */
 void
 countSite(LowerStats &stats, bool dynamic)
@@ -157,6 +170,8 @@ lowerFunction(const Function &fn, const FunctionPlan &fp,
               case Op::Store:
               case Op::Free:
                 li.addr = bakeAddrMode(ip, version);
+                if (in.op == Op::Store)
+                    li.logHint = bakeLogHint(ip.logMode);
                 countSite(stats, ip.addrDynamic);
                 break;
               case Op::Pfree:
@@ -175,6 +190,7 @@ lowerFunction(const Function &fn, const FunctionPlan &fp,
                 li.destDynamic = ip.destDynamic;
                 li.valueDynamic = ip.valueDynamic;
                 li.destElided = ip.destElided;
+                li.logHint = bakeLogHint(ip.logMode);
                 countSite(stats, ip.addrDynamic);
                 countSite(stats, ip.destDynamic);
                 countSite(stats, ip.valueDynamic);

@@ -109,6 +109,9 @@ enum class ExecOp : std::uint8_t
     Phi,
     Call,
     Ret,
+    TxBegin,
+    TxCommit,
+    TxAbort,
     /** gep then load (pointer walks: chase, list traversal). */
     FuseGepLoad,
     /** back-to-back loads (readback scans). */
@@ -130,8 +133,12 @@ static_assert(static_cast<int>(ExecOp::Load) ==
                   static_cast<int>(ExecOp::Br) ==
                       static_cast<int>(ir::Op::Br) &&
                   static_cast<int>(ExecOp::Ret) ==
-                      static_cast<int>(ir::Op::Ret),
-              "ExecOp must mirror ir::Op up to Ret");
+                      static_cast<int>(ir::Op::Ret) &&
+                  static_cast<int>(ExecOp::TxBegin) ==
+                      static_cast<int>(ir::Op::TxBegin) &&
+                  static_cast<int>(ExecOp::TxAbort) ==
+                      static_cast<int>(ir::Op::TxAbort),
+              "ExecOp must mirror ir::Op up to TxAbort");
 
 /** One phi-edge register move (parallel-copy semantics). */
 struct PhiMove
@@ -195,6 +202,12 @@ struct LoweredInst
     bool valueDynamic = false;
     /** Elided determineX: keep the strict storeP fault semantics. */
     bool destElided = false;
+    /**
+     * Persistency-analysis proof for this store, pre-mapped to the
+     * runtime hint both transaction engines consume (LogMode baked
+     * at lower time, like every other plan verdict).
+     */
+    TxnLogHint logHint = TxnLogHint::Log;
 };
 
 /** One function compiled to the flat direct-threaded form. */

@@ -7,6 +7,24 @@ namespace upr
 
 using namespace ir;
 
+namespace
+{
+
+/** Runtime hint for a store's proven LogMode. */
+TxnLogHint
+hintOf(LogMode m)
+{
+    switch (m) {
+      case LogMode::MustLog:             return TxnLogHint::Log;
+      case LogMode::ElideFreshAlloc:     return TxnLogHint::ElideFresh;
+      case LogMode::ElideDominatedWrite:
+        return TxnLogHint::ElideDominated;
+    }
+    return TxnLogHint::Log;
+}
+
+} // namespace
+
 Interpreter::Interpreter(Runtime &rt, const Module &mod,
                          const CheckPlan &plan, Config config)
     : rt_(rt), mod_(mod), plan_(plan), config_(config),
@@ -113,6 +131,31 @@ Interpreter::execStoreP(std::uint64_t value_bits, SimAddr dest_va,
         }
     }
     rt_.storeData<PtrBits>(dest_va, out);
+}
+
+PoolId
+Interpreter::poolForSlot(std::int64_t slot)
+{
+    if (slot == 0)
+        return config_.pool;
+    auto it = txPools_.find(slot);
+    if (it != txPools_.end())
+        return it->second;
+    PoolId id = 0;
+    if (rt_.version() == Version::Volatile) {
+        // No NVM anywhere: beginTxn is a no-op on any handle.
+        id = config_.pool;
+    } else {
+        const std::string name = "txslot" + std::to_string(slot);
+        id = rt_.pools().idByName(name);
+        if (id == 0) {
+            id = rt_.createPool(
+                name, Bytes{16} << 20,
+                rt_.pools().pool(config_.pool).engineKind());
+        }
+    }
+    txPools_.emplace(slot, id);
+    return id;
 }
 
 std::uint64_t
@@ -223,6 +266,7 @@ Interpreter::exec(Frame &frame, std::uint32_t depth)
                 const SimAddr va = resolveAddr(
                     frame.regs[in.operands[1]], ip.addrDynamic,
                     ip.addrStaticConvert, ip.addrRefined, site);
+                ScopedTxnLogHint hint(rt_, hintOf(ip.logMode));
                 rt_.storeData<std::uint64_t>(
                     va, frame.regs[in.operands[0]]);
                 break;
@@ -231,6 +275,7 @@ Interpreter::exec(Frame &frame, std::uint32_t depth)
                 const SimAddr va = resolveAddr(
                     frame.regs[in.operands[1]], ip.addrDynamic,
                     ip.addrStaticConvert, ip.addrRefined, site);
+                ScopedTxnLogHint hint(rt_, hintOf(ip.logMode));
                 execStoreP(frame.regs[in.operands[0]], va, ip,
                            site + 1);
                 break;
@@ -304,6 +349,28 @@ Interpreter::exec(Frame &frame, std::uint32_t depth)
                     frame.regs[in.result] = rv;
                 break;
               }
+              case Op::TxBegin:
+                rt_.beginTxn(poolForSlot(in.imm));
+                break;
+              case Op::TxCommit:
+                // The runtime asserts (process abort) on a commit
+                // with no transaction; IR programs get a catchable
+                // fault instead.
+                if (rt_.version() != Version::Volatile &&
+                    !rt_.inTxn()) {
+                    throw Fault(FaultKind::BadUsage,
+                                "txcommit with no open transaction");
+                }
+                rt_.commitTxn();
+                break;
+              case Op::TxAbort:
+                if (rt_.version() != Version::Volatile &&
+                    !rt_.inTxn()) {
+                    throw Fault(FaultKind::BadUsage,
+                                "txabort with no open transaction");
+                }
+                rt_.abortTxn();
+                break;
               case Op::Ret:
                 if (!in.operands.empty())
                     ret_value = frame.regs[in.operands[0]];

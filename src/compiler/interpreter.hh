@@ -79,6 +79,14 @@ class Interpreter
     std::uint64_t cmpOperand(std::uint64_t bits, bool dynamic,
                              std::uint64_t site);
 
+    /**
+     * Pool behind a txbegin pool slot: slot 0 is the executor's
+     * config pool; other slots lazily create (or reuse) a pool named
+     * "txslot<N>" with the config pool's engine — identical in every
+     * execution tier, so cross-tier runs see the same pool table.
+     */
+    PoolId poolForSlot(std::int64_t slot);
+
     void burnFuel();
 
     Runtime &rt_;
@@ -89,6 +97,8 @@ class Interpreter
     std::uint64_t instCount_ = 0;
     std::uint64_t dynChecks_ = 0;
     std::uint64_t fuelLeft_;
+    /** Lazily created pools behind nonzero txbegin slots. */
+    std::map<std::int64_t, PoolId> txPools_;
 };
 
 } // namespace upr

@@ -42,6 +42,9 @@ opName(Op op)
       case Op::Phi:      return "phi";
       case Op::Call:     return "call";
       case Op::Ret:      return "ret";
+      case Op::TxBegin:  return "txbegin";
+      case Op::TxCommit: return "txcommit";
+      case Op::TxAbort:  return "txabort";
     }
     return "?";
 }
@@ -89,6 +92,11 @@ validate(const Function &fn)
             }
             if (in.op == Op::Jmp)
                 upr_assert(in.target0 < fn.blocks.size());
+            if (in.op == Op::TxBegin) {
+                upr_assert_msg(in.imm >= 0,
+                               "@%s: txbegin pool slot negative",
+                               fn.name.c_str());
+            }
             if (in.op == Op::Phi) {
                 upr_assert_msg(in.phiBlocks.size() ==
                                in.operands.size(),
@@ -199,6 +207,13 @@ printInst(std::ostringstream &os, const Function &fn, const Inst &in)
         os << "ret";
         if (!in.operands.empty())
             os << ' ' << valueRef(fn, in.operands[0]);
+        break;
+      case Op::TxBegin:
+        os << "txbegin " << in.imm;
+        break;
+      case Op::TxCommit:
+      case Op::TxAbort:
+        os << opName(in.op);
         break;
     }
     os << '\n';

@@ -61,6 +61,9 @@ enum class Op : std::uint8_t
     Phi,      //!< %r = phi.<ty> [<block>, %v]...
     Call,     //!< %r = call @f(%a, ...) | call @f(...)
     Ret,      //!< ret %v | ret
+    TxBegin,  //!< txbegin <imm pool slot>
+    TxCommit, //!< txcommit
+    TxAbort,  //!< txabort
 };
 
 const char *opName(Op op);

@@ -247,6 +247,31 @@ class FunctionBuilder
     }
 
     void
+    txBegin(std::int64_t pool_slot = 0)
+    {
+        Inst in{};
+        in.op = Op::TxBegin;
+        in.imm = pool_slot;
+        append(in, "");
+    }
+
+    void
+    txCommit()
+    {
+        Inst in{};
+        in.op = Op::TxCommit;
+        append(in, "");
+    }
+
+    void
+    txAbort()
+    {
+        Inst in{};
+        in.op = Op::TxAbort;
+        append(in, "");
+    }
+
+    void
     ret(ValueId v = kNoValue)
     {
         Inst in{};

@@ -1,5 +1,6 @@
 #include "compiler/ir_parser.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <sstream>
 #include <vector>
@@ -152,6 +153,54 @@ at(const std::vector<Tok> &toks, std::size_t i, int line)
 }
 
 } // namespace
+
+std::string
+nearestOpcode(const std::string &word)
+{
+    // Every opcode spelling the dispatch chain below accepts.
+    static const char *const kOpcodes[] = {
+        "const",    "alloca",   "malloc",  "pmalloc",  "free",
+        "pfree",    "load.i64", "load.ptr", "store",   "storep",
+        "gep",      "ptrtoint", "inttoptr", "eq",      "lt",
+        "add",      "sub",      "mul",      "br",      "jmp",
+        "phi.i64",  "phi.ptr",  "call",     "call.i64", "call.ptr",
+        "ret",      "txbegin",  "txcommit", "txabort",
+    };
+
+    // Plain Levenshtein distance, early-bounded by the best so far.
+    auto distance = [](const std::string &a, const std::string &b) {
+        const std::size_t n = a.size(), m = b.size();
+        std::vector<std::size_t> row(m + 1);
+        for (std::size_t j = 0; j <= m; ++j)
+            row[j] = j;
+        for (std::size_t i = 1; i <= n; ++i) {
+            std::size_t diag = row[0];
+            row[0] = i;
+            for (std::size_t j = 1; j <= m; ++j) {
+                const std::size_t up = row[j];
+                const std::size_t sub =
+                    diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+                row[j] = std::min(sub,
+                                  std::min(up, row[j - 1]) + 1);
+                diag = up;
+            }
+        }
+        return row[m];
+    };
+
+    // Suggest only a genuinely close miss: distance <= 2, unique
+    // winner preferred by first-declared order on ties.
+    std::string best;
+    std::size_t best_d = 3;
+    for (const char *cand : kOpcodes) {
+        const std::size_t d = distance(word, cand);
+        if (d < best_d) {
+            best_d = d;
+            best = cand;
+        }
+    }
+    return best_d <= 2 ? best : std::string();
+}
 
 Module
 parseModule(const std::string &text)
@@ -463,9 +512,26 @@ parseModule(const std::string &text)
             if (i < toks.size())
                 in.operands = {cur->useValue(toks[i])};
             finishVoid();
+        } else if (op == "txbegin") {
+            in.op = Op::TxBegin;
+            in.imm = parseImm(at(toks, i, line_no), line_no);
+            if (in.imm < 0) {
+                parseError(line_no, toks[i].col,
+                           "txbegin pool slot must be >= 0");
+            }
+            finishVoid();
+        } else if (op == "txcommit") {
+            in.op = Op::TxCommit;
+            finishVoid();
+        } else if (op == "txabort") {
+            in.op = Op::TxAbort;
+            finishVoid();
         } else {
-            parseError(line_no, op_tok.col, "unknown opcode '" + op +
-                       "'");
+            std::string msg = "unknown opcode '" + op + "'";
+            const std::string near = nearestOpcode(op);
+            if (!near.empty())
+                msg += "; did you mean `" + near + "`?";
+            parseError(line_no, op_tok.col, msg);
         }
     }
 

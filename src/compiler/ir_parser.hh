@@ -26,6 +26,13 @@ namespace upr::ir
 /** Parse a whole module from IR text. */
 Module parseModule(const std::string &text);
 
+/**
+ * The known opcode spelling closest to @p word (edit distance <= 2),
+ * or "" when nothing is close enough to suggest. Drives the parser's
+ * "unknown opcode 'txcomit'; did you mean `txcommit`?" diagnostic.
+ */
+std::string nearestOpcode(const std::string &word);
+
 } // namespace upr::ir
 
 #endif // UPR_COMPILER_IR_PARSER_HH

@@ -144,9 +144,11 @@ Runtime::beginTxn(PoolId pool)
     Pool &p = pools_.pool(pool);
 
     if (p.engineKind() == EngineKind::Redo) {
-        // Redo path: no write observer and no per-store log latency —
-        // stores are staged in DRAM by the Backing itself and cost
-        // nothing extra until commit journals them.
+        // Redo path: no per-store log latency — stores are staged in
+        // DRAM by the Backing itself and cost nothing extra until
+        // commit journals them. The observer only harvests elision
+        // hints: ranges a proof marks fresh skip the journal at
+        // flush time.
         if (redoBatch_ && txnPool_ != pool) {
             redoBatch_->flush(); // drain the old pool's batch first
             redoBatch_.reset();
@@ -155,6 +157,10 @@ Runtime::beginTxn(PoolId pool)
             redoBatch_ = std::make_unique<RedoBatch>(p);
         redoBatch_->begin();
         txnPool_ = pool;
+        p.backing().setWriteObserver([this](Bytes off, Bytes n) {
+            if (txnLogHint_ == TxnLogHint::ElideFresh && redoBatch_)
+                redoBatch_->noteElided(off, n);
+        });
         return;
     }
     if (redoBatch_) {
@@ -172,8 +178,16 @@ Runtime::beginTxn(PoolId pool)
         if (txnLogging_)
             return;
         txnLogging_ = true;
-        machine_.tick(config_.machine.txnLogLatency);
-        activeTxn_->recordWrite(static_cast<PoolOffset>(off), n);
+        if (txnLogHint_ == TxnLogHint::Log) {
+            machine_.tick(config_.machine.txnLogLatency);
+            activeTxn_->recordWrite(static_cast<PoolOffset>(off), n);
+        } else {
+            // Proven elidable: no pre-image, no fence, no log
+            // latency — the range is only remembered for the commit
+            // flush.
+            activeTxn_->recordElidedWrite(static_cast<PoolOffset>(off),
+                                          n);
+        }
         txnLogging_ = false;
     });
 }
@@ -184,6 +198,7 @@ Runtime::commitTxn()
     if (config_.version == Version::Volatile)
         return;
     if (redoBatch_ && redoBatch_->txnOpen()) {
+        pools_.pool(txnPool_).backing().setWriteObserver(nullptr);
         const auto t0 = std::chrono::steady_clock::now();
         redoBatch_->commit();
         if (groupCommitSize_ <= 1 ||
@@ -213,6 +228,7 @@ Runtime::abortTxn()
     if (config_.version == Version::Volatile)
         return;
     if (redoBatch_ && redoBatch_->txnOpen()) {
+        pools_.pool(txnPool_).backing().setWriteObserver(nullptr);
         redoBatch_->abort();
         return;
     }

@@ -71,6 +71,19 @@ enum class ExecTier
 /** Printable tier name ("model" / "native", as in BENCH_exec.json). */
 const char *execTierName(ExecTier t);
 
+/**
+ * Per-store logging hint the compiled code passes down from the
+ * persistency analysis (compiler LogMode, mirrored here so the core
+ * layer stays independent of the compiler headers). Only consulted
+ * while a transaction is open; Log is always sound.
+ */
+enum class TxnLogHint : std::uint8_t
+{
+    Log,            //!< full pre-image / journal entry
+    ElideFresh,     //!< target pmalloc'd inside this transaction
+    ElideDominated, //!< exact range already logged in this transaction
+};
+
 /** Per-check-site identifiers for the branch predictor (SW mode). */
 enum class CheckSite : std::uint64_t
 {
@@ -221,6 +234,17 @@ class Runtime
         return activeTxn_ != nullptr ||
                (redoBatch_ && redoBatch_->txnOpen());
     }
+
+    /**
+     * Arm the logging hint for the next store(s). The executors set
+     * this from the store's proven LogMode immediately before the
+     * write and reset it to Log right after; it changes nothing
+     * outside a transaction.
+     */
+    void setTxnLogHint(TxnLogHint h) { txnLogHint_ = h; }
+
+    /** Current store-logging hint. */
+    TxnLogHint txnLogHint() const { return txnLogHint_; }
 
     /**
      * Batch size for redo group commit: commitTxn() folds redo
@@ -575,6 +599,8 @@ class Runtime
     PoolId txnPool_ = 0;
     /** Re-entrancy guard: the undo log's own writes are not logged. */
     bool txnLogging_ = false;
+    /** Armed per store by the executors (persistency proofs). */
+    TxnLogHint txnLogHint_ = TxnLogHint::Log;
     /** Redo commits per journal flush (1 = no batching). */
     unsigned groupCommitSize_ = 1;
 
@@ -600,6 +626,26 @@ class Runtime
         "upr.ptrAssignCycles", ptrAssignCycles_};
     obs::ScopedMetricsHistogram obsTxnCommitNs_{"upr.txnCommitNs",
                                                 txnCommitNs_};
+};
+
+/**
+ * RAII hint armer: sets the runtime's store-logging hint for the
+ * duration of one store and restores Log on scope exit (including the
+ * faulting paths).
+ */
+class ScopedTxnLogHint
+{
+  public:
+    ScopedTxnLogHint(Runtime &rt, TxnLogHint h) : rt_(rt)
+    {
+        rt_.setTxnLogHint(h);
+    }
+    ~ScopedTxnLogHint() { rt_.setTxnLogHint(TxnLogHint::Log); }
+    ScopedTxnLogHint(const ScopedTxnLogHint &) = delete;
+    ScopedTxnLogHint &operator=(const ScopedTxnLogHint &) = delete;
+
+  private:
+    Runtime &rt_;
 };
 
 // ----------------------------------------------------------------------

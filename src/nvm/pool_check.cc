@@ -384,8 +384,12 @@ checkPool(Backing &image, bool repair)
     // lostCommittedEntries the undo rollback is still the best
     // available state, while the redo engine refuses to touch the
     // image (forensics) — either way the verdict is already Corrupt.
-    if (rep.recovery.logActive)
-        TxnEngine::recoverEx(pool);
+    // Runs even when no log is active: with logging elision a pure
+    // crash can leave user bytes in a still-free block's link words
+    // under an idle redo journal, and recovery (not repair) is what
+    // canonicalizes them — see Txn::canonicalizeHeap(). The engines
+    // guard the damaged cases themselves.
+    TxnEngine::recoverEx(pool);
 
     // ---- Phase 4: allocator arena -------------------------------
     PoolAllocator alloc(pool);

@@ -136,6 +136,14 @@ class PoolManager
     /** True if a pool with this ID exists (attached or not). */
     bool exists(PoolId id) const { return pools_.count(id) != 0; }
 
+    /** ID of the pool registered under @p name, or 0 if none. */
+    PoolId
+    idByName(const std::string &name) const
+    {
+        auto it = byName_.find(name);
+        return it == byName_.end() ? 0 : it->second;
+    }
+
     /** Base VA of an attached pool. */
     SimAddr baseOf(PoolId id) const;
 

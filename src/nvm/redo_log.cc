@@ -63,9 +63,14 @@ coalesce(const std::map<Bytes, std::uint8_t> &staged)
  * The four-fence commit protocol: journal the runs, publish the
  * committed control block, apply in place, truncate. See the ordering
  * diagram in redo_log.hh for why each fence is where it is.
+ *
+ * @p elided runs carry proven-journal-free bytes (see noteElided):
+ * they are applied write-through before fence 1 — durable by the time
+ * anything could publish, never journaled.
  */
 void
-journalAndApply(Pool &pool, const std::vector<Run> &runs)
+journalAndApply(Pool &pool, const std::vector<Run> &runs,
+                const std::vector<Run> &elided)
 {
     Bytes need = 0;
     for (const Run &r : runs)
@@ -77,6 +82,27 @@ journalAndApply(Pool &pool, const std::vector<Run> &runs)
     }
 
     TxnStats &st = TxnStats::instance();
+
+    // Phase 0: proven-fresh bytes go straight in place. A crash from
+    // here until fence 2 discards the batch; these bytes then sit in
+    // unreachable free space (their object's allocator metadata is
+    // part of the journaled remainder).
+    for (const Run &r : elided) {
+        pool.backing().writeThrough(r.off, r.bytes.data(),
+                                    r.bytes.size());
+        pool.backing().flush(r.off, r.bytes.size());
+        st.redoFlushes.add(1);
+        st.redoElidedRuns.add(1);
+    }
+
+    if (runs.empty()) {
+        // Nothing needs the journal: one fence makes the elided
+        // bytes durable and the control block stays idle.
+        pool.backing().fence();
+        st.redoFences.add(1);
+        return;
+    }
+
     LogControl c = readControl(pool);
     // Entries are sealed under the generation the committed control
     // block will carry; entries of earlier commits left on the media
@@ -97,9 +123,11 @@ journalAndApply(Pool &pool, const std::vector<Run> &runs)
                                     r.bytes.size());
         pool.backing().flush(at, sizeof(e) + r.bytes.size());
         st.redoFlushes.add(1);
+        st.redoJournalBytes.add(r.bytes.size());
         cursor += sizeof(e) + r.bytes.size();
     }
-    pool.backing().fence(); // (1) journal durable
+    st.redoJournalEntries.add(runs.size());
+    pool.backing().fence(); // (1) journal durable (and phase 0 data)
     st.redoFences.add(1);
 
     // Phase 2: publish. One cache line, written atomically: after
@@ -276,6 +304,7 @@ RedoBatch::begin()
         batchInstalled_ = false;
     }
     txnStage_.bytes.clear();
+    txnElided_.clear();
     // Throws BadUsage if some other stage holds the slot (a second
     // RedoBatch on the same pool — the double-begin guard).
     pool_.backing().setWriteStage(&txnStage_);
@@ -291,6 +320,8 @@ RedoBatch::commit()
     for (const auto &[off, v] : txnStage_.bytes)
         batchStage_.bytes[off] = v;
     txnStage_.bytes.clear();
+    batchElided_.insert(txnElided_.begin(), txnElided_.end());
+    txnElided_.clear();
     txnOpen_ = false;
     ++pending_;
     // Keep capturing *every* pool write while the batch is pending:
@@ -308,12 +339,22 @@ RedoBatch::abort()
     upr_assert_msg(txnOpen_, "redo abort without an open transaction");
     pool_.backing().setWriteStage(nullptr);
     txnStage_.bytes.clear();
+    txnElided_.clear();
     txnOpen_ = false;
     if (pending_ > 0 || !batchStage_.bytes.empty()) {
         pool_.backing().setWriteStage(&batchStage_);
         batchInstalled_ = true;
     }
     obs::traceEvent(obs::EventKind::TxnAbort, pool_.id());
+}
+
+void
+RedoBatch::noteElided(Bytes off, Bytes n)
+{
+    if (!txnOpen_)
+        return;
+    for (Bytes i = 0; i < n; ++i)
+        txnElided_.insert(off + i);
 }
 
 void
@@ -335,9 +376,18 @@ RedoBatch::flush()
         obs::traceEvent(obs::EventKind::GroupFlush, pool_.id(), txns);
         return;
     }
-    std::vector<Run> runs = coalesce(batchStage_.bytes);
+    // Split proven-journal-free bytes from those needing an entry.
+    std::map<Bytes, std::uint8_t> journal_bytes, elided_bytes;
+    for (const auto &[off, v] : batchStage_.bytes) {
+        if (batchElided_.count(off))
+            elided_bytes[off] = v;
+        else
+            journal_bytes[off] = v;
+    }
+    std::vector<Run> runs = coalesce(journal_bytes);
+    std::vector<Run> elided = coalesce(elided_bytes);
     try {
-        journalAndApply(pool_, runs);
+        journalAndApply(pool_, runs, elided);
     } catch (...) {
         // Journal overflow (or a quarantine fault) before anything
         // was published: the staged batch is intact, keep it.
@@ -347,6 +397,7 @@ RedoBatch::flush()
         throw;
     }
     batchStage_.bytes.clear();
+    batchElided_.clear();
     TxnStats::instance().groupBatches.add(1);
     TxnStats::instance().groupTxns.add(txns);
     obs::traceEvent(obs::EventKind::GroupFlush, pool_.id(), txns);
@@ -371,8 +422,16 @@ RedoLog::recoverEx(Pool &pool)
     std::vector<Bytes> entries;
     Txn::RecoveryReport r =
         classifyJournal(pool, readControl(pool), &entries);
-    if (!r.logActive || r.controlDamaged)
+    if (r.controlDamaged)
         return r;
+    if (!r.logActive) {
+        // An idle journal does not mean an untouched heap: elided
+        // runs flush straight to media in phase 0, before the journal
+        // publishes, so a crash there leaves a still-free block whose
+        // link words hold user bytes and nothing to replay.
+        Txn::canonicalizeHeap(pool);
+        return r;
+    }
     if (r.lostCommittedEntries) {
         // Media damage inside a committed journal: replaying the
         // valid prefix would serve a half-applied commit as fact.
@@ -380,6 +439,7 @@ RedoLog::recoverEx(Pool &pool)
         return r;
     }
     replayForward(pool, entries);
+    Txn::canonicalizeHeap(pool);
     r.rolledBack = true;
     return r;
 }

@@ -50,6 +50,7 @@
 #define UPR_NVM_REDO_LOG_HH
 
 #include <cstddef>
+#include <set>
 
 #include "common/types.hh"
 #include "mem/backing.hh"
@@ -100,6 +101,18 @@ class RedoBatch
     void abort();
 
     /**
+     * Mark [off, off+n) of the open transaction's staged bytes as
+     * journal-free: the persistency analysis proved the range lies in
+     * an object pmalloc'd inside this transaction, so flush() applies
+     * it write-through *before* the journal fence instead of paying a
+     * journal entry for it. Sound because a crash before the commit
+     * point leaves those bytes in a region whose allocator metadata
+     * is still staged — free space holding garbage, exactly as if the
+     * transaction never ran. No-op outside an open transaction.
+     */
+    void noteElided(Bytes off, Bytes n);
+
+    /**
      * Make the batch durable: journal + publish + apply + truncate
      * (the four-fence protocol above). No-op when nothing is staged —
      * a batch of empty transactions costs zero fences.
@@ -120,6 +133,10 @@ class RedoBatch
     WriteStage batchStage_;
     /** Writes of the currently open transaction (over the batch). */
     WriteStage txnStage_;
+    /** Byte offsets noteElided() marked in the open transaction. */
+    std::set<Bytes> txnElided_;
+    /** Elided offsets of committed-but-unflushed transactions. */
+    std::set<Bytes> batchElided_;
     std::size_t pending_ = 0;
     bool txnOpen_ = false;
     /** True while batchStage_ is the stage installed on the backing. */

@@ -7,6 +7,7 @@
 #include "common/fault.hh"
 #include "common/logging.hh"
 #include "nvm/log_format.hh"
+#include "nvm/pool_allocator.hh"
 #include "nvm/txn_stats.hh"
 #include "obs/trace_ring.hh"
 
@@ -273,6 +274,24 @@ Txn::recordWrite(PoolOffset off, Bytes len)
 }
 
 void
+Txn::recordElidedWrite(PoolOffset off, Bytes len)
+{
+    upr_assert_msg(!closed_, "recordElidedWrite on a closed transaction");
+    upr_assert_msg(len <= pool_.size() && off <= pool_.size() - len,
+                   "elided range out of pool");
+    if (len == 0)
+        return;
+    TxnStats::instance().undoElidedWrites.add(1);
+    // No pre-image, no log append, no fence. Commit must still flush
+    // the new bytes, so remember the range once.
+    for (const auto &[doff, dlen] : dirty_) {
+        if (doff == off && dlen == len)
+            return;
+    }
+    dirty_.emplace_back(off, len);
+}
+
+void
 Txn::commit()
 {
     upr_assert_msg(!closed_, "double commit");
@@ -326,6 +345,7 @@ Txn::recover(Pool &pool)
     if (!isActive(pool))
         return false;
     rollback(pool);
+    canonicalizeHeap(pool);
     return true;
 }
 
@@ -338,6 +358,7 @@ Txn::recoverEx(Pool &pool)
     if (!r.logActive)
         return r;
     applyEntries(pool, entries);
+    canonicalizeHeap(pool);
     r.rolledBack = true;
     return r;
 }
@@ -354,6 +375,20 @@ Txn::rollback(Pool &pool)
 {
     const LogControl c = readControl(pool);
     applyEntries(pool, validEntries(pool, c));
+}
+
+bool
+Txn::canonicalizeHeap(Pool &pool)
+{
+    PoolAllocator alloc(pool);
+    const ArenaReport a = alloc.inspectArena();
+    if (!a.tagsValid || (a.freeListValid && a.usedBytesMatch))
+        return false;
+    alloc.rebuildFreeList();
+    upr_inform("recovery rebuilt free list for pool %llu (%s)",
+               static_cast<unsigned long long>(pool.id()),
+               a.what.c_str());
+    return true;
 }
 
 } // namespace upr

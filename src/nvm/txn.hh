@@ -74,6 +74,17 @@ class Txn
      */
     void recordWrite(PoolOffset off, Bytes len);
 
+    /**
+     * Note a write whose pre-image the persistency analysis proved
+     * unnecessary (the target was pmalloc'd inside this transaction,
+     * or this exact range was already logged by an earlier store on
+     * every path). Zero media work and zero fences: the range is
+     * remembered only so commit() still flushes the new data. A range
+     * already recorded — by recordWrite or a previous elided note —
+     * is a pure no-op.
+     */
+    void recordElidedWrite(PoolOffset off, Bytes len);
+
     /** Make all changes durable and clear the log. */
     void commit();
 
@@ -149,6 +160,22 @@ class Txn
      * pool (rolledBack stays false — nothing ran).
      */
     static RecoveryReport analyze(const Pool &pool);
+
+    /**
+     * Restore the allocator's canonical free list after recovery.
+     *
+     * Proof-driven logging elision lets committed user stores reach
+     * media without a pre-image: a freshly pmalloc'd block's payload
+     * overlaps the nextFree/prevFree words it carried while free, so
+     * an undo rollback (or a redo crash before the journal publishes)
+     * can leave a free block whose link words hold user data under
+     * perfectly valid boundary tags. The links are redundant with the
+     * tags, so recovery rebuilds them rather than logging them.
+     * No-op (and no write) when the heap is already canonical or the
+     * tags themselves are damaged — keeping recovery idempotent.
+     * @return true if the free list was rebuilt
+     */
+    static bool canonicalizeHeap(Pool &pool);
 
   private:
     /** Apply valid undo entries in reverse and clear the log. */

@@ -46,6 +46,16 @@ class TxnStats
     Counter redoFences;   //!< fence() calls issued by the redo engine
     Counter groupBatches; //!< group-commit batches flushed to media
     Counter groupTxns;    //!< transactions committed via group commit
+    /** Undo writes whose pre-image logging the analysis elided. */
+    Counter undoElidedWrites;
+    /** Journal entries the redo engine actually wrote. */
+    Counter redoJournalEntries;
+    /** Payload bytes those entries carried (the log-traffic measure
+     * fresh-alloc elision thins: elided runs bypass the journal even
+     * when they coalesce into the same number of entries). */
+    Counter redoJournalBytes;
+    /** Coalesced runs applied journal-free (redo fresh-alloc proof). */
+    Counter redoElidedRuns;
 
     StatGroup &group() { return group_; }
 
@@ -71,6 +81,16 @@ class TxnStats
                                "group-commit batches flushed");
         group_.registerCounter("groupTxns", groupTxns,
                                "transactions committed via group commit");
+        group_.registerCounter("undoElidedWrites", undoElidedWrites,
+                               "undo pre-image log entries elided");
+        group_.registerCounter("redoJournalEntries", redoJournalEntries,
+                               "journal entries written by the redo "
+                               "engine");
+        group_.registerCounter("redoJournalBytes", redoJournalBytes,
+                               "payload bytes journaled by the redo "
+                               "engine");
+        group_.registerCounter("redoElidedRuns", redoElidedRuns,
+                               "staged runs applied journal-free");
     }
 
     StatGroup group_;

@@ -16,6 +16,8 @@
 #include "crash/crash_sweep.hh"
 #include "kvstore/kv_store.hh"
 #include "nvm/txn.hh"
+#include "obs/metrics.hh"
+#include "txn_ir_workload.hh"
 
 using namespace upr;
 
@@ -293,6 +295,171 @@ TEST(CrashSweepGroupCommit, EveryCrashPointRecoversRetainEpoch)
 TEST(CrashSweepGroupCommit, EveryCrashPointRecoversRetainBoundedStale)
 {
     runSweep(CrashMode::RetainBoundedStale, EngineKind::Redo, 2);
+}
+
+// ---------------------------------------------------------------------
+// Proof-driven logging elision under the same sweeps (ISSUE 9): the
+// transactional IR workload whose plan the persistency analysis
+// elided — fresh-alloc and dominated-write — crashed at every
+// persistence event, under both txn engines and all four schedules.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+void
+runElidedIrSweep(CrashMode mode, EngineKind engine)
+{
+    QuietWarnings quiet;
+    const txnir::Program p = txnir::compile(/*elide=*/true);
+    // The sweep proves nothing unless the plan actually elides: two
+    // fresh-alloc stores and one dominated repeat per round.
+    ASSERT_EQ(p.persistency.diags.errorCount(), 0u)
+        << p.persistency.diags.render();
+    ASSERT_EQ(p.persistency.elidedFresh, 2u);
+    ASSERT_EQ(p.persistency.elidedDominated, 1u);
+
+    // Crash-free reference run: the workload is deterministic, so
+    // every sweep iteration allocates its cells at these offsets.
+    const std::vector<PoolOffset> off = txnir::cellOffsets(
+        txnir::run(p, engine, txnir::Tier::Interp));
+    ASSERT_EQ(off.size(), txnir::kRounds);
+
+    std::size_t committed = 0;
+    CrashSweepConfig cfg;
+    cfg.mode = mode;
+    cfg.seed = 99;
+    const CrashSweepResult result = crashSweep(
+        [&](CrashInjector &inj) {
+            txnir::run(p, engine, txnir::Tier::Interp, &inj,
+                       &committed);
+        },
+        [&](Pool &pool, std::uint64_t n, bool) {
+            const std::string err = txnir::checkImage(
+                pool.backing().raw().toVector(), off, committed);
+            EXPECT_TRUE(err.empty())
+                << "crash point " << n << ": " << err;
+        },
+        cfg);
+
+    EXPECT_GT(result.crashPoints, 10u);
+    EXPECT_GT(result.rollbacks, 0u);
+    EXPECT_GT(result.cleanImages, 0u);
+}
+
+} // namespace
+
+TEST(CrashSweepElidedIr, UndoRecoversDiscardUnfenced)
+{
+    runElidedIrSweep(CrashMode::DiscardUnfenced, EngineKind::Undo);
+}
+
+TEST(CrashSweepElidedIr, UndoRecoversRetainRandom)
+{
+    runElidedIrSweep(CrashMode::RetainRandom, EngineKind::Undo);
+}
+
+TEST(CrashSweepElidedIr, UndoRecoversRetainEpoch)
+{
+    runElidedIrSweep(CrashMode::RetainEpoch, EngineKind::Undo);
+}
+
+TEST(CrashSweepElidedIr, UndoRecoversRetainBoundedStale)
+{
+    runElidedIrSweep(CrashMode::RetainBoundedStale, EngineKind::Undo);
+}
+
+TEST(CrashSweepElidedIr, RedoRecoversDiscardUnfenced)
+{
+    runElidedIrSweep(CrashMode::DiscardUnfenced, EngineKind::Redo);
+}
+
+TEST(CrashSweepElidedIr, RedoRecoversRetainRandom)
+{
+    runElidedIrSweep(CrashMode::RetainRandom, EngineKind::Redo);
+}
+
+TEST(CrashSweepElidedIr, RedoRecoversRetainEpoch)
+{
+    runElidedIrSweep(CrashMode::RetainEpoch, EngineKind::Redo);
+}
+
+TEST(CrashSweepElidedIr, RedoRecoversRetainBoundedStale)
+{
+    runElidedIrSweep(CrashMode::RetainBoundedStale, EngineKind::Redo);
+}
+
+// Elision must change the cost, never the data: the unelided plan and
+// the elided plan — through the Interpreter and both FastExecutor
+// tiers — commit every cell to byte-identical contents, while the
+// log traffic measurably shrinks. Each engine's win shows up in its
+// own currency: undo skips pre-image log appends, so its flush stream
+// thins; redo keeps elided runs out of the journal (they flush
+// straight to media in phase 0), so journaled bytes drop while raw
+// flush count may not.
+TEST(CrashSweepElidedIr, ElisionShrinksTheLogNotTheData)
+{
+    const txnir::Program plain = txnir::compile(/*elide=*/false);
+    const txnir::Program elided = txnir::compile(/*elide=*/true);
+
+    struct RunOut
+    {
+        std::vector<PoolOffset> off;
+        std::vector<std::uint8_t> cells;
+        std::uint64_t flushes = 0;
+        std::uint64_t journal = 0;
+        std::uint64_t elisions = 0;
+    };
+
+    for (EngineKind engine : {EngineKind::Undo, EngineKind::Redo}) {
+        const bool undo = engine == EngineKind::Undo;
+        SCOPED_TRACE(undo ? "undo" : "redo");
+        const auto counter = [&](const obs::MetricsSnapshot &d,
+                                 const std::string &name) {
+            const auto it = d.counters.find(name);
+            return it == d.counters.end() ? 0 : it->second;
+        };
+        const auto runOne = [&](const txnir::Program &p,
+                                txnir::Tier tier) {
+            const auto before =
+                obs::MetricsRegistry::instance().snapshot();
+            std::vector<std::uint8_t> image;
+            const auto cells = txnir::run(p, engine, tier, nullptr,
+                                          nullptr, &image);
+            const auto d = obs::MetricsRegistry::instance()
+                               .snapshot()
+                               .minus(before);
+            RunOut out;
+            out.off = txnir::cellOffsets(cells);
+            for (const PoolOffset o : out.off) {
+                out.cells.insert(out.cells.end(), image.begin() + o,
+                                 image.begin() + o + 64);
+            }
+            out.flushes = counter(
+                d, undo ? "txn.undoFlushes" : "txn.redoFlushes");
+            out.journal = counter(d, "txn.redoJournalBytes");
+            out.elisions =
+                counter(d, undo ? "txn.undoElidedWrites"
+                                : "txn.redoElidedRuns");
+            return out;
+        };
+
+        const RunOut base = runOne(plain, txnir::Tier::Interp);
+        EXPECT_EQ(base.elisions, 0u);
+        EXPECT_GT(base.flushes, 0u);
+        for (txnir::Tier tier :
+             {txnir::Tier::Interp, txnir::Tier::Model,
+              txnir::Tier::Native}) {
+            const RunOut run = runOne(elided, tier);
+            EXPECT_EQ(run.off, base.off);
+            EXPECT_EQ(run.cells, base.cells); // user data identical
+            EXPECT_GT(run.elisions, 0u);
+            if (undo)
+                EXPECT_LT(run.flushes, base.flushes);
+            else
+                EXPECT_LT(run.journal, base.journal);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -12,6 +12,7 @@
 #include "faultinject/fault_sweep.hh"
 #include "kvstore/kv_store.hh"
 #include "nvm/txn.hh"
+#include "txn_ir_workload.hh"
 
 using namespace upr;
 
@@ -214,4 +215,74 @@ TEST(FaultSweepRedo, NoSilentCorruptionRetainEpoch)
 TEST(FaultSweepRedo, NoSilentCorruptionRetainBoundedStale)
 {
     runFaultSweep(CrashMode::RetainBoundedStale, EngineKind::Redo);
+}
+
+// The same hostile-media matrix over the elision-enabled IR workload
+// (ISSUE 9): crash images of a program whose logging the persistency
+// analysis elided — fresh-alloc and dominated-write proofs — are
+// corrupted in every kind x region cell; the thinner log must never
+// turn damage into silent wrong data.
+
+namespace
+{
+
+void
+runElidedIrFaultSweep(EngineKind engine)
+{
+    setLogSink(+[](LogLevel, const std::string &) {});
+    const txnir::Program p = txnir::compile(/*elide=*/true);
+    ASSERT_EQ(p.persistency.diags.errorCount(), 0u)
+        << p.persistency.diags.render();
+    ASSERT_GT(p.persistency.logElided, 0u);
+
+    const std::vector<PoolOffset> off = txnir::cellOffsets(
+        txnir::run(p, engine, txnir::Tier::Interp));
+
+    for (CrashMode mode :
+         {CrashMode::DiscardUnfenced, CrashMode::RetainRandom,
+          CrashMode::RetainEpoch, CrashMode::RetainBoundedStale}) {
+        SCOPED_TRACE(crashModeName(mode));
+        std::size_t committed = 0;
+        FaultSweepConfig cfg;
+        cfg.mode = mode;
+        cfg.seed = 99;
+        // The IR workload's event stream is short (elision is the
+        // point), so sample densely to keep the matrix populated.
+        cfg.pointStride = engine == EngineKind::Redo ? 5 : 17;
+
+        const FaultSweepResult r = faultSweep(
+            [&](CrashInjector &inj) {
+                txnir::run(p, engine, txnir::Tier::Interp, &inj,
+                           &committed);
+            },
+            [&](const std::vector<std::uint8_t> &image,
+                std::uint64_t) {
+                return txnir::checkImage(image, off, committed)
+                    .empty();
+            },
+            cfg);
+
+        EXPECT_EQ(r.silent, 0u);
+        EXPECT_EQ(r.containment, 0u);
+        EXPECT_GT(r.crashPointsSampled, 0u);
+        EXPECT_GT(r.injections, 0u);
+        EXPECT_EQ(r.injections, r.benign + r.repaired +
+                                    r.quarantined + r.rejected +
+                                    r.silent);
+        EXPECT_GT(r.quarantined + r.rejected, 0u);
+        EXPECT_GT(r.benign + r.repaired, 0u);
+    }
+    setLogSink(nullptr);
+}
+
+} // namespace
+
+TEST(FaultSweepElidedIr, NoSilentCorruptionUndoAllSchedules)
+{
+    runElidedIrFaultSweep(EngineKind::Undo);
+}
+
+TEST(FaultSweepElidedIr, NoSilentCorruptionRedoAllSchedules)
+{
+    runElidedIrFaultSweep(EngineKind::Redo);
 }

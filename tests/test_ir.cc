@@ -177,6 +177,73 @@ entry:
                  Fault);
 }
 
+TEST(IrParser, TxOpcodesParseAndRoundTrip)
+{
+    const std::string source = R"(func @f(%n: i64) -> i64 {
+entry:
+  %p = pmalloc 16
+  txbegin 0
+  store %n, %p
+  txcommit
+  txbegin 2
+  txabort
+  ret %n
+}
+)";
+    Module mod = parseModule(source);
+    const auto &insts = mod.get("f").blocks[0].insts;
+    EXPECT_EQ(insts[1].op, Op::TxBegin);
+    EXPECT_EQ(insts[1].imm, 0);
+    EXPECT_EQ(insts[3].op, Op::TxCommit);
+    EXPECT_EQ(insts[4].op, Op::TxBegin);
+    EXPECT_EQ(insts[4].imm, 2);
+    EXPECT_EQ(insts[5].op, Op::TxAbort);
+    // print -> parse round trip preserves the tx ops.
+    Module again = parseModule(print(mod));
+    EXPECT_EQ(again.get("f").blocks[0].insts[5].op, Op::TxAbort);
+}
+
+TEST(IrParser, NegativeTxSlotRejected)
+{
+    EXPECT_THROW(parseModule(R"(
+func @f() {
+entry:
+  txbegin -1
+  txcommit
+  ret
+}
+)"),
+                 Fault);
+}
+
+TEST(IrParser, UnknownOpcodeSuggestsNearestSpelling)
+{
+    try {
+        parseModule("func @f() {\nentry:\n  txcomit\n  ret\n}\n");
+        FAIL();
+    } catch (const Fault &f) {
+        const std::string msg = f.what();
+        // The diagnostic is located (line and column of the opcode).
+        EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("col 3"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("unknown opcode 'txcomit'"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("did you mean `txcommit`?"),
+                  std::string::npos)
+            << msg;
+    }
+}
+
+TEST(IrParser, NearestOpcodeBoundsItsEditDistance)
+{
+    EXPECT_EQ(nearestOpcode("stor"), "store");
+    EXPECT_EQ(nearestOpcode("txbgin"), "txbegin");
+    EXPECT_EQ(nearestOpcode("phi.i46"), "phi.i64");
+    // Nothing within distance 2: no suggestion at all.
+    EXPECT_EQ(nearestOpcode("frobnicate"), "");
+}
+
 TEST(IrParser, MultipleFunctionsAndCalls)
 {
     Module mod = parseModule(R"(

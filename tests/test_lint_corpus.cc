@@ -11,6 +11,8 @@
 
 #include "compiler/analysis/abstract_interp.hh"
 #include "compiler/analysis/fig4_conformance.hh"
+#include "compiler/analysis/persistency.hh"
+#include "compiler/check_insertion.hh"
 #include "compiler/ir_parser.hh"
 #include "compiler/type_inference.hh"
 
@@ -44,6 +46,12 @@ const Fixture kFixtures[] = {
     {"cross_pool_compare.ir", "fig4-cross-pool-compare", true, true},
     {"escaping_arith.ir", "fig4-arith-escape", true, false},
     {"mixed_storep.ir", "fig4-mixed-storep", true, true},
+    // Transactional fixtures: Fig-4 clean; their persist-* findings
+    // are asserted by PersistencyCorpus below and the CLI goldens.
+    {"txn_balanced.ir", nullptr, true, false},
+    {"txn_fresh_elide.ir", nullptr, true, false},
+    {"txn_unbalanced.ir", nullptr, true, false},
+    {"txn_cross_pool.ir", nullptr, true, false},
 };
 
 std::string
@@ -125,6 +133,56 @@ TEST(LintCorpus, VerdictsMatchDiagnosedSites)
             if (s.verdict == SiteVerdict::DiagnosedUB) {
                 EXPECT_TRUE(s.loc.known());
             }
+        }
+    }
+}
+
+TEST(PersistencyCorpus, TxFixturesProduceTheirPromisedFindings)
+{
+    struct TxCase
+    {
+        const char *name;
+        /** Expected persist-* error code, or nullptr for clean. */
+        const char *errorCode;
+        std::uint64_t txStores;
+        std::uint64_t elidedFresh;
+        std::uint64_t elidedDominated;
+    };
+    const TxCase kCases[] = {
+        {"txn_balanced.ir", nullptr, 2, 0, 0},
+        {"txn_fresh_elide.ir", nullptr, 5, 3, 1},
+        {"txn_unbalanced.ir", "persist-unbalanced-txn", 1, 0, 0},
+        {"txn_cross_pool.ir", "persist-cross-pool-write", 1, 0, 0},
+    };
+    for (const TxCase &c : kCases) {
+        SCOPED_TRACE(c.name);
+        Module mod = parseModule(readFixture(c.name));
+        EXPECT_TRUE(moduleUsesTx(mod));
+        const auto inf = inferPointerKinds(mod, true);
+        FlowAnalysis flow(mod, inf);
+        CheckPlan plan = insertChecks(mod, &inf, false);
+        const PersistencyResult r =
+            analyzePersistency(mod, flow, &plan);
+
+        EXPECT_EQ(r.txStores, c.txStores);
+        EXPECT_EQ(r.elidedFresh, c.elidedFresh);
+        EXPECT_EQ(r.elidedDominated, c.elidedDominated);
+        EXPECT_EQ(r.logElided, c.elidedFresh + c.elidedDominated);
+        if (c.errorCode == nullptr) {
+            EXPECT_EQ(r.diags.errorCount(), 0u) << r.diags.render();
+        } else {
+            bool found = false;
+            for (const Diagnostic &d : r.diags.all()) {
+                if (d.code != c.errorCode)
+                    continue;
+                found = true;
+                EXPECT_EQ(d.severity, DiagSeverity::Error);
+                // Seeded violations must be *located*.
+                EXPECT_TRUE(d.loc.known()) << d.render(c.name);
+                EXPECT_FALSE(d.function.empty());
+            }
+            EXPECT_TRUE(found) << "no " << c.errorCode << " in:\n"
+                               << r.diags.render();
         }
     }
 }

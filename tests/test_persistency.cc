@@ -1,0 +1,411 @@
+/** @file Unit tests for the persistency-ordering abstract interpreter
+ * (analysis/persistency.hh): the transactional-state lattice, the
+ * must-set joins and loop kills, every persist-* diagnostic, and the
+ * exact LogMode each store's plan ends up carrying. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "compiler/analysis/abstract_interp.hh"
+#include "compiler/analysis/persistency.hh"
+#include "compiler/check_insertion.hh"
+#include "compiler/ir_parser.hh"
+#include "compiler/type_inference.hh"
+
+using namespace upr;
+
+namespace
+{
+
+struct Out
+{
+    ir::Module mod;
+    CheckPlan plan;
+    PersistencyResult res;
+};
+
+Out
+analyze(const char *src)
+{
+    Out o;
+    o.mod = ir::parseModule(src);
+    const InferenceResult inf = inferPointerKinds(o.mod, true);
+    FlowAnalysis flow(o.mod, inf);
+    o.plan = insertChecks(o.mod, &inf);
+    o.res = analyzePersistency(o.mod, flow, &o.plan);
+    return o;
+}
+
+/** LogModes of every store/storep in @p fn, in program order. */
+std::vector<LogMode>
+storeModes(const Out &o, const std::string &fn)
+{
+    std::vector<LogMode> v;
+    const ir::Function &f = o.mod.get(fn);
+    const FunctionPlan &p = o.plan.perFunction.at(fn);
+    for (std::size_t b = 0; b < f.blocks.size(); ++b) {
+        for (std::size_t i = 0; i < f.blocks[b].insts.size(); ++i) {
+            const ir::Op op = f.blocks[b].insts[i].op;
+            if (op == ir::Op::Store || op == ir::Op::StoreP)
+                v.push_back(p.at(static_cast<ir::BlockId>(b), i)
+                                .logMode);
+        }
+    }
+    return v;
+}
+
+bool
+hasCode(const PersistencyResult &r, const std::string &code)
+{
+    for (const Diagnostic &d : r.diags.all())
+        if (d.code == code)
+            return true;
+    return false;
+}
+
+} // namespace
+
+TEST(Persistency, FreshAllocStoresElide)
+{
+    const Out o = analyze(R"(
+func @f(%v: i64) -> ptr {
+entry:
+  txbegin 0
+  %p = pmalloc 16
+  store %v, %p
+  %q = gep %p, 8
+  store %v, %q
+  txcommit
+  ret %p
+}
+)");
+    EXPECT_EQ(o.res.diags.errorCount(), 0u) << o.res.diags.render();
+    EXPECT_EQ(o.res.txStores, 2u);
+    EXPECT_EQ(o.res.elidedFresh, 2u);
+    EXPECT_EQ(o.res.logElided, 2u);
+    EXPECT_EQ(storeModes(o, "f"),
+              (std::vector<LogMode>{LogMode::ElideFreshAlloc,
+                                    LogMode::ElideFreshAlloc}));
+}
+
+TEST(Persistency, DominatedRepeatElidesButDistinctOffsetDoesNot)
+{
+    // %p outlives its allocating transaction (allocated before
+    // txbegin), so the first store must log; the exact repeat is
+    // dominated by it, while the +8 neighbour is a different location.
+    const Out o = analyze(R"(
+func @f(%v: i64) {
+entry:
+  %p = pmalloc 16
+  txbegin 0
+  store %v, %p
+  store %v, %p
+  %q = gep %p, 8
+  store %v, %q
+  txcommit
+  ret
+}
+)");
+    EXPECT_EQ(o.res.diags.errorCount(), 0u) << o.res.diags.render();
+    EXPECT_EQ(o.res.txStores, 3u);
+    EXPECT_EQ(o.res.elidedDominated, 1u);
+    EXPECT_EQ(o.res.elidedFresh, 0u);
+    EXPECT_EQ(storeModes(o, "f"),
+              (std::vector<LogMode>{LogMode::MustLog,
+                                    LogMode::ElideDominatedWrite,
+                                    LogMode::MustLog}));
+}
+
+TEST(Persistency, JoinIntersectsTheLoggedSet)
+{
+    // Logged on one arm only: the join forgets it. Logged on both
+    // arms: the join keeps it and the post-join store elides.
+    const Out one = analyze(R"(
+func @onearm(%v: i64, %c: i64) {
+entry:
+  %p = pmalloc 16
+  txbegin 0
+  br %c, yes, join
+yes:
+  store %v, %p
+  jmp join
+join:
+  store %v, %p
+  txcommit
+  ret
+}
+)");
+    EXPECT_EQ(one.res.diags.errorCount(), 0u);
+    EXPECT_EQ(storeModes(one, "onearm"),
+              (std::vector<LogMode>{LogMode::MustLog,
+                                    LogMode::MustLog}));
+
+    const Out both = analyze(R"(
+func @botharms(%v: i64, %c: i64) {
+entry:
+  %p = pmalloc 16
+  txbegin 0
+  br %c, yes, no
+yes:
+  store %v, %p
+  jmp join
+no:
+  store %v, %p
+  jmp join
+join:
+  store %v, %p
+  txcommit
+  ret
+}
+)");
+    EXPECT_EQ(both.res.diags.errorCount(), 0u);
+    EXPECT_EQ(storeModes(both, "botharms"),
+              (std::vector<LogMode>{LogMode::MustLog, LogMode::MustLog,
+                                    LogMode::ElideDominatedWrite}));
+}
+
+TEST(Persistency, LoopHeaderKillsFactsBornInsideTheLoop)
+{
+    // The store to the pre-loop %p logs on every iteration: its
+    // "already logged" fact from iteration N dies at the header join
+    // with the loop-entry edge. The in-loop pmalloc's store still
+    // elides — kill-on-entry drops the *previous* incarnation of %q,
+    // and this iteration's pmalloc re-establishes freshness before
+    // the store.
+    const Out o = analyze(R"(
+func @loop(%v: i64, %n: i64) {
+entry:
+  %p = pmalloc 16
+  txbegin 0
+  %zero = const 0
+  jmp head
+head:
+  %i = phi.i64 [entry, %zero], [body, %inext]
+  %cont = lt %i, %n
+  br %cont, body, exit
+body:
+  store %v, %p
+  %q = pmalloc 16
+  store %v, %q
+  %one = const 1
+  %inext = add %i, %one
+  jmp head
+exit:
+  txcommit
+  ret
+}
+)");
+    EXPECT_EQ(o.res.diags.errorCount(), 0u) << o.res.diags.render();
+    EXPECT_EQ(storeModes(o, "loop"),
+              (std::vector<LogMode>{LogMode::MustLog,
+                                    LogMode::ElideFreshAlloc}));
+}
+
+TEST(Persistency, CallsClearTheMustSets)
+{
+    // Any call may write (or free) memory the facts describe: after
+    // it, nothing is provably fresh or logged anymore.
+    const Out o = analyze(R"(
+func @sink(%p: ptr) {
+entry:
+  ret
+}
+
+func @f(%v: i64) {
+entry:
+  txbegin 0
+  %p = pmalloc 16
+  store %v, %p
+  call @sink(%p)
+  store %v, %p
+  txcommit
+  ret
+}
+)");
+    EXPECT_EQ(o.res.diags.errorCount(), 0u) << o.res.diags.render();
+    EXPECT_EQ(storeModes(o, "f"),
+              (std::vector<LogMode>{LogMode::ElideFreshAlloc,
+                                    LogMode::MustLog}));
+}
+
+TEST(Persistency, TxUsingCalleePoisonsTheState)
+{
+    // @helper reaches tx opcodes, so the caller's transactional state
+    // after the call is unknowable: no diagnostics (even though the
+    // following store might run outside any transaction) and no
+    // proofs downstream.
+    const Out o = analyze(R"(
+func @helper() {
+entry:
+  txbegin 0
+  txcommit
+  ret
+}
+
+func @f(%v: i64) {
+entry:
+  txbegin 0
+  %p = pmalloc 16
+  call @helper()
+  store %v, %p
+  txcommit
+  ret
+}
+)");
+    EXPECT_EQ(o.res.diags.errorCount(), 0u) << o.res.diags.render();
+    EXPECT_EQ(o.res.diags.warningCount(), 0u);
+    EXPECT_EQ(o.res.txStores, 0u); // not even counted: state unknown
+    EXPECT_EQ(storeModes(o, "f"),
+              (std::vector<LogMode>{LogMode::MustLog}));
+}
+
+TEST(Persistency, DoubleTxBeginDiagnosed)
+{
+    const Out o = analyze(R"(
+func @f() {
+entry:
+  txbegin 0
+  txbegin 0
+  txcommit
+  ret
+}
+)");
+    EXPECT_TRUE(hasCode(o.res, "persist-double-txbegin"))
+        << o.res.diags.render();
+}
+
+TEST(Persistency, UnbalancedCommitAndReturnDiagnosed)
+{
+    const Out commit = analyze(R"(
+func @f() {
+entry:
+  txcommit
+  ret
+}
+)");
+    EXPECT_TRUE(hasCode(commit.res, "persist-unbalanced-txn"));
+
+    const Out ret = analyze(R"(
+func @f() {
+entry:
+  txbegin 0
+  ret
+}
+)");
+    EXPECT_TRUE(hasCode(ret.res, "persist-unbalanced-txn"));
+}
+
+TEST(Persistency, StoreOutsideTxnAndOnSomePathsDiagnosed)
+{
+    const Out plain = analyze(R"(
+func @f(%v: i64) {
+entry:
+  %p = pmalloc 16
+  store %v, %p
+  txbegin 0
+  txcommit
+  ret
+}
+)");
+    EXPECT_TRUE(hasCode(plain.res, "persist-store-outside-txn"));
+
+    // Covered on one path only: the join is Conflict, and both the
+    // store and the commit report it.
+    const Out conflict = analyze(R"(
+func @f(%v: i64, %c: i64) {
+entry:
+  %p = pmalloc 16
+  br %c, yes, join
+yes:
+  txbegin 0
+  jmp join
+join:
+  store %v, %p
+  txcommit
+  ret
+}
+)");
+    EXPECT_TRUE(hasCode(conflict.res, "persist-store-outside-txn"));
+    EXPECT_TRUE(hasCode(conflict.res, "persist-unbalanced-txn"));
+}
+
+TEST(Persistency, CrossPoolWriteDiagnosed)
+{
+    const Out o = analyze(R"(
+func @f(%v: i64) {
+entry:
+  txbegin 1
+  %p = pmalloc 16
+  store %v, %p
+  txcommit
+  ret
+}
+)");
+    EXPECT_TRUE(hasCode(o.res, "persist-cross-pool-write"))
+        << o.res.diags.render();
+}
+
+TEST(Persistency, CommitUnreachableWarnsButStillProves)
+{
+    // Always-aborting transactions are suspicious (the store's effects
+    // can never become durable) but not unsound: a warning, and the
+    // fresh-alloc proof still applies.
+    const Out o = analyze(R"(
+func @f(%v: i64) {
+entry:
+  txbegin 0
+  %p = pmalloc 16
+  store %v, %p
+  txabort
+  ret
+}
+)");
+    EXPECT_EQ(o.res.diags.errorCount(), 0u) << o.res.diags.render();
+    EXPECT_TRUE(hasCode(o.res, "persist-commit-unreachable"));
+    EXPECT_EQ(o.res.diags.warningCount(), 1u);
+    EXPECT_EQ(storeModes(o, "f"),
+              (std::vector<LogMode>{LogMode::ElideFreshAlloc}));
+}
+
+TEST(Persistency, ErrorsSuppressProofsInTheFunction)
+{
+    // The fresh store would elide, but the function has a persistency
+    // error: trusting the analysis's own model of a buggy function to
+    // thin the log would be reckless. Everything stays MustLog.
+    const Out o = analyze(R"(
+func @f(%v: i64) {
+entry:
+  txbegin 0
+  %p = pmalloc 16
+  store %v, %p
+  txcommit
+  txcommit
+  ret
+}
+)");
+    EXPECT_GT(o.res.diags.errorCount(), 0u);
+    EXPECT_EQ(o.res.logElided, 0u);
+    EXPECT_EQ(storeModes(o, "f"),
+              (std::vector<LogMode>{LogMode::MustLog}));
+}
+
+TEST(Persistency, NonTransactionalModuleStaysQuiet)
+{
+    // The paper's subject: the legacy library just stores; only the
+    // application owns transactions. A module (or function) with no
+    // tx opcodes gets no persist-* diagnostics at all.
+    const Out o = analyze(R"(
+func @lib(%v: i64) -> ptr {
+entry:
+  %p = pmalloc 16
+  store %v, %p
+  ret %p
+}
+)");
+    EXPECT_FALSE(moduleUsesTx(o.mod));
+    EXPECT_EQ(o.res.findingCount(), 0u) << o.res.diags.render();
+    EXPECT_EQ(storeModes(o, "lib"),
+              (std::vector<LogMode>{LogMode::MustLog}));
+}

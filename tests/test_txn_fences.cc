@@ -131,6 +131,133 @@ TEST(TxnFences, EmptyRedoTxnIsFree)
     EXPECT_EQ(get(d, "txn.redoCommits"), 1u);
 }
 
+TEST(TxnFences, UndoFreshElisionSkipsPreImageCost)
+{
+    // k writes of which e carry an elide-fresh-alloc proof: each
+    // elided write skips its pre-image log entry (2 flushes + 1
+    // fence) but still flushes at commit, so the txn costs
+    // 3k+2-2e flushes and k+3-e fences.
+    Runtime rt(config());
+    RuntimeScope scope(rt);
+    const PoolId pool =
+        rt.createPool("uf", 1 << 20, EngineKind::Undo);
+    Pool &p = rt.pools().pool(pool);
+    const Bytes base = p.header().arenaStart + 64;
+    const std::size_t k = 5, e = 2;
+
+    const auto before = snap();
+    rt.beginTxn(pool);
+    for (std::size_t w = 0; w < k; ++w) {
+        const std::uint64_t value = 100 + w;
+        if (w < e) {
+            ScopedTxnLogHint hint(rt, TxnLogHint::ElideFresh);
+            p.backing().write(base + 64 * w, &value, sizeof(value));
+        } else {
+            p.backing().write(base + 64 * w, &value, sizeof(value));
+        }
+    }
+    rt.commitTxn();
+    const auto d = snap().minus(before);
+    EXPECT_EQ(get(d, "txn.undoFences"), k + 3 - e);
+    EXPECT_EQ(get(d, "txn.undoFlushes"), 3 * k + 2 - 2 * e);
+    EXPECT_EQ(get(d, "txn.undoElidedWrites"), e);
+    EXPECT_EQ(get(d, "txn.undoCommits"), 1u);
+}
+
+TEST(TxnFences, UndoDominatedElisionMakesRepeatWritesFree)
+{
+    // k cells each written twice: the first write logs its pre-image,
+    // the second carries an elide-dominated-write proof and adds no
+    // media work at all (its range is already dirty), so 2k writes
+    // cost exactly what k must-log writes do.
+    Runtime rt(config());
+    RuntimeScope scope(rt);
+    const PoolId pool =
+        rt.createPool("ud", 1 << 20, EngineKind::Undo);
+    Pool &p = rt.pools().pool(pool);
+    const Bytes base = p.header().arenaStart + 64;
+    const std::size_t k = 4;
+
+    const auto before = snap();
+    rt.beginTxn(pool);
+    for (std::size_t w = 0; w < k; ++w) {
+        const std::uint64_t value = 200 + w;
+        p.backing().write(base + 64 * w, &value, sizeof(value));
+    }
+    for (std::size_t w = 0; w < k; ++w) {
+        const std::uint64_t value = 300 + w;
+        ScopedTxnLogHint hint(rt, TxnLogHint::ElideDominated);
+        p.backing().write(base + 64 * w, &value, sizeof(value));
+    }
+    rt.commitTxn();
+    const auto d = snap().minus(before);
+    EXPECT_EQ(get(d, "txn.undoFences"), k + 3);
+    EXPECT_EQ(get(d, "txn.undoFlushes"), 3 * k + 2);
+    EXPECT_EQ(get(d, "txn.undoElidedWrites"), k);
+}
+
+TEST(TxnFences, RedoFreshElisionSkipsJournalEntries)
+{
+    // r must-log runs + e proven-fresh runs: the elided runs are
+    // applied write-through before fence 1 (one flush each) and
+    // never journaled — 2r+2+e flushes, still exactly 4 fences,
+    // and the journal holds r entries, not r+e.
+    Runtime rt(config());
+    RuntimeScope scope(rt);
+    const PoolId pool =
+        rt.createPool("rf", 1 << 20, EngineKind::Redo);
+    Pool &p = rt.pools().pool(pool);
+    const Bytes base = p.header().arenaStart + 64;
+    const std::size_t r = 3, e = 2;
+
+    const auto before = snap();
+    rt.beginTxn(pool);
+    for (std::size_t w = 0; w < r; ++w) {
+        const std::uint64_t value = 400 + w;
+        p.backing().write(base + 64 * w, &value, sizeof(value));
+    }
+    for (std::size_t w = 0; w < e; ++w) {
+        const std::uint64_t value = 500 + w;
+        ScopedTxnLogHint hint(rt, TxnLogHint::ElideFresh);
+        p.backing().write(base + 64 * (r + w), &value,
+                          sizeof(value));
+    }
+    rt.commitTxn();
+    const auto d = snap().minus(before);
+    EXPECT_EQ(get(d, "txn.redoFences"), 4u);
+    EXPECT_EQ(get(d, "txn.redoFlushes"), 2 * r + 2 + e);
+    EXPECT_EQ(get(d, "txn.redoJournalEntries"), r);
+    EXPECT_EQ(get(d, "txn.redoElidedRuns"), e);
+}
+
+TEST(TxnFences, RedoAllElidedBatchSkipsThePublishProtocol)
+{
+    // Every staged byte proven fresh: no journal entry, no publish,
+    // no truncate — e write-through flushes and a single fence.
+    Runtime rt(config());
+    RuntimeScope scope(rt);
+    const PoolId pool =
+        rt.createPool("re", 1 << 20, EngineKind::Redo);
+    Pool &p = rt.pools().pool(pool);
+    const Bytes base = p.header().arenaStart + 64;
+    const std::size_t e = 3;
+
+    const auto before = snap();
+    rt.beginTxn(pool);
+    for (std::size_t w = 0; w < e; ++w) {
+        const std::uint64_t value = 600 + w;
+        ScopedTxnLogHint hint(rt, TxnLogHint::ElideFresh);
+        p.backing().write(base + 64 * w, &value, sizeof(value));
+    }
+    rt.commitTxn();
+    const auto d = snap().minus(before);
+    EXPECT_EQ(get(d, "txn.redoFences"), 1u);
+    EXPECT_EQ(get(d, "txn.redoFlushes"), e);
+    EXPECT_EQ(get(d, "txn.redoJournalEntries"), 0u);
+    EXPECT_EQ(get(d, "txn.redoElidedRuns"), e);
+    EXPECT_EQ(get(d, "txn.redoCommits"), 1u);
+}
+
 TEST(TxnFences, GroupCommitBatchOfKPaysOneJournalFlushAndFence)
 {
     Runtime rt(config());

@@ -16,6 +16,13 @@
  *                      fast-path lowering consumes (site id, proof
  *                      kind, retained/elided status)
  *   --report-elision   run the elision pass and print its proofs
+ *   --persistency      run the transactional persistency-ordering
+ *                      analysis (durability lattice) even on modules
+ *                      with no tx ops; modules that use txbegin get
+ *                      it automatically. Adds located persist-*
+ *                      diagnostics and a per-store LogMode proof
+ *                      (must-log / elide-fresh-alloc /
+ *                      elide-dominated-write) to the records
  *   --exec-tier TIER   validate elision through the direct-threaded
  *                      FastExecutor instead of the Interpreter;
  *                      TIER is "model" or "native"
@@ -42,6 +49,7 @@
 #include "common/fault.hh"
 #include "compiler/analysis/elision.hh"
 #include "compiler/analysis/fig4_conformance.hh"
+#include "compiler/analysis/persistency.hh"
 #include "compiler/exec_fast.hh"
 #include "compiler/ir_parser.hh"
 
@@ -54,6 +62,7 @@ struct Options
 {
     bool json = false;
     bool reportElision = false;
+    bool persistency = false;
     bool wholeProgram = false;
     bool flowRefine = false;
     /** Validate through FastExecutor instead of the Interpreter. */
@@ -77,6 +86,8 @@ struct SiteRecord
     /** retained / elided / refined / static-convert / static. */
     std::string status;
     std::string proof;
+    /** Store logging proof (persistency runs only), else empty. */
+    std::string logMode;
 };
 
 /** Per-file lint outcome (for JSON assembly). */
@@ -94,6 +105,9 @@ struct FileResult
     ElisionValidation validation;
     std::vector<std::uint64_t> validationArgs;
     bool hasErrors = false;
+    /** Persistency analysis ran (tx module or --persistency). */
+    bool persistencyRan = false;
+    PersistencyResult persistency;
 };
 
 int
@@ -101,8 +115,9 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: uprlint [--json] [--report-elision] "
-                 "[--exec-tier model|native] [--whole-program] "
-                 "[--flow-refine] [--] file.ir...\n");
+                 "[--persistency] [--exec-tier model|native] "
+                 "[--whole-program] [--flow-refine] [--] "
+                 "file.ir...\n");
     return 2;
 }
 
@@ -149,6 +164,12 @@ collectSiteRecords(const ir::Module &mod, FileResult &r)
                   case ir::Op::StoreP:
                     add("addr", ip.addrDynamic, ip.addrRefined,
                         ip.addrStaticConvert);
+                    if (r.persistencyRan &&
+                        (in.op == ir::Op::Store ||
+                         in.op == ir::Op::StoreP)) {
+                        r.siteRecords.back().logMode =
+                            logModeName(ip.logMode);
+                    }
                     if (in.op == ir::Op::StoreP) {
                         add("dest", ip.destDynamic, false, false);
                         add("value", ip.valueDynamic, false, false);
@@ -210,6 +231,24 @@ lintFile(const std::string &path, const Options &opt)
     r.hasErrors = r.diags.hasErrors();
 
     r.plan = insertChecks(mod, &inf, opt.flowRefine);
+
+    // The persistency lattice runs automatically on any module that
+    // uses the tx opcodes; --persistency forces the pass (and its
+    // summary/records) on modules without them, where it reports
+    // zero findings — diagnostics stay scoped to functions that
+    // contain tx opcodes. It writes the per-store LogMode proofs
+    // into the plan the lowering bakes.
+    if (opt.persistency || moduleUsesTx(mod)) {
+        r.persistency = analyzePersistency(mod, flow, &r.plan);
+        r.persistencyRan = true;
+        for (const Diagnostic &d : r.persistency.diags.all()) {
+            r.diags.report(d.severity, d.code, d.loc, d.message,
+                           d.function);
+        }
+        r.diags.sortByLocation();
+        r.hasErrors = r.hasErrors || r.diags.hasErrors();
+    }
+
     if (opt.reportElision) {
         const CheckPlan before = r.plan;
         r.elision = elideChecks(mod, flow, r.plan);
@@ -261,6 +300,18 @@ printText(const FileResult &r, const Options &opt)
                 (unsigned long long)r.report.needsDynamic,
                 (unsigned long long)r.report.diagnosedUB);
     std::fputs(r.diags.render(r.file).c_str(), stdout);
+
+    if (r.persistencyRan) {
+        std::printf("%s: persistency: %llu tx store(s), %llu "
+                    "finding(s), %llu log elision(s) "
+                    "(%llu fresh-alloc, %llu dominated-write)\n",
+                    r.file.c_str(),
+                    (unsigned long long)r.persistency.txStores,
+                    (unsigned long long)r.persistency.findingCount(),
+                    (unsigned long long)r.persistency.logElided,
+                    (unsigned long long)r.persistency.elidedFresh,
+                    (unsigned long long)r.persistency.elidedDominated);
+    }
 
     if (opt.reportElision) {
         std::printf("%s: elision: %llu check(s) elided, %llu of "
@@ -322,17 +373,34 @@ printJson(const std::vector<FileResult> &results, const Options &opt)
                     (unsigned long long)r.plan.remainingSites,
                     (unsigned long long)r.plan.refinedSites,
                     (unsigned long long)r.plan.elidedSites);
+        if (r.persistencyRan) {
+            std::printf(
+                "  \"persistency\": {\"txStores\": %llu, "
+                "\"persistencyDiags\": %llu, \"logElided\": %llu, "
+                "\"elidedFresh\": %llu, \"elidedDominated\": "
+                "%llu},\n",
+                (unsigned long long)r.persistency.txStores,
+                (unsigned long long)r.persistency.findingCount(),
+                (unsigned long long)r.persistency.logElided,
+                (unsigned long long)r.persistency.elidedFresh,
+                (unsigned long long)r.persistency.elidedDominated);
+        }
         std::printf("  \"siteRecords\": [");
         for (std::size_t s = 0; s < r.siteRecords.size(); ++s) {
             const SiteRecord &sr = r.siteRecords[s];
             std::printf("%s\n    {\"id\": \"%s\", \"line\": %d, "
                         "\"col\": %d, \"role\": \"%s\", "
-                        "\"status\": \"%s\", \"proof\": \"%s\"}",
+                        "\"status\": \"%s\", \"proof\": \"%s\"",
                         s ? "," : "", jsonEscape(sr.id).c_str(),
                         sr.line, sr.col,
                         jsonEscape(sr.role).c_str(),
                         jsonEscape(sr.status).c_str(),
                         jsonEscape(sr.proof).c_str());
+            if (!sr.logMode.empty()) {
+                std::printf(", \"logMode\": \"%s\"",
+                            jsonEscape(sr.logMode).c_str());
+            }
+            std::printf("}");
         }
         std::printf("%s],\n", r.siteRecords.empty() ? "" : "\n  ");
         std::printf("  \"diagnostics\": %s",
@@ -393,6 +461,8 @@ main(int argc, char **argv)
             opt.json = true;
         else if (std::strcmp(argv[i], "--report-elision") == 0)
             opt.reportElision = true;
+        else if (std::strcmp(argv[i], "--persistency") == 0)
+            opt.persistency = true;
         else if (std::strcmp(argv[i], "--whole-program") == 0)
             opt.wholeProgram = true;
         else if (std::strcmp(argv[i], "--flow-refine") == 0)
