@@ -20,13 +20,16 @@
  * simulated-counter drift = hard error).
  *
  * Usage: bench_harness [--quick] [--jobs N] [--out DIR]
- *                      [--fig11-only | --micro-only]
+ *                      [--fig11-only | --micro-only | --static-only |
+ *                       --fault-only | --txn-only | --exec-only |
+ *                       --concurrent-only]
  *   --quick   scale workloads down 100x (smoke test; implies scale
  *             via UPR_BENCH_SCALE only if that variable is unset)
  *   --jobs N  worker processes (default: hardware concurrency)
  *   --out DIR output directory for the JSON files (default: .)
  */
 
+#include <dirent.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -47,6 +50,7 @@
 #include "compiler/ir_parser.hh"
 #include "core/ptr.hh"
 #include "faultinject/fault_sweep.hh"
+#include "kvstore/concurrent_kv_store.hh"
 #include "kvstore/kv_store.hh"
 #include "obs/trace_ring.hh"
 #include "txn_ir_workload.hh"
@@ -79,38 +83,74 @@ const Version kAllVersions[] = {Version::Volatile, Version::Sw,
 // ----------------------------------------------------------------------
 
 /** Fixed-size result record shipped child -> parent over a pipe. */
-struct CellOutcome
+template <typename Stats>
+struct ForkOutcome
 {
-    RunStats stats = {};
+    Stats stats = {};
     double wallMs = 0;
     std::uint8_t failed = 0;
     char error[160] = {};
 };
 
+using CellOutcome = ForkOutcome<RunStats>;
+
+template <typename Stats>
 void
-setOutcomeError(CellOutcome &oc, const char *what)
+setOutcomeError(ForkOutcome<Stats> &oc, const char *what)
 {
     oc.failed = 1;
     std::snprintf(oc.error, sizeof(oc.error), "%s", what);
 }
 
+/** Live threads in this process (fork safety: must be 1 to fork). */
+unsigned
+threadCount()
+{
+    DIR *dir = opendir("/proc/self/task");
+    if (dir == nullptr)
+        return 1; // no procfs: cannot tell, assume quiesced
+    unsigned n = 0;
+    while (const dirent *e = readdir(dir)) {
+        if (e->d_name[0] != '.')
+            ++n;
+    }
+    closedir(dir);
+    return n;
+}
+
 /**
  * Run @p n cells, each in its own forked child, at most @p jobs
- * children live at once. @p fn(i) computes cell i's RunStats (in the
+ * children live at once. @p fn(i) computes cell i's Stats (in the
  * child). A child that dies without reporting yields a failed cell,
  * not a dead harness.
+ *
+ * Fork safety: fork() in a multi-threaded process duplicates only the
+ * calling thread — any lock another thread holds (malloc's arena, a
+ * Runtime's shard) stays locked forever in the child. Sections that
+ * spawn threads (the concurrent one) must join them before the next
+ * forked section runs; this runner enforces the contract by refusing
+ * to fork while the process has more than one live thread.
  */
-template <typename RunFn>
-std::vector<CellOutcome>
+template <typename Stats, typename RunFn>
+std::vector<ForkOutcome<Stats>>
 runForked(std::size_t n, unsigned jobs, RunFn fn)
 {
-    std::vector<CellOutcome> out(n);
+    static_assert(std::is_trivially_copyable_v<Stats>,
+                  "outcome record crosses a pipe");
+    std::vector<ForkOutcome<Stats>> out(n);
     std::vector<pid_t> pids(n, -1);
     std::vector<int> fds(n, -1);
     std::size_t launched = 0;
     std::size_t live = 0;
 
     const auto launch = [&](std::size_t i) {
+        if (threadCount() > 1) {
+            setOutcomeError(out[i],
+                            "refusing to fork: the harness process is "
+                            "multi-threaded (a previous section did "
+                            "not quiesce its workers)");
+            return;
+        }
         int pipefd[2];
         if (pipe(pipefd) != 0) {
             setOutcomeError(out[i], "pipe() failed");
@@ -126,7 +166,7 @@ runForked(std::size_t n, unsigned jobs, RunFn fn)
         }
         if (pid == 0) {
             close(pipefd[0]);
-            CellOutcome oc;
+            ForkOutcome<Stats> oc;
             const auto t0 = SteadyClock::now();
             try {
                 oc.stats = fn(i);
@@ -197,7 +237,7 @@ void
 runGrid(std::vector<Cell> &cells, unsigned jobs)
 {
     const std::vector<CellOutcome> outcomes =
-        runForked(cells.size(), jobs, [&](std::size_t i) {
+        runForked<RunStats>(cells.size(), jobs, [&](std::size_t i) {
             return run(cells[i].workload, cells[i].version);
         });
     for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -478,7 +518,7 @@ runMicro(const std::string &out_dir, unsigned jobs)
 
     const auto start = SteadyClock::now();
     const std::vector<CellOutcome> outcomes =
-        runForked(results.size(), jobs, [&](std::size_t i) {
+        runForked<RunStats>(results.size(), jobs, [&](std::size_t i) {
             const Kernel &k = kernels[i / 4];
             return k.fn(results[i].version, k.a, k.b);
         });
@@ -1240,6 +1280,205 @@ runTxn(const std::string &out_dir)
     return ok;
 }
 
+// ----------------------------------------------------------------------
+// Concurrent section: the sharded multi-threaded KV store — T worker
+// threads, one shard-owned Runtime each — over YCSB presets at
+// T in {1, 2, 4}. Every reported counter depends only on per-shard
+// sequential histories (never on thread timing), so bench_diff
+// hard-gates them all even though real threads run the cells. The
+// T=1 cell is additionally checked in-process against a plain
+// single-Runtime reference: any drift fails the cell, proving the
+// sharding machinery costs nothing in model terms at one thread.
+// Cells still run in forked children (pristine branch-salt state);
+// the workers live and die inside the child, so the parent stays
+// single-threaded for the next fork.
+// ----------------------------------------------------------------------
+
+namespace concbench
+{
+
+/** Pipe-safe record of one (preset, threads) cell. */
+struct ConcurrentStats
+{
+    std::uint64_t threads = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t getHits = 0;
+    std::uint64_t sets = 0;
+    std::uint64_t checksum = 0;
+    std::uint64_t maxCycles = 0;
+    std::uint64_t sumCycles = 0;
+    std::uint64_t commits = 0;
+    HistSummary commitNs = {};
+};
+
+WorkloadSpec
+spec(char preset)
+{
+    WorkloadSpec s = ycsbPreset(preset);
+    s.recordCount = 10'000 / benchScale();
+    s.operationCount = 100'000 / benchScale();
+    return s;
+}
+
+ShardedRuntime::Config
+fleetConfig(unsigned threads)
+{
+    ShardedRuntime::Config cfg;
+    cfg.shards = threads;
+    cfg.runtime.version = Version::Hw;
+    cfg.runtime.seed = 0xC0;
+    cfg.poolName = "bench";
+    cfg.poolSize = 32ULL << 20;
+    cfg.engine = EngineKind::Undo;
+    return cfg;
+}
+
+ConcurrentStats
+runCell(char preset, unsigned threads)
+{
+    const YcsbWorkload workload(spec(preset));
+    ShardedRuntime fleet(fleetConfig(threads));
+    ConcurrentKvStore store(fleet);
+    const KvConcurrentResult res = store.run(workload);
+
+    ConcurrentStats st;
+    st.threads = threads;
+    st.gets = res.gets;
+    st.getHits = res.getHits;
+    st.sets = res.sets;
+    st.checksum = res.checksum;
+    st.maxCycles = res.maxCycles;
+    st.sumCycles = res.sumCycles;
+
+    // Fleet-wide commit latency: the per-shard histograms merged.
+    obs::HistogramData commit;
+    for (unsigned s = 0; s < threads; ++s)
+        commit.merge(fleet.runtime(s).txnCommitHistogram().data());
+    st.commits = commit.count;
+    st.commitNs.count = commit.count;
+    st.commitNs.p50 = commit.percentile(50);
+    st.commitNs.p90 = commit.percentile(90);
+    st.commitNs.p99 = commit.percentile(99);
+    st.commitNs.max = commit.max;
+
+    if (threads == 1) {
+        // Zero-drift gate: one plain Runtime, one HashMap, the same
+        // per-operation transactions and checksum fold — no fleet
+        // machinery at all.
+        KvRunResult ref;
+        Runtime rt(fleetConfig(1).runtime);
+        RuntimeScope scope(rt);
+        const PoolId pool =
+            rt.createPool("ref", 32ULL << 20, EngineKind::Undo);
+        HashMap<std::uint64_t, std::uint64_t> table(
+            MemEnv::persistentEnv(rt, pool));
+        table.reserve(workload.loadOps().size());
+        for (const KvOp &op : workload.loadOps()) {
+            rt.beginTxn(pool);
+            table.insert(op.key, op.value);
+            rt.commitTxn();
+        }
+        for (const KvOp &op : workload.runOps()) {
+            if (op.kind == KvOp::Kind::Get) {
+                ++ref.gets;
+                if (auto v = table.find(op.key)) {
+                    ++ref.getHits;
+                    ref.checksum ^= *v;
+                    ref.checksum =
+                        (ref.checksum << 1) | (ref.checksum >> 63);
+                }
+            } else {
+                ++ref.sets;
+                rt.beginTxn(pool);
+                table.insert(op.key, op.value);
+                rt.commitTxn();
+            }
+        }
+        if (ref.gets != st.gets || ref.getHits != st.getHits ||
+            ref.sets != st.sets || ref.checksum != st.checksum) {
+            throw std::runtime_error(
+                "T=1 counter drift vs the single-runtime reference");
+        }
+    }
+    return st;
+}
+
+} // namespace concbench
+
+bool
+runConcurrent(const std::string &out_dir, unsigned jobs)
+{
+    struct CCell
+    {
+        char preset;
+        unsigned threads;
+    };
+    std::vector<CCell> cells;
+    for (const char p : {'a', 'b', 'f'})
+        for (const unsigned t : {1u, 2u, 4u})
+            cells.push_back(CCell{p, t});
+
+    const auto start = SteadyClock::now();
+    const auto outcomes = runForked<concbench::ConcurrentStats>(
+        cells.size(), jobs, [&](std::size_t i) {
+            return concbench::runCell(cells[i].preset,
+                                      cells[i].threads);
+        });
+    const double harness_wall = millisSince(start);
+
+    double serial_sum = 0;
+    bool ok = true;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        serial_sum += outcomes[i].wallMs;
+        if (outcomes[i].failed) {
+            std::fprintf(stderr, "FAIL concurrent ycsb_%c/t%u: %s\n",
+                         cells[i].preset, cells[i].threads,
+                         outcomes[i].error);
+            ok = false;
+        }
+    }
+
+    JsonWriter json;
+    json.beginObject();
+    emitHeader(json, jobs);
+    json.kv("harnessWallMs", harness_wall);
+    json.kv("serialSumMs", serial_sum);
+    json.key("cells").beginArray();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const concbench::ConcurrentStats &st = outcomes[i].stats;
+        json.beginObject();
+        json.kv("workload", std::string("ycsb_") + cells[i].preset);
+        json.kv("version", "t" + std::to_string(cells[i].threads));
+        json.kv("wallMs", outcomes[i].wallMs);
+        if (outcomes[i].failed) {
+            json.kv("error", outcomes[i].error);
+        } else {
+            json.kv("threads", st.threads);
+            json.kv("gets", st.gets);
+            json.kv("getHits", st.getHits);
+            json.kv("sets", st.sets);
+            json.kv("checksum", st.checksum);
+            json.kv("maxCycles", st.maxCycles);
+            json.kv("sumCycles", st.sumCycles);
+            json.kv("commits", st.commits);
+            emitHistSummary(json, "commitNs", st.commitNs);
+        }
+        json.end();
+    }
+    json.end();
+    json.end();
+
+    const std::string path = out_dir + "/BENCH_concurrent.json";
+    if (!json.writeFile(path)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::printf("concurrent: %zu cells, wall %.0f ms "
+                "(serial sum %.0f ms), %s\n",
+                cells.size(), harness_wall, serial_sum, path.c_str());
+    return ok;
+}
+
 } // namespace
 
 int
@@ -1263,6 +1502,9 @@ main(int argc, char **argv)
     // Opt-in for the same reason: lowering registers the lazy "exec"
     // metrics group.
     bool exec = false;
+    // Opt-in for the same reason: shard fleets register the lazy
+    // "txn" group and prefixed per-shard groups.
+    bool concurrent = false;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -1300,12 +1542,18 @@ main(int argc, char **argv)
             micro = false;
             static_sec = false;
             exec = true;
+        } else if (!std::strcmp(arg, "--concurrent-only")) {
+            fig11 = false;
+            micro = false;
+            static_sec = false;
+            concurrent = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--quick] [--jobs N] [--out DIR] "
                          "[--fig11-only | --micro-only | "
                          "--static-only | --fault-only | "
-                         "--txn-only | --exec-only]\n",
+                         "--txn-only | --exec-only | "
+                         "--concurrent-only]\n",
                          argv[0]);
             return 2;
         }
@@ -1328,6 +1576,8 @@ main(int argc, char **argv)
         ok = runTxn(out_dir) && ok;
     if (exec)
         ok = runExec(out_dir) && ok;
+    if (concurrent)
+        ok = runConcurrent(out_dir, jobs) && ok;
 
     // With UPR_OBS_TRACE set, dump the harness process's event ring
     // (the serial static section and any in-process setup; forked

@@ -71,6 +71,16 @@ STATIC_KEYS = (
     "txStores", "elidedFresh", "elidedDominated", "persistencyDiags",
 )
 
+# Concurrent cells (BENCH_concurrent.json): the sharded KV store's
+# results depend only on per-shard sequential histories, so every
+# tally — including the makespan/total in *modeled* cycles — is
+# schedule-independent and drift is a hard error. commitNs is real
+# wall time and is not compared.
+CONCURRENT_KEYS = (
+    "threads", "gets", "getHits", "sets", "maxCycles", "sumCycles",
+    "commits",
+)
+
 # Execution-tier cells (BENCH_exec.json): lowering statistics and
 # per-tier counters are exact functions of the module and check plan,
 # so drift is a hard error. (checksum / dynamicChecks are already in
@@ -201,7 +211,7 @@ def main():
             continue
 
         for k in (MODEL_KEYS + FAULT_KEYS + TXN_KEYS + EXEC_KEYS +
-                  STATIC_KEYS):
+                  STATIC_KEYS + CONCURRENT_KEYS):
             if old.get(k) != new.get(k):
                 drift.append(
                     f"{fmt_cell(key)}: {k} {old.get(k)} -> "

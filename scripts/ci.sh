@@ -2,11 +2,16 @@
 # CI entry point:
 #   1. full RelWithDebInfo build + complete test suite;
 #   2. ASan+UBSan build (cmake --preset asan) + the crash, compiler,
-#      obs, fault, txn and exec test labels — the suites that exercise
-#      raw-memory recovery paths, deliberately corrupted pool images,
-#      both transaction engines' log replay, the
-#      parser/verifier/interpreter, and the direct-threaded execution
-#      tier's raw-window fast path, where memory bugs would hide;
+#      obs, fault, txn, exec and concurrent test labels — the suites
+#      that exercise raw-memory recovery paths, deliberately corrupted
+#      pool images, both transaction engines' log replay, the
+#      parser/verifier/interpreter, the direct-threaded execution
+#      tier's raw-window fast path, and the sharded multi-threaded
+#      runtime, where memory bugs would hide; then a ThreadSanitizer
+#      build (cmake --preset tsan) running the concurrent label's
+#      real-thread suites (the deterministic single-driver MtCrashSweep
+#      is excluded there — it has no cross-thread races to find and
+#      TSan multiplies its wall time);
 #   3. clang-tidy over the compiler subsystem, if available;
 #   4. observability overhead gate: with event tracing compiled in,
 #      a traced run and an untraced run of the quick bench must agree
@@ -28,6 +33,11 @@ echo "==> tier 2: ASan+UBSan build + crash/compiler labels"
 cmake --preset asan
 cmake --build --preset asan -j "$JOBS"
 ctest --preset asan -j "$JOBS"
+
+echo "==> tier 2t: TSan build + concurrent label"
+cmake --preset tsan
+cmake --build --preset tsan -j "$JOBS"
+ctest --preset tsan -j "$JOBS"
 
 echo "==> tier 3: clang-tidy (best effort)"
 scripts/run_clang_tidy.sh || exit 1
@@ -66,6 +76,13 @@ build/bench/bench_harness --exec-only --out "$EXEC_OUT" > /dev/null
 python3 scripts/bench_diff.py --wall-threshold 100000 \
     BENCH_exec.json "$EXEC_OUT/BENCH_exec.json"
 rm -rf "$EXEC_OUT"
+
+echo "==> tier 4c: concurrent KV store schedule independence vs golden"
+CONC_OUT=$(mktemp -d)
+build/bench/bench_harness --concurrent-only --out "$CONC_OUT" > /dev/null
+python3 scripts/bench_diff.py --wall-threshold 100000 \
+    BENCH_concurrent.json "$CONC_OUT/BENCH_concurrent.json"
+rm -rf "$CONC_OUT"
 
 echo "==> tier 5: observability overhead gate"
 GATE_OUT=$(mktemp -d)

@@ -62,6 +62,19 @@ enum class FaultKind
      * mean different things per engine.
      */
     EngineMismatch,
+    /**
+     * A pointer operation ran on a thread with no Runtime bound.
+     * Raised instead of dereferencing the null thread-current slot:
+     * worker threads must bind their shard's runtime first (see
+     * bindRuntime / RuntimeScope, docs/CONCURRENCY.md).
+     */
+    NoRuntimeBound,
+    /**
+     * A thread touched state owned by a different shard: binding a
+     * Runtime another live thread currently owns, or driving a
+     * sharded container operation for a key homed on another shard.
+     */
+    WrongShard,
 };
 
 /** Human-readable name of a fault kind. */
@@ -106,6 +119,8 @@ faultKindName(FaultKind kind)
       case FaultKind::MediaError:         return "media-error";
       case FaultKind::PoolQuarantined:    return "pool-quarantined";
       case FaultKind::EngineMismatch:     return "engine-mismatch";
+      case FaultKind::NoRuntimeBound:     return "no-runtime-bound";
+      case FaultKind::WrongShard:         return "wrong-shard";
     }
     return "unknown-fault";
 }

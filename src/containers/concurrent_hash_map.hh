@@ -1,0 +1,157 @@
+/**
+ * @file
+ * ConcurrentHashMap — a sharded-by-key persistent hash map over a
+ * ShardedRuntime fleet.
+ *
+ * Concurrency model: there are no locks and no atomics in the data
+ * path. Each key belongs to exactly one shard (ShardedRuntime::
+ * shardOf), each shard's table lives in that shard's pool, and only
+ * the thread that has the shard bound may touch it — enforced, not
+ * assumed: every operation checks that the thread-current Runtime is
+ * the owning shard's and faults Fault{WrongShard} otherwise (or
+ * Fault{NoRuntimeBound} with no binding at all).
+ *
+ * Durability model (FliT-style per-operation persistence): every
+ * mutating operation runs in its own transaction on the shard's
+ * engine, so each set/erase is individually flushed and fenced at
+ * commit. A crash therefore loses at most the in-flight operation
+ * per shard — the property the multi-threaded crash sweep
+ * (crash/mt_crash_sweep.hh) checks as durable linearizability.
+ */
+
+#ifndef UPR_CONTAINERS_CONCURRENT_HASH_MAP_HH
+#define UPR_CONTAINERS_CONCURRENT_HASH_MAP_HH
+
+#include <optional>
+#include <vector>
+
+#include "containers/hash_map.hh"
+#include "core/sharded_runtime.hh"
+
+namespace upr
+{
+
+/**
+ * Sharded persistent hash map.
+ * @tparam K key type (trivially copyable; must hash/shard as u64)
+ * @tparam V mapped type (trivially copyable)
+ * @tparam H per-shard hasher over K
+ */
+template <typename K, typename V, typename H = DefaultHash>
+class ConcurrentHashMap
+{
+  public:
+    using Shard = HashMap<K, V, H>;
+
+    /**
+     * Create one empty table per shard, each in its shard's pool and
+     * published as that pool's root object so recovery can re-attach
+     * it with nothing but the pool image.
+     */
+    explicit ConcurrentHashMap(ShardedRuntime &fleet) : fleet_(&fleet)
+    {
+        tables_.reserve(fleet.shardCount());
+        for (unsigned s = 0; s < fleet.shardCount(); ++s) {
+            ShardedRuntime::Bind bind(fleet, s);
+            Runtime &rt = fleet.runtime(s);
+            Shard table(
+                MemEnv::persistentEnv(rt, fleet.pool(s)));
+            rt.pools().pool(fleet.pool(s))
+                .setRootOff(static_cast<PoolOffset>(
+                    PtrRepr::offsetOf(table.header().bits())));
+            tables_.push_back(table);
+        }
+    }
+
+    unsigned shardCount() const { return fleet_->shardCount(); }
+
+    /** The owning shard of @p key. */
+    unsigned
+    shardOf(const K &key) const
+    {
+        return fleet_->shardOf(static_cast<std::uint64_t>(key));
+    }
+
+    /** Direct access to shard @p s's table (bind the shard first). */
+    Shard &shard(unsigned s) { return tables_.at(s); }
+
+    /**
+     * Insert or update @p key in its owning shard, durably: the
+     * mutation commits in its own transaction on the shard's engine.
+     * @return true if the key was newly inserted
+     */
+    bool
+    set(const K &key, const V &value)
+    {
+        const unsigned s = checkOwned(key);
+        Runtime &rt = fleet_->runtime(s);
+        rt.beginTxn(fleet_->pool(s));
+        const bool fresh = tables_[s].insert(key, value);
+        rt.commitTxn();
+        return fresh;
+    }
+
+    /** Look up @p key in its owning shard (reads need no logging). */
+    std::optional<V>
+    get(const K &key) const
+    {
+        return tables_[checkOwned(key)].find(key);
+    }
+
+    /** True if @p key is present. */
+    bool
+    contains(const K &key) const
+    {
+        return tables_[checkOwned(key)].contains(key);
+    }
+
+    /**
+     * Remove @p key from its owning shard, durably (own transaction).
+     * @return true if it was present
+     */
+    bool
+    erase(const K &key)
+    {
+        const unsigned s = checkOwned(key);
+        Runtime &rt = fleet_->runtime(s);
+        rt.beginTxn(fleet_->pool(s));
+        const bool removed = tables_[s].erase(key);
+        rt.commitTxn();
+        return removed;
+    }
+
+    /** Shard @p s's entry count. Claims the shard for the read, so
+     * call from a quiesced fleet (no worker bound to the shard). */
+    std::uint64_t
+    sizeOnShard(unsigned s) const
+    {
+        ShardedRuntime::Bind bind(*fleet_, s);
+        return tables_.at(s).size();
+    }
+
+  private:
+    /**
+     * @return the shard owning @p key
+     * @throws Fault{NoRuntimeBound} no runtime bound on this thread
+     * @throws Fault{WrongShard} the bound runtime is not the owner's
+     */
+    unsigned
+    checkOwned(const K &key) const
+    {
+        const unsigned s = shardOf(key);
+        if (&currentRuntime() != &fleet_->runtime(s)) {
+            throw Fault(FaultKind::WrongShard,
+                        "key belongs to shard " + std::to_string(s) +
+                            " but the calling thread has a different "
+                            "shard's Runtime bound");
+        }
+        return s;
+    }
+
+    ShardedRuntime *fleet_;
+    std::vector<Shard> tables_;
+};
+
+} // namespace upr
+
+#endif // UPR_CONTAINERS_CONCURRENT_HASH_MAP_HH

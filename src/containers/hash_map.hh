@@ -115,6 +115,28 @@ class HashMap
         return true;
     }
 
+    /**
+     * Grow the bucket array so @p n entries insert without triggering
+     * a rehash. Rounds up to the doubling sequence insert() follows,
+     * so a reserved table and a progressively-grown one end at the
+     * same bucket count.
+     *
+     * Call before bulk loads, outside any transaction: a rehash moves
+     * every node, and inside an undo transaction each moved pointer
+     * is pre-imaged — a large-enough table overflows the pool's undo
+     * log mid-operation. Reserving while the chains are short keeps
+     * the per-insert transactions small instead.
+     */
+    void
+    reserve(std::uint64_t n)
+    {
+        std::uint64_t count = bucketCount();
+        while (count < n)
+            count *= 2;
+        if (count != bucketCount())
+            rehash(count);
+    }
+
     /** Look up @p key. */
     std::optional<V>
     find(const K &key) const

@@ -11,14 +11,41 @@ thread_local Runtime *tCurrentRuntime = nullptr;
 } // namespace detail
 
 RuntimeScope::RuntimeScope(Runtime &rt)
-    : previous_(detail::tCurrentRuntime)
+    : bound_(&rt), previous_(detail::tCurrentRuntime)
 {
+    rt.claimOwner(); // throws WrongShard if owned elsewhere
     detail::tCurrentRuntime = &rt;
 }
 
 RuntimeScope::~RuntimeScope()
 {
     detail::tCurrentRuntime = previous_;
+    bound_->releaseOwner();
+}
+
+void
+bindRuntime(Runtime &rt)
+{
+    if (detail::tCurrentRuntime != nullptr) {
+        throw Fault(FaultKind::BadUsage,
+                    "bindRuntime: this thread already has a Runtime "
+                    "bound; unbind it first (or use RuntimeScope for "
+                    "nested bindings)");
+    }
+    rt.claimOwner();
+    detail::tCurrentRuntime = &rt;
+}
+
+void
+unbindRuntime()
+{
+    if (detail::tCurrentRuntime == nullptr) {
+        throw Fault(FaultKind::NoRuntimeBound,
+                    "unbindRuntime: nothing bound on this thread");
+    }
+    Runtime *rt = detail::tCurrentRuntime;
+    detail::tCurrentRuntime = nullptr;
+    rt->releaseOwner();
 }
 
 namespace detail

@@ -37,12 +37,20 @@ namespace detail
 extern thread_local Runtime *tCurrentRuntime;
 } // namespace detail
 
-/** The thread-current runtime; panics if none is bound. */
+/**
+ * The thread-current runtime.
+ * @throws Fault{NoRuntimeBound} if this thread has none bound —
+ * a typed, catchable fault instead of a null dereference: worker
+ * threads must bind their shard first (RuntimeScope / bindRuntime).
+ */
 inline Runtime &
 currentRuntime()
 {
-    upr_assert_msg(detail::tCurrentRuntime != nullptr,
-                   "no Runtime bound; create a RuntimeScope first");
+    if (detail::tCurrentRuntime == nullptr) [[unlikely]] {
+        throw Fault(FaultKind::NoRuntimeBound,
+                    "no Runtime bound on this thread; create a "
+                    "RuntimeScope or call bindRuntime() first");
+    }
     return *detail::tCurrentRuntime;
 }
 
@@ -53,7 +61,28 @@ hasCurrentRuntime()
     return detail::tCurrentRuntime != nullptr;
 }
 
-/** RAII binder making one Runtime current for the enclosing scope. */
+/**
+ * Bind @p rt as the calling thread's current runtime and claim shard
+ * ownership (the non-RAII half of the bind/unbind API, for worker
+ * threads whose bind and unbind sites are not lexically nested).
+ * @throws Fault{BadUsage}    if this thread already has a binding
+ * @throws Fault{WrongShard}  if another live thread owns @p rt
+ */
+void bindRuntime(Runtime &rt);
+
+/**
+ * Undo bindRuntime: release shard ownership and clear the thread's
+ * current-runtime slot.
+ * @throws Fault{NoRuntimeBound} if nothing is bound on this thread
+ */
+void unbindRuntime();
+
+/**
+ * RAII binder making one Runtime current for the enclosing scope.
+ * Claims shard ownership for the calling thread (re-entrant on the
+ * same thread, restoring any previously bound runtime on exit);
+ * faults WrongShard if another live thread owns the runtime.
+ */
 class RuntimeScope
 {
   public:
@@ -64,6 +93,7 @@ class RuntimeScope
     RuntimeScope &operator=(const RuntimeScope &) = delete;
 
   private:
+    Runtime *bound_;
     Runtime *previous_;
 };
 

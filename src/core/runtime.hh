@@ -25,6 +25,7 @@
 #ifndef UPR_CORE_RUNTIME_HH
 #define UPR_CORE_RUNTIME_HH
 
+#include <atomic>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -83,6 +84,23 @@ enum class TxnLogHint : std::uint8_t
     ElideFresh,     //!< target pmalloc'd inside this transaction
     ElideDominated, //!< exact range already logged in this transaction
 };
+
+namespace detail
+{
+/**
+ * A process-unique nonzero token for the calling thread (dense, not
+ * a hash of std::thread::id). Identifies the owner of a claimed
+ * Runtime shard.
+ */
+inline std::uint64_t
+threadToken()
+{
+    static std::atomic<std::uint64_t> next{1};
+    thread_local const std::uint64_t token =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return token;
+}
+} // namespace detail
 
 /** Per-check-site identifiers for the branch predictor (SW mode). */
 enum class CheckSite : std::uint64_t
@@ -411,6 +429,57 @@ class Runtime
     /** Conversion results reused from registers (Fig 12), HW only. */
     std::uint64_t reuseHits() const { return reuseHits_.value(); }
 
+    // ------------------------------------------------------------------
+    // Shard ownership (docs/CONCURRENCY.md)
+    // ------------------------------------------------------------------
+
+    /**
+     * Claim this runtime for the calling thread (re-entrant: the
+     * owning thread may claim again, e.g. nested RuntimeScopes).
+     * A Runtime is a *shard*: exactly one thread may drive it at a
+     * time — its counters, machine model, and transaction state are
+     * all single-owner by design.
+     * @throws Fault{WrongShard} if another live thread owns it
+     */
+    void
+    claimOwner()
+    {
+        const std::uint64_t me = detail::threadToken();
+        std::uint64_t expected = 0;
+        if (ownerToken_.compare_exchange_strong(
+                expected, me, std::memory_order_acquire,
+                std::memory_order_acquire)) {
+            bindDepth_ = 1;
+            return;
+        }
+        if (expected == me) {
+            ++bindDepth_;
+            return;
+        }
+        throw Fault(FaultKind::WrongShard,
+                    "Runtime is bound to another thread; each shard "
+                    "runtime has exactly one owner at a time");
+    }
+
+    /** Release one claim level; frees the shard at depth zero. */
+    void
+    releaseOwner()
+    {
+        upr_assert_msg(
+            ownerToken_.load(std::memory_order_relaxed) ==
+                detail::threadToken() && bindDepth_ > 0,
+            "releaseOwner by a thread that does not own this Runtime");
+        if (--bindDepth_ == 0)
+            ownerToken_.store(0, std::memory_order_release);
+    }
+
+    /** Owning thread's token (0 = unowned); tests/diagnostics. */
+    std::uint64_t
+    ownerToken() const
+    {
+        return ownerToken_.load(std::memory_order_relaxed);
+    }
+
   private:
     /** SW-mode dynamic check: one predictor branch plus ALU work. */
     bool swCheck(std::uint64_t site, bool outcome);
@@ -571,6 +640,11 @@ class Runtime
     VolatileHeap heap_;
     PoolManager pools_;
     Machine machine_;
+
+    /** threadToken() of the owning thread; 0 while unclaimed. */
+    std::atomic<std::uint64_t> ownerToken_{0};
+    /** Re-entrant claim depth; touched only by the owning thread. */
+    std::uint32_t bindDepth_ = 0;
 
     std::vector<ReuseEntry> reuse_;
 

@@ -1,0 +1,539 @@
+#include "crash/mt_crash_sweep.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "containers/concurrent_hash_map.hh"
+#include "crash/crash_injector.hh"
+#include "nvm/engine.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_ring.hh"
+
+namespace upr
+{
+
+namespace
+{
+
+/**
+ * Process-wide multi-threaded-sweep statistics, cumulative across
+ * sweeps; lazily constructed so the group only enters the metrics
+ * registry (and snapshots) once an MT sweep actually runs.
+ */
+struct MtCrashStats
+{
+    StatGroup group{"mtcrash"};
+    Counter crashPoints;
+    Counter silent;
+    Counter containment;
+    obs::ScopedMetricsGroup reg{group};
+
+    MtCrashStats()
+    {
+        group.registerCounter("crashPoints", crashPoints,
+                              "multi-threaded crash points swept");
+        group.registerCounter("silent", silent,
+                              "durable-linearizability violations "
+                              "(wrong recovered state, no error)");
+        group.registerCounter("containment", containment,
+                              "exceptions escaping shard recovery");
+    }
+};
+
+MtCrashStats &
+mtCrashStats()
+{
+    static MtCrashStats stats;
+    return stats;
+}
+
+/**
+ * The multi-backing injector: one shared event counter over every
+ * shard pool's persistence-event stream. Event index N is a position
+ * in the *total order* across shards — crashing at N captures the
+ * durable image of every shard at the same instant, which is what
+ * makes the recovered whole-store state checkable against the logged
+ * history's linearizations.
+ */
+class MultiCrashInjector
+{
+  public:
+    MultiCrashInjector(CrashMode mode, std::uint64_t seed)
+        : mode_(mode), seed_(seed)
+    {}
+
+    ~MultiCrashInjector() { detach(); }
+
+    MultiCrashInjector(const MultiCrashInjector &) = delete;
+    MultiCrashInjector &operator=(const MultiCrashInjector &) = delete;
+
+    /** 0 = never crash, only count (the profiling pass). */
+    void arm(std::uint64_t crashAt) { crashAt_ = crashAt; }
+
+    /**
+     * Start observing every backing in @p backings (the crash window
+     * opens: current content becomes the durable baseline on each).
+     */
+    void
+    attach(std::vector<Backing *> backings)
+    {
+        detach();
+        backings_ = std::move(backings);
+        events_ = 0;
+        fired_ = false;
+        order_.clear();
+        hook_ = std::make_shared<Hook>(Hook{this});
+        for (unsigned s = 0; s < backings_.size(); ++s) {
+            backings_[s]->enablePersistenceDomain();
+            backings_[s]->setPersistObserver(
+                [hook = hook_, s](PersistEvent, Bytes, Bytes) {
+                    if (hook->owner != nullptr)
+                        hook->owner->onEvent(s);
+                });
+        }
+    }
+
+    /** Go inert; never touches the backings (they may be gone). */
+    void
+    detach()
+    {
+        if (hook_ != nullptr) {
+            hook_->owner = nullptr;
+            hook_.reset();
+        }
+        backings_.clear();
+    }
+
+    std::uint64_t events() const { return events_; }
+    bool fired() const { return fired_; }
+
+    /** Shard owning each event, in total order (profiling pass). */
+    const std::vector<unsigned> &order() const { return order_; }
+
+    /** Shard @p s's durable image at the crash instant. */
+    const std::vector<std::uint8_t> &
+    image(unsigned s) const
+    {
+        upr_assert_msg(fired_, "crash image requested before a crash");
+        return images_.at(s);
+    }
+
+  private:
+    void
+    onEvent(unsigned shard)
+    {
+        ++events_;
+        order_.push_back(shard);
+        if (crashAt_ != 0 && events_ == crashAt_ && !fired_) {
+            // Power fails machine-wide: capture EVERY shard's media
+            // at this instant, before the triggering event applies.
+            // Each shard gets its own retention-RNG stream so torn
+            // lines differ across shards like they would on real
+            // independent DIMMs.
+            images_.resize(backings_.size());
+            for (unsigned s = 0; s < backings_.size(); ++s) {
+                images_[s] = backings_[s]->crashImage(
+                    mode_, seed_ ^ (crashAt_ * 0x9e3779b9ULL + s));
+            }
+            fired_ = true;
+            // Inert before the throw: unwinding rolls back the other
+            // shards' open transactions, and those writes must not
+            // count or crash again — the machine is already off.
+            hook_->owner = nullptr;
+            hook_.reset();
+            backings_.clear();
+            throw SimulatedCrash(crashAt_);
+        }
+    }
+
+    struct Hook
+    {
+        MultiCrashInjector *owner;
+    };
+
+    CrashMode mode_;
+    std::uint64_t seed_;
+    std::shared_ptr<Hook> hook_;
+    std::vector<Backing *> backings_;
+    std::uint64_t crashAt_ = 0;
+    std::uint64_t events_ = 0;
+    bool fired_ = false;
+    std::vector<unsigned> order_;
+    std::vector<std::vector<std::uint8_t>> images_;
+};
+
+/** One transactional operation on a shard's own table. */
+struct Op
+{
+    enum class Kind
+    {
+        Set,
+        Erase
+    };
+    Kind kind;
+    std::uint64_t key;
+    std::uint64_t value;
+};
+
+constexpr std::uint64_t kSetupKeysPerShard = 8;
+
+/** A shard's deterministic slice of the workload. */
+struct ShardPlan
+{
+    std::vector<std::uint64_t> setupKeys; //!< pre-crash-window baseline
+    std::vector<std::uint64_t> freshKeys; //!< for in-window inserts
+    std::vector<Op> ops;
+};
+
+/**
+ * Partition consecutive integers into per-shard key lists by fleet
+ * ownership, then derive each shard's op list: a rotating mix of
+ * fresh insert, overwrite, and erase, entirely over keys that shard
+ * owns. Pure function of (shards, opsPerShard) — every sweep run
+ * regenerates the identical plan.
+ */
+std::vector<ShardPlan>
+makePlan(unsigned shards, std::size_t opsPerShard)
+{
+    std::vector<ShardPlan> plan(shards);
+    const std::size_t fresh_needed = opsPerShard / 3 + 1;
+    std::uint64_t key = 0;
+    for (bool done = false; !done; ++key) {
+        const unsigned s = ShardedRuntime::shardOfKey(key, shards);
+        if (plan[s].setupKeys.size() < kSetupKeysPerShard) {
+            plan[s].setupKeys.push_back(key);
+        } else if (plan[s].freshKeys.size() < fresh_needed) {
+            plan[s].freshKeys.push_back(key);
+        }
+        done = true;
+        for (const ShardPlan &p : plan) {
+            if (p.setupKeys.size() < kSetupKeysPerShard ||
+                p.freshKeys.size() < fresh_needed)
+                done = false;
+        }
+    }
+    for (unsigned s = 0; s < shards; ++s) {
+        ShardPlan &p = plan[s];
+        for (std::size_t j = 0; j < opsPerShard; ++j) {
+            const std::uint64_t round = j / 3;
+            switch (j % 3) {
+              case 0: // fresh insert
+                p.ops.push_back({Op::Kind::Set,
+                                 p.freshKeys[round % p.freshKeys.size()],
+                                 0x1000 + s * 0x100 + j});
+                break;
+              case 1: // overwrite an existing key
+                p.ops.push_back(
+                    {Op::Kind::Set,
+                     p.setupKeys[round % kSetupKeysPerShard],
+                     0x2000 + s * 0x100 + j});
+                break;
+              default: // delete (chain unlinks, node freed)
+                p.ops.push_back(
+                    {Op::Kind::Erase,
+                     p.setupKeys[(round + 1) % kSetupKeysPerShard], 0});
+                break;
+            }
+        }
+    }
+    return plan;
+}
+
+/** Shard @p s's reference contents after its first @p n ops. */
+std::map<std::uint64_t, std::uint64_t>
+referenceState(const ShardPlan &plan, std::size_t n)
+{
+    std::map<std::uint64_t, std::uint64_t> m;
+    for (const std::uint64_t k : plan.setupKeys)
+        m[k] = k * 10 + 7;
+    for (std::size_t i = 0; i < n && i < plan.ops.size(); ++i) {
+        const Op &op = plan.ops[i];
+        if (op.kind == Op::Kind::Set) {
+            m[op.key] = op.value;
+        } else {
+            m.erase(op.key);
+        }
+    }
+    return m;
+}
+
+ShardedRuntime::Config
+fleetConfig(const MtCrashSweepConfig &cfg)
+{
+    ShardedRuntime::Config fc;
+    fc.shards = cfg.shards;
+    fc.runtime.version = Version::Hw;
+    fc.runtime.seed = 1234; // fixed: the sweep must be deterministic
+    fc.poolName = "mtsweep";
+    fc.poolSize = 1 << 20;
+    fc.engine = cfg.engine;
+    fc.groupCommitSize = cfg.groupCommitSize;
+    return fc;
+}
+
+/**
+ * One full workload execution: build the fleet and the sharded map,
+ * lay down the setup baseline, open the crash window on every shard
+ * backing, then drive the per-shard op lists through the seeded
+ * step-interleaving scheduler. @p committed and @p inFlight report
+ * per-shard progress at the instant a crash unwinds.
+ */
+void
+runWorkload(MultiCrashInjector &injector, const MtCrashSweepConfig &cfg,
+            const std::vector<ShardPlan> &plan,
+            std::vector<std::size_t> &committed,
+            std::vector<bool> &inFlight)
+{
+    committed.assign(cfg.shards, 0);
+    inFlight.assign(cfg.shards, false);
+
+    ShardedRuntime fleet(fleetConfig(cfg));
+    ConcurrentHashMap<std::uint64_t, std::uint64_t> map(fleet);
+
+    // Setup phase: outside the crash window; becomes the durable
+    // baseline when the injector enables the persistence domains.
+    for (unsigned s = 0; s < cfg.shards; ++s) {
+        ShardedRuntime::Bind bind(fleet, s);
+        for (const std::uint64_t k : plan[s].setupKeys)
+            map.shard(s).insert(k, k * 10 + 7);
+    }
+
+    std::vector<Backing *> backings;
+    for (unsigned s = 0; s < cfg.shards; ++s) {
+        backings.push_back(
+            &fleet.runtime(s).pools().pool(fleet.pool(s)).backing());
+    }
+    injector.attach(std::move(backings));
+
+    // The deterministic scheduler: each shard's next op advances in
+    // three steps (begin / apply / commit), and a seeded RNG picks
+    // which unfinished shard steps next — so transactions overlap
+    // across shards, in the same total order on every run.
+    enum class Step
+    {
+        Begin,
+        Apply,
+        Commit
+    };
+    std::vector<std::size_t> opIdx(cfg.shards, 0);
+    std::vector<Step> step(cfg.shards, Step::Begin);
+    Rng schedule(cfg.scheduleSeed);
+
+    for (;;) {
+        std::vector<unsigned> runnable;
+        for (unsigned s = 0; s < cfg.shards; ++s) {
+            if (opIdx[s] < plan[s].ops.size())
+                runnable.push_back(s);
+        }
+        if (runnable.empty())
+            break;
+        const unsigned s = runnable[static_cast<std::size_t>(
+            schedule.nextBounded(runnable.size()))];
+
+        ShardedRuntime::Bind bind(fleet, s);
+        Runtime &rt = fleet.runtime(s);
+        const Op &op = plan[s].ops[opIdx[s]];
+        switch (step[s]) {
+          case Step::Begin:
+            rt.beginTxn(fleet.pool(s));
+            inFlight[s] = true;
+            step[s] = Step::Apply;
+            break;
+          case Step::Apply:
+            if (op.kind == Op::Kind::Set) {
+                map.shard(s).insert(op.key, op.value);
+            } else {
+                map.shard(s).erase(op.key);
+            }
+            step[s] = Step::Commit;
+            break;
+          case Step::Commit:
+            rt.commitTxn();
+            ++committed[s];
+            inFlight[s] = false;
+            step[s] = Step::Begin;
+            ++opIdx[s];
+            break;
+        }
+    }
+
+    // Flush any pending group-commit batches while the crash window
+    // is still open — a crash during this tail is just another point.
+    for (unsigned s = 0; s < cfg.shards; ++s) {
+        ShardedRuntime::Bind bind(fleet, s);
+        fleet.runtime(s).flushGroup();
+    }
+}
+
+/**
+ * Recover shard @p s's crash image and compare it against the
+ * admissible linearizations of that shard's logged history.
+ * @return empty on success, else a violation description
+ */
+std::string
+recoverAndCheckShard(const MtCrashSweepConfig &cfg,
+                     const std::vector<std::uint8_t> &img,
+                     const ShardPlan &plan, std::size_t committed,
+                     std::uint64_t point, unsigned s,
+                     MtCrashSweepResult &result)
+{
+    Backing media;
+    media.assign(img);
+    Pool pool("mtcrash@" + std::to_string(point) + "#" +
+                  std::to_string(s),
+              std::move(media));
+    const bool rolled_back = TxnEngine::recover(pool);
+    obs::traceEvent(obs::EventKind::CrashPoint, point, s);
+    if (rolled_back) {
+        ++result.rollbacks;
+    } else {
+        ++result.cleanImages;
+    }
+    // Idempotence: a crash *during* recovery is just another boot.
+    if (TxnEngine::recover(pool))
+        return "recovery is not idempotent";
+
+    Backing image;
+    image.assign(pool.backing().raw());
+    Runtime rt(fleetConfig(cfg).runtime);
+    RuntimeScope scope(rt);
+    const PoolId id = rt.pools().adoptImage(std::move(image), "crashed");
+    rt.pools().allocator(id).checkConsistency();
+
+    const PoolOffset root = rt.pools().pool(id).rootOff();
+    if (root == 0)
+        return "recovered pool lost its root";
+    MemEnv env = MemEnv::persistentEnv(rt, id);
+    HashMap<std::uint64_t, std::uint64_t> table(
+        env, Ptr<HashMap<std::uint64_t, std::uint64_t>::Header>::
+                 fromBits(PtrRepr::makeRelative(id, root)));
+    table.validate();
+
+    std::map<std::uint64_t, std::uint64_t> actual;
+    table.forEach([&](std::uint64_t k, std::uint64_t v) {
+        actual.emplace(k, v);
+    });
+
+    // The admissible states of this shard: its committed prefix, or
+    // that prefix plus its one in-flight operation applied atomically
+    // (group commit coarsens both bounds to batch boundaries). Keys
+    // are shard-disjoint, so the store-wide linearization set is
+    // exactly the cross product of these per-shard sets.
+    std::size_t lo = committed;
+    std::size_t hi = std::min(committed + 1, plan.ops.size());
+    if (cfg.groupCommitSize > 1) {
+        lo = committed - committed % cfg.groupCommitSize;
+        hi = std::min(lo + cfg.groupCommitSize, plan.ops.size());
+    }
+    if (actual == referenceState(plan, lo) ||
+        actual == referenceState(plan, hi))
+        return "";
+    return "recovered state (size " + std::to_string(actual.size()) +
+           ") matches neither " + std::to_string(lo) + " nor " +
+           std::to_string(hi) + " committed ops";
+}
+
+} // namespace
+
+MtCrashSweepResult
+mtCrashSweep(const MtCrashSweepConfig &config)
+{
+    upr_assert_msg(config.shards >= 1 && config.opsPerShard >= 1,
+                   "mtCrashSweep needs at least one shard and one op");
+
+    // One-command replay of a failed point, same contract as the
+    // single-threaded sweep: UPR_CRASH_SEED overrides the retention
+    // seed, and every violation prints the values needed to set it.
+    MtCrashSweepConfig cfg = config;
+    if (const char *env = std::getenv("UPR_CRASH_SEED");
+        env != nullptr && *env != '\0') {
+        cfg.seed = std::strtoull(env, nullptr, 0);
+    }
+
+    const std::vector<ShardPlan> plan =
+        makePlan(cfg.shards, cfg.opsPerShard);
+    std::vector<std::size_t> committed;
+    std::vector<bool> inFlight;
+
+    // Profiling pass: count the total order's events without
+    // crashing, and record which shard owns each position.
+    MtCrashSweepResult result;
+    {
+        MultiCrashInjector injector(cfg.mode, cfg.seed);
+        injector.arm(0);
+        runWorkload(injector, cfg, plan, committed, inFlight);
+        result.crashPoints = injector.events();
+        const std::vector<unsigned> &order = injector.order();
+        for (std::size_t i = 1; i < order.size(); ++i) {
+            if (order[i] != order[i - 1])
+                ++result.crossShardEvents;
+        }
+    }
+    if (result.crashPoints == 0) {
+        throw Fault(FaultKind::BadUsage,
+                    "multi-threaded crash sweep generated no "
+                    "persistence events");
+    }
+    mtCrashStats().crashPoints.add(result.crashPoints);
+
+    for (std::uint64_t n = 1; n <= result.crashPoints; ++n) {
+        MultiCrashInjector injector(cfg.mode, cfg.seed);
+        injector.arm(n);
+        bool crashed = false;
+        try {
+            runWorkload(injector, cfg, plan, committed, inFlight);
+        } catch (const SimulatedCrash &) {
+            crashed = true;
+        }
+        if (!crashed || !injector.fired()) {
+            throw Fault(FaultKind::BadUsage,
+                        "crash point " + std::to_string(n) + " of " +
+                            std::to_string(result.crashPoints) +
+                            " never fired — the multi-threaded "
+                            "workload is not deterministic");
+        }
+
+        for (unsigned s = 0; s < cfg.shards; ++s) {
+            std::string violation;
+            bool contained = true;
+            try {
+                violation = recoverAndCheckShard(
+                    cfg, injector.image(s), plan[s], committed[s], n,
+                    s, result);
+            } catch (const std::exception &e) {
+                contained = false;
+                violation = std::string("escaped exception: ") +
+                            e.what();
+            }
+            if (violation.empty())
+                continue;
+            if (contained) {
+                ++result.silent;
+                ++mtCrashStats().silent;
+            } else {
+                ++result.containment;
+                ++mtCrashStats().containment;
+            }
+            std::fprintf(
+                stderr,
+                "mt crash sweep VIOLATION at point %llu/%llu shard "
+                "%u/%u (%s engine, mode %s, seed %llu): %s\n"
+                "replay with: UPR_CRASH_SEED=%llu <this test>\n",
+                (unsigned long long)n,
+                (unsigned long long)result.crashPoints, s, cfg.shards,
+                cfg.engine == EngineKind::Undo ? "undo" : "redo",
+                crashModeName(cfg.mode),
+                (unsigned long long)cfg.seed, violation.c_str(),
+                (unsigned long long)cfg.seed);
+        }
+    }
+    return result;
+}
+
+} // namespace upr

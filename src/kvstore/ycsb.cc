@@ -100,33 +100,109 @@ YcsbWorkload::generate()
     std::uint64_t inserted = spec_.recordCount;
     ZipfianGenerator zipf(spec_.recordCount);
 
-    for (std::uint64_t op = 0; op < spec_.operationCount; ++op) {
-        const bool is_read = rng.nextDouble() < spec_.readProportion;
-        if (!is_read) {
-            // All SETs insert brand-new records (paper Sec VII-A), so
-            // the index structure really updates nodes and pointers.
-            run_.push_back(
-                {KvOp::Kind::Set, keyFor(inserted), rng.next()});
-            ++inserted;
-            if (spec_.distribution == Distribution::Latest)
-                zipf.growTo(inserted);
-            continue;
-        }
-        std::uint64_t idx = 0;
+    // Draw one existing-record index per the request distribution.
+    const auto drawIdx = [&]() -> std::uint64_t {
         switch (spec_.distribution) {
           case Distribution::Uniform:
-            idx = rng.nextBounded(inserted);
-            break;
+            return rng.nextBounded(inserted);
           case Distribution::Zipfian:
-            idx = zipf.sample(rng);
-            break;
+            return zipf.sample(rng);
           case Distribution::Latest:
             // Hot end = most recent insert.
-            idx = inserted - 1 - zipf.sample(rng);
-            break;
+            return inserted - 1 - zipf.sample(rng);
         }
-        run_.push_back({KvOp::Kind::Get, keyFor(idx), 0});
+        return 0;
+    };
+
+    for (std::uint64_t op = 0; op < spec_.operationCount; ++op) {
+        // One roll partitions the operation classes; with the default
+        // zero update/rmw/scan proportions the draw sequence is
+        // identical to the original two-way generator.
+        const double roll = rng.nextDouble();
+        double edge = spec_.readProportion;
+        if (roll < edge) {
+            run_.push_back({KvOp::Kind::Get, keyFor(drawIdx()), 0});
+            continue;
+        }
+        edge += spec_.updateProportion;
+        if (roll < edge) {
+            // Update in place: overwrite an existing record.
+            run_.push_back(
+                {KvOp::Kind::Set, keyFor(drawIdx()), rng.next()});
+            continue;
+        }
+        edge += spec_.rmwProportion;
+        if (roll < edge) {
+            // Read-modify-write: a GET then a SET of the same key.
+            const std::uint64_t key = keyFor(drawIdx());
+            run_.push_back({KvOp::Kind::Get, key, 0});
+            run_.push_back({KvOp::Kind::Set, key, rng.next()});
+            continue;
+        }
+        edge += spec_.scanProportion;
+        if (roll < edge) {
+            // Scan: scanLength ascending logical records from a drawn
+            // start (clamped to the inserted range), as GETs.
+            const std::uint64_t start = drawIdx();
+            for (std::uint64_t i = 0; i < spec_.scanLength; ++i) {
+                const std::uint64_t idx = start + i;
+                if (idx >= inserted)
+                    break;
+                run_.push_back({KvOp::Kind::Get, keyFor(idx), 0});
+            }
+            continue;
+        }
+        // All remaining SETs insert brand-new records (paper Sec
+        // VII-A), so the index structure really updates nodes and
+        // pointers.
+        run_.push_back({KvOp::Kind::Set, keyFor(inserted), rng.next()});
+        ++inserted;
+        if (spec_.distribution == Distribution::Latest)
+            zipf.growTo(inserted);
     }
+}
+
+WorkloadSpec
+ycsbPreset(char workload)
+{
+    WorkloadSpec spec;
+    spec.distribution = Distribution::Zipfian;
+    switch (workload) {
+      case 'a':
+      case 'A':
+        spec.readProportion = 0.5;
+        spec.updateProportion = 0.5;
+        break;
+      case 'b':
+      case 'B':
+        spec.readProportion = 0.95;
+        spec.updateProportion = 0.05;
+        break;
+      case 'c':
+      case 'C':
+        spec.readProportion = 1.0;
+        break;
+      case 'd':
+      case 'D':
+        // 95/5 read/insert over recency — the generator's default
+        // (paper) shape.
+        spec.readProportion = 0.95;
+        spec.distribution = Distribution::Latest;
+        break;
+      case 'e':
+      case 'E':
+        spec.readProportion = 0;
+        spec.scanProportion = 0.95;
+        break;
+      case 'f':
+      case 'F':
+        spec.readProportion = 0.5;
+        spec.rmwProportion = 0.5;
+        break;
+      default:
+        upr_panic("unknown YCSB preset (want A-F)");
+    }
+    return spec;
 }
 
 } // namespace upr

@@ -38,15 +38,39 @@ struct KvOp
     std::uint64_t value; //!< for Set
 };
 
-/** Workload shape; defaults = the paper's configuration. */
+/**
+ * Workload shape; defaults = the paper's configuration (and with the
+ * defaults the generated stream is bit-identical to the original
+ * two-way GET/SET generator — the extra operation classes only cost
+ * RNG draws when their proportions are non-zero).
+ *
+ * One roll partitions each operation: read, then update-in-place,
+ * then read-modify-write, then scan, with the remainder inserting a
+ * brand-new record (the original non-read path).
+ */
 struct WorkloadSpec
 {
     std::uint64_t recordCount = 10'000;
     std::uint64_t operationCount = 100'000;
     double readProportion = 0.95;
+    double updateProportion = 0;
+    double rmwProportion = 0;
+    double scanProportion = 0;
+    /** Keys touched per scan operation. */
+    std::uint64_t scanLength = 10;
     Distribution distribution = Distribution::Latest;
     std::uint64_t seed = 2021;
 };
+
+/**
+ * The standard YCSB core-workload presets A-F, over this generator's
+ * paper-scale defaults (10k records, 100k operations):
+ *   A 50/50 read/update, zipfian       B 95/5 read/update, zipfian
+ *   C read-only, zipfian               D 95/5 read/insert, latest
+ *   E 95/5 scan/insert, zipfian        F 50/50 read/RMW, zipfian
+ * @param workload 'A'..'F' (case-insensitive)
+ */
+WorkloadSpec ycsbPreset(char workload);
 
 /**
  * Zipfian sampler over [0, n) with the YCSB constant theta = 0.99,

@@ -81,7 +81,7 @@ journalAndApply(Pool &pool, const std::vector<Run> &runs,
                     "' cannot hold the staged batch");
     }
 
-    TxnStats &st = TxnStats::instance();
+    TxnStats &st = TxnStats::current();
 
     // Phase 0: proven-fresh bytes go straight in place. A crash from
     // here until fence 2 discards the batch; these bytes then sit in
@@ -249,7 +249,7 @@ classifyJournal(const Pool &pool, const LogControl &c,
 void
 replayForward(Pool &pool, const std::vector<Bytes> &entries)
 {
-    TxnStats &st = TxnStats::instance();
+    TxnStats &st = TxnStats::current();
     for (Bytes off : entries) {
         LogEntry e;
         const Bytes at = entriesStart(pool) + off;
@@ -329,7 +329,7 @@ RedoBatch::commit()
     // batch would invert write ordering across a crash.
     pool_.backing().setWriteStage(&batchStage_);
     batchInstalled_ = true;
-    TxnStats::instance().redoCommits.add(1);
+    TxnStats::current().redoCommits.add(1);
     obs::traceEvent(obs::EventKind::TxnCommit, pool_.id(), pending_);
 }
 
@@ -398,8 +398,8 @@ RedoBatch::flush()
     }
     batchStage_.bytes.clear();
     batchElided_.clear();
-    TxnStats::instance().groupBatches.add(1);
-    TxnStats::instance().groupTxns.add(txns);
+    TxnStats::current().groupBatches.add(1);
+    TxnStats::current().groupTxns.add(txns);
     obs::traceEvent(obs::EventKind::GroupFlush, pool_.id(), txns);
 }
 

@@ -32,8 +32,8 @@ void
 putControl(Pool &pool, const LogControl &c)
 {
     logfmt::writeControl(pool, c);
-    TxnStats::instance().undoFlushes.add(1);
-    TxnStats::instance().undoFences.add(1);
+    TxnStats::current().undoFlushes.add(1);
+    TxnStats::current().undoFences.add(1);
 }
 
 /** This pool's log region speaks undo, or the caller is lost. */
@@ -160,10 +160,10 @@ applyEntries(Pool &pool, const std::vector<Bytes> &entries)
         pool.backing().read(at + sizeof(e), pre.data(), e.length);
         pool.backing().write(e.poolOffset, pre.data(), e.length);
         pool.backing().flush(e.poolOffset, e.length);
-        TxnStats::instance().undoFlushes.add(1);
+        TxnStats::current().undoFlushes.add(1);
     }
     pool.backing().fence();
-    TxnStats::instance().undoFences.add(1);
+    TxnStats::current().undoFences.add(1);
 
     LogControl done = readControl(pool);
     obs::traceEvent(obs::EventKind::UndoTruncate, pool.id(),
@@ -265,7 +265,7 @@ Txn::recordWrite(PoolOffset off, Bytes len)
     pool_.backing().write(at, &e, sizeof(e));
     pool_.backing().write(at + sizeof(e), pre.data(), len);
     pool_.backing().flush(at, need);
-    TxnStats::instance().undoFlushes.add(1);
+    TxnStats::current().undoFlushes.add(1);
 
     c.tail += static_cast<std::uint32_t>(need);
     putControl(pool_, c); // flushes + fences control (and entry)
@@ -281,7 +281,7 @@ Txn::recordElidedWrite(PoolOffset off, Bytes len)
                    "elided range out of pool");
     if (len == 0)
         return;
-    TxnStats::instance().undoElidedWrites.add(1);
+    TxnStats::current().undoElidedWrites.add(1);
     // No pre-image, no log append, no fence. Commit must still flush
     // the new bytes, so remember the range once.
     for (const auto &[doff, dlen] : dirty_) {
@@ -299,17 +299,17 @@ Txn::commit()
     // it disappears.
     for (const auto &[off, len] : dirty_) {
         pool_.backing().flush(off, len);
-        TxnStats::instance().undoFlushes.add(1);
+        TxnStats::current().undoFlushes.add(1);
     }
     pool_.backing().fence();
-    TxnStats::instance().undoFences.add(1);
+    TxnStats::current().undoFences.add(1);
 
     LogControl c = readControl(pool_);
     obs::traceEvent(obs::EventKind::UndoTruncate, pool_.id(), c.tail);
     c.active = 0;
     c.tail = 0;
     putControl(pool_, c);
-    TxnStats::instance().undoCommits.add(1);
+    TxnStats::current().undoCommits.add(1);
     obs::traceEvent(obs::EventKind::TxnCommit, pool_.id(),
                     dirty_.size());
     closed_ = true;

@@ -27,6 +27,19 @@
 namespace upr
 {
 
+class TxnStats;
+
+namespace detail
+{
+/** The calling thread's bound TxnStats (nullptr = process-wide). */
+inline TxnStats *&
+boundTxnStatsSlot()
+{
+    thread_local TxnStats *bound = nullptr;
+    return bound;
+}
+} // namespace detail
+
 /** Counters of the transaction engines. */
 class TxnStats
 {
@@ -37,6 +50,28 @@ class TxnStats
         static TxnStats s;
         return s;
     }
+
+    /**
+     * The TxnStats the engines on this thread tally into: the
+     * thread-bound instance if one is bound (a shard's own stats,
+     * see ScopedTxnStatsBinding), else the process-wide singleton.
+     * Single-threaded code never binds, so its accounting — and
+     * every existing golden — is unchanged.
+     */
+    static TxnStats &
+    current()
+    {
+        TxnStats *bound = detail::boundTxnStatsSlot();
+        return bound != nullptr ? *bound : instance();
+    }
+
+    /**
+     * Construct a non-singleton instance (a shard's local tally).
+     * The "txn" group registers under the thread's current metrics
+     * registration prefix, so a shard constructing one inside
+     * ScopedRegistrationPrefix("shardN.") exports "shardN.txn.*".
+     */
+    TxnStats() : TxnStats(PrivateTag{}) {}
 
     Counter undoCommits;  //!< undo transactions committed
     Counter undoFlushes;  //!< flush() calls issued by the undo engine
@@ -63,7 +98,11 @@ class TxnStats
     void resetAll() { group_.resetAll(); }
 
   private:
-    TxnStats() : group_("txn"), registration_(group_)
+    struct PrivateTag
+    {
+    };
+
+    explicit TxnStats(PrivateTag) : group_("txn"), registration_(group_)
     {
         group_.registerCounter("undoCommits", undoCommits,
                                "undo transactions committed");
@@ -95,6 +134,32 @@ class TxnStats
 
     StatGroup group_;
     obs::ScopedMetricsGroup registration_;
+};
+
+/**
+ * RAII: route this thread's transaction-engine accounting into
+ * @p stats for the enclosing scope (restores the previous binding on
+ * exit). A shard worker binds its shard's TxnStats alongside its
+ * Runtime so concurrent commits never race on the shared singleton's
+ * plain counters.
+ */
+class ScopedTxnStatsBinding
+{
+  public:
+    explicit ScopedTxnStatsBinding(TxnStats &stats)
+        : previous_(detail::boundTxnStatsSlot())
+    {
+        detail::boundTxnStatsSlot() = &stats;
+    }
+
+    ~ScopedTxnStatsBinding() { detail::boundTxnStatsSlot() = previous_; }
+
+    ScopedTxnStatsBinding(const ScopedTxnStatsBinding &) = delete;
+    ScopedTxnStatsBinding &
+    operator=(const ScopedTxnStatsBinding &) = delete;
+
+  private:
+    TxnStats *previous_;
 };
 
 } // namespace upr

@@ -4,10 +4,23 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "common/fault.hh"
 #include "common/stats.hh"
 
 namespace upr::obs
 {
+
+namespace detail
+{
+
+std::string &
+registrationPrefixSlot()
+{
+    thread_local std::string prefix;
+    return prefix;
+}
+
+} // namespace detail
 
 MetricsRegistry &
 MetricsRegistry::instance()
@@ -19,15 +32,49 @@ MetricsRegistry::instance()
 void
 MetricsRegistry::addGroup(const StatGroup *group)
 {
+    const std::string &prefix = registrationPrefix();
     std::lock_guard<std::mutex> lock(mu_);
-    groups_.push_back(group);
+    GroupEntry entry{group, prefix + group->name(), !prefix.empty()};
+    if (entry.prefixed) {
+        // A prefixed name claims uniqueness: a collision means two
+        // live components think they own the same shard-qualified
+        // name. Fail loudly under the sanitized build; otherwise keep
+        // both registrations distinguishable with a "#N" suffix.
+        const auto taken = [&](const std::string &name) {
+            return std::any_of(groups_.begin(), groups_.end(),
+                               [&](const GroupEntry &e) {
+                                   return e.prefixed &&
+                                          e.displayName == name;
+                               });
+        };
+        if (taken(entry.displayName)) {
+#ifdef UPR_SANITIZE
+            throw Fault(FaultKind::BadUsage,
+                        "duplicate metrics group '" +
+                            entry.displayName +
+                            "' registered under a shard prefix");
+#else
+            unsigned n = 2;
+            std::string renamed;
+            do {
+                renamed = entry.displayName + "#" + std::to_string(n);
+                ++n;
+            } while (taken(renamed));
+            entry.displayName = std::move(renamed);
+#endif
+        }
+    }
+    groups_.push_back(std::move(entry));
 }
 
 void
 MetricsRegistry::removeGroup(const StatGroup *group)
 {
     std::lock_guard<std::mutex> lock(mu_);
-    groups_.erase(std::remove(groups_.begin(), groups_.end(), group),
+    groups_.erase(std::remove_if(groups_.begin(), groups_.end(),
+                                 [group](const GroupEntry &e) {
+                                     return e.group == group;
+                                 }),
                   groups_.end());
 }
 
@@ -35,8 +82,9 @@ void
 MetricsRegistry::addHistogram(const std::string &name,
                               const LatencyHistogram *hist)
 {
+    const std::string full = registrationPrefix() + name;
     std::lock_guard<std::mutex> lock(mu_);
-    histograms_.emplace_back(name, hist);
+    histograms_.emplace_back(full, hist);
 }
 
 void
@@ -56,10 +104,10 @@ MetricsRegistry::snapshot() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     MetricsSnapshot snap;
-    for (const StatGroup *g : groups_) {
-        g->forEach([&](const std::string &stat, std::uint64_t value,
-                       const std::string &) {
-            snap.counters[g->name() + "." + stat] += value;
+    for (const GroupEntry &e : groups_) {
+        e.group->forEach([&](const std::string &stat,
+                             std::uint64_t value, const std::string &) {
+            snap.counters[e.displayName + "." + stat] += value;
         });
     }
     for (const auto &[name, hist] : histograms_)

@@ -11,6 +11,13 @@
  * a "core" machine group) sum — the registry reports the fleet, not
  * one instance.
  *
+ * Sharded components instead register under a per-shard name prefix
+ * (ScopedRegistrationPrefix, e.g. "shard0."): a prefixed name is a
+ * *claim of uniqueness*, so a second registration under the same
+ * prefixed name is a collision — faulted under UPR_SANITIZE, renamed
+ * with a "#2"-style suffix otherwise. Unprefixed registrations keep
+ * the legacy fleet-summing semantics.
+ *
  * Named snapshots + delta() let benches and tests assert on
  * *intervals* ("what did phase 2 add?") instead of process totals.
  */
@@ -90,11 +97,63 @@ class MetricsRegistry
   private:
     MetricsRegistry() = default;
 
+    struct GroupEntry
+    {
+        const StatGroup *group;
+        /** Snapshot name: prefix + group name (+ "#N" on collision).
+         * Empty prefix ("displayName" == group name) marks a legacy
+         * registration, which sums with same-named peers. */
+        std::string displayName;
+        bool prefixed;
+    };
+
     mutable std::mutex mu_;
-    std::vector<const StatGroup *> groups_;
+    std::vector<GroupEntry> groups_;
     std::vector<std::pair<std::string, const LatencyHistogram *>>
         histograms_;
     std::map<std::string, MetricsSnapshot> named_;
+};
+
+namespace detail
+{
+/** The calling thread's registration prefix ("" = legacy). */
+std::string &registrationPrefixSlot();
+} // namespace detail
+
+/** The prefix the calling thread registers metrics under. */
+inline const std::string &
+registrationPrefix()
+{
+    return detail::registrationPrefixSlot();
+}
+
+/**
+ * RAII: every StatGroup/histogram registered by this thread inside
+ * the scope gets @p prefix prepended to its snapshot name (the shard
+ * federation hook: construct a shard's Runtime and stats under
+ * ScopedRegistrationPrefix("shardN.") and its metrics appear as
+ * "shardN.core.*", "shardN.txn.*", ...). Nested scopes concatenate.
+ */
+class ScopedRegistrationPrefix
+{
+  public:
+    explicit ScopedRegistrationPrefix(const std::string &prefix)
+        : previous_(detail::registrationPrefixSlot())
+    {
+        detail::registrationPrefixSlot() = previous_ + prefix;
+    }
+
+    ~ScopedRegistrationPrefix()
+    {
+        detail::registrationPrefixSlot() = previous_;
+    }
+
+    ScopedRegistrationPrefix(const ScopedRegistrationPrefix &) = delete;
+    ScopedRegistrationPrefix &
+    operator=(const ScopedRegistrationPrefix &) = delete;
+
+  private:
+    std::string previous_;
 };
 
 /** RAII registration of one StatGroup for an owning component. */

@@ -113,17 +113,28 @@ class TraceRing
         const std::uint64_t seq =
             head_.fetch_add(1, std::memory_order_relaxed);
         Slot &s = slots_[seq & (kCapacity - 1)];
-        // Mark the slot in-progress (odd stamp) so a concurrent
-        // snapshot skips it instead of reading torn fields.
+        // Seqlock write: mark the slot in-progress (odd stamp), fill
+        // the payload with relaxed atomic stores, then publish (even
+        // stamp, release). The release fence orders the odd stamp
+        // before the payload, so a reader that observes fresh payload
+        // bytes is guaranteed to also observe a changed stamp.
         s.stamp.store(2 * seq + 1, std::memory_order_relaxed);
-        s.event = TraceRingEvent{seq, kind, a, b};
+        std::atomic_thread_fence(std::memory_order_release);
+        s.seq.store(seq, std::memory_order_relaxed);
+        s.kind.store(static_cast<std::uint32_t>(kind),
+                     std::memory_order_relaxed);
+        s.a.store(a, std::memory_order_relaxed);
+        s.b.store(b, std::memory_order_relaxed);
         s.stamp.store(2 * seq + 2, std::memory_order_release);
     }
 
-    /** Total events ever appended (monotone; exceeds capacity). */
-    std::uint64_t appended() const
+    /** Events appended since the last clear(). */
+    std::uint64_t
+    appended() const
     {
-        return head_.load(std::memory_order_relaxed);
+        const std::uint64_t head = head_.load(std::memory_order_relaxed);
+        const std::uint64_t floor = floor_.load(std::memory_order_relaxed);
+        return head > floor ? head - floor : 0;
     }
 
     /** Events overwritten before they could be read. */
@@ -136,15 +147,20 @@ class TraceRing
 
     /**
      * Copy out the retained events, oldest first. Slots being
-     * overwritten concurrently are skipped.
+     * overwritten concurrently are skipped. Reported seq numbers are
+     * relative to the last clear() (0-based).
      */
     std::vector<TraceRingEvent>
     snapshot() const
     {
         std::vector<TraceRingEvent> out;
-        const std::uint64_t head = appended();
+        const std::uint64_t floor =
+            floor_.load(std::memory_order_relaxed);
+        const std::uint64_t head = head_.load(std::memory_order_relaxed);
+        if (head <= floor)
+            return out;
         const std::uint64_t first =
-            head > kCapacity ? head - kCapacity : 0;
+            head - floor > kCapacity ? head - kCapacity : floor;
         out.reserve(static_cast<std::size_t>(head - first));
         for (std::uint64_t seq = first; seq < head; ++seq) {
             const Slot &s = slots_[seq & (kCapacity - 1)];
@@ -152,21 +168,47 @@ class TraceRing
                 s.stamp.load(std::memory_order_acquire);
             if (pre != 2 * seq + 2)
                 continue; // overwritten or in flight
-            TraceRingEvent e = s.event;
-            if (s.stamp.load(std::memory_order_acquire) != pre)
+            TraceRingEvent e{
+                s.seq.load(std::memory_order_relaxed),
+                static_cast<EventKind>(
+                    s.kind.load(std::memory_order_relaxed)),
+                s.a.load(std::memory_order_relaxed),
+                s.b.load(std::memory_order_relaxed)};
+            // Seqlock read validation: the acquire fence orders the
+            // payload loads before the stamp re-check, so a racing
+            // overwrite is always detected and the slot skipped.
+            std::atomic_thread_fence(std::memory_order_acquire);
+            if (s.stamp.load(std::memory_order_relaxed) != pre)
                 continue;
+            e.seq -= floor;
             out.push_back(e);
         }
         return out;
     }
 
-    /** Forget everything (tests; not thread-safe vs. writers). */
+    /**
+     * Forget everything. Safe against concurrent writers: instead of
+     * rewinding head_ (which would hand out already-claimed slot
+     * stamps again and let a racing append tear a slot), the head
+     * jumps forward a full capacity window — every retained slot's
+     * stamp is now stale — and the floor advances to the new head.
+     * Readers never see pre-clear events again; a writer racing the
+     * clear keeps its claimed slot and is either (harmlessly) dropped
+     * below the floor or retained intact, never torn.
+     */
     void
     clear()
     {
-        head_.store(0, std::memory_order_relaxed);
-        for (Slot &s : slots_)
-            s.stamp.store(0, std::memory_order_relaxed);
+        const std::uint64_t head =
+            head_.fetch_add(kCapacity, std::memory_order_relaxed) +
+            kCapacity;
+        // Floor only moves forward: a concurrent clear() pair cannot
+        // leave the floor behind a slot another thread re-claims.
+        std::uint64_t prev = floor_.load(std::memory_order_relaxed);
+        while (prev < head &&
+               !floor_.compare_exchange_weak(prev, head,
+                                             std::memory_order_relaxed))
+        {}
     }
 
     /** Export as JSONL: one {"seq","kind","a","b"} object per line. */
@@ -202,13 +244,21 @@ class TraceRing
     }
 
   private:
+    /** Payload fields are relaxed atomics so a snapshot racing an
+     * overwrite reads defined (possibly stale, stamp-detected) bytes
+     * instead of tearing — keeps the seqlock data-race-free for TSan. */
     struct Slot
     {
         std::atomic<std::uint64_t> stamp{0};
-        TraceRingEvent event;
+        std::atomic<std::uint64_t> seq{0};
+        std::atomic<std::uint32_t> kind{0};
+        std::atomic<std::uint64_t> a{0};
+        std::atomic<std::uint64_t> b{0};
     };
 
     std::atomic<std::uint64_t> head_{0};
+    /** Sequence numbers below this are cleared (never exposed). */
+    std::atomic<std::uint64_t> floor_{0};
     mutable std::vector<Slot> slots_{kCapacity};
 };
 

@@ -1,0 +1,130 @@
+/** @file TraceRing under concurrency (ISSUE 10 satellite): clear()
+ * must be safe against racing writers — the old rewind-the-head
+ * design could hand out already-claimed slot stamps again and let a
+ * racing append tear a slot. The floor-based clear keeps the head
+ * monotone, so a stress of writers against repeated clears must never
+ * surface a torn event. */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/trace_ring.hh"
+
+using namespace upr::obs;
+
+TEST(TraceRingFloor, ClearResetsTheReaderView)
+{
+    TraceRing ring;
+    ring.append(EventKind::TxnBegin, 1, 0);
+    ring.append(EventKind::TxnCommit, 1, 1);
+    ASSERT_EQ(ring.appended(), 2u);
+
+    ring.clear();
+    EXPECT_EQ(ring.appended(), 0u);
+    EXPECT_EQ(ring.dropped(), 0u);
+    EXPECT_TRUE(ring.snapshot().empty());
+
+    // Post-clear sequence numbers restart at 0 for the reader.
+    ring.append(EventKind::TxnAbort, 9, 9);
+    const auto events = ring.snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].seq, 0u);
+    EXPECT_EQ(events[0].kind, EventKind::TxnAbort);
+}
+
+TEST(TraceRingFloor, WraparoundAfterClearCountsDropsFromTheFloor)
+{
+    TraceRing ring;
+    ring.append(EventKind::TxnBegin, 0, 0);
+    ring.clear();
+
+    const std::uint64_t n = TraceRing::kCapacity + 123;
+    for (std::uint64_t i = 0; i < n; ++i)
+        ring.append(EventKind::FaultRaised, i, i);
+    EXPECT_EQ(ring.appended(), n);
+    EXPECT_EQ(ring.dropped(), 123u);
+
+    const auto events = ring.snapshot();
+    ASSERT_EQ(events.size(), TraceRing::kCapacity);
+    EXPECT_EQ(events.front().seq, 123u);
+    EXPECT_EQ(events.back().seq, n - 1);
+}
+
+TEST(TraceRingFloor, DoubleClearIsIdempotent)
+{
+    TraceRing ring;
+    ring.append(EventKind::PoolOpen, 1, 0);
+    ring.clear();
+    ring.clear();
+    EXPECT_EQ(ring.appended(), 0u);
+    ring.append(EventKind::PoolOpen, 2, 0);
+    const auto events = ring.snapshot();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].seq, 0u);
+    EXPECT_EQ(events[0].a, 2u);
+}
+
+/**
+ * The regression stress: writer threads hammer append() while the
+ * main thread clears repeatedly. Every event an append writes has
+ * a == b; if clear() ever recycled a claimed stamp, a reader would
+ * see a half-written (torn) slot where a != b. Snapshots taken both
+ * during and after the storm must only ever contain intact events
+ * with strictly increasing sequence numbers.
+ */
+TEST(TraceRingConcurrency, WritersVersusClearNeverTearAnEvent)
+{
+    TraceRing ring;
+    constexpr unsigned kWriters = 4;
+    constexpr std::uint64_t kPerWriter = 40'000;
+
+    const auto checkIntact = [](const std::vector<TraceRingEvent> &evs) {
+        std::uint64_t prev_seq = 0;
+        bool first = true;
+        for (const TraceRingEvent &e : evs) {
+            ASSERT_EQ(e.a, e.b) << "torn slot surfaced at seq "
+                                << e.seq;
+            if (!first) {
+                ASSERT_GT(e.seq, prev_seq);
+            }
+            prev_seq = e.seq;
+            first = false;
+        }
+    };
+
+    std::vector<std::thread> writers;
+    for (unsigned t = 0; t < kWriters; ++t) {
+        writers.emplace_back([&ring, t] {
+            for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+                const std::uint64_t payload =
+                    (std::uint64_t{t} << 32) | i;
+                ring.append(EventKind::FaultRaised, payload, payload);
+            }
+        });
+    }
+
+    // The clear storm, with interleaved snapshot checks.
+    for (int round = 0; round < 200; ++round) {
+        checkIntact(ring.snapshot());
+        ring.clear();
+        std::this_thread::yield();
+    }
+    for (std::thread &w : writers)
+        w.join();
+
+    // Post-storm: still intact, and the view is bounded by capacity.
+    const auto final_events = ring.snapshot();
+    checkIntact(final_events);
+    EXPECT_LE(final_events.size(), TraceRing::kCapacity);
+    EXPECT_LE(ring.appended(),
+              ring.dropped() + TraceRing::kCapacity);
+
+    // The ring still works normally after the storm.
+    ring.clear();
+    ring.append(EventKind::TxnCommit, 5, 5);
+    const auto after = ring.snapshot();
+    ASSERT_EQ(after.size(), 1u);
+    EXPECT_EQ(after[0].seq, 0u);
+}

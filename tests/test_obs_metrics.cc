@@ -266,6 +266,61 @@ TEST(MetricsRegistry, SameNamedHistogramsMergeInSnapshot)
     EXPECT_EQ(d.max, std::uint64_t{1} << 20);
 }
 
+TEST(MetricsRegistry, PrefixedDuplicateGroupIsDetectedNotMerged)
+{
+    // Unprefixed same-named groups sum (the fleet view above); a
+    // *prefixed* name claims uniqueness — two registrations under the
+    // same shard prefix are a wiring bug. Sanitized builds fault;
+    // release builds keep both visible under a "#N" rename so the
+    // collision shows up in dumps instead of silently summing.
+    StatGroup g1("tdup"), g2("tdup");
+    Counter a, b;
+    g1.registerCounter("x", a, "first owner");
+    g2.registerCounter("x", b, "accidental twin");
+    a.add(1);
+    b.add(10);
+
+    ScopedRegistrationPrefix prefix("shardX.");
+    ScopedMetricsGroup r1(g1);
+#ifdef UPR_SANITIZE
+    try {
+        ScopedMetricsGroup r2(g2);
+        FAIL() << "expected Fault{BadUsage} on duplicate "
+                  "prefixed group";
+    } catch (const Fault &f) {
+        EXPECT_EQ(f.kind(), FaultKind::BadUsage);
+    }
+#else
+    ScopedMetricsGroup r2(g2);
+    const MetricsSnapshot s = MetricsRegistry::instance().snapshot();
+    EXPECT_EQ(s.counters.at("shardX.tdup.x"), 1u);
+    EXPECT_EQ(s.counters.at("shardX.tdup#2.x"), 10u);
+    // No silent sum under the claimed name.
+    EXPECT_EQ(s.counters.count("shardX.tdup.x"), 1u);
+#endif
+}
+
+#ifndef UPR_SANITIZE
+TEST(MetricsRegistry, PrefixedTripleCollisionRenamesDistinctly)
+{
+    StatGroup g1("ttri"), g2("ttri"), g3("ttri");
+    Counter a, b, c;
+    g1.registerCounter("n", a, "one");
+    g2.registerCounter("n", b, "two");
+    g3.registerCounter("n", c, "three");
+    a.add(1);
+    b.add(2);
+    c.add(3);
+
+    ScopedRegistrationPrefix prefix("shardY.");
+    ScopedMetricsGroup r1(g1), r2(g2), r3(g3);
+    const MetricsSnapshot s = MetricsRegistry::instance().snapshot();
+    EXPECT_EQ(s.counters.at("shardY.ttri.n"), 1u);
+    EXPECT_EQ(s.counters.at("shardY.ttri#2.n"), 2u);
+    EXPECT_EQ(s.counters.at("shardY.ttri#3.n"), 3u);
+}
+#endif
+
 TEST(MetricsRegistry, NamedSnapshotsGiveIntervalDeltas)
 {
     auto &reg = MetricsRegistry::instance();

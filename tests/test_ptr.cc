@@ -45,11 +45,19 @@ TEST(PtrStatic, LayoutIsOneWord)
     EXPECT_EQ(memberOffset(&Node::tag), 16u);
 }
 
-TEST(PtrNoRuntime, AccessWithoutScopePanics)
+TEST(PtrNoRuntime, AccessWithoutScopeFaultsTyped)
 {
     Ptr<Node> p = Ptr<Node>::fromBits(0x1000);
     ASSERT_FALSE(hasCurrentRuntime());
-    EXPECT_DEATH((void)p.field(&Node::value), "no Runtime");
+    // A typed, catchable fault — not a null dereference or abort —
+    // so a served system can reject a mis-bound worker thread's
+    // request and keep running.
+    try {
+        (void)p.field(&Node::value);
+        FAIL() << "expected Fault{NoRuntimeBound}";
+    } catch (const Fault &f) {
+        EXPECT_EQ(f.kind(), FaultKind::NoRuntimeBound);
+    }
 }
 
 class PtrVersions : public ::testing::TestWithParam<Version>
